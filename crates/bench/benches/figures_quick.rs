@@ -1,0 +1,11 @@
+//! `cargo bench` entry point: regenerates *every* figure of the paper's
+//! evaluation in quick (CI-sized) mode. For paper-sized sweeps run
+//! `cargo run --release -p nvtraverse-bench --bin figures -- all`.
+
+use nvtraverse_bench::figures::{run_figure, Mode};
+
+fn main() {
+    // Criterion-style benches receive `--bench`; ignore all flags.
+    println!("# NVTraverse evaluation figures (Quick mode via `cargo bench`)");
+    run_figure("all", Mode::Quick);
+}

@@ -1,0 +1,34 @@
+//! CLI for regenerating the paper's figures.
+//!
+//! ```text
+//! cargo run --release -p nvtraverse-bench --bin figures -- all
+//! cargo run --release -p nvtraverse-bench --bin figures -- fig5a fig6m
+//! cargo run --release -p nvtraverse-bench --bin figures -- --quick all
+//! ```
+
+use nvtraverse_bench::figures::{run_figure, Mode, ALL_FIGURES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode = Mode::Full;
+    let mut ids: Vec<String> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--quick" | "-q" => mode = Mode::Quick,
+            "--full" => mode = Mode::Full,
+            "--help" | "-h" => {
+                println!("usage: figures [--quick] <figure-id>... | all");
+                println!("figures: {ALL_FIGURES:?}");
+                return;
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids.push("all".into());
+    }
+    println!("# NVTraverse evaluation figures ({mode:?} mode)");
+    for id in ids {
+        run_figure(&id, mode);
+    }
+}

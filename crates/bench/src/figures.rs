@@ -1,0 +1,572 @@
+//! One runner per figure of the paper's evaluation (§5, Figures 5 and 6),
+//! plus two ablations. Each runner prints a throughput table whose rows are
+//! the figure's x-axis and whose columns are the paper's series.
+//!
+//! Sizes and thread counts are scaled to the measurement machine (the paper
+//! used 48-way and 64-way servers with Optane DC; see DESIGN.md's
+//! substitution notes). The *shape* — who wins, by what factor, where the
+//! crossovers sit — is the reproduction target, not absolute numbers.
+
+use crate::workload::{measure, prefill, Cfg};
+use nvtraverse::policy::{Durability, Izraelevitz, LinkPersist, NvTraverse, Volatile};
+use nvtraverse::DurableSet;
+use nvtraverse_ebr::Collector;
+use nvtraverse_onefile::{TmBst, TmList};
+use nvtraverse_pmem::{stats, Clwb, Count, Noop};
+use nvtraverse_structures::ellen_bst::EllenBst;
+use nvtraverse_structures::hash::HashMapDs;
+use nvtraverse_structures::list::{HarrisList, HarrisListOrigParent};
+use nvtraverse_structures::nm_bst::NmBst;
+use nvtraverse_structures::skiplist::SkipList;
+
+/// How much machine time to spend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// CI-sized: ~0.12 s per point, tens of thousands of keys.
+    Quick,
+    /// Paper-sized (scaled): 1 s per point, hundreds of thousands of keys.
+    Full,
+}
+
+impl Mode {
+    fn secs(self) -> f64 {
+        match self {
+            Mode::Quick => 0.12,
+            Mode::Full => 1.0,
+        }
+    }
+    /// Key range standing in for the paper's "1M / 8M nodes" structures.
+    fn big_range(self) -> u64 {
+        match self {
+            Mode::Quick => 50_000,
+            Mode::Full => 400_000,
+        }
+    }
+    fn threads_sweep(self) -> Vec<usize> {
+        vec![1, 2, 4]
+    }
+    fn max_threads(self) -> usize {
+        4
+    }
+}
+
+type Point = fn(&Cfg) -> f64;
+type Series = (&'static str, Point);
+
+// ---- one monomorphized measurement function per (structure, policy) ------
+
+fn list_point<D: Durability>(cfg: &Cfg) -> f64 {
+    measure(HarrisList::<u64, u64, D>::new, cfg)
+}
+
+fn list_orig_parent_point<D: Durability>(cfg: &Cfg) -> f64 {
+    // The original-parent field may be flushed after its node's parent was
+    // reclaimed; run with a leaking collector so the address stays mapped
+    // (the paper notes this variant "may also delay garbage collection").
+    measure(
+        || HarrisListOrigParent::<u64, u64, D>::with_collector(Collector::leaking()),
+        cfg,
+    )
+}
+
+fn hash_point<D: Durability>(cfg: &Cfg) -> f64 {
+    let buckets = (cfg.prefill.max(1)) as usize;
+    measure(|| HashMapDs::<u64, u64, D>::new(buckets), cfg)
+}
+
+fn ellen_point<D: Durability>(cfg: &Cfg) -> f64 {
+    measure(EllenBst::<u64, u64, D>::new, cfg)
+}
+
+fn nm_point<D: Durability>(cfg: &Cfg) -> f64 {
+    measure(NmBst::<u64, u64, D>::new, cfg)
+}
+
+fn skip_point<D: Durability>(cfg: &Cfg) -> f64 {
+    measure(SkipList::<u64, u64, D>::new, cfg)
+}
+
+fn tmlist_point(cfg: &Cfg) -> f64 {
+    measure(TmList::<u64, u64, Clwb>::new, cfg)
+}
+
+fn tmbst_point(cfg: &Cfg) -> f64 {
+    measure(TmBst::<u64, u64, Clwb>::new, cfg)
+}
+
+// ---- table rendering ------------------------------------------------------
+
+fn print_table(title: &str, x_label: &str, xs: &[String], series: &[Series], cfgs: &[Cfg]) {
+    println!("\n== {title} ==");
+    print!("{x_label:>10}");
+    for (name, _) in series {
+        print!("{name:>12}");
+    }
+    println!("  [Mops/s]");
+    for (x, cfg) in xs.iter().zip(cfgs) {
+        print!("{x:>10}");
+        for (_, point) in series {
+            let mops = point(cfg);
+            print!("{mops:>12.3}");
+        }
+        println!();
+    }
+}
+
+fn upd_sweep() -> Vec<u32> {
+    vec![0, 5, 10, 20, 50, 100]
+}
+
+fn run_sweep(
+    title: &str,
+    x_label: &str,
+    series: &[Series],
+    cfgs: Vec<(String, Cfg)>,
+) {
+    let (xs, cfgs): (Vec<String>, Vec<Cfg>) = cfgs.into_iter().unzip();
+    print_table(title, x_label, &xs, series, &cfgs);
+}
+
+fn base_cfg(mode: Mode, threads: usize, range: u64, update_pct: u32) -> Cfg {
+    Cfg {
+        threads,
+        range,
+        prefill: range / 2,
+        update_pct,
+        secs: mode.secs(),
+        seed: 42,
+    }
+}
+
+// ---- the figures -----------------------------------------------------------
+
+/// Figure 5(a): list, thread sweep, 80% lookups, 512 keys of 1024.
+pub fn fig5a(mode: Mode) {
+    let series: Vec<Series> = vec![
+        ("orig", list_point::<Volatile>),
+        ("nvt", list_point::<NvTraverse<Clwb>>),
+        ("izr", list_point::<Izraelevitz<Clwb>>),
+        ("onefile", tmlist_point),
+    ];
+    run_sweep(
+        "fig5a: Linked-List, varying threads, 80% lookups, range 1024",
+        "threads",
+        &series,
+        mode.threads_sweep()
+            .into_iter()
+            .map(|t| (t.to_string(), base_cfg(mode, t, 1024, 20)))
+            .collect(),
+    );
+}
+
+/// Figure 5(b): list, size sweep, 16 threads (scaled), 80% lookups.
+pub fn fig5b(mode: Mode) {
+    let series: Vec<Series> = vec![
+        ("orig", list_point::<Volatile>),
+        ("nvt", list_point::<NvTraverse<Clwb>>),
+        ("izr", list_point::<Izraelevitz<Clwb>>),
+        ("onefile", tmlist_point),
+    ];
+    let sizes = match mode {
+        Mode::Quick => vec![256u64, 1024, 4096],
+        Mode::Full => vec![256, 512, 1024, 2048, 4096, 8192],
+    };
+    run_sweep(
+        "fig5b: Linked-List, varying range, max threads, 80% lookups",
+        "range",
+        &series,
+        sizes
+            .into_iter()
+            .map(|r| (r.to_string(), base_cfg(mode, mode.max_threads(), r, 20)))
+            .collect(),
+    );
+}
+
+/// Figure 5(c): list, update-percentage sweep, 500 keys.
+pub fn fig5c(mode: Mode) {
+    let series: Vec<Series> = vec![
+        ("orig", list_point::<Volatile>),
+        ("nvt", list_point::<NvTraverse<Clwb>>),
+        ("izr", list_point::<Izraelevitz<Clwb>>),
+        ("onefile", tmlist_point),
+    ];
+    run_sweep(
+        "fig5c: Linked-List, varying update %, max threads, range 1000",
+        "update%",
+        &series,
+        upd_sweep()
+            .into_iter()
+            .map(|u| (u.to_string(), base_cfg(mode, mode.max_threads(), 1000, u)))
+            .collect(),
+    );
+}
+
+/// Figure 5(d): hash table, update sweep, 1M nodes (scaled).
+pub fn fig5d(mode: Mode) {
+    let series: Vec<Series> = vec![
+        ("orig", hash_point::<Volatile>),
+        ("nvt", hash_point::<NvTraverse<Clwb>>),
+        ("izr", hash_point::<Izraelevitz<Clwb>>),
+    ];
+    let r = mode.big_range();
+    run_sweep(
+        "fig5d: Hash-Table, varying update %, max threads, big",
+        "update%",
+        &series,
+        upd_sweep()
+            .into_iter()
+            .map(|u| (u.to_string(), base_cfg(mode, mode.max_threads(), r, u)))
+            .collect(),
+    );
+}
+
+/// Figure 5(e): both BSTs, update sweep, 1M nodes (scaled).
+pub fn fig5e(mode: Mode) {
+    let series: Vec<Series> = vec![
+        ("orig-el", ellen_point::<Volatile>),
+        ("nvt-el", ellen_point::<NvTraverse<Clwb>>),
+        ("izr-el", ellen_point::<Izraelevitz<Clwb>>),
+        ("orig-nm", nm_point::<Volatile>),
+        ("nvt-nm", nm_point::<NvTraverse<Clwb>>),
+        ("izr-nm", nm_point::<Izraelevitz<Clwb>>),
+        ("onefile", tmbst_point),
+    ];
+    let r = mode.big_range();
+    run_sweep(
+        "fig5e: BSTs (Ellen, Natarajan-Mittal), varying update %, big",
+        "update%",
+        &series,
+        upd_sweep()
+            .into_iter()
+            .map(|u| (u.to_string(), base_cfg(mode, mode.max_threads(), r, u)))
+            .collect(),
+    );
+}
+
+/// Figure 5(f): skiplist, update sweep, 1M nodes (scaled).
+pub fn fig5f(mode: Mode) {
+    let series: Vec<Series> = vec![
+        ("orig", skip_point::<Volatile>),
+        ("nvt", skip_point::<NvTraverse<Clwb>>),
+        ("izr", skip_point::<Izraelevitz<Clwb>>),
+    ];
+    let r = mode.big_range();
+    run_sweep(
+        "fig5f: Skip-List, varying update %, max threads, big",
+        "update%",
+        &series,
+        upd_sweep()
+            .into_iter()
+            .map(|u| (u.to_string(), base_cfg(mode, mode.max_threads(), r, u)))
+            .collect(),
+    );
+}
+
+/// Figure 6(g): list, thread sweep, 80% lookups, 8000 nodes (DRAM machine —
+/// the link-and-persist competitor appears from here on).
+pub fn fig6g(mode: Mode) {
+    let series: Vec<Series> = vec![
+        ("nvt", list_point::<NvTraverse<Clwb>>),
+        ("izr", list_point::<Izraelevitz<Clwb>>),
+        ("logfree", list_point::<LinkPersist<Clwb>>),
+        ("onefile", tmlist_point),
+    ];
+    let r = match mode {
+        Mode::Quick => 4096,
+        Mode::Full => 16384,
+    };
+    run_sweep(
+        "fig6g: Linked-List, varying threads, 80% lookups, large list",
+        "threads",
+        &series,
+        mode.threads_sweep()
+            .into_iter()
+            .map(|t| (t.to_string(), base_cfg(mode, t, r, 20)))
+            .collect(),
+    );
+}
+
+/// Figure 6(h): list, update sweep, 8000 nodes, max threads.
+pub fn fig6h(mode: Mode) {
+    let series: Vec<Series> = vec![
+        ("nvt", list_point::<NvTraverse<Clwb>>),
+        ("izr", list_point::<Izraelevitz<Clwb>>),
+        ("logfree", list_point::<LinkPersist<Clwb>>),
+        ("onefile", tmlist_point),
+    ];
+    let r = match mode {
+        Mode::Quick => 4096,
+        Mode::Full => 16384,
+    };
+    run_sweep(
+        "fig6h: Linked-List, varying update %, max threads, large list",
+        "update%",
+        &series,
+        upd_sweep()
+            .into_iter()
+            .map(|u| (u.to_string(), base_cfg(mode, mode.max_threads(), r, u)))
+            .collect(),
+    );
+}
+
+/// Figure 6(i): list, size sweep, max threads, 80% lookups.
+pub fn fig6i(mode: Mode) {
+    let series: Vec<Series> = vec![
+        ("nvt", list_point::<NvTraverse<Clwb>>),
+        ("logfree", list_point::<LinkPersist<Clwb>>),
+    ];
+    let sizes = match mode {
+        Mode::Quick => vec![2048u64, 8192],
+        Mode::Full => vec![2048, 4096, 8192, 16384, 32768],
+    };
+    run_sweep(
+        "fig6i: Linked-List, varying range, max threads, 80% lookups",
+        "range",
+        &series,
+        sizes
+            .into_iter()
+            .map(|r| (r.to_string(), base_cfg(mode, mode.max_threads(), r, 20)))
+            .collect(),
+    );
+}
+
+/// Figure 6(j): hash table, thread sweep, 80% lookups, 8M nodes (scaled).
+pub fn fig6j(mode: Mode) {
+    let series: Vec<Series> = vec![
+        ("nvt", hash_point::<NvTraverse<Clwb>>),
+        ("izr", hash_point::<Izraelevitz<Clwb>>),
+        ("logfree", hash_point::<LinkPersist<Clwb>>),
+    ];
+    let r = mode.big_range();
+    run_sweep(
+        "fig6j: Hash-Table, varying threads, 80% lookups, big",
+        "threads",
+        &series,
+        mode.threads_sweep()
+            .into_iter()
+            .map(|t| (t.to_string(), base_cfg(mode, t, r, 20)))
+            .collect(),
+    );
+}
+
+/// Figure 6(k): hash table, update sweep, 8M nodes (scaled).
+pub fn fig6k(mode: Mode) {
+    let series: Vec<Series> = vec![
+        ("nvt", hash_point::<NvTraverse<Clwb>>),
+        ("izr", hash_point::<Izraelevitz<Clwb>>),
+        ("logfree", hash_point::<LinkPersist<Clwb>>),
+    ];
+    let r = mode.big_range();
+    run_sweep(
+        "fig6k: Hash-Table, varying update %, big",
+        "update%",
+        &series,
+        upd_sweep()
+            .into_iter()
+            .map(|u| (u.to_string(), base_cfg(mode, mode.max_threads(), r, u)))
+            .collect(),
+    );
+}
+
+/// Figure 6(l): hash table, size sweep, 20% updates.
+pub fn fig6l(mode: Mode) {
+    let series: Vec<Series> = vec![
+        ("nvt", hash_point::<NvTraverse<Clwb>>),
+        ("logfree", hash_point::<LinkPersist<Clwb>>),
+    ];
+    let base = mode.big_range();
+    let sizes = vec![base / 4, base / 2, base, base * 2];
+    run_sweep(
+        "fig6l: Hash-Table, varying range, 20% updates",
+        "range",
+        &series,
+        sizes
+            .into_iter()
+            .map(|r| (r.to_string(), base_cfg(mode, mode.max_threads(), r, 20)))
+            .collect(),
+    );
+}
+
+/// Figure 6(m): BSTs, update sweep, 8M nodes (scaled).
+pub fn fig6m(mode: Mode) {
+    let series: Vec<Series> = vec![
+        ("nvt-el", ellen_point::<NvTraverse<Clwb>>),
+        ("izr-el", ellen_point::<Izraelevitz<Clwb>>),
+        ("lf-el", ellen_point::<LinkPersist<Clwb>>),
+        ("nvt-nm", nm_point::<NvTraverse<Clwb>>),
+        ("izr-nm", nm_point::<Izraelevitz<Clwb>>),
+        ("lf-nm", nm_point::<LinkPersist<Clwb>>),
+        ("onefile", tmbst_point),
+    ];
+    let r = mode.big_range();
+    run_sweep(
+        "fig6m: BSTs, varying update %, big",
+        "update%",
+        &series,
+        upd_sweep()
+            .into_iter()
+            .map(|u| (u.to_string(), base_cfg(mode, mode.max_threads(), r, u)))
+            .collect(),
+    );
+}
+
+/// Figure 6(n): skiplist, thread sweep, 20% updates, 8M nodes (scaled).
+pub fn fig6n(mode: Mode) {
+    let series: Vec<Series> = vec![
+        ("nvt", skip_point::<NvTraverse<Clwb>>),
+        ("izr", skip_point::<Izraelevitz<Clwb>>),
+        ("logfree", skip_point::<LinkPersist<Clwb>>),
+    ];
+    let r = mode.big_range();
+    run_sweep(
+        "fig6n: Skip-List, varying threads, 20% updates, big",
+        "threads",
+        &series,
+        mode.threads_sweep()
+            .into_iter()
+            .map(|t| (t.to_string(), base_cfg(mode, t, r, 20)))
+            .collect(),
+    );
+}
+
+/// Figure 6(o): skiplist, update sweep, 8M nodes (scaled).
+pub fn fig6o(mode: Mode) {
+    let series: Vec<Series> = vec![
+        ("nvt", skip_point::<NvTraverse<Clwb>>),
+        ("logfree", skip_point::<LinkPersist<Clwb>>),
+    ];
+    let r = mode.big_range();
+    run_sweep(
+        "fig6o: Skip-List, varying update %, big",
+        "update%",
+        &series,
+        upd_sweep()
+            .into_iter()
+            .map(|u| (u.to_string(), base_cfg(mode, mode.max_threads(), r, u)))
+            .collect(),
+    );
+}
+
+// ---- ablations -------------------------------------------------------------
+
+/// Counts flush/fence instructions per operation for each policy on each
+/// structure (single-threaded, counting backend) — the quantity the whole
+/// design minimizes, explaining every gap in Figures 5 and 6.
+pub fn ablation_flushes(_mode: Mode) {
+    type CB = Count<Noop>;
+    const OPS: u64 = 2_000;
+
+    fn count_ops<S: DurableSet<u64, u64>>(make: impl FnOnce() -> S) -> (f64, f64) {
+        let cfg = Cfg {
+            threads: 1,
+            range: 2048,
+            prefill: 1024,
+            update_pct: 20,
+            secs: 0.0,
+            seed: 7,
+        };
+        let s = make();
+        prefill(&s, &cfg);
+        use rand::prelude::*;
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        stats::reset();
+        let before = stats::snapshot();
+        for _ in 0..OPS {
+            let k = rng.random_range(0..cfg.range);
+            match rng.random_range(0..100u32) {
+                0..=9 => {
+                    s.insert(k, k);
+                }
+                10..=19 => {
+                    s.remove(k);
+                }
+                _ => {
+                    s.get(k);
+                }
+            }
+        }
+        let d = stats::snapshot().since(before);
+        (d.flushes as f64 / OPS as f64, d.fences as f64 / OPS as f64)
+    }
+
+    println!("\n== abl1: persistence instructions per operation (range 2048, 20% updates) ==");
+    println!(
+        "{:>14}{:>12}{:>14}{:>14}",
+        "structure", "policy", "flushes/op", "fences/op"
+    );
+    let rows: Vec<(&str, &str, (f64, f64))> = vec![
+        ("list", "nvt", count_ops(HarrisList::<u64, u64, NvTraverse<CB>>::new)),
+        ("list", "izr", count_ops(HarrisList::<u64, u64, Izraelevitz<CB>>::new)),
+        ("list", "logfree", count_ops(HarrisList::<u64, u64, LinkPersist<CB>>::new)),
+        ("hash", "nvt", count_ops(|| HashMapDs::<u64, u64, NvTraverse<CB>>::new(1024))),
+        ("hash", "izr", count_ops(|| HashMapDs::<u64, u64, Izraelevitz<CB>>::new(1024))),
+        ("hash", "logfree", count_ops(|| HashMapDs::<u64, u64, LinkPersist<CB>>::new(1024))),
+        ("ellen-bst", "nvt", count_ops(EllenBst::<u64, u64, NvTraverse<CB>>::new)),
+        ("ellen-bst", "izr", count_ops(EllenBst::<u64, u64, Izraelevitz<CB>>::new)),
+        ("nm-bst", "nvt", count_ops(NmBst::<u64, u64, NvTraverse<CB>>::new)),
+        ("nm-bst", "izr", count_ops(NmBst::<u64, u64, Izraelevitz<CB>>::new)),
+        ("skiplist", "nvt", count_ops(SkipList::<u64, u64, NvTraverse<CB>>::new)),
+        ("skiplist", "izr", count_ops(SkipList::<u64, u64, Izraelevitz<CB>>::new)),
+    ];
+    for (ds, policy, (fl, fe)) in rows {
+        println!("{ds:>14}{policy:>12}{fl:>14.2}{fe:>14.2}");
+    }
+}
+
+/// Compares the two `ensureReachable` strategies of §4.1 on the list:
+/// Supplement 2's original-parent field vs. the Lemma 4.1 current-parent
+/// optimization.
+pub fn ablation_parent(mode: Mode) {
+    let series: Vec<Series> = vec![
+        ("cur-parent", list_point::<NvTraverse<Clwb>>),
+        ("orig-parent", list_orig_parent_point::<NvTraverse<Clwb>>),
+    ];
+    run_sweep(
+        "abl2: ensureReachable strategy (Lemma 4.1 optimization vs Supplement 2 field)",
+        "update%",
+        &series,
+        vec![0u32, 20, 50, 100]
+            .into_iter()
+            .map(|u| (u.to_string(), base_cfg(mode, mode.max_threads(), 2048, u)))
+            .collect(),
+    );
+}
+
+/// Every figure id in run order.
+pub const ALL_FIGURES: &[&str] = &[
+    "fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig5f", "fig6g", "fig6h", "fig6i", "fig6j",
+    "fig6k", "fig6l", "fig6m", "fig6n", "fig6o", "abl1", "abl2",
+];
+
+/// Runs one figure by id (or `all`).
+///
+/// # Panics
+///
+/// Panics on an unknown id.
+pub fn run_figure(id: &str, mode: Mode) {
+    match id {
+        "fig5a" => fig5a(mode),
+        "fig5b" => fig5b(mode),
+        "fig5c" => fig5c(mode),
+        "fig5d" => fig5d(mode),
+        "fig5e" => fig5e(mode),
+        "fig5f" => fig5f(mode),
+        "fig6g" => fig6g(mode),
+        "fig6h" => fig6h(mode),
+        "fig6i" => fig6i(mode),
+        "fig6j" => fig6j(mode),
+        "fig6k" => fig6k(mode),
+        "fig6l" => fig6l(mode),
+        "fig6m" => fig6m(mode),
+        "fig6n" => fig6n(mode),
+        "fig6o" => fig6o(mode),
+        "abl1" | "ablation-flushes" => ablation_flushes(mode),
+        "abl2" | "ablation-parent" => ablation_parent(mode),
+        "all" => {
+            for f in ALL_FIGURES {
+                run_figure(f, mode);
+            }
+        }
+        other => panic!("unknown figure id {other:?}; known: {ALL_FIGURES:?} or 'all'"),
+    }
+}

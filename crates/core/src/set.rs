@@ -1,0 +1,59 @@
+//! The uniform set/map interface all evaluated structures implement.
+//!
+//! The paper evaluates five set implementations (list, hash table, two BSTs,
+//! skiplist) under a common harness (§5.1: prefill to half the key range,
+//! uniform keys, insert/delete/lookup mixes). [`DurableSet`] is that common
+//! surface, so benchmarks, stress tests and crash tests are written once.
+
+/// One set operation, used as the driver input for set-shaped structures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp<K, V> {
+    /// Insert `(key, value)`; fails if the key is present.
+    Insert(K, V),
+    /// Remove `key`; fails if absent.
+    Remove(K),
+    /// Look up `key`.
+    Get(K),
+}
+
+/// A concurrent, optionally durable, set/map with 64-bit keys and values.
+///
+/// `insert`/`remove`/`get` are linearizable (and durably linearizable for
+/// durable policies). `len` and `recover` are *not* concurrent operations:
+/// they must be called in quiescent states (testing, and the post-crash
+/// recovery phase, respectively).
+pub trait DurableSet<K, V>: Send + Sync {
+    /// Inserts `key → value`. Returns `false` if the key was already present
+    /// (set semantics: the existing value is kept, as in the paper's C++
+    /// implementations).
+    fn insert(&self, key: K, value: V) -> bool;
+
+    /// Removes `key`, returning `true` if it was present.
+    fn remove(&self, key: K) -> bool;
+
+    /// Returns the value associated with `key`, if any.
+    fn get(&self, key: K) -> Option<V>;
+
+    /// Returns whether `key` is present.
+    fn contains(&self, key: K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of keys present. Quiescent only.
+    fn len(&self) -> usize;
+
+    /// Whether the set is empty. Quiescent only.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Post-crash recovery (paper §4 "Recovery"): runs the structure's
+    /// `disconnect(root)` (Supplement 1) to finish physically deleting every
+    /// marked node, and rebuilds any volatile auxiliary parts (e.g. skiplist
+    /// towers). A no-op for volatile policies.
+    ///
+    /// Must be called before any other operation after a crash, and only
+    /// then (§2: "Processes call the recovery operation before any other
+    /// operation after a crash event").
+    fn recover(&self);
+}

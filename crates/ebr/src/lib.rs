@@ -1,0 +1,637 @@
+//! Epoch-based memory reclamation for the NVTraverse data structures.
+//!
+//! The paper's evaluation (§5.1) manages memory with `ssmem`, an epoch-based
+//! allocator/garbage collector: threads *pin* an epoch while operating on a
+//! structure, removed nodes are *retired* rather than freed, and a retired
+//! node is reclaimed only after every thread has moved two epochs past the
+//! retirement — at which point no thread can still hold a reference to it.
+//!
+//! This crate is a compact, dependency-free implementation of that scheme:
+//!
+//! * [`Collector`] — one per data structure (or shared), holding the global
+//!   epoch and the participant registry.
+//! * [`Collector::pin`] — announce the current epoch; returns a [`Guard`]
+//!   whose lifetime protects any pointer read while pinned.
+//! * [`Guard::retire`] — hand a removed node to the collector for deferred
+//!   reclamation.
+//! * [`Collector::leaking`] — a collector that never reclaims. Crash tests
+//!   use it so that simulated-NVRAM rollback never writes through a dangling
+//!   pointer, mirroring how a persistent heap survives a crash.
+//!
+//! # Example
+//!
+//! ```
+//! use nvtraverse_ebr::Collector;
+//!
+//! let collector = Collector::new();
+//! let guard = collector.pin();
+//! let node = Box::into_raw(Box::new(42u64));
+//! // ... unlink `node` from a shared structure ...
+//! unsafe { guard.retire(node) }; // freed once all threads move on
+//! drop(guard);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use crossbeam_utils::CachePadded;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// How many retires between attempts to advance the global epoch.
+const ADVANCE_EVERY: usize = 64;
+
+/// An object awaiting reclamation.
+struct Retired {
+    ptr: *mut u8,
+    drop_fn: unsafe fn(*mut u8),
+}
+
+// SAFETY: `Retired` is only ever dropped by the collector once no thread can
+// reach the pointer; the pointer itself is not dereferenced until then.
+unsafe impl Send for Retired {}
+
+impl Retired {
+    /// # Safety
+    /// `ptr` must be exclusively owned by the caller (already unlinked).
+    unsafe fn new<T>(ptr: *mut T) -> Self {
+        unsafe fn drop_box<T>(p: *mut u8) {
+            drop(unsafe { Box::from_raw(p as *mut T) });
+        }
+        Retired {
+            ptr: ptr as *mut u8,
+            drop_fn: drop_box::<T>,
+        }
+    }
+
+    /// # Safety
+    /// Callable once, when no thread can still reach the object.
+    unsafe fn reclaim(self) {
+        unsafe { (self.drop_fn)(self.ptr) }
+    }
+}
+
+/// A bag of objects retired during one epoch.
+struct Bag {
+    epoch: u64,
+    items: Vec<Retired>,
+}
+
+/// Per-thread participant record scanned when advancing the epoch.
+struct Record {
+    /// `epoch << 1 | pinned`.
+    state: CachePadded<AtomicU64>,
+    active: AtomicBool,
+}
+
+impl Record {
+    fn pinned_epoch(&self) -> Option<u64> {
+        let s = self.state.load(Ordering::SeqCst);
+        (s & 1 == 1).then_some(s >> 1)
+    }
+}
+
+struct Inner {
+    id: u64,
+    epoch: CachePadded<AtomicU64>,
+    records: Mutex<Vec<Arc<Record>>>,
+    /// Bags abandoned by exited threads, reclaimed by whoever advances next.
+    orphans: Mutex<Vec<Bag>>,
+    leak: bool,
+}
+
+impl Inner {
+    /// Tries to move the global epoch forward by one. Fails if any active
+    /// participant is pinned at an older epoch.
+    fn try_advance(&self) -> bool {
+        let global = self.epoch.load(Ordering::SeqCst);
+        {
+            let records = self.records.lock().unwrap_or_else(|e| e.into_inner());
+            for r in records.iter() {
+                if !r.active.load(Ordering::SeqCst) {
+                    continue;
+                }
+                if let Some(e) = r.pinned_epoch() {
+                    if e != global {
+                        return false;
+                    }
+                }
+            }
+        }
+        self.epoch
+            .compare_exchange(global, global + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Reclaims orphan bags that are at least two epochs old.
+    fn collect_orphans(&self, global: u64) {
+        if self.leak {
+            return;
+        }
+        let ready: Vec<Bag> = {
+            let mut orphans = self.orphans.lock().unwrap_or_else(|e| e.into_inner());
+            let (ready, keep): (Vec<_>, Vec<_>) =
+                orphans.drain(..).partition(|b| b.epoch + 2 <= global);
+            *orphans = keep;
+            ready
+        };
+        for bag in ready {
+            for item in bag.items {
+                unsafe { item.reclaim() };
+            }
+        }
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // No handle can be alive (they hold an Arc on us), so everything
+        // still queued is unreachable and safe to free.
+        let orphans = std::mem::take(self.orphans.get_mut().unwrap_or_else(|e| e.into_inner()));
+        for bag in orphans {
+            for item in bag.items {
+                unsafe { item.reclaim() };
+            }
+        }
+    }
+}
+
+/// An epoch-based garbage collector.
+///
+/// Cloning shares the same collector. Typically a data structure owns one
+/// collector and pins it at the start of each operation.
+#[derive(Clone)]
+pub struct Collector {
+    inner: Arc<Inner>,
+}
+
+impl fmt::Debug for Collector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Collector")
+            .field("epoch", &self.epoch())
+            .field("leaking", &self.inner.leak)
+            .finish()
+    }
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+static NEXT_COLLECTOR_ID: AtomicU64 = AtomicU64::new(1);
+
+impl Collector {
+    fn with_leak(leak: bool) -> Self {
+        Collector {
+            inner: Arc::new(Inner {
+                id: NEXT_COLLECTOR_ID.fetch_add(1, Ordering::Relaxed),
+                epoch: CachePadded::new(AtomicU64::new(0)),
+                records: Mutex::new(Vec::new()),
+                orphans: Mutex::new(Vec::new()),
+                leak,
+            }),
+        }
+    }
+
+    /// Creates a collector that reclaims retired objects after two epochs.
+    pub fn new() -> Self {
+        Self::with_leak(false)
+    }
+
+    /// Creates a collector that never reclaims.
+    ///
+    /// Used by the crash tests: simulated-crash rollback writes the persisted
+    /// bits back into every registered cell, so node memory must stay valid
+    /// for the whole test — exactly as a persistent heap would keep it.
+    pub fn leaking() -> Self {
+        Self::with_leak(true)
+    }
+
+    /// Returns whether this collector leaks instead of reclaiming.
+    pub fn is_leaking(&self) -> bool {
+        self.inner.leak
+    }
+
+    /// The current global epoch (monotonically increasing from 0).
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Pins the current thread, returning a guard that keeps every pointer
+    /// read during its lifetime safe from reclamation. Pins nest.
+    pub fn pin(&self) -> Guard {
+        let handle = local_handle(self);
+        handle.pin();
+        Guard { handle }
+    }
+
+    /// Makes a best effort to advance the epoch and reclaim everything this
+    /// thread and exited threads have retired. Intended for tests and
+    /// shutdown paths, not the hot path.
+    pub fn synchronize(&self) {
+        for _ in 0..3 {
+            self.inner.try_advance();
+        }
+        let global = self.epoch();
+        self.inner.collect_orphans(global);
+        let handle = local_handle(self);
+        handle.seal_current();
+        handle.collect(global);
+    }
+
+    /// Number of objects this thread has retired that are not yet reclaimed.
+    pub fn local_garbage(&self) -> usize {
+        let handle = local_handle(self);
+        let bags = handle.bags.borrow();
+        let current = handle.current.borrow();
+        bags.iter().map(|b| b.items.len()).sum::<usize>() + current.len()
+    }
+}
+
+struct HandleInner {
+    collector: Arc<Inner>,
+    record: Arc<Record>,
+    /// Sealed bags, oldest first.
+    bags: RefCell<VecDeque<Bag>>,
+    /// Items retired in `current_epoch`, not yet sealed.
+    current: RefCell<Vec<Retired>>,
+    current_epoch: std::cell::Cell<u64>,
+    pin_depth: std::cell::Cell<usize>,
+    retires_since_advance: std::cell::Cell<usize>,
+}
+
+impl HandleInner {
+    fn pin(&self) {
+        let depth = self.pin_depth.get();
+        if depth == 0 {
+            // Announce our epoch; re-read to make sure the announcement is
+            // visible before we trust `e` (standard EBR handshake).
+            let mut e = self.collector.epoch.load(Ordering::SeqCst);
+            loop {
+                self.record.state.store(e << 1 | 1, Ordering::SeqCst);
+                let now = self.collector.epoch.load(Ordering::SeqCst);
+                if now == e {
+                    break;
+                }
+                e = now;
+            }
+            if e != self.current_epoch.get() {
+                self.seal_current();
+                self.current_epoch.set(e);
+            }
+            self.collect(e);
+        }
+        self.pin_depth.set(depth + 1);
+    }
+
+    fn unpin(&self) {
+        let depth = self.pin_depth.get();
+        debug_assert!(depth > 0);
+        if depth == 1 {
+            let e = self.current_epoch.get();
+            self.record.state.store(e << 1, Ordering::SeqCst);
+        }
+        self.pin_depth.set(depth - 1);
+    }
+
+    fn seal_current(&self) {
+        let items = std::mem::take(&mut *self.current.borrow_mut());
+        if !items.is_empty() {
+            self.bags.borrow_mut().push_back(Bag {
+                epoch: self.current_epoch.get(),
+                items,
+            });
+        }
+    }
+
+    /// Frees every sealed bag that is two epochs old.
+    fn collect(&self, global: u64) {
+        if self.collector.leak {
+            return;
+        }
+        loop {
+            let bag = {
+                let mut bags = self.bags.borrow_mut();
+                match bags.front() {
+                    Some(b) if b.epoch + 2 <= global => bags.pop_front(),
+                    _ => None,
+                }
+            };
+            match bag {
+                Some(bag) => {
+                    for item in bag.items {
+                        unsafe { item.reclaim() };
+                    }
+                }
+                None => break,
+            }
+        }
+        self.collector.collect_orphans(global);
+    }
+
+    fn retire(&self, item: Retired) {
+        if self.collector.leak {
+            // Deliberately forget: the object must stay valid forever.
+            std::mem::forget(item);
+            return;
+        }
+        self.current.borrow_mut().push(item);
+        let n = self.retires_since_advance.get() + 1;
+        if n >= ADVANCE_EVERY {
+            self.retires_since_advance.set(0);
+            if self.collector.try_advance() {
+                let global = self.collector.epoch.load(Ordering::SeqCst);
+                self.collect(global);
+            }
+        } else {
+            self.retires_since_advance.set(n);
+        }
+    }
+}
+
+impl Drop for HandleInner {
+    fn drop(&mut self) {
+        self.record.active.store(false, Ordering::SeqCst);
+        self.seal_current();
+        let bags: Vec<Bag> = self.bags.borrow_mut().drain(..).collect();
+        if !bags.is_empty() {
+            self.collector
+                .orphans
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .extend(bags);
+        }
+    }
+}
+
+thread_local! {
+    static HANDLES: RefCell<HashMap<u64, Rc<HandleInner>>> = RefCell::new(HashMap::new());
+}
+
+fn local_handle(collector: &Collector) -> Rc<HandleInner> {
+    HANDLES.with(|map| {
+        let mut map = map.borrow_mut();
+        if let Some(h) = map.get(&collector.inner.id) {
+            return Rc::clone(h);
+        }
+        let record = Arc::new(Record {
+            state: CachePadded::new(AtomicU64::new(0)),
+            active: AtomicBool::new(true),
+        });
+        collector
+            .inner
+            .records
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Arc::clone(&record));
+        let handle = Rc::new(HandleInner {
+            collector: Arc::clone(&collector.inner),
+            record,
+            bags: RefCell::new(VecDeque::new()),
+            current: RefCell::new(Vec::new()),
+            current_epoch: std::cell::Cell::new(0),
+            pin_depth: std::cell::Cell::new(0),
+            retires_since_advance: std::cell::Cell::new(0),
+        });
+        map.insert(collector.inner.id, Rc::clone(&handle));
+        handle
+    })
+}
+
+/// An RAII pin on the collector's current epoch.
+///
+/// While any guard is alive on a thread, no object retired at the pinned
+/// epoch (or later) is reclaimed, so pointers read from the structure stay
+/// valid. Guards are `!Send` — they belong to the pinning thread.
+pub struct Guard {
+    handle: Rc<HandleInner>,
+}
+
+impl fmt::Debug for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Guard")
+            .field("epoch", &self.handle.current_epoch.get())
+            .finish()
+    }
+}
+
+impl Guard {
+    /// Retires an unlinked object; it is dropped (as a `Box<T>`) once every
+    /// thread has advanced two epochs.
+    ///
+    /// # Safety
+    ///
+    /// * `ptr` must have been allocated by `Box::<T>::new` and be fully
+    ///   unlinked: no *new* references to it can be created after this call.
+    /// * `retire` must be called at most once per object.
+    pub unsafe fn retire<T>(&self, ptr: *mut T) {
+        self.handle.retire(unsafe { Retired::new(ptr) });
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        self.handle.unpin();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Per-test drop counter (a shared static would race between tests).
+    struct Counted(Arc<AtomicUsize>);
+    impl Drop for Counted {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn counter() -> Arc<AtomicUsize> {
+        Arc::new(AtomicUsize::new(0))
+    }
+
+    #[test]
+    fn retired_objects_are_eventually_dropped() {
+        let c = Collector::new();
+        let n = counter();
+        for _ in 0..10 {
+            let g = c.pin();
+            unsafe { g.retire(Box::into_raw(Box::new(Counted(Arc::clone(&n))))) };
+        }
+        c.synchronize();
+        c.synchronize();
+        assert_eq!(n.load(Ordering::SeqCst), 10, "retired objects never reclaimed");
+    }
+
+    #[test]
+    fn nothing_is_dropped_while_pinned_elsewhere() {
+        let c = Collector::new();
+        let c2 = c.clone();
+        let (started_tx, started_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let t = std::thread::spawn(move || {
+            let _g = c2.pin();
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        });
+        started_rx.recv().unwrap();
+
+        struct Flagged(Arc<AtomicBool>);
+        impl Drop for Flagged {
+            fn drop(&mut self) {
+                self.0.store(true, Ordering::SeqCst);
+            }
+        }
+        let freed = Arc::new(AtomicBool::new(false));
+        {
+            let g = c.pin();
+            unsafe { g.retire(Box::into_raw(Box::new(Flagged(Arc::clone(&freed))))) };
+        }
+        for _ in 0..8 {
+            c.synchronize();
+        }
+        assert!(
+            !freed.load(Ordering::SeqCst),
+            "object freed while another thread was pinned at its epoch"
+        );
+        release_tx.send(()).unwrap();
+        t.join().unwrap();
+        for _ in 0..8 {
+            c.synchronize();
+        }
+        assert!(freed.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn leaking_collector_never_reclaims() {
+        let c = Collector::leaking();
+        assert!(c.is_leaking());
+        let n = counter();
+        {
+            let g = c.pin();
+            unsafe { g.retire(Box::into_raw(Box::new(Counted(Arc::clone(&n))))) };
+        }
+        for _ in 0..8 {
+            c.synchronize();
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn pins_nest() {
+        let c = Collector::new();
+        let g1 = c.pin();
+        let g2 = c.pin();
+        drop(g1);
+        // Still pinned: the epoch cannot advance past us twice.
+        let e = c.epoch();
+        c.synchronize();
+        c.synchronize();
+        assert!(c.epoch() <= e + 1, "epoch advanced twice while pinned");
+        drop(g2);
+    }
+
+    #[test]
+    fn epoch_advances_when_unpinned() {
+        let c = Collector::new();
+        let e = c.epoch();
+        c.synchronize();
+        assert!(c.epoch() > e);
+    }
+
+    #[test]
+    fn exiting_thread_orphans_are_reclaimed() {
+        let c = Collector::new();
+        let n = counter();
+        let c2 = c.clone();
+        let n2 = Arc::clone(&n);
+        std::thread::spawn(move || {
+            let g = c2.pin();
+            for _ in 0..5 {
+                unsafe { g.retire(Box::into_raw(Box::new(Counted(Arc::clone(&n2))))) };
+            }
+        })
+        .join()
+        .unwrap();
+        for _ in 0..8 {
+            c.synchronize();
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 5, "orphan bags were lost");
+    }
+
+    #[test]
+    fn collector_drop_reclaims_leftovers() {
+        let n = counter();
+        let c2 = Collector::new();
+        let n2 = Arc::clone(&n);
+        std::thread::spawn(move || {
+            let g = c2.pin();
+            for _ in 0..5 {
+                unsafe { g.retire(Box::into_raw(Box::new(Counted(Arc::clone(&n2))))) };
+            }
+            // thread exits; collector dropped right after
+        })
+        .join()
+        .unwrap();
+        assert_eq!(n.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn concurrent_stress_retires_everything() {
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 500;
+        let c = Collector::new();
+        let n = counter();
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let c = c.clone();
+                let n = Arc::clone(&n);
+                s.spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        let g = c.pin();
+                        unsafe { g.retire(Box::into_raw(Box::new(Counted(Arc::clone(&n))))) };
+                    }
+                });
+            }
+        });
+        // `thread::scope` can return before worker TLS destructors finish
+        // publishing their orphan bags, so poll rather than assert once.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while n.load(Ordering::SeqCst) < THREADS * PER_THREAD
+            && std::time::Instant::now() < deadline
+        {
+            c.synchronize();
+            std::thread::yield_now();
+        }
+        assert_eq!(n.load(Ordering::SeqCst), THREADS * PER_THREAD);
+    }
+
+    #[test]
+    fn two_collectors_are_independent() {
+        let a = Collector::new();
+        let b = Collector::new();
+        let _ga = a.pin();
+        // Pinned `a` must not stop `b` from advancing.
+        let e = b.epoch();
+        b.synchronize();
+        assert!(b.epoch() > e);
+    }
+
+    #[test]
+    fn local_garbage_reports_pending() {
+        let c = Collector::new();
+        let n = counter();
+        let g = c.pin();
+        unsafe { g.retire(Box::into_raw(Box::new(Counted(n)))) };
+        assert!(c.local_garbage() >= 1);
+        drop(g);
+    }
+}

@@ -1,0 +1,338 @@
+//! Flush/fence backends: what the persistence instructions actually *do*.
+//!
+//! The paper's persistency model (§2) has exactly two explicit instructions:
+//! a *flush* that initiates write-back of a cache line, and a *fence* that
+//! waits until every line flushed by this thread since its last fence has
+//! reached persistent memory. The [`Backend`] trait captures that pair; the
+//! durability policies in the `nvtraverse` crate decide *where* to call them.
+
+use crate::sim;
+
+/// Size in bytes of one cache line, the granularity of hardware flushes.
+pub const CACHE_LINE: usize = 64;
+
+/// A flush/fence implementation.
+///
+/// Implementations are zero-sized types used as type parameters; all methods
+/// are static so the compiler monomorphizes and (for [`Noop`]) fully erases
+/// them.
+///
+/// The paper evaluates on two machines: a Cascade Lake Xeon using
+/// `clwb` + `sfence` ([`Clwb`]) and an older AMD machine where `clwb` is
+/// unavailable and a synchronized `clflush` is used instead
+/// ([`ClflushSync`]).
+pub trait Backend: Send + Sync + 'static {
+    /// `true` when this backend routes through the crash simulator.
+    ///
+    /// Cells consult this constant so simulator bookkeeping compiles away
+    /// entirely for hardware backends.
+    const SIM: bool = false;
+
+    /// Initiates write-back of the cache line containing `addr`.
+    ///
+    /// The data is only guaranteed persistent after a subsequent
+    /// [`Backend::fence`] by the same thread.
+    fn flush(addr: *const u8);
+
+    /// Waits until all lines flushed by this thread since its previous fence
+    /// are persistent.
+    fn fence();
+
+    /// Flushes every cache line overlapping `[addr, addr + len)`.
+    ///
+    /// Used to persist a freshly initialized node in one call; deduplicates
+    /// by line so a multi-field node on a single line costs one flush.
+    fn flush_range(addr: *const u8, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let start = addr as usize & !(CACHE_LINE - 1);
+        let end = addr as usize + len - 1;
+        let mut line = start;
+        loop {
+            Self::flush(line as *const u8);
+            if line >= end & !(CACHE_LINE - 1) {
+                break;
+            }
+            line += CACHE_LINE;
+        }
+    }
+}
+
+/// A backend whose flush and fence are no-ops.
+///
+/// Instantiating a durability policy with `Noop` yields the original,
+/// non-durable algorithm — the "orig" series in every figure of the paper.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Noop;
+
+impl Backend for Noop {
+    #[inline(always)]
+    fn flush(_addr: *const u8) {}
+    #[inline(always)]
+    fn fence() {}
+    #[inline(always)]
+    fn flush_range(_addr: *const u8, _len: usize) {}
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    const UNKNOWN: u8 = 0;
+    const CLWB: u8 = 1;
+    const CLFLUSHOPT: u8 = 2;
+    const CLFLUSH: u8 = 3;
+
+    static BEST: AtomicU8 = AtomicU8::new(UNKNOWN);
+
+    fn detect() -> u8 {
+        // CPUID leaf 7, sub-leaf 0: EBX bit 24 = CLWB, bit 23 = CLFLUSHOPT.
+        let ebx = if std::arch::x86_64::__cpuid(0).eax >= 7 {
+            std::arch::x86_64::__cpuid_count(7, 0).ebx
+        } else {
+            0
+        };
+        let best = if ebx & (1 << 24) != 0 {
+            CLWB
+        } else if ebx & (1 << 23) != 0 {
+            CLFLUSHOPT
+        } else {
+            CLFLUSH
+        };
+        BEST.store(best, Ordering::Relaxed);
+        best
+    }
+
+    /// Issues the best available write-back instruction for `addr`'s line.
+    #[inline]
+    pub fn flush_writeback(addr: *const u8) {
+        let mut best = BEST.load(Ordering::Relaxed);
+        if best == UNKNOWN {
+            best = detect();
+        }
+        unsafe {
+            match best {
+                CLWB => {
+                    std::arch::asm!(
+                        "clwb [{0}]",
+                        in(reg) addr,
+                        options(nostack, preserves_flags)
+                    );
+                }
+                CLFLUSHOPT => {
+                    std::arch::asm!(
+                        "clflushopt [{0}]",
+                        in(reg) addr,
+                        options(nostack, preserves_flags)
+                    );
+                }
+                _ => std::arch::x86_64::_mm_clflush(addr),
+            }
+        }
+    }
+
+    /// Issues `clflush`, which is ordered (synchronized) on its own.
+    #[inline]
+    pub fn flush_sync(addr: *const u8) {
+        unsafe { std::arch::x86_64::_mm_clflush(addr) }
+    }
+
+    /// Issues `sfence`.
+    #[inline]
+    pub fn sfence() {
+        unsafe { std::arch::x86_64::_mm_sfence() }
+    }
+}
+
+/// Hardware flush via `clwb` (falling back to `clflushopt`, then `clflush`)
+/// and fence via `sfence`.
+///
+/// This is the configuration of the paper's NVRAM machine (Cascade Lake
+/// supports `clwb`; §5.1). On non-x86-64 targets the flush is a no-op and the
+/// fence is a sequentially consistent memory fence, preserving correctness of
+/// the concurrent algorithm while losing persistence (there is no NVRAM to
+/// persist to on such targets anyway).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Clwb;
+
+impl Backend for Clwb {
+    #[inline]
+    fn flush(addr: *const u8) {
+        #[cfg(target_arch = "x86_64")]
+        x86::flush_writeback(addr);
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = addr;
+    }
+
+    #[inline]
+    fn fence() {
+        #[cfg(target_arch = "x86_64")]
+        x86::sfence();
+        #[cfg(not(target_arch = "x86_64"))]
+        std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+/// Hardware flush via the synchronized `clflush` instruction.
+///
+/// This matches the paper's second (AMD) machine, where `clwb` is not
+/// supported "so we used the synchronized clflush instruction instead"
+/// (§5.1). `clflush` both writes back and *invalidates* the line, which is
+/// why the paper observes extra cache misses from flushing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClflushSync;
+
+impl Backend for ClflushSync {
+    #[inline]
+    fn flush(addr: *const u8) {
+        #[cfg(target_arch = "x86_64")]
+        x86::flush_sync(addr);
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = addr;
+    }
+
+    #[inline]
+    fn fence() {
+        #[cfg(target_arch = "x86_64")]
+        x86::sfence();
+        #[cfg(not(target_arch = "x86_64"))]
+        std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+/// Wraps another backend and counts every flush and fence in the global
+/// [`crate::stats`] counters.
+///
+/// The ablation benchmark `abl1` uses `Count<Noop>` to report the exact
+/// number of persistence instructions each durability policy issues per
+/// operation — the quantity the paper's entire design minimizes.
+///
+/// # Example
+///
+/// ```
+/// use nvtraverse_pmem::{stats, Backend, Count, Noop};
+///
+/// stats::reset();
+/// Count::<Noop>::flush(std::ptr::null());
+/// Count::<Noop>::fence();
+/// let snap = stats::snapshot();
+/// assert!(snap.flushes >= 1 && snap.fences >= 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Count<B>(std::marker::PhantomData<fn() -> B>);
+
+impl<B: Backend> Backend for Count<B> {
+    const SIM: bool = B::SIM;
+
+    #[inline]
+    fn flush(addr: *const u8) {
+        crate::stats::record_flush();
+        B::flush(addr);
+    }
+
+    #[inline]
+    fn fence() {
+        crate::stats::record_fence();
+        B::fence();
+    }
+}
+
+/// The crash-simulating backend.
+///
+/// All [`crate::PCell`] accesses, flushes, and fences are routed through the
+/// thread's active [`sim::SimHandle`] (established with
+/// [`sim::SimHandle::enter`]), which maintains a persisted copy of every
+/// cell, buffers flushes per thread, publishes them at fences, and can
+/// *crash*: roll every cell back to its persisted copy, poisoning cells that
+/// were never persisted.
+///
+/// # Panics
+///
+/// Any simulated access panics with [`crate::CrashSignal`] once a crash has
+/// been armed and reached — this is how the crash-point tests interrupt an
+/// operation mid-flight. Accessing a `Sim`-backed cell without an active
+/// handle also panics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sim;
+
+impl Backend for Sim {
+    const SIM: bool = true;
+
+    #[inline]
+    fn flush(addr: *const u8) {
+        sim::on_flush(addr as usize);
+    }
+
+    #[inline]
+    fn fence() {
+        sim::on_fence();
+    }
+
+    /// In the simulator, flushes operate on 8-byte cells rather than cache
+    /// lines, which is strictly more adversarial (no free neighbours).
+    fn flush_range(addr: *const u8, len: usize) {
+        let start = addr as usize & !7;
+        let mut a = start;
+        while a < addr as usize + len {
+            sim::on_flush(a);
+            a += 8;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_backend_is_callable() {
+        let x = 1u64;
+        Noop::flush(&x as *const u64 as *const u8);
+        Noop::fence();
+        Noop::flush_range(&x as *const u64 as *const u8, 8);
+    }
+
+    #[test]
+    fn hardware_flush_and_fence_execute() {
+        // Smoke test: the real instructions must not fault on valid memory.
+        let data = vec![0u8; 256];
+        for b in 0..4 {
+            match b {
+                0 => {
+                    Clwb::flush(data.as_ptr());
+                    Clwb::fence();
+                }
+                1 => {
+                    ClflushSync::flush(data.as_ptr());
+                    ClflushSync::fence();
+                }
+                2 => Clwb::flush_range(data.as_ptr(), 256),
+                _ => ClflushSync::flush_range(data.as_ptr(), 1),
+            }
+        }
+    }
+
+    #[test]
+    fn flush_range_covers_every_line_once() {
+        // A 128-byte unaligned range spans exactly 3 lines; Count records 3.
+        let _g = crate::stats::test_guard();
+        let before = crate::stats::snapshot();
+        let data = vec![0u8; 256];
+        let unaligned = unsafe { data.as_ptr().add(32) };
+        Count::<Noop>::flush_range(unaligned, 128);
+        assert_eq!(crate::stats::snapshot().since(before).flushes, 3);
+    }
+
+    #[test]
+    fn count_records_flushes_and_fences() {
+        let _g = crate::stats::test_guard();
+        let before = crate::stats::snapshot();
+        let x = 0u64;
+        Count::<Noop>::flush(&x as *const u64 as *const u8);
+        Count::<Noop>::flush(&x as *const u64 as *const u8);
+        Count::<Noop>::fence();
+        let s = crate::stats::snapshot().since(before);
+        assert_eq!((s.flushes, s.fences), (2, 1));
+    }
+}

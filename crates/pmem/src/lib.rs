@@ -1,0 +1,49 @@
+//! Persistent-memory substrate for the NVTraverse reproduction.
+//!
+//! The NVTraverse paper (PLDI 2020) targets machines with byte-addressable
+//! non-volatile memory (Intel Optane DC): caches are volatile, main memory is
+//! persistent, and a program persists a value explicitly by executing a
+//! *flush* (`clwb`/`clflushopt`/`clflush`) followed by a *fence* (`sfence`).
+//! A crash loses everything that has not reached persistent memory.
+//!
+//! This crate provides that model twice:
+//!
+//! * **Hardware backends** ([`Clwb`], [`ClflushSync`]) issue the real x86-64
+//!   instructions (falling back gracefully on other architectures). They give
+//!   benchmarks the true cost profile of flushes and fences even when the
+//!   physical memory behind them is DRAM.
+//! * **A simulated backend** ([`Sim`]) models the paper's §2 persistency
+//!   semantics exactly: every shared 64-bit cell ([`PCell`]) keeps a separate
+//!   *persisted* copy, flushes are buffered per thread, a fence publishes the
+//!   buffered flushes, and a *crash* rolls every cell back to its persisted
+//!   copy — poisoning cells that were never persisted. This is the engine of
+//!   the crash tests that validate durable linearizability.
+//!
+//! The two are unified behind the [`Backend`] trait so data structures can be
+//! written once and instantiated with any backend.
+//!
+//! # Example
+//!
+//! ```
+//! use nvtraverse_pmem::{Backend, Clwb, PCell};
+//!
+//! let cell: PCell<u64, Clwb> = PCell::new(7);
+//! cell.store(8);
+//! Clwb::flush(cell.addr());
+//! Clwb::fence(); // 8 is now guaranteed persistent on real NVRAM
+//! assert_eq!(cell.load(), 8);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod backend;
+mod cell;
+pub mod sim;
+pub mod stats;
+mod word;
+
+pub use backend::{Backend, ClflushSync, Clwb, Count, Noop, Sim, CACHE_LINE};
+pub use cell::PCell;
+pub use sim::{CrashSignal, SimHandle, POISON};
+pub use word::Word;

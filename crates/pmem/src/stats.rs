@@ -1,0 +1,105 @@
+//! Global flush/fence counters used by the [`crate::Count`] backend.
+//!
+//! The paper's central claim is quantitative: NVTraverse issues a *constant*
+//! number of flushes and fences per operation (after the traversal), while
+//! the Izraelevitz et al. transform issues one pair per shared access. The
+//! ablation benchmark counts both through these counters.
+//!
+//! Counters are process-global and monotone; callers measure deltas with
+//! [`snapshot`] or start fresh with [`reset`]. Tests that assert exact counts
+//! should serialize on their own lock — the counters are shared.
+
+use crossbeam_utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static FLUSHES: CachePadded<AtomicU64> = CachePadded::new(AtomicU64::new(0));
+static FENCES: CachePadded<AtomicU64> = CachePadded::new(AtomicU64::new(0));
+
+/// A point-in-time reading of the persistence-instruction counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Number of flush instructions recorded since the last [`reset`].
+    pub flushes: u64,
+    /// Number of fence instructions recorded since the last [`reset`].
+    pub fences: u64,
+}
+
+impl Snapshot {
+    /// Returns the counter increments between `earlier` and `self`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use nvtraverse_pmem::stats;
+    ///
+    /// let before = stats::snapshot();
+    /// stats::record_flush();
+    /// let delta = stats::snapshot().since(before);
+    /// assert!(delta.flushes >= 1);
+    /// ```
+    #[must_use]
+    pub fn since(self, earlier: Snapshot) -> Snapshot {
+        Snapshot {
+            flushes: self.flushes.wrapping_sub(earlier.flushes),
+            fences: self.fences.wrapping_sub(earlier.fences),
+        }
+    }
+}
+
+/// Records one flush instruction.
+#[inline]
+pub fn record_flush() {
+    FLUSHES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one fence instruction.
+#[inline]
+pub fn record_fence() {
+    FENCES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Reads both counters.
+pub fn snapshot() -> Snapshot {
+    Snapshot {
+        flushes: FLUSHES.load(Ordering::Relaxed),
+        fences: FENCES.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets both counters to zero.
+pub fn reset() {
+    FLUSHES.store(0, Ordering::Relaxed);
+    FENCES.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_are_computed_with_since() {
+        let _g = test_guard();
+        let before = snapshot();
+        record_flush();
+        record_flush();
+        record_fence();
+        let d = snapshot().since(before);
+        assert_eq!((d.flushes, d.fences), (2, 1));
+    }
+
+    #[test]
+    fn reset_zeroes_both_counters() {
+        let _g = test_guard();
+        record_flush();
+        record_fence();
+        reset();
+        let s = snapshot();
+        assert_eq!((s.flushes, s.fences), (0, 0));
+    }
+}

@@ -1,0 +1,205 @@
+//! The [`Word`] encoding used by every shared field in the reproduction.
+//!
+//! The paper's evaluation stores 8-byte keys and values (§5.1). We mirror
+//! that: every shared mutable field of every node is a 64-bit word stored in a
+//! [`crate::PCell`]. This is what makes crash simulation airtight — the
+//! simulator can snapshot, roll back, and poison any field uniformly.
+
+/// A value that round-trips losslessly through a 64-bit word.
+///
+/// Implemented for the integer primitives, `bool`, `f64` (by bit pattern),
+/// `char`, and raw pointers. Data structures in this repository require their
+/// key and value types to implement `Word`; larger payloads are stored
+/// out-of-line behind a pointer, exactly as the paper's C++ implementation
+/// stores 8-byte values.
+///
+/// # Example
+///
+/// ```
+/// use nvtraverse_pmem::Word;
+///
+/// assert_eq!(u64::from_bits(42u64.to_bits()), 42);
+/// assert_eq!(i64::from_bits((-1i64).to_bits()), -1);
+/// assert!(bool::from_bits(true.to_bits()));
+/// ```
+pub trait Word: Copy {
+    /// Encodes `self` into a 64-bit word.
+    fn to_bits(self) -> u64;
+
+    /// Decodes a value previously produced by [`Word::to_bits`].
+    ///
+    /// Decoding bits that were not produced by `to_bits` for the same type is
+    /// allowed to return an arbitrary value but must not have side effects.
+    fn from_bits(bits: u64) -> Self;
+}
+
+macro_rules! impl_word_uint {
+    ($($t:ty),*) => {$(
+        impl Word for $t {
+            #[inline]
+            fn to_bits(self) -> u64 {
+                self as u64
+            }
+            #[inline]
+            fn from_bits(bits: u64) -> Self {
+                bits as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_word_int {
+    ($($t:ty),*) => {$(
+        impl Word for $t {
+            #[inline]
+            fn to_bits(self) -> u64 {
+                self as i64 as u64
+            }
+            #[inline]
+            fn from_bits(bits: u64) -> Self {
+                bits as i64 as $t
+            }
+        }
+    )*};
+}
+
+impl_word_uint!(u8, u16, u32, u64, usize);
+impl_word_int!(i8, i16, i32, i64, isize);
+
+impl Word for bool {
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        bits != 0
+    }
+}
+
+impl Word for () {
+    #[inline]
+    fn to_bits(self) -> u64 {
+        0
+    }
+    #[inline]
+    fn from_bits(_: u64) -> Self {}
+}
+
+impl Word for f64 {
+    #[inline]
+    fn to_bits(self) -> u64 {
+        f64::to_bits(self)
+    }
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
+}
+
+impl Word for char {
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        char::from_u32(bits as u32).unwrap_or('\u{FFFD}')
+    }
+}
+
+impl<T> Word for *mut T {
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self as usize as u64
+    }
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        bits as usize as *mut T
+    }
+}
+
+impl<T> Word for *const T {
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self as usize as u64
+    }
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        bits as usize as *const T
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsigned_round_trip() {
+        for v in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(u64::from_bits(v.to_bits()), v);
+        }
+        assert_eq!(u32::from_bits(7u32.to_bits()), 7);
+        assert_eq!(usize::from_bits(usize::MAX.to_bits()), usize::MAX);
+        assert_eq!(u8::from_bits(255u8.to_bits()), 255);
+        assert_eq!(u16::from_bits(65535u16.to_bits()), 65535);
+    }
+
+    #[test]
+    fn signed_round_trip_preserves_sign() {
+        for v in [i64::MIN, -1, 0, 1, i64::MAX] {
+            assert_eq!(i64::from_bits(v.to_bits()), v);
+        }
+        assert_eq!(i32::from_bits((-5i32).to_bits()), -5);
+        assert_eq!(isize::from_bits((-1isize).to_bits()), -1);
+        assert_eq!(i8::from_bits((-128i8).to_bits()), -128);
+    }
+
+    #[test]
+    fn signed_order_is_preserved_through_decode() {
+        // Ordering must be computed on the decoded value, not the bits:
+        // -1 encodes to u64::MAX which is bit-wise *larger* than 0.
+        let neg = (-1i64).to_bits();
+        let zero = 0i64.to_bits();
+        assert!(neg > zero, "bit order differs from value order");
+        assert!(i64::from_bits(neg) < i64::from_bits(zero));
+    }
+
+    #[test]
+    fn bool_round_trip() {
+        assert!(bool::from_bits(true.to_bits()));
+        assert!(!bool::from_bits(false.to_bits()));
+        assert!(bool::from_bits(2)); // any nonzero decodes to true
+    }
+
+    #[test]
+    fn float_round_trip() {
+        for v in [0.0f64, -0.0, 1.5, f64::INFINITY, f64::MIN_POSITIVE] {
+            assert_eq!(f64::from_bits(Word::to_bits(v)), v);
+        }
+        let nan = <f64 as Word>::from_bits(Word::to_bits(f64::NAN));
+        assert!(nan.is_nan());
+    }
+
+    #[test]
+    fn char_round_trip() {
+        for c in ['a', 'π', '\u{10FFFF}'] {
+            assert_eq!(char::from_bits(c.to_bits()), c);
+        }
+        // Invalid scalar values decode to the replacement character.
+        assert_eq!(char::from_bits(0xD800), '\u{FFFD}');
+    }
+
+    #[test]
+    fn pointer_round_trip() {
+        let x = 5u32;
+        let p = &x as *const u32;
+        assert_eq!(<*const u32 as Word>::from_bits(p.to_bits()), p);
+        let m = 0x1000 as *mut u8;
+        assert_eq!(<*mut u8 as Word>::from_bits(m.to_bits()), m);
+        assert_eq!(
+            <*mut u8 as Word>::from_bits(std::ptr::null_mut::<u8>().to_bits()),
+            std::ptr::null_mut()
+        );
+    }
+}

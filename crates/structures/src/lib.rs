@@ -1,0 +1,77 @@
+//! Traversal-form lock-free data structures for the NVTraverse reproduction.
+//!
+//! Every structure evaluated in the paper's §5, written once against the
+//! [`Durability`](nvtraverse::Durability) policy interface so the same code
+//! instantiates as the original algorithm, the NVTraverse version, the
+//! Izraelevitz et al. baseline, or the link-and-persist ("Log Free")
+//! competitor:
+//!
+//! * [`list::HarrisList`] — Harris's sorted linked list (the running example,
+//!   paper §2.1/§4.4),
+//! * [`hash::HashMapDs`] — fixed-size bucket array of Harris lists (David et
+//!   al. style),
+//! * [`ellen_bst::EllenBst`] — Ellen et al.'s non-blocking external BST,
+//! * [`nm_bst::NmBst`] — Natarajan & Mittal's edge-marking external BST,
+//! * [`skiplist::SkipList`] — a lock-free skiplist whose bottom level is the
+//!   persistent core tree and whose towers are volatile and rebuilt on
+//!   recovery (paper §3, Property 2 discussion),
+//! * [`queue::MsQueue`] / [`stack::TreiberStack`] — queue and stack in
+//!   traversal form (paper §3: "traversal data structures capture not just
+//!   set data structures, but also queues, stacks, …").
+//!
+//! # Example
+//!
+//! ```
+//! use nvtraverse::policy::NvTraverse;
+//! use nvtraverse::DurableSet;
+//! use nvtraverse_pmem::Clwb;
+//! use nvtraverse_structures::list::HarrisList;
+//!
+//! // A durably linearizable sorted list on real flush instructions.
+//! let list: HarrisList<u64, u64, NvTraverse<Clwb>> = HarrisList::new();
+//! assert!(list.insert(3, 30));
+//! assert!(list.contains(3));
+//! assert!(list.remove(3));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ellen_bst;
+pub mod hash;
+pub mod list;
+pub mod nm_bst;
+pub mod pqueue;
+pub mod queue;
+pub mod skiplist;
+pub mod stack;
+
+/// Convenient aliases for the common instantiations of every structure.
+pub mod prelude {
+    use nvtraverse::policy::{Izraelevitz, LinkPersist, NvTraverse, Volatile};
+    use nvtraverse_pmem::Clwb;
+
+    /// The paper's "Traverse" series: NVTraverse on hardware flushes.
+    pub type DurableList<K, V> = crate::list::HarrisList<K, V, NvTraverse<Clwb>>;
+    /// The paper's "orig" series: no persistence.
+    pub type VolatileList<K, V> = crate::list::HarrisList<K, V, Volatile>;
+    /// The paper's "Izraelevitz" series.
+    pub type IzraelevitzList<K, V> = crate::list::HarrisList<K, V, Izraelevitz<Clwb>>;
+    /// The paper's "Log Free" series (link-and-persist).
+    pub type LogFreeList<K, V> = crate::list::HarrisList<K, V, LinkPersist<Clwb>>;
+
+    /// Durable hash table.
+    pub type DurableHashMap<K, V> = crate::hash::HashMapDs<K, V, NvTraverse<Clwb>>;
+    /// Durable Ellen et al. BST.
+    pub type DurableEllenBst<K, V> = crate::ellen_bst::EllenBst<K, V, NvTraverse<Clwb>>;
+    /// Durable Natarajan–Mittal BST.
+    pub type DurableNmBst<K, V> = crate::nm_bst::NmBst<K, V, NvTraverse<Clwb>>;
+    /// Durable skiplist.
+    pub type DurableSkipList<K, V> = crate::skiplist::SkipList<K, V, NvTraverse<Clwb>>;
+    /// Durable Michael–Scott queue.
+    pub type DurableQueue<V> = crate::queue::MsQueue<V, NvTraverse<Clwb>>;
+    /// Durable Treiber stack.
+    pub type DurableStack<V> = crate::stack::TreiberStack<V, NvTraverse<Clwb>>;
+    /// Durable min-priority queue.
+    pub type DurablePriorityQueue<K, V> = crate::pqueue::PriorityQueue<K, V, NvTraverse<Clwb>>;
+}

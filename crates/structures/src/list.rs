@@ -1,0 +1,773 @@
+//! Harris's lock-free sorted linked list in traversal form — the paper's
+//! running example (§2.1, §3, and the pseudocode of §4.4, Algorithms 3–4).
+//!
+//! The list maps totally ordered [`Word`] keys to [`Word`] values, with set
+//! semantics (an insert of an existing key fails and keeps the old value).
+//! Deletion is two-phase: a *mark* CAS on the victim's `next` word logically
+//! deletes it (freezing the node, Definition 1), and a second CAS swings the
+//! predecessor's `next` pointer to physically disconnect it. The traversal
+//! never modifies shared memory — physical deletion of marked chains happens
+//! in the critical method (`deleteMarkedNodes` of Algorithm 4).
+//!
+//! The `ORIG_PARENT` const parameter selects the `ensureReachable` strategy
+//! of §4.1/Lemma 4.1:
+//!
+//! * `false` (default) — the *optimization*: the traversal returns the
+//!   current parent of the left node and its `next` field is flushed;
+//! * `true` — Supplement 2: every node carries an *original parent* field
+//!   recording the address of the pointer that linked it in, and that
+//!   address is flushed instead (costs one word per node; ablation `abl2`).
+
+use nvtraverse::alloc::{alloc_node, free};
+use nvtraverse::marked::MarkedPtr;
+use nvtraverse::ops::{run_operation, Critical, PersistSet, TraversalOps};
+use nvtraverse::policy::Durability;
+use nvtraverse::set::{DurableSet, SetOp};
+use nvtraverse_ebr::{Collector, Guard};
+use nvtraverse_pmem::{Backend, PCell, Word};
+use std::fmt;
+use std::marker::PhantomData;
+
+/// One list node. All fields are 64-bit persistent cells; `key`, `value` and
+/// `orig_parent` are immutable after initialization (flushed once, before the
+/// node is linked in).
+///
+/// Exposed (with private fields) because it appears in the [`TraversalOps`]
+/// associated types; user code never constructs nodes directly.
+pub struct Node<K: Word, V: Word, B: Backend> {
+    pub(crate) key: PCell<K, B>,
+    pub(crate) value: PCell<V, B>,
+    /// Link word: pointer to successor + mark bit (logical deletion).
+    pub(crate) next: PCell<MarkedPtr<Node<K, V, B>>, B>,
+    /// Address of the pointer that first linked this node in (Supplement 2).
+    pub(crate) orig_parent: PCell<u64, B>,
+}
+
+impl<K: Word + fmt::Debug, V: Word, B: Backend> fmt::Debug for Node<K, V, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Node").field("key", &self.key).finish()
+    }
+}
+
+type NodePtr<K, V, B> = *mut Node<K, V, B>;
+
+/// The traversal window: the suffix of the path that `traverse` returns
+/// (paper §3.1 — left, right, and enough information to trim the marked
+/// chain between them).
+pub struct Window<K: Word, V: Word, B: Backend> {
+    /// Current parent of `left` (for the Lemma 4.1 `ensureReachable`).
+    left_parent: NodePtr<K, V, B>,
+    /// Last unmarked node with key < search key (or the head sentinel).
+    left: NodePtr<K, V, B>,
+    /// The word read from `left.next` when `left` was selected; its pointer
+    /// is the first node of the marked chain (or `right` itself).
+    left_succ: MarkedPtr<Node<K, V, B>>,
+    /// First unmarked node with key ≥ search key; null = end of list.
+    right: NodePtr<K, V, B>,
+}
+
+impl<K: Word, V: Word, B: Backend> fmt::Debug for Window<K, V, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Window")
+            .field("left", &self.left)
+            .field("right", &self.right)
+            .finish()
+    }
+}
+
+/// Harris's sorted linked list, parameterized by durability policy.
+///
+/// See the [module docs](self) and the crate example. All operations are
+/// lock-free and (for durable policies) durably linearizable.
+pub struct HarrisList<K: Word, V: Word, D: Durability, const ORIG_PARENT: bool = false> {
+    head: NodePtr<K, V, D::B>,
+    collector: Collector,
+    _marker: PhantomData<fn() -> D>,
+}
+
+/// Harris list variant that implements `ensureReachable` via the
+/// original-parent field of Supplement 2 (used by the `abl2` ablation).
+pub type HarrisListOrigParent<K, V, D> = HarrisList<K, V, D, true>;
+
+// SAFETY: the raw head pointer is only dereferenced through the lock-free
+// protocol; nodes are PCell-based and retired through the collector.
+unsafe impl<K: Word, V: Word, D: Durability, const P: bool> Send for HarrisList<K, V, D, P> {}
+unsafe impl<K: Word, V: Word, D: Durability, const P: bool> Sync for HarrisList<K, V, D, P> {}
+
+impl<K, V, D, const ORIG_PARENT: bool> HarrisList<K, V, D, ORIG_PARENT>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    /// Creates an empty list (its own collector).
+    pub fn new() -> Self {
+        Self::with_collector(Collector::new())
+    }
+
+    /// Creates an empty list that retires nodes into `collector`.
+    ///
+    /// The hash table shares one collector across all of its bucket lists;
+    /// crash tests pass [`Collector::leaking`].
+    pub fn with_collector(collector: Collector) -> Self {
+        let head = alloc_node::<_, D::B>(Node {
+            key: PCell::new(K::from_bits(0)), // sentinel: never read
+            value: PCell::new(V::from_bits(0)),
+            next: PCell::new(MarkedPtr::null()),
+            orig_parent: PCell::new(0),
+        });
+        // Persist the empty list so it survives a crash at time zero.
+        D::persist_new_node(head as *const u8, std::mem::size_of::<Node<K, V, D::B>>());
+        D::before_return();
+        HarrisList {
+            head,
+            collector,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The collector nodes are retired into.
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    #[inline]
+    fn key_of(node: NodePtr<K, V, D::B>) -> K {
+        debug_assert!(!node.is_null());
+        D::load_fixed(unsafe { &(*node).key })
+    }
+
+    /// The word form of `right` for CAS expected values (null ⇒ null word).
+    #[inline]
+    fn word_of(node: NodePtr<K, V, D::B>) -> MarkedPtr<Node<K, V, D::B>> {
+        if node.is_null() {
+            MarkedPtr::null()
+        } else {
+            MarkedPtr::new(node)
+        }
+    }
+
+    /// `deleteMarkedNodes` (Algorithm 4, lines 40–57): physically disconnect
+    /// the marked chain between `left` and `right` with the unique
+    /// disconnection CAS (Property 5), retiring the chain on success.
+    ///
+    /// Returns `false` if the caller must re-traverse.
+    fn trim(&self, guard: &Guard, w: &Window<K, V, D::B>) -> bool {
+        if w.left_succ.ptr() == w.right {
+            // nodes.size() == 2: left and right are already adjacent.
+            return true;
+        }
+        let left_next = unsafe { &(*w.left).next };
+        match D::c_cas_link(left_next, w.left_succ, Self::word_of(w.right)) {
+            Ok(()) => {
+                // The chain [left_succ .. right) is now unreachable; every
+                // node in it is marked (frozen), so plain loads suffice.
+                let mut cur = w.left_succ.ptr();
+                while !cur.is_null() && cur != w.right {
+                    let nxt = unsafe { (*cur).next.load() };
+                    debug_assert!(nxt.is_marked(), "trimmed an unmarked node");
+                    unsafe { guard.retire(cur) };
+                    cur = nxt.ptr();
+                }
+                // Algorithm 4 lines 50–53: if right got marked meanwhile the
+                // caller's picture of the list is stale.
+                if !w.right.is_null() {
+                    let rn = D::c_load_link(unsafe { &(*w.right).next });
+                    if rn.is_marked() {
+                        return false;
+                    }
+                }
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Quiescent: counts unmarked reachable nodes.
+    fn quiescent_len(&self) -> usize {
+        let mut n = 0;
+        unsafe {
+            let mut cur = (*self.head).next.load().ptr();
+            while !cur.is_null() {
+                let nw = (*cur).next.load();
+                if !nw.is_marked() {
+                    n += 1;
+                }
+                cur = nw.ptr();
+            }
+        }
+        n
+    }
+
+    /// Quiescent: collects the unmarked `(key, value)` pairs in list order.
+    pub fn iter_snapshot(&self) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        unsafe {
+            let mut cur = (*self.head).next.load().ptr();
+            while !cur.is_null() {
+                let nw = (*cur).next.load();
+                if !nw.is_marked() {
+                    out.push(((*cur).key.load(), (*cur).value.load()));
+                }
+                cur = nw.ptr();
+            }
+        }
+        out
+    }
+
+    /// Quiescent: verifies structural invariants, returning the number of
+    /// live (unmarked) nodes.
+    ///
+    /// # Errors
+    ///
+    /// Describes the violation: unsorted keys, or (when `allow_marked` is
+    /// false, e.g. right after recovery) a reachable marked node.
+    pub fn check_consistency(&self, allow_marked: bool) -> Result<usize, String> {
+        let mut live = 0;
+        let mut last_key: Option<K> = None;
+        unsafe {
+            let mut cur = (*self.head).next.load().ptr();
+            while !cur.is_null() {
+                let nw = (*cur).next.load();
+                if nw.is_marked() {
+                    if !allow_marked {
+                        return Err("reachable marked node after recovery".into());
+                    }
+                } else {
+                    let k = (*cur).key.load();
+                    if let Some(prev) = last_key.take() {
+                        if prev >= k {
+                            return Err("keys not strictly increasing".into());
+                        }
+                    }
+                    last_key = Some(k);
+                    live += 1;
+                }
+                cur = nw.ptr();
+            }
+        }
+        Ok(live)
+    }
+
+    /// The recovery procedure (paper §4 "Recovery"): run `disconnect(root)`
+    /// (Supplement 1) — one pass that physically deletes every marked node.
+    ///
+    /// May run concurrently with other operations (Supplement 1 requires
+    /// this), though it is normally called once, quiescently, after a crash.
+    pub fn recover_list(&self) {
+        if !D::DURABLE {
+            return;
+        }
+        let guard = self.collector.pin();
+        unsafe {
+            let mut pred: NodePtr<K, V, D::B> = self.head;
+            loop {
+                // Raw load: strip the link-and-persist dirty bit before
+                // using the word as a CAS expectation.
+                let start = (*pred).next.load().without_dirty();
+                debug_assert!(!start.is_marked(), "predecessor must be unmarked");
+                // Find the first unmarked node at or after start.
+                let mut cur = start.ptr();
+                while !cur.is_null() {
+                    let nw = (*cur).next.load();
+                    if nw.is_marked() {
+                        cur = nw.ptr();
+                    } else {
+                        break;
+                    }
+                }
+                if cur != start.ptr() {
+                    // Disconnect the marked chain [start .. cur) atomically
+                    // (the unique legal disconnection of Property 5).
+                    if D::c_cas_link(&(*pred).next, start, Self::word_of(cur)).is_ok() {
+                        let mut dead = start.ptr();
+                        while !dead.is_null() && dead != cur {
+                            let nxt = (*dead).next.load().ptr();
+                            guard.retire(dead);
+                            dead = nxt;
+                        }
+                    } else {
+                        // Raced with a concurrent trim; rescan from pred.
+                        continue;
+                    }
+                }
+                if cur.is_null() {
+                    break;
+                }
+                pred = cur;
+            }
+        }
+        D::before_return();
+    }
+}
+
+impl<K, V, D, const ORIG_PARENT: bool> TraversalOps for HarrisList<K, V, D, ORIG_PARENT>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    type D = D;
+    type Input = SetOp<K, V>;
+    /// `Insert` → existing value if the key was present (failure);
+    /// `Remove`/`Get` → the value found.
+    type Output = Option<V>;
+    type Entry = NodePtr<K, V, D::B>;
+    type Window = Window<K, V, D::B>;
+
+    fn find_entry(&self, _guard: &Guard, _input: Self::Input) -> Self::Entry {
+        // The head of the list is the only entry point (§3: findEntry "is
+        // allowed to simply return the root").
+        self.head
+    }
+
+    fn traverse(&self, _guard: &Guard, entry: Self::Entry, input: Self::Input) -> Self::Window {
+        let key = match input {
+            SetOp::Insert(k, _) | SetOp::Remove(k) | SetOp::Get(k) => k,
+        };
+        unsafe {
+            let head = entry;
+            let mut left_parent = head;
+            let mut left = head;
+            let mut left_succ = D::t_load_link(&(*head).next);
+            let mut pred = head;
+            let mut curr = head;
+            let mut succ = left_succ; // invariant: succ = word of curr.next
+            loop {
+                if !succ.is_marked() {
+                    if curr != head && Self::key_of(curr) >= key {
+                        // curr is the right node: first unmarked key ≥ k.
+                        break;
+                    }
+                    // curr is unmarked with key < k: new left candidate.
+                    left_parent = pred;
+                    left = curr;
+                    left_succ = succ;
+                }
+                pred = curr;
+                let nxt = succ.ptr();
+                if nxt.is_null() {
+                    curr = std::ptr::null_mut();
+                    break;
+                }
+                curr = nxt;
+                succ = D::t_load_link(&(*curr).next);
+            }
+            Window {
+                left_parent,
+                left,
+                left_succ,
+                right: curr,
+            }
+        }
+    }
+
+    fn collect_persist_set(&self, w: &Self::Window, out: &mut PersistSet) {
+        unsafe {
+            if ORIG_PARENT {
+                // Supplement 2: flush the location recorded at insert time.
+                let addr = D::load_fixed(&(*w.left).orig_parent);
+                if addr != 0 {
+                    out.set_parent(addr as *const u8);
+                }
+            } else {
+                // Lemma 4.1 optimization: flush the current parent's link.
+                out.set_parent((*w.left_parent).next.addr());
+            }
+            // Protocol 1: the mutable fields the traversal read in the
+            // returned nodes (keys are immutable — "no flush", Alg. 3 l.23).
+            out.push((*w.left).next.addr());
+            if !w.right.is_null() {
+                out.push((*w.right).next.addr());
+            }
+        }
+    }
+
+    fn critical(
+        &self,
+        guard: &Guard,
+        w: Self::Window,
+        input: Self::Input,
+    ) -> Critical<Self::Output> {
+        match input {
+            SetOp::Get(key) => {
+                // findCritical (Algorithm 4, lines 1–6).
+                if w.right.is_null() || Self::key_of(w.right) != key {
+                    Critical::Done(None)
+                } else {
+                    Critical::Done(Some(D::load_fixed(unsafe { &(*w.right).value })))
+                }
+            }
+            SetOp::Insert(key, value) => {
+                // insertCritical (Algorithm 3, lines 18–35).
+                if !self.trim(guard, &w) {
+                    return Critical::Restart;
+                }
+                if !w.right.is_null() && Self::key_of(w.right) == key {
+                    return Critical::Done(Some(D::load_fixed(unsafe { &(*w.right).value })));
+                }
+                let node = alloc_node::<_, D::B>(Node {
+                    key: PCell::new(key),
+                    value: PCell::new(value),
+                    next: PCell::new(Self::word_of(w.right)),
+                    orig_parent: PCell::new(unsafe { (*w.left).next.addr() } as u64),
+                });
+                D::persist_new_node(node as *const u8, std::mem::size_of::<Node<K, V, D::B>>());
+                let left_next = unsafe { &(*w.left).next };
+                match D::c_cas_link(left_next, Self::word_of(w.right), MarkedPtr::new(node)) {
+                    Ok(()) => Critical::Done(None),
+                    Err(_) => {
+                        // Never published: free directly, no epoch needed.
+                        unsafe { free(node) };
+                        Critical::Restart
+                    }
+                }
+            }
+            SetOp::Remove(key) => {
+                // deleteCritical (Algorithm 3, lines 37–57).
+                if !self.trim(guard, &w) {
+                    return Critical::Restart;
+                }
+                if w.right.is_null() || Self::key_of(w.right) != key {
+                    return Critical::Done(None);
+                }
+                let right_next = unsafe { &(*w.right).next };
+                let r_next = D::c_load_link(right_next);
+                if r_next.is_marked() {
+                    return Critical::Restart;
+                }
+                match D::c_cas_link(right_next, r_next, r_next.with_mark()) {
+                    Ok(()) => {
+                        // Logically deleted; now try the physical splice. If
+                        // it fails another traversal's trim will finish it.
+                        let left_next = unsafe { &(*w.left).next };
+                        if D::c_cas_link(left_next, Self::word_of(w.right), r_next).is_ok() {
+                            unsafe { guard.retire(w.right) };
+                        }
+                        Critical::Done(Some(D::load_fixed(unsafe { &(*w.right).value })))
+                    }
+                    Err(_) => Critical::Restart,
+                }
+            }
+        }
+    }
+}
+
+impl<K, V, D, const ORIG_PARENT: bool> DurableSet<K, V> for HarrisList<K, V, D, ORIG_PARENT>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    fn insert(&self, key: K, value: V) -> bool {
+        let guard = self.collector.pin();
+        run_operation(self, &guard, SetOp::Insert(key, value)).is_none()
+    }
+
+    fn remove(&self, key: K) -> bool {
+        let guard = self.collector.pin();
+        run_operation(self, &guard, SetOp::Remove(key)).is_some()
+    }
+
+    fn get(&self, key: K) -> Option<V> {
+        let guard = self.collector.pin();
+        run_operation(self, &guard, SetOp::Get(key))
+    }
+
+    fn len(&self) -> usize {
+        self.quiescent_len()
+    }
+
+    fn recover(&self) {
+        self.recover_list();
+    }
+}
+
+impl<K, V, D, const P: bool> Default for HarrisList<K, V, D, P>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V, D, const P: bool> fmt::Debug for HarrisList<K, V, D, P>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HarrisList")
+            .field("len", &self.quiescent_len())
+            .field("durable", &D::DURABLE)
+            .finish()
+    }
+}
+
+impl<K: Word, V: Word, D: Durability, const P: bool> Drop for HarrisList<K, V, D, P> {
+    fn drop(&mut self) {
+        // Exclusive access: free every node reachable from head, marked or
+        // not. Trimmed nodes were handed to the collector already. Links
+        // poisoned by an unrecovered simulated crash terminate the walk
+        // (leaking the tail), matching a persistent heap's behaviour.
+        unsafe {
+            let mut cur = self.head;
+            while !cur.is_null() {
+                let bits = (*cur).next.peek_bits();
+                let nxt = if bits == nvtraverse_pmem::POISON {
+                    std::ptr::null_mut()
+                } else {
+                    MarkedPtr::<Node<K, V, D::B>>::from_bits_raw(bits).ptr()
+                };
+                free(cur);
+                cur = nxt;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvtraverse::model::ModelSet;
+    use nvtraverse::policy::{Izraelevitz, LinkPersist, NvTraverse, Volatile};
+    use nvtraverse_pmem::{Clwb, Noop};
+
+    fn policies_smoke<D: Durability>() {
+        let l: HarrisList<u64, u64, D> = HarrisList::new();
+        assert!(l.is_empty());
+        assert!(l.insert(2, 20));
+        assert!(l.insert(1, 10));
+        assert!(l.insert(3, 30));
+        assert!(!l.insert(2, 99), "duplicate insert must fail");
+        assert_eq!(l.get(2), Some(20), "failed insert must not overwrite");
+        assert_eq!(l.len(), 3);
+        assert!(l.remove(2));
+        assert!(!l.remove(2));
+        assert_eq!(l.get(2), None);
+        assert_eq!(l.check_consistency(true).unwrap(), 2);
+        assert_eq!(
+            l.iter_snapshot(),
+            vec![(1, 10), (3, 30)],
+            "must stay sorted"
+        );
+    }
+
+    #[test]
+    fn volatile_semantics() {
+        policies_smoke::<Volatile>();
+    }
+
+    #[test]
+    fn nvtraverse_semantics() {
+        policies_smoke::<NvTraverse<Clwb>>();
+    }
+
+    #[test]
+    fn izraelevitz_semantics() {
+        policies_smoke::<Izraelevitz<Clwb>>();
+    }
+
+    #[test]
+    fn link_persist_semantics() {
+        policies_smoke::<LinkPersist<Clwb>>();
+    }
+
+    #[test]
+    fn orig_parent_variant_semantics() {
+        let l: HarrisListOrigParent<u64, u64, NvTraverse<Noop>> = HarrisList::new();
+        for k in 0..50u64 {
+            assert!(l.insert(k, k + 100));
+        }
+        for k in (0..50u64).step_by(2) {
+            assert!(l.remove(k));
+        }
+        assert_eq!(l.len(), 25);
+        assert_eq!(l.check_consistency(true).unwrap(), 25);
+    }
+
+    #[test]
+    fn signed_keys_sort_by_value_not_bits() {
+        let l: HarrisList<i64, u64, Volatile> = HarrisList::new();
+        for k in [-5i64, 3, -1, 0, 7] {
+            assert!(l.insert(k, 0));
+        }
+        let keys: Vec<i64> = l.iter_snapshot().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![-5, -1, 0, 3, 7]);
+    }
+
+    #[test]
+    fn boundary_inserts_at_both_ends() {
+        let l: HarrisList<u64, u64, Volatile> = HarrisList::new();
+        assert!(l.insert(u64::MAX, 1));
+        assert!(l.insert(0, 2));
+        assert!(l.insert(u64::MAX / 2, 3));
+        assert_eq!(l.get(u64::MAX), Some(1));
+        assert_eq!(l.get(0), Some(2));
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn matches_model_on_random_sequential_workload() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let l: HarrisList<u64, u64, NvTraverse<Noop>> = HarrisList::new();
+        let mut model = ModelSet::new();
+        for i in 0..3000u64 {
+            let k = rng.random_range(0..64);
+            match rng.random_range(0..3) {
+                0 => assert_eq!(l.insert(k, i), model.insert(k, i), "insert({k})"),
+                1 => assert_eq!(l.remove(k), model.remove(k), "remove({k})"),
+                _ => assert_eq!(l.get(k), model.get(k), "get({k})"),
+            }
+        }
+        assert_eq!(l.len(), model.len());
+        let pairs: Vec<(u64, u64)> = model.iter().collect();
+        assert_eq!(l.iter_snapshot(), pairs);
+    }
+
+    #[test]
+    fn concurrent_disjoint_ranges_keep_all_inserts() {
+        const THREADS: u64 = 4;
+        const PER: u64 = 300;
+        let l: HarrisList<u64, u64, NvTraverse<Clwb>> = HarrisList::new();
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let l = &l;
+                s.spawn(move || {
+                    let base = t * PER;
+                    for k in base..base + PER {
+                        assert!(l.insert(k, k));
+                    }
+                    for k in (base..base + PER).step_by(3) {
+                        assert!(l.remove(k));
+                    }
+                });
+            }
+        });
+        let expected = (THREADS * PER) as usize - (THREADS as usize * PER.div_ceil(3) as usize);
+        assert_eq!(l.check_consistency(true).unwrap(), expected);
+    }
+
+    #[test]
+    fn concurrent_contended_single_key_is_coherent() {
+        // All threads fight over one key; successful inserts and removes
+        // must alternate per key, so totals balance.
+        use std::sync::atomic::{AtomicI64, Ordering};
+        let l: HarrisList<u64, u64, NvTraverse<Clwb>> = HarrisList::new();
+        let balance = AtomicI64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let l = &l;
+                let balance = &balance;
+                s.spawn(move || {
+                    for i in 0..2000 {
+                        if i % 2 == 0 {
+                            if l.insert(42, 1) {
+                                balance.fetch_add(1, Ordering::Relaxed);
+                            }
+                        } else if l.remove(42) {
+                            balance.fetch_sub(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        let final_present = l.contains(42) as i64;
+        assert_eq!(balance.load(Ordering::Relaxed), final_present);
+        l.check_consistency(true).unwrap();
+    }
+
+    #[test]
+    fn concurrent_mixed_ops_stress() {
+        use rand::prelude::*;
+        let l: HarrisList<u64, u64, LinkPersist<Clwb>> = HarrisList::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let l = &l;
+                s.spawn(move || {
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(t);
+                    for _ in 0..4000 {
+                        let k = rng.random_range(0..128);
+                        match rng.random_range(0..10) {
+                            0..=2 => {
+                                l.insert(k, k);
+                            }
+                            3..=5 => {
+                                l.remove(k);
+                            }
+                            _ => {
+                                l.get(k);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        l.check_consistency(true).unwrap();
+    }
+
+    #[test]
+    fn recovery_trims_marked_nodes() {
+        // Mark a node by hand (simulating a crash between the mark and the
+        // physical delete), then check recover() disconnects it.
+        let l: HarrisList<u64, u64, NvTraverse<Noop>> = HarrisList::new();
+        for k in 1..=5u64 {
+            l.insert(k, k);
+        }
+        unsafe {
+            // Find node 3 and set its mark bit directly.
+            let mut cur = (*l.head).next.load().ptr();
+            while !cur.is_null() && (*cur).key.load() != 3 {
+                cur = (*cur).next.load().ptr();
+            }
+            let nw = (*cur).next.load();
+            (*cur).next.store(nw.with_mark());
+        }
+        assert!(l.check_consistency(false).is_err(), "marked node visible");
+        l.recover();
+        assert_eq!(l.check_consistency(false).unwrap(), 4);
+        assert_eq!(l.get(3), None);
+        assert!(l.insert(3, 33), "list must be fully usable after recovery");
+    }
+
+    #[test]
+    fn drop_frees_marked_and_unmarked() {
+        // Covered implicitly by miri-less leak checks elsewhere; here we just
+        // exercise the path: build, mark one node, drop.
+        let l: HarrisList<u64, u64, Volatile> = HarrisList::new();
+        for k in 1..=10u64 {
+            l.insert(k, k);
+        }
+        unsafe {
+            let first = (*l.head).next.load().ptr();
+            let nw = (*first).next.load();
+            (*first).next.store(nw.with_mark());
+        }
+        drop(l); // must not leak or double-free
+    }
+
+    #[test]
+    fn empty_list_operations() {
+        let l: HarrisList<u64, u64, NvTraverse<Noop>> = HarrisList::new();
+        assert_eq!(l.get(1), None);
+        assert!(!l.remove(1));
+        assert_eq!(l.len(), 0);
+        assert!(l.is_empty());
+        assert_eq!(l.check_consistency(false).unwrap(), 0);
+        l.recover(); // recovery of an empty list is a no-op
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn debug_format_mentions_len() {
+        let l: HarrisList<u64, u64, Volatile> = HarrisList::new();
+        l.insert(1, 1);
+        let s = format!("{l:?}");
+        assert!(s.contains("len"), "{s}");
+    }
+}

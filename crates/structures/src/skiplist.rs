@@ -1,0 +1,929 @@
+//! A lock-free skiplist whose *bottom level is the persistent core tree* and
+//! whose towers are volatile shortcuts — the paper's showcase for Property 2:
+//!
+//! > "a skiplist can be a traversal data structure, since, while the entire
+//! > structure is not a tree, only a linked list at the bottom level holds
+//! > all the data in the skiplist, while the rest of the nodes and edges
+//! > simply serve as a way to access the linked list faster."
+//!
+//! Consequences of that split:
+//!
+//! * Bottom-level `next` words go through the [`Durability`] policy (the
+//!   paper's flushes); tower words use **raw** cell operations — they are
+//!   never flushed under any policy, because they are recomputed after a
+//!   crash ([`SkipList::recover_skiplist`] rebuilds every tower from the
+//!   bottom list with write-only passes).
+//! * `findEntry` descends the towers (it may snip marked tower links — the
+//!   auxiliary structure is not subject to the traverse method's no-write
+//!   rule), returning a bottom-level entry node; `traverse` is then exactly
+//!   Harris's bottom walk.
+//! * `ensureReachable` uses Supplement 2's *original parent* field: the
+//!   entry shortcut means the traversal may not know the current parent of
+//!   its first returned node, so each node records the address of the
+//!   pointer that first linked it into the bottom list.
+//!
+//! The algorithm follows the lock-free skiplist lineage the paper cites
+//! (Michael / Fraser / Herlihy et al.): deletion marks the bottom link (the
+//! linearization point), then unlinks the tower levels top-down.
+
+use nvtraverse::alloc::{alloc_node, free};
+use nvtraverse::marked::MarkedPtr;
+use nvtraverse::ops::{run_operation, Critical, PersistSet, TraversalOps};
+use nvtraverse::policy::Durability;
+use nvtraverse::set::{DurableSet, SetOp};
+use nvtraverse_ebr::{Collector, Guard};
+use nvtraverse_pmem::{Backend, PCell, Word};
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Tower height cap: supports the evaluated sizes (≤ a few million keys).
+pub const MAX_HEIGHT: usize = 16;
+
+/// One skiplist node. `key`, `value`, `height` and `orig_parent` are
+/// immutable; `next[0]` is the persistent bottom link; `next[1..height]` are
+/// volatile tower links.
+pub struct SkipNode<K: Word, V: Word, B: Backend> {
+    key: PCell<K, B>,
+    value: PCell<V, B>,
+    /// Immutable tower height in `1..=MAX_HEIGHT`.
+    height: PCell<u64, B>,
+    /// Supplement 2: address of the bottom link that first connected us.
+    orig_parent: PCell<u64, B>,
+    /// `next[0]` persistent; higher levels volatile (never flushed).
+    next: [PCell<MarkedPtr<SkipNode<K, V, B>>, B>; MAX_HEIGHT],
+}
+
+impl<K: Word, V: Word, B: Backend> fmt::Debug for SkipNode<K, V, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SkipNode")
+            .field("height", &self.height)
+            .finish()
+    }
+}
+
+type NodePtr<K, V, B> = *mut SkipNode<K, V, B>;
+
+/// Traversal window: Harris's bottom-list window plus the tower
+/// predecessors `findEntry` computed (auxiliary data for upper linking).
+pub struct SkipWindow<K: Word, V: Word, B: Backend> {
+    left: NodePtr<K, V, B>,
+    left_succ: MarkedPtr<SkipNode<K, V, B>>,
+    right: NodePtr<K, V, B>,
+    /// Tower predecessors per level (volatile shortcuts; level 0 unused).
+    preds: [NodePtr<K, V, B>; MAX_HEIGHT],
+}
+
+impl<K: Word, V: Word, B: Backend> fmt::Debug for SkipWindow<K, V, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SkipWindow")
+            .field("left", &self.left)
+            .field("right", &self.right)
+            .finish()
+    }
+}
+
+/// A lock-free skiplist map, parameterized by durability policy.
+///
+/// # Example
+///
+/// ```
+/// use nvtraverse::policy::NvTraverse;
+/// use nvtraverse::DurableSet;
+/// use nvtraverse_pmem::Clwb;
+/// use nvtraverse_structures::skiplist::SkipList;
+///
+/// let s: SkipList<u64, u64, NvTraverse<Clwb>> = SkipList::new();
+/// assert!(s.insert(9, 90));
+/// assert_eq!(s.get(9), Some(90));
+/// ```
+pub struct SkipList<K: Word, V: Word, D: Durability> {
+    head: NodePtr<K, V, D::B>,
+    collector: Collector,
+    /// Deterministic height source (split-mix of a counter), so crash tests
+    /// replay identically.
+    height_seq: AtomicU64,
+    _marker: PhantomData<fn() -> D>,
+}
+
+unsafe impl<K: Word, V: Word, D: Durability> Send for SkipList<K, V, D> {}
+unsafe impl<K: Word, V: Word, D: Durability> Sync for SkipList<K, V, D> {}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl<K, V, D> SkipList<K, V, D>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    /// Creates an empty skiplist.
+    pub fn new() -> Self {
+        Self::with_collector(Collector::new())
+    }
+
+    /// Creates an empty skiplist retiring into `collector`.
+    pub fn with_collector(collector: Collector) -> Self {
+        let head = alloc_node::<_, D::B>(SkipNode {
+            key: PCell::new(K::from_bits(0)), // sentinel, never read
+            value: PCell::new(V::from_bits(0)),
+            height: PCell::new(MAX_HEIGHT as u64),
+            orig_parent: PCell::new(0),
+            next: std::array::from_fn(|_| PCell::new(MarkedPtr::null())),
+        });
+        // Only the persistent part of the head needs to survive: flushing
+        // the whole node is harmless and simplest.
+        D::persist_new_node(head as *const u8, std::mem::size_of::<SkipNode<K, V, D::B>>());
+        D::before_return();
+        SkipList {
+            head,
+            collector,
+            height_seq: AtomicU64::new(1),
+            _marker: PhantomData,
+        }
+    }
+
+    /// The collector nodes are retired into.
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    /// Geometric(1/2) tower height in `1..=MAX_HEIGHT`, deterministic in the
+    /// number of prior calls.
+    fn next_height(&self) -> usize {
+        let n = self.height_seq.fetch_add(1, Ordering::Relaxed);
+        let bits = splitmix64(n);
+        ((bits.trailing_ones() as usize) + 1).min(MAX_HEIGHT)
+    }
+
+    #[inline]
+    fn key_of(node: NodePtr<K, V, D::B>) -> K {
+        D::load_fixed(unsafe { &(*node).key })
+    }
+
+    #[inline]
+    fn is_head(&self, node: NodePtr<K, V, D::B>) -> bool {
+        node == self.head
+    }
+
+    /// `key(node) < k`, treating the head as −∞.
+    #[inline]
+    fn below(&self, node: NodePtr<K, V, D::B>, k: K) -> bool {
+        self.is_head(node) || Self::key_of(node) < k
+    }
+
+    /// Auxiliary (volatile) walk of one tower level starting at `start`,
+    /// snipping marked links on the way. Returns the rightmost node at
+    /// `level` with key < `k`.
+    ///
+    /// Tower accesses are raw — never routed through the policy — because
+    /// the towers are recomputed on recovery (Property 2).
+    fn aux_walk(
+        &self,
+        start: NodePtr<K, V, D::B>,
+        level: usize,
+        k: K,
+    ) -> NodePtr<K, V, D::B> {
+        unsafe {
+            let mut pred = start;
+            loop {
+                let mut w = (*pred).next[level].load();
+                // Snip marked successors (auxiliary maintenance).
+                loop {
+                    let curr = w.ptr();
+                    if curr.is_null() {
+                        return pred;
+                    }
+                    let cw = (*curr).next[level].load();
+                    if cw.is_marked() {
+                        // Bypass curr at this level.
+                        match (*pred).next[level]
+                            .compare_exchange(w, cw.without_mark().untagged())
+                        {
+                            Ok(_) => w = cw.without_mark().untagged(),
+                            Err(actual) => {
+                                if actual.is_marked() {
+                                    // pred itself got marked; restart higher.
+                                    return pred;
+                                }
+                                w = actual;
+                            }
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let curr = w.ptr();
+                if curr.is_null() || !self.below(curr, k) {
+                    return pred;
+                }
+                pred = curr;
+            }
+        }
+    }
+
+    /// Ensures `node` is no longer linked at `level` (used before retiring).
+    fn unlink_level(&self, node: NodePtr<K, V, D::B>, level: usize, k: K) {
+        loop {
+            let pred = self.aux_walk(self.head, level, k);
+            let w = unsafe { (*pred).next[level].load() };
+            let mut cur = w.ptr();
+            // Check whether node is still reachable at this level from pred
+            // onwards (keys ≥ k region).
+            let mut reachable = false;
+            unsafe {
+                let mut hops = 0;
+                while !cur.is_null() && hops < 64 {
+                    if cur == node {
+                        reachable = true;
+                        break;
+                    }
+                    // Past the key means it cannot appear later.
+                    if !self.below(cur, k) && Self::key_of(cur) != k {
+                        break;
+                    }
+                    cur = (*cur).next[level].load().ptr();
+                    hops += 1;
+                }
+            }
+            if !reachable {
+                return;
+            }
+            // aux_walk snips as a side effect; loop until gone.
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Returns the smallest live `(key, value)`, reading through the policy
+    /// (used by the priority queue's `peek`/`pop_min`). Linearizes at the
+    /// bottom-link read of the first unmarked node.
+    pub fn min_entry(&self) -> Option<(K, V)> {
+        unsafe {
+            let mut cur = D::t_load_link(&(*self.head).next[0]);
+            loop {
+                let node = cur.ptr();
+                if node.is_null() {
+                    return None;
+                }
+                let nw = D::t_load_link(&(*node).next[0]);
+                if !nw.is_marked() {
+                    return Some((
+                        D::load_fixed(&(*node).key),
+                        D::load_fixed(&(*node).value),
+                    ));
+                }
+                cur = nw;
+            }
+        }
+    }
+
+    /// Quiescent bottom-list walk.
+    fn bottom_snapshot(&self, include_marked: bool) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        unsafe {
+            let mut cur = (*self.head).next[0].load().ptr();
+            while !cur.is_null() {
+                let nw = (*cur).next[0].load();
+                if include_marked || !nw.is_marked() {
+                    out.push(((*cur).key.load(), (*cur).value.load()));
+                }
+                cur = nw.ptr();
+            }
+        }
+        out
+    }
+
+    /// Quiescent: verifies bottom-list sortedness and tower reachability.
+    ///
+    /// # Errors
+    ///
+    /// Reports unsorted bottom keys, reachable bottom-marked nodes (when
+    /// `allow_marked` is false), or a tower link pointing at a node that is
+    /// not alive in the bottom list.
+    pub fn check_consistency(&self, allow_marked: bool) -> Result<usize, String> {
+        use std::collections::HashSet;
+        let mut live: HashSet<usize> = HashSet::new();
+        let mut count = 0;
+        unsafe {
+            let mut last: Option<K> = None;
+            let mut cur = (*self.head).next[0].load().ptr();
+            while !cur.is_null() {
+                let nw = (*cur).next[0].load();
+                if nw.is_marked() {
+                    if !allow_marked {
+                        return Err("reachable bottom-marked node".into());
+                    }
+                } else {
+                    let k = (*cur).key.load();
+                    if let Some(prev) = last.take() {
+                        if prev >= k {
+                            return Err("bottom keys not strictly increasing".into());
+                        }
+                    }
+                    last = Some(k);
+                    live.insert(cur as usize);
+                    count += 1;
+                }
+                cur = nw.ptr();
+            }
+            // Towers must only reference live bottom nodes (after recovery).
+            if !allow_marked {
+                for level in 1..MAX_HEIGHT {
+                    let mut c = (*self.head).next[level].load().ptr();
+                    let mut prev_key: Option<K> = None;
+                    while !c.is_null() {
+                        if !live.contains(&(c as usize)) {
+                            return Err(format!("tower level {level} references dead node"));
+                        }
+                        let k = (*c).key.load();
+                        if let Some(pk) = prev_key.take() {
+                            if pk >= k {
+                                return Err(format!("tower level {level} unsorted"));
+                            }
+                        }
+                        prev_key = Some(k);
+                        c = (*c).next[level].load().ptr();
+                    }
+                }
+            }
+        }
+        Ok(count)
+    }
+
+    /// Recovery (paper §4 + Property 2): trim marked bottom nodes with the
+    /// policy's disconnection CASes, then rebuild every volatile tower from
+    /// the bottom list with write-only passes (no tower word is read, so
+    /// poisoned towers are safe).
+    pub fn recover_skiplist(&self) {
+        if !D::DURABLE {
+            return;
+        }
+        let guard = self.collector.pin();
+        unsafe {
+            // Pass 1: disconnect marked bottom nodes (Supplement 1).
+            let mut pred = self.head;
+            loop {
+                let start = (*pred).next[0].load().without_dirty();
+                let mut cur = start.ptr();
+                while !cur.is_null() {
+                    let nw = (*cur).next[0].load();
+                    if nw.is_marked() {
+                        cur = nw.ptr();
+                    } else {
+                        break;
+                    }
+                }
+                if cur != start.ptr() {
+                    let to = if cur.is_null() {
+                        MarkedPtr::null()
+                    } else {
+                        MarkedPtr::new(cur)
+                    };
+                    if D::c_cas_link(&(*pred).next[0], start, to).is_ok() {
+                        let mut dead = start.ptr();
+                        while !dead.is_null() && dead != cur {
+                            let nxt = (*dead).next[0].load().ptr();
+                            guard.retire(dead);
+                            dead = nxt;
+                        }
+                    } else {
+                        continue;
+                    }
+                }
+                if cur.is_null() {
+                    break;
+                }
+                pred = cur;
+            }
+            // Pass 2: rebuild towers (volatile): store-only, left to right.
+            let mut prevs: [NodePtr<K, V, D::B>; MAX_HEIGHT] = [self.head; MAX_HEIGHT];
+            let mut cur = (*self.head).next[0].load().ptr();
+            while !cur.is_null() {
+                let h = (*cur).height.load() as usize;
+                for level in 1..h {
+                    (*prevs[level]).next[level].store(MarkedPtr::new(cur));
+                    prevs[level] = cur;
+                }
+                cur = (*cur).next[0].load().ptr();
+            }
+            for (level, prev) in prevs.iter().enumerate().skip(1) {
+                (**prev).next[level].store(MarkedPtr::null());
+            }
+        }
+        D::before_return();
+    }
+}
+
+impl<K, V, D> TraversalOps for SkipList<K, V, D>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    type D = D;
+    type Input = SetOp<K, V>;
+    type Output = Option<V>;
+    /// Entry: bottom-level start node plus the tower predecessors.
+    type Entry = (NodePtr<K, V, D::B>, [NodePtr<K, V, D::B>; MAX_HEIGHT]);
+    type Window = SkipWindow<K, V, D::B>;
+
+    fn find_entry(&self, _guard: &Guard, input: Self::Input) -> Self::Entry {
+        let k = match input {
+            SetOp::Insert(k, _) | SetOp::Remove(k) | SetOp::Get(k) => k,
+        };
+        // Descend the volatile towers, snipping marked links: auxiliary
+        // maintenance outside the core tree.
+        let mut preds = [self.head; MAX_HEIGHT];
+        let mut pred = self.head;
+        for level in (1..MAX_HEIGHT).rev() {
+            pred = self.aux_walk(pred, level, k);
+            preds[level] = pred;
+        }
+        (pred, preds)
+    }
+
+    fn traverse(&self, _guard: &Guard, entry: Self::Entry, input: Self::Input) -> Self::Window {
+        let k = match input {
+            SetOp::Insert(k, _) | SetOp::Remove(k) | SetOp::Get(k) => k,
+        };
+        let (start, preds) = entry;
+        unsafe {
+            // Harris-style bottom walk from the shortcut entry point.
+            let mut left = start;
+            let mut left_succ = D::t_load_link(&(*start).next[0]);
+            let mut curr = start;
+            let mut succ = left_succ;
+            loop {
+                if !succ.is_marked() {
+                    if curr != start && !self.below(curr, k) {
+                        break;
+                    }
+                    left = curr;
+                    left_succ = succ;
+                }
+                let nxt = succ.ptr();
+                if nxt.is_null() {
+                    curr = std::ptr::null_mut();
+                    break;
+                }
+                curr = nxt;
+                succ = D::t_load_link(&(*curr).next[0]);
+            }
+            SkipWindow {
+                left,
+                left_succ,
+                right: curr,
+                preds,
+            }
+        }
+    }
+
+    fn collect_persist_set(&self, w: &Self::Window, out: &mut PersistSet) {
+        unsafe {
+            // Supplement 2: flush the original-parent location of `left`
+            // (the entry shortcut hides left's current parent).
+            let addr = D::load_fixed(&(*w.left).orig_parent);
+            if addr != 0 {
+                out.set_parent(addr as *const u8);
+            }
+            out.push((*w.left).next[0].addr());
+            if !w.right.is_null() {
+                out.push((*w.right).next[0].addr());
+            }
+        }
+    }
+
+    fn critical(
+        &self,
+        guard: &Guard,
+        w: Self::Window,
+        input: Self::Input,
+    ) -> Critical<Self::Output> {
+        // Bottom-list trim, exactly deleteMarkedNodes of the list — except
+        // the *deleter* retires (it must first unlink the towers).
+        let trim = |w: &SkipWindow<K, V, D::B>| -> bool {
+            if w.left_succ.ptr() == w.right {
+                return true;
+            }
+            let to = if w.right.is_null() {
+                MarkedPtr::null()
+            } else {
+                MarkedPtr::new(w.right)
+            };
+            if D::c_cas_link(unsafe { &(*w.left).next[0] }, w.left_succ, to).is_err() {
+                return false;
+            }
+            if !w.right.is_null() {
+                let rn = D::c_load_link(unsafe { &(*w.right).next[0] });
+                if rn.is_marked() {
+                    return false;
+                }
+            }
+            true
+        };
+
+        match input {
+            SetOp::Get(key) => {
+                if w.right.is_null() || Self::key_of(w.right) != key {
+                    Critical::Done(None)
+                } else {
+                    Critical::Done(Some(D::load_fixed(unsafe { &(*w.right).value })))
+                }
+            }
+            SetOp::Insert(key, value) => {
+                if !trim(&w) {
+                    return Critical::Restart;
+                }
+                if !w.right.is_null() && Self::key_of(w.right) == key {
+                    return Critical::Done(Some(D::load_fixed(unsafe { &(*w.right).value })));
+                }
+                let height = self.next_height();
+                let right_word = if w.right.is_null() {
+                    MarkedPtr::null()
+                } else {
+                    MarkedPtr::new(w.right)
+                };
+                let node = alloc_node::<_, D::B>(SkipNode {
+                    key: PCell::new(key),
+                    value: PCell::new(value),
+                    height: PCell::new(height as u64),
+                    orig_parent: PCell::new(unsafe { (*w.left).next[0].addr() } as u64),
+                    next: std::array::from_fn(|i| {
+                        PCell::new(if i == 0 { right_word } else { MarkedPtr::null() })
+                    }),
+                });
+                D::persist_new_node(
+                    node as *const u8,
+                    std::mem::size_of::<SkipNode<K, V, D::B>>(),
+                );
+                match D::c_cas_link(
+                    unsafe { &(*w.left).next[0] },
+                    right_word,
+                    MarkedPtr::new(node),
+                ) {
+                    Ok(()) => {
+                        // Bottom link is in (the linearization + persistence
+                        // point). Now thread the volatile tower levels.
+                        'levels: for level in 1..height {
+                            loop {
+                                let pred = if self.below(w.preds[level], key) {
+                                    self.aux_walk(w.preds[level], level, key)
+                                } else {
+                                    self.aux_walk(self.head, level, key)
+                                };
+                                let succ = unsafe { (*pred).next[level].load() };
+                                if succ.is_marked() {
+                                    continue;
+                                }
+                                // If we were deleted meanwhile, stop linking.
+                                if unsafe { (*node).next[0].load().is_marked() } {
+                                    break 'levels;
+                                }
+                                unsafe {
+                                    (*node).next[level].store(succ.untagged());
+                                }
+                                if unsafe {
+                                    (*pred).next[level]
+                                        .compare_exchange(succ, MarkedPtr::new(node))
+                                        .is_ok()
+                                } {
+                                    break;
+                                }
+                            }
+                        }
+                        Critical::Done(None)
+                    }
+                    Err(_) => {
+                        unsafe { free(node) };
+                        Critical::Restart
+                    }
+                }
+            }
+            SetOp::Remove(key) => {
+                if !trim(&w) {
+                    return Critical::Restart;
+                }
+                if w.right.is_null() || Self::key_of(w.right) != key {
+                    return Critical::Done(None);
+                }
+                let victim = w.right;
+                let bottom = unsafe { &(*victim).next[0] };
+                let r_next = D::c_load_link(bottom);
+                if r_next.is_marked() {
+                    return Critical::Restart;
+                }
+                match D::c_cas_link(bottom, r_next, r_next.with_mark()) {
+                    Ok(()) => {
+                        let value = D::load_fixed(unsafe { &(*victim).value });
+                        // Mark every tower level (volatile, raw CAS) so that
+                        // aux walks snip us out.
+                        let height = D::load_fixed(unsafe { &(*victim).height }) as usize;
+                        for level in (1..height).rev() {
+                            loop {
+                                let cw = unsafe { (*victim).next[level].load() };
+                                if cw.is_marked() {
+                                    break;
+                                }
+                                if unsafe {
+                                    (*victim).next[level]
+                                        .compare_exchange(cw, cw.with_mark())
+                                        .is_ok()
+                                } {
+                                    break;
+                                }
+                            }
+                        }
+                        // Physically unlink: bottom first (policy CAS), then
+                        // every tower level, then retire.
+                        let _ = D::c_cas_link(
+                            unsafe { &(*w.left).next[0] },
+                            MarkedPtr::new(victim),
+                            r_next,
+                        );
+                        for level in (1..height).rev() {
+                            self.unlink_level(victim, level, key);
+                        }
+                        // Ensure the bottom removal happened (ours or a
+                        // helper's) before retiring.
+                        loop {
+                            let e = self.find_entry(guard, SetOp::Get(key));
+                            let w2 = SkipList::traverse(self, guard, e, SetOp::Get(key));
+                            if w2.right != victim {
+                                break;
+                            }
+                            let _ = trim(&SkipWindow {
+                                left: w2.left,
+                                left_succ: w2.left_succ,
+                                right: r_next.without_mark().ptr(),
+                                preds: w2.preds,
+                            });
+                        }
+                        unsafe { guard.retire(victim) };
+                        Critical::Done(Some(value))
+                    }
+                    Err(_) => Critical::Restart,
+                }
+            }
+        }
+    }
+}
+
+impl<K, V, D> DurableSet<K, V> for SkipList<K, V, D>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    fn insert(&self, key: K, value: V) -> bool {
+        let guard = self.collector.pin();
+        run_operation(self, &guard, SetOp::Insert(key, value)).is_none()
+    }
+
+    fn remove(&self, key: K) -> bool {
+        let guard = self.collector.pin();
+        run_operation(self, &guard, SetOp::Remove(key)).is_some()
+    }
+
+    fn get(&self, key: K) -> Option<V> {
+        let guard = self.collector.pin();
+        run_operation(self, &guard, SetOp::Get(key))
+    }
+
+    fn len(&self) -> usize {
+        self.bottom_snapshot(false).len()
+    }
+
+    fn recover(&self) {
+        self.recover_skiplist();
+    }
+}
+
+impl<K, V, D> Default for SkipList<K, V, D>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V, D> fmt::Debug for SkipList<K, V, D>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SkipList")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<K: Word, V: Word, D: Durability> Drop for SkipList<K, V, D> {
+    fn drop(&mut self) {
+        // Poisoned links (unrecovered crash) end the walk; the tail leaks.
+        unsafe {
+            let mut cur = self.head;
+            while !cur.is_null() {
+                let bits = (*cur).next[0].peek_bits();
+                let nxt = if bits == nvtraverse_pmem::POISON {
+                    std::ptr::null_mut()
+                } else {
+                    MarkedPtr::<SkipNode<K, V, D::B>>::from_bits_raw(bits).ptr()
+                };
+                free(cur);
+                cur = nxt;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvtraverse::model::ModelSet;
+    use nvtraverse::policy::{Izraelevitz, LinkPersist, NvTraverse, Volatile};
+    use nvtraverse_pmem::{Clwb, Noop};
+
+    fn smoke<D: Durability>() {
+        let s: SkipList<u64, u64, D> = SkipList::new();
+        assert!(s.is_empty());
+        assert!(s.insert(5, 50));
+        assert!(s.insert(1, 10));
+        assert!(s.insert(9, 90));
+        assert!(!s.insert(5, 99));
+        assert_eq!(s.get(5), Some(50));
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert_eq!(s.get(5), None);
+        assert_eq!(s.len(), 2);
+        s.check_consistency(false).unwrap();
+    }
+
+    #[test]
+    fn volatile_semantics() {
+        smoke::<Volatile>();
+    }
+
+    #[test]
+    fn nvtraverse_semantics() {
+        smoke::<NvTraverse<Clwb>>();
+    }
+
+    #[test]
+    fn izraelevitz_semantics() {
+        smoke::<Izraelevitz<Clwb>>();
+    }
+
+    #[test]
+    fn link_persist_semantics() {
+        smoke::<LinkPersist<Clwb>>();
+    }
+
+    #[test]
+    fn towers_accelerate_and_stay_consistent() {
+        let s: SkipList<u64, u64, Volatile> = SkipList::new();
+        for k in 0..2000u64 {
+            assert!(s.insert(k, k));
+        }
+        assert_eq!(s.check_consistency(false).unwrap(), 2000);
+        // Some node must be taller than 1 (probability astronomically high).
+        unsafe {
+            assert!(
+                !(*s.head).next[1].load().is_null(),
+                "towers were never built"
+            );
+        }
+        for k in 0..2000u64 {
+            assert_eq!(s.get(k), Some(k));
+        }
+    }
+
+    #[test]
+    fn matches_model_on_random_workload() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(37);
+        let s: SkipList<u64, u64, NvTraverse<Noop>> = SkipList::new();
+        let mut model = ModelSet::new();
+        for i in 0..4000u64 {
+            let k = rng.random_range(0..128);
+            match rng.random_range(0..3) {
+                0 => assert_eq!(s.insert(k, i), model.insert(k, i), "insert({k})"),
+                1 => assert_eq!(s.remove(k), model.remove(k), "remove({k})"),
+                _ => assert_eq!(s.get(k), model.get(k), "get({k})"),
+            }
+        }
+        let got = s.bottom_snapshot(false);
+        let want: Vec<(u64, u64)> = model.iter().collect();
+        assert_eq!(got, want);
+        s.check_consistency(false).unwrap();
+    }
+
+    #[test]
+    fn concurrent_disjoint_ranges() {
+        let s: SkipList<u64, u64, NvTraverse<Clwb>> = SkipList::new();
+        std::thread::scope(|sc| {
+            for tid in 0..4u64 {
+                let s = &s;
+                sc.spawn(move || {
+                    let base = tid * 500;
+                    for k in base..base + 500 {
+                        assert!(s.insert(k, k));
+                    }
+                    for k in (base..base + 500).step_by(2) {
+                        assert!(s.remove(k));
+                    }
+                });
+            }
+        });
+        assert_eq!(s.check_consistency(false).unwrap(), 1000);
+    }
+
+    #[test]
+    fn concurrent_contended_stress() {
+        use rand::prelude::*;
+        let s: SkipList<u64, u64, NvTraverse<Clwb>> = SkipList::new();
+        std::thread::scope(|sc| {
+            for tid in 0..4u64 {
+                let s = &s;
+                sc.spawn(move || {
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(tid);
+                    for _ in 0..2000 {
+                        let k = rng.random_range(0..64);
+                        match rng.random_range(0..10) {
+                            0..=3 => {
+                                s.insert(k, k);
+                            }
+                            4..=6 => {
+                                s.remove(k);
+                            }
+                            _ => {
+                                s.get(k);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        s.check_consistency(false).unwrap();
+    }
+
+    #[test]
+    fn recovery_rebuilds_towers_from_bottom() {
+        let s: SkipList<u64, u64, NvTraverse<Noop>> = SkipList::new();
+        for k in 0..500u64 {
+            s.insert(k, k);
+        }
+        // Wreck the towers (simulating their loss in a crash).
+        unsafe {
+            for level in 1..MAX_HEIGHT {
+                (*s.head).next[level].store(MarkedPtr::null());
+            }
+        }
+        s.recover();
+        assert_eq!(s.check_consistency(false).unwrap(), 500);
+        for k in 0..500u64 {
+            assert_eq!(s.get(k), Some(k), "get({k}) after tower rebuild");
+        }
+        assert!(s.insert(1000, 1), "usable after recovery");
+    }
+
+    #[test]
+    fn recovery_trims_bottom_marked_nodes() {
+        let s: SkipList<u64, u64, NvTraverse<Noop>> = SkipList::new();
+        for k in 0..10u64 {
+            s.insert(k, k);
+        }
+        unsafe {
+            // Mark key 4's bottom link by hand (crash mid-delete).
+            let mut cur = (*s.head).next[0].load().ptr();
+            while !cur.is_null() && (*cur).key.load() != 4 {
+                cur = (*cur).next[0].load().ptr();
+            }
+            let nw = (*cur).next[0].load();
+            (*cur).next[0].store(nw.with_mark());
+        }
+        s.recover();
+        assert_eq!(s.get(4), None);
+        assert_eq!(s.check_consistency(false).unwrap(), 9);
+    }
+
+    #[test]
+    fn height_sequence_is_deterministic_and_bounded() {
+        let s1: SkipList<u64, u64, Volatile> = SkipList::new();
+        let s2: SkipList<u64, u64, Volatile> = SkipList::new();
+        let h1: Vec<usize> = (0..100).map(|_| s1.next_height()).collect();
+        let h2: Vec<usize> = (0..100).map(|_| s2.next_height()).collect();
+        assert_eq!(h1, h2, "two fresh lists must draw identical heights");
+        assert!(h1.iter().all(|&h| (1..=MAX_HEIGHT).contains(&h)));
+        assert!(h1.iter().any(|&h| h > 1), "degenerate height sequence");
+    }
+}

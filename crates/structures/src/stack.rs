@@ -1,0 +1,296 @@
+//! A Treiber stack in traversal form — the smallest possible traversal data
+//! structure (paper §3: stacks are traversal data structures; the traversal
+//! is empty and the entry point is the top-of-stack anchor).
+
+use nvtraverse::alloc::{alloc_node, free};
+use nvtraverse::marked::MarkedPtr;
+use nvtraverse::ops::{run_operation, Critical, PersistSet, TraversalOps};
+use nvtraverse::policy::Durability;
+use nvtraverse_ebr::{Collector, Guard};
+use nvtraverse_pmem::{Backend, PCell, Word};
+use std::fmt;
+use std::marker::PhantomData;
+
+/// A stack node; `value` and `next` are immutable after initialization
+/// (a popped node is disconnected, never relinked).
+pub struct StackNode<V: Word, B: Backend> {
+    value: PCell<V, B>,
+    next: PCell<MarkedPtr<StackNode<V, B>>, B>,
+}
+
+impl<V: Word, B: Backend> fmt::Debug for StackNode<V, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("StackNode")
+    }
+}
+
+/// One stack operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackOp<V> {
+    /// Push a value.
+    Push(V),
+    /// Pop the most recent value.
+    Pop,
+}
+
+/// A lock-free LIFO stack.
+///
+/// # Example
+///
+/// ```
+/// use nvtraverse::policy::NvTraverse;
+/// use nvtraverse_pmem::Clwb;
+/// use nvtraverse_structures::stack::TreiberStack;
+///
+/// let s: TreiberStack<u64, NvTraverse<Clwb>> = TreiberStack::new();
+/// s.push(1);
+/// s.push(2);
+/// assert_eq!(s.pop(), Some(2));
+/// assert_eq!(s.pop(), Some(1));
+/// assert_eq!(s.pop(), None);
+/// ```
+pub struct TreiberStack<V: Word, D: Durability> {
+    top: *mut PCell<MarkedPtr<StackNode<V, D::B>>, D::B>,
+    collector: Collector,
+    _marker: PhantomData<fn() -> D>,
+}
+
+unsafe impl<V: Word, D: Durability> Send for TreiberStack<V, D> {}
+unsafe impl<V: Word, D: Durability> Sync for TreiberStack<V, D> {}
+
+impl<V, D> TreiberStack<V, D>
+where
+    V: Word,
+    D: Durability,
+{
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Self::with_collector(Collector::new())
+    }
+
+    /// Creates an empty stack retiring into `collector`.
+    pub fn with_collector(collector: Collector) -> Self {
+        let top = alloc_node::<_, D::B>(PCell::new(MarkedPtr::null()));
+        D::persist_new_node(top as *const u8, 8);
+        D::before_return();
+        TreiberStack {
+            top,
+            collector,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Pushes `value`.
+    pub fn push(&self, value: V) {
+        let guard = self.collector.pin();
+        let _ = run_operation(self, &guard, StackOp::Push(value));
+    }
+
+    /// Pops the most recently pushed value.
+    pub fn pop(&self) -> Option<V> {
+        let guard = self.collector.pin();
+        run_operation(self, &guard, StackOp::Pop)
+    }
+
+    /// Quiescent: number of values.
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        unsafe {
+            let mut cur = (*self.top).load().ptr();
+            while !cur.is_null() {
+                n += 1;
+                cur = (*cur).next.load().ptr();
+            }
+        }
+        n
+    }
+
+    /// Quiescent: whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        unsafe { (*self.top).load().is_null() }
+    }
+
+    /// Post-crash recovery: the stack's core is just the top pointer and the
+    /// (immutable) chain below it — nothing to reconstruct.
+    pub fn recover(&self) {}
+}
+
+impl<V, D> TraversalOps for TreiberStack<V, D>
+where
+    V: Word,
+    D: Durability,
+{
+    type D = D;
+    type Input = StackOp<V>;
+    type Output = Option<V>;
+    type Entry = ();
+    /// The window is the observed top word.
+    type Window = MarkedPtr<StackNode<V, D::B>>;
+
+    fn find_entry(&self, _guard: &Guard, _input: Self::Input) {}
+
+    fn traverse(&self, _guard: &Guard, _entry: (), _input: Self::Input) -> Self::Window {
+        // The "journey" is empty: the destination is the top word itself.
+        D::t_load_link(unsafe { &*self.top })
+    }
+
+    fn collect_persist_set(&self, _w: &Self::Window, out: &mut PersistSet) {
+        out.push(unsafe { (*self.top).addr() });
+    }
+
+    fn critical(
+        &self,
+        guard: &Guard,
+        w: Self::Window,
+        input: Self::Input,
+    ) -> Critical<Self::Output> {
+        let top = unsafe { &*self.top };
+        match input {
+            StackOp::Push(value) => {
+                let node = alloc_node::<_, D::B>(StackNode {
+                    value: PCell::new(value),
+                    next: PCell::new(w),
+                });
+                D::persist_new_node(node as *const u8, std::mem::size_of::<StackNode<V, D::B>>());
+                match D::c_cas_link(top, w, MarkedPtr::new(node)) {
+                    Ok(()) => Critical::Done(None),
+                    Err(_) => {
+                        unsafe { free(node) };
+                        Critical::Restart
+                    }
+                }
+            }
+            StackOp::Pop => {
+                if w.is_null() {
+                    return Critical::Done(None);
+                }
+                let node = w.ptr();
+                let next = D::load_fixed(unsafe { &(*node).next });
+                match D::c_cas_link(top, w, next) {
+                    Ok(()) => {
+                        let value = D::load_fixed(unsafe { &(*node).value });
+                        unsafe { guard.retire(node) };
+                        Critical::Done(Some(value))
+                    }
+                    Err(_) => Critical::Restart,
+                }
+            }
+        }
+    }
+}
+
+impl<V: Word, D: Durability> Default for TreiberStack<V, D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Word, D: Durability> fmt::Debug for TreiberStack<V, D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TreiberStack")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<V: Word, D: Durability> Drop for TreiberStack<V, D> {
+    fn drop(&mut self) {
+        // Poisoned links (unrecovered crash) end the walk; the tail leaks.
+        let teardown = |bits: u64| {
+            if bits == nvtraverse_pmem::POISON {
+                std::ptr::null_mut()
+            } else {
+                MarkedPtr::<StackNode<V, D::B>>::from_bits_raw(bits).ptr()
+            }
+        };
+        unsafe {
+            let mut cur = teardown((*self.top).peek_bits());
+            while !cur.is_null() {
+                let nxt = teardown((*cur).next.peek_bits());
+                free(cur);
+                cur = nxt;
+            }
+            free(self.top);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvtraverse::policy::{Izraelevitz, NvTraverse, Volatile};
+    use nvtraverse_pmem::{Clwb, Noop};
+
+    fn lifo_smoke<D: Durability>() {
+        let s: TreiberStack<u64, D> = TreiberStack::new();
+        assert!(s.is_empty());
+        assert_eq!(s.pop(), None);
+        for v in 0..50u64 {
+            s.push(v);
+        }
+        assert_eq!(s.len(), 50);
+        for v in (0..50u64).rev() {
+            assert_eq!(s.pop(), Some(v), "LIFO order violated");
+        }
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn volatile_lifo() {
+        lifo_smoke::<Volatile>();
+    }
+
+    #[test]
+    fn nvtraverse_lifo() {
+        lifo_smoke::<NvTraverse<Clwb>>();
+    }
+
+    #[test]
+    fn izraelevitz_lifo() {
+        lifo_smoke::<Izraelevitz<Clwb>>();
+    }
+
+    #[test]
+    fn push_pop_interleaving() {
+        let s: TreiberStack<u64, NvTraverse<Noop>> = TreiberStack::new();
+        s.push(1);
+        s.push(2);
+        assert_eq!(s.pop(), Some(2));
+        s.push(3);
+        assert_eq!(s.pop(), Some(3));
+        assert_eq!(s.pop(), Some(1));
+    }
+
+    #[test]
+    fn concurrent_push_pop_conserves_items() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        const THREADS: u64 = 4;
+        const PER: u64 = 1500;
+        let s: TreiberStack<u64, NvTraverse<Clwb>> = TreiberStack::new();
+        let popped = Mutex::new(HashSet::new());
+        std::thread::scope(|sc| {
+            for t in 0..THREADS {
+                let s = &s;
+                let popped = &popped;
+                sc.spawn(move || {
+                    let mut local = HashSet::new();
+                    for i in 0..PER {
+                        s.push(t * PER + i);
+                        if i % 2 == 0 {
+                            if let Some(v) = s.pop() {
+                                local.insert(v);
+                            }
+                        }
+                    }
+                    popped.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let mut all = popped.into_inner().unwrap();
+        while let Some(v) = s.pop() {
+            assert!(all.insert(v), "duplicate value {v}");
+        }
+        assert_eq!(all.len(), (THREADS * PER) as usize, "lost items");
+    }
+}

@@ -1,0 +1,8 @@
+//! Umbrella crate for the NVTraverse reproduction: re-exports every
+//! sub-crate so integration tests and examples have a single dependency.
+
+pub use nvtraverse as core;
+pub use nvtraverse_ebr as ebr;
+pub use nvtraverse_onefile as onefile;
+pub use nvtraverse_pmem as pmem;
+pub use nvtraverse_structures as structures;

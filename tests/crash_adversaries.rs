@@ -1,0 +1,211 @@
+//! Crash tests under the *eviction* adversary: the paper's model (§2) allows
+//! any value to be "persisted implicitly by the system, corresponding to an
+//! automatic cache eviction". A durably linearizable structure must tolerate
+//! both extremes — nothing evicts (the default adversary in `crash_sets.rs`)
+//! and everything evicts eagerly — and the spectrum in between.
+
+mod common;
+
+use common::{exhaustive_crash_test, standard_workload};
+use nvtraverse::model::{key_verdict, MutOp};
+use nvtraverse::policy::{Izraelevitz, LinkPersist, NvTraverse};
+use nvtraverse::DurableSet;
+use nvtraverse_ebr::Collector;
+use nvtraverse_pmem::sim::{install_quiet_panic_hook, run_crashable, SimHandle};
+use nvtraverse_pmem::Sim;
+use nvtraverse_structures::ellen_bst::EllenBst;
+use nvtraverse_structures::list::HarrisList;
+use nvtraverse_structures::nm_bst::NmBst;
+use nvtraverse_structures::skiplist::SkipList;
+
+/// Like the standard harness, but with background evictions persisting the
+/// touched cell every `period` events.
+fn crash_with_evictions<S, F, C>(factory: F, period: u64, check: C)
+where
+    S: DurableSet<u64, u64>,
+    F: Fn() -> S,
+    C: Fn(&S) -> Result<usize, String>,
+{
+    install_quiet_panic_hook();
+    let (prefill, workload) = standard_workload();
+    // Learn the span with evictions enabled (they add no steps, only
+    // persists, so the span matches the no-eviction one; still, compute it
+    // the same way for clarity).
+    let total = {
+        let sim = SimHandle::new();
+        sim.set_evict_period(period);
+        let g = sim.enter();
+        let s = factory();
+        for &(k, v) in &prefill {
+            s.insert(k, v);
+        }
+        for op in &workload {
+            match *op {
+                common::Step::Insert(k, v) => {
+                    s.insert(k, v);
+                }
+                common::Step::Remove(k) => {
+                    s.remove(k);
+                }
+                common::Step::Get(k) => {
+                    s.get(k);
+                }
+            }
+        }
+        let t = sim.steps();
+        drop(s);
+        drop(g);
+        t
+    };
+
+    // Sample crash points (evictions make runs non-identical in persisted
+    // state but identical in step count).
+    let stride = (total / 60).max(1);
+    let mut crash_at = 1;
+    while crash_at <= total {
+        let sim = SimHandle::new();
+        sim.set_evict_period(period);
+        let g = sim.enter();
+        let s = factory();
+        for &(k, v) in &prefill {
+            s.insert(k, v);
+        }
+        let mut completed: Vec<MutOp> = Vec::new();
+        let mut in_flight: Option<MutOp> = None;
+        sim.arm_crash_at_step(crash_at);
+        let completed_ref = std::cell::RefCell::new(&mut completed);
+        let in_flight_ref = std::cell::RefCell::new(&mut in_flight);
+        let _ = run_crashable(|| {
+            for op in &workload {
+                match *op {
+                    common::Step::Insert(k, v) => {
+                        **in_flight_ref.borrow_mut() = Some(MutOp::Insert {
+                            key: k,
+                            succeeded: false,
+                        });
+                        let ok = s.insert(k, v);
+                        completed_ref.borrow_mut().push(MutOp::Insert {
+                            key: k,
+                            succeeded: ok,
+                        });
+                    }
+                    common::Step::Remove(k) => {
+                        **in_flight_ref.borrow_mut() = Some(MutOp::Remove {
+                            key: k,
+                            succeeded: false,
+                        });
+                        let ok = s.remove(k);
+                        completed_ref.borrow_mut().push(MutOp::Remove {
+                            key: k,
+                            succeeded: ok,
+                        });
+                    }
+                    common::Step::Get(k) => {
+                        s.get(k);
+                    }
+                }
+                **in_flight_ref.borrow_mut() = None;
+            }
+        });
+        unsafe { sim.crash_and_rollback() };
+        s.recover();
+        check(&s).unwrap_or_else(|e| panic!("invariants (evict={period}): {e}"));
+        let mut keys: Vec<u64> = prefill.iter().map(|&(k, _)| k).collect();
+        keys.extend(workload.iter().map(|op| op.key()));
+        keys.sort_unstable();
+        keys.dedup();
+        for k in keys {
+            let history: Vec<MutOp> =
+                completed.iter().copied().filter(|op| op.key() == k).collect();
+            let fl = in_flight.filter(|op| op.key() == k);
+            let initially = prefill.iter().any(|&(pk, _)| pk == k);
+            let verdict = key_verdict(initially, &history, fl);
+            assert!(
+                verdict.allows(s.contains(k)),
+                "evict={period}, crash@{crash_at}, key {k}: verdict {verdict:?} violated"
+            );
+        }
+        drop(s);
+        drop(g);
+        crash_at += stride;
+    }
+}
+
+#[test]
+fn list_survives_crashes_under_eager_eviction() {
+    crash_with_evictions(
+        || HarrisList::<u64, u64, NvTraverse<Sim>>::with_collector(Collector::leaking()),
+        1, // evict on every access: maximally leaky caches
+        |l| l.check_consistency(false),
+    );
+}
+
+#[test]
+fn list_survives_crashes_under_sparse_eviction() {
+    crash_with_evictions(
+        || HarrisList::<u64, u64, NvTraverse<Sim>>::with_collector(Collector::leaking()),
+        13,
+        |l| l.check_consistency(false),
+    );
+}
+
+#[test]
+fn ellen_bst_survives_crashes_under_eviction() {
+    crash_with_evictions(
+        || EllenBst::<u64, u64, NvTraverse<Sim>>::with_collector(Collector::leaking()),
+        7,
+        |t| t.check_consistency(true),
+    );
+}
+
+#[test]
+fn nm_bst_survives_crashes_under_eviction() {
+    crash_with_evictions(
+        || NmBst::<u64, u64, NvTraverse<Sim>>::with_collector(Collector::leaking()),
+        7,
+        |t| t.check_consistency(true),
+    );
+}
+
+#[test]
+fn skiplist_survives_crashes_under_eviction() {
+    crash_with_evictions(
+        || SkipList::<u64, u64, NvTraverse<Sim>>::with_collector(Collector::leaking()),
+        7,
+        |s| s.check_consistency(false),
+    );
+}
+
+#[test]
+fn izraelevitz_bsts_survive_every_crash_point() {
+    // The baselines must be durable too (they persist strictly more).
+    install_quiet_panic_hook();
+    let (prefill, workload) = standard_workload();
+    exhaustive_crash_test(
+        || EllenBst::<u64, u64, Izraelevitz<Sim>>::with_collector(Collector::leaking()),
+        &prefill,
+        &workload,
+        250,
+        |t| t.check_consistency(true),
+    );
+    exhaustive_crash_test(
+        || NmBst::<u64, u64, Izraelevitz<Sim>>::with_collector(Collector::leaking()),
+        &prefill,
+        &workload,
+        250,
+        |t| t.check_consistency(true),
+    );
+}
+
+#[test]
+fn link_persist_skiplist_survives_every_crash_point() {
+    install_quiet_panic_hook();
+    let (prefill, workload) = standard_workload();
+    exhaustive_crash_test(
+        || SkipList::<u64, u64, LinkPersist<Sim>>::with_collector(Collector::leaking()),
+        &prefill,
+        &workload,
+        250,
+        |s| s.check_consistency(false),
+    );
+}

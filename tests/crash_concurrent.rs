@@ -1,0 +1,192 @@
+//! Concurrent crash tests: several threads mutate disjoint key ranges while
+//! a crash is triggered at a random moment; after rollback and recovery,
+//! every thread's completed operations must have survived and each in-flight
+//! operation must be atomic (all-or-nothing) — durable linearizability under
+//! real concurrency, not just sequential replay.
+
+use nvtraverse::model::{key_verdict, MutOp};
+use nvtraverse::policy::NvTraverse;
+use nvtraverse::DurableSet;
+use nvtraverse_ebr::Collector;
+use nvtraverse_pmem::sim::{install_quiet_panic_hook, run_crashable, SimHandle};
+use nvtraverse_pmem::Sim;
+use nvtraverse_structures::ellen_bst::EllenBst;
+use nvtraverse_structures::hash::HashMapDs;
+use nvtraverse_structures::list::HarrisList;
+use nvtraverse_structures::nm_bst::NmBst;
+use nvtraverse_structures::skiplist::SkipList;
+
+const THREADS: u64 = 3;
+const KEYS_PER_THREAD: u64 = 16;
+const ROUNDS: usize = 6;
+
+/// Per-thread log: completed mutating ops (in program order) plus the op in
+/// flight when the crash hit.
+struct ThreadLog {
+    completed: Vec<MutOp>,
+    in_flight: Option<MutOp>,
+}
+
+#[allow(unused_assignments)] // `in_flight` is read after the crash unwind
+fn worker<S: DurableSet<u64, u64>>(s: &S, sim: SimHandle, tid: u64, seed: u64) -> ThreadLog {
+    use rand::prelude::*;
+    let _g = sim.enter();
+    let mut rng = SmallRng::seed_from_u64(seed ^ tid.wrapping_mul(0xABCD));
+    let base = tid * KEYS_PER_THREAD;
+    let mut completed = Vec::new();
+    let mut in_flight: Option<MutOp> = None;
+    let _ = run_crashable(|| loop {
+        let k = base + rng.random_range(0..KEYS_PER_THREAD);
+        match rng.random_range(0..3u32) {
+            0 => {
+                in_flight = Some(MutOp::Insert {
+                    key: k,
+                    succeeded: false,
+                });
+                let ok = s.insert(k, k + 1000);
+                completed.push(MutOp::Insert {
+                    key: k,
+                    succeeded: ok,
+                });
+            }
+            1 => {
+                in_flight = Some(MutOp::Remove {
+                    key: k,
+                    succeeded: false,
+                });
+                let ok = s.remove(k);
+                completed.push(MutOp::Remove {
+                    key: k,
+                    succeeded: ok,
+                });
+            }
+            _ => {
+                in_flight = None;
+                s.get(k);
+            }
+        }
+        in_flight = None;
+    });
+    ThreadLog {
+        completed,
+        in_flight,
+    }
+}
+
+fn concurrent_crash_round<S, F, C>(factory: F, check: C, round: usize)
+where
+    S: DurableSet<u64, u64>,
+    F: FnOnce() -> S,
+    C: FnOnce(&S) -> Result<usize, String>,
+{
+    install_quiet_panic_hook();
+    let sim = SimHandle::new();
+
+    // Build + prefill even keys inside a context, then release it.
+    let g = sim.enter();
+    let s = factory();
+    for t in 0..THREADS {
+        for k in (t * KEYS_PER_THREAD..(t + 1) * KEYS_PER_THREAD).step_by(2) {
+            s.insert(k, k);
+        }
+    }
+    drop(g);
+
+    let logs: Vec<ThreadLog> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let s = &s;
+            let sim = sim.clone();
+            handles.push(scope.spawn(move || worker(s, sim, t, round as u64 * 7919)));
+        }
+        // Let them run briefly, then pull the plug.
+        std::thread::sleep(std::time::Duration::from_millis(8 + (round as u64 % 3) * 7));
+        sim.trigger_crash();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Post-crash: rollback, recover, validate.
+    let g = sim.enter();
+    let report = unsafe { sim.crash_and_rollback() };
+    let _ = report;
+    s.recover();
+    check(&s).unwrap_or_else(|e| panic!("invariants broken after concurrent crash: {e}"));
+
+    for (t, log) in logs.iter().enumerate() {
+        let base = t as u64 * KEYS_PER_THREAD;
+        for k in base..base + KEYS_PER_THREAD {
+            let history: Vec<MutOp> = log
+                .completed
+                .iter()
+                .copied()
+                .filter(|op| op.key() == k)
+                .collect();
+            let fl = log.in_flight.filter(|op| op.key() == k);
+            let initially = k % 2 == 0;
+            let verdict = key_verdict(initially, &history, fl);
+            let present = s.contains(k);
+            assert!(
+                verdict.allows(present),
+                "thread {t} key {k}: present={present} but verdict={verdict:?} \
+                 (history={history:?}, in_flight={fl:?})"
+            );
+        }
+    }
+    drop(s);
+    drop(g);
+}
+
+#[test]
+fn list_survives_concurrent_crashes() {
+    for round in 0..ROUNDS {
+        concurrent_crash_round(
+            || HarrisList::<u64, u64, NvTraverse<Sim>>::with_collector(Collector::leaking()),
+            |l| l.check_consistency(false),
+            round,
+        );
+    }
+}
+
+#[test]
+fn hash_survives_concurrent_crashes() {
+    for round in 0..ROUNDS {
+        concurrent_crash_round(
+            || HashMapDs::<u64, u64, NvTraverse<Sim>>::with_collector(4, Collector::leaking()),
+            |m| m.check_consistency(false),
+            round,
+        );
+    }
+}
+
+#[test]
+fn ellen_bst_survives_concurrent_crashes() {
+    for round in 0..ROUNDS {
+        concurrent_crash_round(
+            || EllenBst::<u64, u64, NvTraverse<Sim>>::with_collector(Collector::leaking()),
+            |t| t.check_consistency(true),
+            round,
+        );
+    }
+}
+
+#[test]
+fn nm_bst_survives_concurrent_crashes() {
+    for round in 0..ROUNDS {
+        concurrent_crash_round(
+            || NmBst::<u64, u64, NvTraverse<Sim>>::with_collector(Collector::leaking()),
+            |t| t.check_consistency(true),
+            round,
+        );
+    }
+}
+
+#[test]
+fn skiplist_survives_concurrent_crashes() {
+    for round in 0..ROUNDS {
+        concurrent_crash_round(
+            || SkipList::<u64, u64, NvTraverse<Sim>>::with_collector(Collector::leaking()),
+            |s| s.check_consistency(false),
+            round,
+        );
+    }
+}

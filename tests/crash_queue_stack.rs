@@ -1,0 +1,214 @@
+//! Crash-point tests for the queue and stack (the paper's §3 claim that
+//! traversal data structures capture more than sets).
+//!
+//! Durable linearizability for a queue: after recovery the queue must hold
+//! exactly the completed enqueues minus the completed dequeues, in FIFO
+//! order, with the in-flight operation (if any) applied or not. Same idea
+//! for the stack with LIFO order.
+
+use nvtraverse::policy::NvTraverse;
+use nvtraverse_ebr::Collector;
+use nvtraverse_pmem::sim::{install_quiet_panic_hook, run_crashable, SimHandle};
+use nvtraverse_pmem::Sim;
+use nvtraverse_structures::queue::MsQueue;
+use nvtraverse_structures::stack::TreiberStack;
+use std::cell::{Cell, RefCell};
+
+const ENQS: u64 = 8;
+const DEQS: u64 = 4;
+
+/// Enumerate crash points across a mixed enqueue/dequeue run.
+#[test]
+fn queue_survives_every_crash_point() {
+    install_quiet_panic_hook();
+    // Pass 1: step span.
+    let total = {
+        let sim = SimHandle::new();
+        let g = sim.enter();
+        let q: MsQueue<u64, NvTraverse<Sim>> = MsQueue::with_collector(Collector::leaking());
+        run_queue_workload(&q, &RefCell::new(Vec::new()), &Cell::new(None));
+        let t = sim.steps();
+        drop(q);
+        drop(g);
+        t
+    };
+
+    for crash_at in 1..=total + 1 {
+        let sim = SimHandle::new();
+        let g = sim.enter();
+        let q: MsQueue<u64, NvTraverse<Sim>> = MsQueue::with_collector(Collector::leaking());
+        let enq_done: RefCell<Vec<u64>> = RefCell::new(Vec::new());
+        let deq_done: RefCell<Vec<u64>> = RefCell::new(Vec::new());
+        let in_flight: Cell<Option<&'static str>> = Cell::new(None);
+        sim.arm_crash_at_step(crash_at);
+        let _ = run_crashable(|| {
+            for v in 1..=ENQS {
+                in_flight.set(Some("enq"));
+                q.enqueue(v);
+                enq_done.borrow_mut().push(v);
+                in_flight.set(None);
+            }
+            for _ in 0..DEQS {
+                in_flight.set(Some("deq"));
+                if let Some(v) = q.dequeue() {
+                    deq_done.borrow_mut().push(v);
+                }
+                in_flight.set(None);
+            }
+        });
+        unsafe { sim.crash_and_rollback() };
+        q.recover();
+
+        let enq_done = enq_done.into_inner();
+        let deq_done = deq_done.into_inner();
+        let in_flight = in_flight.get();
+
+        // Dequeues must have come off the front in order.
+        let expect_prefix: Vec<u64> = (1..=deq_done.len() as u64).collect();
+        assert_eq!(deq_done, expect_prefix, "completed dequeues out of order");
+
+        // Surviving content must be a FIFO-consistent window:
+        // values (deq_done.len() [+1 if an in-flight dequeue applied]) + 1
+        // ..= enq_done.len() [+1 if an in-flight enqueue applied].
+        let mut rest = Vec::new();
+        while let Some(v) = q.dequeue() {
+            rest.push(v);
+        }
+        let n_deq = deq_done.len() as u64;
+        let n_enq = enq_done.len() as u64;
+        let start_ok = |s: u64| {
+            s == n_deq + 1 || (in_flight == Some("deq") && s == n_deq + 2)
+        };
+        let end_ok = |e: u64| {
+            e == n_enq || (in_flight == Some("enq") && e == n_enq + 1)
+        };
+        if rest.is_empty() {
+            assert!(
+                n_enq == n_deq
+                    || (in_flight == Some("deq") && n_enq == n_deq + 1)
+                    || (n_enq == 0),
+                "queue empty after crash at {crash_at} but {n_enq} enqueued, {n_deq} dequeued"
+            );
+        } else {
+            assert!(
+                rest.windows(2).all(|w| w[1] == w[0] + 1),
+                "queue contents not contiguous after crash at {crash_at}: {rest:?}"
+            );
+            assert!(
+                start_ok(rest[0]),
+                "queue head {} wrong after crash at {crash_at} (deq_done={n_deq}, in_flight={in_flight:?})",
+                rest[0]
+            );
+            assert!(
+                end_ok(*rest.last().unwrap()),
+                "queue tail {} wrong after crash at {crash_at} (enq_done={n_enq}, in_flight={in_flight:?})",
+                rest.last().unwrap()
+            );
+        }
+        // Post-recovery usability.
+        q.enqueue(99);
+        assert_eq!(q.dequeue(), Some(99));
+        drop(q);
+        drop(g);
+    }
+}
+
+fn run_queue_workload(
+    q: &MsQueue<u64, NvTraverse<Sim>>,
+    _enq_done: &RefCell<Vec<u64>>,
+    _in_flight: &Cell<Option<&'static str>>,
+) {
+    for v in 1..=ENQS {
+        q.enqueue(v);
+    }
+    for _ in 0..DEQS {
+        q.dequeue();
+    }
+}
+
+#[test]
+fn stack_survives_every_crash_point() {
+    install_quiet_panic_hook();
+    const PUSHES: u64 = 6;
+    const POPS: u64 = 3;
+    let total = {
+        let sim = SimHandle::new();
+        let g = sim.enter();
+        let s: TreiberStack<u64, NvTraverse<Sim>> =
+            TreiberStack::with_collector(Collector::leaking());
+        for v in 1..=PUSHES {
+            s.push(v);
+        }
+        for _ in 0..POPS {
+            s.pop();
+        }
+        let t = sim.steps();
+        drop(s);
+        drop(g);
+        t
+    };
+
+    for crash_at in 1..=total + 1 {
+        let sim = SimHandle::new();
+        let g = sim.enter();
+        let s: TreiberStack<u64, NvTraverse<Sim>> =
+            TreiberStack::with_collector(Collector::leaking());
+        let pushes_done: Cell<u64> = Cell::new(0);
+        let pops_done: RefCell<Vec<u64>> = RefCell::new(Vec::new());
+        let in_flight: Cell<Option<&'static str>> = Cell::new(None);
+        sim.arm_crash_at_step(crash_at);
+        let _ = run_crashable(|| {
+            for v in 1..=PUSHES {
+                in_flight.set(Some("push"));
+                s.push(v);
+                pushes_done.set(v);
+                in_flight.set(None);
+            }
+            for _ in 0..POPS {
+                in_flight.set(Some("pop"));
+                if let Some(v) = s.pop() {
+                    pops_done.borrow_mut().push(v);
+                }
+                in_flight.set(None);
+            }
+        });
+        unsafe { sim.crash_and_rollback() };
+        s.recover();
+
+        let n_push = pushes_done.get();
+        let pops = pops_done.into_inner();
+        let in_flight = in_flight.get();
+
+        // Completed pops must be the top elements in LIFO order.
+        for (i, v) in pops.iter().enumerate() {
+            assert_eq!(*v, n_push - i as u64, "pop order wrong");
+        }
+        let mut rest = Vec::new();
+        while let Some(v) = s.pop() {
+            rest.push(v);
+        }
+        // Remaining must be n_push - pops [- maybe in-flight pop]
+        // [+ maybe in-flight push], descending contiguous from the top.
+        let expected_top_base = n_push - pops.len() as u64;
+        if !rest.is_empty() {
+            let top = rest[0];
+            let top_ok = top == expected_top_base
+                || (in_flight == Some("push") && top == expected_top_base + 1)
+                || (in_flight == Some("pop") && top + 1 == expected_top_base);
+            assert!(
+                top_ok,
+                "stack top {top} unexpected after crash at {crash_at} \
+                 (pushes={n_push}, pops={}, in_flight={in_flight:?})",
+                pops.len()
+            );
+            assert!(
+                rest.windows(2).all(|w| w[1] + 1 == w[0]),
+                "stack not contiguous after crash at {crash_at}: {rest:?}"
+            );
+        }
+        s.push(42);
+        assert_eq!(s.pop(), Some(42), "stack unusable after recovery");
+        drop(s);
+        drop(g);
+    }
+}

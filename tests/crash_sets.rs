@@ -1,0 +1,206 @@
+//! Crash-point testing of every set structure under the NVTraverse
+//! transformation: the executable counterpart of Theorem 4.2.
+//!
+//! Each test replays a deterministic workload on the simulated NVRAM with a
+//! crash injected at (up to) every simulated memory event, then verifies
+//! recovery restores a durably linearizable state. See `common/mod.rs`.
+
+mod common;
+
+use common::{exhaustive_crash_test, standard_workload, Step};
+use nvtraverse::policy::{Izraelevitz, LinkPersist, NvTraverse};
+use nvtraverse_ebr::Collector;
+use nvtraverse_pmem::sim::install_quiet_panic_hook;
+use nvtraverse_pmem::Sim;
+use nvtraverse_structures::ellen_bst::EllenBst;
+use nvtraverse_structures::hash::HashMapDs;
+use nvtraverse_structures::list::{HarrisList, HarrisListOrigParent};
+use nvtraverse_structures::nm_bst::NmBst;
+use nvtraverse_structures::skiplist::SkipList;
+
+const MAX_POINTS: usize = 500;
+
+#[test]
+fn list_nvtraverse_survives_every_crash_point() {
+    install_quiet_panic_hook();
+    let (prefill, workload) = standard_workload();
+    let stats = exhaustive_crash_test(
+        || HarrisList::<u64, u64, NvTraverse<Sim>>::with_collector(Collector::leaking()),
+        &prefill,
+        &workload,
+        MAX_POINTS,
+        |l| l.check_consistency(false),
+    );
+    assert!(stats.crashed_runs > 0, "no crash point actually fired");
+    assert!(
+        stats.poisoned_cells_total > 0,
+        "the adversary never poisoned anything — the simulation is too tame"
+    );
+}
+
+#[test]
+fn list_orig_parent_variant_survives_every_crash_point() {
+    install_quiet_panic_hook();
+    let (prefill, workload) = standard_workload();
+    exhaustive_crash_test(
+        || {
+            HarrisListOrigParent::<u64, u64, NvTraverse<Sim>>::with_collector(
+                Collector::leaking(),
+            )
+        },
+        &prefill,
+        &workload,
+        MAX_POINTS,
+        |l| l.check_consistency(false),
+    );
+}
+
+#[test]
+fn list_izraelevitz_survives_every_crash_point() {
+    // The general transformation must also pass — it persists strictly more.
+    install_quiet_panic_hook();
+    let (prefill, workload) = standard_workload();
+    exhaustive_crash_test(
+        || HarrisList::<u64, u64, Izraelevitz<Sim>>::with_collector(Collector::leaking()),
+        &prefill,
+        &workload,
+        MAX_POINTS,
+        |l| l.check_consistency(false),
+    );
+}
+
+#[test]
+fn list_link_persist_survives_every_crash_point() {
+    install_quiet_panic_hook();
+    let (prefill, workload) = standard_workload();
+    exhaustive_crash_test(
+        || HarrisList::<u64, u64, LinkPersist<Sim>>::with_collector(Collector::leaking()),
+        &prefill,
+        &workload,
+        MAX_POINTS,
+        |l| l.check_consistency(false),
+    );
+}
+
+#[test]
+fn hash_nvtraverse_survives_every_crash_point() {
+    install_quiet_panic_hook();
+    let (prefill, workload) = standard_workload();
+    exhaustive_crash_test(
+        || HashMapDs::<u64, u64, NvTraverse<Sim>>::with_collector(4, Collector::leaking()),
+        &prefill,
+        &workload,
+        MAX_POINTS,
+        |m| m.check_consistency(false),
+    );
+}
+
+#[test]
+fn ellen_bst_nvtraverse_survives_every_crash_point() {
+    install_quiet_panic_hook();
+    let (prefill, workload) = standard_workload();
+    exhaustive_crash_test(
+        || EllenBst::<u64, u64, NvTraverse<Sim>>::with_collector(Collector::leaking()),
+        &prefill,
+        &workload,
+        MAX_POINTS,
+        |t| t.check_consistency(true),
+    );
+}
+
+#[test]
+fn nm_bst_nvtraverse_survives_every_crash_point() {
+    install_quiet_panic_hook();
+    let (prefill, workload) = standard_workload();
+    exhaustive_crash_test(
+        || NmBst::<u64, u64, NvTraverse<Sim>>::with_collector(Collector::leaking()),
+        &prefill,
+        &workload,
+        MAX_POINTS,
+        |t| t.check_consistency(true),
+    );
+}
+
+#[test]
+fn skiplist_nvtraverse_survives_every_crash_point() {
+    install_quiet_panic_hook();
+    let (prefill, workload) = standard_workload();
+    exhaustive_crash_test(
+        || SkipList::<u64, u64, NvTraverse<Sim>>::with_collector(Collector::leaking()),
+        &prefill,
+        &workload,
+        MAX_POINTS,
+        |s| s.check_consistency(false),
+    );
+}
+
+#[test]
+fn list_crash_during_heavy_deletion_phase() {
+    // Deletion is where marks, trims and reclamation interact; focus there.
+    install_quiet_panic_hook();
+    let prefill: Vec<(u64, u64)> = (1..=10u64).map(|k| (k, k * 10)).collect();
+    let workload: Vec<Step> = (1..=10u64).map(Step::Remove).collect();
+    exhaustive_crash_test(
+        || HarrisList::<u64, u64, NvTraverse<Sim>>::with_collector(Collector::leaking()),
+        &prefill,
+        &workload,
+        MAX_POINTS,
+        |l| l.check_consistency(false),
+    );
+}
+
+#[test]
+fn skiplist_crash_during_heavy_deletion_phase() {
+    install_quiet_panic_hook();
+    let prefill: Vec<(u64, u64)> = (1..=8u64).map(|k| (k, k * 10)).collect();
+    let workload: Vec<Step> = (1..=8u64).map(Step::Remove).collect();
+    exhaustive_crash_test(
+        || SkipList::<u64, u64, NvTraverse<Sim>>::with_collector(Collector::leaking()),
+        &prefill,
+        &workload,
+        MAX_POINTS,
+        |s| s.check_consistency(false),
+    );
+}
+
+#[test]
+fn ellen_bst_crash_during_heavy_deletion_phase() {
+    install_quiet_panic_hook();
+    let prefill: Vec<(u64, u64)> = (1..=8u64).map(|k| (k, k * 10)).collect();
+    let workload: Vec<Step> = (1..=8u64).map(Step::Remove).collect();
+    exhaustive_crash_test(
+        || EllenBst::<u64, u64, NvTraverse<Sim>>::with_collector(Collector::leaking()),
+        &prefill,
+        &workload,
+        MAX_POINTS,
+        |t| t.check_consistency(true),
+    );
+}
+
+#[test]
+fn nm_bst_crash_during_heavy_deletion_phase() {
+    install_quiet_panic_hook();
+    let prefill: Vec<(u64, u64)> = (1..=8u64).map(|k| (k, k * 10)).collect();
+    let workload: Vec<Step> = (1..=8u64).map(Step::Remove).collect();
+    exhaustive_crash_test(
+        || NmBst::<u64, u64, NvTraverse<Sim>>::with_collector(Collector::leaking()),
+        &prefill,
+        &workload,
+        MAX_POINTS,
+        |t| t.check_consistency(true),
+    );
+}
+
+#[test]
+fn list_crash_on_empty_structure_growth() {
+    // From empty: the very first inserts exercise root-link persistence.
+    install_quiet_panic_hook();
+    let workload: Vec<Step> = (1..=6u64).map(|k| Step::Insert(k, k)).collect();
+    exhaustive_crash_test(
+        || HarrisList::<u64, u64, NvTraverse<Sim>>::with_collector(Collector::leaking()),
+        &[],
+        &workload,
+        MAX_POINTS,
+        |l| l.check_consistency(false),
+    );
+}

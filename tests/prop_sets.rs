@@ -1,0 +1,129 @@
+//! Property-based tests (proptest): random operation sequences against the
+//! sequential reference model, and random crash points with durable
+//! linearizability verdicts.
+
+mod common;
+
+use common::{exhaustive_crash_test, Step};
+use nvtraverse::model::ModelSet;
+use nvtraverse::policy::{NvTraverse, Volatile};
+use nvtraverse::DurableSet;
+use nvtraverse_ebr::Collector;
+use nvtraverse_pmem::sim::install_quiet_panic_hook;
+use nvtraverse_pmem::{Noop, Sim};
+use nvtraverse_structures::ellen_bst::EllenBst;
+use nvtraverse_structures::hash::HashMapDs;
+use nvtraverse_structures::list::HarrisList;
+use nvtraverse_structures::nm_bst::NmBst;
+use nvtraverse_structures::skiplist::SkipList;
+use proptest::prelude::*;
+
+/// A random op over a small key universe (collisions are the point).
+fn op_strategy() -> impl Strategy<Value = Step> {
+    (0u8..3, 0u64..24, 0u64..1000).prop_map(|(kind, k, v)| match kind {
+        0 => Step::Insert(k, v),
+        1 => Step::Remove(k),
+        _ => Step::Get(k),
+    })
+}
+
+fn apply_and_compare<S: DurableSet<u64, u64>>(s: &S, ops: &[Step]) {
+    let mut model = ModelSet::new();
+    for op in ops {
+        match *op {
+            Step::Insert(k, v) => assert_eq!(s.insert(k, v), model.insert(k, v), "insert({k})"),
+            Step::Remove(k) => assert_eq!(s.remove(k), model.remove(k), "remove({k})"),
+            Step::Get(k) => assert_eq!(s.get(k), model.get(k), "get({k})"),
+        }
+    }
+    assert_eq!(s.len(), model.len());
+    for (k, v) in model.iter() {
+        assert_eq!(s.get(k), Some(v));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn list_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        apply_and_compare(&HarrisList::<u64, u64, NvTraverse<Noop>>::new(), &ops);
+    }
+
+    #[test]
+    fn hash_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        apply_and_compare(&HashMapDs::<u64, u64, NvTraverse<Noop>>::new(4), &ops);
+    }
+
+    #[test]
+    fn ellen_bst_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        apply_and_compare(&EllenBst::<u64, u64, NvTraverse<Noop>>::new(), &ops);
+    }
+
+    #[test]
+    fn nm_bst_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        apply_and_compare(&NmBst::<u64, u64, NvTraverse<Noop>>::new(), &ops);
+    }
+
+    #[test]
+    fn skiplist_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        apply_and_compare(&SkipList::<u64, u64, Volatile>::new(), &ops);
+    }
+
+    #[test]
+    fn list_sorted_invariant_holds(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let l = HarrisList::<u64, u64, Volatile>::new();
+        for op in &ops {
+            match *op {
+                Step::Insert(k, v) => { l.insert(k, v); }
+                Step::Remove(k) => { l.remove(k); }
+                Step::Get(k) => { l.get(k); }
+            }
+        }
+        prop_assert!(l.check_consistency(true).is_ok());
+    }
+
+    /// Random workloads + sampled crash points: durable linearizability must
+    /// hold for arbitrary op mixes, not just the hand-written workloads.
+    #[test]
+    fn list_random_workload_random_crash(
+        ops in proptest::collection::vec(op_strategy(), 4..28),
+    ) {
+        install_quiet_panic_hook();
+        exhaustive_crash_test(
+            || HarrisList::<u64, u64, NvTraverse<Sim>>::with_collector(Collector::leaking()),
+            &[(1, 10), (3, 30)],
+            &ops,
+            24, // sampled points per case; cases supply the diversity
+            |l| l.check_consistency(false),
+        );
+    }
+
+    #[test]
+    fn ellen_random_workload_random_crash(
+        ops in proptest::collection::vec(op_strategy(), 4..20),
+    ) {
+        install_quiet_panic_hook();
+        exhaustive_crash_test(
+            || EllenBst::<u64, u64, NvTraverse<Sim>>::with_collector(Collector::leaking()),
+            &[(1, 10), (3, 30)],
+            &ops,
+            16,
+            |t| t.check_consistency(true),
+        );
+    }
+
+    #[test]
+    fn skiplist_random_workload_random_crash(
+        ops in proptest::collection::vec(op_strategy(), 4..20),
+    ) {
+        install_quiet_panic_hook();
+        exhaustive_crash_test(
+            || SkipList::<u64, u64, NvTraverse<Sim>>::with_collector(Collector::leaking()),
+            &[(1, 10), (3, 30)],
+            &ops,
+            16,
+            |s| s.check_consistency(false),
+        );
+    }
+}
