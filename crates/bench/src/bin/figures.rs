@@ -4,20 +4,35 @@
 //! cargo run --release -p nvtraverse-bench --bin figures -- all
 //! cargo run --release -p nvtraverse-bench --bin figures -- fig5a fig6m
 //! cargo run --release -p nvtraverse-bench --bin figures -- --quick all
+//! cargo run --release -p nvtraverse-bench --bin figures -- --quick --json BENCH_quick.json all
 //! ```
+//!
+//! With `--json <path>`, every measured point is also written to `path` as
+//! one JSON document (`{"bench": …, "mode": …, "points": [...]}`) for the
+//! repository's performance-trajectory tracking.
 
 use nvtraverse_bench::figures::{run_figure, Mode, ALL_FIGURES};
+use nvtraverse_bench::json;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut mode = Mode::Full;
     let mut ids: Vec<String> = Vec::new();
-    for a in args {
+    let mut json_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" | "-q" => mode = Mode::Quick,
             "--full" => mode = Mode::Full,
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(p),
+                None => {
+                    eprintln!("--json requires a path argument");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: figures [--quick] <figure-id>... | all");
+                println!("usage: figures [--quick] [--json <path>] <figure-id>... | all");
                 println!("figures: {ALL_FIGURES:?}");
                 return;
             }
@@ -27,8 +42,14 @@ fn main() {
     if ids.is_empty() {
         ids.push("all".into());
     }
+    if let Some(p) = &json_path {
+        json::enable(p.into());
+    }
     println!("# NVTraverse evaluation figures ({mode:?} mode)");
     for id in ids {
         run_figure(&id, mode);
+    }
+    if json_path.is_some() {
+        json::flush(&format!("{mode:?}"));
     }
 }

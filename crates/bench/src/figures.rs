@@ -97,6 +97,8 @@ fn tmbst_point(cfg: &Cfg) -> f64 {
 // ---- table rendering ------------------------------------------------------
 
 fn print_table(title: &str, x_label: &str, xs: &[String], series: &[Series], cfgs: &[Cfg]) {
+    // Figure id for the JSON sink: the part of the title before ':'.
+    let figure_id = title.split(':').next().unwrap_or(title).trim();
     println!("\n== {title} ==");
     print!("{x_label:>10}");
     for (name, _) in series {
@@ -105,9 +107,10 @@ fn print_table(title: &str, x_label: &str, xs: &[String], series: &[Series], cfg
     println!("  [Mops/s]");
     for (x, cfg) in xs.iter().zip(cfgs) {
         print!("{x:>10}");
-        for (_, point) in series {
+        for (name, point) in series {
             let mops = point(cfg);
             print!("{mops:>12.3}");
+            crate::json::record(figure_id, name, x, "mops", mops);
         }
         println!();
     }
@@ -510,6 +513,8 @@ pub fn ablation_flushes(_mode: Mode) {
     ];
     for (ds, policy, (fl, fe)) in rows {
         println!("{ds:>14}{policy:>12}{fl:>14.2}{fe:>14.2}");
+        crate::json::record("abl1", policy, ds, "flushes_per_op", fl);
+        crate::json::record("abl1", policy, ds, "fences_per_op", fe);
     }
 }
 

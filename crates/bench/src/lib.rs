@@ -9,6 +9,11 @@
 //! two ablations; see DESIGN.md's experiment index. Run with
 //! `cargo run --release -p nvtraverse-bench --bin figures -- <id|all>`, or
 //! `cargo bench` for the quick sweep.
+//!
+//! Pass `--json <path>` to the `figures` binary to additionally emit every
+//! measured point as machine-readable JSON ([`json`]), e.g.
+//! `figures --quick --json BENCH_quick.json all`.
 
 pub mod figures;
+pub mod json;
 pub mod workload;

@@ -1,29 +1,71 @@
-//! Node allocation helpers with crash-simulator bookkeeping.
+//! Node allocation helpers: volatile heap by default, a persistent pool when
+//! one is installed, with crash-simulator bookkeeping in both cases.
 //!
 //! Real NVRAM deployments allocate nodes from a persistent heap
 //! (`libvmmalloc` in the paper's setup, §5.1); the allocation itself survives
 //! a crash but its *contents* are only as persistent as the program's flushes
-//! made them. The crash simulator mirrors this by registering every word of a
-//! new node with persisted value = poison: if the node becomes reachable but
-//! was never flushed, a simulated crash visibly destroys it.
+//! made them. This module follows the same shape:
+//!
+//! * By default, nodes come from the volatile Rust heap (`Box`) — correct
+//!   for the simulator and for benchmarks that only need the flush/fence
+//!   cost profile.
+//! * When a `nvtraverse-pool` pool is installed as the process-wide
+//!   allocator (`Pool::install_as_default`, the `libvmmalloc` analogue),
+//!   [`alloc_node`] serves every node from the pool file instead, and
+//!   [`free`] — together with the EBR collector's reclamation — returns each
+//!   pointer to the heap that issued it, found via
+//!   [`nvtraverse_pmem::heap::owner_of`].
+//!
+//! The crash simulator mirrors a persistent heap by registering every word
+//! of a new node with persisted value = poison: if the node becomes
+//! reachable but was never flushed, a simulated crash visibly destroys it.
 
-use nvtraverse_pmem::Backend;
+use nvtraverse_pmem::{heap, Backend};
 
-/// Heap-allocates `value` and, under a simulating backend, registers the
-/// node's memory with the thread's active simulation context.
+/// Allocates `value` as a node — from the installed persistent pool when one
+/// is present, from the volatile heap otherwise — and, under a simulating
+/// backend, registers the node's memory with the thread's simulation context.
 ///
 /// The returned pointer is owned by the data structure; free it with
 /// [`Guard::retire`](nvtraverse_ebr::Guard::retire) after unlinking (or
 /// [`free`] during teardown).
+///
+/// # Panics
+///
+/// Panics when a persistent pool is installed but exhausted: silently
+/// falling back to the volatile heap would split one structure across two
+/// heaps and lose the volatile part on reopen.
 pub fn alloc_node<T, B: Backend>(value: T) -> *mut T {
-    let ptr = Box::into_raw(Box::new(value));
+    let pooled = if heap::allocator_installed() {
+        match heap::allocate(std::mem::size_of::<T>(), std::mem::align_of::<T>()) {
+            Some(p) => Some(p as *mut T),
+            // None while still installed = genuinely out of space; None
+            // after a concurrent uninstall = no pool anymore, Box is right.
+            None if heap::allocator_installed() => {
+                panic!("persistent pool exhausted (and volatile fallback would lose data)")
+            }
+            None => None,
+        }
+    } else {
+        None
+    };
+    let ptr = match pooled {
+        Some(p) => {
+            // SAFETY: the pool returned a block of at least size_of::<T>()
+            // bytes with sufficient alignment.
+            unsafe { p.write(value) };
+            p
+        }
+        None => Box::into_raw(Box::new(value)),
+    };
     if B::SIM {
         nvtraverse_pmem::sim::current_register_range(ptr as usize, std::mem::size_of::<T>());
     }
     ptr
 }
 
-/// Frees a node allocated by [`alloc_node`].
+/// Frees a node allocated by [`alloc_node`], returning it to whichever heap
+/// issued it (persistent pool or volatile heap).
 ///
 /// Under a simulating backend the node's cells deregister themselves as they
 /// drop, so no extra bookkeeping is needed here.
@@ -33,7 +75,19 @@ pub fn alloc_node<T, B: Backend>(value: T) -> *mut T {
 /// `ptr` must come from [`alloc_node`], must not be reachable by any thread,
 /// and must not be freed twice.
 pub unsafe fn free<T>(ptr: *mut T) {
-    drop(unsafe { Box::from_raw(ptr) });
+    if let Some((ctx, dealloc)) = heap::owner_of(ptr as *const u8) {
+        unsafe {
+            std::ptr::drop_in_place(ptr);
+            dealloc(
+                ctx,
+                ptr as *mut u8,
+                std::mem::size_of::<T>(),
+                std::mem::align_of::<T>(),
+            );
+        }
+    } else {
+        drop(unsafe { Box::from_raw(ptr) });
+    }
 }
 
 #[cfg(test)]
@@ -93,5 +147,30 @@ mod tests {
             assert_eq!((*p).b.load(), 8);
             free(p);
         }
+    }
+
+    #[test]
+    fn foreign_heap_pointers_route_back_to_their_heap() {
+        // A fake foreign heap: hands out boxed blocks, records frees.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static FREED: AtomicUsize = AtomicUsize::new(0);
+        unsafe fn fake_dealloc(_ctx: usize, ptr: *mut u8, size: usize, align: usize) {
+            FREED.fetch_add(1, Ordering::SeqCst);
+            unsafe {
+                std::alloc::dealloc(ptr, std::alloc::Layout::from_size_align(size, align).unwrap())
+            };
+        }
+        let layout = std::alloc::Layout::new::<Node<Noop>>();
+        let p = unsafe { std::alloc::alloc(layout) } as *mut Node<Noop>;
+        unsafe {
+            p.write(Node {
+                a: PCell::new(1),
+                b: PCell::new(2),
+            })
+        };
+        heap::register_region(p as usize, layout.size(), 0, fake_dealloc);
+        unsafe { free(p) };
+        assert_eq!(FREED.load(Ordering::SeqCst), 1, "foreign dealloc not used");
+        heap::unregister_region(p as usize);
     }
 }

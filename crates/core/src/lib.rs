@@ -40,7 +40,20 @@
 //! | [`LinkPersist<B>`] | "Log Free" | David et al.'s link-and-persist (dirty-bit tagged links) |
 //!
 //! where `B` is a flush/fence [`Backend`](nvtraverse_pmem::Backend) — real
-//! `clwb`/`sfence`, a counting shim, or the crash simulator.
+//! `clwb`/`sfence`, a counting shim, the crash simulator, or
+//! [`MmapBackend`](nvtraverse_pmem::MmapBackend) over a persistent pool
+//! file.
+//!
+//! ## Living in a pool file
+//!
+//! With the `nvtraverse-pool` crate, a structure's nodes live in a
+//! memory-mapped pool file and survive process death: [`PooledSet`] wraps
+//! the whole lifecycle (`create` a named structure in a pool; later
+//! `Pool::open` → root lookup → `recover()` in one [`PooledSet::open`]
+//! call), and [`alloc::alloc_node`]/[`alloc::free`] transparently route
+//! node memory to the installed pool, mirroring the paper's `libvmmalloc`
+//! setup (§5.1). See `examples/pool_restart.rs` and
+//! `tests/crash_process.rs`.
 //!
 //! ## Example
 //!
@@ -72,10 +85,13 @@ pub mod set;
 pub use marked::MarkedPtr;
 pub use ops::{run_operation, Critical, PersistSet, TraversalOps};
 pub use policy::{Durability, Izraelevitz, LinkPersist, NvTraverse, Volatile};
-pub use set::DurableSet;
+pub use set::{DurableSet, PoolAttach, PooledSet};
 
 /// Convenience re-export of the persistence substrate.
 pub use nvtraverse_pmem as pmem;
+
+/// Convenience re-export of the persistent pool (file-backed heap).
+pub use nvtraverse_pool as pool;
 
 /// Convenience re-export of the epoch-based reclamation crate.
 pub use nvtraverse_ebr as ebr;

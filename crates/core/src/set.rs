@@ -1,9 +1,22 @@
-//! The uniform set/map interface all evaluated structures implement.
+//! The uniform set/map interface all evaluated structures implement, plus
+//! the pool-reopen entry point for structures that live in a persistent
+//! pool file.
 //!
 //! The paper evaluates five set implementations (list, hash table, two BSTs,
 //! skiplist) under a common harness (§5.1: prefill to half the key range,
 //! uniform keys, insert/delete/lookup mixes). [`DurableSet`] is that common
 //! surface, so benchmarks, stress tests and crash tests are written once.
+//!
+//! [`PooledSet`] adds the cross-process lifecycle: create a structure inside
+//! a `nvtraverse-pool` file, find it again by name after a restart
+//! (`Pool::open` → root lookup → `recover()`), and keep the pool mapped for
+//! as long as the structure is in use.
+
+use nvtraverse_pool::Pool;
+use std::io;
+use std::mem::ManuallyDrop;
+use std::ops::Deref;
+use std::path::Path;
 
 /// One set operation, used as the driver input for set-shaped structures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,4 +69,213 @@ pub trait DurableSet<K, V>: Send + Sync {
     /// then (§2: "Processes call the recovery operation before any other
     /// operation after a crash event").
     fn recover(&self);
+}
+
+/// A structure that can live inside a persistent [`Pool`] and be found
+/// again, by name, after the process restarts.
+///
+/// Implementations (in `nvtraverse-structures`) register their root node in
+/// the pool's root registry at creation and rebuild their in-memory handle
+/// from that root on [`PoolAttach::attach_to_pool`].
+pub trait PoolAttach: Sized {
+    /// Builds a fresh, empty instance whose every node lives in `pool`, and
+    /// registers its root under `name`.
+    ///
+    /// Installs `pool` as the process-wide allocation target (the
+    /// `libvmmalloc` model, paper §5.1): all subsequent node allocations in
+    /// this process are served from the pool.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the root registry is full or `name` is invalid.
+    fn create_in_pool(pool: &Pool, name: &str) -> io::Result<Self>;
+
+    /// Re-attaches to the instance previously registered under `name`.
+    ///
+    /// Returns `None` when the root is absent or the pool was
+    /// [rebased](Pool::is_rebased) (embedded absolute pointers would be
+    /// invalid). Also installs `pool` as the allocation target.
+    ///
+    /// # Safety
+    ///
+    /// The root must have been registered by `create_in_pool` of the *same*
+    /// concrete type (same key/value/durability parameters): the registry
+    /// stores untyped offsets.
+    unsafe fn attach_to_pool(pool: &Pool, name: &str) -> Option<Self>;
+
+    /// Runs the structure's post-crash recovery (the `disconnect(root)` pass
+    /// of paper §4). Forwarded from [`DurableSet::recover`] so pooled
+    /// lifecycles need no key/value type annotations.
+    fn recover_attached(&self);
+
+    /// The EBR collector this structure retires nodes into.
+    ///
+    /// [`PooledSet`] drains it before letting go of the pool: nodes retired
+    /// but not yet reclaimed hold allocated pool blocks, and without a drain
+    /// every close would leak them in the file permanently.
+    fn collector_of(&self) -> &nvtraverse_ebr::Collector;
+}
+
+/// Owning handle for a pool-resident structure: the pool mapping plus the
+/// attached structure, with the right drop order and **no node teardown**.
+///
+/// Dropping a structure normally frees all of its nodes — exactly wrong for
+/// one that lives in a pool and must be found again on the next open.
+/// `PooledSet` therefore never runs the structure's destructor; dropping the
+/// handle just unmaps the pool (after an `msync`).
+///
+/// This is the paper's §2 lifecycle as an API: *"Processes call the recovery
+/// operation before any other operation after a crash event"* —
+/// [`PooledSet::open`] performs exactly `Pool::open` → root lookup →
+/// `recover()` before handing the structure out.
+pub struct PooledSet<S: PoolAttach> {
+    set: ManuallyDrop<S>,
+    pool: Pool,
+    /// Set by `close()` so Drop does not repeat the collector drain.
+    drained_on_close: bool,
+}
+
+impl<S: PoolAttach> PooledSet<S> {
+    /// Creates `path` as a new pool of `capacity` bytes holding a fresh
+    /// structure registered under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file exists or pool creation/registration fails.
+    pub fn create(path: impl AsRef<Path>, capacity: u64, name: &str) -> io::Result<Self> {
+        let pool = Pool::create(path, capacity)?;
+        let set = S::create_in_pool(&pool, name)?;
+        Ok(PooledSet {
+            set: ManuallyDrop::new(set),
+            pool,
+            drained_on_close: false,
+        })
+    }
+
+    /// Reopens the pool at `path`, attaches to the structure registered
+    /// under `name`, and runs its recovery.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the pool cannot be opened, was rebased, or holds no root
+    /// named `name`.
+    pub fn open(path: impl AsRef<Path>, name: &str) -> io::Result<Self> {
+        let pool = Pool::open(path)?;
+        // SAFETY: deferred to the caller's choice of `S` — see PoolAttach.
+        let set = unsafe { S::attach_to_pool(&pool, name) }.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                if pool.is_rebased() {
+                    format!("pool was rebased; absolute pointers for root {name:?} are invalid")
+                } else {
+                    format!("pool has no root named {name:?}")
+                },
+            )
+        })?;
+        set.recover_attached();
+        Ok(PooledSet {
+            set: ManuallyDrop::new(set),
+            pool,
+            drained_on_close: false,
+        })
+    }
+
+    /// [`PooledSet::open`] if `path` holds the named structure, otherwise
+    /// creates what is missing — the restart-loop entry point.
+    ///
+    /// Heals both interrupted-create states: a pool file whose creation
+    /// never completed (no magic) is recreated by
+    /// [`Pool::open_or_create`], and a valid pool whose root named `name`
+    /// was never registered (crash between pool creation and root
+    /// registration) gets a fresh structure created in it.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the pool cannot be opened/created or was rebased.
+    pub fn open_or_create(
+        path: impl AsRef<Path>,
+        capacity: u64,
+        name: &str,
+    ) -> io::Result<Self> {
+        let path = path.as_ref();
+        if !path.exists() {
+            return Self::create(path, capacity, name);
+        }
+        let pool = Pool::open_or_create(path, capacity)?;
+        // SAFETY: deferred to the caller's choice of `S` — see PoolAttach.
+        let set = match unsafe { S::attach_to_pool(&pool, name) } {
+            Some(set) => {
+                set.recover_attached();
+                set
+            }
+            None if !pool.is_rebased() => {
+                // The pool is healthy but the root was never registered:
+                // finish the interrupted creation.
+                S::create_in_pool(&pool, name)?
+            }
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("pool was rebased; absolute pointers for root {name:?} are invalid"),
+                ));
+            }
+        };
+        Ok(PooledSet {
+            set: ManuallyDrop::new(set),
+            pool,
+            drained_on_close: false,
+        })
+    }
+
+    /// The underlying pool (for roots, stats, `sync`, …).
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    /// Reclaims every retired-but-unreclaimed node now.
+    ///
+    /// Retired nodes hold allocated pool blocks until the collector frees
+    /// them; draining before the pool goes away keeps those blocks from
+    /// leaking in the file. Called automatically on drop/close; quiescence
+    /// is the caller's responsibility (as for [`DurableSet::recover`]).
+    pub fn drain_retired(&self) {
+        let collector = self.set.collector_of();
+        // Three passes: epoch advance needs two ticks to age out the newest
+        // bags, plus one to collect them.
+        for _ in 0..3 {
+            collector.synchronize();
+        }
+    }
+
+    /// Flushes the mapping to the backing file and detaches **without**
+    /// freeing any live node (the normal way to let go of a pooled
+    /// structure).
+    pub fn close(mut self) -> io::Result<()> {
+        self.drain_retired();
+        self.drained_on_close = true;
+        self.pool.sync()
+    }
+}
+
+impl<S: PoolAttach> Drop for PooledSet<S> {
+    fn drop(&mut self) {
+        // Return retired nodes' blocks to the pool while it is still mapped
+        // (the live structure itself is deliberately NOT dropped).
+        if !self.drained_on_close {
+            self.drain_retired();
+        }
+    }
+}
+
+impl<S: PoolAttach> Deref for PooledSet<S> {
+    type Target = S;
+    fn deref(&self) -> &S {
+        &self.set
+    }
+}
+
+impl<S: PoolAttach> std::fmt::Debug for PooledSet<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledSet").field("pool", &self.pool).finish()
+    }
 }

@@ -59,12 +59,21 @@ impl Retired {
     /// # Safety
     /// `ptr` must be exclusively owned by the caller (already unlinked).
     unsafe fn new<T>(ptr: *mut T) -> Self {
-        unsafe fn drop_box<T>(p: *mut u8) {
-            drop(unsafe { Box::from_raw(p as *mut T) });
+        unsafe fn drop_any<T>(p: *mut u8) {
+            // Return the object to whichever heap issued it: a registered
+            // foreign heap (e.g. a persistent pool) or the volatile heap.
+            if let Some((ctx, dealloc)) = nvtraverse_pmem::heap::owner_of(p as *const u8) {
+                unsafe {
+                    std::ptr::drop_in_place(p as *mut T);
+                    dealloc(ctx, p, std::mem::size_of::<T>(), std::mem::align_of::<T>());
+                }
+            } else {
+                drop(unsafe { Box::from_raw(p as *mut T) });
+            }
         }
         Retired {
             ptr: ptr as *mut u8,
-            drop_fn: drop_box::<T>,
+            drop_fn: drop_any::<T>,
         }
     }
 

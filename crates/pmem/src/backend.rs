@@ -238,6 +238,122 @@ impl<B: Backend> Backend for Count<B> {
     }
 }
 
+/// Flush/fence for a **memory-mapped pool file** (the `nvtraverse-pool`
+/// heap): `clwb` + `sfence` over the mapped region, with an `msync` fallback.
+///
+/// On a DAX mapping of real NVRAM, `clwb`/`sfence` *is* the persistence
+/// protocol, identical to [`Clwb`]. On a page-cache-backed mapping of a
+/// regular file (every CI machine), written pages already survive process
+/// death — the kernel owns them — so `clwb`/`sfence` preserves the paper's
+/// cost profile while process-crash durability comes for free. Surviving
+/// *power* failure on such a mapping additionally requires `msync`; enable
+/// [`MmapBackend::set_msync_on_fence`] to issue `MS_SYNC` for every mapped
+/// region at each fence (orders of magnitude slower — measurement use only).
+/// Non-x86-64 targets always take the `msync` path, as they have no flush
+/// instruction to lean on.
+///
+/// Pool mappings are announced via [`MmapBackend::register_region`]; the
+/// `nvtraverse-pool` crate does this when a pool is opened.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MmapBackend;
+
+mod mmap_sync {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::RwLock;
+
+    pub(super) static REGIONS: RwLock<Vec<(usize, usize)>> = RwLock::new(Vec::new());
+    pub(super) static REGION_COUNT: AtomicUsize = AtomicUsize::new(0);
+    pub(super) static MSYNC_ON_FENCE: AtomicBool =
+        AtomicBool::new(cfg!(not(target_arch = "x86_64")));
+
+    #[cfg(unix)]
+    unsafe extern "C" {
+        fn msync(addr: *mut std::ffi::c_void, len: usize, flags: std::ffi::c_int)
+            -> std::ffi::c_int;
+    }
+    #[cfg(unix)]
+    const MS_SYNC: std::ffi::c_int = 4;
+
+    /// Synchronously writes every registered mapping back to its file.
+    pub(super) fn msync_all() {
+        let regions = REGIONS.read().unwrap_or_else(|e| e.into_inner());
+        for &(base, len) in regions.iter() {
+            #[cfg(unix)]
+            // SAFETY: the region was registered as a live mapping and stays
+            // mapped until unregistered.
+            unsafe {
+                msync(base as *mut std::ffi::c_void, len, MS_SYNC);
+            }
+            #[cfg(not(unix))]
+            let _ = (base, len);
+        }
+    }
+
+    pub(super) fn region_count() -> usize {
+        REGION_COUNT.load(Ordering::Acquire)
+    }
+}
+
+impl MmapBackend {
+    /// Announces a live mapping so the `msync` fallback can reach it.
+    /// Idempotent per base address.
+    pub fn register_region(base: usize, len: usize) {
+        let mut regions = mmap_sync::REGIONS
+            .write()
+            .unwrap_or_else(|e| e.into_inner());
+        if !regions.iter().any(|&(b, _)| b == base) {
+            regions.push((base, len));
+            mmap_sync::REGION_COUNT.store(regions.len(), std::sync::atomic::Ordering::Release);
+        }
+    }
+
+    /// Removes a mapping registered with [`MmapBackend::register_region`].
+    pub fn unregister_region(base: usize) {
+        let mut regions = mmap_sync::REGIONS
+            .write()
+            .unwrap_or_else(|e| e.into_inner());
+        regions.retain(|&(b, _)| b != base);
+        mmap_sync::REGION_COUNT.store(regions.len(), std::sync::atomic::Ordering::Release);
+    }
+
+    /// Selects whether every fence also `msync`s every registered region.
+    ///
+    /// Defaults to `false` on x86-64 (where `clwb`/`sfence` match the
+    /// paper's persistence protocol) and `true` elsewhere.
+    pub fn set_msync_on_fence(enabled: bool) {
+        mmap_sync::MSYNC_ON_FENCE.store(enabled, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Forces an `msync` of every registered region now (e.g. before a
+    /// planned shutdown), regardless of the fence setting.
+    pub fn sync_all_regions() {
+        mmap_sync::msync_all();
+    }
+}
+
+impl Backend for MmapBackend {
+    #[inline]
+    fn flush(addr: *const u8) {
+        #[cfg(target_arch = "x86_64")]
+        x86::flush_writeback(addr);
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = addr;
+    }
+
+    #[inline]
+    fn fence() {
+        #[cfg(target_arch = "x86_64")]
+        x86::sfence();
+        #[cfg(not(target_arch = "x86_64"))]
+        std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
+        if mmap_sync::MSYNC_ON_FENCE.load(std::sync::atomic::Ordering::Acquire)
+            && mmap_sync::region_count() > 0
+        {
+            mmap_sync::msync_all();
+        }
+    }
+}
+
 /// The crash-simulating backend.
 ///
 /// All [`crate::PCell`] accesses, flushes, and fences are routed through the

@@ -1,0 +1,203 @@
+//! Registry of foreign (non-`Box`) heaps: the glue that lets node allocation
+//! and reclamation route through a persistent pool.
+//!
+//! Real NVRAM deployments replace the volatile allocator wholesale — the
+//! paper links against `libvmmalloc`, which transparently serves *every*
+//! `malloc` from a memory-mapped persistent heap (§5.1). This repository
+//! keeps the volatile `Box` path as the default and lets a persistent pool
+//! (the `nvtraverse-pool` crate) take over by registering itself here:
+//!
+//! * [`register_region`] announces an address range owned by a foreign heap
+//!   together with its deallocation function. Free paths (`nvtraverse`'s
+//!   `alloc::free`, the EBR collector's reclamation) consult [`owner_of`] so
+//!   a pointer is always returned to the heap it came from.
+//! * [`install_allocator`] nominates one foreign heap as the process-wide
+//!   allocation target, mirroring `libvmmalloc`'s process-granularity
+//!   takeover. [`allocate`] returns memory from it, or `None` when no heap
+//!   is installed (callers then fall back to `Box`).
+//!
+//! The fast path — no foreign heap registered — is two relaxed atomic loads.
+//!
+//! # Lifetime contract
+//!
+//! `(ctx, dealloc)` pairs returned by [`owner_of`]/consumed by [`allocate`]
+//! are invoked *after* the registry lock is released, so unregistering a
+//! heap does **not** wait for in-flight calls. The registering heap must
+//! stay alive until no thread can still be allocating from it or freeing
+//! pointers into it — for a pool, that is the rule (documented on `Pool`)
+//! that the last pool handle may only be dropped once its structures are no
+//! longer in use; their memory is unmapped by the drop anyway, so any
+//! concurrent use is already a use-after-unmap regardless of this registry.
+
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::RwLock;
+
+/// Deallocation entry point of a foreign heap.
+///
+/// # Safety contract
+///
+/// Called with the `ctx` passed to [`register_region`], a pointer previously
+/// produced by that heap, and the layout it was allocated with. The heap must
+/// tolerate being called from any thread.
+pub type DeallocFn = unsafe fn(ctx: usize, ptr: *mut u8, size: usize, align: usize);
+
+/// Allocation entry point of a foreign heap. Returns null on exhaustion.
+pub type AllocFn = unsafe fn(ctx: usize, size: usize, align: usize) -> *mut u8;
+
+#[derive(Clone, Copy)]
+struct Region {
+    start: usize,
+    len: usize,
+    ctx: usize,
+    dealloc: DeallocFn,
+}
+
+static REGION_COUNT: AtomicUsize = AtomicUsize::new(0);
+static REGIONS: RwLock<Vec<Region>> = RwLock::new(Vec::new());
+
+/// The installed process-wide allocator, published as a single pointer so a
+/// reader can never observe one installation's `ctx` paired with another's
+/// `alloc` fn. Each install leaks one 16-byte record (installs are rare and
+/// an uninstall cannot know when concurrent readers are done with the old
+/// record; leaking is the lock-free alternative to an epoch scheme here).
+struct Installed {
+    ctx: usize,
+    alloc: AllocFn,
+}
+static INSTALLED: AtomicPtr<Installed> = AtomicPtr::new(std::ptr::null_mut());
+
+/// Announces `[start, start + len)` as owned by a foreign heap.
+///
+/// `ctx` is an opaque value handed back to `dealloc`; it must stay valid
+/// until [`unregister_region`]. Overlapping registrations are a caller bug.
+pub fn register_region(start: usize, len: usize, ctx: usize, dealloc: DeallocFn) {
+    let mut regions = REGIONS.write().unwrap_or_else(|e| e.into_inner());
+    debug_assert!(
+        regions
+            .iter()
+            .all(|r| start + len <= r.start || r.start + r.len <= start),
+        "overlapping foreign heap registration"
+    );
+    regions.push(Region {
+        start,
+        len,
+        ctx,
+        dealloc,
+    });
+    REGION_COUNT.store(regions.len(), Ordering::Release);
+}
+
+/// Removes the region previously registered at `start`, returning its `ctx`.
+pub fn unregister_region(start: usize) -> Option<usize> {
+    let mut regions = REGIONS.write().unwrap_or_else(|e| e.into_inner());
+    let i = regions.iter().position(|r| r.start == start)?;
+    let r = regions.swap_remove(i);
+    REGION_COUNT.store(regions.len(), Ordering::Release);
+    Some(r.ctx)
+}
+
+/// Looks up the foreign heap owning `ptr`, if any.
+///
+/// The common case (no foreign heap) is a single relaxed load.
+#[inline]
+pub fn owner_of(ptr: *const u8) -> Option<(usize, DeallocFn)> {
+    if REGION_COUNT.load(Ordering::Acquire) == 0 {
+        return None;
+    }
+    let addr = ptr as usize;
+    let regions = REGIONS.read().unwrap_or_else(|e| e.into_inner());
+    regions
+        .iter()
+        .find(|r| addr >= r.start && addr < r.start + r.len)
+        .map(|r| (r.ctx, r.dealloc))
+}
+
+/// Installs a foreign heap as the process-wide allocation target.
+///
+/// Subsequent [`allocate`] calls are served by it until
+/// [`uninstall_allocator`]. Installing over an existing installation
+/// replaces it (last writer wins, like re-`LD_PRELOAD`ing `libvmmalloc`).
+///
+pub fn install_allocator(ctx: usize, alloc: AllocFn) {
+    let rec = Box::into_raw(Box::new(Installed { ctx, alloc }));
+    // The previous record is intentionally leaked (see `Installed`).
+    INSTALLED.store(rec, Ordering::Release);
+}
+
+/// Removes the installed allocator if its context is `ctx`.
+pub fn uninstall_allocator(ctx: usize) {
+    let cur = INSTALLED.load(Ordering::Acquire);
+    // SAFETY: records are never freed, so a non-null `cur` is always valid.
+    if !cur.is_null() && unsafe { (*cur).ctx } == ctx {
+        // CAS so we only clear the installation we matched.
+        let _ = INSTALLED.compare_exchange(
+            cur,
+            std::ptr::null_mut(),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+}
+
+/// Whether a process-wide foreign allocator is installed.
+#[inline]
+pub fn allocator_installed() -> bool {
+    !INSTALLED.load(Ordering::Acquire).is_null()
+}
+
+/// Allocates from the installed foreign heap.
+///
+/// Returns `None` when no heap is installed **or** the heap is exhausted —
+/// callers decide whether to fall back to the volatile heap or to fail. The
+/// no-heap fast path is one relaxed load.
+#[inline]
+pub fn allocate(size: usize, align: usize) -> Option<*mut u8> {
+    let cur = INSTALLED.load(Ordering::Acquire);
+    if cur.is_null() {
+        return None;
+    }
+    // SAFETY: records are never freed, and (ctx, alloc) were published
+    // together, so they always belong to the same installation.
+    let (ctx, alloc) = unsafe { ((*cur).ctx, (*cur).alloc) };
+    let p = unsafe { alloc(ctx, size, align) };
+    if p.is_null() {
+        None
+    } else {
+        Some(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    unsafe fn fake_dealloc(_ctx: usize, _ptr: *mut u8, _size: usize, _align: usize) {}
+
+    #[test]
+    fn lookup_respects_bounds_and_unregister() {
+        let base = 0x10_0000_0000usize;
+        register_region(base, 4096, 7, fake_dealloc);
+        assert_eq!(owner_of(base as *const u8).map(|(c, _)| c), Some(7));
+        assert_eq!(owner_of((base + 4095) as *const u8).map(|(c, _)| c), Some(7));
+        assert!(owner_of((base + 4096) as *const u8).is_none());
+        assert!(owner_of((base - 1) as *const u8).is_none());
+        assert_eq!(unregister_region(base), Some(7));
+        assert!(owner_of(base as *const u8).is_none());
+        assert_eq!(unregister_region(base), None);
+    }
+
+    #[test]
+    fn allocator_install_roundtrip() {
+        unsafe fn grab(ctx: usize, _size: usize, _align: usize) -> *mut u8 {
+            ctx as *mut u8
+        }
+        // Not installed for other tests: use a sentinel ctx and uninstall.
+        let sentinel = &raw const REGION_COUNT as usize;
+        install_allocator(sentinel, grab);
+        assert!(allocator_installed());
+        assert_eq!(allocate(8, 8), Some(sentinel as *mut u8));
+        uninstall_allocator(sentinel);
+        assert!(!allocator_installed());
+        assert_eq!(allocate(8, 8), None);
+    }
+}

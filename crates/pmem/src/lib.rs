@@ -6,7 +6,18 @@
 //! *flush* (`clwb`/`clflushopt`/`clflush`) followed by a *fence* (`sfence`).
 //! A crash loses everything that has not reached persistent memory.
 //!
-//! This crate provides that model twice:
+//! This crate provides that model several times over, unified behind the
+//! [`Backend`] trait so data structures are written once and instantiated
+//! with any backend:
+//!
+//! | Backend | flush / fence | Use |
+//! |---------|---------------|-----|
+//! | [`Clwb`] | `clwb` (or `clflushopt`/`clflush`) / `sfence` | the paper's NVRAM machine; true cost profile on DRAM |
+//! | [`ClflushSync`] | synchronized `clflush` / `sfence` | the paper's AMD machine (§5.1) |
+//! | [`MmapBackend`] | `clwb` / `sfence` over a mapped pool file, optional `msync` fallback | structures living in a `nvtraverse-pool` persistent heap |
+//! | [`Sim`] | routed through the crash simulator | crash-point tests |
+//! | [`Count<B>`] | delegates to `B`, counting | the flushes/op ablation |
+//! | [`Noop`] | nothing | the "orig" (volatile) series |
 //!
 //! * **Hardware backends** ([`Clwb`], [`ClflushSync`]) issue the real x86-64
 //!   instructions (falling back gracefully on other architectures). They give
@@ -18,9 +29,16 @@
 //!   buffered flushes, and a *crash* rolls every cell back to its persisted
 //!   copy — poisoning cells that were never persisted. This is the engine of
 //!   the crash tests that validate durable linearizability.
+//! * **The mapped-pool backend** ([`MmapBackend`]) persists a memory-mapped
+//!   pool file — `clwb`/`sfence` is exactly right on a DAX NVRAM mapping,
+//!   and [`MmapBackend::set_msync_on_fence`] adds `msync` for page-cache
+//!   mappings that must survive power loss, not just process death.
 //!
-//! The two are unified behind the [`Backend`] trait so data structures can be
-//! written once and instantiated with any backend.
+//! The [`heap`] module is the allocation seam between all of this and the
+//! `nvtraverse-pool` crate: a registry of foreign heaps (address ranges plus
+//! dealloc entry points) and an installable process-wide allocator, so node
+//! allocation and EBR reclamation transparently target a persistent pool —
+//! the `libvmmalloc` model of the paper's evaluation.
 //!
 //! # Example
 //!
@@ -39,11 +57,12 @@
 
 mod backend;
 mod cell;
+pub mod heap;
 pub mod sim;
 pub mod stats;
 mod word;
 
-pub use backend::{Backend, ClflushSync, Clwb, Count, Noop, Sim, CACHE_LINE};
+pub use backend::{Backend, ClflushSync, Clwb, Count, MmapBackend, Noop, Sim, CACHE_LINE};
 pub use cell::PCell;
 pub use sim::{CrashSignal, SimHandle, POISON};
 pub use word::Word;

@@ -1,0 +1,1034 @@
+//! File-backed persistent heap for the NVTraverse reproduction.
+//!
+//! The paper's evaluation runs every structure on a *persistent heap*
+//! (`libvmmalloc`, §5.1): node allocations come from a memory-mapped pool
+//! file, so the nodes — and the allocator's own metadata — survive process
+//! death and power failure. The seed reproduction only had the volatile Rust
+//! heap plus a crash *simulator*; this crate supplies the real thing:
+//!
+//! * [`Pool`] — creates/opens a pool file and maps it `MAP_SHARED`, at the
+//!   same virtual base on every open when possible (embedded absolute
+//!   pointers then remain valid), falling back to a *rebased* mapping that
+//!   only offset-based access may use.
+//! * A **recoverable allocator** — segregated free lists over size-classed
+//!   blocks. Every block carries a persistent 16-byte header (size, class,
+//!   allocated bit) and the heap frontier is persisted with
+//!   flush+fence ordering such that **no crash point corrupts the heap**: a
+//!   crash can at worst leak an in-flight block, never double-allocate or
+//!   tear metadata. Reopening rebuilds the free lists from a full heap walk.
+//! * [`POff`] — typed offset pointers, stable across rebased mappings.
+//! * A **root registry** — up to [`MAX_ROOTS`] named offsets in the pool
+//!   header, so a structure can be found again after reopen
+//!   (`Pool::open` → [`Pool::root`] → attach → `recover()`).
+//!
+//! Flushes and fences over the mapped region go through
+//! [`nvtraverse_pmem::MmapBackend`]: `clwb`/`sfence` on x86-64 (the paper's
+//! protocol, and the correct one on a DAX NVRAM mapping) with an `msync`
+//! fallback for targets or deployments that need it.
+//!
+//! # Process-wide takeover
+//!
+//! `libvmmalloc` works by replacing `malloc` for the *whole process*;
+//! [`Pool::install_as_default`] mirrors that: it routes every
+//! `nvtraverse::alloc::alloc_node` in the process to this pool (via
+//! [`nvtraverse_pmem::heap`]), and the matching `free`/EBR-reclaim paths
+//! return pool pointers to the pool. One pool is the allocation target at a
+//! time; data structures built while it is installed live entirely in the
+//! pool file.
+//!
+//! # Example
+//!
+//! ```
+//! use nvtraverse_pool::Pool;
+//!
+//! let path = std::env::temp_dir().join(format!("doc-pool-{}.pool", std::process::id()));
+//! let _ = std::fs::remove_file(&path);
+//! let pool = Pool::create(&path, 1 << 20).unwrap();
+//! let p = pool.alloc(64, 8).unwrap();
+//! let off = pool.offset_of(p as *const u8);
+//! pool.set_root("my-root", off).unwrap();
+//! drop(pool);
+//!
+//! let pool = Pool::open(&path).unwrap();
+//! assert_eq!(pool.root("my-root"), Some(off));
+//! # drop(pool); std::fs::remove_file(&path).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod mmap;
+mod poff;
+
+pub use poff::POff;
+
+use nvtraverse_pmem::{heap, Backend, MmapBackend};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Pool file magic: `"NVTRPOOL"` as little-endian bytes.
+pub const MAGIC: u64 = u64::from_le_bytes(*b"NVTRPOOL");
+/// On-disk format version.
+pub const VERSION: u64 = 1;
+/// Number of named root slots in the pool header.
+pub const MAX_ROOTS: usize = 16;
+/// Maximum root name length in bytes.
+pub const MAX_ROOT_NAME: usize = 24;
+/// Smallest capacity [`Pool::create`] accepts.
+pub const MIN_CAPACITY: u64 = 64 * 1024;
+
+/// First heap byte: everything below is the pool header page.
+const HEAP_START: u64 = 4096;
+/// Block sizes (header included) of the non-oversize classes.
+const CLASS_SIZES: [u64; 12] = [
+    32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536,
+];
+/// Index of the oversize class (exact-size blocks above 64 KiB).
+const OVERSIZE: usize = CLASS_SIZES.len();
+const NUM_CLASSES: usize = CLASS_SIZES.len() + 1;
+/// Per-block header bytes preceding every payload.
+const BLOCK_HEADER: u64 = 16;
+/// Alignment of every block and payload.
+const BLOCK_ALIGN: u64 = 16;
+
+// Header field offsets (bytes from pool base).
+const OFF_MAGIC: u64 = 0;
+const OFF_VERSION: u64 = 8;
+const OFF_CAPACITY: u64 = 16;
+const OFF_PREFERRED_BASE: u64 = 24;
+const OFF_FRONTIER: u64 = 32;
+const OFF_CLEAN: u64 = 40;
+const OFF_ROOTS: u64 = 256;
+const ROOT_SLOT_SIZE: u64 = 32;
+
+// Block header word 0 encoding.
+const W0_SIZE_MASK: u64 = (1 << 48) - 1;
+const W0_CLASS_SHIFT: u32 = 48;
+const W0_CLASS_MASK: u64 = 0xFF;
+const W0_ALLOCATED: u64 = 1 << 63;
+
+/// What [`Pool::open`]'s recovery walk found.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Blocks found allocated (live data).
+    pub live_blocks: usize,
+    /// Blocks found free and re-linked into the segregated lists.
+    pub free_blocks: usize,
+    /// Bytes between the heap start and the persisted frontier.
+    pub heap_bytes: u64,
+    /// Whether the previous session closed cleanly (diagnostic only —
+    /// recovery never depends on it).
+    pub clean_shutdown: bool,
+}
+
+/// Heap statistics from a full walk ([`Pool::verify_heap`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeapReport {
+    /// Offsets and payload capacities of allocated blocks, in address order.
+    pub live: Vec<(u64, u64)>,
+    /// Number of free blocks.
+    pub free_blocks: usize,
+    /// Current frontier offset.
+    pub frontier: u64,
+}
+
+struct AllocState {
+    /// Volatile mirror of the persisted frontier.
+    frontier: u64,
+    /// Volatile heads of the segregated free lists (block offsets; 0 = ∅).
+    heads: [u64; NUM_CLASSES],
+}
+
+struct Inner {
+    base: usize,
+    len: usize,
+    path: PathBuf,
+    /// Keeps the file open (and its `flock` held) while mapped.
+    _file: File,
+    rebased: bool,
+    /// Set by `finish_open`: a half-built Inner from a failed open must not
+    /// stamp the file as cleanly shut down on drop.
+    ready: bool,
+    state: Mutex<AllocState>,
+    report: RecoveryReport,
+}
+
+// SAFETY: the mapping is plain shared memory; all mutation happens under the
+// allocator mutex or through ordered root-slot publication.
+unsafe impl Send for Inner {}
+unsafe impl Sync for Inner {}
+
+/// A handle to an open persistent pool. Clones share the same mapping; the
+/// mapping is closed (after an `msync`) when the last handle drops.
+#[derive(Clone)]
+pub struct Pool {
+    inner: Arc<Inner>,
+}
+
+impl fmt::Debug for Pool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pool")
+            .field("path", &self.inner.path)
+            .field("base", &format_args!("{:#x}", self.inner.base))
+            .field("capacity", &self.inner.len)
+            .field("rebased", &self.inner.rebased)
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Creates a new pool file of `capacity` bytes at `path` and maps it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file already exists, the capacity is below
+    /// [`MIN_CAPACITY`], or mapping fails.
+    pub fn create(path: impl AsRef<Path>, capacity: u64) -> io::Result<Pool> {
+        let path = path.as_ref();
+        if capacity < MIN_CAPACITY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("pool capacity {capacity} below minimum {MIN_CAPACITY}"),
+            ));
+        }
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(path)?;
+        lock_pool_file(&file, path)?;
+        verify_same_inode(&file, path)?;
+        file.set_len(capacity)?;
+        // A deterministic per-path hint keeps distinct pools apart while
+        // giving the same pool the same base on every run of a program.
+        let hint = mmap::base_hint(path);
+        let base = mmap::map_shared(&file, capacity as usize, Some(hint), false)?;
+        // Register with the msync fallback *before* the first header persist:
+        // on targets without a flush instruction, persistence IS the msync of
+        // registered regions, and an unregistered header write would not be
+        // ordered to stable storage at all.
+        MmapBackend::register_region(base, capacity as usize);
+
+        let inner = Inner {
+            base,
+            len: capacity as usize,
+            path: path.to_path_buf(),
+            _file: file,
+            rebased: false,
+            ready: false,
+            state: Mutex::new(AllocState {
+                frontier: HEAP_START,
+                heads: [0; NUM_CLASSES],
+            }),
+            report: RecoveryReport {
+                heap_bytes: 0,
+                clean_shutdown: true,
+                ..Default::default()
+            },
+        };
+        // Initialize the header. The magic is persisted last, so a crash
+        // during create leaves a file without it, which `open` rejects
+        // instead of trusting a half-written header.
+        unsafe {
+            inner.write_u64(OFF_VERSION, VERSION);
+            inner.write_u64(OFF_CAPACITY, capacity);
+            inner.write_u64(OFF_PREFERRED_BASE, base as u64);
+            inner.write_u64(OFF_FRONTIER, HEAP_START);
+            inner.write_u64(OFF_CLEAN, 0);
+            for slot in 0..MAX_ROOTS as u64 {
+                for w in 0..ROOT_SLOT_SIZE / 8 {
+                    inner.write_u64(OFF_ROOTS + slot * ROOT_SLOT_SIZE + w * 8, 0);
+                }
+            }
+            inner.persist_range(0, HEAP_START as usize);
+            inner.write_u64(OFF_MAGIC, MAGIC);
+            inner.persist_u64(OFF_MAGIC);
+        }
+        Ok(Pool::finish_open(inner))
+    }
+
+    /// Opens an existing pool file, verifies its header, and rebuilds the
+    /// allocator's segregated free lists from a full heap walk.
+    ///
+    /// The file is mapped at its recorded preferred base when that range is
+    /// still free (embedded absolute pointers stay valid); otherwise it is
+    /// mapped elsewhere and the pool is [*rebased*](Pool::is_rebased).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a missing file, bad magic/version/capacity, or heap
+    /// metadata that does not verify.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Pool> {
+        let path = path.as_ref();
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        lock_pool_file(&file, path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < MIN_CAPACITY {
+            return Err(bad_pool(format!("file too small ({file_len} bytes)")));
+        }
+        // Probe the header from a throwaway mapping to learn the base.
+        let probe = mmap::map_shared(&file, HEAP_START as usize, None, false)?;
+        let (magic, version, capacity, preferred, clean) = unsafe {
+            let at = |off: u64| ((probe + off as usize) as *const u64).read_volatile();
+            (
+                at(OFF_MAGIC),
+                at(OFF_VERSION),
+                at(OFF_CAPACITY),
+                at(OFF_PREFERRED_BASE),
+                at(OFF_CLEAN),
+            )
+        };
+        mmap::unmap(probe, HEAP_START as usize);
+        if magic != MAGIC {
+            return Err(bad_pool(format!("bad magic {magic:#x}")));
+        }
+        if version != VERSION {
+            return Err(bad_pool(format!("unsupported version {version}")));
+        }
+        if capacity != file_len {
+            return Err(bad_pool(format!(
+                "header capacity {capacity} != file length {file_len}"
+            )));
+        }
+
+        // Try the recorded base first so absolute pointers stay valid.
+        let (base, rebased) =
+            match mmap::map_shared(&file, capacity as usize, Some(preferred as usize), true) {
+                Ok(b) => (b, false),
+                Err(_) => (mmap::map_shared(&file, capacity as usize, None, false)?, true),
+            };
+        // Before any persist (see create): the msync fallback only reaches
+        // registered regions.
+        MmapBackend::register_region(base, capacity as usize);
+
+        let mut inner = Inner {
+            base,
+            len: capacity as usize,
+            path: path.to_path_buf(),
+            _file: file,
+            rebased,
+            ready: false,
+            state: Mutex::new(AllocState {
+                frontier: HEAP_START,
+                heads: [0; NUM_CLASSES],
+            }),
+            report: RecoveryReport::default(),
+        };
+        let report = inner.recover_allocator(clean == 1)?;
+        inner.report = report;
+        unsafe {
+            // Mark the pool dirty until a clean close. The preferred base is
+            // only re-recorded for a NON-rebased mapping: on a rebased one,
+            // absolute pointers inside the pool still encode the original
+            // base, and persisting the temporary base would make the next
+            // open look non-rebased while those pointers stay dangling.
+            if !rebased {
+                inner.write_u64(OFF_PREFERRED_BASE, base as u64);
+                inner.persist_u64(OFF_PREFERRED_BASE);
+            }
+            inner.write_u64(OFF_CLEAN, 0);
+            inner.persist_u64(OFF_CLEAN);
+        }
+        Ok(Pool::finish_open(inner))
+    }
+
+    /// Opens `path` if it exists, otherwise creates it with `capacity`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Pool::open`]/[`Pool::create`] failures.
+    pub fn open_or_create(path: impl AsRef<Path>, capacity: u64) -> io::Result<Pool> {
+        let path = path.as_ref();
+        if path.exists() {
+            // Self-heal a crash during `create`: the magic is persisted
+            // last, so a magic of exactly 0 means creation never completed
+            // and the file holds no data worth keeping. (Anything else
+            // non-magic is somebody's file — refuse to touch it.) The check
+            // and the unlink happen on a locked descriptor so a pool another
+            // process is concurrently creating or using is never unlinked.
+            if unlink_if_never_completed(path)? {
+                return Pool::create(path, capacity);
+            }
+            Pool::open(path)
+        } else {
+            Pool::create(path, capacity)
+        }
+    }
+
+    fn finish_open(mut inner: Inner) -> Pool {
+        inner.ready = true;
+        // (The MmapBackend region was registered before the first header
+        // persist, in create/open — ordering the msync fallback needs.)
+        let inner = Arc::new(inner);
+        // Register with the foreign-heap registry so `free`/EBR return pool
+        // pointers here. The ctx pointer is non-owning: `Inner::drop`
+        // unregisters before the memory goes away.
+        heap::register_region(
+            inner.base,
+            inner.len,
+            Arc::as_ptr(&inner) as usize,
+            Inner::dealloc_shim,
+        );
+        Pool { inner }
+    }
+
+    // ---- geometry --------------------------------------------------------
+
+    /// Base address of the mapping.
+    pub fn base(&self) -> usize {
+        self.inner.base
+    }
+
+    /// Pool capacity in bytes (header included).
+    pub fn capacity(&self) -> u64 {
+        self.inner.len as u64
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.inner.path
+    }
+
+    /// `true` when the pool could not be mapped at its recorded base, so
+    /// absolute pointers stored inside it are invalid. Structures with
+    /// embedded pointers must refuse to attach; offset-based access
+    /// ([`POff`], [`Pool::at`]) remains correct.
+    pub fn is_rebased(&self) -> bool {
+        self.inner.rebased
+    }
+
+    /// What recovery found when this pool was opened.
+    pub fn recovery_report(&self) -> RecoveryReport {
+        self.inner.report
+    }
+
+    /// Whether `ptr` points into this pool's mapping.
+    pub fn contains(&self, ptr: *const u8) -> bool {
+        let a = ptr as usize;
+        a >= self.inner.base && a < self.inner.base + self.inner.len
+    }
+
+    /// Translates a pointer into this pool to its stable offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ptr` is outside the pool.
+    pub fn offset_of(&self, ptr: *const u8) -> u64 {
+        assert!(self.contains(ptr), "pointer not in pool");
+        (ptr as usize - self.inner.base) as u64
+    }
+
+    /// Translates a stable offset to a pointer in the current mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off` is outside the pool.
+    pub fn at(&self, off: u64) -> *mut u8 {
+        assert!((off as usize) < self.inner.len, "offset {off} out of pool");
+        (self.inner.base + off as usize) as *mut u8
+    }
+
+    // ---- allocation ------------------------------------------------------
+
+    /// Allocates `size` bytes with `align`ment from the pool.
+    ///
+    /// Returns `None` when the pool is exhausted or `align` exceeds the
+    /// pool's 16-byte block alignment. The block's header is
+    /// persisted before the pointer is returned, so a block handed out is
+    /// never lost to a crash; a crash *during* allocation can only leak the
+    /// in-flight block, never corrupt the heap.
+    pub fn alloc(&self, size: usize, align: usize) -> Option<*mut u8> {
+        self.inner.alloc(size, align)
+    }
+
+    /// Returns `ptr`'s block to its segregated free list.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must come from [`Pool::alloc`]/[`Pool::realloc`] on this pool,
+    /// must not be reachable by any thread, and must not be freed twice.
+    pub unsafe fn dealloc(&self, ptr: *mut u8) {
+        unsafe { self.inner.dealloc(ptr) }
+    }
+
+    /// Reallocates `ptr` to `new_size` bytes, copying the payload.
+    ///
+    /// Returns `None` (leaving `ptr` valid) when the pool is exhausted.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`Pool::dealloc`]; on success the old pointer is
+    /// freed and must no longer be used.
+    pub unsafe fn realloc(&self, ptr: *mut u8, new_size: usize) -> Option<*mut u8> {
+        let (old_payload, _) = self.inner.block_info(ptr);
+        // In-place when the current block already has the capacity (both
+        // shrinks and small grows within the size class).
+        if new_size as u64 <= old_payload {
+            return Some(ptr);
+        }
+        let new = self.inner.alloc(new_size, BLOCK_ALIGN as usize)?;
+        unsafe {
+            std::ptr::copy_nonoverlapping(ptr, new, (old_payload as usize).min(new_size));
+            MmapBackend::flush_range(new, new_size.min(old_payload as usize));
+            MmapBackend::fence();
+            self.inner.dealloc(ptr);
+        }
+        Some(new)
+    }
+
+    /// Payload capacity in bytes of the block holding `ptr`.
+    pub fn usable_size(&self, ptr: *const u8) -> u64 {
+        self.inner.block_info(ptr as *mut u8).0
+    }
+
+    // ---- roots -----------------------------------------------------------
+
+    /// Durably associates `name` (≤ [`MAX_ROOT_NAME`] bytes) with `off`.
+    ///
+    /// Overwrites the previous value of an existing name. For a new name the
+    /// offset is persisted before the name, so a torn update can only
+    /// produce an unnamed slot, never a named slot pointing at garbage.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the name is empty/too long or all root slots are taken.
+    pub fn set_root(&self, name: &str, off: u64) -> io::Result<()> {
+        let bytes = name.as_bytes();
+        if bytes.is_empty() || bytes.len() > MAX_ROOT_NAME || bytes.contains(&0) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("root name must be 1..={MAX_ROOT_NAME} bytes with no NUL"),
+            ));
+        }
+        let inner = &*self.inner;
+        // Serialize registry updates with the allocator lock (rare op).
+        let _guard = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut free_slot = None;
+        for slot in 0..MAX_ROOTS {
+            let (slot_name, _) = inner.read_root_slot(slot);
+            if slot_name.as_deref() == Some(bytes) {
+                unsafe {
+                    inner.write_u64(root_off_field(slot), off);
+                }
+                inner.persist_u64(root_off_field(slot));
+                return Ok(());
+            }
+            if slot_name.is_none() && free_slot.is_none() {
+                free_slot = Some(slot);
+            }
+        }
+        let slot = free_slot.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::Other,
+                format!("all {MAX_ROOTS} root slots in use"),
+            )
+        })?;
+        unsafe {
+            // Offset first, then the name that makes the slot visible.
+            inner.write_u64(root_off_field(slot), off);
+            inner.persist_u64(root_off_field(slot));
+            let mut name_buf = [0u8; MAX_ROOT_NAME];
+            name_buf[..bytes.len()].copy_from_slice(bytes);
+            let dst = inner.ptr(OFF_ROOTS + slot as u64 * ROOT_SLOT_SIZE);
+            std::ptr::copy_nonoverlapping(name_buf.as_ptr(), dst, MAX_ROOT_NAME);
+        }
+        inner.persist_range(
+            (OFF_ROOTS + slot as u64 * ROOT_SLOT_SIZE) as usize,
+            ROOT_SLOT_SIZE as usize,
+        );
+        Ok(())
+    }
+
+    /// Looks up the offset registered under `name`.
+    pub fn root(&self, name: &str) -> Option<u64> {
+        let inner = &*self.inner;
+        // Same lock as set_root/remove_root: slot names are multi-word and
+        // their publication is not atomic.
+        let _guard = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        for slot in 0..MAX_ROOTS {
+            let (slot_name, off) = inner.read_root_slot(slot);
+            if slot_name.as_deref() == Some(name.as_bytes()) {
+                return Some(off);
+            }
+        }
+        None
+    }
+
+    /// Removes `name` from the registry, returning its offset.
+    pub fn remove_root(&self, name: &str) -> Option<u64> {
+        let inner = &*self.inner;
+        let _guard = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        for slot in 0..MAX_ROOTS {
+            let (slot_name, off) = inner.read_root_slot(slot);
+            if slot_name.as_deref() == Some(name.as_bytes()) {
+                unsafe {
+                    let dst = inner.ptr(OFF_ROOTS + slot as u64 * ROOT_SLOT_SIZE);
+                    std::ptr::write_bytes(dst, 0, MAX_ROOT_NAME);
+                }
+                inner.persist_range(
+                    (OFF_ROOTS + slot as u64 * ROOT_SLOT_SIZE) as usize,
+                    MAX_ROOT_NAME,
+                );
+                unsafe {
+                    inner.write_u64(root_off_field(slot), 0);
+                }
+                inner.persist_u64(root_off_field(slot));
+                return Some(off);
+            }
+        }
+        None
+    }
+
+    /// All registered `(name, offset)` pairs.
+    pub fn roots(&self) -> Vec<(String, u64)> {
+        let inner = &*self.inner;
+        let _guard = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        (0..MAX_ROOTS)
+            .filter_map(|slot| {
+                let (name, off) = inner.read_root_slot(slot);
+                let name = name?;
+                Some((String::from_utf8_lossy(&name).into_owned(), off))
+            })
+            .collect()
+    }
+
+    // ---- typed convenience ----------------------------------------------
+
+    /// Allocates and initializes a `T`, returning a typed offset pointer.
+    ///
+    /// The contents are **not** flushed — persist them via the durability
+    /// policy as usual.
+    pub fn alloc_value<T>(&self, value: T) -> Option<POff<T>> {
+        let p = self.alloc(std::mem::size_of::<T>().max(1), std::mem::align_of::<T>())?;
+        unsafe { (p as *mut T).write(value) };
+        Some(POff::from_raw(self.offset_of(p as *const u8)))
+    }
+
+    /// Registers `ptr` (a pool pointer) as root `name`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Pool::set_root`].
+    pub fn set_root_ptr<T>(&self, name: &str, ptr: *const T) -> io::Result<()> {
+        self.set_root(name, self.offset_of(ptr as *const u8))
+    }
+
+    /// Resolves root `name` as a typed pointer in the current mapping.
+    pub fn root_ptr<T>(&self, name: &str) -> Option<*mut T> {
+        self.root(name).map(|off| self.at(off) as *mut T)
+    }
+
+    // ---- process-wide installation ---------------------------------------
+
+    /// Makes this pool the process-wide allocation target: every
+    /// `nvtraverse::alloc::alloc_node` is served from it until
+    /// [`Pool::uninstall_default`] (or another pool is installed). Mirrors
+    /// `libvmmalloc`'s whole-process takeover (paper §5.1).
+    pub fn install_as_default(&self) {
+        heap::install_allocator(Arc::as_ptr(&self.inner) as usize, Inner::alloc_shim);
+    }
+
+    /// Stops routing process-wide allocations to this pool (no-op if some
+    /// other pool is installed).
+    pub fn uninstall_default(&self) {
+        heap::uninstall_allocator(Arc::as_ptr(&self.inner) as usize);
+    }
+
+    // ---- maintenance -----------------------------------------------------
+
+    /// Synchronously writes the mapping back to the file (`msync(MS_SYNC)`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `msync` failure.
+    pub fn sync(&self) -> io::Result<()> {
+        mmap::sync(self.inner.base, self.inner.len)
+    }
+
+    /// Walks the whole heap, checking every block-header invariant.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated invariant.
+    pub fn verify_heap(&self) -> Result<HeapReport, String> {
+        let inner = &*self.inner;
+        let state = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut report = HeapReport {
+            frontier: state.frontier,
+            ..Default::default()
+        };
+        let mut off = HEAP_START;
+        while off < state.frontier {
+            let w0 = unsafe { inner.read_u64(off) };
+            let (size, _class, allocated) = check_block_header(w0, off, state.frontier)?;
+            if allocated {
+                report.live.push((off, size - BLOCK_HEADER));
+            } else {
+                report.free_blocks += 1;
+            }
+            off += size;
+        }
+        if off != state.frontier {
+            return Err(format!(
+                "heap walk ended at {off:#x}, frontier is {:#x}",
+                state.frontier
+            ));
+        }
+        Ok(report)
+    }
+
+    /// Offsets of currently allocated blocks (address order) — the pool's
+    /// *live set*, as reconstructed purely from persistent metadata.
+    pub fn live_offsets(&self) -> Vec<u64> {
+        self.verify_heap()
+            .map(|r| r.live.iter().map(|&(o, _)| o).collect())
+            .unwrap_or_default()
+    }
+}
+
+impl Inner {
+    // ---- raw mapped access ----------------------------------------------
+
+    fn ptr(&self, off: u64) -> *mut u8 {
+        debug_assert!((off as usize) < self.len);
+        (self.base + off as usize) as *mut u8
+    }
+
+    /// # Safety
+    /// `off` must be within the mapping and 8-aligned.
+    unsafe fn write_u64(&self, off: u64, value: u64) {
+        unsafe { (self.ptr(off) as *mut u64).write_volatile(value) }
+    }
+
+    /// # Safety
+    /// `off` must be within the mapping and 8-aligned.
+    unsafe fn read_u64(&self, off: u64) -> u64 {
+        unsafe { (self.ptr(off) as *const u64).read_volatile() }
+    }
+
+    fn persist_u64(&self, off: u64) {
+        MmapBackend::flush(self.ptr(off) as *const u8);
+        MmapBackend::fence();
+    }
+
+    fn persist_range(&self, off: usize, len: usize) {
+        MmapBackend::flush_range((self.base + off) as *const u8, len);
+        MmapBackend::fence();
+    }
+
+    fn read_root_slot(&self, slot: usize) -> (Option<Vec<u8>>, u64) {
+        let name_off = OFF_ROOTS + slot as u64 * ROOT_SLOT_SIZE;
+        let mut name = [0u8; MAX_ROOT_NAME];
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                self.ptr(name_off) as *const u8,
+                name.as_mut_ptr(),
+                MAX_ROOT_NAME,
+            );
+        }
+        if name[0] == 0 {
+            return (None, 0);
+        }
+        let len = name.iter().position(|&b| b == 0).unwrap_or(MAX_ROOT_NAME);
+        let off = unsafe { self.read_u64(root_off_field(slot)) };
+        (Some(name[..len].to_vec()), off)
+    }
+
+    // ---- allocator -------------------------------------------------------
+
+    fn alloc(&self, size: usize, align: usize) -> Option<*mut u8> {
+        if align > BLOCK_ALIGN as usize {
+            // Alignment is caller-controlled through the generic alloc_node
+            // path; an unsupported value must fail the allocation, not the
+            // process.
+            return None;
+        }
+        let payload = (size.max(1) as u64).next_multiple_of(BLOCK_ALIGN);
+        let want = BLOCK_HEADER + payload;
+        let (class, block_size) = match CLASS_SIZES.iter().position(|&c| c >= want) {
+            Some(c) => (c, CLASS_SIZES[c]),
+            None => (OVERSIZE, want),
+        };
+
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+
+        // 1. Try the segregated free list.
+        if class < OVERSIZE {
+            let head = state.heads[class];
+            if head != 0 {
+                let next = unsafe { self.read_u64(head + 8) };
+                state.heads[class] = next;
+                self.make_allocated(head, block_size, class, payload);
+                return Some(self.ptr(head + BLOCK_HEADER));
+            }
+        } else {
+            // Oversize: first fit in the (usually tiny) oversize list.
+            let mut prev = 0u64;
+            let mut cur = state.heads[OVERSIZE];
+            while cur != 0 {
+                let w0 = unsafe { self.read_u64(cur) };
+                let next = unsafe { self.read_u64(cur + 8) };
+                if w0 & W0_SIZE_MASK >= want {
+                    if prev == 0 {
+                        state.heads[OVERSIZE] = next;
+                    } else {
+                        unsafe { self.write_u64(prev + 8, next) };
+                    }
+                    let bs = w0 & W0_SIZE_MASK;
+                    self.make_allocated(cur, bs, OVERSIZE, payload);
+                    return Some(self.ptr(cur + BLOCK_HEADER));
+                }
+                prev = cur;
+                cur = next;
+            }
+        }
+
+        // 2. Bump the frontier.
+        let off = state.frontier;
+        let new_frontier = off.checked_add(block_size)?;
+        if new_frontier > self.len as u64 {
+            return None; // pool exhausted
+        }
+        // Persist the block header *before* the frontier: a crash in between
+        // leaves the block invisible (frontier unchanged), never torn.
+        self.make_allocated(off, block_size, class, payload);
+        state.frontier = new_frontier;
+        unsafe { self.write_u64(OFF_FRONTIER, new_frontier) };
+        self.persist_u64(OFF_FRONTIER);
+        Some(self.ptr(off + BLOCK_HEADER))
+    }
+
+    /// Writes and persists an allocated block header.
+    fn make_allocated(&self, off: u64, block_size: u64, class: usize, payload: u64) {
+        unsafe {
+            self.write_u64(
+                off,
+                block_size | ((class as u64) << W0_CLASS_SHIFT) | W0_ALLOCATED,
+            );
+            self.write_u64(off + 8, payload);
+        }
+        self.persist_range(off as usize, BLOCK_HEADER as usize);
+    }
+
+    /// (payload capacity, class) of the allocated block holding `ptr`.
+    fn block_info(&self, ptr: *mut u8) -> (u64, usize) {
+        let addr = ptr as usize;
+        assert!(
+            addr >= self.base + (HEAP_START + BLOCK_HEADER) as usize
+                && addr < self.base + self.len,
+            "pointer {addr:#x} not in pool heap"
+        );
+        let off = (addr - self.base) as u64 - BLOCK_HEADER;
+        let w0 = unsafe { self.read_u64(off) };
+        assert!(
+            w0 & W0_ALLOCATED != 0,
+            "pool pointer {addr:#x} is not an allocated block (double free?)"
+        );
+        let size = w0 & W0_SIZE_MASK;
+        let class = ((w0 >> W0_CLASS_SHIFT) & W0_CLASS_MASK) as usize;
+        (size - BLOCK_HEADER, class)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8) {
+        let (_, class) = self.block_info(ptr);
+        let off = (ptr as usize - self.base) as u64 - BLOCK_HEADER;
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let w0 = unsafe { self.read_u64(off) };
+        // Link first (volatile list structure), then persist the free bit.
+        // Free-list membership is the persistent fact; reopen rebuilds the
+        // links from a walk, so a stale link after a crash is harmless.
+        unsafe {
+            self.write_u64(off + 8, state.heads[class]);
+            self.write_u64(off, w0 & !W0_ALLOCATED);
+        }
+        self.persist_range(off as usize, BLOCK_HEADER as usize);
+        state.heads[class] = off;
+    }
+
+    /// Rebuilds allocator state from persistent block headers (the
+    /// segregated free lists are reconstructed, not trusted).
+    fn recover_allocator(&mut self, clean: bool) -> io::Result<RecoveryReport> {
+        let frontier = unsafe { self.read_u64(OFF_FRONTIER) };
+        if frontier < HEAP_START || frontier > self.len as u64 {
+            return Err(bad_pool(format!("frontier {frontier:#x} out of range")));
+        }
+        let mut report = RecoveryReport {
+            heap_bytes: frontier - HEAP_START,
+            clean_shutdown: clean,
+            ..Default::default()
+        };
+        let mut heads = [0u64; NUM_CLASSES];
+        let mut off = HEAP_START;
+        while off < frontier {
+            let w0 = unsafe { self.read_u64(off) };
+            // Same invariants as verify_heap (shared checker): a block that
+            // passed a weaker check here could poison a segregated list and
+            // later be handed out at its class size, overlapping a neighbour.
+            let (size, class, allocated) = check_block_header(w0, off, frontier)
+                .map_err(|e| bad_pool(format!("corrupt {e} (w0={w0:#x})")))?;
+            if allocated {
+                report.live_blocks += 1;
+            } else {
+                // Reconstruct free-list membership from the walk.
+                unsafe { self.write_u64(off + 8, heads[class]) };
+                heads[class] = off;
+                report.free_blocks += 1;
+            }
+            off += size;
+        }
+        let state = self.state.get_mut().unwrap_or_else(|e| e.into_inner());
+        state.frontier = frontier;
+        state.heads = heads;
+        Ok(report)
+    }
+
+    // ---- shims for the pmem foreign-heap registry ------------------------
+
+    unsafe fn alloc_shim(ctx: usize, size: usize, align: usize) -> *mut u8 {
+        let inner = unsafe { &*(ctx as *const Inner) };
+        inner.alloc(size, align).unwrap_or(std::ptr::null_mut())
+    }
+
+    unsafe fn dealloc_shim(ctx: usize, ptr: *mut u8, _size: usize, _align: usize) {
+        let inner = unsafe { &*(ctx as *const Inner) };
+        unsafe { inner.dealloc(ptr) }
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // Stop routing new work here before the mapping goes away.
+        heap::uninstall_allocator(self as *const Inner as usize);
+        heap::unregister_region(self.base);
+        MmapBackend::unregister_region(self.base);
+        // Clean-close marker only for a pool that actually opened: a
+        // half-built Inner from a rejected open must not mutate the file,
+        // or it would overwrite the crash diagnostic it just refused.
+        if self.ready {
+            unsafe {
+                self.write_u64(OFF_CLEAN, 1);
+            }
+            self.persist_u64(OFF_CLEAN);
+            let _ = mmap::sync(self.base, self.len);
+        }
+        mmap::unmap(self.base, self.len);
+    }
+}
+
+/// Decodes and validates one block header word against the heap invariants
+/// shared by `verify_heap` and `recover_allocator`: size bounds, alignment,
+/// class range, class/size consistency, and frontier containment.
+///
+/// Returns `(block_size, class, allocated)`.
+fn check_block_header(w0: u64, off: u64, frontier: u64) -> Result<(u64, usize, bool), String> {
+    let size = w0 & W0_SIZE_MASK;
+    let class = ((w0 >> W0_CLASS_SHIFT) & W0_CLASS_MASK) as usize;
+    if size < BLOCK_HEADER + BLOCK_ALIGN || size % BLOCK_ALIGN != 0 {
+        return Err(format!("block at {off:#x}: bad size {size}"));
+    }
+    if class >= NUM_CLASSES {
+        return Err(format!("block at {off:#x}: bad class {class}"));
+    }
+    if class < OVERSIZE && CLASS_SIZES[class] != size {
+        return Err(format!(
+            "block at {off:#x}: class {class} does not match size {size}"
+        ));
+    }
+    if class == OVERSIZE && size <= *CLASS_SIZES.last().unwrap() {
+        return Err(format!("block at {off:#x}: oversize class but size {size}"));
+    }
+    if off + size > frontier {
+        return Err(format!(
+            "block at {off:#x}: size {size} crosses frontier {frontier:#x}"
+        ));
+    }
+    Ok((size, class, w0 & W0_ALLOCATED != 0))
+}
+
+fn root_off_field(slot: usize) -> u64 {
+    OFF_ROOTS + slot as u64 * ROOT_SLOT_SIZE + MAX_ROOT_NAME as u64
+}
+
+/// Locks the pool file exclusively, translating contention into a clear
+/// "in use" error. Single-writer is what keeps two allocators from racing
+/// over the same mapped pages (the lock dies with the descriptor).
+fn lock_pool_file(file: &File, path: &Path) -> io::Result<()> {
+    mmap::lock_exclusive(file).map_err(|e| {
+        if e.kind() == io::ErrorKind::WouldBlock {
+            io::Error::new(
+                io::ErrorKind::WouldBlock,
+                format!(
+                    "pool {} is already open in this or another process",
+                    path.display()
+                ),
+            )
+        } else {
+            e
+        }
+    })
+}
+
+/// If `path` is a pool file whose creation crashed before the final magic
+/// persist (first 8 bytes exactly zero), unlinks it and returns `true`.
+///
+/// Runs entirely on a `flock`ed descriptor: a file another process holds
+/// open (mid-create or in use) fails the lock and is left alone.
+fn unlink_if_never_completed(path: &Path) -> io::Result<bool> {
+    use std::io::Read;
+    let mut f = OpenOptions::new().read(true).write(true).open(path)?;
+    if mmap::lock_exclusive(&f).is_err() {
+        return Ok(false); // someone owns it; let Pool::open report that
+    }
+    // The lock was acquired on whatever inode we opened; if the path has
+    // been replaced meanwhile (another healer won and re-created the pool),
+    // unlinking by path would delete *their* live pool.
+    if verify_same_inode(&f, path).is_err() {
+        return Ok(false);
+    }
+    let mut magic = [0u8; 8];
+    let incomplete = match f.read_exact(&mut magic) {
+        Ok(()) => u64::from_le_bytes(magic) == 0,
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => true,
+        Err(e) => return Err(e),
+    };
+    if incomplete {
+        // Still under the lock — remove the never-completed file.
+        std::fs::remove_file(path)?;
+    }
+    Ok(incomplete)
+}
+
+/// Fails if `path` no longer names the inode behind `file` — i.e. a
+/// concurrent `open_or_create` healed (unlinked) the file between our
+/// `open` and `flock`. Losing that race must abort the create rather than
+/// continue on an unlinked inode nobody can ever open again.
+fn verify_same_inode(file: &File, path: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::MetadataExt;
+        let ours = file.metadata()?;
+        let on_disk = std::fs::metadata(path)?;
+        if ours.dev() != on_disk.dev() || ours.ino() != on_disk.ino() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("{} was replaced during creation", path.display()),
+            ));
+        }
+    }
+    #[cfg(not(unix))]
+    let _ = (file, path);
+    Ok(())
+}
+
+fn bad_pool(msg: String) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("not a valid pool: {msg}"),
+    )
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,124 @@
+//! [`POff`]: typed persistent offset pointers.
+//!
+//! An absolute pointer into a pool is only valid while the pool is mapped at
+//! the base it was mapped at when the pointer was created. An *offset* from
+//! the pool base is valid forever — across reopens, across processes, and
+//! across rebased mappings. `POff` is that offset, typed.
+
+use crate::Pool;
+use std::fmt;
+use std::marker::PhantomData;
+
+/// A typed offset into a [`Pool`] — the persistent form of `*mut T`.
+///
+/// Offset 0 is the pool magic, which is never a valid allocation, so it
+/// doubles as the null value.
+#[repr(transparent)]
+pub struct POff<T> {
+    off: u64,
+    _marker: PhantomData<*mut T>,
+}
+
+impl<T> POff<T> {
+    /// The null offset pointer.
+    pub const fn null() -> Self {
+        POff {
+            off: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Wraps a raw offset (0 = null).
+    pub const fn from_raw(off: u64) -> Self {
+        POff {
+            off,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Creates the offset pointer for `ptr` within `pool`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ptr` is outside the pool (null maps to null).
+    pub fn of(pool: &Pool, ptr: *const T) -> Self {
+        if ptr.is_null() {
+            return Self::null();
+        }
+        Self::from_raw(pool.offset_of(ptr as *const u8))
+    }
+
+    /// The raw offset value.
+    pub const fn raw(self) -> u64 {
+        self.off
+    }
+
+    /// Whether this is the null offset.
+    pub const fn is_null(self) -> bool {
+        self.off == 0
+    }
+
+    /// Resolves to a pointer in `pool`'s current mapping (null → null).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset lies outside the pool.
+    pub fn resolve(self, pool: &Pool) -> *mut T {
+        if self.is_null() {
+            return std::ptr::null_mut();
+        }
+        pool.at(self.off) as *mut T
+    }
+
+    /// Resolves to a reference in `pool`'s current mapping.
+    ///
+    /// # Safety
+    ///
+    /// The offset must point at a live, initialized `T` in this pool, and
+    /// the usual aliasing rules apply for the returned lifetime.
+    pub unsafe fn as_ref<'a>(self, pool: &'a Pool) -> Option<&'a T> {
+        if self.is_null() {
+            None
+        } else {
+            Some(unsafe { &*self.resolve(pool) })
+        }
+    }
+}
+
+// Manual impls: `POff` is Copy/ordered regardless of `T`.
+impl<T> Clone for POff<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for POff<T> {}
+impl<T> PartialEq for POff<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.off == other.off
+    }
+}
+impl<T> Eq for POff<T> {}
+impl<T> std::hash::Hash for POff<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.off.hash(state);
+    }
+}
+impl<T> Default for POff<T> {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+impl<T> fmt::Debug for POff<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            f.write_str("POff(null)")
+        } else {
+            write!(f, "POff({:#x})", self.off)
+        }
+    }
+}
+
+// SAFETY: a POff is just a number; dereferencing it is what's unsafe.
+unsafe impl<T> Send for POff<T> {}
+unsafe impl<T> Sync for POff<T> {}

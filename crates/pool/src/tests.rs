@@ -1,0 +1,405 @@
+//! Unit tests: allocator behaviour, roots, reopen recovery, rebasing.
+
+use super::*;
+
+fn tmp(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!(
+        "nvt-pool-test-{}-{}.pool",
+        std::process::id(),
+        name
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn cleanup(p: &Path) {
+    let _ = std::fs::remove_file(p);
+}
+
+#[test]
+fn create_rejects_tiny_and_duplicate() {
+    let path = tmp("tiny");
+    assert!(Pool::create(&path, 1024).is_err());
+    let pool = Pool::create(&path, MIN_CAPACITY).unwrap();
+    assert!(Pool::create(&path, MIN_CAPACITY).is_err(), "file exists");
+    drop(pool);
+    cleanup(&path);
+}
+
+#[test]
+fn open_rejects_non_pool_files() {
+    let path = tmp("garbage");
+    std::fs::write(&path, vec![0xABu8; MIN_CAPACITY as usize]).unwrap();
+    let err = Pool::open(&path).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    cleanup(&path);
+}
+
+#[test]
+fn alloc_is_aligned_in_pool_and_usable() {
+    let path = tmp("align");
+    let pool = Pool::create(&path, 1 << 20).unwrap();
+    for size in [1usize, 8, 16, 17, 48, 100, 1000, 5000] {
+        let p = pool.alloc(size, 8).unwrap();
+        assert_eq!(p as usize % BLOCK_ALIGN as usize, 0);
+        assert!(pool.contains(p as *const u8));
+        assert!(pool.usable_size(p as *const u8) >= size as u64);
+        unsafe { std::ptr::write_bytes(p, 0x5A, size) };
+    }
+    pool.verify_heap().unwrap();
+    drop(pool);
+    cleanup(&path);
+}
+
+#[test]
+fn free_list_reuses_blocks_per_class() {
+    let path = tmp("reuse");
+    let pool = Pool::create(&path, 1 << 20).unwrap();
+    let a = pool.alloc(40, 8).unwrap(); // class 64
+    let b = pool.alloc(40, 8).unwrap();
+    assert_ne!(a, b);
+    unsafe { pool.dealloc(a) };
+    let c = pool.alloc(33, 8).unwrap(); // same class → reuses a
+    assert_eq!(a, c);
+    // A different class must not reuse it.
+    unsafe { pool.dealloc(b) };
+    let d = pool.alloc(500, 8).unwrap();
+    assert_ne!(b, d);
+    pool.verify_heap().unwrap();
+    drop(pool);
+    cleanup(&path);
+}
+
+#[test]
+fn oversize_blocks_first_fit_and_reuse() {
+    let path = tmp("oversize");
+    let pool = Pool::create(&path, 4 << 20).unwrap();
+    let big = pool.alloc(100_000, 16).unwrap();
+    let bigger = pool.alloc(200_000, 16).unwrap();
+    unsafe { pool.dealloc(big) };
+    unsafe { pool.dealloc(bigger) };
+    // 150k fits only in the 200k block (first fit over the list).
+    let p = pool.alloc(150_000, 16).unwrap();
+    assert_eq!(p, bigger);
+    // 90k fits in the freed 100k block.
+    let q = pool.alloc(90_000, 16).unwrap();
+    assert_eq!(q, big);
+    pool.verify_heap().unwrap();
+    drop(pool);
+    cleanup(&path);
+}
+
+#[test]
+fn realloc_copies_payload() {
+    let path = tmp("realloc");
+    let pool = Pool::create(&path, 1 << 20).unwrap();
+    let p = pool.alloc(64, 8).unwrap();
+    unsafe {
+        for i in 0..64 {
+            p.add(i).write(i as u8);
+        }
+        let q = pool.realloc(p, 4096).unwrap();
+        for i in 0..64 {
+            assert_eq!(q.add(i).read(), i as u8);
+        }
+        pool.dealloc(q);
+    }
+    pool.verify_heap().unwrap();
+    drop(pool);
+    cleanup(&path);
+}
+
+#[test]
+fn exhaustion_returns_none_not_panic() {
+    let path = tmp("exhaust");
+    let pool = Pool::create(&path, MIN_CAPACITY).unwrap();
+    let mut n = 0;
+    while pool.alloc(4096, 8).is_some() {
+        n += 1;
+        assert!(n < 1000, "pool never filled");
+    }
+    assert!(n > 0, "nothing allocated before exhaustion");
+    // Small allocations may still fit; the pool must stay consistent.
+    pool.verify_heap().unwrap();
+    drop(pool);
+    cleanup(&path);
+}
+
+#[test]
+#[should_panic(expected = "double free")]
+fn double_free_is_detected() {
+    let path = tmp("dfree");
+    let pool = Pool::create(&path, 1 << 20).unwrap();
+    let p = pool.alloc(64, 8).unwrap();
+    unsafe {
+        pool.dealloc(p);
+        pool.dealloc(p); // must panic
+    }
+}
+
+#[test]
+fn roots_set_get_overwrite_remove() {
+    let path = tmp("roots");
+    let pool = Pool::create(&path, 1 << 20).unwrap();
+    assert_eq!(pool.root("list"), None);
+    pool.set_root("list", 4096).unwrap();
+    pool.set_root("map", 8192).unwrap();
+    assert_eq!(pool.root("list"), Some(4096));
+    assert_eq!(pool.root("map"), Some(8192));
+    pool.set_root("list", 12288).unwrap(); // overwrite
+    assert_eq!(pool.root("list"), Some(12288));
+    assert_eq!(pool.roots().len(), 2);
+    assert_eq!(pool.remove_root("list"), Some(12288));
+    assert_eq!(pool.root("list"), None);
+    // Name limits: empty, too long, and embedded NUL (would alias the
+    // NUL-terminated on-disk form) are all rejected.
+    assert!(pool.set_root("", 1).is_err());
+    assert!(pool.set_root(&"x".repeat(MAX_ROOT_NAME + 1), 1).is_err());
+    assert!(pool.set_root("a\0b", 1).is_err());
+    assert!(pool.set_root("\0", 1).is_err());
+    assert!(pool.set_root(&"y".repeat(MAX_ROOT_NAME), 1).is_ok());
+    drop(pool);
+    cleanup(&path);
+}
+
+#[test]
+fn open_or_create_heals_a_crashed_create() {
+    let path = tmp("heal");
+    // A file whose magic never got persisted (all-zero prefix) is exactly
+    // what a crash during Pool::create leaves behind.
+    std::fs::write(&path, vec![0u8; MIN_CAPACITY as usize]).unwrap();
+    assert!(Pool::open(&path).is_err(), "plain open must still refuse");
+    let pool = Pool::open_or_create(&path, 1 << 20).unwrap();
+    assert_eq!(pool.capacity(), 1 << 20, "must have been recreated");
+    drop(pool);
+    // A file with a non-zero, non-magic prefix is somebody else's data:
+    // open_or_create must refuse to destroy it.
+    std::fs::remove_file(&path).unwrap();
+    std::fs::write(&path, vec![0xABu8; MIN_CAPACITY as usize]).unwrap();
+    assert!(Pool::open_or_create(&path, 1 << 20).is_err());
+    cleanup(&path);
+}
+
+#[test]
+fn realloc_within_capacity_is_in_place() {
+    let path = tmp("realloc-inplace");
+    let pool = Pool::create(&path, 1 << 20).unwrap();
+    // 100 bytes lands in the 128-byte class (112 usable): growing to 110
+    // and shrinking to 8 must both stay in place.
+    let p = pool.alloc(100, 8).unwrap();
+    let cap = pool.usable_size(p as *const u8);
+    assert!(cap >= 110);
+    unsafe {
+        assert_eq!(pool.realloc(p, 110), Some(p));
+        assert_eq!(pool.realloc(p, 8), Some(p));
+        // Growing past the capacity moves.
+        let q = pool.realloc(p, cap as usize + 1).unwrap();
+        assert_ne!(q, p);
+        pool.dealloc(q);
+    }
+    pool.verify_heap().unwrap();
+    drop(pool);
+    cleanup(&path);
+}
+
+#[test]
+fn root_slots_exhaust_cleanly() {
+    let path = tmp("rootfull");
+    let pool = Pool::create(&path, 1 << 20).unwrap();
+    for i in 0..MAX_ROOTS {
+        pool.set_root(&format!("r{i}"), i as u64 + 1).unwrap();
+    }
+    assert!(pool.set_root("one-too-many", 99).is_err());
+    // Removing frees a slot.
+    pool.remove_root("r3").unwrap();
+    pool.set_root("one-too-many", 99).unwrap();
+    drop(pool);
+    cleanup(&path);
+}
+
+#[test]
+fn reopen_preserves_data_roots_and_free_lists() {
+    let path = tmp("reopen");
+    let (off_keep, off_freed);
+    {
+        let pool = Pool::create(&path, 1 << 20).unwrap();
+        let keep = pool.alloc(64, 8).unwrap();
+        unsafe { (keep as *mut u64).write(0xFACE_FEED) };
+        nvtraverse_pmem::MmapBackend::flush(keep);
+        nvtraverse_pmem::MmapBackend::fence();
+        let freed = pool.alloc(64, 8).unwrap();
+        off_keep = pool.offset_of(keep as *const u8);
+        off_freed = pool.offset_of(freed as *const u8);
+        unsafe { pool.dealloc(freed) };
+        pool.set_root("keep", off_keep).unwrap();
+    }
+    let pool = Pool::open(&path).unwrap();
+    let report = pool.recovery_report();
+    assert_eq!(report.live_blocks, 1);
+    assert_eq!(report.free_blocks, 1);
+    assert!(report.clean_shutdown);
+    // Root and payload survive.
+    assert_eq!(pool.root("keep"), Some(off_keep));
+    let keep = pool.at(off_keep) as *const u64;
+    assert_eq!(unsafe { keep.read() }, 0xFACE_FEED);
+    // The rebuilt free list serves the freed block before bumping.
+    let p = pool.alloc(64, 8).unwrap();
+    assert_eq!(pool.offset_of(p as *const u8), off_freed);
+    pool.verify_heap().unwrap();
+    drop(pool);
+    cleanup(&path);
+}
+
+#[test]
+fn reopen_reproduces_live_set_exactly() {
+    let path = tmp("liveset");
+    let before;
+    {
+        let pool = Pool::create(&path, 1 << 20).unwrap();
+        let mut held = Vec::new();
+        for i in 0..50usize {
+            let p = pool.alloc(16 + i * 7, 8).unwrap();
+            held.push(p);
+        }
+        for p in held.iter().step_by(3) {
+            unsafe { pool.dealloc(*p) };
+        }
+        before = pool.live_offsets();
+    }
+    let pool = Pool::open(&path).unwrap();
+    assert_eq!(pool.live_offsets(), before);
+    drop(pool);
+    cleanup(&path);
+}
+
+#[test]
+fn concurrent_second_open_is_refused() {
+    let path = tmp("locked");
+    let pool1 = Pool::create(&path, 1 << 20).unwrap();
+    // The flock makes pools single-writer: a second open of a live pool
+    // must fail instead of racing two allocators over the same pages.
+    let err = Pool::open(&path).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::WouldBlock, "{err}");
+    drop(pool1);
+    // Released with the descriptor: reopening now succeeds.
+    let pool = Pool::open(&path).unwrap();
+    drop(pool);
+    cleanup(&path);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn occupied_preferred_base_forces_rebased_open() {
+    let path = tmp("rebase");
+    let (base1, cap) = {
+        let pool = Pool::create(&path, 1 << 20).unwrap();
+        pool.set_root("r", 4242).unwrap();
+        (pool.base(), pool.capacity() as usize)
+    };
+    // Squat on the recorded base so the next open cannot have it.
+    assert!(
+        mmap::reserve_anon_at(base1, cap),
+        "could not occupy the preferred base for the test"
+    );
+    let pool = Pool::open(&path).unwrap();
+    assert!(pool.is_rebased());
+    assert_ne!(pool.base(), base1);
+    // Offset-based access still works on a rebased mapping.
+    assert_eq!(pool.root("r"), Some(4242));
+    drop(pool);
+    mmap::unmap(base1, cap);
+    // A rebased open must NOT have re-recorded its temporary base: with the
+    // original range free again, the pool maps at its true home and the
+    // embedded absolute pointers are valid — not silently "non-rebased" at
+    // the wrong address.
+    let pool = Pool::open(&path).unwrap();
+    assert!(!pool.is_rebased());
+    assert_eq!(pool.base(), base1, "preferred base lost across rebased open");
+    drop(pool);
+    cleanup(&path);
+}
+
+#[test]
+fn same_base_on_clean_reopen() {
+    let path = tmp("samebase");
+    let base1 = {
+        let pool = Pool::create(&path, 1 << 20).unwrap();
+        pool.base()
+    };
+    let pool = Pool::open(&path).unwrap();
+    assert!(!pool.is_rebased());
+    assert_eq!(pool.base(), base1);
+    drop(pool);
+    cleanup(&path);
+}
+
+#[test]
+fn alloc_value_and_poff_roundtrip() {
+    let path = tmp("poff");
+    let pool = Pool::create(&path, 1 << 20).unwrap();
+    let off: POff<u64> = pool.alloc_value(77u64).unwrap();
+    assert!(!off.is_null());
+    assert_eq!(unsafe { off.as_ref(&pool) }, Some(&77));
+    unsafe { (*off.resolve(&pool)) = 88 };
+    assert_eq!(unsafe { off.as_ref(&pool) }, Some(&88));
+    assert_eq!(POff::<u64>::of(&pool, off.resolve(&pool)), off);
+    assert_eq!(POff::<u64>::null().resolve(&pool), std::ptr::null_mut());
+    assert!(POff::<u64>::of(&pool, std::ptr::null()).is_null());
+    drop(pool);
+    cleanup(&path);
+}
+
+#[test]
+fn install_as_default_routes_heap_allocate() {
+    let path = tmp("install");
+    let pool = Pool::create(&path, 1 << 20).unwrap();
+    pool.install_as_default();
+    let p = heap::allocate(64, 8).unwrap();
+    assert!(pool.contains(p as *const u8));
+    // The foreign-heap registry routes the free back to this pool.
+    let (ctx, dealloc) = heap::owner_of(p as *const u8).unwrap();
+    unsafe { dealloc(ctx, p, 64, 8) };
+    pool.uninstall_default();
+    assert!(heap::allocate(64, 8).is_none());
+    pool.verify_heap().unwrap();
+    assert_eq!(pool.live_offsets().len(), 0);
+    drop(pool);
+    cleanup(&path);
+}
+
+#[test]
+fn concurrent_alloc_free_stress_keeps_heap_consistent() {
+    let path = tmp("stress");
+    let pool = Pool::create(&path, 8 << 20).unwrap();
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let pool = pool.clone();
+            s.spawn(move || {
+                let mut held: Vec<*mut u8> = Vec::new();
+                let mut x = t.wrapping_mul(0x9E37_79B9) + 1;
+                for _ in 0..2000 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    if x % 3 != 0 || held.is_empty() {
+                        let size = 16 + (x % 300) as usize;
+                        if let Some(p) = pool.alloc(size, 8) {
+                            unsafe { std::ptr::write_bytes(p, t as u8, size) };
+                            held.push(p);
+                        }
+                    } else {
+                        let p = held.swap_remove((x % held.len() as u64) as usize);
+                        unsafe { pool.dealloc(p) };
+                    }
+                }
+                for p in held {
+                    unsafe { pool.dealloc(p) };
+                }
+            });
+        }
+    });
+    let report = pool.verify_heap().unwrap();
+    assert_eq!(report.live.len(), 0, "all blocks were freed");
+    drop(pool);
+    cleanup(&path);
+}

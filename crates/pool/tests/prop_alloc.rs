@@ -1,0 +1,202 @@
+//! Property tests for the pool allocator: random alloc/free/realloc
+//! sequences must preserve every header invariant, never corrupt payloads,
+//! and reopening the pool must reproduce exactly the same live set.
+
+use nvtraverse_pool::Pool;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One step of the allocator workload. Indices are taken modulo the number
+/// of currently-held blocks.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Alloc { size: usize },
+    Free { idx: usize },
+    Realloc { idx: usize, size: usize },
+}
+
+fn size_strategy() -> impl Strategy<Value = usize> {
+    // Mostly class-sized allocations, sometimes oversize (> 64 KiB blocks).
+    prop_oneof![
+        (1usize..2000).prop_map(|s| s),
+        (1usize..2000).prop_map(|s| s),
+        (1usize..2000).prop_map(|s| s),
+        (66_000usize..120_000).prop_map(|s| s),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        size_strategy().prop_map(|size| Op::Alloc { size }),
+        (0usize..64).prop_map(|idx| Op::Free { idx }),
+        ((0usize..64), size_strategy()).prop_map(|(idx, size)| Op::Realloc { idx, size }),
+    ]
+}
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn unique_pool_path() -> PathBuf {
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let p = std::env::temp_dir().join(format!(
+        "nvt-prop-alloc-{}-{}.pool",
+        std::process::id(),
+        n
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// A held block in the shadow model: offset, requested size, fill byte.
+struct Held {
+    ptr: *mut u8,
+    size: usize,
+    fill: u8,
+}
+
+fn fill(pool: &Pool, h: &Held) {
+    assert!(pool.usable_size(h.ptr) >= h.size as u64, "block too small");
+    unsafe { std::ptr::write_bytes(h.ptr, h.fill, h.size) };
+}
+
+fn check_payload(h: &Held, upto: usize) {
+    for i in 0..upto.min(h.size) {
+        let b = unsafe { h.ptr.add(i).read() };
+        assert_eq!(
+            b, h.fill,
+            "payload corrupted at byte {i} of block {:p}",
+            h.ptr
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Header invariants and payload integrity hold through any sequence,
+    /// and every step keeps the heap walkable.
+    #[test]
+    fn sequences_preserve_heap_invariants(
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+    ) {
+        let path = unique_pool_path();
+        let pool = Pool::create(&path, 32 << 20).unwrap();
+        let mut held: Vec<Held> = Vec::new();
+        let mut next_fill = 1u8;
+
+        for op in &ops {
+            match *op {
+                Op::Alloc { size } => {
+                    if let Some(ptr) = pool.alloc(size, 8) {
+                        let h = Held { ptr, size, fill: next_fill };
+                        next_fill = next_fill.wrapping_add(1).max(1);
+                        fill(&pool, &h);
+                        held.push(h);
+                    }
+                }
+                Op::Free { idx } => {
+                    if !held.is_empty() {
+                        let h = held.swap_remove(idx % held.len());
+                        check_payload(&h, usize::MAX);
+                        unsafe { pool.dealloc(h.ptr) };
+                    }
+                }
+                Op::Realloc { idx, size } => {
+                    if !held.is_empty() {
+                        let i = idx % held.len();
+                        let old_size = held[i].size;
+                        if let Some(p) = unsafe { pool.realloc(held[i].ptr, size) } {
+                            held[i].ptr = p;
+                            // Realloc must preserve the common prefix…
+                            check_payload(&held[i], old_size.min(size));
+                            // …then we refill at the (possibly larger) size.
+                            held[i].size = size;
+                            fill(&pool, &held[i]);
+                        }
+                    }
+                }
+            }
+            // The heap walks cleanly after every single step.
+            let report = pool.verify_heap().unwrap();
+            prop_assert_eq!(report.live.len(), held.len(), "live-block count diverged");
+        }
+
+        // No block overlaps another (the walk is also the overlap check),
+        // and every held pointer is an allocated block of sufficient size.
+        let report = pool.verify_heap().unwrap();
+        for h in &held {
+            let off = pool.offset_of(h.ptr as *const u8) - 16;
+            let entry = report.live.iter().find(|&&(o, _)| o == off);
+            prop_assert!(entry.is_some(), "held block missing from walk");
+            prop_assert!(entry.unwrap().1 >= h.size as u64);
+            check_payload(h, usize::MAX);
+        }
+        drop(pool);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Closing and reopening the pool reproduces the same live set, with
+    /// identical payloads, and the rebuilt free lists actually serve the
+    /// freed blocks again.
+    #[test]
+    fn reopen_reproduces_live_set(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        let path = unique_pool_path();
+        let mut shadow: Vec<(u64, usize, u8)> = Vec::new(); // (offset, size, fill)
+        let freed_count;
+        {
+            let pool = Pool::create(&path, 32 << 20).unwrap();
+            let mut held: Vec<Held> = Vec::new();
+            let mut next_fill = 1u8;
+            let mut frees = 0usize;
+            for op in &ops {
+                match *op {
+                    Op::Alloc { size } | Op::Realloc { size, .. } => {
+                        if let Some(ptr) = pool.alloc(size, 8) {
+                            let h = Held { ptr, size, fill: next_fill };
+                            next_fill = next_fill.wrapping_add(1).max(1);
+                            fill(&pool, &h);
+                            held.push(h);
+                        }
+                    }
+                    Op::Free { idx } => {
+                        if !held.is_empty() {
+                            let h = held.swap_remove(idx % held.len());
+                            unsafe { pool.dealloc(h.ptr) };
+                            frees += 1;
+                        }
+                    }
+                }
+            }
+            // Data must survive a kill, not just a clean close: flush it.
+            use nvtraverse_pmem::{Backend, MmapBackend};
+            for h in &held {
+                MmapBackend::flush_range(h.ptr, h.size);
+                shadow.push((pool.offset_of(h.ptr as *const u8), h.size, h.fill));
+            }
+            MmapBackend::fence();
+            freed_count = frees;
+            shadow.sort_unstable();
+        }
+
+        let pool = Pool::open(&path).unwrap();
+        let report = pool.recovery_report();
+        prop_assert_eq!(report.live_blocks, shadow.len());
+        prop_assert!(report.free_blocks <= freed_count, "free blocks appeared from nowhere");
+        // Identical live offsets…
+        let live = pool.live_offsets();
+        let want: Vec<u64> = shadow.iter().map(|&(o, _, _)| o - 16).collect();
+        prop_assert_eq!(live, want);
+        // …with identical payloads.
+        for &(off, size, fillb) in &shadow {
+            let p = pool.at(off);
+            for i in 0..size {
+                prop_assert_eq!(unsafe { p.add(i).read() }, fillb,
+                    "payload of block at {:#x} changed across reopen", off);
+            }
+        }
+        drop(pool);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -15,10 +15,12 @@
 
 use crate::list::HarrisList;
 use nvtraverse::policy::Durability;
-use nvtraverse::set::DurableSet;
+use nvtraverse::set::{DurableSet, PoolAttach};
 use nvtraverse_ebr::Collector;
-use nvtraverse_pmem::Word;
+use nvtraverse_pmem::{Backend, MmapBackend, Word};
+use nvtraverse_pool::Pool;
 use std::fmt;
+use std::io;
 
 /// A fixed-capacity lock-free hash map with per-bucket Harris lists.
 ///
@@ -106,6 +108,50 @@ where
             .flat_map(|b| b.iter_snapshot())
             .collect()
     }
+
+    /// Bucket count used by [`PoolAttach::create_in_pool`]; pick a custom
+    /// count with [`HashMapDs::create_in_pool_with_buckets`].
+    pub const DEFAULT_POOL_BUCKETS: usize = 64;
+
+    /// Builds a fresh table of `buckets` buckets whose nodes — and whose
+    /// bucket-head table — all live in `pool`, registered under `name`.
+    ///
+    /// The persistent form is a *bucket table* block
+    /// `[bucket_count, head_off 0, …, head_off n-1]` registered as the root:
+    /// the `Box<[HarrisList]>` handle is volatile and rebuilt from that
+    /// table on every attach.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the pool is exhausted or the root registry rejects `name`.
+    pub fn create_in_pool_with_buckets(
+        pool: &Pool,
+        name: &str,
+        buckets: usize,
+    ) -> io::Result<Self> {
+        pool.install_as_default();
+        let map = Self::with_collector(buckets, Collector::new());
+        let n = map.bucket_count();
+        let table = pool
+            .alloc((n + 1) * 8, 8)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::Other, "pool exhausted"))?
+            as *mut u64;
+        unsafe {
+            table.write(n as u64);
+            for (i, b) in map.buckets.iter().enumerate() {
+                let head = b.head_ptr() as *const u8;
+                assert!(
+                    pool.contains(head),
+                    "bucket head not allocated from this pool — was another pool installed?"
+                );
+                table.add(1 + i).write(pool.offset_of(head));
+            }
+        }
+        MmapBackend::flush_range(table as *const u8, (n + 1) * 8);
+        MmapBackend::fence();
+        pool.set_root_ptr(name, table)?;
+        Ok(map)
+    }
 }
 
 impl<K, V, D> DurableSet<K, V> for HashMapDs<K, V, D>
@@ -136,6 +182,53 @@ where
         for b in self.buckets.iter() {
             b.recover();
         }
+    }
+}
+
+impl<K, V, D> PoolAttach for HashMapDs<K, V, D>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    fn create_in_pool(pool: &Pool, name: &str) -> io::Result<Self> {
+        Self::create_in_pool_with_buckets(pool, name, Self::DEFAULT_POOL_BUCKETS)
+    }
+
+    unsafe fn attach_to_pool(pool: &Pool, name: &str) -> Option<Self> {
+        if pool.is_rebased() {
+            return None;
+        }
+        let off = pool.root(name)?;
+        if off == 0 {
+            return None;
+        }
+        pool.install_as_default();
+        let table = pool.at(off) as *const u64;
+        let n = unsafe { table.read() } as usize;
+        if n == 0 || n > 1 << 24 {
+            return None; // not a plausible bucket table
+        }
+        let collector = Collector::new();
+        let buckets: Vec<HarrisList<K, V, D>> = (0..n)
+            .map(|i| {
+                let head_off = unsafe { table.add(1 + i).read() };
+                let head = pool.at(head_off) as *mut crate::list::Node<K, V, D::B>;
+                unsafe { HarrisList::attach_at(head, collector.clone()) }
+            })
+            .collect();
+        Some(HashMapDs {
+            buckets: buckets.into_boxed_slice(),
+            collector,
+        })
+    }
+
+    fn recover_attached(&self) {
+        self.recover();
+    }
+
+    fn collector_of(&self) -> &Collector {
+        &self.collector
     }
 }
 

@@ -22,10 +22,12 @@ use nvtraverse::alloc::{alloc_node, free};
 use nvtraverse::marked::MarkedPtr;
 use nvtraverse::ops::{run_operation, Critical, PersistSet, TraversalOps};
 use nvtraverse::policy::Durability;
-use nvtraverse::set::{DurableSet, SetOp};
+use nvtraverse::set::{DurableSet, PoolAttach, SetOp};
 use nvtraverse_ebr::{Collector, Guard};
 use nvtraverse_pmem::{Backend, PCell, Word};
+use nvtraverse_pool::Pool;
 use std::fmt;
+use std::io;
 use std::marker::PhantomData;
 
 /// One list node. All fields are 64-bit persistent cells; `key`, `value` and
@@ -129,6 +131,28 @@ where
     /// The collector nodes are retired into.
     pub fn collector(&self) -> &Collector {
         &self.collector
+    }
+
+    /// The head sentinel (for pool root registration by this crate).
+    pub(crate) fn head_ptr(&self) -> NodePtr<K, V, D::B> {
+        self.head
+    }
+
+    /// Rebuilds a list handle around an existing head sentinel — the attach
+    /// half of the pool lifecycle.
+    ///
+    /// # Safety
+    ///
+    /// `head` must be the head sentinel of a list built with the *same*
+    /// `K`/`V`/`D` parameters, reachable and quiescent. The caller is
+    /// responsible for not dropping two handles to the same list (the
+    /// pooled lifecycle never drops — see `nvtraverse::PooledSet`).
+    pub(crate) unsafe fn attach_at(head: NodePtr<K, V, D::B>, collector: Collector) -> Self {
+        HarrisList {
+            head,
+            collector,
+            _marker: PhantomData,
+        }
     }
 
     #[inline]
@@ -480,6 +504,45 @@ where
 
     fn recover(&self) {
         self.recover_list();
+    }
+}
+
+impl<K, V, D, const ORIG_PARENT: bool> PoolAttach for HarrisList<K, V, D, ORIG_PARENT>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    fn create_in_pool(pool: &Pool, name: &str) -> io::Result<Self> {
+        pool.install_as_default();
+        let list = Self::with_collector(Collector::new());
+        assert!(
+            pool.contains(list.head as *const u8),
+            "head sentinel not allocated from this pool — was another pool installed?"
+        );
+        pool.set_root_ptr(name, list.head)?;
+        Ok(list)
+    }
+
+    unsafe fn attach_to_pool(pool: &Pool, name: &str) -> Option<Self> {
+        if pool.is_rebased() {
+            return None; // embedded absolute pointers are invalid
+        }
+        let off = pool.root(name)?;
+        if off == 0 {
+            return None; // torn slot from a crashed set_root
+        }
+        pool.install_as_default();
+        let head = pool.at(off) as NodePtr<K, V, D::B>;
+        Some(unsafe { Self::attach_at(head, Collector::new()) })
+    }
+
+    fn recover_attached(&self) {
+        self.recover_list();
+    }
+
+    fn collector_of(&self) -> &Collector {
+        &self.collector
     }
 }
 

@@ -198,7 +198,10 @@ mod tests {
                     }
                     // Each popper's sequence must be increasing: it never
                     // observes an older minimum after a newer one.
-                    assert!(local.windows(2).all(|w| w[0] < w[1]));
+                    if let Some(w) = local.windows(2).find(|w| w[0] >= w[1]) {
+                        panic!("non-monotone pop: {} then {} (tail: {:?})", w[0], w[1],
+                            &local[local.len().saturating_sub(8)..]);
+                    }
                     seen.lock().unwrap().extend(local);
                 });
             }

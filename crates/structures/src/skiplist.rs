@@ -263,6 +263,10 @@ where
     /// (used by the priority queue's `peek`/`pop_min`). Linearizes at the
     /// bottom-link read of the first unmarked node.
     pub fn min_entry(&self) -> Option<(K, V)> {
+        // Unlike the quiescent snapshot walks, this runs concurrently with
+        // removers: the marked nodes it reads through are retire()d by their
+        // deleters, so the walk must hold an epoch pin.
+        let _guard = self.collector.pin();
         unsafe {
             let mut cur = D::t_load_link(&(*self.head).next[0]);
             loop {
@@ -453,14 +457,26 @@ where
         };
         let (start, preds) = entry;
         unsafe {
-            // Harris-style bottom walk from the shortcut entry point.
-            let mut left = start;
-            let mut left_succ = D::t_load_link(&(*start).next[0]);
-            let mut curr = start;
+            // Harris-style bottom walk from the shortcut entry point. The
+            // shortcut may have landed on a node that was logically deleted
+            // meanwhile; a marked node must never become the window's
+            // `left` (trim would CAS its frozen next word, resurrecting it
+            // and splicing live nodes out), so fall back to the head — the
+            // never-marked sentinel — exactly as a shortcut-less traversal
+            // would start. Mid-walk candidates are already mark-checked.
+            let mut base = start;
+            let mut first = D::t_load_link(&(*base).next[0]);
+            if first.is_marked() {
+                base = self.head;
+                first = D::t_load_link(&(*base).next[0]);
+            }
+            let mut left = base;
+            let mut left_succ = first;
+            let mut curr = base;
             let mut succ = left_succ;
             loop {
                 if !succ.is_marked() {
-                    if curr != start && !self.below(curr, k) {
+                    if curr != base && !self.below(curr, k) {
                         break;
                     }
                     left = curr;

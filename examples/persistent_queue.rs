@@ -43,11 +43,15 @@ fn main() {
                         }
                         None => {
                             idle += 1;
-                            if idle > 10_000
-                                && done.lock().unwrap().len() + local.len()
-                                    == (PRODUCERS * JOBS_PER_PRODUCER) as usize
-                            {
-                                break;
+                            if idle > 10_000 {
+                                // Publish our batch first: the exit test must
+                                // see every consumer's jobs, or two consumers
+                                // each holding a partial batch spin forever.
+                                let mut done = done.lock().unwrap();
+                                done.extend(local.drain(..));
+                                if done.len() == (PRODUCERS * JOBS_PER_PRODUCER) as usize {
+                                    break;
+                                }
                             }
                             std::hint::spin_loop();
                         }

@@ -1,0 +1,83 @@
+//! Data surviving a full process exit, via the persistent pool.
+//!
+//! Run it twice (same default pool path):
+//!
+//! ```text
+//! $ cargo run --example pool_restart
+//! created pool …: inserted keys 0..32
+//! $ cargo run --example pool_restart
+//! reopened pool …: recovered 32 keys, all values verified
+//! ```
+//!
+//! The first run creates a pool file, builds a durably linearizable Harris
+//! list inside it (every node lives in the mapped file), registers it under
+//! a root name, and exits without any serialization step. The second run
+//! reopens the file, looks the list up by name, runs the paper's recovery
+//! pass, and reads the data back — `Pool::open` → root lookup → `recover()`.
+//!
+//! Pass a path argument to choose the pool file; pass `--reset` to delete it
+//! first.
+
+use nvtraverse_suite::core::policy::NvTraverse;
+use nvtraverse_suite::core::{DurableSet, PooledSet};
+use nvtraverse_suite::pmem::MmapBackend;
+use nvtraverse_suite::structures::list::HarrisList;
+
+type PooledList = HarrisList<u64, u64, NvTraverse<MmapBackend>>;
+
+const KEYS: u64 = 32;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let reset = args.iter().any(|a| a == "--reset");
+    args.retain(|a| a != "--reset");
+    let path = args.first().cloned().unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join("nvtraverse-restart-demo.pool")
+            .to_string_lossy()
+            .into_owned()
+    });
+    if reset {
+        let _ = std::fs::remove_file(&path);
+    }
+
+    if !std::path::Path::new(&path).exists() {
+        // ---- first run: create, insert, exit --------------------------
+        let list = PooledSet::<PooledList>::create(&path, 8 << 20, "demo").unwrap();
+        for k in 0..KEYS {
+            assert!(list.insert(k, k * k));
+        }
+        // Odd keys are removed again, so the second run can also check
+        // that removals are as durable as inserts.
+        for k in (1..KEYS).step_by(2) {
+            assert!(list.remove(k));
+        }
+        list.close().unwrap();
+        println!(
+            "created pool {path}: inserted keys 0..{KEYS}, removed the odd ones — \
+             run me again to watch them come back from the file"
+        );
+    } else {
+        // ---- second run: reopen, recover, verify ----------------------
+        let list = PooledSet::<PooledList>::open(&path, "demo").unwrap();
+        let report = list.pool().recovery_report();
+        let mut recovered = 0;
+        for k in 0..KEYS {
+            match list.get(k) {
+                Some(v) if k % 2 == 0 => {
+                    assert_eq!(v, k * k, "key {k} came back with the wrong value");
+                    recovered += 1;
+                }
+                None if k % 2 == 1 => {} // durably removed
+                other => panic!("key {k}: unexpected state {other:?}"),
+            }
+        }
+        println!(
+            "reopened pool {path}: recovered {recovered} keys ({} live blocks, \
+             clean_shutdown={}), all values verified",
+            report.live_blocks, report.clean_shutdown
+        );
+        println!("delete it (or pass --reset) to start over");
+        list.close().unwrap();
+    }
+}

@@ -1,0 +1,235 @@
+//! Cross-process crash recovery: a child process mutates a pool-backed set,
+//! is SIGKILLed mid-workload, and the parent reopens the pool, runs
+//! recovery, and checks durable-linearizability invariants.
+//!
+//! This is the real-world counterpart of the simulator crash tests: the
+//! "crash" is an actual process death with the pool file as the only
+//! surviving state. (On a page-cache-backed mapping, pages written before
+//! the kill survive by kernel guarantee; on a DAX NVRAM mapping the same
+//! code is power-fail durable via `MmapBackend`'s `clwb`/`sfence`.)
+//!
+//! ## Oracle
+//!
+//! The child writes an intent/ack log (`fsync`ed line by line) beside the
+//! pool:
+//!
+//! * `i <k>` — insert of `k` is about to start; `I <k>` — it returned true.
+//! * `r <k>` — remove of `k` is about to start; `R <k>` — it returned true.
+//!
+//! Keys are never reinserted after removal, so after recovery:
+//!
+//! * an acked remove (`R`) ⇒ key **absent**;
+//! * an acked insert (`I`) with no remove intent (`r`) ⇒ key **present**;
+//! * any other intent ⇒ the op was in flight at the kill: either outcome
+//!   is a valid durable linearization;
+//! * a key with no intent at all ⇒ **absent** (nothing may invent keys).
+
+use nvtraverse::policy::NvTraverse;
+use nvtraverse::{DurableSet, PooledSet};
+use nvtraverse_pmem::MmapBackend;
+use nvtraverse_structures::list::HarrisList;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+type PooledList = HarrisList<u64, u64, NvTraverse<MmapBackend>>;
+
+const ROOT: &str = "crash-set";
+const POOL_CAP: u64 = 16 << 20;
+
+fn paths() -> (PathBuf, PathBuf) {
+    let dir = std::env::temp_dir();
+    let pool = dir.join(format!("nvt-crashproc-{}.pool", std::process::id()));
+    let log = dir.join(format!("nvt-crashproc-{}.log", std::process::id()));
+    (pool, log)
+}
+
+/// Child-process entry point, dispatched via environment variables. When
+/// `NVT_CRASH_CHILD` is unset (the normal test run) this test is a no-op.
+#[test]
+fn child_entry() {
+    let Ok(_) = std::env::var("NVT_CRASH_CHILD") else {
+        return;
+    };
+    let pool_path = std::env::var("NVT_POOL").unwrap();
+    let log_path = std::env::var("NVT_LOG").unwrap();
+    let start_key: u64 = std::env::var("NVT_START_KEY").unwrap().parse().unwrap();
+
+    let set = PooledSet::<PooledList>::open(&pool_path, ROOT).unwrap();
+    let mut log = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&log_path)
+        .unwrap();
+    let mut record = |tag: &str, k: u64| {
+        writeln!(log, "{tag} {k}").unwrap();
+        log.sync_data().unwrap();
+    };
+
+    // Insert start_key, start_key+1, …; after every key ≡ 2 (mod 3), remove
+    // the key ≡ 0 (mod 3) two below it. Victims are unique and never
+    // reinserted, which is what makes the parent's oracle exact.
+    let mut k = start_key;
+    loop {
+        record("i", k);
+        if set.insert(k, k.wrapping_mul(7)) {
+            record("I", k);
+        }
+        if k % 3 == 2 {
+            let victim = k - 2;
+            record("r", victim);
+            if set.remove(victim) {
+                record("R", victim);
+            }
+        }
+        k += 1;
+        // The parent kills us long before this; bail out in case it died.
+        if k > start_key + 2_000_000 {
+            std::process::exit(3);
+        }
+    }
+}
+
+#[derive(Default, Debug, Clone, Copy)]
+struct KeyLog {
+    intent_insert: bool,
+    acked_insert: bool,
+    intent_remove: bool,
+    acked_remove: bool,
+}
+
+fn parse_log(path: &Path) -> BTreeMap<u64, KeyLog> {
+    let mut out: BTreeMap<u64, KeyLog> = BTreeMap::new();
+    let data = std::fs::read_to_string(path).unwrap_or_default();
+    for line in data.lines() {
+        // The final line can be torn by the kill; ignore anything malformed.
+        let mut parts = line.split_whitespace();
+        let (Some(tag), Some(k)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        let Ok(k) = k.parse::<u64>() else { continue };
+        let e = out.entry(k).or_default();
+        match tag {
+            "i" => e.intent_insert = true,
+            "I" => e.acked_insert = true,
+            "r" => e.intent_remove = true,
+            "R" => e.acked_remove = true,
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Spawns the child, waits for it to ack at least `min_acks` operations,
+/// SIGKILLs it, and returns.
+fn run_child_until(pool: &Path, log: &Path, start_key: u64, min_acks: usize) {
+    let exe = std::env::current_exe().unwrap();
+    let mut child = std::process::Command::new(exe)
+        .args(["--exact", "child_entry", "--test-threads=1", "--nocapture"])
+        .env("NVT_CRASH_CHILD", "1")
+        .env("NVT_POOL", pool)
+        .env("NVT_LOG", log)
+        .env("NVT_START_KEY", start_key.to_string())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let acks = std::fs::read_to_string(log)
+            .unwrap_or_default()
+            .lines()
+            .filter(|l| l.starts_with('I') || l.starts_with('R'))
+            .count();
+        if acks >= min_acks {
+            break;
+        }
+        if let Some(status) = child.try_wait().unwrap() {
+            panic!("child exited on its own before the kill: {status:?}");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "child too slow: only {acks}/{min_acks} acked ops"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // SIGKILL: no destructors, no msync, no clean-close marker.
+    child.kill().unwrap();
+    child.wait().unwrap();
+}
+
+fn validate(pool_path: &Path, log_path: &Path) -> u64 {
+    // Reopen: Pool::open → root lookup → recover(), all inside PooledSet.
+    let set = PooledSet::<PooledList>::open(pool_path, ROOT).unwrap();
+    assert!(
+        !set.pool().recovery_report().clean_shutdown,
+        "SIGKILL must not leave a clean-shutdown marker"
+    );
+    // The heap itself must verify (no torn allocator metadata).
+    set.pool().verify_heap().unwrap_or_else(|e| {
+        panic!("pool heap corrupt after SIGKILL: {e}");
+    });
+    // Structural invariants: sorted, and recovery left no marked node.
+    set.check_consistency(false)
+        .unwrap_or_else(|e| panic!("list invariants violated after recovery: {e}"));
+
+    let log = parse_log(log_path);
+    let present: BTreeMap<u64, u64> = set.iter_snapshot().into_iter().collect();
+
+    // No invented keys: everything present must at least have been attempted.
+    for (&k, _) in &present {
+        assert!(
+            log.get(&k).is_some_and(|e| e.intent_insert),
+            "key {k} present but never attempted"
+        );
+    }
+    // Durable linearizability, key by key.
+    let mut max_intent = 0;
+    for (&k, e) in &log {
+        max_intent = max_intent.max(k);
+        let here = present.contains_key(&k);
+        if e.acked_remove {
+            assert!(!here, "key {k}: remove was acked but the key came back");
+        } else if e.acked_insert && !e.intent_remove {
+            assert!(here, "key {k}: insert was acked but the key is lost");
+            assert_eq!(present[&k], k.wrapping_mul(7), "key {k}: wrong value");
+        }
+        // Any other combination was in flight at the kill: either outcome
+        // is a correct durable linearization.
+    }
+    // The recovered structure stays fully usable.
+    assert!(set.insert(u64::MAX - 1, 42));
+    assert_eq!(set.get(u64::MAX - 1), Some(42));
+    assert!(set.remove(u64::MAX - 1));
+    set.close().unwrap();
+    max_intent
+}
+
+#[test]
+fn sigkill_mid_workload_recovers() {
+    let (pool_path, log_path) = paths();
+    let _ = std::fs::remove_file(&pool_path);
+    let _ = std::fs::remove_file(&log_path);
+
+    // Create the pool and the named structure crash-free, then let go.
+    PooledSet::<PooledList>::create(&pool_path, POOL_CAP, ROOT)
+        .unwrap()
+        .close()
+        .unwrap();
+
+    // Three kill cycles: each child continues where the log left off, so
+    // every cycle revalidates the accumulated history.
+    let mut start_key = 0;
+    for cycle in 0..3 {
+        run_child_until(&pool_path, &log_path, start_key, 150 * (cycle + 1));
+        let max_intent = validate(&pool_path, &log_path);
+        // Next child starts past everything attempted, keeping the
+        // "victims are never reinserted" oracle exact (aligned to 3).
+        start_key = (max_intent + 3).next_multiple_of(3);
+    }
+
+    std::fs::remove_file(&pool_path).unwrap();
+    std::fs::remove_file(&log_path).unwrap();
+}

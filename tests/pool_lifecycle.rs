@@ -1,0 +1,189 @@
+//! In-process pool lifecycle: create a structure in a pool file, let go of
+//! every volatile handle, reopen the pool, and find the data again.
+//!
+//! These tests cover the single-process half of the pool story; the
+//! cross-process half (surviving SIGKILL) is `tests/crash_process.rs`.
+//!
+//! Installing a pool as the process-wide allocator is, like `libvmmalloc`,
+//! process-global state — so every test here serializes on one mutex.
+
+use nvtraverse::policy::NvTraverse;
+use nvtraverse::{DurableSet, PooledSet};
+use nvtraverse_pmem::MmapBackend;
+use nvtraverse_structures::hash::HashMapDs;
+use nvtraverse_structures::list::HarrisList;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+type PooledList = HarrisList<u64, u64, NvTraverse<MmapBackend>>;
+type PooledMap = HashMapDs<u64, u64, NvTraverse<MmapBackend>>;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn tmp(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!(
+        "nvt-lifecycle-{}-{}.pool",
+        std::process::id(),
+        name
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+#[test]
+fn list_survives_close_and_reopen() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let path = tmp("list");
+
+    {
+        let list = PooledSet::<PooledList>::create(&path, 4 << 20, "set").unwrap();
+        for k in 0..200u64 {
+            assert!(list.insert(k, k * 10));
+        }
+        for k in (0..200u64).step_by(4) {
+            assert!(list.remove(k));
+        }
+        assert_eq!(list.len(), 150);
+        list.close().unwrap();
+    }
+
+    // Every volatile handle is gone; only the file remains. Reopen.
+    {
+        let list = PooledSet::<PooledList>::open(&path, "set").unwrap();
+        assert_eq!(list.check_consistency(false).unwrap(), 150);
+        for k in 0..200u64 {
+            if k % 4 == 0 {
+                assert_eq!(list.get(k), None, "removed key {k} resurrected");
+            } else {
+                assert_eq!(list.get(k), Some(k * 10), "lost key {k}");
+            }
+        }
+        // The reopened structure is fully usable.
+        assert!(list.insert(1000, 1));
+        assert!(list.remove(1000));
+        list.close().unwrap();
+    }
+
+    // And once more, to prove reopen does not degrade the pool.
+    let list = PooledSet::<PooledList>::open(&path, "set").unwrap();
+    assert_eq!(list.len(), 150);
+    drop(list);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn hash_survives_close_and_reopen() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let path = tmp("hash");
+
+    {
+        let map = PooledSet::<PooledMap>::create(&path, 8 << 20, "kv").unwrap();
+        for k in 0..500u64 {
+            assert!(map.insert(k, k ^ 0xABCD));
+        }
+        for k in (0..500u64).step_by(3) {
+            assert!(map.remove(k));
+        }
+        map.close().unwrap();
+    }
+
+    let map = PooledSet::<PooledMap>::open(&path, "kv").unwrap();
+    map.check_consistency(false).unwrap();
+    for k in 0..500u64 {
+        if k % 3 == 0 {
+            assert_eq!(map.get(k), None);
+        } else {
+            assert_eq!(map.get(k), Some(k ^ 0xABCD));
+        }
+    }
+    drop(map);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn missing_root_and_wrong_name_fail_cleanly() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let path = tmp("wrongname");
+    {
+        let list = PooledSet::<PooledList>::create(&path, 1 << 20, "right").unwrap();
+        list.insert(1, 1);
+        list.close().unwrap();
+    }
+    let err = PooledSet::<PooledList>::open(&path, "wrong").unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    // The right name still works afterwards.
+    let list = PooledSet::<PooledList>::open(&path, "right").unwrap();
+    assert_eq!(list.get(1), Some(1));
+    drop(list);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn open_or_create_roundtrip() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let path = tmp("ooc");
+    {
+        let list = PooledSet::<PooledList>::open_or_create(&path, 1 << 20, "s").unwrap();
+        assert!(list.is_empty());
+        list.insert(7, 70);
+        list.close().unwrap();
+    }
+    let list = PooledSet::<PooledList>::open_or_create(&path, 1 << 20, "s").unwrap();
+    assert_eq!(list.get(7), Some(70));
+    drop(list);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn open_or_create_heals_interrupted_creation() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let path = tmp("heal");
+
+    // State 1: a crash between Pool::create and root registration — the
+    // pool is valid but the named structure does not exist.
+    nvtraverse::pool::Pool::create(&path, 1 << 20).unwrap();
+    let list = PooledSet::<PooledList>::open_or_create(&path, 1 << 20, "s")
+        .expect("must finish the interrupted creation, not fail forever");
+    list.insert(5, 50);
+    list.close().unwrap();
+    let list = PooledSet::<PooledList>::open(&path, "s").unwrap();
+    assert_eq!(list.get(5), Some(50));
+    drop(list);
+    std::fs::remove_file(&path).unwrap();
+
+    // State 2: a crash before the pool magic was persisted — an all-zero
+    // file. open_or_create must recreate rather than fail forever.
+    std::fs::write(&path, vec![0u8; 1 << 20]).unwrap();
+    let list = PooledSet::<PooledList>::open_or_create(&path, 1 << 20, "s").unwrap();
+    assert!(list.is_empty());
+    drop(list);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn two_structures_share_one_pool() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let path = tmp("two");
+    {
+        let a = PooledSet::<PooledList>::create(&path, 4 << 20, "a").unwrap();
+        // Second structure in the same pool: create via the pool handle.
+        use nvtraverse::PoolAttach;
+        let b = PooledList::create_in_pool(a.pool(), "b").unwrap();
+        a.insert(1, 100);
+        b.insert(2, 200);
+        a.close().unwrap();
+        // `b` is deliberately forgotten (its nodes live in the pool file and
+        // must NOT be freed by a destructor).
+        std::mem::forget(b);
+    }
+    let a = PooledSet::<PooledList>::open(&path, "a").unwrap();
+    use nvtraverse::PoolAttach;
+    let b = unsafe { PooledList::attach_to_pool(a.pool(), "b") }.unwrap();
+    b.recover_attached();
+    assert_eq!(a.get(1), Some(100));
+    assert_eq!(a.get(2), None, "structures must be disjoint");
+    assert_eq!(b.get(2), Some(200));
+    std::mem::forget(b);
+    drop(a);
+    std::fs::remove_file(&path).unwrap();
+}

@@ -1,0 +1,228 @@
+//! Minimal local stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset it uses: [`Criterion`] with `sample_size` /
+//! `measurement_time` / `warm_up_time`, benchmark groups, `bench_function`,
+//! and the [`criterion_group!`] / [`criterion_main!`] macros. Measurement is
+//! a plain wall-clock loop reporting mean ns/iter — adequate for the relative
+//! comparisons the micro benchmarks make, with none of the real crate's
+//! statistics, plots, or outlier analysis.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers work.
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target total measuring time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self, id, &mut f);
+        self
+    }
+
+    /// No-op in this stand-in (the real crate prints a summary).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing the parent configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(self.criterion, &full, &mut f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench(c: &Criterion, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        mode: Mode::WarmUp {
+            until: Instant::now() + c.warm_up_time,
+        },
+        samples: Vec::with_capacity(c.sample_size),
+    };
+    f(&mut b); // warm-up pass: iter() loops until the deadline
+    let per_sample = c.measurement_time.div_f64(c.sample_size as f64);
+    for _ in 0..c.sample_size {
+        b.mode = Mode::Measure {
+            budget: per_sample,
+            ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        if let Mode::Measure { ns_per_iter, .. } = b.mode {
+            b.samples.push(ns_per_iter);
+        }
+    }
+    let mean = b.samples.iter().sum::<f64>() / b.samples.len().max(1) as f64;
+    let mut sorted = b.samples.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let median = sorted[sorted.len() / 2];
+    println!("{id:<45} mean {mean:>12.1} ns/iter   median {median:>12.1} ns/iter");
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    WarmUp { until: Instant },
+    Measure { budget: Duration, ns_per_iter: f64 },
+}
+
+/// Passed to the closure given to `bench_function`; call [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            Mode::WarmUp { until } => {
+                while Instant::now() < until {
+                    for _ in 0..64 {
+                        black_box(routine());
+                    }
+                }
+            }
+            Mode::Measure {
+                budget,
+                ref mut ns_per_iter,
+            } => {
+                // Calibrate a batch that runs ~budget, then time it.
+                let mut batch: u64 = 16;
+                let mut elapsed;
+                loop {
+                    let t0 = Instant::now();
+                    for _ in 0..batch {
+                        black_box(routine());
+                    }
+                    elapsed = t0.elapsed();
+                    if elapsed >= budget || batch >= 1 << 30 {
+                        break;
+                    }
+                    let grow = (budget.as_secs_f64() / elapsed.as_secs_f64().max(1e-9))
+                        .clamp(1.5, 64.0);
+                    batch = ((batch as f64) * grow) as u64;
+                }
+                *ns_per_iter = elapsed.as_nanos() as f64 / batch as f64;
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring the real macro's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(c: &mut Criterion) {
+        c.bench_function("spin", |b| b.iter(|| black_box(3u64).wrapping_mul(7)));
+    }
+
+    criterion_group! {
+        name = quick;
+        config = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(6))
+            .warm_up_time(Duration::from_millis(2));
+        targets = spin
+    }
+
+    #[test]
+    fn runner_completes_and_groups_nest() {
+        quick();
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(4))
+            .warm_up_time(Duration::from_millis(1));
+        let mut g = c.benchmark_group("g");
+        g.bench_function("one", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}
