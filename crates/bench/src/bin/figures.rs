@@ -5,6 +5,7 @@
 //! cargo run --release -p nvtraverse-bench --bin figures -- fig5a fig6m
 //! cargo run --release -p nvtraverse-bench --bin figures -- --quick all
 //! cargo run --release -p nvtraverse-bench --bin figures -- --quick --json BENCH_quick.json all
+//! cargo run --release -p nvtraverse-bench --bin figures -- --json BENCH_alloc.json alloc_scaling
 //! ```
 //!
 //! With `--json <path>`, every measured point is also written to `path` as

@@ -540,7 +540,7 @@ pub fn ablation_parent(mode: Mode) {
 /// Every figure id in run order.
 pub const ALL_FIGURES: &[&str] = &[
     "fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig5f", "fig6g", "fig6h", "fig6i", "fig6j",
-    "fig6k", "fig6l", "fig6m", "fig6n", "fig6o", "abl1", "abl2",
+    "fig6k", "fig6l", "fig6m", "fig6n", "fig6o", "abl1", "abl2", "alloc_scaling",
 ];
 
 /// Runs one figure by id (or `all`).
@@ -567,6 +567,7 @@ pub fn run_figure(id: &str, mode: Mode) {
         "fig6o" => fig6o(mode),
         "abl1" | "ablation-flushes" => ablation_flushes(mode),
         "abl2" | "ablation-parent" => ablation_parent(mode),
+        "alloc_scaling" | "alloc-scaling" => crate::alloc_scaling::run(mode),
         "all" => {
             for f in ALL_FIGURES {
                 run_figure(f, mode);

@@ -13,7 +13,13 @@
 //! Pass `--json <path>` to the `figures` binary to additionally emit every
 //! measured point as machine-readable JSON ([`json`]), e.g.
 //! `figures --quick --json BENCH_quick.json all`.
+//!
+//! Beyond the paper's figures, [`alloc_scaling`] measures pool
+//! allocator throughput (threads x size-class mix, global-mutex baseline vs
+//! the lock-free magazine/shard design) under the same `--json` pipeline:
+//! `figures --quick --json BENCH_alloc.json alloc_scaling`.
 
+pub mod alloc_scaling;
 pub mod figures;
 pub mod json;
 pub mod workload;

@@ -19,6 +19,24 @@
 //! The crash simulator mirrors a persistent heap by registering every word
 //! of a new node with persisted value = poison: if the node becomes
 //! reachable but was never flushed, a simulated crash visibly destroys it.
+//!
+//! # Scalability of the pool path
+//!
+//! With a pool installed, [`alloc_node`] and [`free`] sit on the insert and
+//! remove hot paths of every structure, so both stay off any global lock:
+//!
+//! * [`alloc_node`] reaches the pool's **per-thread magazine** for the
+//!   node's size class — a thread-local pop plus one header flush, whose
+//!   ordering fence is deferred to the fence every durability policy
+//!   already issues before durably publishing the node.
+//! * [`free`] — and the EBR collector's deferred reclamation, which calls
+//!   the same `owner_of` + dealloc pair per retired node — finds the owning
+//!   heap via an O(1) address-range check (`heap::owner_of`'s single-region
+//!   fast path) and pushes the block into the *freeing* thread's magazine.
+//!   EBR reclaims whole bags of retired nodes at once on whichever thread
+//!   advances the epoch, so those frees batch naturally into that thread's
+//!   magazines and drain back to the pool's sharded free lists in chunks,
+//!   one CAS per chunk — remote frees never touch a global lock.
 
 use nvtraverse_pmem::{heap, Backend};
 
@@ -35,6 +53,7 @@ use nvtraverse_pmem::{heap, Backend};
 /// Panics when a persistent pool is installed but exhausted: silently
 /// falling back to the volatile heap would split one structure across two
 /// heaps and lose the volatile part on reopen.
+#[inline]
 pub fn alloc_node<T, B: Backend>(value: T) -> *mut T {
     let pooled = if heap::allocator_installed() {
         match heap::allocate(std::mem::size_of::<T>(), std::mem::align_of::<T>()) {
@@ -74,6 +93,7 @@ pub fn alloc_node<T, B: Backend>(value: T) -> *mut T {
 ///
 /// `ptr` must come from [`alloc_node`], must not be reachable by any thread,
 /// and must not be freed twice.
+#[inline]
 pub unsafe fn free<T>(ptr: *mut T) {
     if let Some((ctx, dealloc)) = heap::owner_of(ptr as *const u8) {
         unsafe {

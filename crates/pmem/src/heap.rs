@@ -55,6 +55,27 @@ struct Region {
 static REGION_COUNT: AtomicUsize = AtomicUsize::new(0);
 static REGIONS: RwLock<Vec<Region>> = RwLock::new(Vec::new());
 
+/// Single-region fast path: when exactly one foreign heap is registered —
+/// the common `libvmmalloc`-style deployment, and the situation on every
+/// `free`/EBR-reclaim of every pool-backed structure — its record is
+/// published here and [`owner_of`] is one load plus an address-range check,
+/// never a lock or a scan. Updated under the `REGIONS` write lock; records
+/// leak like [`Installed`] ones do (registrations are rare, and readers may
+/// still hold the old pointer).
+static SINGLE: AtomicPtr<Region> = AtomicPtr::new(std::ptr::null_mut());
+
+/// Re-publishes the fast path after any registry change (caller holds the
+/// `REGIONS` write lock).
+fn refresh_single(regions: &[Region]) {
+    let rec = if regions.len() == 1 {
+        Box::into_raw(Box::new(regions[0]))
+    } else {
+        std::ptr::null_mut()
+    };
+    // The previous record is intentionally leaked (see `SINGLE`).
+    SINGLE.store(rec, Ordering::Release);
+}
+
 /// The installed process-wide allocator, published as a single pointer so a
 /// reader can never observe one installation's `ctx` paired with another's
 /// `alloc` fn. Each install leaks one 16-byte record (installs are rare and
@@ -84,6 +105,7 @@ pub fn register_region(start: usize, len: usize, ctx: usize, dealloc: DeallocFn)
         ctx,
         dealloc,
     });
+    refresh_single(&regions);
     REGION_COUNT.store(regions.len(), Ordering::Release);
 }
 
@@ -92,19 +114,39 @@ pub fn unregister_region(start: usize) -> Option<usize> {
     let mut regions = REGIONS.write().unwrap_or_else(|e| e.into_inner());
     let i = regions.iter().position(|r| r.start == start)?;
     let r = regions.swap_remove(i);
+    refresh_single(&regions);
     REGION_COUNT.store(regions.len(), Ordering::Release);
     Some(r.ctx)
 }
 
 /// Looks up the foreign heap owning `ptr`, if any.
 ///
-/// The common case (no foreign heap) is a single relaxed load.
+/// O(1) in both common cases: no foreign heap (one load) and exactly one
+/// registered heap (one load plus a range check against its cached
+/// `[start, start + len)` bounds). Only multi-heap processes pay the
+/// lock-and-scan slow path.
 #[inline]
 pub fn owner_of(ptr: *const u8) -> Option<(usize, DeallocFn)> {
+    let addr = ptr as usize;
+    let single = SINGLE.load(Ordering::Acquire);
+    if !single.is_null() {
+        // SAFETY: records are never freed (see `SINGLE`).
+        let r = unsafe { &*single };
+        if addr >= r.start && addr < r.start + r.len {
+            return Some((r.ctx, r.dealloc));
+        }
+        // Outside the one registered region: the answer is a scan-free None
+        // only if the registry provably has not changed since we read the
+        // record. Records are fresh leaked boxes (addresses never reused),
+        // so an unchanged SINGLE pointer proves exactly that; any concurrent
+        // (un)registration republishes it and we take the slow path.
+        if SINGLE.load(Ordering::Acquire) == single {
+            return None;
+        }
+    }
     if REGION_COUNT.load(Ordering::Acquire) == 0 {
         return None;
     }
-    let addr = ptr as usize;
     let regions = REGIONS.read().unwrap_or_else(|e| e.into_inner());
     regions
         .iter()
@@ -184,6 +226,22 @@ mod tests {
         assert_eq!(unregister_region(base), Some(7));
         assert!(owner_of(base as *const u8).is_none());
         assert_eq!(unregister_region(base), None);
+    }
+
+    #[test]
+    fn two_regions_fall_back_to_the_scan_and_both_resolve() {
+        let b1 = 0x20_0000_0000usize;
+        let b2 = 0x30_0000_0000usize;
+        register_region(b1, 4096, 11, fake_dealloc);
+        register_region(b2, 4096, 22, fake_dealloc);
+        assert_eq!(owner_of(b1 as *const u8).map(|(c, _)| c), Some(11));
+        assert_eq!(owner_of(b2 as *const u8).map(|(c, _)| c), Some(22));
+        assert!(owner_of((b1 + 4096) as *const u8).is_none());
+        assert_eq!(unregister_region(b1), Some(11));
+        // Back on the single-region fast path.
+        assert_eq!(owner_of(b2 as *const u8).map(|(c, _)| c), Some(22));
+        assert!(owner_of(b1 as *const u8).is_none());
+        assert_eq!(unregister_region(b2), Some(22));
     }
 
     #[test]

@@ -1,0 +1,777 @@
+//! Allocation engines: the scalable lock-free design and the original
+//! global-mutex baseline.
+//!
+//! Both engines speak the **same persistent block format** (16-byte headers,
+//! size-classed blocks, a persisted frontier word in the pool header), so the
+//! engine choice is volatile and per-open: a file written by one engine opens
+//! under the other, and recovery is the same heap walk either way.
+//!
+//! # The lock-free engine
+//!
+//! Three tiers, ordered hot to cold:
+//!
+//! 1. **Per-thread magazines** — a volatile `Vec<u64>` of free block offsets
+//!    per size class per thread ([`MAG_CAP`] deep). The common alloc/free is
+//!    a thread-local push/pop plus one header flush: no shared-memory CAS,
+//!    no lock, no fence (see *Deferred fences* below).
+//! 2. **Sharded Treiber stacks** — [`NUM_SHARDS`] lock-free stacks per size
+//!    class, threaded through the (volatile-content) link word of free block
+//!    headers. The head word packs a 40-bit offset with a 24-bit ABA tag;
+//!    pops bump the tag, so a popped-and-reused block can never satisfy a
+//!    stale CAS. Magazines refill from and drain to these stacks in batches
+//!    of [`REFILL`]/[`DRAIN`] blocks (one or two CASes per batch, not one
+//!    per block: a refill takes the whole stack by CAS and splices the
+//!    surplus back, so it never reads a link it does not own).
+//!    A block freed on any thread eventually lands in the shard owned by its
+//!    *address* ([`shard_of`]), so remote frees hand blocks back without a
+//!    global lock and allocation locality follows slab locality.
+//! 3. **CAS-bump slab frontier** — when a class is dry everywhere, a thread
+//!    reserves a whole slab of blocks with one CAS on the volatile frontier,
+//!    formats every header in the slab, and only then publishes the persisted
+//!    frontier. Publication is *in reservation order* (a short spin on
+//!    [`LockFreeEngine::published`]), which maintains the recovery invariant:
+//!    every byte below the persisted frontier is covered by a fully-persisted
+//!    block header. A crash between reservation and publication leaves the
+//!    slab invisible — the space is simply re-carved after reopen.
+//!
+//! # Deferred persistence ("the destination is more important than the journey")
+//!
+//! The mutexed baseline issues a full flush + fence on every allocator
+//! metadata update. The lock-free engine applies the paper's own philosophy
+//! to the allocator and persists headers at the *destination*, not along the
+//! journey:
+//!
+//! * **Alloc** — the allocated header is stored, and flushed only when it
+//!   occupies a cache line of its own ([`flush_header_if_isolated`]); in the
+//!   other three alignments it shares the line with the payload's first
+//!   bytes, which the caller flushes anyway before durably publishing the
+//!   node (every durability policy does `flush_range(node)` + fence before
+//!   the linking CAS, and a fence orders **all** earlier flushes by the
+//!   thread). A crash before that fence may recover the block as free — but
+//!   the caller had not durably published it either, so handing it out again
+//!   is correct.
+//! * **Free** — the free bit is stored at `dealloc` but flushed in batch
+//!   when the magazine drains to a shard (or at clean close / thread exit),
+//!   where the lines are cold. Flushing at `dealloc` would stall the
+//!   magazine's LIFO reallocation of the same line on the in-flight
+//!   write-back. Power failure can leak magazine-resident blocks (bounded
+//!   per thread × class); it can never double-allocate.
+//! * **Frontier** — slab formatting and the frontier publish keep their own
+//!   flush + fence: the walk invariant (all bytes below the persisted
+//!   frontier have persisted headers) is the allocator's to maintain and no
+//!   caller fence can restore it.
+//!
+//! Crash safety is otherwise unchanged from the mutexed engine: magazines
+//! and shard heads are volatile and rebuilt by the recovery walk on open;
+//! the allocated bit is the only persistent free/live fact.
+
+use crate::{
+    make_allocated, Mem, BLOCK_ALIGN, BLOCK_HEADER, CLASS_SIZES, HEAP_START, NUM_CLASSES,
+    OFF_FRONTIER, OVERSIZE, W0_ALLOCATED, W0_CLASS_SHIFT, W0_SIZE_MASK,
+};
+use nvtraverse_pmem::{Backend, MmapBackend};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of lock-free free-list shards per size class.
+pub(crate) const NUM_SHARDS: usize = 8;
+/// Capacity of one per-thread magazine (blocks per size class).
+const MAG_CAP: usize = 64;
+/// Blocks pulled from a shard into the magazine per refill.
+const REFILL: usize = 32;
+/// Blocks drained from an overflowing magazine back to the shards.
+const DRAIN: usize = 32;
+/// Target slab size in bytes for frontier carving (small classes carve many
+/// blocks per frontier CAS; classes at or above this carve one at a time).
+const SLAB_TARGET: u64 = 8192;
+/// Upper bound on blocks per slab (also bounds magazine spill after a carve).
+const MAX_SLAB_BLOCKS: usize = 64;
+
+/// Bits of a shard head word holding the block offset; the rest is the ABA
+/// tag. Bounds pool capacity (checked at `Pool::create`).
+const OFF_BITS: u32 = 40;
+const OFF_MASK: u64 = (1 << OFF_BITS) - 1;
+
+/// Which allocator engine serves a pool handle.
+///
+/// The choice is volatile and per-open — both engines read and write the
+/// same persistent block format, so a file created under one mode opens
+/// under the other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllocMode {
+    /// Per-thread magazines over sharded lock-free free lists with a
+    /// CAS-bump slab frontier (default).
+    #[default]
+    LockFree,
+    /// The original single-`Mutex` segregated-fit allocator, kept as the
+    /// measured baseline for the `alloc_scaling` benchmark.
+    Mutexed,
+}
+
+fn pack(off: u64, tag: u64) -> u64 {
+    debug_assert!(off <= OFF_MASK);
+    off | (tag << OFF_BITS)
+}
+
+fn unpack(word: u64) -> (u64, u64) {
+    (word & OFF_MASK, word >> OFF_BITS)
+}
+
+/// The address-derived home shard of a block: slab-granular, so blocks carved
+/// together stay together and remote frees return to a stable shard without
+/// any per-block owner metadata.
+fn shard_of(off: u64) -> usize {
+    ((off / SLAB_TARGET) as usize) & (NUM_SHARDS - 1)
+}
+
+/// Flushes a freshly allocated header only when it occupies a cache line
+/// the caller's payload never touches (`off % 64 == 48`: the 16-byte header
+/// fills the line's tail and the payload starts on the next line). In every
+/// other alignment the header shares its line with the payload's first
+/// bytes, so the caller's own pre-publication `flush_range` of the node
+/// contents persists the header for free — and flushing here would stall
+/// the caller's first payload store on the in-flight write-back.
+fn flush_header_if_isolated(mem: Mem, off: u64) {
+    if off % 64 == 48 {
+        MmapBackend::flush(mem.ptr(off));
+    }
+}
+
+/// First-fit search of the intrusive oversize list rooted at `head`:
+/// unlinks and returns the first free block of at least `want` bytes, with
+/// its header written as allocated (stores only — the caller applies its
+/// engine's flush policy). Shared by both engines.
+fn oversize_first_fit(mem: Mem, head: &mut u64, want: u64, payload: u64) -> Option<u64> {
+    let mut prev = 0u64;
+    let mut cur = *head;
+    while cur != 0 {
+        let w0 = mem.load(cur);
+        let next = mem.load(cur + 8);
+        if w0 & W0_SIZE_MASK >= want {
+            if prev == 0 {
+                *head = next;
+            } else {
+                mem.store(prev + 8, next);
+            }
+            make_allocated(mem, cur, w0 & W0_SIZE_MASK, OVERSIZE, payload);
+            return Some(cur);
+        }
+        prev = cur;
+        cur = next;
+    }
+    None
+}
+
+/// Whether `off` can be a block offset (used to reject garbage read from a
+/// racing free-list walk before it is dereferenced; the tagged CAS rejects
+/// the walk itself).
+fn plausible_off(mem: Mem, off: u64) -> bool {
+    off >= HEAP_START && off % BLOCK_ALIGN == 0 && off + BLOCK_HEADER <= mem.len() as u64
+}
+
+// ---- engine dispatch -------------------------------------------------------
+
+pub(crate) enum Engine {
+    Mutexed(MutexEngine),
+    LockFree(LockFreeEngine),
+}
+
+impl Engine {
+    pub(crate) fn new(mode: AllocMode) -> Engine {
+        match mode {
+            AllocMode::Mutexed => Engine::Mutexed(MutexEngine::new()),
+            AllocMode::LockFree => Engine::LockFree(LockFreeEngine::new()),
+        }
+    }
+
+    pub(crate) fn mode(&self) -> AllocMode {
+        match self {
+            Engine::Mutexed(_) => AllocMode::Mutexed,
+            Engine::LockFree(_) => AllocMode::LockFree,
+        }
+    }
+
+    /// Allocates one block of `class` (`OVERSIZE` ⇒ exact `want` bytes),
+    /// returning its block offset with an allocated, flushed header.
+    pub(crate) fn alloc(&self, mem: Mem, class: usize, want: u64, payload: u64) -> Option<u64> {
+        match self {
+            Engine::Mutexed(e) => e.alloc(mem, class, want, payload),
+            Engine::LockFree(e) => {
+                if class < OVERSIZE {
+                    let off = e.alloc_small(mem, class)?;
+                    make_allocated(mem, off, CLASS_SIZES[class], class, payload);
+                    flush_header_if_isolated(mem, off);
+                    Some(off)
+                } else {
+                    e.alloc_oversize(mem, want, payload)
+                }
+            }
+        }
+    }
+
+    /// Returns the block at `off` (already validated as allocated, of
+    /// `class`) to the free structures, clearing and flushing its header.
+    pub(crate) fn dealloc(&self, mem: Mem, off: u64, class: usize) {
+        match self {
+            Engine::Mutexed(e) => e.dealloc(mem, off, class),
+            Engine::LockFree(e) => e.dealloc(mem, off, class),
+        }
+    }
+
+    /// The volatile frontier every formatted block lies below. For the
+    /// lock-free engine this is the *published* frontier, so a concurrent
+    /// heap walk never runs into a half-formatted slab.
+    pub(crate) fn frontier(&self) -> u64 {
+        match self {
+            Engine::Mutexed(e) => e.state.lock().unwrap_or_else(|p| p.into_inner()).frontier,
+            Engine::LockFree(e) => e.published.load(Ordering::Acquire),
+        }
+    }
+
+    /// Installs the result of a recovery walk: the persisted frontier and
+    /// every free block found below it.
+    pub(crate) fn rebuild(&mut self, mem: Mem, frontier: u64, frees: &[(u64, usize)]) {
+        match self {
+            Engine::Mutexed(e) => e.rebuild(mem, frontier, frees),
+            Engine::LockFree(e) => e.rebuild(mem, frontier, frees),
+        }
+    }
+
+    /// Announces a (stably addressed) lock-free engine so exiting threads can
+    /// drain their magazines back to its shards.
+    pub(crate) fn register(&self, mem: Mem) {
+        if let Engine::LockFree(e) = self {
+            alive().push(AliveEntry {
+                instance: e.instance,
+                engine: e as *const LockFreeEngine,
+                mem,
+            });
+        }
+    }
+
+    /// Withdraws the [`Engine::register`] announcement. Must run before the
+    /// engine (or its mapping) is torn down.
+    pub(crate) fn unregister(&self) {
+        if let Engine::LockFree(e) = self {
+            alive().retain(|a| a.instance != e.instance);
+        }
+    }
+}
+
+// ---- the original mutexed engine ------------------------------------------
+
+struct MutexState {
+    /// Volatile mirror of the persisted frontier.
+    frontier: u64,
+    /// Volatile heads of the segregated free lists (block offsets; 0 = ∅).
+    heads: [u64; NUM_CLASSES],
+}
+
+/// The PR-1 allocator: one global mutex over the frontier and all free
+/// lists, full flush + fence on every metadata persist. Correct and simple;
+/// serializes every `alloc`/`dealloc` in the process.
+pub(crate) struct MutexEngine {
+    state: Mutex<MutexState>,
+}
+
+impl MutexEngine {
+    fn new() -> Self {
+        MutexEngine {
+            state: Mutex::new(MutexState {
+                frontier: HEAP_START,
+                heads: [0; NUM_CLASSES],
+            }),
+        }
+    }
+
+    fn alloc(&self, mem: Mem, class: usize, want: u64, payload: u64) -> Option<u64> {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+
+        // 1. Try the segregated free list.
+        if class < OVERSIZE {
+            let head = state.heads[class];
+            if head != 0 {
+                let next = mem.load(head + 8);
+                state.heads[class] = next;
+                make_allocated(mem, head, CLASS_SIZES[class], class, payload);
+                mem.persist_u64(head);
+                return Some(head);
+            }
+        } else {
+            // Oversize: first fit in the (usually tiny) oversize list.
+            if let Some(cur) = oversize_first_fit(mem, &mut state.heads[OVERSIZE], want, payload) {
+                mem.persist_u64(cur);
+                return Some(cur);
+            }
+        }
+
+        // 2. Bump the frontier.
+        let block_size = if class < OVERSIZE {
+            CLASS_SIZES[class]
+        } else {
+            want
+        };
+        let off = state.frontier;
+        let new_frontier = off.checked_add(block_size)?;
+        if new_frontier > mem.len() as u64 {
+            return None; // pool exhausted
+        }
+        // Persist the block header *before* the frontier: a crash in between
+        // leaves the block invisible (frontier unchanged), never torn.
+        make_allocated(mem, off, block_size, class, payload);
+        mem.persist_u64(off);
+        state.frontier = new_frontier;
+        mem.store(OFF_FRONTIER, new_frontier);
+        mem.persist_u64(OFF_FRONTIER);
+        Some(off)
+    }
+
+    fn dealloc(&self, mem: Mem, off: u64, class: usize) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let w0 = mem.load(off);
+        // Link first (volatile list structure), then persist the free bit.
+        // Free-list membership is the persistent fact; reopen rebuilds the
+        // links from a walk, so a stale link after a crash is harmless.
+        mem.store(off + 8, state.heads[class]);
+        mem.store(off, w0 & !W0_ALLOCATED);
+        mem.persist_u64(off);
+        state.heads[class] = off;
+    }
+
+    fn rebuild(&mut self, mem: Mem, frontier: u64, frees: &[(u64, usize)]) {
+        let state = self.state.get_mut().unwrap_or_else(|p| p.into_inner());
+        state.frontier = frontier;
+        state.heads = [0; NUM_CLASSES];
+        for &(off, class) in frees {
+            mem.store(off + 8, state.heads[class]);
+            state.heads[class] = off;
+        }
+    }
+}
+
+// ---- the lock-free engine --------------------------------------------------
+
+/// Monotonic id distinguishing engine instances in thread-local magazines
+/// (a reopened pool must never consume magazine entries of a previous
+/// instance, even at the same mapping address).
+static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) struct LockFreeEngine {
+    instance: u64,
+    /// Volatile reservation frontier (CAS-bumped, slab granular).
+    frontier: AtomicU64,
+    /// Frontier up to which slab headers AND the persistent frontier word
+    /// are known persisted. Trails `frontier` only while a slab is being
+    /// formatted; publication is in reservation order.
+    published: AtomicU64,
+    /// Tagged Treiber heads: `shards[class][shard]` = offset | tag << 40.
+    shards: [[AtomicU64; NUM_SHARDS]; CLASS_SIZES.len()],
+    /// Oversize blocks (exact-size, > 64 KiB): intrusive first-fit list.
+    /// Mutexed — oversize traffic is rare and first-fit needs mid-list
+    /// unlinking that a Treiber stack cannot express.
+    oversize: Mutex<u64>,
+}
+
+impl LockFreeEngine {
+    fn new() -> Self {
+        LockFreeEngine {
+            instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
+            frontier: AtomicU64::new(HEAP_START),
+            published: AtomicU64::new(HEAP_START),
+            shards: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            oversize: Mutex::new(0),
+        }
+    }
+
+    // -- small classes: magazine → shards → slab carve --
+
+    fn alloc_small(&self, mem: Mem, class: usize) -> Option<u64> {
+        if let Some(Some(off)) = with_cache(self.instance, |mags| mags[class].pop()) {
+            return Some(off);
+        }
+        let mut got = Vec::with_capacity(REFILL.max(MAX_SLAB_BLOCKS));
+        let pref = preferred_shard();
+        for i in 0..NUM_SHARDS {
+            let head = &self.shards[class][(pref + i) & (NUM_SHARDS - 1)];
+            if pop_chain(head, mem, REFILL, &mut got) {
+                break;
+            }
+        }
+        if got.is_empty() {
+            self.carve_slab(mem, class, &mut got);
+        }
+        let ret = *got.first()?;
+        let rest = &got[1..];
+        if !rest.is_empty() {
+            let cached = with_cache(self.instance, |mags| {
+                let mag = &mut mags[class];
+                // Reverse so got[1] (the hottest leftover) ends on top.
+                mag.extend(rest.iter().rev());
+            });
+            if cached.is_none() {
+                // TLS already torn down (thread exit path): hand the batch
+                // straight back to the shards.
+                self.drain_to_shards(mem, class, rest);
+            }
+        }
+        Some(ret)
+    }
+
+    /// Reserves `n × unit` bytes from the frontier (fewer if the pool is
+    /// nearly full), without formatting or publishing anything.
+    fn reserve(&self, mem: Mem, unit: u64, max_n: usize) -> Option<(u64, usize)> {
+        loop {
+            let f = self.frontier.load(Ordering::Acquire);
+            let avail = mem.len() as u64 - f;
+            let n = (avail / unit).min(max_n as u64);
+            if n == 0 {
+                return None; // pool exhausted for this block size
+            }
+            let end = f + n * unit;
+            if self
+                .frontier
+                .compare_exchange_weak(f, end, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some((f, n as usize));
+            }
+        }
+    }
+
+    /// Persists the frontier word covering `[start, end)`, in reservation
+    /// order: every earlier reservation must publish first, so all bytes
+    /// below the persisted frontier are always covered by persisted headers.
+    /// The wait is bounded by predecessors' (short, lock-free) format work.
+    fn publish(&self, mem: Mem, start: u64, end: u64) {
+        let mut spins = 0u32;
+        while self.published.load(Ordering::Acquire) != start {
+            // Brief spin for the multicore case, then yield: on few-core
+            // machines the predecessor needs the CPU to finish its format,
+            // and spinning a whole quantum against it would serialize worse
+            // than the mutex this engine replaces.
+            spins += 1;
+            if spins < 128 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        mem.store(OFF_FRONTIER, end);
+        mem.persist_u64(OFF_FRONTIER);
+        self.published.store(end, Ordering::Release);
+    }
+
+    /// Carves a slab of `class` blocks from the frontier: one reservation
+    /// CAS, persisted free headers for every block, one ordered frontier
+    /// publish. Pushes the carved offsets (lowest first) into `out`.
+    fn carve_slab(&self, mem: Mem, class: usize, out: &mut Vec<u64>) {
+        let bs = CLASS_SIZES[class];
+        let target = (MAX_SLAB_BLOCKS as u64).min((SLAB_TARGET / bs).max(1)) as usize;
+        let Some((start, n)) = self.reserve(mem, bs, target) else {
+            return;
+        };
+        let free_w0 = bs | (class as u64) << W0_CLASS_SHIFT;
+        for i in 0..n {
+            let off = start + i as u64 * bs;
+            mem.store(off, free_w0);
+            mem.store(off + 8, 0);
+            MmapBackend::flush(mem.ptr(off));
+            out.push(off);
+        }
+        MmapBackend::fence();
+        self.publish(mem, start, start + n as u64 * bs);
+    }
+
+    fn dealloc(&self, mem: Mem, off: u64, class: usize) {
+        let w0 = mem.load(off);
+        mem.store(off, w0 & !W0_ALLOCATED);
+        // The free bit is *stored* here but only *flushed* when the block
+        // next leaves the magazine tier (shard drain flushes the batch;
+        // reallocation rewrites the word under the new owner's flush). A
+        // magazine pops its most-recent free first, and flushing a line
+        // that is about to be rewritten stalls the rewrite on the in-flight
+        // write-back — measurably the single largest cost of the hot pair.
+        // A power failure can therefore leak magazine-resident blocks
+        // (bounded per thread and class, recovered as live and re-leaked at
+        // worst), but never double-allocate: free-list membership is only
+        // load-bearing for blocks that stay free, and those reach a shard
+        // drain or a clean close, both of which persist the bit.
+        if class < OVERSIZE {
+            let overflow = with_cache(self.instance, |mags| {
+                let mag = &mut mags[class];
+                mag.push(off);
+                if mag.len() > MAG_CAP {
+                    Some(mag.drain(..DRAIN).collect::<Vec<u64>>())
+                } else {
+                    None
+                }
+            });
+            match overflow {
+                Some(Some(batch)) => self.drain_to_shards(mem, class, &batch),
+                Some(None) => {}
+                // TLS torn down: skip the magazine tier entirely.
+                None => self.drain_to_shards(mem, class, &[off]),
+            }
+        } else {
+            // Oversize blocks skip the magazine tier: flush immediately.
+            MmapBackend::flush(mem.ptr(off));
+            let mut head = self.oversize.lock().unwrap_or_else(|p| p.into_inner());
+            mem.store(off + 8, *head);
+            *head = off;
+        }
+    }
+
+    fn alloc_oversize(&self, mem: Mem, want: u64, payload: u64) -> Option<u64> {
+        {
+            let mut head = self.oversize.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(cur) = oversize_first_fit(mem, &mut head, want, payload) {
+                flush_header_if_isolated(mem, cur);
+                return Some(cur);
+            }
+        }
+        // Carve an exact block: header persisted (the walk invariant needs
+        // it, caller flushes cannot stand in), then the frontier publish
+        // that makes it recoverable, then hand it out.
+        let (start, _) = self.reserve(mem, want, 1)?;
+        make_allocated(mem, start, want, OVERSIZE, payload);
+        MmapBackend::flush(mem.ptr(start));
+        MmapBackend::fence();
+        self.publish(mem, start, start + want);
+        Some(start)
+    }
+
+    /// Pushes a batch of `class` free blocks to their home shards, one
+    /// chain splice (single CAS) per touched shard. Flushes every header on
+    /// the way out: this is where the free bits deferred by [`Self::dealloc`]
+    /// become persistent (the lines are cold by now, so the flushes are
+    /// cheap and stall nobody).
+    fn drain_to_shards(&self, mem: Mem, class: usize, blocks: &[u64]) {
+        // (first, last) of a chain being built per shard; 0 = empty.
+        let mut chains = [(0u64, 0u64); NUM_SHARDS];
+        for &off in blocks {
+            let (first, last) = &mut chains[shard_of(off)];
+            if *first == 0 {
+                mem.store(off + 8, 0);
+                *last = off;
+            } else {
+                mem.store(off + 8, *first);
+            }
+            *first = off;
+        }
+        // Separate pass so no header is rewritten after its flush (which
+        // would stall on the in-flight write-back).
+        for &off in blocks {
+            MmapBackend::flush(mem.ptr(off));
+        }
+        for (s, &(first, last)) in chains.iter().enumerate() {
+            if first != 0 {
+                push_chain(&self.shards[class][s], mem, first, last);
+            }
+        }
+    }
+
+    fn rebuild(&mut self, mem: Mem, frontier: u64, frees: &[(u64, usize)]) {
+        *self.frontier.get_mut() = frontier;
+        *self.published.get_mut() = frontier;
+        for row in self.shards.iter_mut() {
+            for head in row.iter_mut() {
+                *head.get_mut() = 0;
+            }
+        }
+        let mut over = 0u64;
+        for &(off, class) in frees {
+            if class < OVERSIZE {
+                let head = self.shards[class][shard_of(off)].get_mut();
+                let (top, tag) = unpack(*head);
+                mem.store(off + 8, top);
+                *head = pack(off, tag);
+            } else {
+                mem.store(off + 8, over);
+                over = off;
+            }
+        }
+        *self.oversize.get_mut().unwrap_or_else(|p| p.into_inner()) = over;
+    }
+}
+
+// ---- tagged Treiber stack primitives ---------------------------------------
+
+/// Pops up to `max` linked blocks from a tagged head into `out`, splicing
+/// any surplus straight back. Returns `false` if the stack was observed
+/// empty.
+///
+/// Ownership-first protocol: one tagged CAS **takes the entire stack**
+/// (bumping the ABA tag) before any link word is read, so the walk only
+/// ever dereferences links of blocks this thread exclusively owns — there
+/// is no optimistic traversal of memory a concurrent pop could be
+/// reallocating. The surplus chain (everything past `max`) is pushed back
+/// with a single splice; a concurrent thread that finds the head
+/// momentarily empty simply falls through to another shard or the
+/// frontier.
+fn pop_chain(head: &AtomicU64, mem: Mem, max: usize, out: &mut Vec<u64>) -> bool {
+    let first = loop {
+        let h = head.load(Ordering::Acquire);
+        let (off, tag) = unpack(h);
+        if off == 0 {
+            return false;
+        }
+        if head
+            .compare_exchange_weak(
+                h,
+                pack(0, tag.wrapping_add(1)),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+        {
+            break off;
+        }
+    };
+    // The whole chain is ours now: the walk is race-free. The bounds check
+    // is pure corruption defense, never a race filter; a bad link ends the
+    // chain (dropping what would follow it rather than faulting).
+    out.clear();
+    let mut cur = first;
+    loop {
+        out.push(cur);
+        let next = mem.load(cur + 8);
+        if next == 0 || !plausible_off(mem, next) {
+            return true; // took the whole (possibly truncated) chain
+        }
+        if out.len() >= max {
+            // Walk the surplus to its end and splice it back in one CAS.
+            let (rest_first, mut rest_last) = (next, next);
+            loop {
+                let n = mem.load(rest_last + 8);
+                if n == 0 || !plausible_off(mem, n) {
+                    break;
+                }
+                rest_last = n;
+            }
+            push_chain(head, mem, rest_first, rest_last);
+            return true;
+        }
+        cur = next;
+    }
+}
+
+/// Pushes the pre-linked chain `first → … → last` onto a tagged head.
+/// Pushes do not bump the tag; only pops do.
+fn push_chain(head: &AtomicU64, mem: Mem, first: u64, last: u64) {
+    loop {
+        let h = head.load(Ordering::Acquire);
+        let (top, tag) = unpack(h);
+        mem.store(last + 8, top);
+        if head
+            .compare_exchange_weak(h, pack(first, tag), Ordering::Release, Ordering::Acquire)
+            .is_ok()
+        {
+            return;
+        }
+    }
+}
+
+// ---- per-thread magazines --------------------------------------------------
+
+type MagSet = [Vec<u64>; CLASS_SIZES.len()];
+
+/// Live lock-free engines, so exiting threads can return their magazine
+/// contents to the right shards. The raw pointer is valid while the entry is
+/// present: `Engine::unregister` removes it (under the same lock) before the
+/// engine is dropped.
+struct AliveEntry {
+    instance: u64,
+    engine: *const LockFreeEngine,
+    mem: Mem,
+}
+// SAFETY: the pointer is only dereferenced under the ALIVE lock, while the
+// engine is registered (and therefore alive).
+unsafe impl Send for AliveEntry {}
+
+static ALIVE: Mutex<Vec<AliveEntry>> = Mutex::new(Vec::new());
+
+fn alive() -> std::sync::MutexGuard<'static, Vec<AliveEntry>> {
+    ALIVE.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Per-thread magazines, keyed by engine instance. On thread exit the
+/// destructor drains every magazine of a still-alive engine back to its
+/// shards, so blocks cached by short-lived threads are not stranded until
+/// the next reopen.
+struct Caches(HashMap<u64, Box<MagSet>>);
+
+impl Drop for Caches {
+    fn drop(&mut self) {
+        // The fast slot points into this map; kill it first.
+        let _ = FAST_MAG.try_with(|fast| fast.set((0, std::ptr::null_mut())));
+        let alive = alive();
+        for (instance, mags) in self.0.drain() {
+            if let Some(entry) = alive.iter().find(|a| a.instance == instance) {
+                // SAFETY: entry present under the lock ⇒ engine alive.
+                let engine = unsafe { &*entry.engine };
+                for (class, blocks) in mags.iter().enumerate().filter(|(_, b)| !b.is_empty()) {
+                    engine.drain_to_shards(entry.mem, class, blocks);
+                }
+            }
+        }
+    }
+}
+
+thread_local! {
+    static CACHES: RefCell<Caches> = RefCell::new(Caches(HashMap::new()));
+    /// One-entry cache of the last `(instance, magazine set)` this thread
+    /// touched: the hot path dereferences it directly instead of hashing
+    /// into `CACHES`. The pointer targets the boxed `MagSet` owned by
+    /// `CACHES` (stable across map growth); it is cleared whenever the map
+    /// prunes or drops (both happen on this thread), so it can never
+    /// outlive its target.
+    static FAST_MAG: std::cell::Cell<(u64, *mut MagSet)> =
+        const { std::cell::Cell::new((0, std::ptr::null_mut())) };
+}
+
+/// Runs `f` on this thread's magazine set for `instance`. Returns `None`
+/// when the thread's TLS is already torn down (callers fall back to the
+/// shard tier directly).
+fn with_cache<R>(instance: u64, f: impl FnOnce(&mut MagSet) -> R) -> Option<R> {
+    if let Ok((id, ptr)) = FAST_MAG.try_with(|fast| fast.get()) {
+        if id == instance && !ptr.is_null() {
+            // SAFETY: FAST_MAG only holds entries of this thread's live
+            // CACHES map (cleared on prune and on Caches::drop), and
+            // with_cache never re-enters itself, so the exclusive borrow
+            // is unique.
+            return Some(f(unsafe { &mut *ptr }));
+        }
+    }
+    CACHES
+        .try_with(|caches| {
+            let mut caches = caches.borrow_mut();
+            if !caches.0.contains_key(&instance) && caches.0.len() >= 16 {
+                // Prune magazines of closed pools before admitting a new
+                // one; the fast slot may point at a pruned entry.
+                let _ = FAST_MAG.try_with(|fast| fast.set((0, std::ptr::null_mut())));
+                let alive = alive();
+                caches
+                    .0
+                    .retain(|id, _| alive.iter().any(|a| a.instance == *id));
+            }
+            let mags = caches
+                .0
+                .entry(instance)
+                .or_insert_with(|| Box::new(std::array::from_fn(|_| Vec::new())));
+            let _ = FAST_MAG.try_with(|fast| fast.set((instance, &mut **mags as *mut MagSet)));
+            f(mags)
+        })
+        .ok()
+}
+
+/// The shard a thread prefers for refills: assigned round-robin at first
+/// use, so concurrent threads spread across shards.
+fn preferred_shard() -> usize {
+    static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) & (NUM_SHARDS - 1);
+    }
+    SHARD.try_with(|s| *s).unwrap_or(0)
+}

@@ -10,12 +10,17 @@
 //!   same virtual base on every open when possible (embedded absolute
 //!   pointers then remain valid), falling back to a *rebased* mapping that
 //!   only offset-based access may use.
-//! * A **recoverable allocator** — segregated free lists over size-classed
-//!   blocks. Every block carries a persistent 16-byte header (size, class,
-//!   allocated bit) and the heap frontier is persisted with
-//!   flush+fence ordering such that **no crash point corrupts the heap**: a
-//!   crash can at worst leak an in-flight block, never double-allocate or
-//!   tear metadata. Reopening rebuilds the free lists from a full heap walk.
+//! * A **scalable recoverable allocator** — size-classed blocks with a
+//!   persistent 16-byte header each (size, class, allocated bit) and a
+//!   persisted heap frontier. The default [`AllocMode::LockFree`] engine
+//!   serves the hot path from per-thread magazines backed by sharded
+//!   lock-free free lists and a CAS-carved slab frontier (see [`engine`]'s
+//!   module docs for the full design); [`AllocMode::Mutexed`] keeps the
+//!   original global-mutex allocator as a measurable baseline. Either way
+//!   the persist ordering guarantees that **no crash point corrupts the
+//!   heap**: a crash can at worst leak in-flight blocks, never
+//!   double-allocate or tear metadata. Reopening rebuilds all volatile
+//!   free-list state from a full heap walk.
 //! * [`POff`] — typed offset pointers, stable across rebased mappings.
 //! * A **root registry** — up to [`MAX_ROOTS`] named offsets in the pool
 //!   header, so a structure can be found again after reopen
@@ -25,6 +30,21 @@
 //! [`nvtraverse_pmem::MmapBackend`]: `clwb`/`sfence` on x86-64 (the paper's
 //! protocol, and the correct one on a DAX NVRAM mapping) with an `msync`
 //! fallback for targets or deployments that need it.
+//!
+//! # Durability contract of the lock-free engine
+//!
+//! Under [`AllocMode::LockFree`], [`Pool::alloc`] and [`Pool::dealloc`] do
+//! not fence, and the allocated header usually shares its cache line with
+//! the payload's first bytes, whose flush is the caller's job anyway. The
+//! contract: **flush the first line of the block's contents and fence
+//! before durably publishing the block** — which every durability policy in
+//! this repository already does between initializing a node and the CAS
+//! that links it (`flush_range(node)` + fence). A caller that skips it
+//! risks (only) recovering the block as free after a power failure —
+//! exactly as if the allocation had never durably happened, the correct
+//! outcome for data that was itself not yet persistent. See the `engine`
+//! module docs for the full deferred-persistence design and its bounded
+//! leak-on-power-failure trade-offs.
 //!
 //! # Process-wide takeover
 //!
@@ -57,16 +77,20 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod engine;
 mod mmap;
 mod poff;
 
+pub use engine::AllocMode;
 pub use poff::POff;
 
+use engine::Engine;
 use nvtraverse_pmem::{heap, Backend, MmapBackend};
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Pool file magic: `"NVTRPOOL"` as little-endian bytes.
@@ -79,43 +103,46 @@ pub const MAX_ROOTS: usize = 16;
 pub const MAX_ROOT_NAME: usize = 24;
 /// Smallest capacity [`Pool::create`] accepts.
 pub const MIN_CAPACITY: u64 = 64 * 1024;
+/// Largest capacity [`Pool::create`] accepts (block offsets must fit the
+/// 40-bit offset field of the lock-free engine's tagged free-list heads).
+pub const MAX_CAPACITY: u64 = 1 << 40;
 
 /// First heap byte: everything below is the pool header page.
-const HEAP_START: u64 = 4096;
+pub(crate) const HEAP_START: u64 = 4096;
 /// Block sizes (header included) of the non-oversize classes.
-const CLASS_SIZES: [u64; 12] = [
+pub(crate) const CLASS_SIZES: [u64; 12] = [
     32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536,
 ];
 /// Index of the oversize class (exact-size blocks above 64 KiB).
-const OVERSIZE: usize = CLASS_SIZES.len();
-const NUM_CLASSES: usize = CLASS_SIZES.len() + 1;
+pub(crate) const OVERSIZE: usize = CLASS_SIZES.len();
+pub(crate) const NUM_CLASSES: usize = CLASS_SIZES.len() + 1;
 /// Per-block header bytes preceding every payload.
-const BLOCK_HEADER: u64 = 16;
+pub(crate) const BLOCK_HEADER: u64 = 16;
 /// Alignment of every block and payload.
-const BLOCK_ALIGN: u64 = 16;
+pub(crate) const BLOCK_ALIGN: u64 = 16;
 
 // Header field offsets (bytes from pool base).
 const OFF_MAGIC: u64 = 0;
 const OFF_VERSION: u64 = 8;
 const OFF_CAPACITY: u64 = 16;
 const OFF_PREFERRED_BASE: u64 = 24;
-const OFF_FRONTIER: u64 = 32;
+pub(crate) const OFF_FRONTIER: u64 = 32;
 const OFF_CLEAN: u64 = 40;
 const OFF_ROOTS: u64 = 256;
 const ROOT_SLOT_SIZE: u64 = 32;
 
 // Block header word 0 encoding.
-const W0_SIZE_MASK: u64 = (1 << 48) - 1;
-const W0_CLASS_SHIFT: u32 = 48;
-const W0_CLASS_MASK: u64 = 0xFF;
-const W0_ALLOCATED: u64 = 1 << 63;
+pub(crate) const W0_SIZE_MASK: u64 = (1 << 48) - 1;
+pub(crate) const W0_CLASS_SHIFT: u32 = 48;
+pub(crate) const W0_CLASS_MASK: u64 = 0xFF;
+pub(crate) const W0_ALLOCATED: u64 = 1 << 63;
 
 /// What [`Pool::open`]'s recovery walk found.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
     /// Blocks found allocated (live data).
     pub live_blocks: usize,
-    /// Blocks found free and re-linked into the segregated lists.
+    /// Blocks found free and re-linked into the free-list structures.
     pub free_blocks: usize,
     /// Bytes between the heap start and the persisted frontier.
     pub heap_bytes: u64,
@@ -135,16 +162,77 @@ pub struct HeapReport {
     pub frontier: u64,
 }
 
-struct AllocState {
-    /// Volatile mirror of the persisted frontier.
-    frontier: u64,
-    /// Volatile heads of the segregated free lists (block offsets; 0 = ∅).
-    heads: [u64; NUM_CLASSES],
+/// The raw mapped region: base, length, and word-granular accessors. `Copy`
+/// so the allocation engines can take it by value without borrowing `Inner`.
+///
+/// All word access goes through relaxed atomics: the lock-free engine reads
+/// and writes free-list link words from many threads concurrently, and
+/// mapped memory is ordinary memory as far as the Rust memory model cares.
+#[derive(Clone, Copy)]
+pub(crate) struct Mem {
+    base: usize,
+    len: usize,
+}
+
+impl Mem {
+    pub(crate) fn base(&self) -> usize {
+        self.base
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn ptr(&self, off: u64) -> *mut u8 {
+        debug_assert!((off as usize) < self.len);
+        (self.base + off as usize) as *mut u8
+    }
+
+    /// The 8-byte word at `off` as an atomic. `off` must be in-bounds and
+    /// 8-aligned.
+    pub(crate) fn au64(&self, off: u64) -> &AtomicU64 {
+        debug_assert!(off % 8 == 0 && (off as usize) + 8 <= self.len);
+        // SAFETY: the mapping outlives every Mem user (Inner unmaps only
+        // after engines and the heap registry are torn down), and the
+        // address is valid, aligned shared memory.
+        unsafe { AtomicU64::from_ptr(self.ptr(off) as *mut u64) }
+    }
+
+    pub(crate) fn load(&self, off: u64) -> u64 {
+        self.au64(off).load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn store(&self, off: u64, value: u64) {
+        self.au64(off).store(value, Ordering::Relaxed)
+    }
+
+    /// Flush + fence of the single word at `off`.
+    pub(crate) fn persist_u64(&self, off: u64) {
+        MmapBackend::flush(self.ptr(off) as *const u8);
+        MmapBackend::fence();
+    }
+
+    /// Flush + fence of `[off, off + len)`.
+    pub(crate) fn persist_range(&self, off: usize, len: usize) {
+        MmapBackend::flush_range((self.base + off) as *const u8, len);
+        MmapBackend::fence();
+    }
+}
+
+/// Writes an allocated block header (stores only — each engine decides how
+/// and when the header reaches persistence; see `engine`). The header is 16
+/// bytes at 16-byte alignment, so it never straddles a cache line: a single
+/// flush of `off`'s line always covers it.
+pub(crate) fn make_allocated(mem: Mem, off: u64, block_size: u64, class: usize, payload: u64) {
+    mem.store(
+        off,
+        block_size | ((class as u64) << W0_CLASS_SHIFT) | W0_ALLOCATED,
+    );
+    mem.store(off + 8, payload);
 }
 
 struct Inner {
-    base: usize,
-    len: usize,
+    mem: Mem,
     path: PathBuf,
     /// Keeps the file open (and its `flock` held) while mapped.
     _file: File,
@@ -152,12 +240,15 @@ struct Inner {
     /// Set by `finish_open`: a half-built Inner from a failed open must not
     /// stamp the file as cleanly shut down on drop.
     ready: bool,
-    state: Mutex<AllocState>,
+    engine: Engine,
+    /// Serializes root-registry reads and writes (slot names are multi-word,
+    /// so their publication is not atomic). Rare operations only.
+    roots: Mutex<()>,
     report: RecoveryReport,
 }
 
-// SAFETY: the mapping is plain shared memory; all mutation happens under the
-// allocator mutex or through ordered root-slot publication.
+// SAFETY: the mapping is plain shared memory; mutation happens through the
+// engines' lock-free/locked protocols or ordered root-slot publication.
 unsafe impl Send for Inner {}
 unsafe impl Sync for Inner {}
 
@@ -172,26 +263,43 @@ impl fmt::Debug for Pool {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Pool")
             .field("path", &self.inner.path)
-            .field("base", &format_args!("{:#x}", self.inner.base))
-            .field("capacity", &self.inner.len)
+            .field("base", &format_args!("{:#x}", self.inner.mem.base()))
+            .field("capacity", &self.inner.mem.len())
             .field("rebased", &self.inner.rebased)
+            .field("mode", &self.inner.engine.mode())
             .finish()
     }
 }
 
 impl Pool {
-    /// Creates a new pool file of `capacity` bytes at `path` and maps it.
+    /// Creates a new pool file of `capacity` bytes at `path` and maps it,
+    /// with the default [`AllocMode::LockFree`] engine.
     ///
     /// # Errors
     ///
-    /// Fails if the file already exists, the capacity is below
-    /// [`MIN_CAPACITY`], or mapping fails.
+    /// Fails if the file already exists, the capacity is outside
+    /// [`MIN_CAPACITY`]..=[`MAX_CAPACITY`], or mapping fails.
     pub fn create(path: impl AsRef<Path>, capacity: u64) -> io::Result<Pool> {
+        Pool::create_with_mode(path, capacity, AllocMode::default())
+    }
+
+    /// [`Pool::create`] with an explicit allocation engine.
+    pub fn create_with_mode(
+        path: impl AsRef<Path>,
+        capacity: u64,
+        mode: AllocMode,
+    ) -> io::Result<Pool> {
         let path = path.as_ref();
         if capacity < MIN_CAPACITY {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
                 format!("pool capacity {capacity} below minimum {MIN_CAPACITY}"),
+            ));
+        }
+        if capacity > MAX_CAPACITY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("pool capacity {capacity} above maximum {MAX_CAPACITY}"),
             ));
         }
         let file = OpenOptions::new()
@@ -212,17 +320,18 @@ impl Pool {
         // ordered to stable storage at all.
         MmapBackend::register_region(base, capacity as usize);
 
-        let inner = Inner {
+        let mem = Mem {
             base,
             len: capacity as usize,
+        };
+        let inner = Inner {
+            mem,
             path: path.to_path_buf(),
             _file: file,
             rebased: false,
             ready: false,
-            state: Mutex::new(AllocState {
-                frontier: HEAP_START,
-                heads: [0; NUM_CLASSES],
-            }),
+            engine: Engine::new(mode),
+            roots: Mutex::new(()),
             report: RecoveryReport {
                 heap_bytes: 0,
                 clean_shutdown: true,
@@ -232,26 +341,25 @@ impl Pool {
         // Initialize the header. The magic is persisted last, so a crash
         // during create leaves a file without it, which `open` rejects
         // instead of trusting a half-written header.
-        unsafe {
-            inner.write_u64(OFF_VERSION, VERSION);
-            inner.write_u64(OFF_CAPACITY, capacity);
-            inner.write_u64(OFF_PREFERRED_BASE, base as u64);
-            inner.write_u64(OFF_FRONTIER, HEAP_START);
-            inner.write_u64(OFF_CLEAN, 0);
-            for slot in 0..MAX_ROOTS as u64 {
-                for w in 0..ROOT_SLOT_SIZE / 8 {
-                    inner.write_u64(OFF_ROOTS + slot * ROOT_SLOT_SIZE + w * 8, 0);
-                }
+        mem.store(OFF_VERSION, VERSION);
+        mem.store(OFF_CAPACITY, capacity);
+        mem.store(OFF_PREFERRED_BASE, base as u64);
+        mem.store(OFF_FRONTIER, HEAP_START);
+        mem.store(OFF_CLEAN, 0);
+        for slot in 0..MAX_ROOTS as u64 {
+            for w in 0..ROOT_SLOT_SIZE / 8 {
+                mem.store(OFF_ROOTS + slot * ROOT_SLOT_SIZE + w * 8, 0);
             }
-            inner.persist_range(0, HEAP_START as usize);
-            inner.write_u64(OFF_MAGIC, MAGIC);
-            inner.persist_u64(OFF_MAGIC);
         }
+        mem.persist_range(0, HEAP_START as usize);
+        mem.store(OFF_MAGIC, MAGIC);
+        mem.persist_u64(OFF_MAGIC);
         Ok(Pool::finish_open(inner))
     }
 
-    /// Opens an existing pool file, verifies its header, and rebuilds the
-    /// allocator's segregated free lists from a full heap walk.
+    /// Opens an existing pool file with the default [`AllocMode::LockFree`]
+    /// engine, verifies its header, and rebuilds the allocator's volatile
+    /// free-list state from a full heap walk.
     ///
     /// The file is mapped at its recorded preferred base when that range is
     /// still free (embedded absolute pointers stay valid); otherwise it is
@@ -262,6 +370,12 @@ impl Pool {
     /// Fails on a missing file, bad magic/version/capacity, or heap
     /// metadata that does not verify.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Pool> {
+        Pool::open_with_mode(path, AllocMode::default())
+    }
+
+    /// [`Pool::open`] with an explicit allocation engine. The engine choice
+    /// is volatile: both engines read and write the same persistent format.
+    pub fn open_with_mode(path: impl AsRef<Path>, mode: AllocMode) -> io::Result<Pool> {
         let path = path.as_ref();
         let file = OpenOptions::new().read(true).write(true).open(path)?;
         lock_pool_file(&file, path)?;
@@ -293,6 +407,9 @@ impl Pool {
                 "header capacity {capacity} != file length {file_len}"
             )));
         }
+        if capacity > MAX_CAPACITY {
+            return Err(bad_pool(format!("capacity {capacity} above maximum")));
+        }
 
         // Try the recorded base first so absolute pointers stay valid.
         let (base, rebased) =
@@ -304,34 +421,33 @@ impl Pool {
         // registered regions.
         MmapBackend::register_region(base, capacity as usize);
 
-        let mut inner = Inner {
+        let mem = Mem {
             base,
             len: capacity as usize,
+        };
+        let mut inner = Inner {
+            mem,
             path: path.to_path_buf(),
             _file: file,
             rebased,
             ready: false,
-            state: Mutex::new(AllocState {
-                frontier: HEAP_START,
-                heads: [0; NUM_CLASSES],
-            }),
+            engine: Engine::new(mode),
+            roots: Mutex::new(()),
             report: RecoveryReport::default(),
         };
         let report = inner.recover_allocator(clean == 1)?;
         inner.report = report;
-        unsafe {
-            // Mark the pool dirty until a clean close. The preferred base is
-            // only re-recorded for a NON-rebased mapping: on a rebased one,
-            // absolute pointers inside the pool still encode the original
-            // base, and persisting the temporary base would make the next
-            // open look non-rebased while those pointers stay dangling.
-            if !rebased {
-                inner.write_u64(OFF_PREFERRED_BASE, base as u64);
-                inner.persist_u64(OFF_PREFERRED_BASE);
-            }
-            inner.write_u64(OFF_CLEAN, 0);
-            inner.persist_u64(OFF_CLEAN);
+        // Mark the pool dirty until a clean close. The preferred base is
+        // only re-recorded for a NON-rebased mapping: on a rebased one,
+        // absolute pointers inside the pool still encode the original
+        // base, and persisting the temporary base would make the next
+        // open look non-rebased while those pointers stay dangling.
+        if !rebased {
+            mem.store(OFF_PREFERRED_BASE, base as u64);
+            mem.persist_u64(OFF_PREFERRED_BASE);
         }
+        mem.store(OFF_CLEAN, 0);
+        mem.persist_u64(OFF_CLEAN);
         Ok(Pool::finish_open(inner))
     }
 
@@ -363,12 +479,15 @@ impl Pool {
         // (The MmapBackend region was registered before the first header
         // persist, in create/open — ordering the msync fallback needs.)
         let inner = Arc::new(inner);
+        // The engine address is stable from here on (behind the Arc):
+        // announce it so exiting threads can drain magazines back to it.
+        inner.engine.register(inner.mem);
         // Register with the foreign-heap registry so `free`/EBR return pool
         // pointers here. The ctx pointer is non-owning: `Inner::drop`
         // unregisters before the memory goes away.
         heap::register_region(
-            inner.base,
-            inner.len,
+            inner.mem.base(),
+            inner.mem.len(),
             Arc::as_ptr(&inner) as usize,
             Inner::dealloc_shim,
         );
@@ -379,17 +498,22 @@ impl Pool {
 
     /// Base address of the mapping.
     pub fn base(&self) -> usize {
-        self.inner.base
+        self.inner.mem.base()
     }
 
     /// Pool capacity in bytes (header included).
     pub fn capacity(&self) -> u64 {
-        self.inner.len as u64
+        self.inner.mem.len() as u64
     }
 
     /// Path of the backing file.
     pub fn path(&self) -> &Path {
         &self.inner.path
+    }
+
+    /// Which allocation engine this handle runs.
+    pub fn alloc_mode(&self) -> AllocMode {
+        self.inner.engine.mode()
     }
 
     /// `true` when the pool could not be mapped at its recorded base, so
@@ -408,7 +532,7 @@ impl Pool {
     /// Whether `ptr` points into this pool's mapping.
     pub fn contains(&self, ptr: *const u8) -> bool {
         let a = ptr as usize;
-        a >= self.inner.base && a < self.inner.base + self.inner.len
+        a >= self.inner.mem.base() && a < self.inner.mem.base() + self.inner.mem.len()
     }
 
     /// Translates a pointer into this pool to its stable offset.
@@ -418,7 +542,7 @@ impl Pool {
     /// Panics if `ptr` is outside the pool.
     pub fn offset_of(&self, ptr: *const u8) -> u64 {
         assert!(self.contains(ptr), "pointer not in pool");
-        (ptr as usize - self.inner.base) as u64
+        (ptr as usize - self.inner.mem.base()) as u64
     }
 
     /// Translates a stable offset to a pointer in the current mapping.
@@ -427,8 +551,11 @@ impl Pool {
     ///
     /// Panics if `off` is outside the pool.
     pub fn at(&self, off: u64) -> *mut u8 {
-        assert!((off as usize) < self.inner.len, "offset {off} out of pool");
-        (self.inner.base + off as usize) as *mut u8
+        assert!(
+            (off as usize) < self.inner.mem.len(),
+            "offset {off} out of pool"
+        );
+        (self.inner.mem.base() + off as usize) as *mut u8
     }
 
     // ---- allocation ------------------------------------------------------
@@ -436,15 +563,16 @@ impl Pool {
     /// Allocates `size` bytes with `align`ment from the pool.
     ///
     /// Returns `None` when the pool is exhausted or `align` exceeds the
-    /// pool's 16-byte block alignment. The block's header is
-    /// persisted before the pointer is returned, so a block handed out is
-    /// never lost to a crash; a crash *during* allocation can only leak the
-    /// in-flight block, never corrupt the heap.
+    /// pool's 16-byte block alignment. The block's header is written and
+    /// flushed before the pointer is returned; under the lock-free engine
+    /// the ordering fence is deferred to the caller's own pre-publication
+    /// fence (see the crate docs), so a crash can only ever leak in-flight
+    /// blocks, never corrupt the heap or lose a durably published one.
     pub fn alloc(&self, size: usize, align: usize) -> Option<*mut u8> {
         self.inner.alloc(size, align)
     }
 
-    /// Returns `ptr`'s block to its segregated free list.
+    /// Returns `ptr`'s block to the allocator.
     ///
     /// # Safety
     ///
@@ -504,16 +632,13 @@ impl Pool {
             ));
         }
         let inner = &*self.inner;
-        // Serialize registry updates with the allocator lock (rare op).
-        let _guard = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        let _guard = inner.roots.lock().unwrap_or_else(|e| e.into_inner());
         let mut free_slot = None;
         for slot in 0..MAX_ROOTS {
             let (slot_name, _) = inner.read_root_slot(slot);
             if slot_name.as_deref() == Some(bytes) {
-                unsafe {
-                    inner.write_u64(root_off_field(slot), off);
-                }
-                inner.persist_u64(root_off_field(slot));
+                inner.mem.store(root_off_field(slot), off);
+                inner.mem.persist_u64(root_off_field(slot));
                 return Ok(());
             }
             if slot_name.is_none() && free_slot.is_none() {
@@ -526,16 +651,16 @@ impl Pool {
                 format!("all {MAX_ROOTS} root slots in use"),
             )
         })?;
+        // Offset first, then the name that makes the slot visible.
+        inner.mem.store(root_off_field(slot), off);
+        inner.mem.persist_u64(root_off_field(slot));
         unsafe {
-            // Offset first, then the name that makes the slot visible.
-            inner.write_u64(root_off_field(slot), off);
-            inner.persist_u64(root_off_field(slot));
             let mut name_buf = [0u8; MAX_ROOT_NAME];
             name_buf[..bytes.len()].copy_from_slice(bytes);
-            let dst = inner.ptr(OFF_ROOTS + slot as u64 * ROOT_SLOT_SIZE);
+            let dst = inner.mem.ptr(OFF_ROOTS + slot as u64 * ROOT_SLOT_SIZE);
             std::ptr::copy_nonoverlapping(name_buf.as_ptr(), dst, MAX_ROOT_NAME);
         }
-        inner.persist_range(
+        inner.mem.persist_range(
             (OFF_ROOTS + slot as u64 * ROOT_SLOT_SIZE) as usize,
             ROOT_SLOT_SIZE as usize,
         );
@@ -545,9 +670,7 @@ impl Pool {
     /// Looks up the offset registered under `name`.
     pub fn root(&self, name: &str) -> Option<u64> {
         let inner = &*self.inner;
-        // Same lock as set_root/remove_root: slot names are multi-word and
-        // their publication is not atomic.
-        let _guard = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        let _guard = inner.roots.lock().unwrap_or_else(|e| e.into_inner());
         for slot in 0..MAX_ROOTS {
             let (slot_name, off) = inner.read_root_slot(slot);
             if slot_name.as_deref() == Some(name.as_bytes()) {
@@ -560,22 +683,20 @@ impl Pool {
     /// Removes `name` from the registry, returning its offset.
     pub fn remove_root(&self, name: &str) -> Option<u64> {
         let inner = &*self.inner;
-        let _guard = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        let _guard = inner.roots.lock().unwrap_or_else(|e| e.into_inner());
         for slot in 0..MAX_ROOTS {
             let (slot_name, off) = inner.read_root_slot(slot);
             if slot_name.as_deref() == Some(name.as_bytes()) {
                 unsafe {
-                    let dst = inner.ptr(OFF_ROOTS + slot as u64 * ROOT_SLOT_SIZE);
+                    let dst = inner.mem.ptr(OFF_ROOTS + slot as u64 * ROOT_SLOT_SIZE);
                     std::ptr::write_bytes(dst, 0, MAX_ROOT_NAME);
                 }
-                inner.persist_range(
+                inner.mem.persist_range(
                     (OFF_ROOTS + slot as u64 * ROOT_SLOT_SIZE) as usize,
                     MAX_ROOT_NAME,
                 );
-                unsafe {
-                    inner.write_u64(root_off_field(slot), 0);
-                }
-                inner.persist_u64(root_off_field(slot));
+                inner.mem.store(root_off_field(slot), 0);
+                inner.mem.persist_u64(root_off_field(slot));
                 return Some(off);
             }
         }
@@ -585,7 +706,7 @@ impl Pool {
     /// All registered `(name, offset)` pairs.
     pub fn roots(&self) -> Vec<(String, u64)> {
         let inner = &*self.inner;
-        let _guard = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        let _guard = inner.roots.lock().unwrap_or_else(|e| e.into_inner());
         (0..MAX_ROOTS)
             .filter_map(|slot| {
                 let (name, off) = inner.read_root_slot(slot);
@@ -645,25 +766,30 @@ impl Pool {
     ///
     /// Propagates the `msync` failure.
     pub fn sync(&self) -> io::Result<()> {
-        mmap::sync(self.inner.base, self.inner.len)
+        mmap::sync(self.inner.mem.base(), self.inner.mem.len())
     }
 
     /// Walks the whole heap, checking every block-header invariant.
+    ///
+    /// The walk is exact while the pool is quiescent (no concurrent
+    /// alloc/free — the situation of every recovery and every test); during
+    /// concurrent mutation it still never faults, but allocated/free counts
+    /// are transient snapshots.
     ///
     /// # Errors
     ///
     /// Describes the first violated invariant.
     pub fn verify_heap(&self) -> Result<HeapReport, String> {
         let inner = &*self.inner;
-        let state = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        let frontier = inner.engine.frontier();
         let mut report = HeapReport {
-            frontier: state.frontier,
+            frontier,
             ..Default::default()
         };
         let mut off = HEAP_START;
-        while off < state.frontier {
-            let w0 = unsafe { inner.read_u64(off) };
-            let (size, _class, allocated) = check_block_header(w0, off, state.frontier)?;
+        while off < frontier {
+            let w0 = inner.mem.load(off);
+            let (size, _class, allocated) = check_block_header(w0, off, frontier)?;
             if allocated {
                 report.live.push((off, size - BLOCK_HEADER));
             } else {
@@ -671,10 +797,9 @@ impl Pool {
             }
             off += size;
         }
-        if off != state.frontier {
+        if off != frontier {
             return Err(format!(
-                "heap walk ended at {off:#x}, frontier is {:#x}",
-                state.frontier
+                "heap walk ended at {off:#x}, frontier is {frontier:#x}"
             ));
         }
         Ok(report)
@@ -690,41 +815,12 @@ impl Pool {
 }
 
 impl Inner {
-    // ---- raw mapped access ----------------------------------------------
-
-    fn ptr(&self, off: u64) -> *mut u8 {
-        debug_assert!((off as usize) < self.len);
-        (self.base + off as usize) as *mut u8
-    }
-
-    /// # Safety
-    /// `off` must be within the mapping and 8-aligned.
-    unsafe fn write_u64(&self, off: u64, value: u64) {
-        unsafe { (self.ptr(off) as *mut u64).write_volatile(value) }
-    }
-
-    /// # Safety
-    /// `off` must be within the mapping and 8-aligned.
-    unsafe fn read_u64(&self, off: u64) -> u64 {
-        unsafe { (self.ptr(off) as *const u64).read_volatile() }
-    }
-
-    fn persist_u64(&self, off: u64) {
-        MmapBackend::flush(self.ptr(off) as *const u8);
-        MmapBackend::fence();
-    }
-
-    fn persist_range(&self, off: usize, len: usize) {
-        MmapBackend::flush_range((self.base + off) as *const u8, len);
-        MmapBackend::fence();
-    }
-
     fn read_root_slot(&self, slot: usize) -> (Option<Vec<u8>>, u64) {
         let name_off = OFF_ROOTS + slot as u64 * ROOT_SLOT_SIZE;
         let mut name = [0u8; MAX_ROOT_NAME];
         unsafe {
             std::ptr::copy_nonoverlapping(
-                self.ptr(name_off) as *const u8,
+                self.mem.ptr(name_off) as *const u8,
                 name.as_mut_ptr(),
                 MAX_ROOT_NAME,
             );
@@ -733,11 +829,11 @@ impl Inner {
             return (None, 0);
         }
         let len = name.iter().position(|&b| b == 0).unwrap_or(MAX_ROOT_NAME);
-        let off = unsafe { self.read_u64(root_off_field(slot)) };
+        let off = self.mem.load(root_off_field(slot));
         (Some(name[..len].to_vec()), off)
     }
 
-    // ---- allocator -------------------------------------------------------
+    // ---- allocator entry points ------------------------------------------
 
     fn alloc(&self, size: usize, align: usize) -> Option<*mut u8> {
         if align > BLOCK_ALIGN as usize {
@@ -748,81 +844,28 @@ impl Inner {
         }
         let payload = (size.max(1) as u64).next_multiple_of(BLOCK_ALIGN);
         let want = BLOCK_HEADER + payload;
-        let (class, block_size) = match CLASS_SIZES.iter().position(|&c| c >= want) {
-            Some(c) => (c, CLASS_SIZES[c]),
-            None => (OVERSIZE, want),
-        };
-
-        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-
-        // 1. Try the segregated free list.
-        if class < OVERSIZE {
-            let head = state.heads[class];
-            if head != 0 {
-                let next = unsafe { self.read_u64(head + 8) };
-                state.heads[class] = next;
-                self.make_allocated(head, block_size, class, payload);
-                return Some(self.ptr(head + BLOCK_HEADER));
-            }
-        } else {
-            // Oversize: first fit in the (usually tiny) oversize list.
-            let mut prev = 0u64;
-            let mut cur = state.heads[OVERSIZE];
-            while cur != 0 {
-                let w0 = unsafe { self.read_u64(cur) };
-                let next = unsafe { self.read_u64(cur + 8) };
-                if w0 & W0_SIZE_MASK >= want {
-                    if prev == 0 {
-                        state.heads[OVERSIZE] = next;
-                    } else {
-                        unsafe { self.write_u64(prev + 8, next) };
-                    }
-                    let bs = w0 & W0_SIZE_MASK;
-                    self.make_allocated(cur, bs, OVERSIZE, payload);
-                    return Some(self.ptr(cur + BLOCK_HEADER));
-                }
-                prev = cur;
-                cur = next;
-            }
-        }
-
-        // 2. Bump the frontier.
-        let off = state.frontier;
-        let new_frontier = off.checked_add(block_size)?;
-        if new_frontier > self.len as u64 {
-            return None; // pool exhausted
-        }
-        // Persist the block header *before* the frontier: a crash in between
-        // leaves the block invisible (frontier unchanged), never torn.
-        self.make_allocated(off, block_size, class, payload);
-        state.frontier = new_frontier;
-        unsafe { self.write_u64(OFF_FRONTIER, new_frontier) };
-        self.persist_u64(OFF_FRONTIER);
-        Some(self.ptr(off + BLOCK_HEADER))
-    }
-
-    /// Writes and persists an allocated block header.
-    fn make_allocated(&self, off: u64, block_size: u64, class: usize, payload: u64) {
-        unsafe {
-            self.write_u64(
-                off,
-                block_size | ((class as u64) << W0_CLASS_SHIFT) | W0_ALLOCATED,
-            );
-            self.write_u64(off + 8, payload);
-        }
-        self.persist_range(off as usize, BLOCK_HEADER as usize);
+        // Classes are the powers of two 32..=65536, so the class index is
+        // ceil(log2(want)) - 5: branch-free instead of a scan.
+        let bits = 64 - (want - 1).leading_zeros() as usize;
+        let class = bits.saturating_sub(5).min(OVERSIZE);
+        debug_assert_eq!(
+            class,
+            CLASS_SIZES.iter().position(|&c| c >= want).unwrap_or(OVERSIZE)
+        );
+        let off = self.engine.alloc(self.mem, class, want, payload)?;
+        Some(self.mem.ptr(off + BLOCK_HEADER))
     }
 
     /// (payload capacity, class) of the allocated block holding `ptr`.
     fn block_info(&self, ptr: *mut u8) -> (u64, usize) {
         let addr = ptr as usize;
         assert!(
-            addr >= self.base + (HEAP_START + BLOCK_HEADER) as usize
-                && addr < self.base + self.len,
+            addr >= self.mem.base() + (HEAP_START + BLOCK_HEADER) as usize
+                && addr < self.mem.base() + self.mem.len(),
             "pointer {addr:#x} not in pool heap"
         );
-        let off = (addr - self.base) as u64 - BLOCK_HEADER;
-        let w0 = unsafe { self.read_u64(off) };
+        let off = (addr - self.mem.base()) as u64 - BLOCK_HEADER;
+        let w0 = self.mem.load(off);
         assert!(
             w0 & W0_ALLOCATED != 0,
             "pool pointer {addr:#x} is not an allocated block (double free?)"
@@ -834,25 +877,15 @@ impl Inner {
 
     unsafe fn dealloc(&self, ptr: *mut u8) {
         let (_, class) = self.block_info(ptr);
-        let off = (ptr as usize - self.base) as u64 - BLOCK_HEADER;
-        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        let w0 = unsafe { self.read_u64(off) };
-        // Link first (volatile list structure), then persist the free bit.
-        // Free-list membership is the persistent fact; reopen rebuilds the
-        // links from a walk, so a stale link after a crash is harmless.
-        unsafe {
-            self.write_u64(off + 8, state.heads[class]);
-            self.write_u64(off, w0 & !W0_ALLOCATED);
-        }
-        self.persist_range(off as usize, BLOCK_HEADER as usize);
-        state.heads[class] = off;
+        let off = (ptr as usize - self.mem.base()) as u64 - BLOCK_HEADER;
+        self.engine.dealloc(self.mem, off, class);
     }
 
-    /// Rebuilds allocator state from persistent block headers (the
-    /// segregated free lists are reconstructed, not trusted).
+    /// Rebuilds allocator state from persistent block headers (the free
+    /// lists are reconstructed, not trusted).
     fn recover_allocator(&mut self, clean: bool) -> io::Result<RecoveryReport> {
-        let frontier = unsafe { self.read_u64(OFF_FRONTIER) };
-        if frontier < HEAP_START || frontier > self.len as u64 {
+        let frontier = self.mem.load(OFF_FRONTIER);
+        if frontier < HEAP_START || frontier > self.mem.len() as u64 {
             return Err(bad_pool(format!("frontier {frontier:#x} out of range")));
         }
         let mut report = RecoveryReport {
@@ -860,28 +893,24 @@ impl Inner {
             clean_shutdown: clean,
             ..Default::default()
         };
-        let mut heads = [0u64; NUM_CLASSES];
+        let mut frees: Vec<(u64, usize)> = Vec::new();
         let mut off = HEAP_START;
         while off < frontier {
-            let w0 = unsafe { self.read_u64(off) };
+            let w0 = self.mem.load(off);
             // Same invariants as verify_heap (shared checker): a block that
-            // passed a weaker check here could poison a segregated list and
+            // passed a weaker check here could poison a free list and
             // later be handed out at its class size, overlapping a neighbour.
             let (size, class, allocated) = check_block_header(w0, off, frontier)
                 .map_err(|e| bad_pool(format!("corrupt {e} (w0={w0:#x})")))?;
             if allocated {
                 report.live_blocks += 1;
             } else {
-                // Reconstruct free-list membership from the walk.
-                unsafe { self.write_u64(off + 8, heads[class]) };
-                heads[class] = off;
+                frees.push((off, class));
                 report.free_blocks += 1;
             }
             off += size;
         }
-        let state = self.state.get_mut().unwrap_or_else(|e| e.into_inner());
-        state.frontier = frontier;
-        state.heads = heads;
+        self.engine.rebuild(self.mem, frontier, &frees);
         Ok(report)
     }
 
@@ -900,21 +929,22 @@ impl Inner {
 
 impl Drop for Inner {
     fn drop(&mut self) {
-        // Stop routing new work here before the mapping goes away.
+        // Stop routing new work here before the mapping goes away. The
+        // engine unregisters first so no exiting thread can drain magazines
+        // into a dying engine.
+        self.engine.unregister();
         heap::uninstall_allocator(self as *const Inner as usize);
-        heap::unregister_region(self.base);
-        MmapBackend::unregister_region(self.base);
+        heap::unregister_region(self.mem.base());
+        MmapBackend::unregister_region(self.mem.base());
         // Clean-close marker only for a pool that actually opened: a
         // half-built Inner from a rejected open must not mutate the file,
         // or it would overwrite the crash diagnostic it just refused.
         if self.ready {
-            unsafe {
-                self.write_u64(OFF_CLEAN, 1);
-            }
-            self.persist_u64(OFF_CLEAN);
-            let _ = mmap::sync(self.base, self.len);
+            self.mem.store(OFF_CLEAN, 1);
+            self.mem.persist_u64(OFF_CLEAN);
+            let _ = mmap::sync(self.mem.base(), self.mem.len());
         }
-        mmap::unmap(self.base, self.len);
+        mmap::unmap(self.mem.base(), self.mem.len());
     }
 }
 

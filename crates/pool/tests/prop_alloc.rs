@@ -183,7 +183,11 @@ proptest! {
         let pool = Pool::open(&path).unwrap();
         let report = pool.recovery_report();
         prop_assert_eq!(report.live_blocks, shadow.len());
-        prop_assert!(report.free_blocks <= freed_count, "free blocks appeared from nowhere");
+        // (free_blocks has no exact relation to freed_count: slab carving
+        // creates free blocks no test op freed, and a freed block that was
+        // reallocated is not free at close. The exact live-set and payload
+        // checks below are the invariant.)
+        let _ = freed_count;
         // Identical live offsets…
         let live = pool.live_offsets();
         let want: Vec<u64> = shadow.iter().map(|&(o, _, _)| o - 16).collect();
@@ -196,6 +200,120 @@ proptest! {
                     "payload of block at {:#x} changed across reopen", off);
             }
         }
+        drop(pool);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Concurrent per-thread alloc/free interleavings: after joining all
+    /// threads, the walked live set is exactly the union of the blocks the
+    /// threads still hold, with intact payloads — and a close + reopen
+    /// reproduces precisely the same live set and payloads. Exercises the
+    /// lock-free engine's magazines, shard stacks, and slab frontier under
+    /// real interleavings rather than a single-threaded script.
+    #[test]
+    fn concurrent_interleavings_preserve_live_set(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(op_strategy(), 10..60),
+            2..5,
+        ),
+    ) {
+        let path = unique_pool_path();
+        let mut shadow: Vec<(u64, usize, u8)> = Vec::new(); // (payload off, size, fill)
+        {
+            let pool = Pool::create(&path, 64 << 20).unwrap();
+            let held_sets: Vec<Vec<(u64, usize, u8)>> = std::thread::scope(|s| {
+                let handles: Vec<_> = per_thread
+                    .iter()
+                    .enumerate()
+                    .map(|(t, ops)| {
+                        let pool = pool.clone();
+                        let ops = ops.clone();
+                        s.spawn(move || {
+                            let mut held: Vec<Held> = Vec::new();
+                            // Per-thread fill bytes: high nibble = thread.
+                            let mut next_fill = (t as u8 + 1) << 4 | 1;
+                            for op in ops {
+                                match op {
+                                    Op::Alloc { size } => {
+                                        if let Some(ptr) = pool.alloc(size, 8) {
+                                            let h = Held { ptr, size, fill: next_fill };
+                                            next_fill = (t as u8 + 1) << 4
+                                                | (next_fill.wrapping_add(1) & 0x0F).max(1);
+                                            fill(&pool, &h);
+                                            held.push(h);
+                                        }
+                                    }
+                                    Op::Free { idx } => {
+                                        if !held.is_empty() {
+                                            let h = held.swap_remove(idx % held.len());
+                                            check_payload(&h, usize::MAX);
+                                            unsafe { pool.dealloc(h.ptr) };
+                                        }
+                                    }
+                                    Op::Realloc { idx, size } => {
+                                        if !held.is_empty() {
+                                            let i = idx % held.len();
+                                            let old = held[i].size;
+                                            if let Some(p) =
+                                                unsafe { pool.realloc(held[i].ptr, size) }
+                                            {
+                                                held[i].ptr = p;
+                                                check_payload(&held[i], old.min(size));
+                                                held[i].size = size;
+                                                fill(&pool, &held[i]);
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            use nvtraverse_pmem::{Backend, MmapBackend};
+                            let out: Vec<_> = held
+                                .iter()
+                                .map(|h| {
+                                    check_payload(h, usize::MAX);
+                                    MmapBackend::flush_range(h.ptr, h.size);
+                                    (pool.offset_of(h.ptr as *const u8), h.size, h.fill)
+                                })
+                                .collect();
+                            // The fence also orders every header flush this
+                            // thread deferred (the alloc/free contract).
+                            MmapBackend::fence();
+                            out
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for set in held_sets {
+                shadow.extend(set);
+            }
+            shadow.sort_unstable();
+            // No block handed out twice: payload offsets are unique.
+            for w in shadow.windows(2) {
+                prop_assert!(w[0].0 != w[1].0, "one block held by two threads");
+            }
+            // The walked live set matches the held set exactly, in place.
+            let live = pool.live_offsets();
+            let want: Vec<u64> = shadow.iter().map(|&(o, _, _)| o - 16).collect();
+            prop_assert_eq!(&live, &want, "live set diverged before reopen");
+        }
+
+        let pool = Pool::open(&path).unwrap();
+        prop_assert_eq!(pool.recovery_report().live_blocks, shadow.len());
+        let live = pool.live_offsets();
+        let want: Vec<u64> = shadow.iter().map(|&(o, _, _)| o - 16).collect();
+        prop_assert_eq!(live, want, "live set diverged across reopen");
+        for &(off, size, fillb) in &shadow {
+            let p = pool.at(off);
+            for i in 0..size {
+                prop_assert_eq!(unsafe { p.add(i).read() }, fillb,
+                    "payload of block at {:#x} changed across reopen", off);
+            }
+        }
+        // The recovered allocator stays fully usable.
+        let p = pool.alloc(64, 8).unwrap();
+        unsafe { pool.dealloc(p) };
+        pool.verify_heap().unwrap();
         drop(pool);
         std::fs::remove_file(&path).unwrap();
     }

@@ -26,7 +26,7 @@
 
 use nvtraverse::policy::NvTraverse;
 use nvtraverse::{DurableSet, PooledSet};
-use nvtraverse_pmem::MmapBackend;
+use nvtraverse_pmem::{Backend, MmapBackend};
 use nvtraverse_structures::list::HarrisList;
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -205,6 +205,253 @@ fn validate(pool_path: &Path, log_path: &Path) -> u64 {
     assert!(set.remove(u64::MAX - 1));
     set.close().unwrap();
     max_intent
+}
+
+// ---- concurrent allocator storm under SIGKILL ------------------------------
+
+/// Threads in the allocator-storm child.
+const STORM_THREADS: usize = 8;
+/// Block-reference slots each storm thread owns.
+const STORM_SLOTS: usize = 64;
+const STORM_ROOT: &str = "storm-slots";
+
+/// Child-process entry point for the allocator storm (see
+/// `sigkill_mid_alloc_storm_recovers`): 8 threads hammer the lock-free
+/// allocator with alloc/free/realloc while every held block is tracked in a
+/// persistent slot array inside the pool itself, so the parent can audit
+/// the live set after the kill.
+///
+/// Per-slot protocol (all slot writes flushed + fenced):
+///
+/// * free:    slot := 0, persist, then `dealloc` — a kill in between leaks
+///   the block (it stays allocated, referenced by nothing), never the
+///   reverse: a nonzero slot always names an allocated block.
+/// * alloc:   `alloc`, stamp + flush the payload, persist, then slot := off.
+/// * realloc: slot := 0, persist, `realloc`, stamp, persist, slot := new.
+///
+/// So at any kill point, every nonzero slot points at an allocated block
+/// with a valid stamp, and at most 2 blocks per thread (realloc holds two
+/// mid-copy) are allocated but untracked.
+#[test]
+fn alloc_storm_child_entry() {
+    let Ok(_) = std::env::var("NVT_STORM_CHILD") else {
+        return;
+    };
+    let pool_path = std::env::var("NVT_POOL").unwrap();
+    let log_path = std::env::var("NVT_LOG").unwrap();
+    let pool = nvtraverse_pool::Pool::open(&pool_path).unwrap();
+    let slots_off = pool.root(STORM_ROOT).unwrap();
+    let mut log = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&log_path)
+        .unwrap();
+
+    fn persist(p: *const u64) {
+        MmapBackend::flush(p as *const u8);
+        MmapBackend::fence();
+    }
+    let progress = std::sync::atomic::AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        for t in 0..STORM_THREADS {
+            let pool = pool.clone();
+            let progress = &progress;
+            s.spawn(move || {
+                let mut x = (t as u64).wrapping_mul(0x9E37_79B9) + 0xDEAD;
+                loop {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let idx = t * STORM_SLOTS + (x % STORM_SLOTS as u64) as usize;
+                    let slot = (pool.at(slots_off) as *mut u64).wrapping_add(idx);
+                    let cur = unsafe { slot.read_volatile() };
+                    let stamp = |p: *mut u8, size: usize| {
+                        // First word = slot index, so the parent can verify
+                        // block↔slot agreement; last byte spot-checked too.
+                        unsafe {
+                            (p as *mut u64).write(idx as u64);
+                            p.add(size - 1).write(idx as u8);
+                        }
+                        MmapBackend::flush_range(p, size);
+                    };
+                    if cur != 0 {
+                        if x % 4 == 0 {
+                            // Realloc: untrack, move, retrack.
+                            unsafe { slot.write_volatile(0) };
+                            persist(slot);
+                            let size = 24 + (x % 4000) as usize;
+                            let p = pool.at(cur);
+                            if let Some(np) = unsafe { pool.realloc(p, size) } {
+                                stamp(np, size);
+                                MmapBackend::fence();
+                                unsafe {
+                                    slot.write_volatile(pool.offset_of(np as *const u8))
+                                };
+                                persist(slot);
+                            } else {
+                                unsafe { pool.dealloc(p) };
+                            }
+                        } else {
+                            // Free: untrack first.
+                            unsafe { slot.write_volatile(0) };
+                            persist(slot);
+                            unsafe { pool.dealloc(pool.at(cur)) };
+                        }
+                    } else {
+                        let size = 24 + (x % 4000) as usize;
+                        if let Some(p) = pool.alloc(size, 8) {
+                            stamp(p, size);
+                            MmapBackend::fence();
+                            unsafe { slot.write_volatile(pool.offset_of(p as *const u8)) };
+                            persist(slot);
+                        }
+                    }
+                    progress.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        }
+        // Report progress until the kill.
+        loop {
+            std::thread::sleep(Duration::from_millis(10));
+            let n = progress.load(std::sync::atomic::Ordering::Relaxed);
+            writeln!(log, "{n}").unwrap();
+            log.sync_data().unwrap();
+        }
+    });
+}
+
+/// Audits the pool after a storm kill: heap verifies, every tracked slot
+/// points at a distinct allocated block with the right stamp, and at most
+/// `2 × STORM_THREADS` allocated blocks are untracked (in-flight at the
+/// kill). Frees the untracked blocks (nothing references them) so leaks do
+/// not accumulate across cycles, and returns the pool to a state where the
+/// next storm child can continue.
+fn storm_validate(pool_path: &Path) {
+    let pool = nvtraverse_pool::Pool::open(pool_path).unwrap();
+    assert!(!pool.recovery_report().clean_shutdown);
+    let report = pool
+        .verify_heap()
+        .unwrap_or_else(|e| panic!("pool heap corrupt after SIGKILL storm: {e}"));
+    let slots_off = pool.root(STORM_ROOT).unwrap();
+    let total_slots = STORM_THREADS * STORM_SLOTS;
+
+    // Collect tracked offsets; check uniqueness (a block in two slots would
+    // mean the allocator handed one block out twice).
+    let mut tracked = std::collections::BTreeMap::new();
+    for idx in 0..total_slots {
+        let off = unsafe { (pool.at(slots_off) as *const u64).add(idx).read() };
+        if off != 0 {
+            if let Some(prev) = tracked.insert(off, idx) {
+                panic!("block {off:#x} tracked by slots {prev} and {idx}");
+            }
+        }
+    }
+    // Every tracked block is live, stamped with its slot index.
+    let live: std::collections::BTreeMap<u64, u64> = report
+        .live
+        .iter()
+        .map(|&(block, payload)| (block + 16, payload))
+        .collect();
+    for (&off, &idx) in &tracked {
+        let payload = live.get(&off).unwrap_or_else(|| {
+            panic!("slot {idx} references {off:#x}, which is not an allocated block")
+        });
+        let first = unsafe { (pool.at(off) as *const u64).read() };
+        assert_eq!(first, idx as u64, "block {off:#x} stamped for the wrong slot");
+        assert!(*payload >= 24, "block {off:#x} smaller than any storm alloc");
+    }
+    // The slot array itself is one allocated block; anything else untracked
+    // was in flight at the kill — bounded by 2 per thread per kill. Free
+    // the strays so leakage does not accumulate across kill cycles.
+    let mut strays = Vec::new();
+    for (&off, _) in &live {
+        if off != slots_off && !tracked.contains_key(&off) {
+            strays.push(off);
+        }
+    }
+    assert!(
+        !tracked.is_empty(),
+        "storm audit is vacuous: no slot held a block at the kill"
+    );
+    assert!(
+        strays.len() <= 2 * STORM_THREADS,
+        "{} untracked live blocks — more than {} in-flight ops can explain",
+        strays.len(),
+        2 * STORM_THREADS
+    );
+    for off in strays {
+        unsafe { pool.dealloc(pool.at(off)) };
+    }
+    // The recovered allocator must be fully usable: drain-and-restore one
+    // block per class size without tripping any header invariant.
+    for size in [16usize, 100, 1000, 5000, 70_000] {
+        let p = pool.alloc(size, 8).unwrap();
+        unsafe { pool.dealloc(p) };
+    }
+    pool.verify_heap().unwrap();
+    drop(pool);
+}
+
+#[test]
+fn sigkill_mid_alloc_storm_recovers() {
+    let dir = std::env::temp_dir();
+    let pool_path = dir.join(format!("nvt-storm-{}.pool", std::process::id()));
+    let log_path = dir.join(format!("nvt-storm-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&pool_path);
+    let _ = std::fs::remove_file(&log_path);
+
+    // Create the pool and the persistent slot array.
+    {
+        let pool = nvtraverse_pool::Pool::create(&pool_path, 64 << 20).unwrap();
+        let total = STORM_THREADS * STORM_SLOTS;
+        let slots = pool.alloc(total * 8, 8).unwrap();
+        unsafe { std::ptr::write_bytes(slots, 0, total * 8) };
+        MmapBackend::flush_range(slots, total * 8);
+        MmapBackend::fence();
+        pool.set_root(STORM_ROOT, pool.offset_of(slots)).unwrap();
+    }
+
+    for _cycle in 0..2 {
+        // Fresh progress log per cycle: the child's op counter restarts at
+        // zero, so a stale line from the previous cycle would satisfy (or
+        // double) the threshold.
+        let _ = std::fs::remove_file(&log_path);
+        let exe = std::env::current_exe().unwrap();
+        let mut child = std::process::Command::new(exe)
+            .args(["--exact", "alloc_storm_child_entry", "--test-threads=1", "--nocapture"])
+            .env("NVT_STORM_CHILD", "1")
+            .env("NVT_POOL", &pool_path)
+            .env("NVT_LOG", &log_path)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .unwrap();
+        // Wait until the threads have collectively done enough ops.
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            let ops: u64 = std::fs::read_to_string(&log_path)
+                .unwrap_or_default()
+                .lines()
+                .rev()
+                .find_map(|l| l.trim().parse().ok())
+                .unwrap_or(0);
+            if ops >= 100_000 {
+                break;
+            }
+            if let Some(status) = child.try_wait().unwrap() {
+                panic!("storm child exited on its own: {status:?}");
+            }
+            assert!(Instant::now() < deadline, "storm child too slow: {ops} ops");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        child.kill().unwrap();
+        child.wait().unwrap();
+        storm_validate(&pool_path);
+    }
+
+    std::fs::remove_file(&pool_path).unwrap();
+    std::fs::remove_file(&log_path).unwrap();
 }
 
 #[test]
