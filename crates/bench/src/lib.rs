@@ -17,9 +17,13 @@
 //! Beyond the paper's figures, [`alloc_scaling`] measures pool
 //! allocator throughput (threads x size-class mix, global-mutex baseline vs
 //! the lock-free magazine/shard design) under the same `--json` pipeline:
-//! `figures --quick --json BENCH_alloc.json alloc_scaling`.
+//! `figures --quick --json BENCH_alloc.json alloc_scaling` — and
+//! [`pool_structs`] measures end-to-end *structure* throughput on
+//! pool-resident instances (allocator + policy fences together), engine ×
+//! structure × threads: `figures --quick --json BENCH_ps.json pool_structs`.
 
 pub mod alloc_scaling;
 pub mod figures;
 pub mod json;
+pub mod pool_structs;
 pub mod workload;

@@ -1,0 +1,209 @@
+//! Pool-backed *structure* throughput: allocator engine × structure —
+//! the PR 2 follow-up the ROADMAP asked for. Where `alloc_scaling` measures
+//! the allocator in isolation, this sweep measures what users feel: full
+//! operations on pool-resident structures (policy flushes + traversal +
+//! allocator together), for **both** allocator engines in the same run.
+//!
+//! Every structure is created inside a fresh pool file via its
+//! [`PoolAttach`] implementation — the same path `PooledHandle` takes — so
+//! node allocation, EBR reclamation and the durability policy's fences all
+//! exercise the production configuration (`NvTraverse<MmapBackend>`).
+//!
+//! Workloads:
+//!
+//! * sets (list, hash, skiplist, both BSTs) — [`crate::workload`]'s §5.1
+//!   harness (the same prefill-to-half + 10% insert / 10% delete / 80%
+//!   lookup mix every paper figure uses, so points are comparable across
+//!   figures) over a 4096-key range;
+//! * queue / stack — enqueue+dequeue (push+pop) pairs, keeping the
+//!   population near its prefill.
+//!
+//! Points flow through the `--json` sink as figure `pool_structs`, series
+//! `<engine>-<structure>`, x = thread count, metric `mops` (million
+//! operations per second), so `BENCH_*.json` artifacts capture the
+//! trajectory per run.
+
+use crate::figures::Mode;
+use nvtraverse::policy::NvTraverse;
+use nvtraverse::{DurableSet, PoolAttach};
+use nvtraverse_pmem::MmapBackend;
+use nvtraverse_pool::{AllocMode, Pool};
+use nvtraverse_structures::ellen_bst::EllenBst;
+use nvtraverse_structures::hash::HashMapDs;
+use nvtraverse_structures::list::HarrisList;
+use nvtraverse_structures::nm_bst::NmBst;
+use nvtraverse_structures::queue::MsQueue;
+use nvtraverse_structures::skiplist::SkipList;
+use nvtraverse_structures::stack::TreiberStack;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+type D = NvTraverse<MmapBackend>;
+
+/// Uniform key range; prefill to half (paper §5.1). Small enough that the
+/// list's O(n) traversals stay measurable, large enough for real towers and
+/// tree depth.
+const KEY_RANGE: u64 = 4096;
+/// Small on purpose: the live population is bounded (≤ KEY_RANGE nodes plus
+/// EBR slack), and every measurement creates + syncs + unmaps its own pool
+/// file — capacity is pure per-measurement I/O overhead.
+const POOL_CAP: u64 = 32 << 20;
+
+fn pool_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "nvt-pool-structs-{}-{tag}.pool",
+        std::process::id()
+    ))
+}
+
+/// Runs `body` on `threads` threads for `secs`, returning Mops/s. Each body
+/// invocation loops until the stop flag and returns its operation count.
+fn measure(
+    threads: usize,
+    secs: f64,
+    body: &(impl Fn(usize, &AtomicBool) -> usize + Sync),
+) -> f64 {
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(threads + 1);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let stop = &stop;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    body(t, stop)
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        std::thread::sleep(Duration::from_secs_f64(secs));
+        stop.store(true, Ordering::Relaxed);
+        let ops: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        ops as f64 / start.elapsed().as_secs_f64() / 1e6
+    })
+}
+
+/// Creates `S` in a fresh pool under `mode`, runs `workload`, and tears the
+/// pool down without dropping the structure (its nodes live in the file).
+fn with_pooled<S: PoolAttach>(
+    tag: &str,
+    mode: AllocMode,
+    workload: impl FnOnce(&S) -> f64,
+) -> f64 {
+    let path = pool_path(tag);
+    let _ = std::fs::remove_file(&path);
+    let pool = Pool::create_with_mode(&path, POOL_CAP, mode).unwrap();
+    // Adopt immediately: the handle guarantees the structure's destructor
+    // never runs (its nodes live in the pool file) and drains retired
+    // blocks back to the pool before the mapping goes away.
+    let s = nvtraverse::PooledHandle::adopt(&pool, S::create_in_pool(&pool, "bench").unwrap());
+    let mops = workload(&s);
+    drop(s);
+    drop(pool);
+    let _ = std::fs::remove_file(&path);
+    mops
+}
+
+/// §5.1 mixed set workload, via the shared harness (same prefill and op
+/// mix as every paper figure).
+fn set_mops<S: PoolAttach + DurableSet<u64, u64>>(
+    tag: &str,
+    mode: AllocMode,
+    threads: usize,
+    secs: f64,
+) -> f64 {
+    with_pooled::<S>(tag, mode, |s| {
+        let mut cfg = crate::workload::Cfg::paper_default(threads, KEY_RANGE);
+        cfg.secs = secs;
+        crate::workload::prefill(s, &cfg);
+        crate::workload::run_throughput(s, &cfg)
+    })
+}
+
+/// Enqueue+dequeue pairs on a prefilled queue (2 ops per iteration).
+fn queue_mops(mode: AllocMode, threads: usize, secs: f64) -> f64 {
+    with_pooled::<MsQueue<u64, D>>("queue", mode, |q| {
+        for v in 0..KEY_RANGE / 2 {
+            q.enqueue(v);
+        }
+        measure(threads, secs, &|t, stop| {
+            let mut v = (t as u64) << 48;
+            let mut ops = 0;
+            while !stop.load(Ordering::Relaxed) {
+                q.enqueue(v);
+                v += 1;
+                q.dequeue();
+                ops += 2;
+            }
+            ops
+        })
+    })
+}
+
+/// Push+pop pairs on a prefilled stack (2 ops per iteration).
+fn stack_mops(mode: AllocMode, threads: usize, secs: f64) -> f64 {
+    with_pooled::<TreiberStack<u64, D>>("stack", mode, |s| {
+        for v in 0..KEY_RANGE / 2 {
+            s.push(v);
+        }
+        measure(threads, secs, &|t, stop| {
+            let mut v = (t as u64) << 48;
+            let mut ops = 0;
+            while !stop.load(Ordering::Relaxed) {
+                s.push(v);
+                v += 1;
+                s.pop();
+                ops += 2;
+            }
+            ops
+        })
+    })
+}
+
+/// Runs the full sweep: structure × engine × threads, one table per
+/// structure.
+pub fn run(mode: Mode) {
+    let secs = match mode {
+        Mode::Quick => 0.12,
+        Mode::Full => 1.0,
+    };
+    let threads = [1usize, 2, 4];
+    type Bench = fn(AllocMode, usize, f64) -> f64;
+    let list: Bench = |m, t, s| set_mops::<HarrisList<u64, u64, D>>("list", m, t, s);
+    let hash: Bench = |m, t, s| set_mops::<HashMapDs<u64, u64, D>>("hash", m, t, s);
+    let skip: Bench = |m, t, s| set_mops::<SkipList<u64, u64, D>>("skiplist", m, t, s);
+    let ellen: Bench = |m, t, s| set_mops::<EllenBst<u64, u64, D>>("ellen-bst", m, t, s);
+    let nm: Bench = |m, t, s| set_mops::<NmBst<u64, u64, D>>("nm-bst", m, t, s);
+    let queue: Bench = queue_mops;
+    let stack: Bench = stack_mops;
+    let benches: [(&str, Bench); 7] = [
+        ("list", list),
+        ("hash", hash),
+        ("skiplist", skip),
+        ("ellen-bst", ellen),
+        ("nm-bst", nm),
+        ("queue", queue),
+        ("stack", stack),
+    ];
+    for (name, f) in benches {
+        println!("\n== pool_structs: pool-backed {name} throughput ==");
+        println!(
+            "{:>10}{:>14}{:>14}{:>10}  [Mops/s]",
+            "threads", "mutexed", "lockfree", "speedup"
+        );
+        for &t in &threads {
+            let mutexed = f(AllocMode::Mutexed, t, secs);
+            let lockfree = f(AllocMode::LockFree, t, secs);
+            let x = t.to_string();
+            crate::json::record("pool_structs", &format!("mutexed-{name}"), &x, "mops", mutexed);
+            crate::json::record("pool_structs", &format!("lockfree-{name}"), &x, "mops", lockfree);
+            println!(
+                "{t:>10}{mutexed:>14.3}{lockfree:>14.3}{:>9.1}x",
+                lockfree / mutexed.max(1e-9)
+            );
+        }
+    }
+}

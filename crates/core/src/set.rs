@@ -7,10 +7,13 @@
 //! uniform keys, insert/delete/lookup mixes). [`DurableSet`] is that common
 //! surface, so benchmarks, stress tests and crash tests are written once.
 //!
-//! [`PooledSet`] adds the cross-process lifecycle: create a structure inside
-//! a `nvtraverse-pool` file, find it again by name after a restart
-//! (`Pool::open` → root lookup → `recover()`), and keep the pool mapped for
-//! as long as the structure is in use.
+//! [`PoolAttach`] + [`PooledHandle`] add the cross-process lifecycle for
+//! *every* traversal structure — set-shaped or not (queue, stack, priority
+//! queue): create a structure inside a `nvtraverse-pool` file, find it again
+//! by name after a restart (`Pool::open` → root lookup → `recover()`), and
+//! keep the pool mapped for as long as the structure is in use.
+//! [`PooledSet`] is the set-flavoured alias kept from when only the sets
+//! were pool-instantiable.
 
 use nvtraverse_pool::Pool;
 use std::io;
@@ -74,9 +77,40 @@ pub trait DurableSet<K, V>: Send + Sync {
 /// A structure that can live inside a persistent [`Pool`] and be found
 /// again, by name, after the process restarts.
 ///
-/// Implementations (in `nvtraverse-structures`) register their root node in
-/// the pool's root registry at creation and rebuild their in-memory handle
-/// from that root on [`PoolAttach::attach_to_pool`].
+/// Every structure in `nvtraverse-structures` implements this — the sets
+/// (`HarrisList`, `HashMapDs`, `SkipList`, `EllenBst`, `NmBst`) *and* the
+/// non-set shapes (`MsQueue`, `TreiberStack`, `PriorityQueue`), which is the
+/// paper's §3 generality claim made operational: any traversal data
+/// structure, not just sets, survives a crash when its core is persistent
+/// and its auxiliary parts are rebuilt on recovery.
+///
+/// # Lifecycle
+///
+/// ```text
+/// first process            crash / exit           any later process
+/// ─────────────            ────────────           ─────────────────
+/// Pool::create ─┐
+///               ├─ create_in_pool(pool, "name")   Pool::open ─┐
+/// operations …  │      (root registered)                      ├─ attach_to_pool(pool, "name")
+///               └─ [SIGKILL / power loss / drop]              ├─ recover_attached()
+///                                                             └─ operations …
+/// ```
+///
+/// [`PooledHandle`] packages both columns into single calls
+/// ([`PooledHandle::create`] / [`PooledHandle::open`]). Implementations
+/// register their root node in the pool's root registry at creation and
+/// rebuild their in-memory handle from that root on
+/// [`PoolAttach::attach_to_pool`].
+///
+/// # What the root must encode
+///
+/// Everything volatile must be *recomputable* from what the root reaches:
+/// the skiplist registers only its head tower and rebuilds every upper
+/// level from the bottom list; the queue registers its anchor and
+/// recomputes the tail shortcut by walking from the head; the hash table
+/// registers a persistent bucket-offset table and rebuilds its volatile
+/// `Box<[HarrisList]>` handle from it. See `ARCHITECTURE.md`'s
+/// per-structure recovery table.
 pub trait PoolAttach: Sized {
     /// Builds a fresh, empty instance whose every node lives in `pool`, and
     /// registers its root under `name`.
@@ -104,16 +138,33 @@ pub trait PoolAttach: Sized {
     unsafe fn attach_to_pool(pool: &Pool, name: &str) -> Option<Self>;
 
     /// Runs the structure's post-crash recovery (the `disconnect(root)` pass
-    /// of paper §4). Forwarded from [`DurableSet::recover`] so pooled
+    /// of paper §4, plus any volatile-auxiliary rebuild). Set-shaped
+    /// structures forward [`DurableSet::recover`]; queue/stack/priority
+    /// queue forward their inherent `recover` — either way, pooled
     /// lifecycles need no key/value type annotations.
     fn recover_attached(&self);
 
     /// The EBR collector this structure retires nodes into.
     ///
-    /// [`PooledSet`] drains it before letting go of the pool: nodes retired
-    /// but not yet reclaimed hold allocated pool blocks, and without a drain
-    /// every close would leak them in the file permanently.
+    /// [`PooledHandle`] drains it before letting go of the pool: nodes
+    /// retired but not yet reclaimed hold allocated pool blocks, and without
+    /// a drain every close would leak them in the file permanently.
     fn collector_of(&self) -> &nvtraverse_ebr::Collector;
+}
+
+/// Drains `collector` fully: retired-but-unreclaimed nodes are freed back
+/// to the heap that issued them (for a pooled structure, the pool file).
+///
+/// Three passes because the epoch advance needs two ticks to age out the
+/// newest bags, plus one to collect them. [`PooledHandle`] calls this on
+/// close/drop; for a structure created directly via
+/// [`PoolAttach::create_in_pool`], prefer wrapping it with
+/// [`PooledHandle::adopt`] (which also drains) over managing the drain and
+/// `std::mem::forget` by hand.
+pub fn drain_collector(collector: &nvtraverse_ebr::Collector) {
+    for _ in 0..3 {
+        collector.synchronize();
+    }
 }
 
 /// Owning handle for a pool-resident structure: the pool mapping plus the
@@ -121,21 +172,66 @@ pub trait PoolAttach: Sized {
 ///
 /// Dropping a structure normally frees all of its nodes — exactly wrong for
 /// one that lives in a pool and must be found again on the next open.
-/// `PooledSet` therefore never runs the structure's destructor; dropping the
-/// handle just unmaps the pool (after an `msync`).
+/// `PooledHandle` therefore never runs the structure's destructor; dropping
+/// the handle just unmaps the pool (after an `msync`).
 ///
 /// This is the paper's §2 lifecycle as an API: *"Processes call the recovery
 /// operation before any other operation after a crash event"* —
-/// [`PooledSet::open`] performs exactly `Pool::open` → root lookup →
+/// [`PooledHandle::open`] performs exactly `Pool::open` → root lookup →
 /// `recover()` before handing the structure out.
-pub struct PooledSet<S: PoolAttach> {
-    set: ManuallyDrop<S>,
+///
+/// # Worked example: create → (crash) → reopen
+///
+/// The first block below plays the role of the process that dies; the
+/// second is the process that comes back up. After a real `SIGKILL`
+/// the reopen path is byte-for-byte the same `open` call — the only
+/// difference is that `recover()` then has marked nodes or stale volatile
+/// shortcuts to repair (exercised for every structure in
+/// `tests/crash_process.rs`).
+///
+/// ```
+/// use nvtraverse::policy::NvTraverse;
+/// use nvtraverse::{DurableSet, PooledHandle};
+/// use nvtraverse::pmem::MmapBackend;
+/// use nvtraverse_structures::list::HarrisList;
+///
+/// type List = HarrisList<u64, u64, NvTraverse<MmapBackend>>;
+///
+/// let path = std::env::temp_dir().join(format!("doc-pooled-{}.pool", std::process::id()));
+/// # let _ = std::fs::remove_file(&path);
+///
+/// // "First process": create a pool file holding a named list, mutate it,
+/// // and let go. `close` syncs the mapping; a crash instead of a close
+/// // loses at most the in-flight operation (durable linearizability).
+/// let list = PooledHandle::<List>::create(&path, 4 << 20, "accounts")?;
+/// assert!(list.insert(7, 700));
+/// assert!(list.insert(8, 800));
+/// assert!(list.remove(8));
+/// list.close()?;
+///
+/// // "Second process": Pool::open → root lookup → recover(), in one call.
+/// let list = PooledHandle::<List>::open(&path, "accounts")?;
+/// assert_eq!(list.get(7), Some(700));
+/// assert_eq!(list.get(8), None, "removes are as durable as inserts");
+/// assert!(list.insert(9, 900), "recovered structure is fully usable");
+/// list.close()?;
+/// # std::fs::remove_file(&path)?;
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub struct PooledHandle<S: PoolAttach> {
+    inner: ManuallyDrop<S>,
     pool: Pool,
     /// Set by `close()` so Drop does not repeat the collector drain.
     drained_on_close: bool,
 }
 
-impl<S: PoolAttach> PooledSet<S> {
+/// The set-flavoured name [`PooledHandle`] grew out of, kept as an alias:
+/// existing code (and the paper's framing, where the evaluated structures
+/// are sets) reads naturally with it, while queue/stack lifecycles use
+/// [`PooledHandle`] directly.
+pub type PooledSet<S> = PooledHandle<S>;
+
+impl<S: PoolAttach> PooledHandle<S> {
     /// Creates `path` as a new pool of `capacity` bytes holding a fresh
     /// structure registered under `name`.
     ///
@@ -144,9 +240,9 @@ impl<S: PoolAttach> PooledSet<S> {
     /// Fails if the file exists or pool creation/registration fails.
     pub fn create(path: impl AsRef<Path>, capacity: u64, name: &str) -> io::Result<Self> {
         let pool = Pool::create(path, capacity)?;
-        let set = S::create_in_pool(&pool, name)?;
-        Ok(PooledSet {
-            set: ManuallyDrop::new(set),
+        let inner = S::create_in_pool(&pool, name)?;
+        Ok(PooledHandle {
+            inner: ManuallyDrop::new(inner),
             pool,
             drained_on_close: false,
         })
@@ -162,7 +258,7 @@ impl<S: PoolAttach> PooledSet<S> {
     pub fn open(path: impl AsRef<Path>, name: &str) -> io::Result<Self> {
         let pool = Pool::open(path)?;
         // SAFETY: deferred to the caller's choice of `S` — see PoolAttach.
-        let set = unsafe { S::attach_to_pool(&pool, name) }.ok_or_else(|| {
+        let inner = unsafe { S::attach_to_pool(&pool, name) }.ok_or_else(|| {
             io::Error::new(
                 io::ErrorKind::NotFound,
                 if pool.is_rebased() {
@@ -172,15 +268,15 @@ impl<S: PoolAttach> PooledSet<S> {
                 },
             )
         })?;
-        set.recover_attached();
-        Ok(PooledSet {
-            set: ManuallyDrop::new(set),
+        inner.recover_attached();
+        Ok(PooledHandle {
+            inner: ManuallyDrop::new(inner),
             pool,
             drained_on_close: false,
         })
     }
 
-    /// [`PooledSet::open`] if `path` holds the named structure, otherwise
+    /// [`PooledHandle::open`] if `path` holds the named structure, otherwise
     /// creates what is missing — the restart-loop entry point.
     ///
     /// Heals both interrupted-create states: a pool file whose creation
@@ -203,10 +299,10 @@ impl<S: PoolAttach> PooledSet<S> {
         }
         let pool = Pool::open_or_create(path, capacity)?;
         // SAFETY: deferred to the caller's choice of `S` — see PoolAttach.
-        let set = match unsafe { S::attach_to_pool(&pool, name) } {
-            Some(set) => {
-                set.recover_attached();
-                set
+        let inner = match unsafe { S::attach_to_pool(&pool, name) } {
+            Some(inner) => {
+                inner.recover_attached();
+                inner
             }
             None if !pool.is_rebased() => {
                 // The pool is healthy but the root was never registered:
@@ -220,11 +316,33 @@ impl<S: PoolAttach> PooledSet<S> {
                 ));
             }
         };
-        Ok(PooledSet {
-            set: ManuallyDrop::new(set),
+        Ok(PooledHandle {
+            inner: ManuallyDrop::new(inner),
             pool,
             drained_on_close: false,
         })
+    }
+
+    /// Wraps an already-created or already-attached structure into a
+    /// handle — for *secondary* roots sharing one open pool, where
+    /// [`PooledHandle::create`]/[`PooledHandle::open`] (which own the pool
+    /// mapping) don't fit.
+    ///
+    /// The structure gains the same guarantees as a primary one: its
+    /// destructor will never run — **including on panic unwind**, where a
+    /// bare structure's drop would free live pool nodes and destroy the
+    /// file's contents — and retired nodes are drained back to the pool
+    /// before the handle lets go.
+    ///
+    /// When adopting a freshly [attached](PoolAttach::attach_to_pool)
+    /// structure, run [`PoolAttach::recover_attached`] first (as
+    /// [`PooledHandle::open`] does).
+    pub fn adopt(pool: &Pool, inner: S) -> Self {
+        PooledHandle {
+            inner: ManuallyDrop::new(inner),
+            pool: pool.clone(),
+            drained_on_close: false,
+        }
     }
 
     /// The underlying pool (for roots, stats, `sync`, …).
@@ -239,12 +357,7 @@ impl<S: PoolAttach> PooledSet<S> {
     /// leaking in the file. Called automatically on drop/close; quiescence
     /// is the caller's responsibility (as for [`DurableSet::recover`]).
     pub fn drain_retired(&self) {
-        let collector = self.set.collector_of();
-        // Three passes: epoch advance needs two ticks to age out the newest
-        // bags, plus one to collect them.
-        for _ in 0..3 {
-            collector.synchronize();
-        }
+        drain_collector(self.inner.collector_of());
     }
 
     /// Flushes the mapping to the backing file and detaches **without**
@@ -257,7 +370,7 @@ impl<S: PoolAttach> PooledSet<S> {
     }
 }
 
-impl<S: PoolAttach> Drop for PooledSet<S> {
+impl<S: PoolAttach> Drop for PooledHandle<S> {
     fn drop(&mut self) {
         // Return retired nodes' blocks to the pool while it is still mapped
         // (the live structure itself is deliberately NOT dropped).
@@ -267,15 +380,15 @@ impl<S: PoolAttach> Drop for PooledSet<S> {
     }
 }
 
-impl<S: PoolAttach> Deref for PooledSet<S> {
+impl<S: PoolAttach> Deref for PooledHandle<S> {
     type Target = S;
     fn deref(&self) -> &S {
-        &self.set
+        &self.inner
     }
 }
 
-impl<S: PoolAttach> std::fmt::Debug for PooledSet<S> {
+impl<S: PoolAttach> std::fmt::Debug for PooledHandle<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PooledSet").field("pool", &self.pool).finish()
+        f.debug_struct("PooledHandle").field("pool", &self.pool).finish()
     }
 }

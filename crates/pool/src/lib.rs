@@ -14,8 +14,8 @@
 //!   persistent 16-byte header each (size, class, allocated bit) and a
 //!   persisted heap frontier. The default [`AllocMode::LockFree`] engine
 //!   serves the hot path from per-thread magazines backed by sharded
-//!   lock-free free lists and a CAS-carved slab frontier (see [`engine`]'s
-//!   module docs for the full design); [`AllocMode::Mutexed`] keeps the
+//!   lock-free free lists and a CAS-carved slab frontier (see the private
+//!   `engine` module's docs for the full design); [`AllocMode::Mutexed`] keeps the
 //!   original global-mutex allocator as a measurable baseline. Either way
 //!   the persist ordering guarantees that **no crash point corrupts the
 //!   heap**: a crash can at worst leak in-flight blocks, never
@@ -738,8 +738,49 @@ impl Pool {
     }
 
     /// Resolves root `name` as a typed pointer in the current mapping.
+    ///
+    /// Performs no validity checks — structure attach paths should use
+    /// [`Pool::attach_root_ptr`] instead.
     pub fn root_ptr<T>(&self, name: &str) -> Option<*mut T> {
         self.root(name).map(|off| self.at(off) as *mut T)
+    }
+
+    /// The checked attach-side root lookup every `PoolAttach`
+    /// implementation shares: refuses a [rebased](Pool::is_rebased) pool
+    /// (embedded absolute pointers would be invalid) and a torn slot from a
+    /// crashed `set_root` (offset 0), installs this pool as the
+    /// process-wide allocation target, and resolves the root as a typed
+    /// pointer in the current mapping.
+    pub fn attach_root_ptr<T>(&self, name: &str) -> Option<*mut T> {
+        if self.is_rebased() {
+            return None;
+        }
+        let off = self.root(name)?;
+        if off == 0 {
+            return None;
+        }
+        self.install_as_default();
+        Some(self.at(off) as *mut T)
+    }
+
+    /// Registers `ptr` as root `name` after asserting it lies inside this
+    /// pool — the create-side counterpart of [`Pool::attach_root_ptr`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Pool::set_root`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ptr` was not allocated from this pool: the structure
+    /// was built while a different pool (or none) was installed, and
+    /// registering it would persist a root no reopen could ever resolve.
+    pub fn set_root_ptr_checked<T>(&self, name: &str, ptr: *const T) -> io::Result<()> {
+        assert!(
+            self.contains(ptr as *const u8),
+            "root not allocated from this pool — was another pool installed?"
+        );
+        self.set_root_ptr(name, ptr)
     }
 
     // ---- process-wide installation ---------------------------------------

@@ -24,10 +24,12 @@ use nvtraverse::alloc::{alloc_node, free};
 use nvtraverse::marked::MarkedPtr;
 use nvtraverse::ops::{run_operation, Critical, PersistSet, TraversalOps};
 use nvtraverse::policy::Durability;
-use nvtraverse::set::{DurableSet, SetOp};
+use nvtraverse::set::{DurableSet, PoolAttach, SetOp};
 use nvtraverse_ebr::{Collector, Guard};
 use nvtraverse_pmem::{Backend, PCell, Word};
+use nvtraverse_pool::Pool;
 use std::fmt;
+use std::io;
 use std::marker::PhantomData;
 
 /// Update-word states (the two algorithm tag bits of [`MarkedPtr`]).
@@ -192,6 +194,25 @@ where
     /// The collector nodes are retired into.
     pub fn collector(&self) -> &Collector {
         &self.collector
+    }
+
+    /// Rebuilds a tree handle around an existing root node — the attach
+    /// half of the pool lifecycle. The caller must run
+    /// [`EllenBst::recover_tree`] before any operation so every published
+    /// Info record (flagged or marked update word) is helped to completion.
+    ///
+    /// # Safety
+    ///
+    /// `root` must be the `∞₂` root of a tree built with the *same*
+    /// `K`/`V`/`D` parameters, reachable and quiescent, and the caller must
+    /// not drop two handles to the same tree (the pooled lifecycle never
+    /// drops — see `nvtraverse::PooledHandle`).
+    unsafe fn attach_at(root: NodePtr<K, V, D::B>, collector: Collector) -> Self {
+        EllenBst {
+            root,
+            collector,
+            _marker: PhantomData,
+        }
     }
 
     /// `true` if search key `k` routes left of `node` (considering ranks).
@@ -719,6 +740,33 @@ where
 
     fn recover(&self) {
         self.recover_tree();
+    }
+}
+
+impl<K, V, D> PoolAttach for EllenBst<K, V, D>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    fn create_in_pool(pool: &Pool, name: &str) -> io::Result<Self> {
+        pool.install_as_default();
+        let t = Self::with_collector(Collector::new());
+        pool.set_root_ptr_checked(name, t.root)?;
+        Ok(t)
+    }
+
+    unsafe fn attach_to_pool(pool: &Pool, name: &str) -> Option<Self> {
+        let root = pool.attach_root_ptr::<BstNode<K, V, D::B>>(name)?;
+        Some(unsafe { Self::attach_at(root, Collector::new()) })
+    }
+
+    fn recover_attached(&self) {
+        self.recover_tree();
+    }
+
+    fn collector_of(&self) -> &Collector {
+        &self.collector
     }
 }
 

@@ -149,7 +149,7 @@ where
         }
         MmapBackend::flush_range(table as *const u8, (n + 1) * 8);
         MmapBackend::fence();
-        pool.set_root_ptr(name, table)?;
+        pool.set_root_ptr_checked(name, table)?;
         Ok(map)
     }
 }
@@ -196,15 +196,7 @@ where
     }
 
     unsafe fn attach_to_pool(pool: &Pool, name: &str) -> Option<Self> {
-        if pool.is_rebased() {
-            return None;
-        }
-        let off = pool.root(name)?;
-        if off == 0 {
-            return None;
-        }
-        pool.install_as_default();
-        let table = pool.at(off) as *const u64;
+        let table = pool.attach_root_ptr::<u64>(name)? as *const u64;
         let n = unsafe { table.read() } as usize;
         if n == 0 || n > 1 << 24 {
             return None; // not a plausible bucket table

@@ -19,6 +19,13 @@
 //!   traversal form (paper §3: "traversal data structures capture not just
 //!   set data structures, but also queues, stacks, …").
 //!
+//! Every structure (including [`pqueue::PriorityQueue`]) implements
+//! [`PoolAttach`](nvtraverse::PoolAttach): it can be created inside a
+//! `nvtraverse-pool` file, found again by name after a restart, and
+//! recovered — see `nvtraverse::PooledHandle` for the packaged lifecycle
+//! and the repository's `ARCHITECTURE.md` for the per-structure recovery
+//! table (what each root encodes and what is rebuilt volatile-side).
+//!
 //! # Example
 //!
 //! ```

@@ -516,24 +516,12 @@ where
     fn create_in_pool(pool: &Pool, name: &str) -> io::Result<Self> {
         pool.install_as_default();
         let list = Self::with_collector(Collector::new());
-        assert!(
-            pool.contains(list.head as *const u8),
-            "head sentinel not allocated from this pool — was another pool installed?"
-        );
-        pool.set_root_ptr(name, list.head)?;
+        pool.set_root_ptr_checked(name, list.head)?;
         Ok(list)
     }
 
     unsafe fn attach_to_pool(pool: &Pool, name: &str) -> Option<Self> {
-        if pool.is_rebased() {
-            return None; // embedded absolute pointers are invalid
-        }
-        let off = pool.root(name)?;
-        if off == 0 {
-            return None; // torn slot from a crashed set_root
-        }
-        pool.install_as_default();
-        let head = pool.at(off) as NodePtr<K, V, D::B>;
+        let head = pool.attach_root_ptr::<Node<K, V, D::B>>(name)?;
         Some(unsafe { Self::attach_at(head, Collector::new()) })
     }
 

@@ -24,10 +24,12 @@ use nvtraverse::alloc::{alloc_node, free};
 use nvtraverse::marked::MarkedPtr;
 use nvtraverse::ops::{run_operation, Critical, PersistSet, TraversalOps};
 use nvtraverse::policy::Durability;
-use nvtraverse::set::{DurableSet, SetOp};
+use nvtraverse::set::{DurableSet, PoolAttach, SetOp};
 use nvtraverse_ebr::{Collector, Guard};
 use nvtraverse_pmem::{Backend, PCell, Word};
+use nvtraverse_pool::Pool;
 use std::fmt;
+use std::io;
 use std::marker::PhantomData;
 
 /// Sentinel ranks: all ordinary keys sort below ∞₀ < ∞₁ < ∞₂.
@@ -181,6 +183,25 @@ where
     /// The collector nodes are retired into.
     pub fn collector(&self) -> &Collector {
         &self.collector
+    }
+
+    /// Rebuilds a tree handle around an existing sentinel root — the attach
+    /// half of the pool lifecycle. The caller must run
+    /// [`NmBst::recover_tree`] before any operation so every injected
+    /// (flagged) deletion is completed and no tagged edge stays reachable.
+    ///
+    /// # Safety
+    ///
+    /// `root` must be the `R(∞₂)` sentinel of a tree built with the *same*
+    /// `K`/`V`/`D` parameters, reachable and quiescent, and the caller must
+    /// not drop two handles to the same tree (the pooled lifecycle never
+    /// drops — see `nvtraverse::PooledHandle`).
+    unsafe fn attach_at(root: NodePtr<K, V, D::B>, collector: Collector) -> Self {
+        NmBst {
+            root,
+            collector,
+            _marker: PhantomData,
+        }
     }
 
     #[inline]
@@ -622,6 +643,33 @@ where
 
     fn recover(&self) {
         self.recover_tree();
+    }
+}
+
+impl<K, V, D> PoolAttach for NmBst<K, V, D>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    fn create_in_pool(pool: &Pool, name: &str) -> io::Result<Self> {
+        pool.install_as_default();
+        let t = Self::with_collector(Collector::new());
+        pool.set_root_ptr_checked(name, t.root)?;
+        Ok(t)
+    }
+
+    unsafe fn attach_to_pool(pool: &Pool, name: &str) -> Option<Self> {
+        let root = pool.attach_root_ptr::<NmNode<K, V, D::B>>(name)?;
+        Some(unsafe { Self::attach_at(root, Collector::new()) })
+    }
+
+    fn recover_attached(&self) {
+        self.recover_tree();
+    }
+
+    fn collector_of(&self) -> &Collector {
+        &self.collector
     }
 }
 

@@ -11,10 +11,12 @@
 
 use crate::skiplist::SkipList;
 use nvtraverse::policy::Durability;
-use nvtraverse::set::DurableSet;
+use nvtraverse::set::{DurableSet, PoolAttach};
 use nvtraverse_ebr::Collector;
 use nvtraverse_pmem::Word;
+use nvtraverse_pool::Pool;
 use std::fmt;
+use std::io;
 
 /// A concurrent, optionally durable min-priority queue of `(priority, item)`
 /// pairs with distinct priorities.
@@ -109,6 +111,35 @@ where
     /// Propagates the skiplist invariant violation, if any.
     pub fn check_consistency(&self, allow_marked: bool) -> Result<usize, String> {
         self.inner.check_consistency(allow_marked)
+    }
+}
+
+impl<K, V, D> PoolAttach for PriorityQueue<K, V, D>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    /// Delegates to the underlying skiplist: the registered root *is* the
+    /// skiplist head tower, so a pool created by a priority queue can even
+    /// be reattached as a plain [`SkipList`] of the same parameters.
+    fn create_in_pool(pool: &Pool, name: &str) -> io::Result<Self> {
+        Ok(PriorityQueue {
+            inner: SkipList::create_in_pool(pool, name)?,
+        })
+    }
+
+    unsafe fn attach_to_pool(pool: &Pool, name: &str) -> Option<Self> {
+        let inner = unsafe { SkipList::attach_to_pool(pool, name) }?;
+        Some(PriorityQueue { inner })
+    }
+
+    fn recover_attached(&self) {
+        self.inner.recover_attached();
+    }
+
+    fn collector_of(&self) -> &Collector {
+        self.inner.collector_of()
     }
 }
 

@@ -20,9 +20,12 @@ use nvtraverse::alloc::{alloc_node, free};
 use nvtraverse::marked::MarkedPtr;
 use nvtraverse::ops::{run_operation, Critical, PersistSet, TraversalOps};
 use nvtraverse::policy::Durability;
+use nvtraverse::set::PoolAttach;
 use nvtraverse_ebr::{Collector, Guard};
 use nvtraverse_pmem::{Backend, PCell, Word};
+use nvtraverse_pool::Pool;
 use std::fmt;
+use std::io;
 use std::marker::PhantomData;
 
 /// A queue node; `value` is immutable, `next` is the persistent link.
@@ -152,21 +155,67 @@ where
 
     /// Post-crash recovery: recompute the volatile tail shortcut by walking
     /// the persistent chain from `head` (no marked nodes exist in a queue).
+    ///
+    /// The walk reads every link through the policy's *critical* load, which
+    /// flushes the word (and clears link-and-persist dirty bits): a node
+    /// that a crashed enqueue managed to link — whether or not its link CAS
+    /// had been flushed at the kill — is thereby durably **adopted** before
+    /// any post-restart operation builds on it, and the closing fence makes
+    /// the whole chain's reachability persistent at once.
     pub fn recover(&self) {
         if !D::DURABLE {
             return;
         }
         unsafe {
-            let mut last = (*self.anchor).head.load().ptr();
+            let mut last = D::c_load_link(&(*self.anchor).head).ptr();
             loop {
-                let next = (*last).next.load().ptr();
+                let next = D::c_load_link(&(*last).next);
                 if next.is_null() {
                     break;
                 }
-                last = next;
+                last = next.ptr();
             }
             // Volatile store: the shortcut needs no flush.
             (*self.anchor).tail.store(MarkedPtr::new(last));
+        }
+        D::before_return();
+    }
+
+    /// Quiescent: the queued values, oldest first, without dequeuing
+    /// (crash-test oracles audit the surviving contents non-destructively).
+    pub fn iter_snapshot(&self) -> Vec<V> {
+        let mut out = Vec::new();
+        unsafe {
+            let mut cur = (*(*self.anchor).head.load().ptr()).next.load().ptr();
+            while !cur.is_null() {
+                out.push((*cur).value.load());
+                cur = (*cur).next.load().ptr();
+            }
+        }
+        out
+    }
+
+    /// The anchor block (for pool root registration below).
+    fn anchor_ptr(&self) -> *mut Anchor<V, D::B> {
+        self.anchor
+    }
+
+    /// Rebuilds a queue handle around an existing anchor — the attach half
+    /// of the pool lifecycle. The caller must run [`MsQueue::recover`]
+    /// before any operation: the persisted tail shortcut is stale until the
+    /// head walk recomputes it.
+    ///
+    /// # Safety
+    ///
+    /// `anchor` must be the anchor of a queue built with the *same* `V`/`D`
+    /// parameters, reachable and quiescent, and the caller must not drop two
+    /// handles to the same queue (the pooled lifecycle never drops — see
+    /// `nvtraverse::PooledHandle`).
+    unsafe fn attach_at(anchor: *mut Anchor<V, D::B>, collector: Collector) -> Self {
+        MsQueue {
+            anchor,
+            collector,
+            _marker: PhantomData,
         }
     }
 
@@ -286,6 +335,32 @@ where
                 }
             }
         }
+    }
+}
+
+impl<V, D> PoolAttach for MsQueue<V, D>
+where
+    V: Word,
+    D: Durability,
+{
+    fn create_in_pool(pool: &Pool, name: &str) -> io::Result<Self> {
+        pool.install_as_default();
+        let q = Self::with_collector(Collector::new());
+        pool.set_root_ptr_checked(name, q.anchor_ptr())?;
+        Ok(q)
+    }
+
+    unsafe fn attach_to_pool(pool: &Pool, name: &str) -> Option<Self> {
+        let anchor = pool.attach_root_ptr::<Anchor<V, D::B>>(name)?;
+        Some(unsafe { Self::attach_at(anchor, Collector::new()) })
+    }
+
+    fn recover_attached(&self) {
+        self.recover();
+    }
+
+    fn collector_of(&self) -> &Collector {
+        &self.collector
     }
 }
 

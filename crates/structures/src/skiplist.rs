@@ -30,10 +30,12 @@ use nvtraverse::alloc::{alloc_node, free};
 use nvtraverse::marked::MarkedPtr;
 use nvtraverse::ops::{run_operation, Critical, PersistSet, TraversalOps};
 use nvtraverse::policy::Durability;
-use nvtraverse::set::{DurableSet, SetOp};
+use nvtraverse::set::{DurableSet, PoolAttach, SetOp};
 use nvtraverse_ebr::{Collector, Guard};
 use nvtraverse_pmem::{Backend, PCell, Word};
+use nvtraverse_pool::Pool;
 use std::fmt;
+use std::io;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -151,6 +153,33 @@ where
     /// The collector nodes are retired into.
     pub fn collector(&self) -> &Collector {
         &self.collector
+    }
+
+    /// The head tower (for pool root registration below).
+    fn head_ptr(&self) -> NodePtr<K, V, D::B> {
+        self.head
+    }
+
+    /// Rebuilds a skiplist handle around an existing head tower — the attach
+    /// half of the pool lifecycle. The caller must run recovery before any
+    /// operation: the persisted tower words are stale (they are volatile
+    /// shortcuts that happen to live in pool memory) until
+    /// [`SkipList::recover_skiplist`] rebuilds them from the bottom list.
+    ///
+    /// # Safety
+    ///
+    /// `head` must be the head tower of a skiplist built with the *same*
+    /// `K`/`V`/`D` parameters, reachable and quiescent, and the caller must
+    /// not drop two handles to the same structure (the pooled lifecycle
+    /// never drops — see `nvtraverse::PooledHandle`).
+    pub(crate) unsafe fn attach_at(head: NodePtr<K, V, D::B>, collector: Collector) -> Self {
+        SkipList {
+            head,
+            collector,
+            // recover_skiplist reseeds this past the live node count.
+            height_seq: AtomicU64::new(1),
+            _marker: PhantomData,
+        }
     }
 
     /// Geometric(1/2) tower height in `1..=MAX_HEIGHT`, deterministic in the
@@ -286,6 +315,12 @@ where
         }
     }
 
+    /// Quiescent: the live `(key, value)` pairs in key order (the unmarked
+    /// bottom list — the persistent core the towers merely accelerate).
+    pub fn iter_snapshot(&self) -> Vec<(K, V)> {
+        self.bottom_snapshot(false)
+    }
+
     /// Quiescent bottom-list walk.
     fn bottom_snapshot(&self, include_marked: bool) -> Vec<(K, V)> {
         let mut out = Vec::new();
@@ -406,8 +441,10 @@ where
             }
             // Pass 2: rebuild towers (volatile): store-only, left to right.
             let mut prevs: [NodePtr<K, V, D::B>; MAX_HEIGHT] = [self.head; MAX_HEIGHT];
+            let mut count: u64 = 0;
             let mut cur = (*self.head).next[0].load().ptr();
             while !cur.is_null() {
+                count += 1;
                 let h = (*cur).height.load() as usize;
                 for level in 1..h {
                     (*prevs[level]).next[level].store(MarkedPtr::new(cur));
@@ -418,6 +455,11 @@ where
             for (level, prev) in prevs.iter().enumerate().skip(1) {
                 (**prev).next[level].store(MarkedPtr::null());
             }
+            // Reseed the deterministic height source past the surviving
+            // population, so a reattached list keeps drawing fresh heights
+            // (correctness never depends on this; tower balance across
+            // reopen cycles does).
+            self.height_seq.store(count + 1, Ordering::Relaxed);
         }
         D::before_return();
     }
@@ -716,6 +758,33 @@ where
 
     fn recover(&self) {
         self.recover_skiplist();
+    }
+}
+
+impl<K, V, D> PoolAttach for SkipList<K, V, D>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    fn create_in_pool(pool: &Pool, name: &str) -> io::Result<Self> {
+        pool.install_as_default();
+        let list = Self::with_collector(Collector::new());
+        pool.set_root_ptr_checked(name, list.head_ptr())?;
+        Ok(list)
+    }
+
+    unsafe fn attach_to_pool(pool: &Pool, name: &str) -> Option<Self> {
+        let head = pool.attach_root_ptr::<SkipNode<K, V, D::B>>(name)?;
+        Some(unsafe { Self::attach_at(head, Collector::new()) })
+    }
+
+    fn recover_attached(&self) {
+        self.recover_skiplist();
+    }
+
+    fn collector_of(&self) -> &Collector {
+        &self.collector
     }
 }
 

@@ -6,9 +6,12 @@ use nvtraverse::alloc::{alloc_node, free};
 use nvtraverse::marked::MarkedPtr;
 use nvtraverse::ops::{run_operation, Critical, PersistSet, TraversalOps};
 use nvtraverse::policy::Durability;
+use nvtraverse::set::PoolAttach;
 use nvtraverse_ebr::{Collector, Guard};
 use nvtraverse_pmem::{Backend, PCell, Word};
+use nvtraverse_pool::Pool;
 use std::fmt;
+use std::io;
 use std::marker::PhantomData;
 
 /// A stack node; `value` and `next` are immutable after initialization
@@ -110,9 +113,73 @@ where
         unsafe { (*self.top).load().is_null() }
     }
 
-    /// Post-crash recovery: the stack's core is just the top pointer and the
-    /// (immutable) chain below it — nothing to reconstruct.
-    pub fn recover(&self) {}
+    /// Post-crash recovery — deliberately (almost) a no-op, and *correctly*
+    /// so. The stack's durable core is exactly the `top` word plus the chain
+    /// below it, and both are already consistent at every instant:
+    ///
+    /// * node `value`/`next` fields are immutable and persisted (flushed +
+    ///   fenced by `persist_new_node`) **before** the publishing CAS, so the
+    ///   durable `top` can only ever point at a fully persisted chain;
+    /// * every successful push/pop CAS on `top` is flushed by Protocol 2
+    ///   before the operation returns, so an acked operation is durable;
+    /// * popped nodes are disconnected and never relinked — a stack has no
+    ///   logically-deleted (marked) state, hence no `disconnect(root)` pass
+    ///   (Supplement 1 degenerates to nothing);
+    /// * there is no volatile auxiliary structure to rebuild (contrast the
+    ///   skiplist's towers or the queue's tail shortcut).
+    ///
+    /// The one deferred obligation is the link-and-persist policy's dirty
+    /// bit: a crash can leave the durable `top` word dirty-tagged. The
+    /// critical re-read below clears and flushes it eagerly, instead of
+    /// lazily on the first post-restart operation — so recovery still
+    /// upholds the §2 contract that after it returns, no pre-crash write is
+    /// left in a half-published state.
+    pub fn recover(&self) {
+        if !D::DURABLE {
+            return;
+        }
+        let _ = D::c_load_link(unsafe { &*self.top });
+        D::before_return();
+    }
+
+    /// Quiescent: the stacked values, top first, without popping
+    /// (crash-test oracles audit the surviving contents non-destructively).
+    pub fn iter_snapshot(&self) -> Vec<V> {
+        let mut out = Vec::new();
+        unsafe {
+            let mut cur = (*self.top).load().ptr();
+            while !cur.is_null() {
+                out.push((*cur).value.load());
+                cur = (*cur).next.load().ptr();
+            }
+        }
+        out
+    }
+
+    /// The top-of-stack cell (for pool root registration below).
+    fn top_ptr(&self) -> *mut PCell<MarkedPtr<StackNode<V, D::B>>, D::B> {
+        self.top
+    }
+
+    /// Rebuilds a stack handle around an existing top cell — the attach half
+    /// of the pool lifecycle.
+    ///
+    /// # Safety
+    ///
+    /// `top` must be the top cell of a stack built with the *same* `V`/`D`
+    /// parameters, reachable and quiescent, and the caller must not drop two
+    /// handles to the same stack (the pooled lifecycle never drops — see
+    /// `nvtraverse::PooledHandle`).
+    unsafe fn attach_at(
+        top: *mut PCell<MarkedPtr<StackNode<V, D::B>>, D::B>,
+        collector: Collector,
+    ) -> Self {
+        TreiberStack {
+            top,
+            collector,
+            _marker: PhantomData,
+        }
+    }
 }
 
 impl<V, D> TraversalOps for TreiberStack<V, D>
@@ -176,6 +243,32 @@ where
                 }
             }
         }
+    }
+}
+
+impl<V, D> PoolAttach for TreiberStack<V, D>
+where
+    V: Word,
+    D: Durability,
+{
+    fn create_in_pool(pool: &Pool, name: &str) -> io::Result<Self> {
+        pool.install_as_default();
+        let s = Self::with_collector(Collector::new());
+        pool.set_root_ptr_checked(name, s.top_ptr())?;
+        Ok(s)
+    }
+
+    unsafe fn attach_to_pool(pool: &Pool, name: &str) -> Option<Self> {
+        let top = pool.attach_root_ptr::<PCell<MarkedPtr<StackNode<V, D::B>>, D::B>>(name)?;
+        Some(unsafe { Self::attach_at(top, Collector::new()) })
+    }
+
+    fn recover_attached(&self) {
+        self.recover();
+    }
+
+    fn collector_of(&self) -> &Collector {
+        &self.collector
     }
 }
 

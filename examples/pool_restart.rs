@@ -1,31 +1,42 @@
-//! Data surviving a full process exit, via the persistent pool.
+//! Data surviving a full process exit, via the persistent pool — for three
+//! differently-shaped structures sharing one pool file.
 //!
 //! Run it twice (same default pool path):
 //!
 //! ```text
 //! $ cargo run --example pool_restart
-//! created pool …: inserted keys 0..32
+//! created pool …: list 0..32, queue 0..16, skiplist 0..64
 //! $ cargo run --example pool_restart
-//! reopened pool …: recovered 32 keys, all values verified
+//! reopened pool …: all three structures recovered and verified
 //! ```
 //!
-//! The first run creates a pool file, builds a durably linearizable Harris
-//! list inside it (every node lives in the mapped file), registers it under
-//! a root name, and exits without any serialization step. The second run
-//! reopens the file, looks the list up by name, runs the paper's recovery
-//! pass, and reads the data back — `Pool::open` → root lookup → `recover()`.
+//! The first run creates a pool file and builds three durably linearizable
+//! structures inside it — a Harris list, an MS queue, and a skiplist — each
+//! registered under its own root name, then exits without any serialization
+//! step. The second run reopens the file, looks each structure up by name,
+//! runs the paper's recovery pass (`Pool::open` → root lookup →
+//! `recover()`), and reads everything back: the list checks inserts *and*
+//! removes, the queue checks FIFO contents and that the rebuilt tail
+//! shortcut appends at the real end, the skiplist checks lookups through
+//! its freshly rebuilt towers.
 //!
 //! Pass a path argument to choose the pool file; pass `--reset` to delete it
 //! first.
 
 use nvtraverse_suite::core::policy::NvTraverse;
-use nvtraverse_suite::core::{DurableSet, PooledSet};
+use nvtraverse_suite::core::{DurableSet, PoolAttach, PooledHandle};
 use nvtraverse_suite::pmem::MmapBackend;
 use nvtraverse_suite::structures::list::HarrisList;
+use nvtraverse_suite::structures::queue::MsQueue;
+use nvtraverse_suite::structures::skiplist::SkipList;
 
 type PooledList = HarrisList<u64, u64, NvTraverse<MmapBackend>>;
+type PooledQueue = MsQueue<u64, NvTraverse<MmapBackend>>;
+type PooledSkip = SkipList<u64, u64, NvTraverse<MmapBackend>>;
 
-const KEYS: u64 = 32;
+const LIST_KEYS: u64 = 32;
+const QUEUE_VALS: u64 = 16;
+const SKIP_KEYS: u64 = 64;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,42 +53,95 @@ fn main() {
     }
 
     if !std::path::Path::new(&path).exists() {
-        // ---- first run: create, insert, exit --------------------------
-        let list = PooledSet::<PooledList>::create(&path, 8 << 20, "demo").unwrap();
-        for k in 0..KEYS {
+        // ---- first run: create three structures, mutate, exit ----------
+        let list = PooledHandle::<PooledList>::create(&path, 8 << 20, "demo-list").unwrap();
+        for k in 0..LIST_KEYS {
             assert!(list.insert(k, k * k));
         }
         // Odd keys are removed again, so the second run can also check
         // that removals are as durable as inserts.
-        for k in (1..KEYS).step_by(2) {
+        for k in (1..LIST_KEYS).step_by(2) {
             assert!(list.remove(k));
         }
+
+        // Further structures in the same pool: create via the pool handle
+        // under their own root names, then *adopt* them so their
+        // destructors never run (their nodes live in the file — a bare
+        // handle dropped on scope exit or panic-unwind would free them).
+        let queue = PooledHandle::adopt(
+            list.pool(),
+            PooledQueue::create_in_pool(list.pool(), "demo-queue").unwrap(),
+        );
+        for v in 0..QUEUE_VALS {
+            queue.enqueue(v);
+        }
+        assert_eq!(queue.dequeue(), Some(0)); // 1..16 remain
+
+        let skip = PooledHandle::adopt(
+            list.pool(),
+            PooledSkip::create_in_pool(list.pool(), "demo-skip").unwrap(),
+        );
+        for k in 0..SKIP_KEYS {
+            assert!(skip.insert(k, k + 1000));
+        }
+
+        queue.close().unwrap();
+        skip.close().unwrap();
         list.close().unwrap();
         println!(
-            "created pool {path}: inserted keys 0..{KEYS}, removed the odd ones — \
+            "created pool {path}: list keys 0..{LIST_KEYS} (odd ones removed again), \
+             queue values 1..{QUEUE_VALS}, skiplist keys 0..{SKIP_KEYS} — \
              run me again to watch them come back from the file"
         );
     } else {
-        // ---- second run: reopen, recover, verify ----------------------
-        let list = PooledSet::<PooledList>::open(&path, "demo").unwrap();
+        // ---- second run: reopen, recover each root, verify -------------
+        let list = PooledHandle::<PooledList>::open(&path, "demo-list").unwrap();
         let report = list.pool().recovery_report();
         let mut recovered = 0;
-        for k in 0..KEYS {
+        for k in 0..LIST_KEYS {
             match list.get(k) {
                 Some(v) if k % 2 == 0 => {
-                    assert_eq!(v, k * k, "key {k} came back with the wrong value");
+                    assert_eq!(v, k * k, "list key {k} came back with the wrong value");
                     recovered += 1;
                 }
                 None if k % 2 == 1 => {} // durably removed
-                other => panic!("key {k}: unexpected state {other:?}"),
+                other => panic!("list key {k}: unexpected state {other:?}"),
             }
         }
+
+        // SAFETY: the roots were registered by the same concrete types.
+        let queue = unsafe { PooledQueue::attach_to_pool(list.pool(), "demo-queue") }.unwrap();
+        queue.recover_attached(); // rebuilds the volatile tail shortcut
+        let queue = PooledHandle::adopt(list.pool(), queue);
+        assert_eq!(queue.iter_snapshot(), (1..QUEUE_VALS).collect::<Vec<_>>());
+        queue.enqueue(99); // the rebuilt tail must append at the real end
+        assert_eq!(*queue.iter_snapshot().last().unwrap(), 99);
+        // Restore the canonical contents so the example can be re-run any
+        // number of times (drain everything, re-enqueue 1..QUEUE_VALS).
+        let drained = queue.drain_to_vec();
+        assert_eq!(drained.last(), Some(&99), "FIFO order lost");
+        for v in 1..QUEUE_VALS {
+            queue.enqueue(v);
+        }
+
+        let skip = unsafe { PooledSkip::attach_to_pool(list.pool(), "demo-skip") }.unwrap();
+        skip.recover_attached(); // rebuilds every tower from the bottom list
+        let skip = PooledHandle::adopt(list.pool(), skip);
+        for k in 0..SKIP_KEYS {
+            assert_eq!(skip.get(k), Some(k + 1000), "skiplist key {k} lost");
+        }
+
         println!(
-            "reopened pool {path}: recovered {recovered} keys ({} live blocks, \
-             clean_shutdown={}), all values verified",
-            report.live_blocks, report.clean_shutdown
+            "reopened pool {path}: {recovered} list keys, {} queued values, \
+             {} skiplist keys ({} live blocks, clean_shutdown={}) — all verified",
+            queue.len(),
+            skip.len(),
+            report.live_blocks,
+            report.clean_shutdown
         );
         println!("delete it (or pass --reset) to start over");
+        queue.close().unwrap();
+        skip.close().unwrap();
         list.close().unwrap();
     }
 }

@@ -8,15 +8,27 @@
 //! process-global state — so every test here serializes on one mutex.
 
 use nvtraverse::policy::NvTraverse;
-use nvtraverse::{DurableSet, PooledSet};
+use nvtraverse::{DurableSet, PooledHandle, PooledSet};
 use nvtraverse_pmem::MmapBackend;
+use nvtraverse_structures::ellen_bst::EllenBst;
 use nvtraverse_structures::hash::HashMapDs;
 use nvtraverse_structures::list::HarrisList;
+use nvtraverse_structures::nm_bst::NmBst;
+use nvtraverse_structures::pqueue::PriorityQueue;
+use nvtraverse_structures::queue::MsQueue;
+use nvtraverse_structures::skiplist::SkipList;
+use nvtraverse_structures::stack::TreiberStack;
 use std::path::PathBuf;
 use std::sync::Mutex;
 
 type PooledList = HarrisList<u64, u64, NvTraverse<MmapBackend>>;
 type PooledMap = HashMapDs<u64, u64, NvTraverse<MmapBackend>>;
+type PooledSkip = SkipList<u64, u64, NvTraverse<MmapBackend>>;
+type PooledEllen = EllenBst<u64, u64, NvTraverse<MmapBackend>>;
+type PooledNm = NmBst<u64, u64, NvTraverse<MmapBackend>>;
+type PooledQueue = MsQueue<u64, NvTraverse<MmapBackend>>;
+type PooledStack = TreiberStack<u64, NvTraverse<MmapBackend>>;
+type PooledPq = PriorityQueue<u64, u64, NvTraverse<MmapBackend>>;
 
 static SERIAL: Mutex<()> = Mutex::new(());
 
@@ -101,6 +113,180 @@ fn hash_survives_close_and_reopen() {
 }
 
 #[test]
+fn skiplist_survives_close_and_reopen_with_tower_rebuild() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let path = tmp("skiplist");
+
+    {
+        let s = PooledSet::<PooledSkip>::create(&path, 8 << 20, "skip").unwrap();
+        for k in 0..600u64 {
+            assert!(s.insert(k, k * 3));
+        }
+        for k in (0..600u64).step_by(3) {
+            assert!(s.remove(k));
+        }
+        s.close().unwrap();
+    }
+
+    let s = PooledSet::<PooledSkip>::open(&path, "skip").unwrap();
+    // check_consistency(false) audits the towers rebuilt by recovery: every
+    // tower link must reference a live bottom node, sorted per level.
+    assert_eq!(s.check_consistency(false).unwrap(), 400);
+    for k in 0..600u64 {
+        if k % 3 == 0 {
+            assert_eq!(s.get(k), None, "removed key {k} resurrected");
+        } else {
+            assert_eq!(s.get(k), Some(k * 3), "lost key {k}");
+        }
+    }
+    // Fully usable, including fresh tower draws past the reseeded sequence.
+    for k in 1000..1100u64 {
+        assert!(s.insert(k, k));
+    }
+    s.check_consistency(false).unwrap();
+    s.close().unwrap();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn ellen_bst_survives_close_and_reopen() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let path = tmp("ellen");
+
+    {
+        let t = PooledSet::<PooledEllen>::create(&path, 8 << 20, "tree").unwrap();
+        for k in 0..400u64 {
+            assert!(t.insert(k, k ^ 0xE11E));
+        }
+        for k in (0..400u64).step_by(5) {
+            assert!(t.remove(k));
+        }
+        t.close().unwrap();
+    }
+
+    let t = PooledSet::<PooledEllen>::open(&path, "tree").unwrap();
+    assert_eq!(t.check_consistency(true).unwrap(), 320);
+    for k in 0..400u64 {
+        if k % 5 == 0 {
+            assert_eq!(t.get(k), None);
+        } else {
+            assert_eq!(t.get(k), Some(k ^ 0xE11E));
+        }
+    }
+    assert!(t.insert(1000, 1));
+    assert!(t.remove(1000));
+    t.close().unwrap();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn nm_bst_survives_close_and_reopen() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let path = tmp("nm");
+
+    {
+        let t = PooledSet::<PooledNm>::create(&path, 8 << 20, "tree").unwrap();
+        for k in 0..400u64 {
+            assert!(t.insert(k, k.rotate_left(17)));
+        }
+        for k in (0..400u64).step_by(7) {
+            assert!(t.remove(k));
+        }
+        t.close().unwrap();
+    }
+
+    let t = PooledSet::<PooledNm>::open(&path, "tree").unwrap();
+    assert_eq!(t.check_consistency(true).unwrap(), 400 - 400_usize.div_ceil(7));
+    for k in 0..400u64 {
+        if k % 7 == 0 {
+            assert_eq!(t.get(k), None);
+        } else {
+            assert_eq!(t.get(k), Some(k.rotate_left(17)));
+        }
+    }
+    assert!(t.insert(1000, 1));
+    t.close().unwrap();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn queue_survives_close_and_reopen_with_tail_rebuild() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let path = tmp("queue");
+
+    {
+        let q = PooledHandle::<PooledQueue>::create(&path, 4 << 20, "fifo").unwrap();
+        for v in 0..100u64 {
+            q.enqueue(v);
+        }
+        for v in 0..25u64 {
+            assert_eq!(q.dequeue(), Some(v));
+        }
+        q.close().unwrap();
+    }
+
+    let q = PooledHandle::<PooledQueue>::open(&path, "fifo").unwrap();
+    assert_eq!(q.iter_snapshot(), (25..100u64).collect::<Vec<_>>());
+    // The recovered tail shortcut must land new values at the real end.
+    q.enqueue(100);
+    assert_eq!(q.dequeue(), Some(25));
+    assert_eq!(q.len(), 75);
+    assert_eq!(*q.iter_snapshot().last().unwrap(), 100);
+    q.close().unwrap();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn stack_survives_close_and_reopen() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let path = tmp("stack");
+
+    {
+        let s = PooledHandle::<PooledStack>::create(&path, 4 << 20, "lifo").unwrap();
+        for v in 0..60u64 {
+            s.push(v);
+        }
+        for v in (45..60u64).rev() {
+            assert_eq!(s.pop(), Some(v));
+        }
+        s.close().unwrap();
+    }
+
+    let s = PooledHandle::<PooledStack>::open(&path, "lifo").unwrap();
+    assert_eq!(s.iter_snapshot(), (0..45u64).rev().collect::<Vec<_>>());
+    s.push(99);
+    assert_eq!(s.pop(), Some(99));
+    assert_eq!(s.pop(), Some(44));
+    assert_eq!(s.len(), 44);
+    s.close().unwrap();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn priority_queue_survives_close_and_reopen() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let path = tmp("pq");
+
+    {
+        let pq = PooledHandle::<PooledPq>::create(&path, 4 << 20, "heap").unwrap();
+        for p in [9u64, 2, 7, 4, 11, 1] {
+            assert!(pq.push(p, p * 100));
+        }
+        assert_eq!(pq.pop_min(), Some((1, 100)));
+        pq.close().unwrap();
+    }
+
+    let pq = PooledHandle::<PooledPq>::open(&path, "heap").unwrap();
+    assert_eq!(pq.check_consistency(false).unwrap(), 5);
+    assert_eq!(pq.pop_min(), Some((2, 200)));
+    assert_eq!(pq.peek_min(), Some((4, 400)));
+    assert!(pq.push(3, 300), "usable after reopen");
+    assert_eq!(pq.pop_min(), Some((3, 300)));
+    pq.close().unwrap();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
 fn missing_root_and_wrong_name_fail_cleanly() {
     let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let path = tmp("wrongname");
@@ -166,24 +352,25 @@ fn two_structures_share_one_pool() {
     let path = tmp("two");
     {
         let a = PooledSet::<PooledList>::create(&path, 4 << 20, "a").unwrap();
-        // Second structure in the same pool: create via the pool handle.
+        // Second structure in the same pool: create via the pool handle and
+        // adopt it (its nodes live in the pool file and must NOT be freed
+        // by a destructor — adopt guarantees that, even on panic).
         use nvtraverse::PoolAttach;
-        let b = PooledList::create_in_pool(a.pool(), "b").unwrap();
+        let b = PooledHandle::adopt(a.pool(), PooledList::create_in_pool(a.pool(), "b").unwrap());
         a.insert(1, 100);
         b.insert(2, 200);
+        b.close().unwrap();
         a.close().unwrap();
-        // `b` is deliberately forgotten (its nodes live in the pool file and
-        // must NOT be freed by a destructor).
-        std::mem::forget(b);
     }
     let a = PooledSet::<PooledList>::open(&path, "a").unwrap();
     use nvtraverse::PoolAttach;
     let b = unsafe { PooledList::attach_to_pool(a.pool(), "b") }.unwrap();
     b.recover_attached();
+    let b = PooledHandle::adopt(a.pool(), b);
     assert_eq!(a.get(1), Some(100));
     assert_eq!(a.get(2), None, "structures must be disjoint");
     assert_eq!(b.get(2), Some(200));
-    std::mem::forget(b);
+    drop(b);
     drop(a);
     std::fs::remove_file(&path).unwrap();
 }
