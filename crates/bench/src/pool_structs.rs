@@ -86,35 +86,59 @@ fn measure(
     })
 }
 
-/// Creates `S` in a fresh pool under `mode`, runs `workload`, and tears the
-/// pool down without dropping the structure (its nodes live in the file).
-fn with_pooled<S: PoolAttach>(
+/// Creates `S` in a fresh pool under `mode`, runs `workload`, then closes
+/// and **reopens** the pool — without dropping the structure (its nodes
+/// live in the file) — and returns `(mops, reopen-GC µs)`: the wall time
+/// `Pool::open`'s mark-sweep recovery GC spent proving the surviving
+/// population reachable (adopting the handle registered `S`'s tracer, so
+/// the GC always runs here).
+fn with_pooled<S: PoolAttach + nvtraverse::PoolTrace>(
     tag: &str,
     mode: AllocMode,
     workload: impl FnOnce(&S) -> f64,
-) -> f64 {
+) -> (f64, f64) {
     let path = pool_path(tag);
     let _ = std::fs::remove_file(&path);
     let pool = Pool::create_with_mode(&path, POOL_CAP, mode).unwrap();
     // Adopt immediately: the handle guarantees the structure's destructor
     // never runs (its nodes live in the pool file) and drains retired
     // blocks back to the pool before the mapping goes away.
-    let s = nvtraverse::PooledHandle::adopt(&pool, S::create_in_pool(&pool, "bench").unwrap());
+    let s = nvtraverse::PooledHandle::adopt(
+        &pool,
+        S::create_in_pool(&pool, "bench").unwrap(),
+        "bench",
+    );
     let mops = workload(&s);
-    drop(s);
+    s.close().unwrap();
+    drop(pool);
+    // The reopen path a restart pays: heap walk + root-driven mark-sweep
+    // over everything the workload left live.
+    let pool = Pool::open_with_mode(&path, mode).unwrap();
+    let report = pool.recovery_report();
+    // The tracer is registered (adopt), so only a rebased remap — an
+    // address-space collision outside our control — can skip the GC.
+    assert!(
+        report.gc_ran || pool.is_rebased(),
+        "tracer registered and mapping at preferred base, yet the GC skipped"
+    );
+    let gc_us = if report.gc_ran {
+        report.gc_nanos as f64 / 1e3
+    } else {
+        f64::NAN
+    };
     drop(pool);
     let _ = std::fs::remove_file(&path);
-    mops
+    (mops, gc_us)
 }
 
 /// §5.1 mixed set workload, via the shared harness (same prefill and op
 /// mix as every paper figure).
-fn set_mops<S: PoolAttach + DurableSet<u64, u64>>(
+fn set_mops<S: PoolAttach + nvtraverse::PoolTrace + DurableSet<u64, u64>>(
     tag: &str,
     mode: AllocMode,
     threads: usize,
     secs: f64,
-) -> f64 {
+) -> (f64, f64) {
     with_pooled::<S>(tag, mode, |s| {
         let mut cfg = crate::workload::Cfg::paper_default(threads, KEY_RANGE);
         cfg.secs = secs;
@@ -124,7 +148,7 @@ fn set_mops<S: PoolAttach + DurableSet<u64, u64>>(
 }
 
 /// Enqueue+dequeue pairs on a prefilled queue (2 ops per iteration).
-fn queue_mops(mode: AllocMode, threads: usize, secs: f64) -> f64 {
+fn queue_mops(mode: AllocMode, threads: usize, secs: f64) -> (f64, f64) {
     with_pooled::<MsQueue<u64, D>>("queue", mode, |q| {
         for v in 0..KEY_RANGE / 2 {
             q.enqueue(v);
@@ -144,7 +168,7 @@ fn queue_mops(mode: AllocMode, threads: usize, secs: f64) -> f64 {
 }
 
 /// Push+pop pairs on a prefilled stack (2 ops per iteration).
-fn stack_mops(mode: AllocMode, threads: usize, secs: f64) -> f64 {
+fn stack_mops(mode: AllocMode, threads: usize, secs: f64) -> (f64, f64) {
     with_pooled::<TreiberStack<u64, D>>("stack", mode, |s| {
         for v in 0..KEY_RANGE / 2 {
             s.push(v);
@@ -171,7 +195,7 @@ pub fn run(mode: Mode) {
         Mode::Full => 1.0,
     };
     let threads = [1usize, 2, 4];
-    type Bench = fn(AllocMode, usize, f64) -> f64;
+    type Bench = fn(AllocMode, usize, f64) -> (f64, f64);
     let list: Bench = |m, t, s| set_mops::<HarrisList<u64, u64, D>>("list", m, t, s);
     let hash: Bench = |m, t, s| set_mops::<HashMapDs<u64, u64, D>>("hash", m, t, s);
     let skip: Bench = |m, t, s| set_mops::<SkipList<u64, u64, D>>("skiplist", m, t, s);
@@ -191,17 +215,31 @@ pub fn run(mode: Mode) {
     for (name, f) in benches {
         println!("\n== pool_structs: pool-backed {name} throughput ==");
         println!(
-            "{:>10}{:>14}{:>14}{:>10}  [Mops/s]",
-            "threads", "mutexed", "lockfree", "speedup"
+            "{:>10}{:>14}{:>14}{:>10}{:>14}  [Mops/s; reopen-gc = mark+sweep µs at reopen]",
+            "threads", "mutexed", "lockfree", "speedup", "reopen-gc"
         );
         for &t in &threads {
-            let mutexed = f(AllocMode::Mutexed, t, secs);
-            let lockfree = f(AllocMode::LockFree, t, secs);
+            let (mutexed, gc_mutexed) = f(AllocMode::Mutexed, t, secs);
+            let (lockfree, gc_lockfree) = f(AllocMode::LockFree, t, secs);
             let x = t.to_string();
             crate::json::record("pool_structs", &format!("mutexed-{name}"), &x, "mops", mutexed);
             crate::json::record("pool_structs", &format!("lockfree-{name}"), &x, "mops", lockfree);
+            crate::json::record(
+                "pool_structs",
+                &format!("mutexed-{name}-reopen-gc"),
+                &x,
+                "us",
+                gc_mutexed,
+            );
+            crate::json::record(
+                "pool_structs",
+                &format!("lockfree-{name}-reopen-gc"),
+                &x,
+                "us",
+                gc_lockfree,
+            );
             println!(
-                "{t:>10}{mutexed:>14.3}{lockfree:>14.3}{:>9.1}x",
+                "{t:>10}{mutexed:>14.3}{lockfree:>14.3}{:>9.1}x{gc_lockfree:>12.0}µs",
                 lockfree / mutexed.max(1e-9)
             );
         }

@@ -85,7 +85,10 @@ pub mod set;
 pub use marked::MarkedPtr;
 pub use ops::{run_operation, Critical, PersistSet, TraversalOps};
 pub use policy::{Durability, Izraelevitz, LinkPersist, NvTraverse, Volatile};
-pub use set::{drain_collector, DurableSet, PoolAttach, PooledHandle, PooledSet};
+pub use set::{
+    drain_collector, register_pool_tracer, DurableSet, PoolAttach, PoolTrace, PooledHandle,
+    PooledSet,
+};
 
 /// Convenience re-export of the persistence substrate.
 pub use nvtraverse_pmem as pmem;

@@ -13,7 +13,10 @@
 //! by name after a restart (`Pool::open` → root lookup → `recover()`), and
 //! keep the pool mapped for as long as the structure is in use.
 //! [`PooledSet`] is the set-flavoured alias kept from when only the sets
-//! were pool-instantiable.
+//! were pool-instantiable. [`PoolTrace`] is the reachability half of that
+//! lifecycle: it lets `Pool::open`'s mark-sweep recovery GC walk each
+//! root's persistent node graph so blocks stranded by a crash are swept
+//! back to the pool's free lists before the structure attaches.
 
 use nvtraverse_pool::Pool;
 use std::io;
@@ -147,9 +150,151 @@ pub trait PoolAttach: Sized {
     /// The EBR collector this structure retires nodes into.
     ///
     /// [`PooledHandle`] drains it before letting go of the pool: nodes
-    /// retired but not yet reclaimed hold allocated pool blocks, and without
-    /// a drain every close would leak them in the file permanently.
+    /// retired but not yet reclaimed hold allocated pool blocks, and
+    /// without a drain every close would leak them in the file until the
+    /// next open's recovery GC sweeps them.
     fn collector_of(&self) -> &nvtraverse_ebr::Collector;
+}
+
+/// A [`PoolAttach`] structure whose persistent node graph can be walked
+/// from its root — the mark phase of the pool's root-driven mark-sweep
+/// recovery GC (see `nvtraverse_pool::gc`).
+///
+/// `Pool::open` cannot know which concrete structure type each registered
+/// root belongs to: the root registry stores untyped offsets. This trait
+/// closes the gap — [`PooledHandle`] registers a type-erased shim of
+/// [`PoolTrace::trace`] under the root's name before every open (and
+/// [`register_pool_tracer`] does the same for roots attached by hand), so
+/// open-time recovery can prove which allocated blocks are reachable and
+/// sweep the rest back to the free lists.
+///
+/// # Contract for implementations
+///
+/// `trace` runs during `Pool::open`, **before** `attach_to_pool` and
+/// `recover()`, single-threaded, on a quiescent heap whose block headers
+/// have all been verified. An implementation must
+/// [`mark`](nvtraverse_pool::Marker::mark) every block that the structure's
+/// recovery pass — or any later operation — may reach from `root`:
+///
+/// * **Follow marked / logically-deleted links.** A reachable-but-marked
+///   node is still linked into the structure; `recover()` will trim it and
+///   retire it through the collector, so the sweep must not free it first.
+///   Walk exactly the links `recover()` walks.
+/// * **Do not follow volatile auxiliary state.** Links that recovery
+///   rebuilds without reading (skiplist tower levels, the queue's tail
+///   shortcut) may be stale after a crash; tracing through them would at
+///   best mark garbage and at worst chase dangling pointers. The
+///   [`Marker`](nvtraverse_pool::Marker) validates every pointer against
+///   the block headers, but validation cannot turn a wrong walk into a
+///   right one.
+/// * **Keep operation descriptors recovery dereferences.** The Ellen BST's
+///   helping recovery reads `Info` records out of non-`CLEAN` update words
+///   and then dereferences the nodes they name (including a pending
+///   insert's not-yet-linked subtree); all of those must be marked.
+///
+/// Everything allocated but unmarked after all roots are traced is swept.
+/// An implementation that under-marks therefore frees live data — which is
+/// why the trait is `unsafe` — while one that over-marks (conservatively
+/// keeping, say, a CLEAN descriptor) merely delays reclamation of a
+/// bounded set of blocks to the structure's own retire path.
+///
+/// # Safety
+///
+/// Implementors assert that `trace`, given a root created by
+/// `create_in_pool` of this exact type, marks a superset of the blocks any
+/// post-recovery execution can reach, dereferencing only memory valid
+/// under the structure's invariants.
+///
+/// # Example: leaked blocks are reclaimed at the next open
+///
+/// ```
+/// use nvtraverse::policy::NvTraverse;
+/// use nvtraverse::{DurableSet, PooledHandle};
+/// use nvtraverse::pmem::MmapBackend;
+/// use nvtraverse_structures::list::HarrisList;
+///
+/// type List = HarrisList<u64, u64, NvTraverse<MmapBackend>>;
+/// let path = std::env::temp_dir().join(format!("doc-trace-{}.pool", std::process::id()));
+/// # let _ = std::fs::remove_file(&path);
+///
+/// let list = PooledHandle::<List>::create(&path, 4 << 20, "gc-demo")?;
+/// for k in 0..64u64 { list.insert(k, k); }
+/// for k in 0..64u64 { list.remove(k); }
+/// // Strand a block on purpose: allocated, reachable from no root — the
+/// // durable state a crash mid-operation (or mid-EBR) leaves behind.
+/// let _orphan = list.pool().alloc(64, 8).unwrap();
+/// list.close()?;
+///
+/// // PooledHandle::open registers List's tracer for "gc-demo", so the
+/// // open-time mark-sweep runs and reclaims exactly the orphan (the clean
+/// // close already drained every retired node).
+/// let list = PooledHandle::<List>::open(&path, "gc-demo")?;
+/// let report = list.pool().recovery_report();
+/// assert!(report.gc_ran);
+/// assert_eq!(report.reclaimed_blocks, 1);
+/// assert!(report.reclaimed_bytes >= 64);
+/// # list.close()?; std::fs::remove_file(&path)?;
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub unsafe trait PoolTrace: PoolAttach {
+    /// Marks every block reachable from `root` (a payload pointer to this
+    /// structure's registered root block) in `marker`.
+    ///
+    /// # Safety
+    ///
+    /// `root` must be the root of a structure created by
+    /// `Self::create_in_pool`, in a pool mapped at its preferred base,
+    /// quiescent, with verified block headers — the exact state
+    /// `Pool::open` recovery provides.
+    unsafe fn trace(root: *mut u8, marker: &mut nvtraverse_pool::Marker<'_>);
+}
+
+/// Registers `S`'s [`PoolTrace::trace`] as the recovery-GC tracer for the
+/// root named `name` of the pool file at `pool_path` (newest registration
+/// wins; the registry is scoped per pool path, so unrelated pools reusing
+/// a root name are unaffected).
+///
+/// [`PooledHandle`] calls this automatically; call it by hand before
+/// `Pool::open` for roots you attach directly with
+/// [`PoolAttach::attach_to_pool`] — the open-time GC only runs when
+/// *every* root name in the pool has a tracer.
+///
+/// Returns the tracer this registration displaced, if any — callers whose
+/// subsequent attach fails should restore it (as [`PooledHandle::open`]
+/// does) rather than leave their own assertion behind.
+///
+/// # Safety
+///
+/// The caller asserts that the root registered under `name` in the pool at
+/// `pool_path` was created by `S::create_in_pool` (same concrete type
+/// parameters) — the same contract [`PoolAttach::attach_to_pool`]
+/// requires. Tracing a root as the wrong type misreads pool memory and can
+/// sweep live blocks.
+pub unsafe fn register_pool_tracer<S: PoolTrace>(
+    pool_path: impl AsRef<Path>,
+    name: &str,
+) -> Option<nvtraverse_pool::TraceFn> {
+    // SAFETY: forwarded to the caller (identical contract).
+    unsafe { nvtraverse_pool::register_tracer(pool_path.as_ref(), name, trace_shim::<S>) }
+}
+
+/// Undoes a [`register_pool_tracer`] whose attach failed: puts back the
+/// displaced tracer, or removes the entry when there was none.
+fn restore_tracer(path: &Path, name: &str, prev: Option<nvtraverse_pool::TraceFn>) {
+    match prev {
+        // SAFETY: re-asserting exactly what the previous registrant
+        // (whose registration we displaced) had already asserted.
+        Some(f) => {
+            unsafe { nvtraverse_pool::register_tracer(path, name, f) };
+        }
+        None => nvtraverse_pool::unregister_tracer(path, name),
+    }
+}
+
+/// The type-erased shim stored in the pool's tracer registry.
+unsafe fn trace_shim<S: PoolTrace>(root: *mut u8, marker: &mut nvtraverse_pool::Marker<'_>) {
+    // SAFETY: forwarded from the registry's per-name type contract.
+    unsafe { S::trace(root, marker) }
 }
 
 /// Drains `collector` fully: retired-but-unreclaimed nodes are freed back
@@ -231,16 +376,35 @@ pub struct PooledHandle<S: PoolAttach> {
 /// [`PooledHandle`] directly.
 pub type PooledSet<S> = PooledHandle<S>;
 
-impl<S: PoolAttach> PooledHandle<S> {
+impl<S: PoolTrace> PooledHandle<S> {
     /// Creates `path` as a new pool of `capacity` bytes holding a fresh
     /// structure registered under `name`.
+    ///
+    /// Also registers `S`'s recovery-GC tracer for `name`
+    /// ([`register_pool_tracer`]), so later opens in this process can
+    /// mark-sweep the pool.
     ///
     /// # Errors
     ///
     /// Fails if the file exists or pool creation/registration fails.
     pub fn create(path: impl AsRef<Path>, capacity: u64, name: &str) -> io::Result<Self> {
+        let path = path.as_ref();
+        // Creation never runs the GC, so the tracer is registered only
+        // after the pool exists — a create that fails against somebody
+        // else's pool file must not leave a tracer asserting a type that
+        // pool's root never had.
         let pool = Pool::create(path, capacity)?;
-        let inner = S::create_in_pool(&pool, name)?;
+        // SAFETY: the root named `name` is created right below by this very
+        // type, which is exactly the tracer registration contract.
+        let prev = unsafe { register_pool_tracer::<S>(path, name) };
+        let inner = match S::create_in_pool(&pool, name) {
+            Ok(inner) => inner,
+            Err(e) => {
+                // The root was never registered: retract the assertion.
+                restore_tracer(path, name, prev);
+                return Err(e);
+            }
+        };
         Ok(PooledHandle {
             inner: ManuallyDrop::new(inner),
             pool,
@@ -251,29 +415,50 @@ impl<S: PoolAttach> PooledHandle<S> {
     /// Reopens the pool at `path`, attaches to the structure registered
     /// under `name`, and runs its recovery.
     ///
+    /// `S`'s recovery-GC tracer is registered for `name` *before* the pool
+    /// opens, so when every other root of the pool also has a tracer (the
+    /// single-root case trivially, multi-root pools via
+    /// [`register_pool_tracer`] or [`PooledHandle::adopt`]), the open runs
+    /// the mark-sweep GC and reclaims every block a previous crash
+    /// stranded — see `RecoveryReport::reclaimed_blocks`.
+    ///
     /// # Errors
     ///
     /// Fails when the pool cannot be opened, was rebased, or holds no root
     /// named `name`.
     pub fn open(path: impl AsRef<Path>, name: &str) -> io::Result<Self> {
-        let pool = Pool::open(path)?;
-        // SAFETY: deferred to the caller's choice of `S` — see PoolAttach.
-        let inner = unsafe { S::attach_to_pool(&pool, name) }.ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::NotFound,
-                if pool.is_rebased() {
-                    format!("pool was rebased; absolute pointers for root {name:?} are invalid")
-                } else {
-                    format!("pool has no root named {name:?}")
-                },
-            )
-        })?;
-        inner.recover_attached();
-        Ok(PooledHandle {
-            inner: ManuallyDrop::new(inner),
-            pool,
-            drained_on_close: false,
-        })
+        let path = path.as_ref();
+        // SAFETY: attach_to_pool below requires the root to be of type `S`;
+        // registering S's tracer for it is the same assertion, made before
+        // Pool::open so the recovery GC can use it. A failed open restores
+        // the previous registration: an open that could not attach must
+        // not leave its own type assertion behind (nor delete one a live
+        // handle legitimately installed).
+        let prev = unsafe { register_pool_tracer::<S>(path, name) };
+        let attempt: io::Result<Self> = (|| {
+            let pool = Pool::open(path)?;
+            // SAFETY: deferred to the caller's choice of `S` — see PoolAttach.
+            let inner = unsafe { S::attach_to_pool(&pool, name) }.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    if pool.is_rebased() {
+                        format!("pool was rebased; absolute pointers for root {name:?} are invalid")
+                    } else {
+                        format!("pool has no root named {name:?}")
+                    },
+                )
+            })?;
+            inner.recover_attached();
+            Ok(PooledHandle {
+                inner: ManuallyDrop::new(inner),
+                pool,
+                drained_on_close: false,
+            })
+        })();
+        if attempt.is_err() {
+            restore_tracer(path, name, prev);
+        }
+        attempt
     }
 
     /// [`PooledHandle::open`] if `path` holds the named structure, otherwise
@@ -297,54 +482,85 @@ impl<S: PoolAttach> PooledHandle<S> {
         if !path.exists() {
             return Self::create(path, capacity, name);
         }
-        let pool = Pool::open_or_create(path, capacity)?;
-        // SAFETY: deferred to the caller's choice of `S` — see PoolAttach.
-        let inner = match unsafe { S::attach_to_pool(&pool, name) } {
-            Some(inner) => {
-                inner.recover_attached();
-                inner
-            }
-            None if !pool.is_rebased() => {
-                // The pool is healthy but the root was never registered:
-                // finish the interrupted creation.
-                S::create_in_pool(&pool, name)?
-            }
-            None => {
-                return Err(io::Error::new(
-                    io::ErrorKind::NotFound,
-                    format!("pool was rebased; absolute pointers for root {name:?} are invalid"),
-                ));
-            }
-        };
-        Ok(PooledHandle {
-            inner: ManuallyDrop::new(inner),
-            pool,
-            drained_on_close: false,
-        })
+        // SAFETY: same contract as in `open` — the root is attached (or
+        // created) as `S` right below; restored on failure.
+        let prev = unsafe { register_pool_tracer::<S>(path, name) };
+        let attempt: io::Result<Self> = (|| {
+            let pool = Pool::open_or_create(path, capacity)?;
+            // SAFETY: deferred to the caller's choice of `S` — see PoolAttach.
+            let inner = match unsafe { S::attach_to_pool(&pool, name) } {
+                Some(inner) => {
+                    inner.recover_attached();
+                    inner
+                }
+                None if !pool.is_rebased() => {
+                    // The pool is healthy but the root was never registered:
+                    // finish the interrupted creation.
+                    S::create_in_pool(&pool, name)?
+                }
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        format!(
+                            "pool was rebased; absolute pointers for root {name:?} are invalid"
+                        ),
+                    ));
+                }
+            };
+            Ok(PooledHandle {
+                inner: ManuallyDrop::new(inner),
+                pool,
+                drained_on_close: false,
+            })
+        })();
+        if attempt.is_err() {
+            restore_tracer(path, name, prev);
+        }
+        attempt
     }
 
     /// Wraps an already-created or already-attached structure into a
     /// handle — for *secondary* roots sharing one open pool, where
     /// [`PooledHandle::create`]/[`PooledHandle::open`] (which own the pool
-    /// mapping) don't fit.
+    /// mapping) don't fit. `name` is the root name the structure was
+    /// created or attached under.
     ///
     /// The structure gains the same guarantees as a primary one: its
     /// destructor will never run — **including on panic unwind**, where a
     /// bare structure's drop would free live pool nodes and destroy the
     /// file's contents — and retired nodes are drained back to the pool
-    /// before the handle lets go.
+    /// before the handle lets go. Adoption also registers `S`'s
+    /// recovery-GC tracer for `name`, so the *next* open of this pool in
+    /// this process knows how to trace the secondary root (the open-time
+    /// mark-sweep needs a tracer for every root).
     ///
     /// When adopting a freshly [attached](PoolAttach::attach_to_pool)
     /// structure, run [`PoolAttach::recover_attached`] first (as
     /// [`PooledHandle::open`] does).
-    pub fn adopt(pool: &Pool, inner: S) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pool` has no root named `name` — the structure being
+    /// adopted cannot have been created or attached under that name, so
+    /// registering its tracer there would poison the next open's GC.
+    pub fn adopt(pool: &Pool, inner: S, name: &str) -> Self {
+        assert!(
+            pool.root(name).is_some(),
+            "adopt: pool has no root named {name:?} — wrong name for the adopted structure"
+        );
+        // SAFETY: the caller created/attached `inner` under `name` as this
+        // type (attach_to_pool's own contract) — the tracer assertion is
+        // the same statement, scoped to this pool's path.
+        unsafe { register_pool_tracer::<S>(pool.path(), name) };
         PooledHandle {
             inner: ManuallyDrop::new(inner),
             pool: pool.clone(),
             drained_on_close: false,
         }
     }
+}
 
+impl<S: PoolAttach> PooledHandle<S> {
     /// The underlying pool (for roots, stats, `sync`, …).
     pub fn pool(&self) -> &Pool {
         &self.pool

@@ -18,9 +18,13 @@
 //!   `engine` module's docs for the full design); [`AllocMode::Mutexed`] keeps the
 //!   original global-mutex allocator as a measurable baseline. Either way
 //!   the persist ordering guarantees that **no crash point corrupts the
-//!   heap**: a crash can at worst leak in-flight blocks, never
-//!   double-allocate or tear metadata. Reopening rebuilds all volatile
-//!   free-list state from a full heap walk.
+//!   heap**: a crash never double-allocates or tears metadata, and blocks
+//!   it strands (in-flight allocations, EBR-retired-but-unreclaimed nodes)
+//!   stay allocated only until the next open — reopening rebuilds all
+//!   volatile free-list state from a full heap walk and then runs a
+//!   **root-driven mark-sweep GC** (the [`gc`] module) that returns every
+//!   allocated block unreachable from the registered roots to the free
+//!   lists, reporting the reclaim in [`RecoveryReport`].
 //! * [`POff`] — typed offset pointers, stable across rebased mappings.
 //! * A **root registry** — up to [`MAX_ROOTS`] named offsets in the pool
 //!   header, so a structure can be found again after reopen
@@ -78,10 +82,12 @@
 #![warn(missing_debug_implementations)]
 
 mod engine;
+pub mod gc;
 mod mmap;
 mod poff;
 
 pub use engine::AllocMode;
+pub use gc::{register_tracer, unregister_tracer, Marker, TraceFn};
 pub use poff::POff;
 
 use engine::Engine;
@@ -92,6 +98,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Pool file magic: `"NVTRPOOL"` as little-endian bytes.
 pub const MAGIC: u64 = u64::from_le_bytes(*b"NVTRPOOL");
@@ -137,18 +144,41 @@ pub(crate) const W0_CLASS_SHIFT: u32 = 48;
 pub(crate) const W0_CLASS_MASK: u64 = 0xFF;
 pub(crate) const W0_ALLOCATED: u64 = 1 << 63;
 
-/// What [`Pool::open`]'s recovery walk found.
+/// What [`Pool::open`]'s recovery (heap walk + mark-sweep GC) found.
+///
+/// The block counts describe the heap **after** the recovery GC: a block
+/// the sweep reclaimed is counted in `free_blocks` (and `reclaimed_blocks`),
+/// not in `live_blocks`, so the report always matches what
+/// [`Pool::verify_heap`] would observe right after the open.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
-    /// Blocks found allocated (live data).
+    /// Blocks allocated after recovery (live data reachable from roots,
+    /// plus — when the GC was [skipped](RecoveryReport::gc_ran) — any
+    /// unprovable blocks left alone).
     pub live_blocks: usize,
-    /// Blocks found free and re-linked into the free-list structures.
+    /// Blocks free after recovery, re-linked into the free-list structures
+    /// (swept blocks included).
     pub free_blocks: usize,
     /// Bytes between the heap start and the persisted frontier.
     pub heap_bytes: u64,
     /// Whether the previous session closed cleanly (diagnostic only —
     /// recovery never depends on it).
     pub clean_shutdown: bool,
+    /// Whether the root-driven mark-sweep GC ran at this open. It runs only
+    /// when the pool mapped at its preferred base and **every** registered
+    /// root has a tracer (see [`gc::register_tracer`]); otherwise
+    /// reachability cannot be proved and nothing is swept.
+    pub gc_ran: bool,
+    /// Allocated blocks the sweep proved unreachable from every root and
+    /// returned to the free lists. `0` after a clean close (the EBR drain
+    /// already returned everything); `> 0` after a crash that stranded
+    /// retired or in-flight blocks.
+    pub reclaimed_blocks: usize,
+    /// Total bytes (block headers included) of the reclaimed blocks.
+    pub reclaimed_bytes: u64,
+    /// Wall time of the GC mark + sweep phases, in nanoseconds (0 when the
+    /// GC did not run).
+    pub gc_nanos: u64,
 }
 
 /// Heap statistics from a full walk ([`Pool::verify_heap`]).
@@ -359,7 +389,10 @@ impl Pool {
 
     /// Opens an existing pool file with the default [`AllocMode::LockFree`]
     /// engine, verifies its header, and rebuilds the allocator's volatile
-    /// free-list state from a full heap walk.
+    /// free-list state from a full heap walk — followed by the root-driven
+    /// mark-sweep recovery GC (see the [`gc`] module) when every registered
+    /// root has a tracer, so blocks a previous crash stranded are returned
+    /// to the free lists before any structure attaches.
     ///
     /// The file is mapped at its recorded preferred base when that range is
     /// still free (embedded absolute pointers stay valid); otherwise it is
@@ -566,8 +599,10 @@ impl Pool {
     /// pool's 16-byte block alignment. The block's header is written and
     /// flushed before the pointer is returned; under the lock-free engine
     /// the ordering fence is deferred to the caller's own pre-publication
-    /// fence (see the crate docs), so a crash can only ever leak in-flight
-    /// blocks, never corrupt the heap or lose a durably published one.
+    /// fence (see the crate docs), so a crash can never corrupt the heap or
+    /// lose a durably published block — an in-flight block stays allocated
+    /// until the next open's recovery GC proves it unreachable and sweeps
+    /// it back to the free lists.
     pub fn alloc(&self, size: usize, align: usize) -> Option<*mut u8> {
         self.inner.alloc(size, align)
     }
@@ -923,7 +958,9 @@ impl Inner {
     }
 
     /// Rebuilds allocator state from persistent block headers (the free
-    /// lists are reconstructed, not trusted).
+    /// lists are reconstructed, not trusted), then runs the root-driven
+    /// mark-sweep recovery GC when every registered root has a tracer: the
+    /// swept blocks join the free lists the engine is rebuilt with.
     fn recover_allocator(&mut self, clean: bool) -> io::Result<RecoveryReport> {
         let frontier = self.mem.load(OFF_FRONTIER);
         if frontier < HEAP_START || frontier > self.mem.len() as u64 {
@@ -934,7 +971,11 @@ impl Inner {
             clean_shutdown: clean,
             ..Default::default()
         };
+        // GC eligibility is decided before the walk, so the allocated-block
+        // inventory is only collected when a sweep can actually consume it.
+        let gc_roots = self.traceable_roots();
         let mut frees: Vec<(u64, usize)> = Vec::new();
+        let mut allocs: Vec<(u64, u64, usize)> = Vec::new();
         let mut off = HEAP_START;
         while off < frontier {
             let w0 = self.mem.load(off);
@@ -944,6 +985,9 @@ impl Inner {
             let (size, class, allocated) = check_block_header(w0, off, frontier)
                 .map_err(|e| bad_pool(format!("corrupt {e} (w0={w0:#x})")))?;
             if allocated {
+                if gc_roots.is_some() {
+                    allocs.push((off, size, class));
+                }
                 report.live_blocks += 1;
             } else {
                 frees.push((off, class));
@@ -951,8 +995,90 @@ impl Inner {
             }
             off += size;
         }
+        if let Some(roots) = gc_roots {
+            self.recovery_gc(frontier, &roots, &allocs, &mut frees, &mut report);
+        }
         self.engine.rebuild(self.mem, frontier, &frees);
         Ok(report)
+    }
+
+    /// The `(offset, tracer)` pairs of every registered root — or `None`
+    /// when the recovery GC must be skipped because reachability is not
+    /// provable: a [rebased](Pool::is_rebased) mapping (tracers follow
+    /// embedded absolute pointers, exactly as `recover()` does), no roots
+    /// at all, a torn slot (offset 0), or any root without a registered
+    /// [`TraceFn`] for this pool's path. One unknown root disables the
+    /// whole collection — its blocks' reachability cannot be established,
+    /// and sweeping them could destroy live data.
+    fn traceable_roots(&self) -> Option<Vec<(u64, gc::TraceFn)>> {
+        if self.rebased {
+            return None;
+        }
+        let key = gc::normalize_path(&self.path);
+        let mut roots: Vec<(u64, gc::TraceFn)> = Vec::new();
+        for slot in 0..MAX_ROOTS {
+            let (name, off) = self.read_root_slot(slot);
+            let Some(name) = name else { continue };
+            if off == 0 {
+                return None; // torn slot: its structure cannot be traced
+            }
+            let name = String::from_utf8_lossy(&name).into_owned();
+            roots.push((off, gc::tracer_for(&key, &name)?));
+        }
+        if roots.is_empty() {
+            None
+        } else {
+            Some(roots)
+        }
+    }
+
+    /// The mark-sweep collection of `Pool::open` recovery, over the
+    /// [`Inner::traceable_roots`]. Appends every allocated-but-unreachable
+    /// block to `frees` (with its header cleared and flushed) and records
+    /// the outcome in `report`. A crash mid-sweep is safe: each garbage
+    /// block is independently either still allocated (reswept at the next
+    /// open) or durably free.
+    fn recovery_gc(
+        &self,
+        frontier: u64,
+        roots: &[(u64, gc::TraceFn)],
+        allocs: &[(u64, u64, usize)],
+        frees: &mut Vec<(u64, usize)>,
+        report: &mut RecoveryReport,
+    ) {
+        let start = Instant::now();
+        // Mark: one bit per 16-byte heap unit, sized from the walked heap.
+        let mut bits = vec![0u64; (((frontier - HEAP_START) / BLOCK_ALIGN) as usize).div_ceil(64)];
+        let mut marker = gc::Marker::new(self.mem, frontier, &mut bits);
+        for &(off, trace) in roots {
+            // SAFETY: register_tracer's contract — the tracer matches the
+            // type that created this root — plus a quiescent, header-
+            // verified heap mapped at its recorded base.
+            unsafe { trace(self.mem.ptr(off), &mut marker) };
+        }
+        // Sweep: every allocated block the mark phase never reached is
+        // garbage by the reachability contract. Clear its allocated bit and
+        // hand it to the engine rebuild; flush the cleared headers in batch
+        // with one closing fence so reclamation is itself durable.
+        let mut swept = 0usize;
+        for &(off, size, class) in allocs {
+            if marker.is_marked(off) {
+                continue;
+            }
+            self.mem.store(off, self.mem.load(off) & !W0_ALLOCATED);
+            MmapBackend::flush(self.mem.ptr(off));
+            frees.push((off, class));
+            swept += 1;
+            report.reclaimed_bytes += size;
+        }
+        if swept > 0 {
+            MmapBackend::fence();
+        }
+        report.gc_ran = true;
+        report.reclaimed_blocks = swept;
+        report.live_blocks -= swept;
+        report.free_blocks += swept;
+        report.gc_nanos = start.elapsed().as_nanos() as u64;
     }
 
     // ---- shims for the pmem foreign-heap registry ------------------------

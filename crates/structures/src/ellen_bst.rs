@@ -770,6 +770,51 @@ where
     }
 }
 
+// SAFETY: the walk covers everything `recover_tree`'s helping can touch.
+// Child links are followed with tags stripped; every internal node's
+// update word is inspected, and a non-`CLEAN` word's `Info` record is
+// marked **along with every node it names** (`gp`/`p`/`l`/`new_internal`
+// as whole subtrees): `help_insert` links `new_internal` — a subtree that
+// is *not yet* reachable through child pointers — and `help_marked`
+// dereferences `p` and its children even when the splice already
+// disconnected them, so all of those must survive the sweep. A `CLEAN`
+// word's record pointer is only ever *compared* (never dereferenced), so
+// retired-but-unreclaimed CLEAN records are provably garbage and are left
+// for the sweep. The bitmap's newly-marked result bounds the worklist:
+// shared nodes enqueue their children once.
+unsafe impl<K, V, D> nvtraverse::PoolTrace for EllenBst<K, V, D>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    unsafe fn trace(root: *mut u8, marker: &mut nvtraverse_pool::Marker<'_>) {
+        let mut work: Vec<NodePtr<K, V, D::B>> = vec![root as NodePtr<K, V, D::B>];
+        while let Some(node) = work.pop() {
+            if node.is_null() || !marker.mark(node as *const u8) {
+                continue;
+            }
+            unsafe {
+                if (*node).leaf.load() {
+                    continue; // leaves carry no links
+                }
+                let u = (*node).update.load();
+                if u.tag() != CLEAN {
+                    let op = u.ptr();
+                    if !op.is_null() && marker.mark(op as *const u8) {
+                        work.push((*op).gp.load());
+                        work.push((*op).p.load());
+                        work.push((*op).l.load());
+                        work.push((*op).new_internal.load());
+                    }
+                }
+                work.push((*node).left.load().ptr());
+                work.push((*node).right.load().ptr());
+            }
+        }
+    }
+}
+
 impl<K, V, D> Default for EllenBst<K, V, D>
 where
     K: Word + Ord,

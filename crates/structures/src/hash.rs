@@ -224,6 +224,36 @@ where
     }
 }
 
+// SAFETY: the root is the persistent bucket table `[n, head_off…]`; marking
+// it and then delegating each bucket head to the Harris list's walk covers
+// every block the table's recovery (per-bucket `disconnect`) can reach.
+// Bucket offsets are validated by `Marker::at` before dereference.
+unsafe impl<K, V, D> nvtraverse::PoolTrace for HashMapDs<K, V, D>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    unsafe fn trace(root: *mut u8, marker: &mut nvtraverse_pool::Marker<'_>) {
+        if !marker.mark(root) {
+            return;
+        }
+        unsafe {
+            let table = root as *const u64;
+            let n = table.read() as usize;
+            if n == 0 || n > 1 << 24 {
+                return; // not a plausible bucket table (attach rejects too)
+            }
+            for i in 0..n {
+                let head_off = table.add(1 + i).read();
+                if let Some(head) = marker.at(head_off) {
+                    <HarrisList<K, V, D> as nvtraverse::PoolTrace>::trace(head, marker);
+                }
+            }
+        }
+    }
+}
+
 impl<K, V, D> fmt::Debug for HashMapDs<K, V, D>
 where
     K: Word + Ord,

@@ -25,6 +25,10 @@
 //! recovered — see `nvtraverse::PooledHandle` for the packaged lifecycle
 //! and the repository's `ARCHITECTURE.md` for the per-structure recovery
 //! table (what each root encodes and what is rebuilt volatile-side).
+//! Each also implements [`PoolTrace`](nvtraverse::PoolTrace) — the
+//! reachability walk `Pool::open`'s mark-sweep recovery GC uses to sweep
+//! crash-stranded blocks; the table's *reachability contract* column
+//! documents exactly which links each walk follows.
 //!
 //! # Example
 //!
@@ -43,6 +47,29 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+/// The singly-linked chain walk shared by every `PoolTrace` implementation
+/// built on a next-pointer chain (list and skiplist bottom level, queue
+/// node chain, stack chain): mark `cur`, then follow `next` until the end
+/// of the chain or an already-marked node (a shared suffix needs walking
+/// only once). Marked/logically-deleted links are followed like any other —
+/// a reachable-but-marked node must survive the sweep so `recover()` can
+/// trim it through the collector.
+///
+/// # Safety
+///
+/// `cur` must be null or a chain node valid under `Pool::open` recovery's
+/// quiescence, and `next` must read the node's link word without side
+/// effects (raw load, no policy flushes).
+pub(crate) unsafe fn trace_chain<N>(
+    marker: &mut nvtraverse_pool::Marker<'_>,
+    mut cur: *mut N,
+    next: impl Fn(*mut N) -> *mut N,
+) {
+    while !cur.is_null() && marker.mark(cur as *const u8) {
+        cur = next(cur);
+    }
+}
 
 pub mod ellen_bst;
 pub mod hash;

@@ -534,6 +534,27 @@ where
     }
 }
 
+// SAFETY: the walk mirrors `recover_list` exactly — from the head sentinel
+// along `next` pointers, straight *through* marked nodes (a reachable
+// marked node is trimmed by recovery, so it must survive the sweep). The
+// only other blocks a list ever reaches are its nodes' own fields.
+unsafe impl<K, V, D, const ORIG_PARENT: bool> nvtraverse::PoolTrace
+    for HarrisList<K, V, D, ORIG_PARENT>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    unsafe fn trace(root: *mut u8, marker: &mut nvtraverse_pool::Marker<'_>) {
+        unsafe {
+            crate::trace_chain(marker, root as NodePtr<K, V, D::B>, |n| {
+                // Raw load; `.ptr()` strips mark/flag/dirty bits.
+                (*n).next.load().ptr()
+            });
+        }
+    }
+}
+
 impl<K, V, D, const P: bool> Default for HarrisList<K, V, D, P>
 where
     K: Word + Ord,

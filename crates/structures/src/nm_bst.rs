@@ -673,6 +673,37 @@ where
     }
 }
 
+// SAFETY: the tree coordinates through flag/tag bits *on the edges* — there
+// are no operation descriptors — so the reachable set is exactly the nodes
+// under the sentinel root via child pointers with tags stripped. A flagged
+// (mid-deletion) leaf and its parent are still linked until cleanup's
+// ancestor swing, so the plain child walk keeps them for `recover_tree` to
+// complete; tagged chains already disconnected under contention are
+// unreachable, provably garbage, and left for the sweep (this is the
+// reference implementation's bounded leak, now reclaimed at open).
+unsafe impl<K, V, D> nvtraverse::PoolTrace for NmBst<K, V, D>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    unsafe fn trace(root: *mut u8, marker: &mut nvtraverse_pool::Marker<'_>) {
+        let mut work: Vec<NodePtr<K, V, D::B>> = vec![root as NodePtr<K, V, D::B>];
+        while let Some(node) = work.pop() {
+            if node.is_null() || !marker.mark(node as *const u8) {
+                continue;
+            }
+            unsafe {
+                if (*node).leaf.load() {
+                    continue;
+                }
+                work.push((*node).left.load().ptr());
+                work.push((*node).right.load().ptr());
+            }
+        }
+    }
+}
+
 impl<K, V, D> Default for NmBst<K, V, D>
 where
     K: Word + Ord,

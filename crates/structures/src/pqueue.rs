@@ -143,6 +143,20 @@ where
     }
 }
 
+// SAFETY: the registered root *is* the inner skiplist's head tower, so the
+// skiplist's bottom-list walk is the priority queue's reachability contract
+// verbatim.
+unsafe impl<K, V, D> nvtraverse::PoolTrace for PriorityQueue<K, V, D>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    unsafe fn trace(root: *mut u8, marker: &mut nvtraverse_pool::Marker<'_>) {
+        unsafe { <SkipList<K, V, D> as nvtraverse::PoolTrace>::trace(root, marker) }
+    }
+}
+
 impl<K, V, D> Default for PriorityQueue<K, V, D>
 where
     K: Word + Ord,

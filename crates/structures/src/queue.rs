@@ -364,6 +364,30 @@ where
     }
 }
 
+// SAFETY: mirrors `recover`'s adoption walk — the anchor block, then the
+// node chain from the durable `head` pointer to the end. The persisted
+// `tail` word is a volatile shortcut recovery recomputes without reading
+// (it can trail arbitrarily far behind, even pointing at long-dequeued
+// nodes), so the trace ignores it; every node recovery or any later
+// operation can reach is on the head chain.
+unsafe impl<V, D> nvtraverse::PoolTrace for MsQueue<V, D>
+where
+    V: Word,
+    D: Durability,
+{
+    unsafe fn trace(root: *mut u8, marker: &mut nvtraverse_pool::Marker<'_>) {
+        if !marker.mark(root) {
+            return;
+        }
+        unsafe {
+            let anchor = root as *mut Anchor<V, D::B>;
+            crate::trace_chain(marker, (*anchor).head.load().ptr(), |n| {
+                (*n).next.load().ptr()
+            });
+        }
+    }
+}
+
 impl<V: Word, D: Durability> Default for MsQueue<V, D> {
     fn default() -> Self {
         Self::new()

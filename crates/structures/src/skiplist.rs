@@ -788,6 +788,27 @@ where
     }
 }
 
+// SAFETY: the persistent core is exactly the bottom list (`next[0]`), so
+// the walk is the Harris-list chain from the head tower through marked
+// nodes. Tower levels (`next[1..]`) are volatile shortcuts that
+// `recover_skiplist` rebuilds with write-only passes — they are never read
+// by recovery and may be stale after a crash, so the trace must not (and
+// does not) follow them; every node they could name is on the bottom list.
+unsafe impl<K, V, D> nvtraverse::PoolTrace for SkipList<K, V, D>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    unsafe fn trace(root: *mut u8, marker: &mut nvtraverse_pool::Marker<'_>) {
+        unsafe {
+            crate::trace_chain(marker, root as NodePtr<K, V, D::B>, |n| {
+                (*n).next[0].load().ptr()
+            });
+        }
+    }
+}
+
 impl<K, V, D> Default for SkipList<K, V, D>
 where
     K: Word + Ord,

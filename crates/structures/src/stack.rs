@@ -272,6 +272,28 @@ where
     }
 }
 
+// SAFETY: the durable state is exactly the top cell plus the immutable
+// chain below it — the same fact that makes `recover` a near-no-op. Popped
+// nodes are disconnected, never relinked, and a stack has no marked state,
+// so the top chain is the complete reachable set.
+unsafe impl<V, D> nvtraverse::PoolTrace for TreiberStack<V, D>
+where
+    V: Word,
+    D: Durability,
+{
+    unsafe fn trace(root: *mut u8, marker: &mut nvtraverse_pool::Marker<'_>) {
+        if !marker.mark(root) {
+            return;
+        }
+        unsafe {
+            let top = root as *mut PCell<MarkedPtr<StackNode<V, D::B>>, D::B>;
+            // `.ptr()` strips the link-and-persist dirty bit a crash can
+            // leave on the top word.
+            crate::trace_chain(marker, (*top).load().ptr(), |n| (*n).next.load().ptr());
+        }
+    }
+}
+
 impl<V: Word, D: Durability> Default for TreiberStack<V, D> {
     fn default() -> Self {
         Self::new()

@@ -71,6 +71,7 @@ fn main() {
         let queue = PooledHandle::adopt(
             list.pool(),
             PooledQueue::create_in_pool(list.pool(), "demo-queue").unwrap(),
+            "demo-queue",
         );
         for v in 0..QUEUE_VALS {
             queue.enqueue(v);
@@ -80,6 +81,7 @@ fn main() {
         let skip = PooledHandle::adopt(
             list.pool(),
             PooledSkip::create_in_pool(list.pool(), "demo-skip").unwrap(),
+            "demo-skip",
         );
         for k in 0..SKIP_KEYS {
             assert!(skip.insert(k, k + 1000));
@@ -95,8 +97,20 @@ fn main() {
         );
     } else {
         // ---- second run: reopen, recover each root, verify -------------
+        // Pre-register the secondary roots' GC tracers: the open-time
+        // mark-sweep runs only when *every* root in the pool has one (the
+        // list's own tracer is registered by PooledHandle::open itself).
+        // SAFETY: these roots were created by these exact types above.
+        unsafe {
+            nvtraverse_suite::core::register_pool_tracer::<PooledQueue>(&path, "demo-queue");
+            nvtraverse_suite::core::register_pool_tracer::<PooledSkip>(&path, "demo-skip");
+        }
         let list = PooledHandle::<PooledList>::open(&path, "demo-list").unwrap();
         let report = list.pool().recovery_report();
+        assert!(
+            report.gc_ran,
+            "all three roots have tracers, so the recovery GC must run"
+        );
         let mut recovered = 0;
         for k in 0..LIST_KEYS {
             match list.get(k) {
@@ -112,7 +126,7 @@ fn main() {
         // SAFETY: the roots were registered by the same concrete types.
         let queue = unsafe { PooledQueue::attach_to_pool(list.pool(), "demo-queue") }.unwrap();
         queue.recover_attached(); // rebuilds the volatile tail shortcut
-        let queue = PooledHandle::adopt(list.pool(), queue);
+        let queue = PooledHandle::adopt(list.pool(), queue, "demo-queue");
         assert_eq!(queue.iter_snapshot(), (1..QUEUE_VALS).collect::<Vec<_>>());
         queue.enqueue(99); // the rebuilt tail must append at the real end
         assert_eq!(*queue.iter_snapshot().last().unwrap(), 99);
@@ -126,18 +140,22 @@ fn main() {
 
         let skip = unsafe { PooledSkip::attach_to_pool(list.pool(), "demo-skip") }.unwrap();
         skip.recover_attached(); // rebuilds every tower from the bottom list
-        let skip = PooledHandle::adopt(list.pool(), skip);
+        let skip = PooledHandle::adopt(list.pool(), skip, "demo-skip");
         for k in 0..SKIP_KEYS {
             assert_eq!(skip.get(k), Some(k + 1000), "skiplist key {k} lost");
         }
 
         println!(
             "reopened pool {path}: {recovered} list keys, {} queued values, \
-             {} skiplist keys ({} live blocks, clean_shutdown={}) — all verified",
+             {} skiplist keys ({} live blocks, clean_shutdown={}, \
+             gc reclaimed {} blocks / {} bytes in {} µs) — all verified",
             queue.len(),
             skip.len(),
             report.live_blocks,
-            report.clean_shutdown
+            report.clean_shutdown,
+            report.reclaimed_blocks,
+            report.reclaimed_bytes,
+            report.gc_nanos / 1_000,
         );
         println!("delete it (or pass --reset) to start over");
         queue.close().unwrap();

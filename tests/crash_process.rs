@@ -96,7 +96,48 @@ fn child_entry() {
         "nm" => set_child::<PooledNm>(),
         "queue" => queue_child(),
         "stack" => stack_child(),
+        "churn" => churn_child(),
         other => panic!("unknown NVT_CRASH_CHILD kind {other:?}"),
+    }
+}
+
+/// Churn-heavy list workload for the leak-regression oracle: insert `k`,
+/// and as soon as the window is full remove `k - CHURN_WINDOW`, so all but
+/// the last few keys are dead. Almost every node the child allocates is
+/// retired to EBR — exactly the population a SIGKILL strands as
+/// allocated-but-unreachable, which the reopen GC must reclaim. Victims
+/// are unique and never reinserted (same intent/ack oracle as the sets).
+const CHURN_WINDOW: u64 = 8;
+
+fn churn_child() {
+    let pool_path = std::env::var("NVT_POOL").unwrap();
+    let log_path = std::env::var("NVT_LOG").unwrap();
+    let start_key: u64 = std::env::var("NVT_START_KEY").unwrap().parse().unwrap();
+
+    let set = PooledHandle::<PooledList>::open(&pool_path, ROOT).unwrap();
+    let mut log = open_log(&log_path);
+    let mut record = |tag: &str, k: u64| {
+        writeln!(log, "{tag} {k}").unwrap();
+        log.sync_data().unwrap();
+    };
+
+    let mut k = start_key;
+    loop {
+        record("i", k);
+        if set.insert(k, k.wrapping_mul(7)) {
+            record("I", k);
+        }
+        if k >= start_key + CHURN_WINDOW {
+            let victim = k - CHURN_WINDOW;
+            record("r", victim);
+            if set.remove(victim) {
+                record("R", victim);
+            }
+        }
+        k += 1;
+        if k > start_key + 2_000_000 {
+            std::process::exit(3);
+        }
     }
 }
 
@@ -104,7 +145,7 @@ fn child_entry() {
 /// key ≡ 2 (mod 3), remove the key ≡ 0 (mod 3) two below it. Victims are
 /// unique and never reinserted, which is what makes the parent's oracle
 /// exact.
-fn set_child<S: PoolAttach + DurableSet<u64, u64>>() {
+fn set_child<S: PoolAttach + nvtraverse::PoolTrace + DurableSet<u64, u64>>() {
     let pool_path = std::env::var("NVT_POOL").unwrap();
     let log_path = std::env::var("NVT_LOG").unwrap();
     let start_key: u64 = std::env::var("NVT_START_KEY").unwrap().parse().unwrap();
@@ -277,7 +318,7 @@ fn run_child_until(kind: &str, pool: &Path, log: &Path, start_key: u64, min_acks
 /// Reopens the pool after a kill and asserts the invariants every structure
 /// shares: the kill left no clean-shutdown marker, and the heap's allocator
 /// metadata verifies block by block.
-fn reopen_checked<S: PoolAttach>(pool_path: &Path) -> PooledHandle<S> {
+fn reopen_checked<S: PoolAttach + nvtraverse::PoolTrace>(pool_path: &Path) -> PooledHandle<S> {
     // Reopen: Pool::open → root lookup → recover(), all inside the handle.
     let h = PooledHandle::<S>::open(pool_path, ROOT).unwrap();
     assert!(
@@ -300,7 +341,7 @@ fn validate_set<S>(
     check: impl Fn(&S) -> Result<usize, String>,
 ) -> u64
 where
-    S: PoolAttach + DurableSet<u64, u64>,
+    S: PoolAttach + nvtraverse::PoolTrace + DurableSet<u64, u64>,
 {
     let set = reopen_checked::<S>(pool_path);
     // Structural invariants: recovery left no marked node / pending op.
@@ -347,7 +388,7 @@ fn sigkill_set_roundtrip<S>(
     snapshot: impl Fn(&S) -> Vec<(u64, u64)>,
     check: impl Fn(&S) -> Result<usize, String>,
 ) where
-    S: PoolAttach + DurableSet<u64, u64>,
+    S: PoolAttach + nvtraverse::PoolTrace + DurableSet<u64, u64>,
 {
     let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let (pool_path, log_path) = paths(kind);
@@ -426,6 +467,113 @@ fn sigkill_mid_workload_recovers_nm_bst() {
         |s| s.iter_snapshot(),
         |s| s.check_consistency(true),
     );
+}
+
+/// The leak-regression oracle: after a churn-heavy SIGKILL, reopen (the
+/// root-driven mark-sweep runs inside `Pool::open`), recover, drain the
+/// collector — and then the pool's allocated-block count must equal the
+/// structure's reachable footprint **exactly**: one head sentinel plus one
+/// node per live key. Any surplus is a leak the sweep failed to reclaim;
+/// any deficit means it freed reachable data. Returns the next cycle's
+/// start key.
+fn validate_churn(pool_path: &Path, log_path: &Path) -> u64 {
+    let set = reopen_checked::<PooledList>(pool_path);
+    let report = set.pool().recovery_report();
+    assert!(
+        report.gc_ran,
+        "single-root pool opened through PooledHandle must run the recovery GC"
+    );
+    assert!(
+        report.reclaimed_blocks > 0,
+        "a SIGKILL mid-churn strands retired-but-unreclaimed nodes, \
+         yet the sweep reclaimed nothing"
+    );
+    assert!(
+        report.reclaimed_bytes as usize >= report.reclaimed_blocks * 32,
+        "reclaimed byte accounting below the minimum block size"
+    );
+    set.check_consistency(false)
+        .unwrap_or_else(|e| panic!("list invariants violated after GC + recovery: {e}"));
+
+    // Durable linearizability, same key rules as the set oracle — the GC
+    // must not have changed any answer.
+    let log = parse_set_log(log_path);
+    let present: BTreeMap<u64, u64> = set.iter_snapshot().into_iter().collect();
+    let mut max_intent = 0;
+    for (&k, e) in &log {
+        max_intent = max_intent.max(k);
+        let here = present.contains_key(&k);
+        if e.acked_remove {
+            assert!(!here, "key {k}: remove was acked but the key came back");
+        } else if e.acked_insert && !e.intent_remove {
+            assert!(here, "key {k}: insert was acked but the key is lost");
+        }
+    }
+    for &k in present.keys() {
+        assert!(
+            log.get(&k).is_some_and(|e| e.intent_insert),
+            "key {k} present but never attempted"
+        );
+    }
+
+    // The oracle itself: reachable footprint == allocated footprint.
+    set.drain_retired();
+    let live = set.pool().live_offsets().len();
+    eprintln!(
+        "churn cycle: GC reclaimed {} blocks / {} bytes in {} µs; \
+         {live} allocated blocks remain for {} live keys",
+        report.reclaimed_blocks,
+        report.reclaimed_bytes,
+        report.gc_nanos / 1_000,
+        present.len()
+    );
+    assert_eq!(
+        live,
+        1 + present.len(),
+        "pool holds {live} allocated blocks but the list reaches only \
+         1 (head) + {} (nodes): the crash leaked blocks past the GC",
+        present.len()
+    );
+    set.close().unwrap();
+    (max_intent + CHURN_WINDOW + 1).next_multiple_of(CHURN_WINDOW)
+}
+
+/// The churn-heavy SIGKILL round ISSUE 4 asks for: kill a child that
+/// retires almost everything it allocates, then prove the reopen GC
+/// returns the pool to exactly the reachable live set — and that a clean
+/// close leaves the GC nothing at all to reclaim.
+#[test]
+fn sigkill_churn_reclaims_leaked_blocks() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let (pool_path, log_path) = paths("churn");
+    let _ = std::fs::remove_file(&pool_path);
+    let _ = std::fs::remove_file(&log_path);
+
+    PooledHandle::<PooledList>::create(&pool_path, POOL_CAP, ROOT)
+        .unwrap()
+        .close()
+        .unwrap();
+
+    let mut start_key = 0;
+    for cycle in 0..2 {
+        run_child_until("churn", &pool_path, &log_path, start_key, 300 * (cycle + 1));
+        start_key = validate_churn(&pool_path, &log_path);
+    }
+
+    // validate_churn closed cleanly (collector drained): the sweep of a
+    // clean close/reopen must find exactly nothing.
+    let set = PooledHandle::<PooledList>::open(&pool_path, ROOT).unwrap();
+    let report = set.pool().recovery_report();
+    assert!(report.gc_ran);
+    assert_eq!(
+        report.reclaimed_blocks, 0,
+        "clean close must leave no unreachable blocks for the sweep"
+    );
+    assert_eq!(report.reclaimed_bytes, 0);
+    set.close().unwrap();
+
+    std::fs::remove_file(&pool_path).unwrap();
+    std::fs::remove_file(&log_path).unwrap();
 }
 
 /// Queue oracle: with one single-threaded child enqueuing consecutive

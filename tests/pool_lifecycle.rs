@@ -347,6 +347,116 @@ fn open_or_create_heals_interrupted_creation() {
 }
 
 #[test]
+fn deliberately_orphaned_allocation_is_swept_on_reopen() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let path = tmp("orphan");
+
+    let orphan_count;
+    {
+        let list = PooledSet::<PooledList>::create(&path, 4 << 20, "set").unwrap();
+        for k in 0..50u64 {
+            assert!(list.insert(k, k));
+        }
+        // Strand blocks the way a crash does: allocate from the pool and
+        // register them nowhere. A clean close cannot return these (no
+        // collector ever saw them); only the reopen mark-sweep can.
+        let sizes = [24usize, 100, 1000, 70_000];
+        orphan_count = sizes.len();
+        for size in sizes {
+            list.pool().alloc(size, 8).unwrap();
+        }
+        list.close().unwrap();
+    }
+
+    let list = PooledSet::<PooledList>::open(&path, "set").unwrap();
+    let report = list.pool().recovery_report();
+    assert!(report.gc_ran, "single traced root: the GC must run");
+    assert_eq!(
+        report.reclaimed_blocks, orphan_count,
+        "the sweep must reclaim exactly the orphans (clean close drained the rest)"
+    );
+    assert!(
+        report.reclaimed_bytes >= (24 + 100 + 1000 + 70_000) as u64,
+        "reclaimed bytes must cover the orphans' payloads"
+    );
+    // The reachable data is untouched…
+    assert_eq!(list.check_consistency(false).unwrap(), 50);
+    for k in 0..50u64 {
+        assert_eq!(list.get(k), Some(k), "GC must never free reachable nodes");
+    }
+    // …and the footprint is exact again: head sentinel + 50 nodes.
+    assert_eq!(list.pool().live_offsets().len(), 51);
+    // The swept blocks really are reusable (oversize included).
+    let p = list.pool().alloc(70_000, 8).unwrap();
+    unsafe { list.pool().dealloc(p) };
+    list.close().unwrap();
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// A pool whose roots lack a registered tracer must NOT be collected:
+/// reachability is unprovable, so the conservative answer is to keep
+/// every allocated block.
+#[test]
+fn gc_skips_pools_with_untraceable_roots() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let path = tmp("no-tracer");
+
+    let off;
+    {
+        let pool = nvtraverse::pool::Pool::create(&path, 1 << 20).unwrap();
+        let p = pool.alloc(64, 8).unwrap();
+        off = pool.offset_of(p);
+        // A raw root no structure type describes (like the storm test's
+        // slot array): nobody registers a tracer for it.
+        pool.set_root("raw-root", off).unwrap();
+    }
+
+    let pool = nvtraverse::pool::Pool::open(&path).unwrap();
+    let report = pool.recovery_report();
+    assert!(!report.gc_ran, "an untraceable root must disable the GC");
+    assert_eq!(report.reclaimed_blocks, 0);
+    assert_eq!(
+        pool.live_offsets(),
+        vec![off - 16],
+        "the unprovable block must survive untouched"
+    );
+    drop(pool);
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// A failed `create` against somebody else's pool file must not leave (or
+/// overwrite) a GC tracer for that pool's roots: the next open would run a
+/// wrong-typed trace over live data.
+#[test]
+fn failed_create_does_not_poison_the_tracer_registry() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let path = tmp("foreign");
+
+    // The "foreign" pool: a queue registered under the name a list will
+    // later (wrongly) try to claim.
+    let q = PooledHandle::<PooledQueue>::create(&path, 1 << 20, "r").unwrap();
+    for v in 0..20u64 {
+        q.enqueue(v);
+    }
+    q.close().unwrap();
+
+    // Wrong-typed create fails on the existing file — and must not have
+    // registered (or replaced) a tracer for (path, "r").
+    assert!(PooledSet::<PooledList>::create(&path, 1 << 20, "r").is_err());
+
+    // A raw reopen still GCs with the queue's own tracer (from its create)
+    // and the queue's data is intact.
+    let pool = nvtraverse::pool::Pool::open(&path).unwrap();
+    assert!(pool.recovery_report().gc_ran);
+    assert_eq!(pool.recovery_report().reclaimed_blocks, 0);
+    drop(pool);
+    let q = PooledHandle::<PooledQueue>::open(&path, "r").unwrap();
+    assert_eq!(q.iter_snapshot(), (0..20u64).collect::<Vec<_>>());
+    q.close().unwrap();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
 fn two_structures_share_one_pool() {
     let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let path = tmp("two");
@@ -356,17 +466,25 @@ fn two_structures_share_one_pool() {
         // adopt it (its nodes live in the pool file and must NOT be freed
         // by a destructor — adopt guarantees that, even on panic).
         use nvtraverse::PoolAttach;
-        let b = PooledHandle::adopt(a.pool(), PooledList::create_in_pool(a.pool(), "b").unwrap());
+        let b = PooledHandle::adopt(
+            a.pool(),
+            PooledList::create_in_pool(a.pool(), "b").unwrap(),
+            "b",
+        );
         a.insert(1, 100);
         b.insert(2, 200);
         b.close().unwrap();
         a.close().unwrap();
     }
     let a = PooledSet::<PooledList>::open(&path, "a").unwrap();
+    // Multi-root GC: "a"'s tracer came from open, "b"'s from the adopt at
+    // creation time — every root traceable, so the mark-sweep ran.
+    assert!(a.pool().recovery_report().gc_ran);
+    assert_eq!(a.pool().recovery_report().reclaimed_blocks, 0);
     use nvtraverse::PoolAttach;
     let b = unsafe { PooledList::attach_to_pool(a.pool(), "b") }.unwrap();
     b.recover_attached();
-    let b = PooledHandle::adopt(a.pool(), b);
+    let b = PooledHandle::adopt(a.pool(), b, "b");
     assert_eq!(a.get(1), Some(100));
     assert_eq!(a.get(2), None, "structures must be disjoint");
     assert_eq!(b.get(2), Some(200));
