@@ -43,7 +43,7 @@ fn pool_path(tag: &str) -> std::path::PathBuf {
 fn churn(mode: AllocMode, threads: usize, secs: f64) -> f64 {
     let path = pool_path("churn");
     let _ = std::fs::remove_file(&path);
-    let pool = Pool::create_with_mode(&path, 256 << 20, mode).unwrap();
+    let pool = Pool::builder().path(&path).capacity(256 << 20).mode(mode).create().unwrap();
     let stop = AtomicBool::new(false);
     let barrier = Barrier::new(threads + 1);
     // One exchange slot per thread: thread t deposits into slot t and frees
@@ -128,7 +128,7 @@ fn churn(mode: AllocMode, threads: usize, secs: f64) -> f64 {
 fn grow(mode: AllocMode, threads: usize, secs: f64) -> f64 {
     let path = pool_path("grow");
     let _ = std::fs::remove_file(&path);
-    let pool = Pool::create_with_mode(&path, 1 << 30, mode).unwrap();
+    let pool = Pool::builder().path(&path).capacity(1 << 30).mode(mode).create().unwrap();
     let quota = ((GROW_QUOTA as f64 * secs.max(0.05) / 0.12) as usize).max(256);
     let barrier = Barrier::new(threads);
     let (allocs, elapsed) = std::thread::scope(|s| {

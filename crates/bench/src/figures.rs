@@ -541,7 +541,7 @@ pub fn ablation_parent(mode: Mode) {
 pub const ALL_FIGURES: &[&str] = &[
     "fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig5f", "fig6g", "fig6h", "fig6i", "fig6j",
     "fig6k", "fig6l", "fig6m", "fig6n", "fig6o", "abl1", "abl2", "alloc_scaling",
-    "pool_structs",
+    "pool_structs", "pool_shards",
 ];
 
 /// Runs one figure by id (or `all`).
@@ -570,6 +570,7 @@ pub fn run_figure(id: &str, mode: Mode) {
         "abl2" | "ablation-parent" => ablation_parent(mode),
         "alloc_scaling" | "alloc-scaling" => crate::alloc_scaling::run(mode),
         "pool_structs" | "pool-structs" => crate::pool_structs::run(mode),
+        "pool_shards" | "pool-shards" => crate::pool_shards::run(mode),
         "all" => {
             for f in ALL_FIGURES {
                 run_figure(f, mode);

@@ -25,5 +25,6 @@
 pub mod alloc_scaling;
 pub mod figures;
 pub mod json;
+pub mod pool_shards;
 pub mod pool_structs;
 pub mod workload;

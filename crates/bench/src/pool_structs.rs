@@ -25,7 +25,7 @@
 
 use crate::figures::Mode;
 use nvtraverse::policy::NvTraverse;
-use nvtraverse::{DurableSet, PoolAttach};
+use nvtraverse::{DurableSet, PoolAttach, TypedRoots};
 use nvtraverse_pmem::MmapBackend;
 use nvtraverse_pool::{AllocMode, Pool};
 use nvtraverse_structures::ellen_bst::EllenBst;
@@ -89,7 +89,7 @@ fn measure(
 /// Creates `S` in a fresh pool under `mode`, runs `workload`, then closes
 /// and **reopens** the pool — without dropping the structure (its nodes
 /// live in the file) — and returns `(mops, reopen-GC µs)`: the wall time
-/// `Pool::open`'s mark-sweep recovery GC spent proving the surviving
+/// the open-time mark-sweep recovery GC spent proving the surviving
 /// population reachable (adopting the handle registered `S`'s tracer, so
 /// the GC always runs here).
 fn with_pooled<S: PoolAttach + nvtraverse::PoolTrace>(
@@ -99,24 +99,26 @@ fn with_pooled<S: PoolAttach + nvtraverse::PoolTrace>(
 ) -> (f64, f64) {
     let path = pool_path(tag);
     let _ = std::fs::remove_file(&path);
-    let pool = Pool::create_with_mode(&path, POOL_CAP, mode).unwrap();
-    // Adopt immediately: the handle guarantees the structure's destructor
-    // never runs (its nodes live in the pool file) and drains retired
-    // blocks back to the pool before the mapping goes away.
-    let s = nvtraverse::PooledHandle::adopt(
-        &pool,
-        S::create_in_pool(&pool, "bench").unwrap(),
-        "bench",
-    );
+    let pool = Pool::builder()
+        .path(&path)
+        .capacity(POOL_CAP)
+        .mode(mode)
+        .create()
+        .unwrap();
+    // The typed root registers the tracer and guarantees the structure's
+    // destructor never runs (its nodes live in the pool file); closing the
+    // handle drains retired blocks back to the pool first.
+    let s = pool.create_root::<S>("bench").unwrap();
     let mops = workload(&s);
     s.close().unwrap();
     drop(pool);
     // The reopen path a restart pays: heap walk + root-driven mark-sweep
     // over everything the workload left live.
-    let pool = Pool::open_with_mode(&path, mode).unwrap();
+    let pool = Pool::builder().path(&path).mode(mode).open().unwrap();
     let report = pool.recovery_report();
-    // The tracer is registered (adopt), so only a rebased remap — an
-    // address-space collision outside our control — can skip the GC.
+    // The tracer is registered (create_root above), so only a rebased
+    // remap — an address-space collision outside our control — can skip
+    // the GC.
     assert!(
         report.gc_ran || pool.is_rebased(),
         "tracer registered and mapping at preferred base, yet the GC skipped"

@@ -1,5 +1,5 @@
-//! Node allocation helpers: volatile heap by default, a persistent pool when
-//! one is installed, with crash-simulator bookkeeping in both cases.
+//! Node allocation helpers: volatile heap by default, a persistent pool per
+//! **allocation context**, with crash-simulator bookkeeping in both cases.
 //!
 //! Real NVRAM deployments allocate nodes from a persistent heap
 //! (`libvmmalloc` in the paper's setup, §5.1); the allocation itself survives
@@ -9,12 +9,18 @@
 //! * By default, nodes come from the volatile Rust heap (`Box`) — correct
 //!   for the simulator and for benchmarks that only need the flush/fence
 //!   cost profile.
-//! * When a `nvtraverse-pool` pool is installed as the process-wide
-//!   allocator (`Pool::install_as_default`, the `libvmmalloc` analogue),
-//!   [`alloc_node`] serves every node from the pool file instead, and
-//!   [`free`] — together with the EBR collector's reclamation — returns each
+//! * A pool-backed structure carries a [`PoolCtx`] — its pool's allocation
+//!   entry point, captured at `create_in_pool`/`attach_to_pool` time — and
+//!   brackets its allocating operations with [`PoolCtx::enter`]. Inside the
+//!   scope, [`alloc_node`] serves every node from *that structure's* pool
+//!   file; structures living in different pools allocate correctly from
+//!   different files **concurrently**, with no process-global state. (The
+//!   deprecated `Pool::install_as_default` still works as a process-wide
+//!   fallback for unscoped allocations.)
+//! * [`free`] — together with the EBR collector's reclamation — returns each
 //!   pointer to the heap that issued it, found via
-//!   [`nvtraverse_pmem::heap::owner_of`].
+//!   [`nvtraverse_pmem::heap::owner_of`]; no context needed, the address
+//!   itself names the owner.
 //!
 //! The crash simulator mirrors a persistent heap by registering every word
 //! of a new node with persisted value = poison: if the node becomes
@@ -22,27 +28,131 @@
 //!
 //! # Scalability of the pool path
 //!
-//! With a pool installed, [`alloc_node`] and [`free`] sit on the insert and
-//! remove hot paths of every structure, so both stay off any global lock:
+//! [`alloc_node`] and [`free`] sit on the insert and remove hot paths of
+//! every structure, so both stay off any global lock:
 //!
-//! * [`alloc_node`] reaches the pool's **per-thread magazine** for the
-//!   node's size class — a thread-local pop plus one header flush, whose
-//!   ordering fence is deferred to the fence every durability policy
-//!   already issues before durably publishing the node.
+//! * Entering a [`PoolCtx`] is one TLS swap; [`alloc_node`] then reaches
+//!   the pool's **per-thread magazine** for the node's size class — a
+//!   thread-local pop plus one header flush, whose ordering fence is
+//!   deferred to the fence every durability policy already issues before
+//!   durably publishing the node.
 //! * [`free`] — and the EBR collector's deferred reclamation, which calls
 //!   the same `owner_of` + dealloc pair per retired node — finds the owning
-//!   heap via an O(1) address-range check (`heap::owner_of`'s single-region
-//!   fast path) and pushes the block into the *freeing* thread's magazine.
-//!   EBR reclaims whole bags of retired nodes at once on whichever thread
-//!   advances the epoch, so those frees batch naturally into that thread's
-//!   magazines and drain back to the pool's sharded free lists in chunks,
-//!   one CAS per chunk — remote frees never touch a global lock.
+//!   heap via a lock-free search of the sorted region snapshot (one load
+//!   plus `O(log #pools)` compares) and pushes the block into the *freeing*
+//!   thread's magazine. EBR reclaims whole bags of retired nodes at once on
+//!   whichever thread advances the epoch, so those frees batch naturally
+//!   into that thread's magazines and drain back to the pool's sharded free
+//!   lists in chunks, one CAS per chunk — remote frees never touch a global
+//!   lock.
 
+use nvtraverse_pmem::heap::AllocTarget;
 use nvtraverse_pmem::{heap, Backend};
+use nvtraverse_pool::Pool;
+use std::marker::PhantomData;
 
-/// Allocates `value` as a node — from the installed persistent pool when one
-/// is present, from the volatile heap otherwise — and, under a simulating
-/// backend, registers the node's memory with the thread's simulation context.
+/// A structure's **allocation context**: which heap its nodes come from —
+/// the volatile Rust heap ([`PoolCtx::volatile`], the default) or one
+/// specific persistent pool ([`PoolCtx::of`]).
+///
+/// This is the value `PoolAttach` implementations capture at
+/// `create_in_pool`/`attach_to_pool` and re-enter around every allocating
+/// operation, which is what makes pools first-class: two structures in two
+/// pools, used concurrently from the same thread or different threads, each
+/// allocate from their own file. `Copy` and word-sized — carrying one per
+/// structure costs nothing.
+///
+/// # Lifetime
+///
+/// A pooled context is **non-owning**: it must not be entered after the
+/// last handle to its pool is dropped (the pool would be unmapped). The
+/// `PooledHandle` lifecycle upholds this by construction — the handle owns
+/// a pool handle for as long as the structure is reachable.
+#[derive(Clone, Copy, Default)]
+pub struct PoolCtx {
+    target: Option<AllocTarget>,
+}
+
+impl std::fmt::Debug for PoolCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolCtx")
+            .field("pooled", &self.target.is_some())
+            .finish()
+    }
+}
+
+impl PoolCtx {
+    /// The no-pool context: entering it clears any scoped target, so
+    /// allocations fall back to the deprecated process-wide installed pool
+    /// if one exists, else the Rust heap (`Box`) — exactly the
+    /// pre-multi-pool behaviour a legacy structure relies on. It does
+    /// **not** pin `Box` against an installed fallback.
+    pub const fn volatile() -> Self {
+        PoolCtx { target: None }
+    }
+
+    /// The context that allocates from `pool`.
+    pub fn of(pool: &Pool) -> Self {
+        PoolCtx {
+            target: Some(pool.alloc_target()),
+        }
+    }
+
+    /// Snapshot of the allocation target in effect on this thread right
+    /// now (an enclosing [`PoolCtx::enter`] scope, else the deprecated
+    /// process-wide install, else volatile). Structure constructors call
+    /// this so a structure built inside a pool scope *remembers* its pool.
+    pub fn current() -> Self {
+        PoolCtx {
+            target: heap::current_target(),
+        }
+    }
+
+    /// Whether this context targets a persistent pool.
+    pub fn is_pooled(&self) -> bool {
+        self.target.is_some()
+    }
+
+    /// Makes this context the thread's allocation target until the returned
+    /// guard drops (scopes nest: the previous target is saved and
+    /// restored). Pool-backed structures bracket their allocating
+    /// operations with this; a [`PoolCtx::volatile`] context clears the
+    /// scoped target for the scope's duration (allocations then fall back
+    /// to the deprecated installed pool, else `Box` — see `volatile`).
+    pub fn enter(&self) -> AllocScope {
+        AllocScope {
+            prev: heap::swap_scoped_target(self.target),
+            _not_send: PhantomData,
+        }
+    }
+}
+
+/// Guard of an entered [`PoolCtx`] — restores the thread's previous
+/// allocation target on drop. Not `Send`: the restore must happen on the
+/// thread that entered.
+#[must_use = "the allocation scope ends when this guard drops"]
+pub struct AllocScope {
+    prev: Option<AllocTarget>,
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl std::fmt::Debug for AllocScope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AllocScope").finish()
+    }
+}
+
+impl Drop for AllocScope {
+    fn drop(&mut self) {
+        heap::swap_scoped_target(self.prev);
+    }
+}
+
+/// Allocates `value` as a node — from the thread's current allocation
+/// target (an entered [`PoolCtx`] scope, else the deprecated process-wide
+/// installed pool, else the volatile heap) — and, under a simulating
+/// backend, registers the node's memory with the thread's simulation
+/// context.
 ///
 /// The returned pointer is owned by the data structure; free it with
 /// [`Guard::retire`](nvtraverse_ebr::Guard::retire) after unlinking (or
@@ -50,26 +160,20 @@ use nvtraverse_pmem::{heap, Backend};
 ///
 /// # Panics
 ///
-/// Panics when a persistent pool is installed but exhausted: silently
-/// falling back to the volatile heap would split one structure across two
-/// heaps and lose the volatile part on reopen.
+/// Panics when the targeted persistent pool is exhausted: silently falling
+/// back to the volatile heap would split one structure across two heaps and
+/// lose the volatile part on reopen.
 #[inline]
 pub fn alloc_node<T, B: Backend>(value: T) -> *mut T {
-    let pooled = if heap::allocator_installed() {
-        match heap::allocate(std::mem::size_of::<T>(), std::mem::align_of::<T>()) {
-            Some(p) => Some(p as *mut T),
-            // None while still installed = genuinely out of space; None
-            // after a concurrent uninstall = no pool anymore, Box is right.
-            None if heap::allocator_installed() => {
-                panic!("persistent pool exhausted (and volatile fallback would lose data)")
+    let ptr = match heap::current_target() {
+        Some(t) => {
+            // SAFETY: the target pair was published together by its pool.
+            let p =
+                unsafe { (t.alloc)(t.ctx, std::mem::size_of::<T>(), std::mem::align_of::<T>()) }
+                    as *mut T;
+            if p.is_null() {
+                panic!("persistent pool exhausted (and volatile fallback would lose data)");
             }
-            None => None,
-        }
-    } else {
-        None
-    };
-    let ptr = match pooled {
-        Some(p) => {
             // SAFETY: the pool returned a block of at least size_of::<T>()
             // bytes with sufficient alignment.
             unsafe { p.write(value) };

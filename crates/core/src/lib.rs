@@ -44,16 +44,21 @@
 //! [`MmapBackend`](nvtraverse_pmem::MmapBackend) over a persistent pool
 //! file.
 //!
-//! ## Living in a pool file
+//! ## Living in pool files — plural
 //!
 //! With the `nvtraverse-pool` crate, a structure's nodes live in a
-//! memory-mapped pool file and survive process death: [`PooledSet`] wraps
-//! the whole lifecycle (`create` a named structure in a pool; later
-//! `Pool::open` → root lookup → `recover()` in one [`PooledSet::open`]
-//! call), and [`alloc::alloc_node`]/[`alloc::free`] transparently route
-//! node memory to the installed pool, mirroring the paper's `libvmmalloc`
-//! setup (§5.1). See `examples/pool_restart.rs` and
-//! `tests/crash_process.rs`.
+//! memory-mapped pool file and survive process death — and pools are
+//! **first-class**: open as many as you like in one process. Build a pool
+//! with `Pool::builder()`, then use the typed-root API ([`TypedRoots`]):
+//! `pool.create_root::<S>("name")` to create a named structure inside it,
+//! `pool.root::<S>("name")` to attach + recover it after a restart — each
+//! returns a [`PooledHandle`]. Every structure carries its own allocation
+//! context ([`alloc::PoolCtx`]), so [`alloc::alloc_node`]/[`alloc::free`]
+//! route each structure's node memory to *its* pool with no process-global
+//! state (the paper's `libvmmalloc` single-heap takeover, §5.1, survives
+//! only as a deprecated fallback). See `examples/pool_restart.rs`,
+//! `tests/crash_process.rs`, and `nvtraverse_structures::sharded` for the
+//! N-pools-at-once form.
 //!
 //! ## Example
 //!
@@ -82,12 +87,15 @@ pub mod ops;
 pub mod policy;
 pub mod set;
 
+pub use alloc::PoolCtx;
 pub use marked::MarkedPtr;
 pub use ops::{run_operation, Critical, PersistSet, TraversalOps};
 pub use policy::{Durability, Izraelevitz, LinkPersist, NvTraverse, Volatile};
+#[allow(deprecated)]
+pub use set::PooledSet;
 pub use set::{
-    drain_collector, register_pool_tracer, DurableSet, PoolAttach, PoolTrace, PooledHandle,
-    PooledSet,
+    drain_collector, register_pool_tracer, restore_pool_tracer, DurableSet, PoolAttach,
+    PoolTrace, PooledHandle, TypedRoots,
 };
 
 /// Convenience re-export of the persistence substrate.

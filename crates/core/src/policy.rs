@@ -471,7 +471,10 @@ mod tests {
     fn volatile_never_flushes_or_fences() {
         // Volatile is pinned to the Noop backend, so by construction it
         // cannot flush; this test documents DURABLE = false instead.
-        assert!(!Volatile::DURABLE);
+        #[allow(clippy::assertions_on_constants)]
+        {
+            assert!(!Volatile::DURABLE);
+        }
         let c: PCell<u64, Noop> = PCell::new(1);
         assert_eq!(Volatile::c_load(&c), 1);
         assert_eq!(Volatile::c_cas(&c, 1, 2), Ok(1));

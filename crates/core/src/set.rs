@@ -10,13 +10,22 @@
 //! [`PoolAttach`] + [`PooledHandle`] add the cross-process lifecycle for
 //! *every* traversal structure — set-shaped or not (queue, stack, priority
 //! queue): create a structure inside a `nvtraverse-pool` file, find it again
-//! by name after a restart (`Pool::open` → root lookup → `recover()`), and
-//! keep the pool mapped for as long as the structure is in use.
-//! [`PooledSet`] is the set-flavoured alias kept from when only the sets
-//! were pool-instantiable. [`PoolTrace`] is the reachability half of that
-//! lifecycle: it lets `Pool::open`'s mark-sweep recovery GC walk each
-//! root's persistent node graph so blocks stranded by a crash are swept
-//! back to the pool's free lists before the structure attaches.
+//! by name after a restart, and keep the pool mapped for as long as the
+//! structure is in use.
+//!
+//! The entry point is the **typed-root API** ([`TypedRoots`], implemented
+//! for [`Pool`]): build a pool with `Pool::builder()`, then
+//! `pool.root::<S>("name")` / `pool.create_root::<S>("name")` /
+//! `pool.root_or_create::<S>("name")` — each returns a ready
+//! [`PooledHandle<S>`] with the structure attached, recovered, and its
+//! [`PoolTrace`] tracer auto-registered for the recovery GC. Because the
+//! handle just holds a clone of the (first-class, multi-instance) pool,
+//! any number of roots and any number of pools coexist in one process —
+//! the former stringly-typed attach/adopt/register dance survives only as
+//! deprecated shims. [`PoolTrace`] is the reachability half of the
+//! lifecycle: it lets the pool's mark-sweep recovery GC walk each root's
+//! persistent node graph so blocks stranded by a crash are swept back to
+//! the pool's free lists before the structure attaches.
 
 use nvtraverse_pool::Pool;
 use std::io;
@@ -118,9 +127,11 @@ pub trait PoolAttach: Sized {
     /// Builds a fresh, empty instance whose every node lives in `pool`, and
     /// registers its root under `name`.
     ///
-    /// Installs `pool` as the process-wide allocation target (the
-    /// `libvmmalloc` model, paper §5.1): all subsequent node allocations in
-    /// this process are served from the pool.
+    /// The instance **captures a [`PoolCtx`](crate::alloc::PoolCtx) for `pool`** and re-enters it
+    /// around its allocating operations, so all of its node allocations —
+    /// now and after this call returns — are served from this pool, with
+    /// no process-global state: structures in different pools coexist and
+    /// allocate concurrently.
     ///
     /// # Errors
     ///
@@ -131,7 +142,8 @@ pub trait PoolAttach: Sized {
     ///
     /// Returns `None` when the root is absent or the pool was
     /// [rebased](Pool::is_rebased) (embedded absolute pointers would be
-    /// invalid). Also installs `pool` as the allocation target.
+    /// invalid). Like `create_in_pool`, the attached instance captures a
+    /// [`PoolCtx`](crate::alloc::PoolCtx) for `pool`.
     ///
     /// # Safety
     ///
@@ -209,7 +221,8 @@ pub trait PoolAttach: Sized {
 ///
 /// ```
 /// use nvtraverse::policy::NvTraverse;
-/// use nvtraverse::{DurableSet, PooledHandle};
+/// use nvtraverse::pool::Pool;
+/// use nvtraverse::{DurableSet, TypedRoots};
 /// use nvtraverse::pmem::MmapBackend;
 /// use nvtraverse_structures::list::HarrisList;
 ///
@@ -217,23 +230,26 @@ pub trait PoolAttach: Sized {
 /// let path = std::env::temp_dir().join(format!("doc-trace-{}.pool", std::process::id()));
 /// # let _ = std::fs::remove_file(&path);
 ///
-/// let list = PooledHandle::<List>::create(&path, 4 << 20, "gc-demo")?;
+/// let pool = Pool::builder().path(&path).capacity(4 << 20).create()?;
+/// let list = pool.create_root::<List>("gc-demo")?;
 /// for k in 0..64u64 { list.insert(k, k); }
 /// for k in 0..64u64 { list.remove(k); }
 /// // Strand a block on purpose: allocated, reachable from no root — the
 /// // durable state a crash mid-operation (or mid-EBR) leaves behind.
-/// let _orphan = list.pool().alloc(64, 8).unwrap();
+/// let _orphan = pool.alloc(64, 8).unwrap();
 /// list.close()?;
+/// drop(pool);
 ///
-/// // PooledHandle::open registers List's tracer for "gc-demo", so the
-/// // open-time mark-sweep runs and reclaims exactly the orphan (the clean
-/// // close already drained every retired node).
-/// let list = PooledHandle::<List>::open(&path, "gc-demo")?;
-/// let report = list.pool().recovery_report();
+/// // root::<List> registers List's tracer for "gc-demo", so the mark-sweep
+/// // runs before the structure attaches and reclaims exactly the orphan
+/// // (the clean close already drained every retired node).
+/// let pool = Pool::builder().path(&path).open()?;
+/// let list = pool.root::<List>("gc-demo")?;
+/// let report = pool.recovery_report();
 /// assert!(report.gc_ran);
 /// assert_eq!(report.reclaimed_blocks, 1);
 /// assert!(report.reclaimed_bytes >= 64);
-/// # list.close()?; std::fs::remove_file(&path)?;
+/// # list.close()?; drop(pool); std::fs::remove_file(&path)?;
 /// # Ok::<(), std::io::Error>(())
 /// ```
 pub unsafe trait PoolTrace: PoolAttach {
@@ -278,9 +294,12 @@ pub unsafe fn register_pool_tracer<S: PoolTrace>(
     unsafe { nvtraverse_pool::register_tracer(pool_path.as_ref(), name, trace_shim::<S>) }
 }
 
-/// Undoes a [`register_pool_tracer`] whose attach failed: puts back the
-/// displaced tracer, or removes the entry when there was none.
-fn restore_tracer(path: &Path, name: &str, prev: Option<nvtraverse_pool::TraceFn>) {
+/// Undoes a [`register_pool_tracer`] whose subsequent open/attach failed:
+/// puts back the displaced tracer, or removes the entry when there was
+/// none. Pair every speculative registration with this on the failure
+/// path — a failed attach must not leave its type assertion in the
+/// process-global registry (the pool could later hold a different type).
+pub fn restore_pool_tracer(path: &Path, name: &str, prev: Option<nvtraverse_pool::TraceFn>) {
     match prev {
         // SAFETY: re-asserting exactly what the previous registrant
         // (whose registration we displaced) had already asserted.
@@ -295,6 +314,172 @@ fn restore_tracer(path: &Path, name: &str, prev: Option<nvtraverse_pool::TraceFn
 unsafe fn trace_shim<S: PoolTrace>(root: *mut u8, marker: &mut nvtraverse_pool::Marker<'_>) {
     // SAFETY: forwarded from the registry's per-name type contract.
     unsafe { S::trace(root, marker) }
+}
+
+/// **Typed roots** — the extension of [`Pool`] that turns a root *name*
+/// into a ready, attached structure handle in one call:
+///
+/// ```
+/// use nvtraverse::policy::NvTraverse;
+/// use nvtraverse::pmem::MmapBackend;
+/// use nvtraverse::pool::Pool;
+/// use nvtraverse::{DurableSet, TypedRoots};
+/// use nvtraverse_structures::list::HarrisList;
+///
+/// type List = HarrisList<u64, u64, NvTraverse<MmapBackend>>;
+/// let path = std::env::temp_dir().join(format!("doc-typed-{}.pool", std::process::id()));
+/// # let _ = std::fs::remove_file(&path);
+///
+/// // First process: build the pool, create a named root in it.
+/// let pool = Pool::builder().path(&path).capacity(4 << 20).create()?;
+/// let list = pool.create_root::<List>("accounts")?;
+/// list.insert(7, 700);
+/// list.close()?;
+/// drop(pool);
+///
+/// // Any later process: open the pool, ask for the root by name + type.
+/// let pool = Pool::builder().path(&path).open()?;
+/// let list = pool.root::<List>("accounts")?;
+/// assert_eq!(list.get(7), Some(700));
+/// # list.close()?; drop(pool); std::fs::remove_file(&path)?;
+/// # Ok::<(), std::io::Error>(())
+/// ```
+///
+/// Each method auto-registers `S`'s [`PoolTrace`] tracer for the root (so
+/// the recovery GC can prove reachability at the next open — and, via
+/// [`Pool::run_pending_gc`], at *this* open when the tracer arrives before
+/// the first attach), runs the structure's recovery where applicable, and
+/// returns a [`PooledHandle`] that shares the pool: call the methods as
+/// many times as there are roots, on as many pools as are open. This
+/// retires the stringly-typed `attach_to_pool` → `recover_attached` →
+/// `register_pool_tracer` → `adopt` dance (all still available, deprecated
+/// or as the low-level layer underneath).
+///
+/// # Type contract
+///
+/// Like the deprecated `PooledHandle::open`, `root::<S>` trusts the caller
+/// that the root named `name` **was created as `S`** (same key/value/policy
+/// parameters): the pool's root registry stores untyped offsets, so a wrong
+/// `S` misreads pool memory — the same contract
+/// [`PoolAttach::attach_to_pool`] states. Creating and opening through this
+/// API keeps the assertion in exactly one place per root name.
+pub trait TypedRoots {
+    /// Attaches to the root named `name` as an `S`, runs its recovery, and
+    /// returns the owning handle. Registers `S`'s tracer for `name` and —
+    /// when this is the first attach and every root is now traceable —
+    /// runs the pool's [pending recovery GC](Pool::run_pending_gc) first.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the pool has no root named `name` or was
+    /// [rebased](Pool::is_rebased).
+    fn root<S: PoolTrace>(&self, name: &str) -> io::Result<PooledHandle<S>>;
+
+    /// Creates a fresh `S` whose nodes live in this pool, registered under
+    /// `name`, and returns the owning handle. Registers `S`'s tracer.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the root registry is full or `name` is invalid/taken by
+    /// an incompatible slot state.
+    fn create_root<S: PoolTrace>(&self, name: &str) -> io::Result<PooledHandle<S>>;
+
+    /// [`TypedRoots::root`] if the root exists, otherwise
+    /// [`TypedRoots::create_root`] — heals a crash that died between pool
+    /// creation and root registration.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the pool was rebased or creation fails.
+    fn root_or_create<S: PoolTrace>(&self, name: &str) -> io::Result<PooledHandle<S>>;
+}
+
+impl TypedRoots for Pool {
+    fn root<S: PoolTrace>(&self, name: &str) -> io::Result<PooledHandle<S>> {
+        // SAFETY: attach_to_pool below requires the root to be of type `S`;
+        // registering S's tracer for it is the same assertion. A failed
+        // attach restores the previous registration (it must not leave a
+        // type assertion behind, nor delete one a live handle installed).
+        let prev = unsafe { register_pool_tracer::<S>(self.path(), name) };
+        // With the tracer in hand the open-time GC may have become
+        // provable; collect before anything attaches.
+        self.run_pending_gc();
+        // Count the attach *before* it happens: from here on a concurrent
+        // `root::<T>` must never run the deferred GC (this structure's
+        // recovery may be mutating the heap). A failed attach leaves the
+        // count raised — conservative, the safe direction.
+        self.note_attach();
+        let attempt: io::Result<PooledHandle<S>> = (|| {
+            // SAFETY: deferred to the caller's choice of `S` — see the
+            // trait-level type contract.
+            let inner = unsafe { S::attach_to_pool(self, name) }.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    if self.is_rebased() {
+                        format!("pool was rebased; absolute pointers for root {name:?} are invalid")
+                    } else {
+                        format!("pool has no root named {name:?}")
+                    },
+                )
+            })?;
+            inner.recover_attached();
+            Ok(PooledHandle::from_attached(self.clone(), inner))
+        })();
+        match attempt {
+            Ok(handle) => Ok(handle),
+            Err(e) => {
+                restore_pool_tracer(self.path(), name, prev);
+                Err(e)
+            }
+        }
+    }
+
+    fn create_root<S: PoolTrace>(&self, name: &str) -> io::Result<PooledHandle<S>> {
+        // Refuse to overwrite a live root: the raw registry's
+        // `set_root_offset` replaces an existing slot, which would orphan
+        // the previous structure's entire node graph (the next open's GC
+        // would then reclaim it — silent data loss). A torn slot
+        // (offset 0, crash mid-registration) is the one overwrite that
+        // *is* healing, so it passes.
+        if matches!(self.root_offset(name), Some(off) if off != 0) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!(
+                    "pool already has a root named {name:?} — open it with \
+                     `root::<S>` (or `root_or_create`) instead of creating over it"
+                ),
+            ));
+        }
+        // Creation mutates the heap: conservatively disable the deferred
+        // GC up front (reachability of a mid-create heap is not provable).
+        self.note_attach();
+        // SAFETY: the root named `name` is created right below by this very
+        // type — exactly the tracer registration contract.
+        let prev = unsafe { register_pool_tracer::<S>(self.path(), name) };
+        match S::create_in_pool(self, name) {
+            Ok(inner) => Ok(PooledHandle::from_attached(self.clone(), inner)),
+            Err(e) => {
+                // The root was never registered: retract the assertion.
+                restore_pool_tracer(self.path(), name, prev);
+                Err(e)
+            }
+        }
+    }
+
+    fn root_or_create<S: PoolTrace>(&self, name: &str) -> io::Result<PooledHandle<S>> {
+        if self.is_rebased() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("pool was rebased; absolute pointers for root {name:?} are invalid"),
+            ));
+        }
+        match self.root_offset(name) {
+            // A torn slot (offset 0, crash mid-registration) is healed by
+            // re-creating, same as a missing root.
+            Some(off) if off != 0 => self.root::<S>(name),
+            _ => self.create_root::<S>(name),
+        }
+    }
 }
 
 /// Drains `collector` fully: retired-but-unreclaimed nodes are freed back
@@ -322,21 +507,22 @@ pub fn drain_collector(collector: &nvtraverse_ebr::Collector) {
 ///
 /// This is the paper's §2 lifecycle as an API: *"Processes call the recovery
 /// operation before any other operation after a crash event"* —
-/// [`PooledHandle::open`] performs exactly `Pool::open` → root lookup →
-/// `recover()` before handing the structure out.
+/// [`TypedRoots::root`] performs exactly root lookup → attach → `recover()`
+/// before handing the handle out.
 ///
 /// # Worked example: create → (crash) → reopen
 ///
 /// The first block below plays the role of the process that dies; the
 /// second is the process that comes back up. After a real `SIGKILL`
-/// the reopen path is byte-for-byte the same `open` call — the only
-/// difference is that `recover()` then has marked nodes or stale volatile
-/// shortcuts to repair (exercised for every structure in
+/// the reopen path is byte-for-byte the same open + `root::<S>` calls — the
+/// only difference is that `recover()` then has marked nodes or stale
+/// volatile shortcuts to repair (exercised for every structure in
 /// `tests/crash_process.rs`).
 ///
 /// ```
 /// use nvtraverse::policy::NvTraverse;
-/// use nvtraverse::{DurableSet, PooledHandle};
+/// use nvtraverse::pool::Pool;
+/// use nvtraverse::{DurableSet, TypedRoots};
 /// use nvtraverse::pmem::MmapBackend;
 /// use nvtraverse_structures::list::HarrisList;
 ///
@@ -348,19 +534,22 @@ pub fn drain_collector(collector: &nvtraverse_ebr::Collector) {
 /// // "First process": create a pool file holding a named list, mutate it,
 /// // and let go. `close` syncs the mapping; a crash instead of a close
 /// // loses at most the in-flight operation (durable linearizability).
-/// let list = PooledHandle::<List>::create(&path, 4 << 20, "accounts")?;
+/// let pool = Pool::builder().path(&path).capacity(4 << 20).create()?;
+/// let list = pool.create_root::<List>("accounts")?;
 /// assert!(list.insert(7, 700));
 /// assert!(list.insert(8, 800));
 /// assert!(list.remove(8));
 /// list.close()?;
+/// drop(pool);
 ///
-/// // "Second process": Pool::open → root lookup → recover(), in one call.
-/// let list = PooledHandle::<List>::open(&path, "accounts")?;
+/// // "Second process": open → root lookup → recover(), two calls.
+/// let pool = Pool::builder().path(&path).open()?;
+/// let list = pool.root::<List>("accounts")?;
 /// assert_eq!(list.get(7), Some(700));
 /// assert_eq!(list.get(8), None, "removes are as durable as inserts");
 /// assert!(list.insert(9, 900), "recovered structure is fully usable");
 /// list.close()?;
-/// # std::fs::remove_file(&path)?;
+/// # drop(pool); std::fs::remove_file(&path)?;
 /// # Ok::<(), std::io::Error>(())
 /// ```
 pub struct PooledHandle<S: PoolAttach> {
@@ -370,197 +559,102 @@ pub struct PooledHandle<S: PoolAttach> {
     drained_on_close: bool,
 }
 
-/// The set-flavoured name [`PooledHandle`] grew out of, kept as an alias:
-/// existing code (and the paper's framing, where the evaluated structures
-/// are sets) reads naturally with it, while queue/stack lifecycles use
-/// [`PooledHandle`] directly.
+/// The set-flavoured name [`PooledHandle`] grew out of, kept as an alias.
+#[deprecated(note = "use `PooledHandle` (the alias was set-specific naming)")]
 pub type PooledSet<S> = PooledHandle<S>;
 
 impl<S: PoolTrace> PooledHandle<S> {
-    /// Creates `path` as a new pool of `capacity` bytes holding a fresh
-    /// structure registered under `name`.
-    ///
-    /// Also registers `S`'s recovery-GC tracer for `name`
-    /// ([`register_pool_tracer`]), so later opens in this process can
-    /// mark-sweep the pool.
+    /// One-call create: `Pool::builder().create()` +
+    /// [`TypedRoots::create_root`].
     ///
     /// # Errors
     ///
     /// Fails if the file exists or pool creation/registration fails.
+    #[deprecated(
+        note = "use `Pool::builder().path(…).capacity(…).create()` then \
+                `pool.create_root::<S>(name)`"
+    )]
     pub fn create(path: impl AsRef<Path>, capacity: u64, name: &str) -> io::Result<Self> {
-        let path = path.as_ref();
-        // Creation never runs the GC, so the tracer is registered only
-        // after the pool exists — a create that fails against somebody
-        // else's pool file must not leave a tracer asserting a type that
-        // pool's root never had.
-        let pool = Pool::create(path, capacity)?;
-        // SAFETY: the root named `name` is created right below by this very
-        // type, which is exactly the tracer registration contract.
-        let prev = unsafe { register_pool_tracer::<S>(path, name) };
-        let inner = match S::create_in_pool(&pool, name) {
-            Ok(inner) => inner,
-            Err(e) => {
-                // The root was never registered: retract the assertion.
-                restore_tracer(path, name, prev);
-                return Err(e);
-            }
-        };
-        Ok(PooledHandle {
-            inner: ManuallyDrop::new(inner),
-            pool,
-            drained_on_close: false,
-        })
+        let pool = Pool::builder().path(path).capacity(capacity).create()?;
+        pool.create_root::<S>(name)
     }
 
-    /// Reopens the pool at `path`, attaches to the structure registered
-    /// under `name`, and runs its recovery.
-    ///
-    /// `S`'s recovery-GC tracer is registered for `name` *before* the pool
-    /// opens, so when every other root of the pool also has a tracer (the
-    /// single-root case trivially, multi-root pools via
-    /// [`register_pool_tracer`] or [`PooledHandle::adopt`]), the open runs
-    /// the mark-sweep GC and reclaims every block a previous crash
-    /// stranded — see `RecoveryReport::reclaimed_blocks`.
+    /// One-call reopen: `Pool::builder().open()` + [`TypedRoots::root`]
+    /// (which also runs the pending recovery GC for a single-root pool —
+    /// the behaviour this shim always had).
     ///
     /// # Errors
     ///
     /// Fails when the pool cannot be opened, was rebased, or holds no root
     /// named `name`.
+    #[deprecated(
+        note = "use `Pool::builder().path(…).open()` then `pool.root::<S>(name)`"
+    )]
     pub fn open(path: impl AsRef<Path>, name: &str) -> io::Result<Self> {
-        let path = path.as_ref();
-        // SAFETY: attach_to_pool below requires the root to be of type `S`;
-        // registering S's tracer for it is the same assertion, made before
-        // Pool::open so the recovery GC can use it. A failed open restores
-        // the previous registration: an open that could not attach must
-        // not leave its own type assertion behind (nor delete one a live
-        // handle legitimately installed).
-        let prev = unsafe { register_pool_tracer::<S>(path, name) };
-        let attempt: io::Result<Self> = (|| {
-            let pool = Pool::open(path)?;
-            // SAFETY: deferred to the caller's choice of `S` — see PoolAttach.
-            let inner = unsafe { S::attach_to_pool(&pool, name) }.ok_or_else(|| {
-                io::Error::new(
-                    io::ErrorKind::NotFound,
-                    if pool.is_rebased() {
-                        format!("pool was rebased; absolute pointers for root {name:?} are invalid")
-                    } else {
-                        format!("pool has no root named {name:?}")
-                    },
-                )
-            })?;
-            inner.recover_attached();
-            Ok(PooledHandle {
-                inner: ManuallyDrop::new(inner),
-                pool,
-                drained_on_close: false,
-            })
-        })();
-        if attempt.is_err() {
-            restore_tracer(path, name, prev);
-        }
-        attempt
+        let pool = Pool::builder().path(path).open()?;
+        pool.root::<S>(name)
     }
 
-    /// [`PooledHandle::open`] if `path` holds the named structure, otherwise
-    /// creates what is missing — the restart-loop entry point.
-    ///
-    /// Heals both interrupted-create states: a pool file whose creation
-    /// never completed (no magic) is recreated by
-    /// [`Pool::open_or_create`], and a valid pool whose root named `name`
-    /// was never registered (crash between pool creation and root
-    /// registration) gets a fresh structure created in it.
+    /// One-call restart-loop entry point:
+    /// `Pool::builder().open_or_create()` followed by
+    /// [`TypedRoots::root_or_create`]. Heals both interrupted-create states
+    /// (pool file without magic; pool without the named root).
     ///
     /// # Errors
     ///
     /// Fails when the pool cannot be opened/created or was rebased.
+    #[deprecated(
+        note = "use `Pool::builder().path(…).capacity(…).open_or_create()` then \
+                `pool.root_or_create::<S>(name)`"
+    )]
     pub fn open_or_create(
         path: impl AsRef<Path>,
         capacity: u64,
         name: &str,
     ) -> io::Result<Self> {
-        let path = path.as_ref();
-        if !path.exists() {
-            return Self::create(path, capacity, name);
-        }
-        // SAFETY: same contract as in `open` — the root is attached (or
-        // created) as `S` right below; restored on failure.
-        let prev = unsafe { register_pool_tracer::<S>(path, name) };
-        let attempt: io::Result<Self> = (|| {
-            let pool = Pool::open_or_create(path, capacity)?;
-            // SAFETY: deferred to the caller's choice of `S` — see PoolAttach.
-            let inner = match unsafe { S::attach_to_pool(&pool, name) } {
-                Some(inner) => {
-                    inner.recover_attached();
-                    inner
-                }
-                None if !pool.is_rebased() => {
-                    // The pool is healthy but the root was never registered:
-                    // finish the interrupted creation.
-                    S::create_in_pool(&pool, name)?
-                }
-                None => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::NotFound,
-                        format!(
-                            "pool was rebased; absolute pointers for root {name:?} are invalid"
-                        ),
-                    ));
-                }
-            };
-            Ok(PooledHandle {
-                inner: ManuallyDrop::new(inner),
-                pool,
-                drained_on_close: false,
-            })
-        })();
-        if attempt.is_err() {
-            restore_tracer(path, name, prev);
-        }
-        attempt
+        let pool = Pool::builder().path(path).capacity(capacity).open_or_create()?;
+        pool.root_or_create::<S>(name)
     }
 
     /// Wraps an already-created or already-attached structure into a
-    /// handle — for *secondary* roots sharing one open pool, where
-    /// [`PooledHandle::create`]/[`PooledHandle::open`] (which own the pool
-    /// mapping) don't fit. `name` is the root name the structure was
-    /// created or attached under.
-    ///
-    /// The structure gains the same guarantees as a primary one: its
-    /// destructor will never run — **including on panic unwind**, where a
-    /// bare structure's drop would free live pool nodes and destroy the
-    /// file's contents — and retired nodes are drained back to the pool
-    /// before the handle lets go. Adoption also registers `S`'s
-    /// recovery-GC tracer for `name`, so the *next* open of this pool in
-    /// this process knows how to trace the secondary root (the open-time
-    /// mark-sweep needs a tracer for every root).
-    ///
-    /// When adopting a freshly [attached](PoolAttach::attach_to_pool)
-    /// structure, run [`PoolAttach::recover_attached`] first (as
-    /// [`PooledHandle::open`] does).
+    /// handle. `name` is the root name the structure was created or
+    /// attached under; its tracer is registered, and the handle guarantees
+    /// the structure's destructor never runs (even on panic unwind).
     ///
     /// # Panics
     ///
     /// Panics when `pool` has no root named `name` — the structure being
     /// adopted cannot have been created or attached under that name, so
     /// registering its tracer there would poison the next open's GC.
+    #[deprecated(
+        note = "secondary roots are first-class now: use `pool.create_root::<S>(name)` / \
+                `pool.root::<S>(name)` instead of create/attach + adopt"
+    )]
     pub fn adopt(pool: &Pool, inner: S, name: &str) -> Self {
         assert!(
-            pool.root(name).is_some(),
+            pool.root_offset(name).is_some(),
             "adopt: pool has no root named {name:?} — wrong name for the adopted structure"
         );
         // SAFETY: the caller created/attached `inner` under `name` as this
         // type (attach_to_pool's own contract) — the tracer assertion is
         // the same statement, scoped to this pool's path.
         unsafe { register_pool_tracer::<S>(pool.path(), name) };
-        PooledHandle {
-            inner: ManuallyDrop::new(inner),
-            pool: pool.clone(),
-            drained_on_close: false,
-        }
+        pool.note_attach();
+        PooledHandle::from_attached(pool.clone(), inner)
     }
 }
 
 impl<S: PoolAttach> PooledHandle<S> {
+    /// Wraps an attached (or freshly created) structure with the pool it
+    /// lives in — the internal constructor behind [`TypedRoots`].
+    fn from_attached(pool: Pool, inner: S) -> Self {
+        PooledHandle {
+            inner: ManuallyDrop::new(inner),
+            pool,
+            drained_on_close: false,
+        }
+    }
+
     /// The underlying pool (for roots, stats, `sync`, …).
     pub fn pool(&self) -> &Pool {
         &self.pool

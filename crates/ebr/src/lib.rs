@@ -347,6 +347,8 @@ impl HandleInner {
     fn retire(&self, item: Retired) {
         if self.collector.leak {
             // Deliberately forget: the object must stay valid forever.
+            // (Retired has no Drop — forgetting it documents the leak.)
+            #[allow(clippy::forget_non_drop)]
             std::mem::forget(item);
             return;
         }

@@ -34,6 +34,8 @@ use crate::word::Word;
 #[repr(transparent)]
 pub struct PCell<T: Word, B: Backend> {
     bits: AtomicU64,
+    // Variance-precise marker (the tuple-of-fn form is the point).
+    #[allow(clippy::type_complexity)]
     _marker: PhantomData<(fn() -> T, fn() -> B)>,
 }
 

@@ -1,35 +1,50 @@
 //! Registry of foreign (non-`Box`) heaps: the glue that lets node allocation
-//! and reclamation route through a persistent pool.
+//! and reclamation route through persistent pools — **several at once**.
 //!
 //! Real NVRAM deployments replace the volatile allocator wholesale — the
 //! paper links against `libvmmalloc`, which transparently serves *every*
 //! `malloc` from a memory-mapped persistent heap (§5.1). This repository
-//! keeps the volatile `Box` path as the default and lets a persistent pool
-//! (the `nvtraverse-pool` crate) take over by registering itself here:
+//! keeps the volatile `Box` path as the default and lets persistent pools
+//! (the `nvtraverse-pool` crate) take over by registering themselves here:
 //!
 //! * [`register_region`] announces an address range owned by a foreign heap
 //!   together with its deallocation function. Free paths (`nvtraverse`'s
 //!   `alloc::free`, the EBR collector's reclamation) consult [`owner_of`] so
-//!   a pointer is always returned to the heap it came from.
+//!   a pointer is always returned to the heap it came from — **regardless of
+//!   how many pools are open**: the live regions are published as an
+//!   immutable sorted snapshot, and `owner_of` is a lock-free binary search
+//!   over it (one load + `O(log #pools)` compares; one load + one compare
+//!   with a single pool).
+//! * **Scoped targets** ([`swap_scoped_target`]) are the multi-pool
+//!   allocation story: a per-thread allocation target that a pool-backed
+//!   structure's operations enter around their allocating sections, so
+//!   *each structure* allocates from *its own* pool with no process-global
+//!   state. This is what lets two pools serve allocations concurrently in
+//!   one process.
 //! * [`install_allocator`] nominates one foreign heap as the process-wide
-//!   allocation target, mirroring `libvmmalloc`'s process-granularity
-//!   takeover. [`allocate`] returns memory from it, or `None` when no heap
-//!   is installed (callers then fall back to `Box`).
+//!   *fallback* allocation target, mirroring `libvmmalloc`'s
+//!   process-granularity takeover. It is the legacy single-pool model —
+//!   scoped targets take precedence — and survives only for the deprecated
+//!   `Pool::install_as_default` shim.
 //!
-//! The fast path — no foreign heap registered — is two relaxed atomic loads.
+//! The fast path — no foreign heap anywhere — is one TLS read plus one
+//! relaxed atomic load.
 //!
 //! # Lifetime contract
 //!
 //! `(ctx, dealloc)` pairs returned by [`owner_of`]/consumed by [`allocate`]
-//! are invoked *after* the registry lock is released, so unregistering a
+//! are invoked *after* the snapshot pointer is read, so unregistering a
 //! heap does **not** wait for in-flight calls. The registering heap must
 //! stay alive until no thread can still be allocating from it or freeing
 //! pointers into it — for a pool, that is the rule (documented on `Pool`)
 //! that the last pool handle may only be dropped once its structures are no
 //! longer in use; their memory is unmapped by the drop anyway, so any
 //! concurrent use is already a use-after-unmap regardless of this registry.
+//! The same rule covers scoped targets: a target must not outlive its pool,
+//! which the `PooledHandle` lifecycle guarantees by construction.
 
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::RwLock;
 
 /// Deallocation entry point of a foreign heap.
@@ -44,6 +59,26 @@ pub type DeallocFn = unsafe fn(ctx: usize, ptr: *mut u8, size: usize, align: usi
 /// Allocation entry point of a foreign heap. Returns null on exhaustion.
 pub type AllocFn = unsafe fn(ctx: usize, size: usize, align: usize) -> *mut u8;
 
+/// One foreign heap's allocation entry point: the opaque context plus the
+/// function that serves allocations from it. `Copy`, so per-structure pool
+/// contexts (`nvtraverse::alloc::PoolCtx`) can carry it by value.
+///
+/// The pair is only meaningful while the heap that produced it (via
+/// `Pool::alloc_target`) is alive — see the module-level lifetime contract.
+#[derive(Clone, Copy)]
+pub struct AllocTarget {
+    /// Opaque per-heap context handed back to `alloc`.
+    pub ctx: usize,
+    /// The heap's allocation function.
+    pub alloc: AllocFn,
+}
+
+impl std::fmt::Debug for AllocTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AllocTarget").field("ctx", &self.ctx).finish()
+    }
+}
+
 #[derive(Clone, Copy)]
 struct Region {
     start: usize,
@@ -52,40 +87,75 @@ struct Region {
     dealloc: DeallocFn,
 }
 
-static REGION_COUNT: AtomicUsize = AtomicUsize::new(0);
+/// Source of truth for mutations (rare: one per pool open/close).
 static REGIONS: RwLock<Vec<Region>> = RwLock::new(Vec::new());
 
-/// Single-region fast path: when exactly one foreign heap is registered —
-/// the common `libvmmalloc`-style deployment, and the situation on every
-/// `free`/EBR-reclaim of every pool-backed structure — its record is
-/// published here and [`owner_of`] is one load plus an address-range check,
-/// never a lock or a scan. Updated under the `REGIONS` write lock; records
-/// leak like [`Installed`] ones do (registrations are rare, and readers may
-/// still hold the old pointer).
-static SINGLE: AtomicPtr<Region> = AtomicPtr::new(std::ptr::null_mut());
+/// Lock-free read path: an immutable snapshot of the live regions, sorted
+/// by start address, republished under the `REGIONS` write lock on every
+/// change. Snapshots are intentionally leaked (registrations are rare —
+/// one per pool open — and readers may still hold the old pointer); null
+/// means "no foreign heap registered", the common case's single load.
+static SNAPSHOT: AtomicPtr<Vec<Region>> = AtomicPtr::new(std::ptr::null_mut());
 
-/// Re-publishes the fast path after any registry change (caller holds the
-/// `REGIONS` write lock).
-fn refresh_single(regions: &[Region]) {
-    let rec = if regions.len() == 1 {
-        Box::into_raw(Box::new(regions[0]))
-    } else {
+/// Re-publishes the sorted snapshot (caller holds the `REGIONS` write lock).
+fn refresh_snapshot(regions: &[Region]) {
+    let snap = if regions.is_empty() {
         std::ptr::null_mut()
+    } else {
+        let mut v = regions.to_vec();
+        v.sort_unstable_by_key(|r| r.start);
+        Box::into_raw(Box::new(v))
     };
-    // The previous record is intentionally leaked (see `SINGLE`).
-    SINGLE.store(rec, Ordering::Release);
+    // The previous snapshot is intentionally leaked (see `SNAPSHOT`).
+    SNAPSHOT.store(snap, Ordering::Release);
 }
 
-/// The installed process-wide allocator, published as a single pointer so a
-/// reader can never observe one installation's `ctx` paired with another's
-/// `alloc` fn. Each install leaks one 16-byte record (installs are rare and
-/// an uninstall cannot know when concurrent readers are done with the old
-/// record; leaking is the lock-free alternative to an epoch scheme here).
-struct Installed {
-    ctx: usize,
-    alloc: AllocFn,
+/// The installed process-wide fallback allocator, published as a single
+/// pointer so a reader can never observe one installation's `ctx` paired
+/// with another's `alloc` fn. Each install leaks one 16-byte record
+/// (installs are rare and an uninstall cannot know when concurrent readers
+/// are done with the old record; leaking is the lock-free alternative to an
+/// epoch scheme here).
+static INSTALLED: AtomicPtr<AllocTarget> = AtomicPtr::new(std::ptr::null_mut());
+
+thread_local! {
+    /// This thread's scoped allocation target — the top of the (saved/
+    /// restored, hence effectively stacked) per-structure pool scope. Takes
+    /// precedence over [`INSTALLED`].
+    static SCOPED: Cell<Option<AllocTarget>> = const { Cell::new(None) };
 }
-static INSTALLED: AtomicPtr<Installed> = AtomicPtr::new(std::ptr::null_mut());
+
+/// Replaces this thread's **scoped allocation target** with `target`,
+/// returning the previous one so the caller can restore it — the save/
+/// restore discipline makes scopes nest like a stack. `None` clears the
+/// scope (allocations fall back to the installed heap, then `Box`).
+///
+/// This is the multi-pool allocation mechanism: a pool-backed structure's
+/// operations bracket their allocating sections with their own pool's
+/// target (via `nvtraverse::alloc::PoolCtx::enter`), so concurrent
+/// structures in different pools allocate from the right files with no
+/// global state. During thread TLS teardown the call is a lossy no-op
+/// (returns `None`); allocation then falls back, which only teardown-time
+/// drops can observe.
+pub fn swap_scoped_target(target: Option<AllocTarget>) -> Option<AllocTarget> {
+    SCOPED.try_with(|s| s.replace(target)).unwrap_or(None)
+}
+
+/// The allocation target [`allocate`] would use right now: this thread's
+/// scoped target if set, else the installed process-wide fallback. `None`
+/// means allocations come from the volatile heap.
+#[inline]
+pub fn current_target() -> Option<AllocTarget> {
+    if let Ok(Some(t)) = SCOPED.try_with(|s| s.get()) {
+        return Some(t);
+    }
+    let cur = INSTALLED.load(Ordering::Acquire);
+    if cur.is_null() {
+        return None;
+    }
+    // SAFETY: records are never freed, and the pair was published together.
+    Some(unsafe { *cur })
+}
 
 /// Announces `[start, start + len)` as owned by a foreign heap.
 ///
@@ -105,8 +175,7 @@ pub fn register_region(start: usize, len: usize, ctx: usize, dealloc: DeallocFn)
         ctx,
         dealloc,
     });
-    refresh_single(&regions);
-    REGION_COUNT.store(regions.len(), Ordering::Release);
+    refresh_snapshot(&regions);
 }
 
 /// Removes the region previously registered at `start`, returning its `ctx`.
@@ -114,55 +183,47 @@ pub fn unregister_region(start: usize) -> Option<usize> {
     let mut regions = REGIONS.write().unwrap_or_else(|e| e.into_inner());
     let i = regions.iter().position(|r| r.start == start)?;
     let r = regions.swap_remove(i);
-    refresh_single(&regions);
-    REGION_COUNT.store(regions.len(), Ordering::Release);
+    refresh_snapshot(&regions);
     Some(r.ctx)
 }
 
-/// Looks up the foreign heap owning `ptr`, if any.
+/// Looks up the foreign heap owning `ptr`, if any — the routing every
+/// `free`/EBR-reclaim performs so a pointer always returns to the pool that
+/// issued it, whichever of the process's open pools that is.
 ///
-/// O(1) in both common cases: no foreign heap (one load) and exactly one
-/// registered heap (one load plus a range check against its cached
-/// `[start, start + len)` bounds). Only multi-heap processes pay the
-/// lock-and-scan slow path.
+/// Lock-free at any pool count: one snapshot load, then a binary search of
+/// the sorted live regions (`O(log #pools)`; a degenerate single compare in
+/// the zero- and one-pool cases).
 #[inline]
 pub fn owner_of(ptr: *const u8) -> Option<(usize, DeallocFn)> {
-    let addr = ptr as usize;
-    let single = SINGLE.load(Ordering::Acquire);
-    if !single.is_null() {
-        // SAFETY: records are never freed (see `SINGLE`).
-        let r = unsafe { &*single };
-        if addr >= r.start && addr < r.start + r.len {
-            return Some((r.ctx, r.dealloc));
-        }
-        // Outside the one registered region: the answer is a scan-free None
-        // only if the registry provably has not changed since we read the
-        // record. Records are fresh leaked boxes (addresses never reused),
-        // so an unchanged SINGLE pointer proves exactly that; any concurrent
-        // (un)registration republishes it and we take the slow path.
-        if SINGLE.load(Ordering::Acquire) == single {
-            return None;
-        }
-    }
-    if REGION_COUNT.load(Ordering::Acquire) == 0 {
+    let snap = SNAPSHOT.load(Ordering::Acquire);
+    if snap.is_null() {
         return None;
     }
-    let regions = REGIONS.read().unwrap_or_else(|e| e.into_inner());
-    regions
-        .iter()
-        .find(|r| addr >= r.start && addr < r.start + r.len)
-        .map(|r| (r.ctx, r.dealloc))
+    // SAFETY: snapshots are never freed (see `SNAPSHOT`).
+    let regions = unsafe { &*snap };
+    let addr = ptr as usize;
+    let idx = regions.partition_point(|r| r.start <= addr);
+    let r = &regions[idx.checked_sub(1)?];
+    if addr < r.start + r.len {
+        Some((r.ctx, r.dealloc))
+    } else {
+        None
+    }
 }
 
-/// Installs a foreign heap as the process-wide allocation target.
+/// Installs a foreign heap as the process-wide **fallback** allocation
+/// target (scoped targets take precedence).
 ///
-/// Subsequent [`allocate`] calls are served by it until
-/// [`uninstall_allocator`]. Installing over an existing installation
+/// Subsequent [`allocate`] calls with no scoped target are served by it
+/// until [`uninstall_allocator`]. Installing over an existing installation
 /// replaces it (last writer wins, like re-`LD_PRELOAD`ing `libvmmalloc`).
-///
+/// This is the legacy single-pool model behind the deprecated
+/// `Pool::install_as_default`; new code carries per-pool scoped targets
+/// instead.
 pub fn install_allocator(ctx: usize, alloc: AllocFn) {
-    let rec = Box::into_raw(Box::new(Installed { ctx, alloc }));
-    // The previous record is intentionally leaked (see `Installed`).
+    let rec = Box::into_raw(Box::new(AllocTarget { ctx, alloc }));
+    // The previous record is intentionally leaked (see `INSTALLED`).
     INSTALLED.store(rec, Ordering::Release);
 }
 
@@ -181,27 +242,25 @@ pub fn uninstall_allocator(ctx: usize) {
     }
 }
 
-/// Whether a process-wide foreign allocator is installed.
+/// Whether a process-wide fallback allocator is installed (scoped targets
+/// do not count: they are per-thread, per-structure state).
 #[inline]
 pub fn allocator_installed() -> bool {
     !INSTALLED.load(Ordering::Acquire).is_null()
 }
 
-/// Allocates from the installed foreign heap.
+/// Allocates from the current foreign target — this thread's scoped target
+/// if set, else the installed fallback heap.
 ///
-/// Returns `None` when no heap is installed **or** the heap is exhausted —
-/// callers decide whether to fall back to the volatile heap or to fail. The
-/// no-heap fast path is one relaxed load.
+/// Returns `None` when no target is active **or** the target heap is
+/// exhausted — callers decide whether to fall back to the volatile heap or
+/// to fail (use [`current_target`] to distinguish). The no-target fast path
+/// is one TLS read plus one relaxed load.
 #[inline]
 pub fn allocate(size: usize, align: usize) -> Option<*mut u8> {
-    let cur = INSTALLED.load(Ordering::Acquire);
-    if cur.is_null() {
-        return None;
-    }
-    // SAFETY: records are never freed, and (ctx, alloc) were published
-    // together, so they always belong to the same installation.
-    let (ctx, alloc) = unsafe { ((*cur).ctx, (*cur).alloc) };
-    let p = unsafe { alloc(ctx, size, align) };
+    let t = current_target()?;
+    // SAFETY: the target pair was published together by its heap.
+    let p = unsafe { (t.alloc)(t.ctx, size, align) };
     if p.is_null() {
         None
     } else {
@@ -214,6 +273,11 @@ mod tests {
     use super::*;
 
     unsafe fn fake_dealloc(_ctx: usize, _ptr: *mut u8, _size: usize, _align: usize) {}
+
+    /// Serializes the tests that observe or mutate the process-wide
+    /// `INSTALLED` fallback (the region and scoped-target tests are
+    /// naturally isolated: distinct addresses, per-thread state).
+    static INSTALL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[test]
     fn lookup_respects_bounds_and_unregister() {
@@ -229,19 +293,27 @@ mod tests {
     }
 
     #[test]
-    fn two_regions_fall_back_to_the_scan_and_both_resolve() {
-        let b1 = 0x20_0000_0000usize;
-        let b2 = 0x30_0000_0000usize;
-        register_region(b1, 4096, 11, fake_dealloc);
-        register_region(b2, 4096, 22, fake_dealloc);
-        assert_eq!(owner_of(b1 as *const u8).map(|(c, _)| c), Some(11));
-        assert_eq!(owner_of(b2 as *const u8).map(|(c, _)| c), Some(22));
-        assert!(owner_of((b1 + 4096) as *const u8).is_none());
-        assert_eq!(unregister_region(b1), Some(11));
-        // Back on the single-region fast path.
-        assert_eq!(owner_of(b2 as *const u8).map(|(c, _)| c), Some(22));
-        assert!(owner_of(b1 as *const u8).is_none());
-        assert_eq!(unregister_region(b2), Some(22));
+    fn many_regions_resolve_via_the_sorted_snapshot() {
+        // Deliberately registered out of address order: the snapshot sorts.
+        let bases = [0x40_0000_0000usize, 0x20_0000_0000, 0x30_0000_0000];
+        for (i, &b) in bases.iter().enumerate() {
+            register_region(b, 4096, 100 + i, fake_dealloc);
+        }
+        for (i, &b) in bases.iter().enumerate() {
+            assert_eq!(owner_of(b as *const u8).map(|(c, _)| c), Some(100 + i));
+            assert_eq!(
+                owner_of((b + 4095) as *const u8).map(|(c, _)| c),
+                Some(100 + i)
+            );
+            assert!(owner_of((b + 4096) as *const u8).is_none());
+        }
+        assert_eq!(unregister_region(bases[0]), Some(100));
+        // Remaining regions still resolve after the republish.
+        assert_eq!(owner_of(bases[1] as *const u8).map(|(c, _)| c), Some(101));
+        assert_eq!(owner_of(bases[2] as *const u8).map(|(c, _)| c), Some(102));
+        assert!(owner_of(bases[0] as *const u8).is_none());
+        assert_eq!(unregister_region(bases[1]), Some(101));
+        assert_eq!(unregister_region(bases[2]), Some(102));
     }
 
     #[test]
@@ -249,13 +321,55 @@ mod tests {
         unsafe fn grab(ctx: usize, _size: usize, _align: usize) -> *mut u8 {
             ctx as *mut u8
         }
+        let _g = INSTALL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         // Not installed for other tests: use a sentinel ctx and uninstall.
-        let sentinel = &raw const REGION_COUNT as usize;
+        let sentinel = &raw const INSTALLED as usize;
         install_allocator(sentinel, grab);
         assert!(allocator_installed());
         assert_eq!(allocate(8, 8), Some(sentinel as *mut u8));
         uninstall_allocator(sentinel);
         assert!(!allocator_installed());
         assert_eq!(allocate(8, 8), None);
+    }
+
+    #[test]
+    fn scoped_target_overrides_the_installed_fallback_and_restores() {
+        unsafe fn grab(ctx: usize, _size: usize, _align: usize) -> *mut u8 {
+            ctx as *mut u8
+        }
+        let _g = INSTALL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let installed = 0x1000usize;
+        let scoped = 0x2000usize;
+        install_allocator(installed, grab);
+        let prev = swap_scoped_target(Some(AllocTarget {
+            ctx: scoped,
+            alloc: grab,
+        }));
+        assert!(prev.is_none());
+        assert_eq!(allocate(8, 8), Some(scoped as *mut u8), "scope must win");
+        // Restore: back to the installed fallback.
+        let inner = swap_scoped_target(prev);
+        assert_eq!(inner.map(|t| t.ctx), Some(scoped));
+        assert_eq!(allocate(8, 8), Some(installed as *mut u8));
+        uninstall_allocator(installed);
+        assert_eq!(allocate(8, 8), None);
+    }
+
+    #[test]
+    fn scoped_target_is_per_thread() {
+        unsafe fn grab(ctx: usize, _size: usize, _align: usize) -> *mut u8 {
+            ctx as *mut u8
+        }
+        let _g = INSTALL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = swap_scoped_target(Some(AllocTarget {
+            ctx: 0x3000,
+            alloc: grab,
+        }));
+        let other = std::thread::spawn(|| allocate(8, 8).map(|p| p as usize))
+            .join()
+            .unwrap();
+        assert_eq!(other, None, "another thread must not see this scope");
+        assert_eq!(allocate(8, 8), Some(0x3000 as *mut u8));
+        swap_scoped_target(prev);
     }
 }

@@ -158,7 +158,7 @@ impl Registry {
             std::panic::panic_any(CrashSignal);
         }
         let evict = self.evict_period.load(Ordering::Relaxed);
-        if evict != 0 && step % evict == 0 {
+        if evict != 0 && step.is_multiple_of(evict) {
             if let Some(addr) = addr {
                 // A background cache eviction: the line is written back with
                 // whatever it currently holds, without the owner's consent.

@@ -7,6 +7,11 @@
 //! is exact). A crash reverts every cell to `persisted`, or poison if no
 //! write was ever persisted.
 
+// The `..ProptestConfig::default()` spread is redundant against the
+// vendored stub (whose config has one field) but required against real
+// proptest — keep it, silence the stub-only lint.
+#![allow(clippy::needless_update)]
+
 use nvtraverse_pmem::sim::{run_crashable, SimHandle};
 use nvtraverse_pmem::{Backend, PCell, Sim, POISON};
 use proptest::prelude::*;

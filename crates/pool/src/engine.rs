@@ -75,8 +75,10 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Number of lock-free free-list shards per size class.
-pub(crate) const NUM_SHARDS: usize = 8;
+/// Upper bound on lock-free free-list shards per size class (the actual
+/// count is derived from [`std::thread::available_parallelism`] per engine
+/// instance — volatile rebuild state, nothing persisted).
+pub(crate) const MAX_SHARDS: usize = 64;
 /// Capacity of one per-thread magazine (blocks per size class).
 const MAG_CAP: usize = 64;
 /// Blocks pulled from a shard into the magazine per refill.
@@ -122,8 +124,22 @@ fn unpack(word: u64) -> (u64, u64) {
 /// The address-derived home shard of a block: slab-granular, so blocks carved
 /// together stay together and remote frees return to a stable shard without
 /// any per-block owner metadata.
-fn shard_of(off: u64) -> usize {
-    ((off / SLAB_TARGET) as usize) & (NUM_SHARDS - 1)
+fn shard_of(off: u64, num_shards: usize) -> usize {
+    ((off / SLAB_TARGET) as usize) & (num_shards - 1)
+}
+
+/// Shards this machine wants: the detected parallelism rounded up to a
+/// power of two (the shard index is an AND mask), clamped to
+/// `1..=`[`MAX_SHARDS`]. Hard-coding 8 either wasted cache on small boxes
+/// or contended on big ones; deriving it is free because the shard arrays
+/// are volatile — recovery rebuilds them at every open, so two opens of
+/// one file may legitimately disagree on the count.
+fn default_shard_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .next_power_of_two()
+        .clamp(1, MAX_SHARDS)
 }
 
 /// Flushes a freshly allocated header only when it occupies a cache line
@@ -168,7 +184,7 @@ fn oversize_first_fit(mem: Mem, head: &mut u64, want: u64, payload: u64) -> Opti
 /// racing free-list walk before it is dereferenced; the tagged CAS rejects
 /// the walk itself).
 fn plausible_off(mem: Mem, off: u64) -> bool {
-    off >= HEAP_START && off % BLOCK_ALIGN == 0 && off + BLOCK_HEADER <= mem.len() as u64
+    off >= HEAP_START && off.is_multiple_of(BLOCK_ALIGN) && off + BLOCK_HEADER <= mem.len() as u64
 }
 
 // ---- engine dispatch -------------------------------------------------------
@@ -190,6 +206,14 @@ impl Engine {
         match self {
             Engine::Mutexed(_) => AllocMode::Mutexed,
             Engine::LockFree(_) => AllocMode::LockFree,
+        }
+    }
+
+    /// Free-list shards per size class (1 for the single-lock baseline).
+    pub(crate) fn shard_count(&self) -> usize {
+        match self {
+            Engine::Mutexed(_) => 1,
+            Engine::LockFree(e) => e.num_shards,
         }
     }
 
@@ -360,14 +384,20 @@ static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(1);
 
 pub(crate) struct LockFreeEngine {
     instance: u64,
+    /// Shards per size class for this instance (power of two in
+    /// `1..=MAX_SHARDS`, derived from the machine's parallelism at
+    /// construction; purely volatile — recovery rebuilds the shard arrays,
+    /// so reopening under a different count is routine).
+    num_shards: usize,
     /// Volatile reservation frontier (CAS-bumped, slab granular).
     frontier: AtomicU64,
     /// Frontier up to which slab headers AND the persistent frontier word
     /// are known persisted. Trails `frontier` only while a slab is being
     /// formatted; publication is in reservation order.
     published: AtomicU64,
-    /// Tagged Treiber heads: `shards[class][shard]` = offset | tag << 40.
-    shards: [[AtomicU64; NUM_SHARDS]; CLASS_SIZES.len()],
+    /// Tagged Treiber heads, `num_shards` per class, row-major:
+    /// `shards[class * num_shards + shard]` = offset | tag << 40.
+    shards: Box<[AtomicU64]>,
     /// Oversize blocks (exact-size, > 64 KiB): intrusive first-fit list.
     /// Mutexed — oversize traffic is rare and first-fit needs mid-list
     /// unlinking that a Treiber stack cannot express.
@@ -376,13 +406,23 @@ pub(crate) struct LockFreeEngine {
 
 impl LockFreeEngine {
     fn new() -> Self {
+        let num_shards = default_shard_count();
         LockFreeEngine {
             instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
+            num_shards,
             frontier: AtomicU64::new(HEAP_START),
             published: AtomicU64::new(HEAP_START),
-            shards: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            shards: (0..CLASS_SIZES.len() * num_shards)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             oversize: Mutex::new(0),
         }
+    }
+
+    /// The tagged head of `class`'s shard `idx`.
+    #[inline]
+    fn shard(&self, class: usize, idx: usize) -> &AtomicU64 {
+        &self.shards[class * self.num_shards + idx]
     }
 
     // -- small classes: magazine → shards → slab carve --
@@ -392,9 +432,9 @@ impl LockFreeEngine {
             return Some(off);
         }
         let mut got = Vec::with_capacity(REFILL.max(MAX_SLAB_BLOCKS));
-        let pref = preferred_shard();
-        for i in 0..NUM_SHARDS {
-            let head = &self.shards[class][(pref + i) & (NUM_SHARDS - 1)];
+        let pref = preferred_shard(self.num_shards);
+        for i in 0..self.num_shards {
+            let head = self.shard(class, (pref + i) & (self.num_shards - 1));
             if pop_chain(head, mem, REFILL, &mut got) {
                 break;
             }
@@ -549,9 +589,9 @@ impl LockFreeEngine {
     /// cheap and stall nobody).
     fn drain_to_shards(&self, mem: Mem, class: usize, blocks: &[u64]) {
         // (first, last) of a chain being built per shard; 0 = empty.
-        let mut chains = [(0u64, 0u64); NUM_SHARDS];
+        let mut chains = [(0u64, 0u64); MAX_SHARDS];
         for &off in blocks {
-            let (first, last) = &mut chains[shard_of(off)];
+            let (first, last) = &mut chains[shard_of(off, self.num_shards)];
             if *first == 0 {
                 mem.store(off + 8, 0);
                 *last = off;
@@ -565,9 +605,9 @@ impl LockFreeEngine {
         for &off in blocks {
             MmapBackend::flush(mem.ptr(off));
         }
-        for (s, &(first, last)) in chains.iter().enumerate() {
+        for (s, &(first, last)) in chains.iter().take(self.num_shards).enumerate() {
             if first != 0 {
-                push_chain(&self.shards[class][s], mem, first, last);
+                push_chain(self.shard(class, s), mem, first, last);
             }
         }
     }
@@ -575,15 +615,14 @@ impl LockFreeEngine {
     fn rebuild(&mut self, mem: Mem, frontier: u64, frees: &[(u64, usize)]) {
         *self.frontier.get_mut() = frontier;
         *self.published.get_mut() = frontier;
-        for row in self.shards.iter_mut() {
-            for head in row.iter_mut() {
-                *head.get_mut() = 0;
-            }
+        for head in self.shards.iter_mut() {
+            *head.get_mut() = 0;
         }
         let mut over = 0u64;
         for &(off, class) in frees {
             if class < OVERSIZE {
-                let head = self.shards[class][shard_of(off)].get_mut();
+                let head = self.shards[class * self.num_shards + shard_of(off, self.num_shards)]
+                    .get_mut();
                 let (top, tag) = unpack(*head);
                 mem.store(off + 8, top);
                 *head = pack(off, tag);
@@ -767,11 +806,12 @@ fn with_cache<R>(instance: u64, f: impl FnOnce(&mut MagSet) -> R) -> Option<R> {
 }
 
 /// The shard a thread prefers for refills: assigned round-robin at first
-/// use, so concurrent threads spread across shards.
-fn preferred_shard() -> usize {
+/// use (masked per engine by its own shard count), so concurrent threads
+/// spread across shards.
+fn preferred_shard(num_shards: usize) -> usize {
     static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
     thread_local! {
-        static SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) & (NUM_SHARDS - 1);
+        static SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed);
     }
-    SHARD.try_with(|s| *s).unwrap_or(0)
+    SHARD.try_with(|s| *s).unwrap_or(0) & (num_shards - 1)
 }

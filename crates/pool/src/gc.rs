@@ -160,7 +160,7 @@ impl<'a> Marker<'a> {
     /// block — in bounds, 16-aligned, below the frontier, with a header
     /// passing the full walk invariants. Returns the block's header offset.
     fn valid_payload(&self, off: u64) -> Option<u64> {
-        if off < HEAP_START + BLOCK_HEADER || off % BLOCK_ALIGN != 0 {
+        if off < HEAP_START + BLOCK_HEADER || !off.is_multiple_of(BLOCK_ALIGN) {
             return None;
         }
         let block = off - BLOCK_HEADER;

@@ -28,7 +28,8 @@
 //! * [`POff`] — typed offset pointers, stable across rebased mappings.
 //! * A **root registry** — up to [`MAX_ROOTS`] named offsets in the pool
 //!   header, so a structure can be found again after reopen
-//!   (`Pool::open` → [`Pool::root`] → attach → `recover()`).
+//!   (open → [`Pool::root_offset`] → attach → `recover()`; higher layers
+//!   wrap this as the typed `root::<S>()` API).
 //!
 //! Flushes and fences over the mapped region go through
 //! [`nvtraverse_pmem::MmapBackend`]: `clwb`/`sfence` on x86-64 (the paper's
@@ -50,15 +51,20 @@
 //! module docs for the full deferred-persistence design and its bounded
 //! leak-on-power-failure trade-offs.
 //!
-//! # Process-wide takeover
+//! # Many pools per process
 //!
-//! `libvmmalloc` works by replacing `malloc` for the *whole process*;
-//! [`Pool::install_as_default`] mirrors that: it routes every
-//! `nvtraverse::alloc::alloc_node` in the process to this pool (via
-//! [`nvtraverse_pmem::heap`]), and the matching `free`/EBR-reclaim paths
-//! return pool pointers to the pool. One pool is the allocation target at a
-//! time; data structures built while it is installed live entirely in the
-//! pool file.
+//! Pools are **first-class values**: any number can be open concurrently in
+//! one process (the sharded structures in `nvtraverse-structures` open one
+//! pool per shard). Each open pool registers its mapped region with
+//! [`nvtraverse_pmem::heap`], whose sorted-snapshot lookup routes every
+//! `free`/EBR-reclaim back to the owning pool, and exposes its allocation
+//! entry point as [`Pool::alloc_target`] so higher layers can direct node
+//! allocation per structure (the `nvtraverse::alloc::PoolCtx` scope).
+//! Nothing is process-global.
+//!
+//! The original `libvmmalloc`-style whole-process takeover
+//! ([`Pool::install_as_default`]) survives as a deprecated fallback: scoped
+//! targets take precedence over it.
 //!
 //! # Example
 //!
@@ -67,14 +73,14 @@
 //!
 //! let path = std::env::temp_dir().join(format!("doc-pool-{}.pool", std::process::id()));
 //! let _ = std::fs::remove_file(&path);
-//! let pool = Pool::create(&path, 1 << 20).unwrap();
+//! let pool = Pool::builder().path(&path).capacity(1 << 20).create().unwrap();
 //! let p = pool.alloc(64, 8).unwrap();
 //! let off = pool.offset_of(p as *const u8);
-//! pool.set_root("my-root", off).unwrap();
+//! pool.set_root_offset("my-root", off).unwrap();
 //! drop(pool);
 //!
-//! let pool = Pool::open(&path).unwrap();
-//! assert_eq!(pool.root("my-root"), Some(off));
+//! let pool = Pool::builder().path(&path).open().unwrap();
+//! assert_eq!(pool.root_offset("my-root"), Some(off));
 //! # drop(pool); std::fs::remove_file(&path).unwrap();
 //! ```
 
@@ -96,7 +102,7 @@ use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -221,7 +227,7 @@ impl Mem {
     /// The 8-byte word at `off` as an atomic. `off` must be in-bounds and
     /// 8-aligned.
     pub(crate) fn au64(&self, off: u64) -> &AtomicU64 {
-        debug_assert!(off % 8 == 0 && (off as usize) + 8 <= self.len);
+        debug_assert!(off.is_multiple_of(8) && (off as usize) + 8 <= self.len);
         // SAFETY: the mapping outlives every Mem user (Inner unmaps only
         // after engines and the heap registry are torn down), and the
         // address is valid, aligned shared memory.
@@ -274,7 +280,16 @@ struct Inner {
     /// Serializes root-registry reads and writes (slot names are multi-word,
     /// so their publication is not atomic). Rare operations only.
     roots: Mutex<()>,
-    report: RecoveryReport,
+    /// Mutable because [`Pool::run_pending_gc`] folds a deferred collection
+    /// into it after the open.
+    report: Mutex<RecoveryReport>,
+    /// Open-time recovery wanted to GC but a root had no tracer yet:
+    /// [`Pool::run_pending_gc`] may still collect before the first attach.
+    gc_pending: AtomicBool,
+    /// Structures attached through this pool (see [`Pool::note_attach`]);
+    /// nonzero disables the deferred GC — the heap is no longer provably
+    /// quiescent-and-untouched.
+    attach_count: AtomicUsize,
 }
 
 // SAFETY: the mapping is plain shared memory; mutation happens through the
@@ -301,7 +316,118 @@ impl fmt::Debug for Pool {
     }
 }
 
+/// Builder for opening or creating a [`Pool`] — the one constructor
+/// surface (`Pool::builder().path(…).capacity(…).mode(…)` then
+/// [`create`](PoolBuilder::create) / [`open`](PoolBuilder::open) /
+/// [`open_or_create`](PoolBuilder::open_or_create)), replacing the former
+/// zoo of `create`/`open`/`*_with_mode`/`open_or_create` constructors (kept
+/// as deprecated shims for one release).
+///
+/// * `path` — required for every terminal method.
+/// * `capacity` — required by `create` and `open_or_create`; ignored by
+///   `open` (the file dictates it).
+/// * `mode` — the volatile [`AllocMode`] choice, default
+///   [`AllocMode::LockFree`].
+#[derive(Debug, Clone, Default)]
+pub struct PoolBuilder {
+    path: Option<PathBuf>,
+    capacity: Option<u64>,
+    mode: AllocMode,
+}
+
+impl PoolBuilder {
+    /// Sets the pool file path (required).
+    pub fn path(mut self, path: impl AsRef<Path>) -> Self {
+        self.path = Some(path.as_ref().to_path_buf());
+        self
+    }
+
+    /// Sets the pool capacity in bytes (required by
+    /// [`create`](PoolBuilder::create) and
+    /// [`open_or_create`](PoolBuilder::open_or_create)).
+    pub fn capacity(mut self, bytes: u64) -> Self {
+        self.capacity = Some(bytes);
+        self
+    }
+
+    /// Selects the allocation engine (volatile, per-open; default
+    /// [`AllocMode::LockFree`]).
+    pub fn mode(mut self, mode: AllocMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    fn want_path(&self) -> io::Result<&Path> {
+        self.path.as_deref().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "pool builder: path not set")
+        })
+    }
+
+    fn want_capacity(&self) -> io::Result<u64> {
+        self.capacity.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "pool builder: capacity not set (required to create)",
+            )
+        })
+    }
+
+    /// Creates a new pool file of the configured capacity and maps it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `path`/`capacity` are unset, the file already exists, the
+    /// capacity is outside [`MIN_CAPACITY`]`..=`[`MAX_CAPACITY`], or
+    /// mapping fails.
+    pub fn create(self) -> io::Result<Pool> {
+        Pool::create_impl(self.want_path()?, self.want_capacity()?, self.mode)
+    }
+
+    /// Opens the existing pool file, verifies its header, and rebuilds the
+    /// allocator's volatile state from a full heap walk — followed by the
+    /// root-driven mark-sweep recovery GC (see the [`gc`] module) when
+    /// every registered root has a tracer. When tracers are missing the
+    /// collection is left *pending*: [`Pool::run_pending_gc`] can still run
+    /// it once tracers are registered, provided nothing has attached yet.
+    ///
+    /// The file is mapped at its recorded preferred base when that range is
+    /// still free (embedded absolute pointers stay valid); otherwise it is
+    /// mapped elsewhere and the pool is [*rebased*](Pool::is_rebased).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `path` is unset or missing, on bad magic/version/capacity,
+    /// or heap metadata that does not verify.
+    pub fn open(self) -> io::Result<Pool> {
+        Pool::open_impl(self.want_path()?, self.mode)
+    }
+
+    /// Opens the pool if its file exists, otherwise creates it with the
+    /// configured capacity. Also heals a file whose creation never
+    /// completed (no magic persisted): it is unlinked and recreated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PoolBuilder::open`]/[`PoolBuilder::create`] failures.
+    pub fn open_or_create(self) -> io::Result<Pool> {
+        let path = self.want_path()?;
+        if path.exists() {
+            if unlink_if_never_completed(path)? {
+                return Pool::create_impl(path, self.want_capacity()?, self.mode);
+            }
+            Pool::open_impl(path, self.mode)
+        } else {
+            Pool::create_impl(path, self.want_capacity()?, self.mode)
+        }
+    }
+}
+
 impl Pool {
+    /// Starts building a pool handle — see [`PoolBuilder`].
+    pub fn builder() -> PoolBuilder {
+        PoolBuilder::default()
+    }
+
     /// Creates a new pool file of `capacity` bytes at `path` and maps it,
     /// with the default [`AllocMode::LockFree`] engine.
     ///
@@ -309,17 +435,22 @@ impl Pool {
     ///
     /// Fails if the file already exists, the capacity is outside
     /// [`MIN_CAPACITY`]..=[`MAX_CAPACITY`], or mapping fails.
+    #[deprecated(note = "use `Pool::builder().path(…).capacity(…).create()`")]
     pub fn create(path: impl AsRef<Path>, capacity: u64) -> io::Result<Pool> {
-        Pool::create_with_mode(path, capacity, AllocMode::default())
+        Pool::create_impl(path.as_ref(), capacity, AllocMode::default())
     }
 
     /// [`Pool::create`] with an explicit allocation engine.
+    #[deprecated(note = "use `Pool::builder().path(…).capacity(…).mode(…).create()`")]
     pub fn create_with_mode(
         path: impl AsRef<Path>,
         capacity: u64,
         mode: AllocMode,
     ) -> io::Result<Pool> {
-        let path = path.as_ref();
+        Pool::create_impl(path.as_ref(), capacity, mode)
+    }
+
+    fn create_impl(path: &Path, capacity: u64, mode: AllocMode) -> io::Result<Pool> {
         if capacity < MIN_CAPACITY {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
@@ -362,11 +493,13 @@ impl Pool {
             ready: false,
             engine: Engine::new(mode),
             roots: Mutex::new(()),
-            report: RecoveryReport {
+            report: Mutex::new(RecoveryReport {
                 heap_bytes: 0,
                 clean_shutdown: true,
                 ..Default::default()
-            },
+            }),
+            gc_pending: AtomicBool::new(false),
+            attach_count: AtomicUsize::new(0),
         };
         // Initialize the header. The magic is persisted last, so a crash
         // during create leaves a file without it, which `open` rejects
@@ -388,28 +521,25 @@ impl Pool {
     }
 
     /// Opens an existing pool file with the default [`AllocMode::LockFree`]
-    /// engine, verifies its header, and rebuilds the allocator's volatile
-    /// free-list state from a full heap walk — followed by the root-driven
-    /// mark-sweep recovery GC (see the [`gc`] module) when every registered
-    /// root has a tracer, so blocks a previous crash stranded are returned
-    /// to the free lists before any structure attaches.
-    ///
-    /// The file is mapped at its recorded preferred base when that range is
-    /// still free (embedded absolute pointers stay valid); otherwise it is
-    /// mapped elsewhere and the pool is [*rebased*](Pool::is_rebased).
+    /// engine — see [`PoolBuilder::open`] for the full recovery story.
     ///
     /// # Errors
     ///
     /// Fails on a missing file, bad magic/version/capacity, or heap
     /// metadata that does not verify.
+    #[deprecated(note = "use `Pool::builder().path(…).open()`")]
     pub fn open(path: impl AsRef<Path>) -> io::Result<Pool> {
-        Pool::open_with_mode(path, AllocMode::default())
+        Pool::open_impl(path.as_ref(), AllocMode::default())
     }
 
     /// [`Pool::open`] with an explicit allocation engine. The engine choice
     /// is volatile: both engines read and write the same persistent format.
+    #[deprecated(note = "use `Pool::builder().path(…).mode(…).open()`")]
     pub fn open_with_mode(path: impl AsRef<Path>, mode: AllocMode) -> io::Result<Pool> {
-        let path = path.as_ref();
+        Pool::open_impl(path.as_ref(), mode)
+    }
+
+    fn open_impl(path: &Path, mode: AllocMode) -> io::Result<Pool> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
         lock_pool_file(&file, path)?;
         let file_len = file.metadata()?.len();
@@ -466,10 +596,19 @@ impl Pool {
             ready: false,
             engine: Engine::new(mode),
             roots: Mutex::new(()),
-            report: RecoveryReport::default(),
+            report: Mutex::new(RecoveryReport::default()),
+            gc_pending: AtomicBool::new(false),
+            attach_count: AtomicUsize::new(0),
         };
         let report = inner.recover_allocator(clean == 1)?;
-        inner.report = report;
+        // The GC stays *pending* when it was skipped only because a root
+        // lacked a tracer: a later `run_pending_gc` (before any attach) can
+        // still prove reachability once higher layers register tracers.
+        // Rebased mappings and rootless pools can never become provable.
+        if !report.gc_ran && !inner.rebased && inner.root_count() > 0 {
+            *inner.gc_pending.get_mut() = true;
+        }
+        *inner.report.get_mut().unwrap_or_else(|e| e.into_inner()) = report;
         // Mark the pool dirty until a clean close. The preferred base is
         // only re-recorded for a NON-rebased mapping: on a rebased one,
         // absolute pointers inside the pool still encode the original
@@ -489,22 +628,9 @@ impl Pool {
     /// # Errors
     ///
     /// Propagates [`Pool::open`]/[`Pool::create`] failures.
+    #[deprecated(note = "use `Pool::builder().path(…).capacity(…).open_or_create()`")]
     pub fn open_or_create(path: impl AsRef<Path>, capacity: u64) -> io::Result<Pool> {
-        let path = path.as_ref();
-        if path.exists() {
-            // Self-heal a crash during `create`: the magic is persisted
-            // last, so a magic of exactly 0 means creation never completed
-            // and the file holds no data worth keeping. (Anything else
-            // non-magic is somebody's file — refuse to touch it.) The check
-            // and the unlink happen on a locked descriptor so a pool another
-            // process is concurrently creating or using is never unlinked.
-            if unlink_if_never_completed(path)? {
-                return Pool::create(path, capacity);
-            }
-            Pool::open(path)
-        } else {
-            Pool::create(path, capacity)
-        }
+        Pool::builder().path(path).capacity(capacity).open_or_create()
     }
 
     fn finish_open(mut inner: Inner) -> Pool {
@@ -557,9 +683,20 @@ impl Pool {
         self.inner.rebased
     }
 
-    /// What recovery found when this pool was opened.
+    /// What recovery found when this pool was opened — including, when a
+    /// deferred [`Pool::run_pending_gc`] collected after the open, that
+    /// collection's reclaim.
     pub fn recovery_report(&self) -> RecoveryReport {
-        self.inner.report
+        *self.inner.report.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The number of lock-free free-list shards per size class this
+    /// handle's engine runs (derived from
+    /// [`std::thread::available_parallelism`] at open; volatile rebuild
+    /// state, nothing persisted). `1` under [`AllocMode::Mutexed`] — the
+    /// baseline engine has a single lock, not shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.engine.shard_count()
     }
 
     /// Whether `ptr` points into this pool's mapping.
@@ -658,7 +795,7 @@ impl Pool {
     /// # Errors
     ///
     /// Fails when the name is empty/too long or all root slots are taken.
-    pub fn set_root(&self, name: &str, off: u64) -> io::Result<()> {
+    pub fn set_root_offset(&self, name: &str, off: u64) -> io::Result<()> {
         let bytes = name.as_bytes();
         if bytes.is_empty() || bytes.len() > MAX_ROOT_NAME || bytes.contains(&0) {
             return Err(io::Error::new(
@@ -681,8 +818,7 @@ impl Pool {
             }
         }
         let slot = free_slot.ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::Other,
+            io::Error::other(
                 format!("all {MAX_ROOTS} root slots in use"),
             )
         })?;
@@ -702,8 +838,19 @@ impl Pool {
         Ok(())
     }
 
-    /// Looks up the offset registered under `name`.
-    pub fn root(&self, name: &str) -> Option<u64> {
+    /// The former name of [`Pool::set_root_offset`], freed up so the typed
+    /// root API (`nvtraverse`'s `root::<S>()`) can own the `root` verb.
+    #[deprecated(note = "renamed to `set_root_offset`")]
+    pub fn set_root(&self, name: &str, off: u64) -> io::Result<()> {
+        self.set_root_offset(name, off)
+    }
+
+    /// Looks up the raw offset registered under `name`.
+    ///
+    /// (The typed counterpart — `pool.root::<S>(name)` returning an
+    /// attached, recovered structure handle — lives in the `nvtraverse`
+    /// crate's `TypedRoots` extension trait.)
+    pub fn root_offset(&self, name: &str) -> Option<u64> {
         let inner = &*self.inner;
         let _guard = inner.roots.lock().unwrap_or_else(|e| e.into_inner());
         for slot in 0..MAX_ROOTS {
@@ -769,7 +916,7 @@ impl Pool {
     ///
     /// Same conditions as [`Pool::set_root`].
     pub fn set_root_ptr<T>(&self, name: &str, ptr: *const T) -> io::Result<()> {
-        self.set_root(name, self.offset_of(ptr as *const u8))
+        self.set_root_offset(name, self.offset_of(ptr as *const u8))
     }
 
     /// Resolves root `name` as a typed pointer in the current mapping.
@@ -777,24 +924,26 @@ impl Pool {
     /// Performs no validity checks — structure attach paths should use
     /// [`Pool::attach_root_ptr`] instead.
     pub fn root_ptr<T>(&self, name: &str) -> Option<*mut T> {
-        self.root(name).map(|off| self.at(off) as *mut T)
+        self.root_offset(name).map(|off| self.at(off) as *mut T)
     }
 
     /// The checked attach-side root lookup every `PoolAttach`
     /// implementation shares: refuses a [rebased](Pool::is_rebased) pool
     /// (embedded absolute pointers would be invalid) and a torn slot from a
-    /// crashed `set_root` (offset 0), installs this pool as the
-    /// process-wide allocation target, and resolves the root as a typed
-    /// pointer in the current mapping.
+    /// crashed `set_root_offset` (offset 0), then resolves the root as a
+    /// typed pointer in the current mapping.
+    ///
+    /// Since pools became first-class this performs **no process-global
+    /// installation**: allocation routing is the attaching structure's job
+    /// (it carries this pool's [`Pool::alloc_target`] in its `PoolCtx`).
     pub fn attach_root_ptr<T>(&self, name: &str) -> Option<*mut T> {
         if self.is_rebased() {
             return None;
         }
-        let off = self.root(name)?;
+        let off = self.root_offset(name)?;
         if off == 0 {
             return None;
         }
-        self.install_as_default();
         Some(self.at(off) as *mut T)
     }
 
@@ -818,20 +967,148 @@ impl Pool {
         self.set_root_ptr(name, ptr)
     }
 
-    // ---- process-wide installation ---------------------------------------
+    // ---- allocation routing ---------------------------------------------
 
-    /// Makes this pool the process-wide allocation target: every
-    /// `nvtraverse::alloc::alloc_node` is served from it until
-    /// [`Pool::uninstall_default`] (or another pool is installed). Mirrors
-    /// `libvmmalloc`'s whole-process takeover (paper §5.1).
-    pub fn install_as_default(&self) {
-        heap::install_allocator(Arc::as_ptr(&self.inner) as usize, Inner::alloc_shim);
+    /// This pool's allocation entry point, for per-structure allocation
+    /// scopes (`nvtraverse::alloc::PoolCtx`): the pair a thread passes to
+    /// [`nvtraverse_pmem::heap::swap_scoped_target`] so its node
+    /// allocations are served from this pool — any number of pools can be
+    /// targets concurrently, each through its own structures.
+    ///
+    /// The target is **non-owning**: it is valid only while some `Pool`
+    /// handle to this mapping is alive. The `PooledHandle` lifecycle
+    /// guarantees that (the handle owns a pool clone and the structure
+    /// never outlives it); hand-rolled users must keep a handle alive
+    /// themselves.
+    pub fn alloc_target(&self) -> heap::AllocTarget {
+        heap::AllocTarget {
+            ctx: Arc::as_ptr(&self.inner) as usize,
+            alloc: Inner::alloc_shim,
+        }
     }
 
-    /// Stops routing process-wide allocations to this pool (no-op if some
-    /// other pool is installed).
+    /// Makes this pool the process-wide **fallback** allocation target
+    /// (per-structure scoped targets take precedence). Mirrors
+    /// `libvmmalloc`'s whole-process takeover (paper §5.1) — the
+    /// single-pool model this crate grew out of.
+    #[deprecated(
+        note = "pools are first-class now: structures carry a per-pool \
+                allocation context (`PoolCtx`), no global install needed"
+    )]
+    pub fn install_as_default(&self) {
+        let t = self.alloc_target();
+        heap::install_allocator(t.ctx, t.alloc);
+    }
+
+    /// Stops routing process-wide fallback allocations to this pool (no-op
+    /// if some other pool is installed).
+    #[deprecated(note = "counterpart of the deprecated `install_as_default`")]
     pub fn uninstall_default(&self) {
         heap::uninstall_allocator(Arc::as_ptr(&self.inner) as usize);
+    }
+
+    // ---- deferred recovery GC -------------------------------------------
+
+    /// Whether open-time recovery skipped the mark-sweep GC **only**
+    /// because some root had no registered tracer yet — the state
+    /// [`Pool::run_pending_gc`] can still resolve.
+    pub fn gc_pending(&self) -> bool {
+        self.inner.gc_pending.load(Ordering::Acquire)
+    }
+
+    /// Records that a structure has attached to (or been created in) this
+    /// pool. Called by the typed-root layer (`nvtraverse`'s `TypedRoots`);
+    /// hand-rolled `attach_to_pool` users should call it too. Once any
+    /// structure is attached the deferred GC is permanently disabled for
+    /// this open: the heap is no longer provably untouched since recovery.
+    pub fn note_attach(&self) {
+        self.inner.attach_count.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Runs the deferred open-time mark-sweep GC, if it is still both
+    /// [pending](Pool::gc_pending) and provable: every registered root now
+    /// has a tracer (see [`gc::register_tracer`]) and **nothing has
+    /// attached yet** ([`Pool::note_attach`]). Returns whether a collection
+    /// ran; its reclaim is folded into [`Pool::recovery_report`].
+    ///
+    /// This exists for the typed-root open order: `Pool::builder().open()`
+    /// runs before any `root::<S>()` call can register `S`'s tracer, so a
+    /// single-structure pool opened through the new API GCs here — at the
+    /// first `root::<S>()`, before the structure attaches — rather than
+    /// inside `open`. Multi-root pools GC once the last tracer arrives
+    /// (register tracers for all roots before the first attach to get a
+    /// collection; see `register_pool_tracer`).
+    ///
+    /// Quiescence contract: callers must not run this concurrently with
+    /// pool allocation or structure operations (the typed-root layer calls
+    /// it only before the first attach, which satisfies this by
+    /// construction). Two belt-and-braces guards back the contract up:
+    /// whole collections serialize on the report lock (concurrent callers
+    /// can never both sweep, i.e. never double-free the same blocks), and
+    /// any `alloc`/`dealloc` on the pool cancels the pending collection
+    /// outright — the flag stays raised until a sweep *completes*, so a
+    /// mutation at any earlier point is seen and a block allocated after
+    /// the open can never be mistaken for crash garbage by a later
+    /// deferred sweep.
+    pub fn run_pending_gc(&self) -> bool {
+        let inner = &*self.inner;
+        // One collection at a time: the report lock is held across the
+        // whole decide-walk-sweep sequence, and the pending flag is only
+        // lowered (terminally) under it.
+        let mut report = inner.report.lock().unwrap_or_else(|e| e.into_inner());
+        if !inner.gc_pending.load(Ordering::Acquire)
+            || inner.attach_count.load(Ordering::Acquire) > 0
+        {
+            return false;
+        }
+        let Some(roots) = inner.traceable_roots() else {
+            // Not provable *yet* (a tracer is still missing); the flag
+            // stays raised so a later registration can retry — and so any
+            // interleaved alloc/dealloc still cancels it.
+            return false;
+        };
+        // Re-walk the heap for the allocated inventory (the open-time walk
+        // discarded it when the GC could not run). Cancel-on-alloc
+        // guarantees this inventory equals the open-time one.
+        let frontier = inner.engine.frontier();
+        let mut allocs: Vec<(u64, u64, usize)> = Vec::new();
+        let mut off = HEAP_START;
+        while off < frontier {
+            // Headers were validated at open and only mutated by the
+            // engines since; a failure here would be memory corruption.
+            let Ok((size, class, allocated)) =
+                check_block_header(inner.mem.load(off), off, frontier)
+            else {
+                return false;
+            };
+            if allocated {
+                allocs.push((off, size, class));
+            }
+            off += size;
+        }
+        inner.deferred_gc(frontier, &roots, &allocs, &mut report);
+        inner.gc_pending.store(false, Ordering::Release);
+        true
+    }
+
+    /// Whether `off` is the payload start of a currently **allocated**
+    /// block of this pool (full header validation against the walk
+    /// invariants). This is the check behind [`POff::resolve`]'s loud
+    /// rejection of offsets that were minted against a different pool.
+    pub fn is_allocated_payload(&self, off: u64) -> bool {
+        let inner = &*self.inner;
+        if off < HEAP_START + BLOCK_HEADER || !off.is_multiple_of(BLOCK_ALIGN) {
+            return false;
+        }
+        let block = off - BLOCK_HEADER;
+        let frontier = inner.engine.frontier();
+        if block >= frontier {
+            return false;
+        }
+        matches!(
+            check_block_header(inner.mem.load(block), block, frontier),
+            Ok((_, _, true))
+        )
     }
 
     // ---- maintenance -----------------------------------------------------
@@ -912,6 +1189,14 @@ impl Inner {
     // ---- allocator entry points ------------------------------------------
 
     fn alloc(&self, size: usize, align: usize) -> Option<*mut u8> {
+        // Any mutation before a still-pending deferred GC makes the GC's
+        // open-time reachability picture stale — a fresh allocation is
+        // reachable from no root and would be swept as crash garbage.
+        // Cancel the collection instead. (One relaxed load; the flag is
+        // false for the pool's entire steady-state life.)
+        if self.gc_pending.load(Ordering::Relaxed) {
+            self.gc_pending.store(false, Ordering::Release);
+        }
         if align > BLOCK_ALIGN as usize {
             // Alignment is caller-controlled through the generic alloc_node
             // path; an unsupported value must fail the allocation, not the
@@ -952,6 +1237,11 @@ impl Inner {
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8) {
+        // See `alloc`: a free before the deferred GC ran could hand the
+        // sweep an already-free (or recycled) block — cancel it.
+        if self.gc_pending.load(Ordering::Relaxed) {
+            self.gc_pending.store(false, Ordering::Release);
+        }
         let (_, class) = self.block_info(ptr);
         let off = (ptr as usize - self.mem.base()) as u64 - BLOCK_HEADER;
         self.engine.dealloc(self.mem, off, class);
@@ -1081,6 +1371,51 @@ impl Inner {
         report.gc_nanos = start.elapsed().as_nanos() as u64;
     }
 
+    /// Number of named root slots in use.
+    fn root_count(&self) -> usize {
+        let _guard = self.roots.lock().unwrap_or_else(|e| e.into_inner());
+        (0..MAX_ROOTS)
+            .filter(|&slot| self.read_root_slot(slot).0.is_some())
+            .count()
+    }
+
+    /// The deferred variant of [`Inner::recovery_gc`], run after the engine
+    /// is already rebuilt (see [`Pool::run_pending_gc`]): same mark phase,
+    /// but swept blocks return through [`Engine::dealloc`] — each engine's
+    /// own free-path persistence discipline — instead of the rebuild's free
+    /// list. Folds the reclaim into the existing `report`.
+    fn deferred_gc(
+        &self,
+        frontier: u64,
+        roots: &[(u64, gc::TraceFn)],
+        allocs: &[(u64, u64, usize)],
+        report: &mut RecoveryReport,
+    ) {
+        let start = Instant::now();
+        let mut bits = vec![0u64; (((frontier - HEAP_START) / BLOCK_ALIGN) as usize).div_ceil(64)];
+        let mut marker = gc::Marker::new(self.mem, frontier, &mut bits);
+        for &(off, trace) in roots {
+            // SAFETY: register_tracer's contract (tracer matches the root's
+            // type), plus the quiescent pre-attach heap `run_pending_gc`
+            // requires — the same state open-time recovery provides.
+            unsafe { trace(self.mem.ptr(off), &mut marker) };
+        }
+        let mut swept = 0usize;
+        for &(off, size, class) in allocs {
+            if marker.is_marked(off) {
+                continue;
+            }
+            self.engine.dealloc(self.mem, off, class);
+            swept += 1;
+            report.reclaimed_bytes += size;
+        }
+        report.gc_ran = true;
+        report.reclaimed_blocks += swept;
+        report.live_blocks -= swept;
+        report.free_blocks += swept;
+        report.gc_nanos += start.elapsed().as_nanos() as u64;
+    }
+
     // ---- shims for the pmem foreign-heap registry ------------------------
 
     unsafe fn alloc_shim(ctx: usize, size: usize, align: usize) -> *mut u8 {
@@ -1123,7 +1458,7 @@ impl Drop for Inner {
 fn check_block_header(w0: u64, off: u64, frontier: u64) -> Result<(u64, usize, bool), String> {
     let size = w0 & W0_SIZE_MASK;
     let class = ((w0 >> W0_CLASS_SHIFT) & W0_CLASS_MASK) as usize;
-    if size < BLOCK_HEADER + BLOCK_ALIGN || size % BLOCK_ALIGN != 0 {
+    if size < BLOCK_HEADER + BLOCK_ALIGN || !size.is_multiple_of(BLOCK_ALIGN) {
         return Err(format!("block at {off:#x}: bad size {size}"));
     }
     if class >= NUM_CLASSES {

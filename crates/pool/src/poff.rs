@@ -60,27 +60,58 @@ impl<T> POff<T> {
 
     /// Resolves to a pointer in `pool`'s current mapping (null → null).
     ///
+    /// With several pools open per process, resolving an offset against the
+    /// wrong pool is the canonical cross-pool bug — so this validates that
+    /// the offset names the payload of a currently **allocated** block of
+    /// `pool` (full header check) and panics loudly when it does not. The
+    /// check is best-effort (two equal-layout pools can alias offsets), but
+    /// it catches stray offsets deterministically; use
+    /// [`POff::try_resolve`] to reject gracefully instead.
+    ///
     /// # Panics
     ///
-    /// Panics if the offset lies outside the pool.
+    /// Panics if the offset lies outside the pool or is not the payload
+    /// start of an allocated block — typically a `POff` minted against a
+    /// different pool.
     pub fn resolve(self, pool: &Pool) -> *mut T {
-        if self.is_null() {
-            return std::ptr::null_mut();
+        match self.try_resolve(pool) {
+            None if !self.is_null() => panic!(
+                "POff({:#x}) does not name an allocated block of pool {} — \
+                 was it created against a different pool?",
+                self.off,
+                pool.path().display()
+            ),
+            ptr => ptr.unwrap_or(std::ptr::null_mut()),
         }
-        pool.at(self.off) as *mut T
+    }
+
+    /// [`POff::resolve`] that rejects gracefully: `None` when the offset is
+    /// not the payload start of an allocated block in `pool` (and for the
+    /// null offset).
+    pub fn try_resolve(self, pool: &Pool) -> Option<*mut T> {
+        if self.is_null() || !pool.is_allocated_payload(self.off) {
+            return None;
+        }
+        Some(pool.at(self.off) as *mut T)
     }
 
     /// Resolves to a reference in `pool`'s current mapping.
+    ///
+    /// Unlike [`POff::resolve`], this performs **no** payload-start
+    /// validation: the safety contract below already makes validity the
+    /// caller's assertion, and it legitimately covers interior offsets
+    /// (a `T` field inside a larger allocated block), which `resolve`
+    /// would reject.
     ///
     /// # Safety
     ///
     /// The offset must point at a live, initialized `T` in this pool, and
     /// the usual aliasing rules apply for the returned lifetime.
-    pub unsafe fn as_ref<'a>(self, pool: &'a Pool) -> Option<&'a T> {
+    pub unsafe fn as_ref(self, pool: &Pool) -> Option<&T> {
         if self.is_null() {
             None
         } else {
-            Some(unsafe { &*self.resolve(pool) })
+            Some(unsafe { &*(pool.at(self.off) as *const T) })
         }
     }
 }

@@ -19,9 +19,9 @@ fn cleanup(p: &Path) {
 #[test]
 fn create_rejects_tiny_and_duplicate() {
     let path = tmp("tiny");
-    assert!(Pool::create(&path, 1024).is_err());
-    let pool = Pool::create(&path, MIN_CAPACITY).unwrap();
-    assert!(Pool::create(&path, MIN_CAPACITY).is_err(), "file exists");
+    assert!(Pool::builder().path(&path).capacity(1024).create().is_err());
+    let pool = Pool::builder().path(&path).capacity(MIN_CAPACITY).create().unwrap();
+    assert!(Pool::builder().path(&path).capacity(MIN_CAPACITY).create().is_err(), "file exists");
     drop(pool);
     cleanup(&path);
 }
@@ -30,7 +30,7 @@ fn create_rejects_tiny_and_duplicate() {
 fn open_rejects_non_pool_files() {
     let path = tmp("garbage");
     std::fs::write(&path, vec![0xABu8; MIN_CAPACITY as usize]).unwrap();
-    let err = Pool::open(&path).unwrap_err();
+    let err = Pool::builder().path(&path).open().unwrap_err();
     assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     cleanup(&path);
 }
@@ -38,7 +38,7 @@ fn open_rejects_non_pool_files() {
 #[test]
 fn alloc_is_aligned_in_pool_and_usable() {
     let path = tmp("align");
-    let pool = Pool::create(&path, 1 << 20).unwrap();
+    let pool = Pool::builder().path(&path).capacity(1 << 20).create().unwrap();
     for size in [1usize, 8, 16, 17, 48, 100, 1000, 5000] {
         let p = pool.alloc(size, 8).unwrap();
         assert_eq!(p as usize % BLOCK_ALIGN as usize, 0);
@@ -54,7 +54,7 @@ fn alloc_is_aligned_in_pool_and_usable() {
 #[test]
 fn free_list_reuses_blocks_per_class() {
     let path = tmp("reuse");
-    let pool = Pool::create(&path, 1 << 20).unwrap();
+    let pool = Pool::builder().path(&path).capacity(1 << 20).create().unwrap();
     let a = pool.alloc(40, 8).unwrap(); // class 64
     let b = pool.alloc(40, 8).unwrap();
     assert_ne!(a, b);
@@ -73,7 +73,7 @@ fn free_list_reuses_blocks_per_class() {
 #[test]
 fn oversize_blocks_first_fit_and_reuse() {
     let path = tmp("oversize");
-    let pool = Pool::create(&path, 4 << 20).unwrap();
+    let pool = Pool::builder().path(&path).capacity(4 << 20).create().unwrap();
     let big = pool.alloc(100_000, 16).unwrap();
     let bigger = pool.alloc(200_000, 16).unwrap();
     unsafe { pool.dealloc(big) };
@@ -92,7 +92,7 @@ fn oversize_blocks_first_fit_and_reuse() {
 #[test]
 fn realloc_copies_payload() {
     let path = tmp("realloc");
-    let pool = Pool::create(&path, 1 << 20).unwrap();
+    let pool = Pool::builder().path(&path).capacity(1 << 20).create().unwrap();
     let p = pool.alloc(64, 8).unwrap();
     unsafe {
         for i in 0..64 {
@@ -112,7 +112,7 @@ fn realloc_copies_payload() {
 #[test]
 fn exhaustion_returns_none_not_panic() {
     let path = tmp("exhaust");
-    let pool = Pool::create(&path, MIN_CAPACITY).unwrap();
+    let pool = Pool::builder().path(&path).capacity(MIN_CAPACITY).create().unwrap();
     let mut n = 0;
     while pool.alloc(4096, 8).is_some() {
         n += 1;
@@ -129,7 +129,7 @@ fn exhaustion_returns_none_not_panic() {
 #[should_panic(expected = "double free")]
 fn double_free_is_detected() {
     let path = tmp("dfree");
-    let pool = Pool::create(&path, 1 << 20).unwrap();
+    let pool = Pool::builder().path(&path).capacity(1 << 20).create().unwrap();
     let p = pool.alloc(64, 8).unwrap();
     unsafe {
         pool.dealloc(p);
@@ -140,24 +140,24 @@ fn double_free_is_detected() {
 #[test]
 fn roots_set_get_overwrite_remove() {
     let path = tmp("roots");
-    let pool = Pool::create(&path, 1 << 20).unwrap();
-    assert_eq!(pool.root("list"), None);
-    pool.set_root("list", 4096).unwrap();
-    pool.set_root("map", 8192).unwrap();
-    assert_eq!(pool.root("list"), Some(4096));
-    assert_eq!(pool.root("map"), Some(8192));
-    pool.set_root("list", 12288).unwrap(); // overwrite
-    assert_eq!(pool.root("list"), Some(12288));
+    let pool = Pool::builder().path(&path).capacity(1 << 20).create().unwrap();
+    assert_eq!(pool.root_offset("list"), None);
+    pool.set_root_offset("list", 4096).unwrap();
+    pool.set_root_offset("map", 8192).unwrap();
+    assert_eq!(pool.root_offset("list"), Some(4096));
+    assert_eq!(pool.root_offset("map"), Some(8192));
+    pool.set_root_offset("list", 12288).unwrap(); // overwrite
+    assert_eq!(pool.root_offset("list"), Some(12288));
     assert_eq!(pool.roots().len(), 2);
     assert_eq!(pool.remove_root("list"), Some(12288));
-    assert_eq!(pool.root("list"), None);
+    assert_eq!(pool.root_offset("list"), None);
     // Name limits: empty, too long, and embedded NUL (would alias the
     // NUL-terminated on-disk form) are all rejected.
-    assert!(pool.set_root("", 1).is_err());
-    assert!(pool.set_root(&"x".repeat(MAX_ROOT_NAME + 1), 1).is_err());
-    assert!(pool.set_root("a\0b", 1).is_err());
-    assert!(pool.set_root("\0", 1).is_err());
-    assert!(pool.set_root(&"y".repeat(MAX_ROOT_NAME), 1).is_ok());
+    assert!(pool.set_root_offset("", 1).is_err());
+    assert!(pool.set_root_offset(&"x".repeat(MAX_ROOT_NAME + 1), 1).is_err());
+    assert!(pool.set_root_offset("a\0b", 1).is_err());
+    assert!(pool.set_root_offset("\0", 1).is_err());
+    assert!(pool.set_root_offset(&"y".repeat(MAX_ROOT_NAME), 1).is_ok());
     drop(pool);
     cleanup(&path);
 }
@@ -168,22 +168,22 @@ fn open_or_create_heals_a_crashed_create() {
     // A file whose magic never got persisted (all-zero prefix) is exactly
     // what a crash during Pool::create leaves behind.
     std::fs::write(&path, vec![0u8; MIN_CAPACITY as usize]).unwrap();
-    assert!(Pool::open(&path).is_err(), "plain open must still refuse");
-    let pool = Pool::open_or_create(&path, 1 << 20).unwrap();
+    assert!(Pool::builder().path(&path).open().is_err(), "plain open must still refuse");
+    let pool = Pool::builder().path(&path).capacity(1 << 20).open_or_create().unwrap();
     assert_eq!(pool.capacity(), 1 << 20, "must have been recreated");
     drop(pool);
     // A file with a non-zero, non-magic prefix is somebody else's data:
     // open_or_create must refuse to destroy it.
     std::fs::remove_file(&path).unwrap();
     std::fs::write(&path, vec![0xABu8; MIN_CAPACITY as usize]).unwrap();
-    assert!(Pool::open_or_create(&path, 1 << 20).is_err());
+    assert!(Pool::builder().path(&path).capacity(1 << 20).open_or_create().is_err());
     cleanup(&path);
 }
 
 #[test]
 fn realloc_within_capacity_is_in_place() {
     let path = tmp("realloc-inplace");
-    let pool = Pool::create(&path, 1 << 20).unwrap();
+    let pool = Pool::builder().path(&path).capacity(1 << 20).create().unwrap();
     // 100 bytes lands in the 128-byte class (112 usable): growing to 110
     // and shrinking to 8 must both stay in place.
     let p = pool.alloc(100, 8).unwrap();
@@ -205,14 +205,14 @@ fn realloc_within_capacity_is_in_place() {
 #[test]
 fn root_slots_exhaust_cleanly() {
     let path = tmp("rootfull");
-    let pool = Pool::create(&path, 1 << 20).unwrap();
+    let pool = Pool::builder().path(&path).capacity(1 << 20).create().unwrap();
     for i in 0..MAX_ROOTS {
-        pool.set_root(&format!("r{i}"), i as u64 + 1).unwrap();
+        pool.set_root_offset(&format!("r{i}"), i as u64 + 1).unwrap();
     }
-    assert!(pool.set_root("one-too-many", 99).is_err());
+    assert!(pool.set_root_offset("one-too-many", 99).is_err());
     // Removing frees a slot.
     pool.remove_root("r3").unwrap();
-    pool.set_root("one-too-many", 99).unwrap();
+    pool.set_root_offset("one-too-many", 99).unwrap();
     drop(pool);
     cleanup(&path);
 }
@@ -222,7 +222,7 @@ fn reopen_preserves_data_roots_and_free_lists() {
     let path = tmp("reopen");
     let (off_keep, off_freed);
     {
-        let pool = Pool::create(&path, 1 << 20).unwrap();
+        let pool = Pool::builder().path(&path).capacity(1 << 20).create().unwrap();
         let keep = pool.alloc(64, 8).unwrap();
         unsafe { (keep as *mut u64).write(0xFACE_FEED) };
         nvtraverse_pmem::MmapBackend::flush(keep);
@@ -231,16 +231,16 @@ fn reopen_preserves_data_roots_and_free_lists() {
         off_keep = pool.offset_of(keep as *const u8);
         off_freed = pool.offset_of(freed as *const u8);
         unsafe { pool.dealloc(freed) };
-        pool.set_root("keep", off_keep).unwrap();
+        pool.set_root_offset("keep", off_keep).unwrap();
     }
-    let pool = Pool::open(&path).unwrap();
+    let pool = Pool::builder().path(&path).open().unwrap();
     let report = pool.recovery_report();
     assert_eq!(report.live_blocks, 1);
     // The explicitly freed block plus the rest of its carved slab.
     assert!(report.free_blocks >= 1, "freed block lost: {report:?}");
     assert!(report.clean_shutdown);
     // Root and payload survive.
-    assert_eq!(pool.root("keep"), Some(off_keep));
+    assert_eq!(pool.root_offset("keep"), Some(off_keep));
     let keep = pool.at(off_keep) as *const u64;
     assert_eq!(unsafe { keep.read() }, 0xFACE_FEED);
     // The rebuilt free lists serve recovered blocks before carving anew:
@@ -276,7 +276,7 @@ fn reopen_reproduces_live_set_exactly() {
     let path = tmp("liveset");
     let before;
     {
-        let pool = Pool::create(&path, 1 << 20).unwrap();
+        let pool = Pool::builder().path(&path).capacity(1 << 20).create().unwrap();
         let mut held = Vec::new();
         for i in 0..50usize {
             let p = pool.alloc(16 + i * 7, 8).unwrap();
@@ -287,7 +287,7 @@ fn reopen_reproduces_live_set_exactly() {
         }
         before = pool.live_offsets();
     }
-    let pool = Pool::open(&path).unwrap();
+    let pool = Pool::builder().path(&path).open().unwrap();
     assert_eq!(pool.live_offsets(), before);
     drop(pool);
     cleanup(&path);
@@ -296,14 +296,14 @@ fn reopen_reproduces_live_set_exactly() {
 #[test]
 fn concurrent_second_open_is_refused() {
     let path = tmp("locked");
-    let pool1 = Pool::create(&path, 1 << 20).unwrap();
+    let pool1 = Pool::builder().path(&path).capacity(1 << 20).create().unwrap();
     // The flock makes pools single-writer: a second open of a live pool
     // must fail instead of racing two allocators over the same pages.
-    let err = Pool::open(&path).unwrap_err();
+    let err = Pool::builder().path(&path).open().unwrap_err();
     assert_eq!(err.kind(), io::ErrorKind::WouldBlock, "{err}");
     drop(pool1);
     // Released with the descriptor: reopening now succeeds.
-    let pool = Pool::open(&path).unwrap();
+    let pool = Pool::builder().path(&path).open().unwrap();
     drop(pool);
     cleanup(&path);
 }
@@ -313,8 +313,8 @@ fn concurrent_second_open_is_refused() {
 fn occupied_preferred_base_forces_rebased_open() {
     let path = tmp("rebase");
     let (base1, cap) = {
-        let pool = Pool::create(&path, 1 << 20).unwrap();
-        pool.set_root("r", 4242).unwrap();
+        let pool = Pool::builder().path(&path).capacity(1 << 20).create().unwrap();
+        pool.set_root_offset("r", 4242).unwrap();
         (pool.base(), pool.capacity() as usize)
     };
     // Squat on the recorded base so the next open cannot have it.
@@ -322,18 +322,18 @@ fn occupied_preferred_base_forces_rebased_open() {
         mmap::reserve_anon_at(base1, cap),
         "could not occupy the preferred base for the test"
     );
-    let pool = Pool::open(&path).unwrap();
+    let pool = Pool::builder().path(&path).open().unwrap();
     assert!(pool.is_rebased());
     assert_ne!(pool.base(), base1);
     // Offset-based access still works on a rebased mapping.
-    assert_eq!(pool.root("r"), Some(4242));
+    assert_eq!(pool.root_offset("r"), Some(4242));
     drop(pool);
     mmap::unmap(base1, cap);
     // A rebased open must NOT have re-recorded its temporary base: with the
     // original range free again, the pool maps at its true home and the
     // embedded absolute pointers are valid — not silently "non-rebased" at
     // the wrong address.
-    let pool = Pool::open(&path).unwrap();
+    let pool = Pool::builder().path(&path).open().unwrap();
     assert!(!pool.is_rebased());
     assert_eq!(pool.base(), base1, "preferred base lost across rebased open");
     drop(pool);
@@ -344,10 +344,10 @@ fn occupied_preferred_base_forces_rebased_open() {
 fn same_base_on_clean_reopen() {
     let path = tmp("samebase");
     let base1 = {
-        let pool = Pool::create(&path, 1 << 20).unwrap();
+        let pool = Pool::builder().path(&path).capacity(1 << 20).create().unwrap();
         pool.base()
     };
-    let pool = Pool::open(&path).unwrap();
+    let pool = Pool::builder().path(&path).open().unwrap();
     assert!(!pool.is_rebased());
     assert_eq!(pool.base(), base1);
     drop(pool);
@@ -357,7 +357,7 @@ fn same_base_on_clean_reopen() {
 #[test]
 fn alloc_value_and_poff_roundtrip() {
     let path = tmp("poff");
-    let pool = Pool::create(&path, 1 << 20).unwrap();
+    let pool = Pool::builder().path(&path).capacity(1 << 20).create().unwrap();
     let off: POff<u64> = pool.alloc_value(77u64).unwrap();
     assert!(!off.is_null());
     assert_eq!(unsafe { off.as_ref(&pool) }, Some(&77));
@@ -370,10 +370,13 @@ fn alloc_value_and_poff_roundtrip() {
     cleanup(&path);
 }
 
+/// Legacy-compat: the deprecated process-wide install must keep working
+/// for one release (it is the pre-multi-pool allocation model).
 #[test]
+#[allow(deprecated)]
 fn install_as_default_routes_heap_allocate() {
     let path = tmp("install");
-    let pool = Pool::create(&path, 1 << 20).unwrap();
+    let pool = Pool::builder().path(&path).capacity(1 << 20).create().unwrap();
     pool.install_as_default();
     let p = heap::allocate(64, 8).unwrap();
     assert!(pool.contains(p as *const u8));
@@ -393,7 +396,7 @@ fn mutexed_mode_roundtrip_and_cross_mode_open() {
     let path = tmp("mutexed");
     let off_keep;
     {
-        let pool = Pool::create_with_mode(&path, 1 << 20, AllocMode::Mutexed).unwrap();
+        let pool = Pool::builder().path(&path).capacity(1 << 20).mode(AllocMode::Mutexed).create().unwrap();
         assert_eq!(pool.alloc_mode(), AllocMode::Mutexed);
         let keep = pool.alloc(64, 8).unwrap();
         unsafe { (keep as *mut u64).write(0xC0FF_EE00) };
@@ -402,22 +405,22 @@ fn mutexed_mode_roundtrip_and_cross_mode_open() {
         off_keep = pool.offset_of(keep as *const u8);
         let freed = pool.alloc(200, 8).unwrap();
         unsafe { pool.dealloc(freed) };
-        pool.set_root("keep", off_keep).unwrap();
+        pool.set_root_offset("keep", off_keep).unwrap();
         pool.verify_heap().unwrap();
     }
     // Same file, opposite engine: the persistent format is engine-agnostic.
     {
-        let pool = Pool::open_with_mode(&path, AllocMode::LockFree).unwrap();
+        let pool = Pool::builder().path(&path).mode(AllocMode::LockFree).open().unwrap();
         assert_eq!(pool.alloc_mode(), AllocMode::LockFree);
-        assert_eq!(pool.root("keep"), Some(off_keep));
+        assert_eq!(pool.root_offset("keep"), Some(off_keep));
         assert_eq!(unsafe { (pool.at(off_keep) as *const u64).read() }, 0xC0FF_EE00);
         let p = pool.alloc(100, 8).unwrap();
         unsafe { pool.dealloc(p) };
         pool.verify_heap().unwrap();
     }
     // And back again.
-    let pool = Pool::open_with_mode(&path, AllocMode::Mutexed).unwrap();
-    assert_eq!(pool.root("keep"), Some(off_keep));
+    let pool = Pool::builder().path(&path).mode(AllocMode::Mutexed).open().unwrap();
+    assert_eq!(pool.root_offset("keep"), Some(off_keep));
     pool.verify_heap().unwrap();
     drop(pool);
     cleanup(&path);
@@ -429,7 +432,7 @@ fn remote_frees_are_reusable_without_fresh_carving() {
     // magazines must drain back to the shards when it exits, so this thread
     // can reallocate every block without moving the frontier.
     let path = tmp("remote-free");
-    let pool = Pool::create(&path, 4 << 20).unwrap();
+    let pool = Pool::builder().path(&path).capacity(4 << 20).create().unwrap();
     let blocks: Vec<usize> = (0..40)
         .map(|_| pool.alloc(48, 8).unwrap() as usize)
         .collect();
@@ -465,7 +468,7 @@ fn mixed_class_concurrent_churn_with_oversize() {
     // shard stacks (cross-thread frees), the slab frontier, and the
     // mutexed oversize path.
     let path = tmp("mixed-churn");
-    let pool = Pool::create(&path, 64 << 20).unwrap();
+    let pool = Pool::builder().path(&path).capacity(64 << 20).create().unwrap();
     std::thread::scope(|s| {
         for t in 0..4u64 {
             let pool = pool.clone();
@@ -509,7 +512,7 @@ fn mixed_class_concurrent_churn_with_oversize() {
 #[test]
 fn concurrent_alloc_free_stress_keeps_heap_consistent() {
     let path = tmp("stress");
-    let pool = Pool::create(&path, 8 << 20).unwrap();
+    let pool = Pool::builder().path(&path).capacity(8 << 20).create().unwrap();
     std::thread::scope(|s| {
         for t in 0..4u64 {
             let pool = pool.clone();
@@ -539,6 +542,102 @@ fn concurrent_alloc_free_stress_keeps_heap_consistent() {
     });
     let report = pool.verify_heap().unwrap();
     assert_eq!(report.live.len(), 0, "all blocks were freed");
+    drop(pool);
+    cleanup(&path);
+}
+
+// ---- PR 5: builder, shard derivation, pending GC, POff validation ----------
+
+#[test]
+fn builder_requires_path_and_capacity() {
+    let e = Pool::builder().create().unwrap_err();
+    assert_eq!(e.kind(), io::ErrorKind::InvalidInput);
+    assert!(e.to_string().contains("path"));
+    let e = Pool::builder().path(tmp("nocap")).create().unwrap_err();
+    assert_eq!(e.kind(), io::ErrorKind::InvalidInput);
+    assert!(e.to_string().contains("capacity"));
+    let e = Pool::builder().open().unwrap_err();
+    assert_eq!(e.kind(), io::ErrorKind::InvalidInput);
+    // open never needs a capacity: the file dictates it.
+    let path = tmp("nocap-open");
+    {
+        let _p = Pool::builder().path(&path).capacity(MIN_CAPACITY).create().unwrap();
+    }
+    let p = Pool::builder().path(&path).open().unwrap();
+    drop(p);
+    cleanup(&path);
+}
+
+#[test]
+fn shard_count_is_derived_from_parallelism() {
+    let path = tmp("shards");
+    let pool = Pool::builder().path(&path).capacity(MIN_CAPACITY).create().unwrap();
+    let want = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .next_power_of_two()
+        .clamp(1, 64);
+    assert_eq!(pool.shard_count(), want);
+    assert!(pool.shard_count().is_power_of_two());
+    drop(pool);
+    let pool = Pool::builder().path(&path).mode(AllocMode::Mutexed).open().unwrap();
+    assert_eq!(pool.shard_count(), 1, "the single-lock baseline has no shards");
+    drop(pool);
+    cleanup(&path);
+}
+
+#[test]
+fn pending_gc_collects_before_first_attach_only() {
+    unsafe fn mark_root(root: *mut u8, marker: &mut gc::Marker<'_>) {
+        marker.mark(root);
+    }
+    let path = tmp("pending");
+    let root_off;
+    {
+        let pool = Pool::builder().path(&path).capacity(MIN_CAPACITY).create().unwrap();
+        let keep = pool.alloc(64, 8).unwrap();
+        root_off = pool.offset_of(keep);
+        pool.set_root_offset("r", root_off).unwrap();
+        // Orphan: allocated, reachable from nothing.
+        pool.alloc(64, 8).unwrap();
+    }
+    // No tracer in a fresh "process" state for this path: reset it.
+    gc::unregister_tracer(&path, "r");
+    let pool = Pool::builder().path(&path).open().unwrap();
+    assert!(!pool.recovery_report().gc_ran);
+    assert!(pool.gc_pending(), "missing tracer must leave the GC pending");
+    assert!(!pool.run_pending_gc(), "still no tracer: nothing to prove");
+    // SAFETY: the root is a single self-contained block; mark_root covers it.
+    unsafe { gc::register_tracer(&path, "r", mark_root) };
+    assert!(pool.run_pending_gc(), "tracer registered, nothing attached: collect");
+    let report = pool.recovery_report();
+    assert!(report.gc_ran && !pool.gc_pending());
+    assert_eq!(report.reclaimed_blocks, 1, "exactly the orphan");
+    assert_eq!(pool.live_offsets(), vec![root_off - BLOCK_HEADER]);
+    assert!(!pool.run_pending_gc(), "a second run has nothing pending");
+    // After an attach, a (hypothetically) pending GC must refuse.
+    pool.note_attach();
+    assert!(!pool.run_pending_gc());
+    drop(pool);
+    gc::unregister_tracer(&path, "r");
+    cleanup(&path);
+}
+
+#[test]
+fn poff_resolve_validates_allocated_payloads() {
+    let path = tmp("poff-validate");
+    let pool = Pool::builder().path(&path).capacity(MIN_CAPACITY).create().unwrap();
+    let off: POff<u64> = pool.alloc_value(9u64).unwrap();
+    assert_eq!(unsafe { off.as_ref(&pool) }, Some(&9));
+    assert!(off.try_resolve(&pool).is_some());
+    // A mid-block offset is not a payload start.
+    assert_eq!(POff::<u64>::from_raw(off.raw() + 8).try_resolve(&pool), None);
+    // Null resolves to null, never panics.
+    assert!(POff::<u64>::null().try_resolve(&pool).is_none());
+    assert!(POff::<u64>::null().resolve(&pool).is_null());
+    // A freed block's offset is rejected too.
+    unsafe { pool.dealloc(off.resolve(&pool) as *mut u8) };
+    assert_eq!(off.try_resolve(&pool), None);
     drop(pool);
     cleanup(&path);
 }

@@ -2,6 +2,11 @@
 //! sequences must preserve every header invariant, never corrupt payloads,
 //! and reopening the pool must reproduce exactly the same live set.
 
+// The `..ProptestConfig::default()` spread is redundant against the
+// vendored stub (whose config has one field) but required against real
+// proptest — keep it, silence the stub-only lint.
+#![allow(clippy::needless_update)]
+
 use nvtraverse_pool::Pool;
 use proptest::prelude::*;
 use std::path::PathBuf;
@@ -80,7 +85,7 @@ proptest! {
         ops in proptest::collection::vec(op_strategy(), 1..80),
     ) {
         let path = unique_pool_path();
-        let pool = Pool::create(&path, 32 << 20).unwrap();
+        let pool = Pool::builder().path(&path).capacity(32 << 20).create().unwrap();
         let mut held: Vec<Held> = Vec::new();
         let mut next_fill = 1u8;
 
@@ -146,7 +151,7 @@ proptest! {
         let mut shadow: Vec<(u64, usize, u8)> = Vec::new(); // (offset, size, fill)
         let freed_count;
         {
-            let pool = Pool::create(&path, 32 << 20).unwrap();
+            let pool = Pool::builder().path(&path).capacity(32 << 20).create().unwrap();
             let mut held: Vec<Held> = Vec::new();
             let mut next_fill = 1u8;
             let mut frees = 0usize;
@@ -180,7 +185,7 @@ proptest! {
             shadow.sort_unstable();
         }
 
-        let pool = Pool::open(&path).unwrap();
+        let pool = Pool::builder().path(&path).open().unwrap();
         let report = pool.recovery_report();
         prop_assert_eq!(report.live_blocks, shadow.len());
         // (free_blocks has no exact relation to freed_count: slab carving
@@ -220,7 +225,7 @@ proptest! {
         let path = unique_pool_path();
         let mut shadow: Vec<(u64, usize, u8)> = Vec::new(); // (payload off, size, fill)
         {
-            let pool = Pool::create(&path, 64 << 20).unwrap();
+            let pool = Pool::builder().path(&path).capacity(64 << 20).create().unwrap();
             let held_sets: Vec<Vec<(u64, usize, u8)>> = std::thread::scope(|s| {
                 let handles: Vec<_> = per_thread
                     .iter()
@@ -298,7 +303,7 @@ proptest! {
             prop_assert_eq!(&live, &want, "live set diverged before reopen");
         }
 
-        let pool = Pool::open(&path).unwrap();
+        let pool = Pool::builder().path(&path).open().unwrap();
         prop_assert_eq!(pool.recovery_report().live_blocks, shadow.len());
         let live = pool.live_offsets();
         let want: Vec<u64> = shadow.iter().map(|&(o, _, _)| o - 16).collect();

@@ -20,7 +20,7 @@
 //! * the recovery `disconnect` pass (Supplement 1) walks the tree and helps
 //!   every non-`CLEAN` update word to completion.
 
-use nvtraverse::alloc::{alloc_node, free};
+use nvtraverse::alloc::{alloc_node, free, PoolCtx};
 use nvtraverse::marked::MarkedPtr;
 use nvtraverse::ops::{run_operation, Critical, PersistSet, TraversalOps};
 use nvtraverse::policy::Durability;
@@ -86,6 +86,9 @@ impl<K: Word, V: Word, B: Backend> fmt::Debug for Info<K, V, B> {
 }
 
 type NodePtr<K, V, B> = *mut BstNode<K, V, B>;
+/// A child-pointer cell of an internal node.
+type ChildCell<K, V, D> =
+    PCell<MarkedPtr<BstNode<K, V, <D as Durability>::B>>, <D as Durability>::B>;
 
 /// The traversal window: the search's destination plus the two ancestors the
 /// critical method may modify (Ellen et al.'s `Search` result).
@@ -137,6 +140,12 @@ impl<K: Word, V: Word, B: Backend> fmt::Debug for SeekRecord<K, V, B> {
 pub struct EllenBst<K: Word, V: Word, D: Durability> {
     root: NodePtr<K, V, D::B>,
     collector: Collector,
+    /// Which heap this structure's nodes come from — its own pool for a
+    /// pooled instance, the volatile heap otherwise. Captured at
+    /// construction (from the enclosing allocation scope) and re-entered
+    /// around every allocating operation, so concurrent structures in
+    /// different pools allocate from the right files.
+    ctx: PoolCtx,
     _marker: PhantomData<fn() -> D>,
 }
 
@@ -175,6 +184,7 @@ where
         EllenBst {
             root,
             collector,
+            ctx: PoolCtx::current(),
             _marker: PhantomData,
         }
     }
@@ -211,6 +221,7 @@ where
         EllenBst {
             root,
             collector,
+            ctx: PoolCtx::current(),
             _marker: PhantomData,
         }
     }
@@ -381,7 +392,6 @@ where
     /// and (if `require_clean`) any non-`CLEAN` update word.
     pub fn check_consistency(&self, require_clean: bool) -> Result<usize, String> {
         fn walk<K: Word + Ord, V: Word, D: Durability>(
-            t: &EllenBst<K, V, D>,
             node: NodePtr<K, V, D::B>,
             require_clean: bool,
             count: &mut usize,
@@ -407,12 +417,12 @@ where
                 {
                     return Err("left child not below routing key".into());
                 }
-                walk(t, l, require_clean, count)?;
-                walk(t, r, require_clean, count)
+                walk::<K, V, D>(l, require_clean, count)?;
+                walk::<K, V, D>(r, require_clean, count)
             }
         }
         let mut count = 0;
-        walk(self, self.root, require_clean, &mut count)?;
+        walk::<K, V, D>(self.root, require_clean, &mut count)?;
         // Keys must also be globally sorted and unique.
         let snap = self.iter_snapshot();
         for w in snap.windows(2) {
@@ -463,7 +473,7 @@ where
 impl<K: Word, V: Word, D: Durability> EllenBst<K, V, D> {
     /// Teardown-safe child read: poisoned words (unrecovered crash) read as
     /// null, leaking the unreachable remainder.
-    fn teardown_child(cell: &PCell<MarkedPtr<BstNode<K, V, D::B>>, D::B>) -> NodePtr<K, V, D::B> {
+    fn teardown_child(cell: &ChildCell<K, V, D>) -> NodePtr<K, V, D::B> {
         let bits = cell.peek_bits();
         if bits == nvtraverse_pmem::POISON {
             std::ptr::null_mut()
@@ -720,11 +730,13 @@ where
     D: Durability,
 {
     fn insert(&self, key: K, value: V) -> bool {
+        let _scope = self.ctx.enter();
         let guard = self.collector.pin();
         run_operation(self, &guard, SetOp::Insert(key, value)).is_none()
     }
 
     fn remove(&self, key: K) -> bool {
+        let _scope = self.ctx.enter();
         let guard = self.collector.pin();
         run_operation(self, &guard, SetOp::Remove(key)).is_some()
     }
@@ -750,7 +762,7 @@ where
     D: Durability,
 {
     fn create_in_pool(pool: &Pool, name: &str) -> io::Result<Self> {
-        pool.install_as_default();
+        let _scope = PoolCtx::of(pool).enter();
         let t = Self::with_collector(Collector::new());
         pool.set_root_ptr_checked(name, t.root)?;
         Ok(t)
@@ -758,6 +770,8 @@ where
 
     unsafe fn attach_to_pool(pool: &Pool, name: &str) -> Option<Self> {
         let root = pool.attach_root_ptr::<BstNode<K, V, D::B>>(name)?;
+        // Entered so `attach_at`'s context snapshot captures this pool.
+        let _scope = PoolCtx::of(pool).enter();
         Some(unsafe { Self::attach_at(root, Collector::new()) })
     }
 

@@ -14,6 +14,7 @@
 //! "outputs an entry point into the core tree").
 
 use crate::list::HarrisList;
+use nvtraverse::alloc::PoolCtx;
 use nvtraverse::policy::Durability;
 use nvtraverse::set::{DurableSet, PoolAttach};
 use nvtraverse_ebr::Collector;
@@ -129,12 +130,14 @@ where
         name: &str,
         buckets: usize,
     ) -> io::Result<Self> {
-        pool.install_as_default();
+        // Entered so every bucket list's context snapshot captures this
+        // pool (the table block itself is allocated via `pool.alloc`).
+        let _scope = PoolCtx::of(pool).enter();
         let map = Self::with_collector(buckets, Collector::new());
         let n = map.bucket_count();
         let table = pool
             .alloc((n + 1) * 8, 8)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::Other, "pool exhausted"))?
+            .ok_or_else(|| io::Error::other("pool exhausted"))?
             as *mut u64;
         unsafe {
             table.write(n as u64);
@@ -201,6 +204,8 @@ where
         if n == 0 || n > 1 << 24 {
             return None; // not a plausible bucket table
         }
+        // Entered so every bucket list's context snapshot captures this pool.
+        let _scope = PoolCtx::of(pool).enter();
         let collector = Collector::new();
         let buckets: Vec<HarrisList<K, V, D>> = (0..n)
             .map(|i| {

@@ -77,6 +77,7 @@ pub mod list;
 pub mod nm_bst;
 pub mod pqueue;
 pub mod queue;
+pub mod sharded;
 pub mod skiplist;
 pub mod stack;
 
@@ -108,4 +109,10 @@ pub mod prelude {
     pub type DurableStack<V> = crate::stack::TreiberStack<V, NvTraverse<Clwb>>;
     /// Durable min-priority queue.
     pub type DurablePriorityQueue<K, V> = crate::pqueue::PriorityQueue<K, V, NvTraverse<Clwb>>;
+
+    /// A hash-sharded durable set over N independent pool files
+    /// (`MmapBackend`: the pool's own flush/fence backend).
+    pub type ShardedDurableSet<K, V> = crate::sharded::ShardedSet<
+        crate::hash::HashMapDs<K, V, NvTraverse<nvtraverse_pmem::MmapBackend>>,
+    >;
 }

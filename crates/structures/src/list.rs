@@ -18,7 +18,7 @@
 //!   recording the address of the pointer that linked it in, and that
 //!   address is flushed instead (costs one word per node; ablation `abl2`).
 
-use nvtraverse::alloc::{alloc_node, free};
+use nvtraverse::alloc::{alloc_node, free, PoolCtx};
 use nvtraverse::marked::MarkedPtr;
 use nvtraverse::ops::{run_operation, Critical, PersistSet, TraversalOps};
 use nvtraverse::policy::Durability;
@@ -84,6 +84,12 @@ impl<K: Word, V: Word, B: Backend> fmt::Debug for Window<K, V, B> {
 pub struct HarrisList<K: Word, V: Word, D: Durability, const ORIG_PARENT: bool = false> {
     head: NodePtr<K, V, D::B>,
     collector: Collector,
+    /// Which heap this structure's nodes come from — its own pool for a
+    /// pooled instance, the volatile heap otherwise. Captured at
+    /// construction (from the enclosing allocation scope) and re-entered
+    /// around every allocating operation, so concurrent structures in
+    /// different pools allocate from the right files.
+    ctx: PoolCtx,
     _marker: PhantomData<fn() -> D>,
 }
 
@@ -124,6 +130,7 @@ where
         HarrisList {
             head,
             collector,
+            ctx: PoolCtx::current(),
             _marker: PhantomData,
         }
     }
@@ -151,6 +158,7 @@ where
         HarrisList {
             head,
             collector,
+            ctx: PoolCtx::current(),
             _marker: PhantomData,
         }
     }
@@ -484,11 +492,13 @@ where
     D: Durability,
 {
     fn insert(&self, key: K, value: V) -> bool {
+        let _scope = self.ctx.enter();
         let guard = self.collector.pin();
         run_operation(self, &guard, SetOp::Insert(key, value)).is_none()
     }
 
     fn remove(&self, key: K) -> bool {
+        let _scope = self.ctx.enter();
         let guard = self.collector.pin();
         run_operation(self, &guard, SetOp::Remove(key)).is_some()
     }
@@ -514,7 +524,7 @@ where
     D: Durability,
 {
     fn create_in_pool(pool: &Pool, name: &str) -> io::Result<Self> {
-        pool.install_as_default();
+        let _scope = PoolCtx::of(pool).enter();
         let list = Self::with_collector(Collector::new());
         pool.set_root_ptr_checked(name, list.head)?;
         Ok(list)
@@ -522,6 +532,8 @@ where
 
     unsafe fn attach_to_pool(pool: &Pool, name: &str) -> Option<Self> {
         let head = pool.attach_root_ptr::<Node<K, V, D::B>>(name)?;
+        // Entered so `attach_at`'s context snapshot captures this pool.
+        let _scope = PoolCtx::of(pool).enter();
         Some(unsafe { Self::attach_at(head, Collector::new()) })
     }
 

@@ -20,7 +20,7 @@
 //! the critical method may CAS, which is exactly the persist set Protocol 1
 //! needs.
 
-use nvtraverse::alloc::{alloc_node, free};
+use nvtraverse::alloc::{alloc_node, free, PoolCtx};
 use nvtraverse::marked::MarkedPtr;
 use nvtraverse::ops::{run_operation, Critical, PersistSet, TraversalOps};
 use nvtraverse::policy::Durability;
@@ -120,6 +120,12 @@ pub struct NmBst<K: Word, V: Word, D: Durability> {
     /// S.left = leaf(∞₀), S.right = leaf(∞₁).
     root: NodePtr<K, V, D::B>,
     collector: Collector,
+    /// Which heap this structure's nodes come from — its own pool for a
+    /// pooled instance, the volatile heap otherwise. Captured at
+    /// construction (from the enclosing allocation scope) and re-entered
+    /// around every allocating operation, so concurrent structures in
+    /// different pools allocate from the right files.
+    ctx: PoolCtx,
     _marker: PhantomData<fn() -> D>,
 }
 
@@ -176,6 +182,7 @@ where
         NmBst {
             root: r,
             collector,
+            ctx: PoolCtx::current(),
             _marker: PhantomData,
         }
     }
@@ -200,6 +207,7 @@ where
         NmBst {
             root,
             collector,
+            ctx: PoolCtx::current(),
             _marker: PhantomData,
         }
     }
@@ -623,11 +631,13 @@ where
     D: Durability,
 {
     fn insert(&self, key: K, value: V) -> bool {
+        let _scope = self.ctx.enter();
         let guard = self.collector.pin();
         run_operation(self, &guard, SetOp::Insert(key, value)).is_none()
     }
 
     fn remove(&self, key: K) -> bool {
+        let _scope = self.ctx.enter();
         let guard = self.collector.pin();
         run_operation(self, &guard, SetOp::Remove(key)).is_some()
     }
@@ -653,7 +663,7 @@ where
     D: Durability,
 {
     fn create_in_pool(pool: &Pool, name: &str) -> io::Result<Self> {
-        pool.install_as_default();
+        let _scope = PoolCtx::of(pool).enter();
         let t = Self::with_collector(Collector::new());
         pool.set_root_ptr_checked(name, t.root)?;
         Ok(t)
@@ -661,6 +671,8 @@ where
 
     unsafe fn attach_to_pool(pool: &Pool, name: &str) -> Option<Self> {
         let root = pool.attach_root_ptr::<NmNode<K, V, D::B>>(name)?;
+        // Entered so `attach_at`'s context snapshot captures this pool.
+        let _scope = PoolCtx::of(pool).enter();
         Some(unsafe { Self::attach_at(root, Collector::new()) })
     }
 

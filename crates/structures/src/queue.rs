@@ -16,7 +16,7 @@
 //!   it is never flushed, and recovery recomputes it by walking from `head`
 //!   to the end of the chain.
 
-use nvtraverse::alloc::{alloc_node, free};
+use nvtraverse::alloc::{alloc_node, free, PoolCtx};
 use nvtraverse::marked::MarkedPtr;
 use nvtraverse::ops::{run_operation, Critical, PersistSet, TraversalOps};
 use nvtraverse::policy::Durability;
@@ -87,6 +87,12 @@ pub struct QueueWindow<V: Word, B: Backend> {
 pub struct MsQueue<V: Word, D: Durability> {
     anchor: *mut Anchor<V, D::B>,
     collector: Collector,
+    /// Which heap this structure's nodes come from — its own pool for a
+    /// pooled instance, the volatile heap otherwise. Captured at
+    /// construction (from the enclosing allocation scope) and re-entered
+    /// around every allocating operation, so concurrent structures in
+    /// different pools allocate from the right files.
+    ctx: PoolCtx,
     _marker: PhantomData<fn() -> D>,
 }
 
@@ -119,18 +125,21 @@ where
         MsQueue {
             anchor,
             collector,
+            ctx: PoolCtx::current(),
             _marker: PhantomData,
         }
     }
 
     /// Appends `value` at the tail.
     pub fn enqueue(&self, value: V) {
+        let _scope = self.ctx.enter();
         let guard = self.collector.pin();
         let _ = run_operation(self, &guard, QueueOp::Enqueue(value));
     }
 
     /// Removes and returns the oldest value, or `None` when empty.
     pub fn dequeue(&self) -> Option<V> {
+        let _scope = self.ctx.enter();
         let guard = self.collector.pin();
         run_operation(self, &guard, QueueOp::Dequeue)
     }
@@ -215,6 +224,7 @@ where
         MsQueue {
             anchor,
             collector,
+            ctx: PoolCtx::current(),
             _marker: PhantomData,
         }
     }
@@ -344,7 +354,7 @@ where
     D: Durability,
 {
     fn create_in_pool(pool: &Pool, name: &str) -> io::Result<Self> {
-        pool.install_as_default();
+        let _scope = PoolCtx::of(pool).enter();
         let q = Self::with_collector(Collector::new());
         pool.set_root_ptr_checked(name, q.anchor_ptr())?;
         Ok(q)
@@ -352,6 +362,8 @@ where
 
     unsafe fn attach_to_pool(pool: &Pool, name: &str) -> Option<Self> {
         let anchor = pool.attach_root_ptr::<Anchor<V, D::B>>(name)?;
+        // Entered so `attach_at`'s context snapshot captures this pool.
+        let _scope = PoolCtx::of(pool).enter();
         Some(unsafe { Self::attach_at(anchor, Collector::new()) })
     }
 

@@ -1,0 +1,423 @@
+//! [`ShardedSet`]: one logical set hash-partitioned across **N independent
+//! pool files** — the first concrete sharding step of the ROADMAP's
+//! scale-out north star, and the proof that pools are first-class values.
+//!
+//! NVTraverse's correctness argument is about *fence placement*, not memory
+//! residence (the destination matters, not the journey) — nothing in the
+//! algorithms requires a single global heap. So a set can be split by key
+//! hash across independent pools, each with its own allocator, root, and
+//! recovery lifecycle:
+//!
+//! * **Scale**: operations on different shards share *no* allocator state —
+//!   not even lock-free shard heads — and no structure memory. Contention
+//!   drops with shard count, and each shard file can later live on a
+//!   different device.
+//! * **Independent recovery**: every shard is opened, heap-walked,
+//!   mark-sweep-collected and `recover()`ed on its own — concurrently, one
+//!   thread per shard at [`ShardedSet::open`] — and each reports its own
+//!   [`RecoveryReport`] ([`ShardedSet::recovery_reports`]). A crash is
+//!   repaired shard by shard; a corrupt shard file fails *its* open without
+//!   touching the others' data.
+//! * **Uniform interface**: [`ShardedSet`] implements [`DurableSet`] by
+//!   routing each key to `shard(hash(key) % N)`, so it drops into every
+//!   harness, oracle, and benchmark the per-structure sets already use.
+//!
+//! On disk, a sharded set is a directory of pool files `shard-000.pool`,
+//! `shard-001.pool`, … plus a `shards.count` manifest written *after*
+//! every shard exists — the commit point of creation. Opening trusts the
+//! manifest, never the file listing, so an interrupted create (or a
+//! missing shard file) fails loudly instead of silently coming up as a
+//! smaller set that routes keys to the wrong shards (the count is fixed
+//! at creation: routing depends on it).
+//!
+//! # Example
+//!
+//! ```
+//! use nvtraverse::policy::NvTraverse;
+//! use nvtraverse::pmem::MmapBackend;
+//! use nvtraverse::DurableSet;
+//! use nvtraverse_structures::list::HarrisList;
+//! use nvtraverse_structures::sharded::ShardedSet;
+//!
+//! type List = HarrisList<u64, u64, NvTraverse<MmapBackend>>;
+//! let dir = std::env::temp_dir().join(format!("doc-shards-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//!
+//! let set = ShardedSet::<List>::create(&dir, 4, 1 << 20)?;
+//! for k in 0..100u64 { set.insert(k, k * 2); }
+//! set.close()?;
+//!
+//! // Reopen: all 4 pools open concurrently, each recovers independently.
+//! let set = ShardedSet::<List>::open(&dir)?;
+//! assert_eq!(set.shard_count(), 4);
+//! assert_eq!(set.len(), 100);
+//! assert!(set.recovery_reports().iter().all(|r| r.gc_ran));
+//! # set.close()?; std::fs::remove_dir_all(&dir)?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use nvtraverse::{
+    register_pool_tracer, restore_pool_tracer, DurableSet, PoolAttach, PoolTrace, PooledHandle,
+    TypedRoots,
+};
+use nvtraverse_pmem::Word;
+use nvtraverse_pool::{Pool, RecoveryReport};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Root name every shard registers its structure under (one structure per
+/// shard pool).
+pub const SHARD_ROOT: &str = "shard";
+
+/// The key-routing mix (splitmix64): decorrelates shard choice from low key
+/// bits so sequential keys spread across shards. Must stay stable — it is
+/// effectively part of the on-disk format (re-routing keys would "lose"
+/// them in the wrong shard).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn shard_file(dir: &Path, i: usize) -> PathBuf {
+    dir.join(format!("shard-{i:03}.pool"))
+}
+
+/// The completion manifest: written (and fsynced) **after** every shard
+/// pool exists, holding the decimal shard count. Routing depends on the
+/// count, so it must never be inferred from however many files happen to
+/// be present — a create that crashed mid-way leaves shard files but no
+/// manifest, and `open` then fails loudly instead of silently coming up as
+/// a smaller set that routes keys to the wrong shards.
+fn manifest_file(dir: &Path) -> PathBuf {
+    dir.join("shards.count")
+}
+
+fn write_manifest(dir: &Path, shards: usize) -> io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::File::create(manifest_file(dir))?;
+    writeln!(f, "{shards}")?;
+    f.sync_all()
+}
+
+fn read_manifest(dir: &Path) -> io::Result<usize> {
+    let text = std::fs::read_to_string(manifest_file(dir)).map_err(|e| {
+        io::Error::new(
+            e.kind(),
+            format!(
+                "{}: no shard-count manifest — not a sharded set, or its \
+                 creation never completed (remove the directory to recreate)",
+                dir.display()
+            ),
+        )
+    })?;
+    text.trim().parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: corrupt shard-count manifest {text:?}", dir.display()),
+        )
+    })
+}
+
+/// One logical [`DurableSet`] hash-partitioned across N pool files, each an
+/// independently-recoverable pool holding one `S` under [`SHARD_ROOT`]. See
+/// the [module docs](self).
+pub struct ShardedSet<S: PoolAttach> {
+    shards: Box<[PooledHandle<S>]>,
+    dir: PathBuf,
+}
+
+impl<S: PoolAttach> std::fmt::Debug for ShardedSet<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSet")
+            .field("dir", &self.dir)
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl<S: PoolTrace + Send> ShardedSet<S> {
+    /// Creates `shards` fresh pool files of `capacity_per_shard` bytes each
+    /// under `dir` (created if missing), each holding one empty `S`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `shards` is 0, a shard file already exists, or any pool
+    /// creation fails (already-created shards are left on disk; remove the
+    /// directory to retry).
+    pub fn create(
+        dir: impl AsRef<Path>,
+        shards: usize,
+        capacity_per_shard: u64,
+    ) -> io::Result<Self> {
+        let dir = dir.as_ref();
+        if shards == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a sharded set needs at least one shard",
+            ));
+        }
+        std::fs::create_dir_all(dir)?;
+        if shard_file(dir, 0).exists() || manifest_file(dir).exists() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("{} already holds a sharded set", dir.display()),
+            ));
+        }
+        let mut handles = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let pool = Pool::builder()
+                .path(shard_file(dir, i))
+                .capacity(capacity_per_shard)
+                .create()?;
+            handles.push(pool.create_root::<S>(SHARD_ROOT)?);
+        }
+        // The manifest is the commit point: only a fully-created set has
+        // one, so an interrupted create can never be opened truncated.
+        write_manifest(dir, shards)?;
+        Ok(ShardedSet {
+            shards: handles.into_boxed_slice(),
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// Opens the sharded set under `dir`: discovers the shard files, then
+    /// opens **all shards concurrently** (one thread per shard — this is
+    /// the multi-pool capability exercised end to end). Each shard runs the
+    /// full independent recovery pipeline: heap walk, root-driven
+    /// mark-sweep GC (the tracer is registered before the open, so the GC
+    /// always runs eagerly), and the structure's own `recover()`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `dir` holds no completed sharded set (no manifest), a
+    /// manifest-promised shard file is missing, or any shard fails to
+    /// open — one shard's failure does not modify the other shards'
+    /// files.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref();
+        // The manifest — not the file listing — is the source of truth for
+        // the count: every shard it promises must exist.
+        let count = read_manifest(dir)?;
+        for i in 0..count {
+            if !shard_file(dir, i).exists() {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!(
+                        "{}: manifest promises {count} shards but shard {i} is missing",
+                        dir.display()
+                    ),
+                ));
+            }
+        }
+        let mut results: Vec<io::Result<PooledHandle<S>>> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..count)
+                .map(|i| {
+                    let path = shard_file(dir, i);
+                    scope.spawn(move || {
+                        // Pre-register the tracer so the open itself runs
+                        // the recovery GC (eagerly, not pending).
+                        // SAFETY: shard pools hold exactly one root, created
+                        // as `S` by `create` — the registration contract.
+                        let prev = unsafe { register_pool_tracer::<S>(&path, SHARD_ROOT) };
+                        let attempt = Pool::builder()
+                            .path(&path)
+                            .open()
+                            .and_then(|pool| pool.root::<S>(SHARD_ROOT));
+                        if attempt.is_err() {
+                            restore_pool_tracer(&path, SHARD_ROOT, prev);
+                        }
+                        attempt
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("shard open worker panicked"))
+                .collect()
+        });
+        let mut handles = Vec::with_capacity(count);
+        for (i, r) in results.drain(..).enumerate() {
+            handles.push(r.map_err(|e| {
+                io::Error::new(e.kind(), format!("shard {i} of {}: {e}", dir.display()))
+            })?);
+        }
+        Ok(ShardedSet {
+            shards: handles.into_boxed_slice(),
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// [`ShardedSet::open`] when the directory holds a set, otherwise
+    /// [`ShardedSet::create`] — the restart-loop entry point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates open/create failures.
+    pub fn open_or_create(
+        dir: impl AsRef<Path>,
+        shards: usize,
+        capacity_per_shard: u64,
+    ) -> io::Result<Self> {
+        let dir = dir.as_ref();
+        if manifest_file(dir).exists() {
+            Self::open(dir)
+        } else {
+            Self::create(dir, shards, capacity_per_shard)
+        }
+    }
+}
+
+impl<S: PoolAttach> ShardedSet<S> {
+    /// Number of shards (fixed at creation; key routing depends on it).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The directory holding the shard files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The handle of shard `i` (oracles and tests inspect shards directly).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= shard_count()`.
+    pub fn shard(&self, i: usize) -> &PooledHandle<S> {
+        &self.shards[i]
+    }
+
+    /// All shard handles, in shard order.
+    pub fn shards(&self) -> impl Iterator<Item = &PooledHandle<S>> {
+        self.shards.iter()
+    }
+
+    /// Which shard a key (by its bit pattern) routes to.
+    pub fn shard_index_of(&self, key_bits: u64) -> usize {
+        (mix(key_bits) % self.shards.len() as u64) as usize
+    }
+
+    /// One [`RecoveryReport`] per shard, in shard order — N independent
+    /// recoveries, not one global one.
+    pub fn recovery_reports(&self) -> Vec<RecoveryReport> {
+        self.shards.iter().map(|s| s.pool().recovery_report()).collect()
+    }
+
+    /// Flushes every shard to its backing file and detaches, without
+    /// freeing any live node (each shard's [`PooledHandle::close`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first shard sync failure (later shards still close).
+    pub fn close(self) -> io::Result<()> {
+        let mut first_err = None;
+        for handle in self.shards.into_vec() {
+            if let Err(e) = handle.close() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl<K, V, S> DurableSet<K, V> for ShardedSet<S>
+where
+    K: Word,
+    V: Word,
+    S: PoolAttach + DurableSet<K, V>,
+{
+    fn insert(&self, key: K, value: V) -> bool {
+        self.shards[self.shard_index_of(key.to_bits())].insert(key, value)
+    }
+
+    fn remove(&self, key: K) -> bool {
+        self.shards[self.shard_index_of(key.to_bits())].remove(key)
+    }
+
+    fn get(&self, key: K) -> Option<V> {
+        self.shards[self.shard_index_of(key.to_bits())].get(key)
+    }
+
+    /// Quiescent, like every `len`: sums the shards.
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Re-runs every shard's recovery pass. [`ShardedSet::open`] already
+    /// recovered each shard, so this is only needed for hand-driven crash
+    /// simulation.
+    fn recover(&self) {
+        for s in self.shards.iter() {
+            s.recover();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvtraverse::policy::NvTraverse;
+    use nvtraverse_pmem::MmapBackend;
+
+    type List = crate::list::HarrisList<u64, u64, NvTraverse<MmapBackend>>;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "nvt-sharded-{}-{tag}.shards",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    /// The manifest is the creation commit point: a set whose create was
+    /// interrupted (shard files, no manifest) and a set missing a
+    /// manifest-promised shard must both fail to open loudly — never come
+    /// up as a smaller set that silently routes keys to wrong shards.
+    #[test]
+    fn incomplete_sets_are_rejected_loudly() {
+        let dir = tmp_dir("incomplete");
+        ShardedSet::<List>::create(&dir, 2, 1 << 20)
+            .unwrap()
+            .close()
+            .unwrap();
+
+        // "Crash mid-create": files exist, manifest does not.
+        std::fs::remove_file(manifest_file(&dir)).unwrap();
+        let err = ShardedSet::<List>::open(&dir).unwrap_err();
+        assert!(err.to_string().contains("manifest"), "{err}");
+        // open_or_create must not silently recreate over the leftovers.
+        assert!(ShardedSet::<List>::open_or_create(&dir, 2, 1 << 20).is_err());
+
+        // Manifest promises 2 shards, one is gone.
+        write_manifest(&dir, 2).unwrap();
+        std::fs::remove_file(shard_file(&dir, 1)).unwrap();
+        let err = ShardedSet::<List>::open(&dir).unwrap_err();
+        assert!(err.to_string().contains("missing"), "{err}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Keys must route deterministically, within bounds, and (for a
+    /// non-trivial key range) touch every shard.
+    #[test]
+    fn routing_is_stable_and_covers_all_shards() {
+        let dir = tmp_dir("routing");
+        let set = ShardedSet::<List>::create(&dir, 4, 1 << 20).unwrap();
+        let mut seen = [false; 4];
+        for k in 0..256u64 {
+            let i = set.shard_index_of(k);
+            assert!(i < 4);
+            assert_eq!(i, set.shard_index_of(k), "routing must be deterministic");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "256 keys must reach all 4 shards");
+        set.close().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -26,7 +26,7 @@
 //! (Michael / Fraser / Herlihy et al.): deletion marks the bottom link (the
 //! linearization point), then unlinks the tower levels top-down.
 
-use nvtraverse::alloc::{alloc_node, free};
+use nvtraverse::alloc::{alloc_node, free, PoolCtx};
 use nvtraverse::marked::MarkedPtr;
 use nvtraverse::ops::{run_operation, Critical, PersistSet, TraversalOps};
 use nvtraverse::policy::Durability;
@@ -53,7 +53,7 @@ pub struct SkipNode<K: Word, V: Word, B: Backend> {
     /// Supplement 2: address of the bottom link that first connected us.
     orig_parent: PCell<u64, B>,
     /// `next[0]` persistent; higher levels volatile (never flushed).
-    next: [PCell<MarkedPtr<SkipNode<K, V, B>>, B>; MAX_HEIGHT],
+    next: [Link<K, V, B>; MAX_HEIGHT],
 }
 
 impl<K: Word, V: Word, B: Backend> fmt::Debug for SkipNode<K, V, B> {
@@ -65,6 +65,8 @@ impl<K: Word, V: Word, B: Backend> fmt::Debug for SkipNode<K, V, B> {
 }
 
 type NodePtr<K, V, B> = *mut SkipNode<K, V, B>;
+/// One tower-link word (bottom level persistent, upper levels volatile).
+type Link<K, V, B> = PCell<MarkedPtr<SkipNode<K, V, B>>, B>;
 
 /// Traversal window: Harris's bottom-list window plus the tower
 /// predecessors `findEntry` computed (auxiliary data for upper linking).
@@ -102,6 +104,12 @@ impl<K: Word, V: Word, B: Backend> fmt::Debug for SkipWindow<K, V, B> {
 pub struct SkipList<K: Word, V: Word, D: Durability> {
     head: NodePtr<K, V, D::B>,
     collector: Collector,
+    /// Which heap this structure's nodes come from — its own pool for a
+    /// pooled instance, the volatile heap otherwise. Captured at
+    /// construction (from the enclosing allocation scope) and re-entered
+    /// around every allocating operation, so concurrent structures in
+    /// different pools allocate from the right files.
+    ctx: PoolCtx,
     /// Deterministic height source (split-mix of a counter), so crash tests
     /// replay identically.
     height_seq: AtomicU64,
@@ -145,6 +153,7 @@ where
         SkipList {
             head,
             collector,
+            ctx: PoolCtx::current(),
             height_seq: AtomicU64::new(1),
             _marker: PhantomData,
         }
@@ -176,6 +185,7 @@ where
         SkipList {
             head,
             collector,
+            ctx: PoolCtx::current(),
             // recover_skiplist reseeds this past the live node count.
             height_seq: AtomicU64::new(1),
             _marker: PhantomData,
@@ -222,6 +232,17 @@ where
             let mut pred = start;
             loop {
                 let mut w = (*pred).next[level].load();
+                // A marked word means *pred itself* was deleted at this
+                // level. Its tower word is frozen from here on: snipping
+                // through it would CAS an **unmarked** successor word into
+                // the dead node, un-marking it and re-exposing it at this
+                // level — the ROADMAP's livelock (competing walks then
+                // re-mark/re-snip the same tower word forever). Hand the
+                // marked pred back; callers restart from a live start
+                // point (ultimately the never-marked head).
+                if w.is_marked() {
+                    return pred;
+                }
                 // Snip marked successors (auxiliary maintenance).
                 loop {
                     let curr = w.ptr();
@@ -257,10 +278,36 @@ where
     }
 
     /// Ensures `node` is no longer linked at `level` (used before retiring).
+    ///
+    /// Two phases. The first rounds lean on [`SkipList::aux_walk`]'s snipping
+    /// as a side effect — the common case removes the node in one pass. If
+    /// the node stays reachable past [`Self::UNLINK_GENERIC_ROUNDS`] rounds
+    /// (heavy contention keeps invalidating the walk), fall back to a
+    /// *targeted* unlink that restarts from the entry (the never-marked
+    /// head) every round and CASes exactly this node out. The outer loop is
+    /// thereby bounded to generic rounds + however long the single frozen
+    /// link takes to snip — `node`'s tower word at `level` is already
+    /// marked and (with the un-marking bug fixed above) can never be
+    /// re-exposed, so no round can undo another's progress.
     fn unlink_level(&self, node: NodePtr<K, V, D::B>, level: usize, k: K) {
+        let mut rounds = 0u32;
         loop {
+            if rounds >= Self::UNLINK_GENERIC_ROUNDS {
+                if self.targeted_unlink(node, level) {
+                    return;
+                }
+                std::hint::spin_loop();
+                continue;
+            }
+            rounds += 1;
             let pred = self.aux_walk(self.head, level, k);
             let w = unsafe { (*pred).next[level].load() };
+            if w.is_marked() {
+                // pred died under the walk: its view of the level is
+                // useless. Count the round (a competing deleter is making
+                // progress here) and restart from the entry.
+                continue;
+            }
             let mut cur = w.ptr();
             // Check whether node is still reachable at this level from pred
             // onwards (keys ≥ k region).
@@ -285,6 +332,44 @@ where
             }
             // aux_walk snips as a side effect; loop until gone.
             std::hint::spin_loop();
+        }
+    }
+
+    /// Generic `unlink_level` rounds before switching to the targeted walk.
+    const UNLINK_GENERIC_ROUNDS: u32 = 64;
+
+    /// One round of `unlink_level`'s fallback: walk `level` from the head
+    /// and, if `node` is still some predecessor's successor, CAS it out
+    /// with its own frozen successor. Returns `true` once `node` is
+    /// provably unreachable at this level.
+    ///
+    /// `node` is marked at `level` (the deleter marked every tower level
+    /// before unlinking), so its successor word is frozen — reading it once
+    /// is sound — and no walk can ever re-link it.
+    fn targeted_unlink(&self, node: NodePtr<K, V, D::B>, level: usize) -> bool {
+        unsafe {
+            let node_word = (*node).next[level].load();
+            debug_assert!(node_word.is_marked(), "targeted unlink of an unmarked node");
+            let replacement = node_word.without_mark().untagged();
+            let mut pred = self.head;
+            loop {
+                let w = (*pred).next[level].load();
+                if w.is_marked() {
+                    // pred died mid-walk; restart from the entry next round.
+                    return false;
+                }
+                let curr = w.ptr();
+                if curr.is_null() {
+                    return true; // fell off the level: node is not linked here
+                }
+                if curr == node {
+                    // Snip exactly node. A lost CAS means pred's link moved
+                    // (possibly a concurrent walk unlinked node for us) —
+                    // re-probe with a fresh walk next round.
+                    return (*pred).next[level].compare_exchange(w, replacement).is_ok();
+                }
+                pred = curr;
+            }
         }
     }
 
@@ -446,6 +531,8 @@ where
             while !cur.is_null() {
                 count += 1;
                 let h = (*cur).height.load() as usize;
+                // Indexing two arrays in lockstep; an iterator form obscures it.
+                #[allow(clippy::needless_range_loop)]
                 for level in 1..h {
                     (*prevs[level]).next[level].store(MarkedPtr::new(cur));
                     prevs[level] = cur;
@@ -488,6 +575,13 @@ where
         let mut pred = self.head;
         for level in (1..MAX_HEIGHT).rev() {
             pred = self.aux_walk(pred, level, k);
+            // A marked result means the walk's start (or end point) died
+            // mid-descent; one retry from the never-marked head keeps the
+            // shortcut useful. (A still-marked result is fine: `traverse`
+            // falls back to the head for marked entry points.)
+            if unsafe { (*pred).next[level].load().is_marked() } {
+                pred = self.aux_walk(self.head, level, k);
+            }
             preds[level] = pred;
         }
         (pred, preds)
@@ -628,14 +722,20 @@ where
                         // Bottom link is in (the linearization + persistence
                         // point). Now thread the volatile tower levels.
                         'levels: for level in 1..height {
+                            let mut from = if self.below(w.preds[level], key) {
+                                w.preds[level]
+                            } else {
+                                self.head
+                            };
                             loop {
-                                let pred = if self.below(w.preds[level], key) {
-                                    self.aux_walk(w.preds[level], level, key)
-                                } else {
-                                    self.aux_walk(self.head, level, key)
-                                };
+                                let pred = self.aux_walk(from, level, key);
                                 let succ = unsafe { (*pred).next[level].load() };
                                 if succ.is_marked() {
+                                    // pred was deleted under us and its
+                                    // tower word is frozen: re-walking from
+                                    // it can never make progress. Restart
+                                    // the level from the never-marked head.
+                                    from = self.head;
                                     continue;
                                 }
                                 // If we were deleted meanwhile, stop linking.
@@ -738,11 +838,13 @@ where
     D: Durability,
 {
     fn insert(&self, key: K, value: V) -> bool {
+        let _scope = self.ctx.enter();
         let guard = self.collector.pin();
         run_operation(self, &guard, SetOp::Insert(key, value)).is_none()
     }
 
     fn remove(&self, key: K) -> bool {
+        let _scope = self.ctx.enter();
         let guard = self.collector.pin();
         run_operation(self, &guard, SetOp::Remove(key)).is_some()
     }
@@ -768,7 +870,7 @@ where
     D: Durability,
 {
     fn create_in_pool(pool: &Pool, name: &str) -> io::Result<Self> {
-        pool.install_as_default();
+        let _scope = PoolCtx::of(pool).enter();
         let list = Self::with_collector(Collector::new());
         pool.set_root_ptr_checked(name, list.head_ptr())?;
         Ok(list)
@@ -776,6 +878,8 @@ where
 
     unsafe fn attach_to_pool(pool: &Pool, name: &str) -> Option<Self> {
         let head = pool.attach_root_ptr::<SkipNode<K, V, D::B>>(name)?;
+        // Entered so `attach_at`'s context snapshot captures this pool.
+        let _scope = PoolCtx::of(pool).enter();
         Some(unsafe { Self::attach_at(head, Collector::new()) })
     }
 
@@ -1020,6 +1124,66 @@ mod tests {
         s.recover();
         assert_eq!(s.get(4), None);
         assert_eq!(s.check_consistency(false).unwrap(), 9);
+    }
+
+    /// Livelock hunt (the ROADMAP open item this PR hardens against): loop
+    /// the contended concurrent workload, each iteration under a fail-fast
+    /// watchdog. A healthy iteration finishes in well under a second even
+    /// on the 1-core CI box; a livelocked one trips the 60 s budget
+    /// immediately instead of hanging the suite for 20+ minutes.
+    ///
+    /// Ignored by default (it is a soak, not a unit test). Run with e.g.
+    /// `NVT_STRESS_ITERS=500 cargo test --release -p nvtraverse-structures \
+    ///  -- --ignored stress_contended_no_livelock --nocapture`.
+    #[test]
+    #[ignore = "soak test: set NVT_STRESS_ITERS and run with --ignored"]
+    fn stress_contended_no_livelock() {
+        use rand::prelude::*;
+        let iters: usize = std::env::var("NVT_STRESS_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(50);
+        for i in 0..iters {
+            let (tx, rx) = std::sync::mpsc::channel();
+            std::thread::spawn(move || {
+                let s: SkipList<u64, u64, NvTraverse<Clwb>> = SkipList::new();
+                std::thread::scope(|sc| {
+                    for tid in 0..4u64 {
+                        let s = &s;
+                        sc.spawn(move || {
+                            // Tiny key range + delete-heavy mix: maximizes
+                            // marked-tower traffic, the livelock's habitat.
+                            let mut rng =
+                                rand::rngs::StdRng::seed_from_u64(tid * 7919 + i as u64);
+                            for _ in 0..2000 {
+                                let k = rng.random_range(0..32);
+                                match rng.random_range(0..10) {
+                                    0..=4 => {
+                                        s.insert(k, k);
+                                    }
+                                    5..=8 => {
+                                        s.remove(k);
+                                    }
+                                    _ => {
+                                        s.get(k);
+                                    }
+                                }
+                            }
+                        });
+                    }
+                });
+                s.check_consistency(false).unwrap();
+                let _ = tx.send(());
+            });
+            if rx.recv_timeout(std::time::Duration::from_secs(60)).is_err() {
+                // Fail fast, leaving the stuck iteration's threads behind:
+                // the hang itself is the finding.
+                panic!("livelock: stress iteration {i} exceeded its 60 s budget");
+            }
+            if i % 10 == 9 {
+                eprintln!("stress: {}/{} iterations clean", i + 1, iters);
+            }
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! structure (paper §3: stacks are traversal data structures; the traversal
 //! is empty and the entry point is the top-of-stack anchor).
 
-use nvtraverse::alloc::{alloc_node, free};
+use nvtraverse::alloc::{alloc_node, free, PoolCtx};
 use nvtraverse::marked::MarkedPtr;
 use nvtraverse::ops::{run_operation, Critical, PersistSet, TraversalOps};
 use nvtraverse::policy::Durability;
@@ -55,6 +55,12 @@ pub enum StackOp<V> {
 pub struct TreiberStack<V: Word, D: Durability> {
     top: *mut PCell<MarkedPtr<StackNode<V, D::B>>, D::B>,
     collector: Collector,
+    /// Which heap this structure's nodes come from — its own pool for a
+    /// pooled instance, the volatile heap otherwise. Captured at
+    /// construction (from the enclosing allocation scope) and re-entered
+    /// around every allocating operation, so concurrent structures in
+    /// different pools allocate from the right files.
+    ctx: PoolCtx,
     _marker: PhantomData<fn() -> D>,
 }
 
@@ -79,12 +85,14 @@ where
         TreiberStack {
             top,
             collector,
+            ctx: PoolCtx::current(),
             _marker: PhantomData,
         }
     }
 
     /// Pushes `value`.
     pub fn push(&self, value: V) {
+        let _scope = self.ctx.enter();
         let guard = self.collector.pin();
         let _ = run_operation(self, &guard, StackOp::Push(value));
     }
@@ -177,6 +185,7 @@ where
         TreiberStack {
             top,
             collector,
+            ctx: PoolCtx::current(),
             _marker: PhantomData,
         }
     }
@@ -252,7 +261,7 @@ where
     D: Durability,
 {
     fn create_in_pool(pool: &Pool, name: &str) -> io::Result<Self> {
-        pool.install_as_default();
+        let _scope = PoolCtx::of(pool).enter();
         let s = Self::with_collector(Collector::new());
         pool.set_root_ptr_checked(name, s.top_ptr())?;
         Ok(s)
@@ -260,6 +269,8 @@ where
 
     unsafe fn attach_to_pool(pool: &Pool, name: &str) -> Option<Self> {
         let top = pool.attach_root_ptr::<PCell<MarkedPtr<StackNode<V, D::B>>, D::B>>(name)?;
+        // Entered so `attach_at`'s context snapshot captures this pool.
+        let _scope = PoolCtx::of(pool).enter();
         Some(unsafe { Self::attach_at(top, Collector::new()) })
     }
 

@@ -12,19 +12,19 @@
 //!
 //! The first run creates a pool file and builds three durably linearizable
 //! structures inside it — a Harris list, an MS queue, and a skiplist — each
-//! registered under its own root name, then exits without any serialization
-//! step. The second run reopens the file, looks each structure up by name,
-//! runs the paper's recovery pass (`Pool::open` → root lookup →
-//! `recover()`), and reads everything back: the list checks inserts *and*
-//! removes, the queue checks FIFO contents and that the rebuilt tail
-//! shortcut appends at the real end, the skiplist checks lookups through
-//! its freshly rebuilt towers.
+//! a first-class typed root (`pool.create_root::<S>("name")`), then exits
+//! without any serialization step. The second run reopens the file and asks
+//! for each root back by name (`pool.root::<S>("name")` = lookup → attach →
+//! `recover()`): the list checks inserts *and* removes, the queue checks
+//! FIFO contents and that the rebuilt tail shortcut appends at the real
+//! end, the skiplist checks lookups through its freshly rebuilt towers.
 //!
 //! Pass a path argument to choose the pool file; pass `--reset` to delete it
 //! first.
 
 use nvtraverse_suite::core::policy::NvTraverse;
-use nvtraverse_suite::core::{DurableSet, PoolAttach, PooledHandle};
+use nvtraverse_suite::core::pool::Pool;
+use nvtraverse_suite::core::{DurableSet, TypedRoots};
 use nvtraverse_suite::pmem::MmapBackend;
 use nvtraverse_suite::structures::list::HarrisList;
 use nvtraverse_suite::structures::queue::MsQueue;
@@ -54,7 +54,8 @@ fn main() {
 
     if !std::path::Path::new(&path).exists() {
         // ---- first run: create three structures, mutate, exit ----------
-        let list = PooledHandle::<PooledList>::create(&path, 8 << 20, "demo-list").unwrap();
+        let pool = Pool::builder().path(&path).capacity(8 << 20).create().unwrap();
+        let list = pool.create_root::<PooledList>("demo-list").unwrap();
         for k in 0..LIST_KEYS {
             assert!(list.insert(k, k * k));
         }
@@ -64,25 +65,16 @@ fn main() {
             assert!(list.remove(k));
         }
 
-        // Further structures in the same pool: create via the pool handle
-        // under their own root names, then *adopt* them so their
-        // destructors never run (their nodes live in the file — a bare
-        // handle dropped on scope exit or panic-unwind would free them).
-        let queue = PooledHandle::adopt(
-            list.pool(),
-            PooledQueue::create_in_pool(list.pool(), "demo-queue").unwrap(),
-            "demo-queue",
-        );
+        // Further structures in the same pool are just further typed
+        // roots — each handle guarantees its structure's destructor never
+        // runs (the nodes live in the file, not in this process).
+        let queue = pool.create_root::<PooledQueue>("demo-queue").unwrap();
         for v in 0..QUEUE_VALS {
             queue.enqueue(v);
         }
         assert_eq!(queue.dequeue(), Some(0)); // 1..16 remain
 
-        let skip = PooledHandle::adopt(
-            list.pool(),
-            PooledSkip::create_in_pool(list.pool(), "demo-skip").unwrap(),
-            "demo-skip",
-        );
+        let skip = pool.create_root::<PooledSkip>("demo-skip").unwrap();
         for k in 0..SKIP_KEYS {
             assert!(skip.insert(k, k + 1000));
         }
@@ -97,20 +89,24 @@ fn main() {
         );
     } else {
         // ---- second run: reopen, recover each root, verify -------------
-        // Pre-register the secondary roots' GC tracers: the open-time
-        // mark-sweep runs only when *every* root in the pool has one (the
-        // list's own tracer is registered by PooledHandle::open itself).
+        // Pre-register every root's GC tracer so the open itself runs the
+        // mark-sweep (it needs a tracer for *every* root; registering only
+        // some would leave the collection pending). A single-root pool
+        // skips this — `root::<S>()` handles it.
         // SAFETY: these roots were created by these exact types above.
         unsafe {
+            nvtraverse_suite::core::register_pool_tracer::<PooledList>(&path, "demo-list");
             nvtraverse_suite::core::register_pool_tracer::<PooledQueue>(&path, "demo-queue");
             nvtraverse_suite::core::register_pool_tracer::<PooledSkip>(&path, "demo-skip");
         }
-        let list = PooledHandle::<PooledList>::open(&path, "demo-list").unwrap();
-        let report = list.pool().recovery_report();
+        let pool = Pool::builder().path(&path).open().unwrap();
+        let report = pool.recovery_report();
         assert!(
             report.gc_ran,
             "all three roots have tracers, so the recovery GC must run"
         );
+
+        let list = pool.root::<PooledList>("demo-list").unwrap();
         let mut recovered = 0;
         for k in 0..LIST_KEYS {
             match list.get(k) {
@@ -123,10 +119,7 @@ fn main() {
             }
         }
 
-        // SAFETY: the roots were registered by the same concrete types.
-        let queue = unsafe { PooledQueue::attach_to_pool(list.pool(), "demo-queue") }.unwrap();
-        queue.recover_attached(); // rebuilds the volatile tail shortcut
-        let queue = PooledHandle::adopt(list.pool(), queue, "demo-queue");
+        let queue = pool.root::<PooledQueue>("demo-queue").unwrap();
         assert_eq!(queue.iter_snapshot(), (1..QUEUE_VALS).collect::<Vec<_>>());
         queue.enqueue(99); // the rebuilt tail must append at the real end
         assert_eq!(*queue.iter_snapshot().last().unwrap(), 99);
@@ -138,9 +131,7 @@ fn main() {
             queue.enqueue(v);
         }
 
-        let skip = unsafe { PooledSkip::attach_to_pool(list.pool(), "demo-skip") }.unwrap();
-        skip.recover_attached(); // rebuilds every tower from the bottom list
-        let skip = PooledHandle::adopt(list.pool(), skip, "demo-skip");
+        let skip = pool.root::<PooledSkip>("demo-skip").unwrap();
         for k in 0..SKIP_KEYS {
             assert_eq!(skip.get(k), Some(k + 1000), "skiplist key {k} lost");
         }

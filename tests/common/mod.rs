@@ -252,3 +252,45 @@ pub fn standard_workload() -> (Vec<(u64, u64)>, Vec<Step>) {
     ];
     (prefill, workload)
 }
+
+/// `Pool::builder().create()` + typed root in one call — the composition
+/// the pool-lifecycle and crash tests repeat constantly. (The returned
+/// handle keeps the pool mapped; closing it releases the file.)
+#[allow(dead_code)] // not every test binary uses every helper
+pub fn create_pooled<S: nvtraverse::PoolTrace>(
+    path: impl AsRef<std::path::Path>,
+    capacity: u64,
+    name: &str,
+) -> std::io::Result<nvtraverse::PooledHandle<S>> {
+    use nvtraverse::TypedRoots;
+    nvtraverse::pool::Pool::builder()
+        .path(path)
+        .capacity(capacity)
+        .create()?
+        .create_root::<S>(name)
+}
+
+/// `Pool::builder().open()` + typed root in one call.
+#[allow(dead_code)]
+pub fn open_pooled<S: nvtraverse::PoolTrace>(
+    path: impl AsRef<std::path::Path>,
+    name: &str,
+) -> std::io::Result<nvtraverse::PooledHandle<S>> {
+    use nvtraverse::TypedRoots;
+    nvtraverse::pool::Pool::builder().path(path).open()?.root::<S>(name)
+}
+
+/// The restart-loop form: heal whatever is missing.
+#[allow(dead_code)]
+pub fn open_or_create_pooled<S: nvtraverse::PoolTrace>(
+    path: impl AsRef<std::path::Path>,
+    capacity: u64,
+    name: &str,
+) -> std::io::Result<nvtraverse::PooledHandle<S>> {
+    use nvtraverse::TypedRoots;
+    nvtraverse::pool::Pool::builder()
+        .path(path)
+        .capacity(capacity)
+        .open_or_create()?
+        .root_or_create::<S>(name)
+}

@@ -34,6 +34,7 @@
 //! * a key with no intent at all ⇒ **absent** (nothing may invent keys).
 
 use nvtraverse::policy::NvTraverse;
+use nvtraverse::pool::Pool;
 use nvtraverse::{DurableSet, PoolAttach, PooledHandle};
 use nvtraverse_pmem::{Backend, MmapBackend};
 use nvtraverse_structures::ellen_bst::EllenBst;
@@ -41,12 +42,12 @@ use nvtraverse_structures::hash::HashMapDs;
 use nvtraverse_structures::list::HarrisList;
 use nvtraverse_structures::nm_bst::NmBst;
 use nvtraverse_structures::queue::MsQueue;
+use nvtraverse_structures::sharded::ShardedSet;
 use nvtraverse_structures::skiplist::SkipList;
 use nvtraverse_structures::stack::TreiberStack;
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 type PooledList = HarrisList<u64, u64, NvTraverse<MmapBackend>>;
@@ -60,10 +61,18 @@ type PooledStack = TreiberStack<u64, NvTraverse<MmapBackend>>;
 const ROOT: &str = "crash-struct";
 const POOL_CAP: u64 = 16 << 20;
 
-/// Opening a pool installs it as the process-wide allocator, so parent-side
-/// validations (which open pools themselves) serialize on this mutex. The
-/// children are separate processes and never contend.
-static SERIAL: Mutex<()> = Mutex::new(());
+/// Shards of the sharded-set crash test (≥ 2: the point is several pools
+/// open concurrently in one process).
+const SHARD_COUNT: usize = 3;
+const SHARD_CAP: u64 = 8 << 20;
+
+// NOTE: pools used to be process-global (one installed allocator), which
+// forced every test here onto a serializing mutex. Pools are first-class
+// now — each structure carries its own allocation context — so the tests
+// run concurrently, each on its own pool file(s).
+
+mod common;
+use common::{create_pooled, open_pooled};
 
 fn paths(tag: &str) -> (PathBuf, PathBuf) {
     let dir = std::env::temp_dir();
@@ -97,7 +106,45 @@ fn child_entry() {
         "queue" => queue_child(),
         "stack" => stack_child(),
         "churn" => churn_child(),
+        "sharded" => sharded_child(),
         other => panic!("unknown NVT_CRASH_CHILD kind {other:?}"),
+    }
+}
+
+/// Sharded-set workload: the same insert/remove intent-ack discipline as
+/// the single-pool sets, but over a [`ShardedSet`] whose `NVT_POOL` is a
+/// *directory* of shard pools — all open concurrently in this one process,
+/// keys hash-routed across them. The SIGKILL therefore dirties every shard
+/// at once.
+fn sharded_child() {
+    let dir = std::env::var("NVT_POOL").unwrap();
+    let log_path = std::env::var("NVT_LOG").unwrap();
+    let start_key: u64 = std::env::var("NVT_START_KEY").unwrap().parse().unwrap();
+
+    let set = ShardedSet::<PooledList>::open(&dir).unwrap();
+    let mut log = open_log(&log_path);
+    let mut record = |tag: &str, k: u64| {
+        writeln!(log, "{tag} {k}").unwrap();
+        log.sync_data().unwrap();
+    };
+
+    let mut k = start_key;
+    loop {
+        record("i", k);
+        if set.insert(k, k.wrapping_mul(7)) {
+            record("I", k);
+        }
+        if k % 3 == 2 {
+            let victim = k - 2;
+            record("r", victim);
+            if set.remove(victim) {
+                record("R", victim);
+            }
+        }
+        k += 1;
+        if k > start_key + 2_000_000 {
+            std::process::exit(3);
+        }
     }
 }
 
@@ -114,7 +161,7 @@ fn churn_child() {
     let log_path = std::env::var("NVT_LOG").unwrap();
     let start_key: u64 = std::env::var("NVT_START_KEY").unwrap().parse().unwrap();
 
-    let set = PooledHandle::<PooledList>::open(&pool_path, ROOT).unwrap();
+    let set = open_pooled::<PooledList>(&pool_path, ROOT).unwrap();
     let mut log = open_log(&log_path);
     let mut record = |tag: &str, k: u64| {
         writeln!(log, "{tag} {k}").unwrap();
@@ -150,7 +197,7 @@ fn set_child<S: PoolAttach + nvtraverse::PoolTrace + DurableSet<u64, u64>>() {
     let log_path = std::env::var("NVT_LOG").unwrap();
     let start_key: u64 = std::env::var("NVT_START_KEY").unwrap().parse().unwrap();
 
-    let set = PooledHandle::<S>::open(&pool_path, ROOT).unwrap();
+    let set = open_pooled::<S>(&pool_path, ROOT).unwrap();
     let mut log = open_log(&log_path);
     let mut record = |tag: &str, k: u64| {
         writeln!(log, "{tag} {k}").unwrap();
@@ -186,7 +233,7 @@ fn queue_child() {
     let log_path = std::env::var("NVT_LOG").unwrap();
     let start_key: u64 = std::env::var("NVT_START_KEY").unwrap().parse().unwrap();
 
-    let q = PooledHandle::<PooledQueue>::open(&pool_path, ROOT).unwrap();
+    let q = open_pooled::<PooledQueue>(&pool_path, ROOT).unwrap();
     let mut log = open_log(&log_path);
     let mut record = |tag: &str, k: u64| {
         writeln!(log, "{tag} {k}").unwrap();
@@ -199,7 +246,7 @@ fn queue_child() {
         q.enqueue(k);
         record("I", k);
         k += 1;
-        if k % 5 == 0 {
+        if k.is_multiple_of(5) {
             record("d", 0);
             if let Some(v) = q.dequeue() {
                 record("D", v);
@@ -219,7 +266,7 @@ fn stack_child() {
     let log_path = std::env::var("NVT_LOG").unwrap();
     let start_key: u64 = std::env::var("NVT_START_KEY").unwrap().parse().unwrap();
 
-    let s = PooledHandle::<PooledStack>::open(&pool_path, ROOT).unwrap();
+    let s = open_pooled::<PooledStack>(&pool_path, ROOT).unwrap();
     let mut log = open_log(&log_path);
     let mut record = |tag: &str, k: u64| {
         writeln!(log, "{tag} {k}").unwrap();
@@ -232,7 +279,7 @@ fn stack_child() {
         s.push(k);
         record("U", k);
         k += 1;
-        if k % 4 == 0 {
+        if k.is_multiple_of(4) {
             record("p", 0);
             if let Some(v) = s.pop() {
                 record("P", v);
@@ -320,7 +367,7 @@ fn run_child_until(kind: &str, pool: &Path, log: &Path, start_key: u64, min_acks
 /// metadata verifies block by block.
 fn reopen_checked<S: PoolAttach + nvtraverse::PoolTrace>(pool_path: &Path) -> PooledHandle<S> {
     // Reopen: Pool::open → root lookup → recover(), all inside the handle.
-    let h = PooledHandle::<S>::open(pool_path, ROOT).unwrap();
+    let h = open_pooled::<S>(pool_path, ROOT).unwrap();
     assert!(
         !h.pool().recovery_report().clean_shutdown,
         "SIGKILL must not leave a clean-shutdown marker"
@@ -351,7 +398,7 @@ where
     let present: BTreeMap<u64, u64> = snapshot(&set).into_iter().collect();
 
     // No invented keys: everything present must at least have been attempted.
-    for (&k, _) in &present {
+    for &k in present.keys() {
         assert!(
             log.get(&k).is_some_and(|e| e.intent_insert),
             "key {k} present but never attempted"
@@ -390,13 +437,12 @@ fn sigkill_set_roundtrip<S>(
 ) where
     S: PoolAttach + nvtraverse::PoolTrace + DurableSet<u64, u64>,
 {
-    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let (pool_path, log_path) = paths(kind);
     let _ = std::fs::remove_file(&pool_path);
     let _ = std::fs::remove_file(&log_path);
 
     // Create the pool and the named structure crash-free, then let go.
-    PooledHandle::<S>::create(&pool_path, POOL_CAP, ROOT)
+    create_pooled::<S>(&pool_path, POOL_CAP, ROOT)
         .unwrap()
         .close()
         .unwrap();
@@ -544,12 +590,11 @@ fn validate_churn(pool_path: &Path, log_path: &Path) -> u64 {
 /// close leaves the GC nothing at all to reclaim.
 #[test]
 fn sigkill_churn_reclaims_leaked_blocks() {
-    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let (pool_path, log_path) = paths("churn");
     let _ = std::fs::remove_file(&pool_path);
     let _ = std::fs::remove_file(&log_path);
 
-    PooledHandle::<PooledList>::create(&pool_path, POOL_CAP, ROOT)
+    create_pooled::<PooledList>(&pool_path, POOL_CAP, ROOT)
         .unwrap()
         .close()
         .unwrap();
@@ -562,7 +607,7 @@ fn sigkill_churn_reclaims_leaked_blocks() {
 
     // validate_churn closed cleanly (collector drained): the sweep of a
     // clean close/reopen must find exactly nothing.
-    let set = PooledHandle::<PooledList>::open(&pool_path, ROOT).unwrap();
+    let set = open_pooled::<PooledList>(&pool_path, ROOT).unwrap();
     let report = set.pool().recovery_report();
     assert!(report.gc_ran);
     assert_eq!(
@@ -639,12 +684,11 @@ fn validate_queue(pool_path: &Path, log_path: &Path, base: u64) -> u64 {
 
 #[test]
 fn sigkill_mid_workload_recovers_queue() {
-    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let (pool_path, log_path) = paths("queue");
     let _ = std::fs::remove_file(&pool_path);
     let _ = std::fs::remove_file(&log_path);
 
-    PooledHandle::<PooledQueue>::create(&pool_path, POOL_CAP, ROOT)
+    create_pooled::<PooledQueue>(&pool_path, POOL_CAP, ROOT)
         .unwrap()
         .close()
         .unwrap();
@@ -720,12 +764,11 @@ fn validate_stack(pool_path: &Path, log_path: &Path, expected: &mut Vec<u64>) ->
 
 #[test]
 fn sigkill_mid_workload_recovers_stack() {
-    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let (pool_path, log_path) = paths("stack");
     let _ = std::fs::remove_file(&pool_path);
     let _ = std::fs::remove_file(&log_path);
 
-    PooledHandle::<PooledStack>::create(&pool_path, POOL_CAP, ROOT)
+    create_pooled::<PooledStack>(&pool_path, POOL_CAP, ROOT)
         .unwrap()
         .close()
         .unwrap();
@@ -741,6 +784,108 @@ fn sigkill_mid_workload_recovers_stack() {
     }
 
     std::fs::remove_file(&pool_path).unwrap();
+    std::fs::remove_file(&log_path).unwrap();
+}
+
+// ---- sharded set: N pools SIGKILLed at once, N independent recoveries ------
+
+/// Post-kill validation of the sharded set — the acceptance oracle for
+/// first-class multi-pool support:
+///
+/// 1. every shard pool reopens **independently** (own heap walk, own
+///    eager mark-sweep GC, own dirty-shutdown marker, own `recover()`);
+/// 2. every surviving key lives in exactly the shard the hash routes it
+///    to (no key leaks across pools);
+/// 3. the union of shards passes the same durable-linearizability oracle
+///    as the single-pool sets.
+///
+/// Returns the next cycle's start key.
+fn validate_sharded(dir: &Path, log_path: &Path) -> u64 {
+    let set = ShardedSet::<PooledList>::open(dir).unwrap();
+    assert_eq!(set.shard_count(), SHARD_COUNT);
+    for (i, report) in set.recovery_reports().iter().enumerate() {
+        assert!(
+            !report.clean_shutdown,
+            "shard {i}: SIGKILL must not leave a clean-shutdown marker"
+        );
+        assert!(
+            report.gc_ran,
+            "shard {i}: tracer is registered before its open — the GC must run"
+        );
+        set.shard(i)
+            .pool()
+            .verify_heap()
+            .unwrap_or_else(|e| panic!("shard {i} heap corrupt after SIGKILL: {e}"));
+        set.shard(i)
+            .check_consistency(false)
+            .unwrap_or_else(|e| panic!("shard {i} invariants violated after recovery: {e}"));
+    }
+
+    // Union snapshot, checking the routing invariant on the way.
+    let mut present: BTreeMap<u64, u64> = BTreeMap::new();
+    for i in 0..set.shard_count() {
+        for (k, v) in set.shard(i).iter_snapshot() {
+            assert_eq!(
+                set.shard_index_of(k),
+                i,
+                "key {k} surfaced in shard {i}, not the shard it routes to"
+            );
+            assert!(present.insert(k, v).is_none(), "key {k} present in two shards");
+        }
+    }
+
+    // The set oracle, over the union (identical rules to validate_set).
+    let log = parse_set_log(log_path);
+    for &k in present.keys() {
+        assert!(
+            log.get(&k).is_some_and(|e| e.intent_insert),
+            "key {k} present but never attempted"
+        );
+    }
+    let mut max_intent = 0;
+    for (&k, e) in &log {
+        max_intent = max_intent.max(k);
+        let here = present.contains_key(&k);
+        if e.acked_remove {
+            assert!(!here, "key {k}: remove was acked but the key came back");
+        } else if e.acked_insert && !e.intent_remove {
+            assert!(here, "key {k}: insert was acked but the key is lost");
+            assert_eq!(present[&k], k.wrapping_mul(7), "key {k}: wrong value");
+        }
+    }
+
+    // The recovered sharded set stays fully usable across all shards.
+    for k in 0..2 * SHARD_COUNT as u64 {
+        assert!(set.insert(u64::MAX - 1 - k, 42));
+        assert_eq!(set.get(u64::MAX - 1 - k), Some(42));
+        assert!(set.remove(u64::MAX - 1 - k));
+    }
+    set.close().unwrap();
+    (max_intent + 3).next_multiple_of(3)
+}
+
+/// The acceptance test of ISSUE 5: ≥ 2 pools open concurrently in one
+/// process, SIGKILLed mid-workload, every shard recovering independently
+/// with the `ShardedSet` oracle passing.
+#[test]
+fn sigkill_mid_workload_recovers_sharded_set() {
+    let dir = std::env::temp_dir().join(format!("nvt-crashproc-{}-sharded.shards", std::process::id()));
+    let log_path = std::env::temp_dir().join(format!("nvt-crashproc-{}-sharded.log", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&log_path);
+
+    ShardedSet::<PooledList>::create(&dir, SHARD_COUNT, SHARD_CAP)
+        .unwrap()
+        .close()
+        .unwrap();
+
+    let mut start_key = 0;
+    for cycle in 0..2 {
+        run_child_until("sharded", &dir, &log_path, start_key, 150 * (cycle + 1));
+        start_key = validate_sharded(&dir, &log_path);
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
     std::fs::remove_file(&log_path).unwrap();
 }
 
@@ -776,8 +921,8 @@ fn alloc_storm_child_entry() {
     };
     let pool_path = std::env::var("NVT_POOL").unwrap();
     let log_path = std::env::var("NVT_LOG").unwrap();
-    let pool = nvtraverse_pool::Pool::open(&pool_path).unwrap();
-    let slots_off = pool.root(STORM_ROOT).unwrap();
+    let pool = Pool::builder().path(&pool_path).open().unwrap();
+    let slots_off = pool.root_offset(STORM_ROOT).unwrap();
     let mut log = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
@@ -813,7 +958,7 @@ fn alloc_storm_child_entry() {
                         MmapBackend::flush_range(p, size);
                     };
                     if cur != 0 {
-                        if x % 4 == 0 {
+                        if x.is_multiple_of(4) {
                             // Realloc: untrack, move, retrack.
                             unsafe { slot.write_volatile(0) };
                             persist(slot);
@@ -865,12 +1010,12 @@ fn alloc_storm_child_entry() {
 /// not accumulate across cycles, and returns the pool to a state where the
 /// next storm child can continue.
 fn storm_validate(pool_path: &Path) {
-    let pool = nvtraverse_pool::Pool::open(pool_path).unwrap();
+    let pool = Pool::builder().path(pool_path).open().unwrap();
     assert!(!pool.recovery_report().clean_shutdown);
     let report = pool
         .verify_heap()
         .unwrap_or_else(|e| panic!("pool heap corrupt after SIGKILL storm: {e}"));
-    let slots_off = pool.root(STORM_ROOT).unwrap();
+    let slots_off = pool.root_offset(STORM_ROOT).unwrap();
     let total_slots = STORM_THREADS * STORM_SLOTS;
 
     // Collect tracked offsets; check uniqueness (a block in two slots would
@@ -902,7 +1047,7 @@ fn storm_validate(pool_path: &Path) {
     // was in flight at the kill — bounded by 2 per thread per kill. Free
     // the strays so leakage does not accumulate across kill cycles.
     let mut strays = Vec::new();
-    for (&off, _) in &live {
+    for &off in live.keys() {
         if off != slots_off && !tracked.contains_key(&off) {
             strays.push(off);
         }
@@ -932,7 +1077,6 @@ fn storm_validate(pool_path: &Path) {
 
 #[test]
 fn sigkill_mid_alloc_storm_recovers() {
-    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let dir = std::env::temp_dir();
     let pool_path = dir.join(format!("nvt-storm-{}.pool", std::process::id()));
     let log_path = dir.join(format!("nvt-storm-{}.log", std::process::id()));
@@ -941,13 +1085,13 @@ fn sigkill_mid_alloc_storm_recovers() {
 
     // Create the pool and the persistent slot array.
     {
-        let pool = nvtraverse_pool::Pool::create(&pool_path, 64 << 20).unwrap();
+        let pool = Pool::builder().path(&pool_path).capacity(64 << 20).create().unwrap();
         let total = STORM_THREADS * STORM_SLOTS;
         let slots = pool.alloc(total * 8, 8).unwrap();
         unsafe { std::ptr::write_bytes(slots, 0, total * 8) };
         MmapBackend::flush_range(slots, total * 8);
         MmapBackend::fence();
-        pool.set_root(STORM_ROOT, pool.offset_of(slots)).unwrap();
+        pool.set_root_offset(STORM_ROOT, pool.offset_of(slots)).unwrap();
     }
 
     for _cycle in 0..2 {

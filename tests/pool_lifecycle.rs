@@ -4,11 +4,13 @@
 //! These tests cover the single-process half of the pool story; the
 //! cross-process half (surviving SIGKILL) is `tests/crash_process.rs`.
 //!
-//! Installing a pool as the process-wide allocator is, like `libvmmalloc`,
-//! process-global state — so every test here serializes on one mutex.
+//! Pools are first-class (per-pool allocation contexts, no process-global
+//! install), so these tests run concurrently — each on its own pool file,
+//! with no serializing mutex.
 
 use nvtraverse::policy::NvTraverse;
-use nvtraverse::{DurableSet, PooledHandle, PooledSet};
+use nvtraverse::pool::Pool;
+use nvtraverse::{DurableSet, PooledHandle, TypedRoots};
 use nvtraverse_pmem::MmapBackend;
 use nvtraverse_structures::ellen_bst::EllenBst;
 use nvtraverse_structures::hash::HashMapDs;
@@ -19,7 +21,9 @@ use nvtraverse_structures::queue::MsQueue;
 use nvtraverse_structures::skiplist::SkipList;
 use nvtraverse_structures::stack::TreiberStack;
 use std::path::PathBuf;
-use std::sync::Mutex;
+
+mod common;
+use common::{create_pooled, open_or_create_pooled, open_pooled};
 
 type PooledList = HarrisList<u64, u64, NvTraverse<MmapBackend>>;
 type PooledMap = HashMapDs<u64, u64, NvTraverse<MmapBackend>>;
@@ -29,8 +33,6 @@ type PooledNm = NmBst<u64, u64, NvTraverse<MmapBackend>>;
 type PooledQueue = MsQueue<u64, NvTraverse<MmapBackend>>;
 type PooledStack = TreiberStack<u64, NvTraverse<MmapBackend>>;
 type PooledPq = PriorityQueue<u64, u64, NvTraverse<MmapBackend>>;
-
-static SERIAL: Mutex<()> = Mutex::new(());
 
 fn tmp(name: &str) -> PathBuf {
     let p = std::env::temp_dir().join(format!(
@@ -44,11 +46,10 @@ fn tmp(name: &str) -> PathBuf {
 
 #[test]
 fn list_survives_close_and_reopen() {
-    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let path = tmp("list");
 
     {
-        let list = PooledSet::<PooledList>::create(&path, 4 << 20, "set").unwrap();
+        let list = create_pooled::<PooledList>(&path, 4 << 20, "set").unwrap();
         for k in 0..200u64 {
             assert!(list.insert(k, k * 10));
         }
@@ -61,7 +62,7 @@ fn list_survives_close_and_reopen() {
 
     // Every volatile handle is gone; only the file remains. Reopen.
     {
-        let list = PooledSet::<PooledList>::open(&path, "set").unwrap();
+        let list = open_pooled::<PooledList>(&path, "set").unwrap();
         assert_eq!(list.check_consistency(false).unwrap(), 150);
         for k in 0..200u64 {
             if k % 4 == 0 {
@@ -77,7 +78,7 @@ fn list_survives_close_and_reopen() {
     }
 
     // And once more, to prove reopen does not degrade the pool.
-    let list = PooledSet::<PooledList>::open(&path, "set").unwrap();
+    let list = open_pooled::<PooledList>(&path, "set").unwrap();
     assert_eq!(list.len(), 150);
     drop(list);
     std::fs::remove_file(&path).unwrap();
@@ -85,11 +86,10 @@ fn list_survives_close_and_reopen() {
 
 #[test]
 fn hash_survives_close_and_reopen() {
-    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let path = tmp("hash");
 
     {
-        let map = PooledSet::<PooledMap>::create(&path, 8 << 20, "kv").unwrap();
+        let map = create_pooled::<PooledMap>(&path, 8 << 20, "kv").unwrap();
         for k in 0..500u64 {
             assert!(map.insert(k, k ^ 0xABCD));
         }
@@ -99,7 +99,7 @@ fn hash_survives_close_and_reopen() {
         map.close().unwrap();
     }
 
-    let map = PooledSet::<PooledMap>::open(&path, "kv").unwrap();
+    let map = open_pooled::<PooledMap>(&path, "kv").unwrap();
     map.check_consistency(false).unwrap();
     for k in 0..500u64 {
         if k % 3 == 0 {
@@ -114,11 +114,10 @@ fn hash_survives_close_and_reopen() {
 
 #[test]
 fn skiplist_survives_close_and_reopen_with_tower_rebuild() {
-    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let path = tmp("skiplist");
 
     {
-        let s = PooledSet::<PooledSkip>::create(&path, 8 << 20, "skip").unwrap();
+        let s = create_pooled::<PooledSkip>(&path, 8 << 20, "skip").unwrap();
         for k in 0..600u64 {
             assert!(s.insert(k, k * 3));
         }
@@ -128,7 +127,7 @@ fn skiplist_survives_close_and_reopen_with_tower_rebuild() {
         s.close().unwrap();
     }
 
-    let s = PooledSet::<PooledSkip>::open(&path, "skip").unwrap();
+    let s = open_pooled::<PooledSkip>(&path, "skip").unwrap();
     // check_consistency(false) audits the towers rebuilt by recovery: every
     // tower link must reference a live bottom node, sorted per level.
     assert_eq!(s.check_consistency(false).unwrap(), 400);
@@ -150,11 +149,10 @@ fn skiplist_survives_close_and_reopen_with_tower_rebuild() {
 
 #[test]
 fn ellen_bst_survives_close_and_reopen() {
-    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let path = tmp("ellen");
 
     {
-        let t = PooledSet::<PooledEllen>::create(&path, 8 << 20, "tree").unwrap();
+        let t = create_pooled::<PooledEllen>(&path, 8 << 20, "tree").unwrap();
         for k in 0..400u64 {
             assert!(t.insert(k, k ^ 0xE11E));
         }
@@ -164,7 +162,7 @@ fn ellen_bst_survives_close_and_reopen() {
         t.close().unwrap();
     }
 
-    let t = PooledSet::<PooledEllen>::open(&path, "tree").unwrap();
+    let t = open_pooled::<PooledEllen>(&path, "tree").unwrap();
     assert_eq!(t.check_consistency(true).unwrap(), 320);
     for k in 0..400u64 {
         if k % 5 == 0 {
@@ -181,11 +179,10 @@ fn ellen_bst_survives_close_and_reopen() {
 
 #[test]
 fn nm_bst_survives_close_and_reopen() {
-    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let path = tmp("nm");
 
     {
-        let t = PooledSet::<PooledNm>::create(&path, 8 << 20, "tree").unwrap();
+        let t = create_pooled::<PooledNm>(&path, 8 << 20, "tree").unwrap();
         for k in 0..400u64 {
             assert!(t.insert(k, k.rotate_left(17)));
         }
@@ -195,7 +192,7 @@ fn nm_bst_survives_close_and_reopen() {
         t.close().unwrap();
     }
 
-    let t = PooledSet::<PooledNm>::open(&path, "tree").unwrap();
+    let t = open_pooled::<PooledNm>(&path, "tree").unwrap();
     assert_eq!(t.check_consistency(true).unwrap(), 400 - 400_usize.div_ceil(7));
     for k in 0..400u64 {
         if k % 7 == 0 {
@@ -211,11 +208,10 @@ fn nm_bst_survives_close_and_reopen() {
 
 #[test]
 fn queue_survives_close_and_reopen_with_tail_rebuild() {
-    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let path = tmp("queue");
 
     {
-        let q = PooledHandle::<PooledQueue>::create(&path, 4 << 20, "fifo").unwrap();
+        let q = create_pooled::<PooledQueue>(&path, 4 << 20, "fifo").unwrap();
         for v in 0..100u64 {
             q.enqueue(v);
         }
@@ -225,7 +221,7 @@ fn queue_survives_close_and_reopen_with_tail_rebuild() {
         q.close().unwrap();
     }
 
-    let q = PooledHandle::<PooledQueue>::open(&path, "fifo").unwrap();
+    let q = open_pooled::<PooledQueue>(&path, "fifo").unwrap();
     assert_eq!(q.iter_snapshot(), (25..100u64).collect::<Vec<_>>());
     // The recovered tail shortcut must land new values at the real end.
     q.enqueue(100);
@@ -238,11 +234,10 @@ fn queue_survives_close_and_reopen_with_tail_rebuild() {
 
 #[test]
 fn stack_survives_close_and_reopen() {
-    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let path = tmp("stack");
 
     {
-        let s = PooledHandle::<PooledStack>::create(&path, 4 << 20, "lifo").unwrap();
+        let s = create_pooled::<PooledStack>(&path, 4 << 20, "lifo").unwrap();
         for v in 0..60u64 {
             s.push(v);
         }
@@ -252,7 +247,7 @@ fn stack_survives_close_and_reopen() {
         s.close().unwrap();
     }
 
-    let s = PooledHandle::<PooledStack>::open(&path, "lifo").unwrap();
+    let s = open_pooled::<PooledStack>(&path, "lifo").unwrap();
     assert_eq!(s.iter_snapshot(), (0..45u64).rev().collect::<Vec<_>>());
     s.push(99);
     assert_eq!(s.pop(), Some(99));
@@ -264,11 +259,10 @@ fn stack_survives_close_and_reopen() {
 
 #[test]
 fn priority_queue_survives_close_and_reopen() {
-    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let path = tmp("pq");
 
     {
-        let pq = PooledHandle::<PooledPq>::create(&path, 4 << 20, "heap").unwrap();
+        let pq = create_pooled::<PooledPq>(&path, 4 << 20, "heap").unwrap();
         for p in [9u64, 2, 7, 4, 11, 1] {
             assert!(pq.push(p, p * 100));
         }
@@ -276,7 +270,7 @@ fn priority_queue_survives_close_and_reopen() {
         pq.close().unwrap();
     }
 
-    let pq = PooledHandle::<PooledPq>::open(&path, "heap").unwrap();
+    let pq = open_pooled::<PooledPq>(&path, "heap").unwrap();
     assert_eq!(pq.check_consistency(false).unwrap(), 5);
     assert_eq!(pq.pop_min(), Some((2, 200)));
     assert_eq!(pq.peek_min(), Some((4, 400)));
@@ -288,17 +282,16 @@ fn priority_queue_survives_close_and_reopen() {
 
 #[test]
 fn missing_root_and_wrong_name_fail_cleanly() {
-    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let path = tmp("wrongname");
     {
-        let list = PooledSet::<PooledList>::create(&path, 1 << 20, "right").unwrap();
+        let list = create_pooled::<PooledList>(&path, 1 << 20, "right").unwrap();
         list.insert(1, 1);
         list.close().unwrap();
     }
-    let err = PooledSet::<PooledList>::open(&path, "wrong").unwrap_err();
+    let err = open_pooled::<PooledList>(&path, "wrong").unwrap_err();
     assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
     // The right name still works afterwards.
-    let list = PooledSet::<PooledList>::open(&path, "right").unwrap();
+    let list = open_pooled::<PooledList>(&path, "right").unwrap();
     assert_eq!(list.get(1), Some(1));
     drop(list);
     std::fs::remove_file(&path).unwrap();
@@ -306,15 +299,14 @@ fn missing_root_and_wrong_name_fail_cleanly() {
 
 #[test]
 fn open_or_create_roundtrip() {
-    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let path = tmp("ooc");
     {
-        let list = PooledSet::<PooledList>::open_or_create(&path, 1 << 20, "s").unwrap();
+        let list = open_or_create_pooled::<PooledList>(&path, 1 << 20, "s").unwrap();
         assert!(list.is_empty());
         list.insert(7, 70);
         list.close().unwrap();
     }
-    let list = PooledSet::<PooledList>::open_or_create(&path, 1 << 20, "s").unwrap();
+    let list = open_or_create_pooled::<PooledList>(&path, 1 << 20, "s").unwrap();
     assert_eq!(list.get(7), Some(70));
     drop(list);
     std::fs::remove_file(&path).unwrap();
@@ -322,17 +314,16 @@ fn open_or_create_roundtrip() {
 
 #[test]
 fn open_or_create_heals_interrupted_creation() {
-    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let path = tmp("heal");
 
     // State 1: a crash between Pool::create and root registration — the
     // pool is valid but the named structure does not exist.
-    nvtraverse::pool::Pool::create(&path, 1 << 20).unwrap();
-    let list = PooledSet::<PooledList>::open_or_create(&path, 1 << 20, "s")
+    nvtraverse::pool::Pool::builder().path(&path).capacity(1 << 20).create().unwrap();
+    let list = open_or_create_pooled::<PooledList>(&path, 1 << 20, "s")
         .expect("must finish the interrupted creation, not fail forever");
     list.insert(5, 50);
     list.close().unwrap();
-    let list = PooledSet::<PooledList>::open(&path, "s").unwrap();
+    let list = open_pooled::<PooledList>(&path, "s").unwrap();
     assert_eq!(list.get(5), Some(50));
     drop(list);
     std::fs::remove_file(&path).unwrap();
@@ -340,7 +331,7 @@ fn open_or_create_heals_interrupted_creation() {
     // State 2: a crash before the pool magic was persisted — an all-zero
     // file. open_or_create must recreate rather than fail forever.
     std::fs::write(&path, vec![0u8; 1 << 20]).unwrap();
-    let list = PooledSet::<PooledList>::open_or_create(&path, 1 << 20, "s").unwrap();
+    let list = open_or_create_pooled::<PooledList>(&path, 1 << 20, "s").unwrap();
     assert!(list.is_empty());
     drop(list);
     std::fs::remove_file(&path).unwrap();
@@ -348,12 +339,11 @@ fn open_or_create_heals_interrupted_creation() {
 
 #[test]
 fn deliberately_orphaned_allocation_is_swept_on_reopen() {
-    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let path = tmp("orphan");
 
     let orphan_count;
     {
-        let list = PooledSet::<PooledList>::create(&path, 4 << 20, "set").unwrap();
+        let list = create_pooled::<PooledList>(&path, 4 << 20, "set").unwrap();
         for k in 0..50u64 {
             assert!(list.insert(k, k));
         }
@@ -368,7 +358,7 @@ fn deliberately_orphaned_allocation_is_swept_on_reopen() {
         list.close().unwrap();
     }
 
-    let list = PooledSet::<PooledList>::open(&path, "set").unwrap();
+    let list = open_pooled::<PooledList>(&path, "set").unwrap();
     let report = list.pool().recovery_report();
     assert!(report.gc_ran, "single traced root: the GC must run");
     assert_eq!(
@@ -398,20 +388,19 @@ fn deliberately_orphaned_allocation_is_swept_on_reopen() {
 /// every allocated block.
 #[test]
 fn gc_skips_pools_with_untraceable_roots() {
-    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let path = tmp("no-tracer");
 
     let off;
     {
-        let pool = nvtraverse::pool::Pool::create(&path, 1 << 20).unwrap();
+        let pool = nvtraverse::pool::Pool::builder().path(&path).capacity(1 << 20).create().unwrap();
         let p = pool.alloc(64, 8).unwrap();
         off = pool.offset_of(p);
         // A raw root no structure type describes (like the storm test's
         // slot array): nobody registers a tracer for it.
-        pool.set_root("raw-root", off).unwrap();
+        pool.set_root_offset("raw-root", off).unwrap();
     }
 
-    let pool = nvtraverse::pool::Pool::open(&path).unwrap();
+    let pool = nvtraverse::pool::Pool::builder().path(&path).open().unwrap();
     let report = pool.recovery_report();
     assert!(!report.gc_ran, "an untraceable root must disable the GC");
     assert_eq!(report.reclaimed_blocks, 0);
@@ -429,12 +418,11 @@ fn gc_skips_pools_with_untraceable_roots() {
 /// wrong-typed trace over live data.
 #[test]
 fn failed_create_does_not_poison_the_tracer_registry() {
-    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let path = tmp("foreign");
 
     // The "foreign" pool: a queue registered under the name a list will
     // later (wrongly) try to claim.
-    let q = PooledHandle::<PooledQueue>::create(&path, 1 << 20, "r").unwrap();
+    let q = create_pooled::<PooledQueue>(&path, 1 << 20, "r").unwrap();
     for v in 0..20u64 {
         q.enqueue(v);
     }
@@ -442,15 +430,15 @@ fn failed_create_does_not_poison_the_tracer_registry() {
 
     // Wrong-typed create fails on the existing file — and must not have
     // registered (or replaced) a tracer for (path, "r").
-    assert!(PooledSet::<PooledList>::create(&path, 1 << 20, "r").is_err());
+    assert!(create_pooled::<PooledList>(&path, 1 << 20, "r").is_err());
 
     // A raw reopen still GCs with the queue's own tracer (from its create)
     // and the queue's data is intact.
-    let pool = nvtraverse::pool::Pool::open(&path).unwrap();
+    let pool = nvtraverse::pool::Pool::builder().path(&path).open().unwrap();
     assert!(pool.recovery_report().gc_ran);
     assert_eq!(pool.recovery_report().reclaimed_blocks, 0);
     drop(pool);
-    let q = PooledHandle::<PooledQueue>::open(&path, "r").unwrap();
+    let q = open_pooled::<PooledQueue>(&path, "r").unwrap();
     assert_eq!(q.iter_snapshot(), (0..20u64).collect::<Vec<_>>());
     q.close().unwrap();
     std::fs::remove_file(&path).unwrap();
@@ -458,37 +446,89 @@ fn failed_create_does_not_poison_the_tracer_registry() {
 
 #[test]
 fn two_structures_share_one_pool() {
-    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let path = tmp("two");
     {
-        let a = PooledSet::<PooledList>::create(&path, 4 << 20, "a").unwrap();
-        // Second structure in the same pool: create via the pool handle and
-        // adopt it (its nodes live in the pool file and must NOT be freed
-        // by a destructor — adopt guarantees that, even on panic).
-        use nvtraverse::PoolAttach;
-        let b = PooledHandle::adopt(
-            a.pool(),
-            PooledList::create_in_pool(a.pool(), "b").unwrap(),
-            "b",
-        );
+        // Secondary roots are first-class now: just ask the pool for a
+        // second named root — no create/attach/adopt dance.
+        let pool = Pool::builder().path(&path).capacity(4 << 20).create().unwrap();
+        let a = pool.create_root::<PooledList>("a").unwrap();
+        let b = pool.create_root::<PooledList>("b").unwrap();
         a.insert(1, 100);
         b.insert(2, 200);
         b.close().unwrap();
         a.close().unwrap();
     }
-    let a = PooledSet::<PooledList>::open(&path, "a").unwrap();
-    // Multi-root GC: "a"'s tracer came from open, "b"'s from the adopt at
-    // creation time — every root traceable, so the mark-sweep ran.
-    assert!(a.pool().recovery_report().gc_ran);
-    assert_eq!(a.pool().recovery_report().reclaimed_blocks, 0);
-    use nvtraverse::PoolAttach;
-    let b = unsafe { PooledList::attach_to_pool(a.pool(), "b") }.unwrap();
-    b.recover_attached();
-    let b = PooledHandle::adopt(a.pool(), b, "b");
+    let pool = Pool::builder().path(&path).open().unwrap();
+    // Multi-root GC: both tracers were registered by the creation above
+    // (same process), so the open itself ran the mark-sweep eagerly.
+    assert!(pool.recovery_report().gc_ran);
+    assert_eq!(pool.recovery_report().reclaimed_blocks, 0);
+    let a = pool.root::<PooledList>("a").unwrap();
+    let b = pool.root::<PooledList>("b").unwrap();
     assert_eq!(a.get(1), Some(100));
     assert_eq!(a.get(2), None, "structures must be disjoint");
     assert_eq!(b.get(2), Some(200));
     drop(b);
     drop(a);
+    drop(pool);
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// `create_root` must refuse to overwrite a live root: the raw registry
+/// would replace the slot's offset, orphaning the previous structure's
+/// whole node graph for the next open's GC to silently reclaim.
+#[test]
+fn create_root_refuses_to_overwrite_a_live_root() {
+    let path = tmp("no-overwrite");
+    let pool = Pool::builder().path(&path).capacity(2 << 20).create().unwrap();
+    let a = pool.create_root::<PooledList>("kv").unwrap();
+    a.insert(1, 10);
+    let err = pool.create_root::<PooledList>("kv").unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+    // The original structure is untouched, and root_or_create attaches to
+    // it instead of recreating.
+    assert_eq!(a.get(1), Some(10));
+    drop(a);
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// The deprecated one-call shims (`PooledHandle::{create,open,
+/// open_or_create,adopt}`, `PooledSet`, `Pool::{create,open}`,
+/// `install_as_default`) must keep working for one release — they are the
+/// pre-multi-pool surface, now implemented on top of the builder and typed
+/// roots.
+#[test]
+#[allow(deprecated)]
+fn legacy_shims_still_work() {
+    use nvtraverse::{PoolAttach, PooledSet};
+    let path = tmp("legacy");
+    {
+        let list = PooledSet::<PooledList>::create(&path, 2 << 20, "legacy").unwrap();
+        for k in 0..40u64 {
+            assert!(list.insert(k, k + 1));
+        }
+        // adopt of a second root, the old way.
+        let b = PooledHandle::adopt(
+            list.pool(),
+            PooledList::create_in_pool(list.pool(), "second").unwrap(),
+            "second",
+        );
+        b.insert(7, 77);
+        b.close().unwrap();
+        list.close().unwrap();
+    }
+    {
+        let list = PooledSet::<PooledList>::open(&path, "legacy").unwrap();
+        assert!(list.pool().recovery_report().gc_ran);
+        assert_eq!(list.get(3), Some(4));
+        // The legacy global install still routes unscoped allocations.
+        list.pool().install_as_default();
+        assert!(nvtraverse::pmem::heap::allocator_installed());
+        list.pool().uninstall_default();
+        list.close().unwrap();
+    }
+    let list = PooledSet::<PooledList>::open_or_create(&path, 2 << 20, "legacy").unwrap();
+    assert_eq!(list.len(), 40);
+    list.close().unwrap();
     std::fs::remove_file(&path).unwrap();
 }

@@ -322,7 +322,13 @@ mod tests {
         prop_oneof![(1u64..10).prop_map(Kind::A), Just(Kind::B)]
     }
 
-    proptest! {
+    // The spread is redundant against this stub's one-field config but
+    // mirrors how downstream users must write it for real proptest.
+    #[allow(clippy::needless_update)]
+    mod configured {
+        use super::*;
+
+        proptest! {
         #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
 
         #[test]
@@ -343,6 +349,7 @@ mod tests {
             // With 64 draws, both variants appear (deterministic seed).
             prop_assert!(vs.iter().any(|k| matches!(k, Kind::A(_))));
             prop_assert_eq!(vs.iter().any(|k| matches!(k, Kind::B)), true);
+        }
         }
     }
 
