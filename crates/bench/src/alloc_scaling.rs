@@ -16,9 +16,14 @@
 //! Points flow through the `--json` sink as figure `alloc_scaling`, series
 //! `<engine>-<workload>`, x = thread count, metric `mops` (million
 //! alloc+free pairs per second), so `BENCH_*.json` artifacts capture the
-//! mutex-vs-lockfree trajectory per run.
+//! mutex-vs-lockfree trajectory per run. The lock-free series additionally
+//! reports `mag_hit_rate` — the fraction of allocations served by the
+//! per-thread magazine tier, read from the pool's `nvtraverse-obs` metric
+//! set — so a throughput regression can be told apart from a locality one
+//! (same Mops/s story, different hit rate).
 
 use crate::figures::Mode;
+use nvtraverse_obs as obs;
 use nvtraverse_pool::{AllocMode, Pool};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Barrier;
@@ -39,11 +44,24 @@ fn pool_path(tag: &str) -> std::path::PathBuf {
     ))
 }
 
-/// One churn measurement: returns million alloc+free pairs per second.
-fn churn(mode: AllocMode, threads: usize, secs: f64) -> f64 {
+/// The magazine hit rate over a metric-set delta: hits / (hits + misses),
+/// `NaN` when the engine recorded no magazine traffic (the mutexed
+/// baseline is unmetered by design).
+fn mag_hit_rate(d: &obs::Snapshot) -> f64 {
+    let hits = d.counter(obs::Counter::MagHit) as f64;
+    let misses = d.counter(obs::Counter::MagMiss) as f64;
+    hits / (hits + misses)
+}
+
+/// One churn measurement: returns (million alloc+free pairs per second,
+/// magazine hit rate).
+fn churn(mode: AllocMode, threads: usize, secs: f64) -> (f64, f64) {
     let path = pool_path("churn");
     let _ = std::fs::remove_file(&path);
     let pool = Pool::builder().path(&path).capacity(256 << 20).mode(mode).create().unwrap();
+    // The metric set is keyed by path and outlives the pool, so counters
+    // carry over between measurements on the same file — diff, don't read.
+    let m_before = pool.metrics().snapshot();
     let stop = AtomicBool::new(false);
     let barrier = Barrier::new(threads + 1);
     // One exchange slot per thread: thread t deposits into slot t and frees
@@ -116,19 +134,22 @@ fn churn(mode: AllocMode, threads: usize, secs: f64) -> f64 {
         pairs as f64 / elapsed / 1e6
     });
     pool.verify_heap().expect("heap corrupt after churn bench");
+    let hit_rate = mag_hit_rate(&pool.metrics().snapshot().since(&m_before));
     drop(pool);
     let _ = std::fs::remove_file(&path);
-    mops
+    (mops, hit_rate)
 }
 
 /// One grow measurement: allocation-only burst, then bulk free; returns
-/// million allocations per second over the burst phase (each thread times
-/// its own burst before freeing; the rate is total allocations over the
-/// slowest thread's burst window, so the free phase is not measured).
-fn grow(mode: AllocMode, threads: usize, secs: f64) -> f64 {
+/// (million allocations per second over the burst phase, magazine hit
+/// rate). Each thread times its own burst before freeing; the rate is
+/// total allocations over the slowest thread's burst window, so the free
+/// phase is not measured.
+fn grow(mode: AllocMode, threads: usize, secs: f64) -> (f64, f64) {
     let path = pool_path("grow");
     let _ = std::fs::remove_file(&path);
     let pool = Pool::builder().path(&path).capacity(1 << 30).mode(mode).create().unwrap();
+    let m_before = pool.metrics().snapshot();
     let quota = ((GROW_QUOTA as f64 * secs.max(0.05) / 0.12) as usize).max(256);
     let barrier = Barrier::new(threads);
     let (allocs, elapsed) = std::thread::scope(|s| {
@@ -168,9 +189,10 @@ fn grow(mode: AllocMode, threads: usize, secs: f64) -> f64 {
         (allocs, slowest.max(1e-3))
     });
     pool.verify_heap().expect("heap corrupt after grow bench");
+    let hit_rate = mag_hit_rate(&pool.metrics().snapshot().since(&m_before));
     drop(pool);
     let _ = std::fs::remove_file(&path);
-    allocs as f64 / elapsed / 1e6
+    (allocs as f64 / elapsed / 1e6, hit_rate)
 }
 
 /// Runs the full sweep and prints/records one table per workload.
@@ -181,23 +203,31 @@ pub fn run(mode: Mode) {
     };
     let threads = [1usize, 2, 4, 8];
     for (workload, f) in [
-        ("churn", churn as fn(AllocMode, usize, f64) -> f64),
-        ("grow", grow as fn(AllocMode, usize, f64) -> f64),
+        ("churn", churn as fn(AllocMode, usize, f64) -> (f64, f64)),
+        ("grow", grow as fn(AllocMode, usize, f64) -> (f64, f64)),
     ] {
         println!("\n== alloc_scaling: pool alloc/free throughput, {workload} workload ==");
         println!(
-            "{:>10}{:>14}{:>14}{:>10}  [Mops/s]",
-            "threads", "mutexed", "lockfree", "speedup"
+            "{:>10}{:>14}{:>14}{:>10}{:>10}  [Mops/s; mag-hit = lock-free magazine hit rate]",
+            "threads", "mutexed", "lockfree", "speedup", "mag-hit"
         );
         for &t in &threads {
-            let mutexed = f(AllocMode::Mutexed, t, secs);
-            let lockfree = f(AllocMode::LockFree, t, secs);
+            let (mutexed, _) = f(AllocMode::Mutexed, t, secs);
+            let (lockfree, hit_rate) = f(AllocMode::LockFree, t, secs);
             let x = t.to_string();
             crate::json::record("alloc_scaling", &format!("mutexed-{workload}"), &x, "mops", mutexed);
             crate::json::record("alloc_scaling", &format!("lockfree-{workload}"), &x, "mops", lockfree);
+            crate::json::record(
+                "alloc_scaling",
+                &format!("lockfree-{workload}"),
+                &x,
+                "mag_hit_rate",
+                hit_rate,
+            );
             println!(
-                "{t:>10}{mutexed:>14.3}{lockfree:>14.3}{:>9.1}x",
-                lockfree / mutexed.max(1e-9)
+                "{t:>10}{mutexed:>14.3}{lockfree:>14.3}{:>9.1}x{:>9.1}%",
+                lockfree / mutexed.max(1e-9),
+                hit_rate * 100.0
             );
         }
     }

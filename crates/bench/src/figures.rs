@@ -472,7 +472,9 @@ pub fn ablation_flushes(_mode: Mode) {
         prefill(&s, &cfg);
         use rand::prelude::*;
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
-        stats::reset();
+        // Snapshot delta, not reset(): the counters are process-global and
+        // monotone, so diffing is exact here (single-threaded) and never
+        // clobbers a concurrent measurement. See the stats module docs.
         let before = stats::snapshot();
         for _ in 0..OPS {
             let k = rng.random_range(0..cfg.range);
@@ -541,7 +543,7 @@ pub fn ablation_parent(mode: Mode) {
 pub const ALL_FIGURES: &[&str] = &[
     "fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig5f", "fig6g", "fig6h", "fig6i", "fig6j",
     "fig6k", "fig6l", "fig6m", "fig6n", "fig6o", "abl1", "abl2", "alloc_scaling",
-    "pool_structs", "pool_shards",
+    "pool_structs", "pool_shards", "persist_ops",
 ];
 
 /// Runs one figure by id (or `all`).
@@ -571,6 +573,7 @@ pub fn run_figure(id: &str, mode: Mode) {
         "alloc_scaling" | "alloc-scaling" => crate::alloc_scaling::run(mode),
         "pool_structs" | "pool-structs" => crate::pool_structs::run(mode),
         "pool_shards" | "pool-shards" => crate::pool_shards::run(mode),
+        "persist_ops" | "persist-ops" => crate::persist_ops::run(mode),
         "all" => {
             for f in ALL_FIGURES {
                 run_figure(f, mode);

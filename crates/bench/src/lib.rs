@@ -20,11 +20,16 @@
 //! `figures --quick --json BENCH_alloc.json alloc_scaling` — and
 //! [`pool_structs`] measures end-to-end *structure* throughput on
 //! pool-resident instances (allocator + policy fences together), engine ×
-//! structure × threads: `figures --quick --json BENCH_ps.json pool_structs`.
+//! structure × threads: `figures --quick --json BENCH_ps.json pool_structs` —
+//! and [`persist_ops`] counts flushes/fences **per operation** for every
+//! pool-resident structure under both durable policies, attributed to the
+//! owning pool's `nvtraverse-obs` metric set (with per-phase splits):
+//! `figures --quick --json BENCH_persist_ops.json persist_ops`.
 
 pub mod alloc_scaling;
 pub mod figures;
 pub mod json;
+pub mod persist_ops;
 pub mod pool_shards;
 pub mod pool_structs;
 pub mod workload;

@@ -46,6 +46,7 @@
 //!   lists in chunks, one CAS per chunk — remote frees never touch a global
 //!   lock.
 
+use nvtraverse_obs as obs;
 use nvtraverse_pmem::heap::AllocTarget;
 use nvtraverse_pmem::{heap, Backend};
 use nvtraverse_pool::Pool;
@@ -71,6 +72,9 @@ use std::marker::PhantomData;
 #[derive(Clone, Copy, Default)]
 pub struct PoolCtx {
     target: Option<AllocTarget>,
+    /// The pool's metric set, captured alongside the allocation target so
+    /// every entered scope also attributes flushes/fences to the pool.
+    metrics: Option<&'static obs::MetricSet>,
 }
 
 impl std::fmt::Debug for PoolCtx {
@@ -88,13 +92,18 @@ impl PoolCtx {
     /// pre-multi-pool behaviour a legacy structure relies on. It does
     /// **not** pin `Box` against an installed fallback.
     pub const fn volatile() -> Self {
-        PoolCtx { target: None }
+        PoolCtx {
+            target: None,
+            metrics: None,
+        }
     }
 
-    /// The context that allocates from `pool`.
+    /// The context that allocates from `pool` (and attributes persistence
+    /// traffic to `pool`'s metric set while entered).
     pub fn of(pool: &Pool) -> Self {
         PoolCtx {
             target: Some(pool.alloc_target()),
+            metrics: Some(pool.metrics()),
         }
     }
 
@@ -105,6 +114,7 @@ impl PoolCtx {
     pub fn current() -> Self {
         PoolCtx {
             target: heap::current_target(),
+            metrics: obs::current_target(),
         }
     }
 
@@ -122,6 +132,14 @@ impl PoolCtx {
     pub fn enter(&self) -> AllocScope {
         AllocScope {
             prev: heap::swap_scoped_target(self.target),
+            // A pooled context attributes the scope's flushes/fences to its
+            // pool. A volatile one leaves attribution alone — unlike the
+            // allocation target, attribution has no correctness meaning, so
+            // the nearest *explicit* `obs::attribute_to` keeps winning (a
+            // Count-backend test attributing a volatile structure's ops to
+            // a private set must not be silenced by the structure's own
+            // volatile-ctx brackets).
+            _obs: self.metrics.map(|m| obs::attribute_to(Some(m))),
             _not_send: PhantomData,
         }
     }
@@ -133,6 +151,10 @@ impl PoolCtx {
 #[must_use = "the allocation scope ends when this guard drops"]
 pub struct AllocScope {
     prev: Option<AllocTarget>,
+    /// Attribution scope: flushes/fences inside the alloc scope are charged
+    /// to the context's pool (restored to the previous target on drop).
+    /// `None` for a volatile context — see [`PoolCtx::enter`].
+    _obs: Option<obs::TargetScope>,
     _not_send: PhantomData<*mut ()>,
 }
 

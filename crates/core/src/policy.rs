@@ -26,8 +26,16 @@
 //! paper's evaluation; see the crate-level table.
 
 use crate::marked::MarkedPtr;
+use nvtraverse_obs as obs;
 use nvtraverse_pmem::{Backend, Noop, PCell, Word};
 use std::marker::PhantomData;
+
+// Every flush-bearing policy method opens an `obs::phase` scope so that
+// flushes and fences recorded by an attributing backend (`MmapBackend`,
+// `Count`) carry the pipeline stage that issued them — the paper's
+// traversal/critical split made observable. Methods that cannot flush
+// (traversal reads under NvTraverse, the Volatile policy entirely) open no
+// scope and stay zero-cost.
 
 /// A durability policy: the placement of flushes and fences.
 ///
@@ -188,10 +196,12 @@ impl<B: Backend> Durability for NvTraverse<B> {
     }
     #[inline]
     fn ensure_reachable(addr: *const u8) {
+        let _p = obs::phase(obs::Phase::Critical);
         B::flush(addr);
     }
     #[inline]
     fn make_persistent(addrs: &[*const u8]) {
+        let _p = obs::phase(obs::Phase::Critical);
         for &a in addrs {
             B::flush(a);
         }
@@ -199,24 +209,28 @@ impl<B: Backend> Durability for NvTraverse<B> {
     }
     #[inline]
     fn c_load<T: Word>(cell: &PCell<T, B>) -> T {
+        let _p = obs::phase(obs::Phase::Critical);
         let v = cell.load();
         B::flush(cell.addr());
         v
     }
     #[inline]
     fn c_load_link<T>(cell: &PCell<MarkedPtr<T>, B>) -> MarkedPtr<T> {
+        let _p = obs::phase(obs::Phase::Critical);
         let v = cell.load();
         B::flush(cell.addr());
         v
     }
     #[inline]
     fn c_store<T: Word>(cell: &PCell<T, B>, value: T) {
+        let _p = obs::phase(obs::Phase::Critical);
         B::fence();
         cell.store(value);
         B::flush(cell.addr());
     }
     #[inline]
     fn c_cas<T: Word>(cell: &PCell<T, B>, current: T, new: T) -> Result<T, T> {
+        let _p = obs::phase(obs::Phase::Critical);
         B::fence();
         let r = cell.compare_exchange(current, new);
         B::flush(cell.addr());
@@ -228,6 +242,7 @@ impl<B: Backend> Durability for NvTraverse<B> {
         current: MarkedPtr<T>,
         new: MarkedPtr<T>,
     ) -> Result<(), MarkedPtr<T>> {
+        let _p = obs::phase(obs::Phase::Critical);
         B::fence();
         let r = cell.compare_exchange(current, new);
         B::flush(cell.addr());
@@ -235,10 +250,12 @@ impl<B: Backend> Durability for NvTraverse<B> {
     }
     #[inline]
     fn persist_new_node(addr: *const u8, len: usize) {
+        let _p = obs::phase(obs::Phase::Critical);
         B::flush_range(addr, len);
     }
     #[inline]
     fn before_return() {
+        let _p = obs::phase(obs::Phase::Critical);
         B::fence();
     }
 }
@@ -266,12 +283,14 @@ impl<B: Backend> Durability for Izraelevitz<B> {
 
     #[inline]
     fn t_load<T: Word>(cell: &PCell<T, B>) -> T {
+        let _p = obs::phase(obs::Phase::Traversal);
         let v = cell.load();
         Self::psync(cell.addr());
         v
     }
     #[inline]
     fn t_load_link<T>(cell: &PCell<MarkedPtr<T>, B>) -> MarkedPtr<T> {
+        let _p = obs::phase(obs::Phase::Traversal);
         let v = cell.load();
         Self::psync(cell.addr());
         v
@@ -284,12 +303,14 @@ impl<B: Backend> Durability for Izraelevitz<B> {
     fn make_persistent(_addrs: &[*const u8]) {}
     #[inline]
     fn c_load<T: Word>(cell: &PCell<T, B>) -> T {
+        let _p = obs::phase(obs::Phase::Critical);
         let v = cell.load();
         Self::psync(cell.addr());
         v
     }
     #[inline]
     fn c_load_link<T>(cell: &PCell<MarkedPtr<T>, B>) -> MarkedPtr<T> {
+        let _p = obs::phase(obs::Phase::Critical);
         let v = cell.load();
         Self::psync(cell.addr());
         v
@@ -297,18 +318,22 @@ impl<B: Backend> Durability for Izraelevitz<B> {
     #[inline]
     fn load_fixed<T: Word>(cell: &PCell<T, B>) -> T {
         // The general transformation has no notion of immutability: it
-        // persists after this read like any other.
+        // persists after this read like any other. Reads of fixed fields
+        // happen during the journey, so they count as traversal traffic.
+        let _p = obs::phase(obs::Phase::Traversal);
         let v = cell.load();
         Self::psync(cell.addr());
         v
     }
     #[inline]
     fn c_store<T: Word>(cell: &PCell<T, B>, value: T) {
+        let _p = obs::phase(obs::Phase::Critical);
         cell.store(value);
         Self::psync(cell.addr());
     }
     #[inline]
     fn c_cas<T: Word>(cell: &PCell<T, B>, current: T, new: T) -> Result<T, T> {
+        let _p = obs::phase(obs::Phase::Critical);
         let r = cell.compare_exchange(current, new);
         Self::psync(cell.addr());
         r
@@ -319,17 +344,20 @@ impl<B: Backend> Durability for Izraelevitz<B> {
         current: MarkedPtr<T>,
         new: MarkedPtr<T>,
     ) -> Result<(), MarkedPtr<T>> {
+        let _p = obs::phase(obs::Phase::Critical);
         let r = cell.compare_exchange(current, new);
         Self::psync(cell.addr());
         r.map(drop)
     }
     #[inline]
     fn persist_new_node(addr: *const u8, len: usize) {
+        let _p = obs::phase(obs::Phase::Critical);
         B::flush_range(addr, len);
         B::fence();
     }
     #[inline(always)]
     fn before_return() {
+        let _p = obs::phase(obs::Phase::Critical);
         B::fence();
     }
 }
@@ -350,10 +378,13 @@ pub struct LinkPersist<B>(PhantomData<fn() -> B>);
 
 impl<B: Backend> LinkPersist<B> {
     /// The shared read protocol: load; if dirty, persist and help clean.
+    /// `at` tags the helping flush+fence with the phase of the read that
+    /// triggered it (a dirty link seen mid-traversal is traversal traffic).
     #[inline]
-    fn load_link_helping<T>(cell: &PCell<MarkedPtr<T>, B>) -> MarkedPtr<T> {
+    fn load_link_helping<T>(cell: &PCell<MarkedPtr<T>, B>, at: obs::Phase) -> MarkedPtr<T> {
         let v = cell.load();
         if v.is_dirty() {
+            let _p = obs::phase(at);
             B::flush(cell.addr());
             B::fence();
             // Best-effort: if it fails someone else cleaned (or changed) it.
@@ -375,7 +406,7 @@ impl<B: Backend> Durability for LinkPersist<B> {
     }
     #[inline]
     fn t_load_link<T>(cell: &PCell<MarkedPtr<T>, B>) -> MarkedPtr<T> {
-        Self::load_link_helping(cell)
+        Self::load_link_helping(cell, obs::Phase::Traversal)
     }
     #[inline(always)]
     fn ensure_reachable(_addr: *const u8) {
@@ -385,22 +416,25 @@ impl<B: Backend> Durability for LinkPersist<B> {
     fn make_persistent(_addrs: &[*const u8]) {}
     #[inline]
     fn c_load<T: Word>(cell: &PCell<T, B>) -> T {
+        let _p = obs::phase(obs::Phase::Critical);
         let v = cell.load();
         B::flush(cell.addr());
         v
     }
     #[inline]
     fn c_load_link<T>(cell: &PCell<MarkedPtr<T>, B>) -> MarkedPtr<T> {
-        Self::load_link_helping(cell)
+        Self::load_link_helping(cell, obs::Phase::Critical)
     }
     #[inline]
     fn c_store<T: Word>(cell: &PCell<T, B>, value: T) {
+        let _p = obs::phase(obs::Phase::Critical);
         B::fence();
         cell.store(value);
         B::flush(cell.addr());
     }
     #[inline]
     fn c_cas<T: Word>(cell: &PCell<T, B>, current: T, new: T) -> Result<T, T> {
+        let _p = obs::phase(obs::Phase::Critical);
         B::fence();
         let r = cell.compare_exchange(current, new);
         B::flush(cell.addr());
@@ -413,6 +447,7 @@ impl<B: Backend> Durability for LinkPersist<B> {
         new: MarkedPtr<T>,
     ) -> Result<(), MarkedPtr<T>> {
         debug_assert!(!current.is_dirty() && !new.is_dirty());
+        let _p = obs::phase(obs::Phase::Critical);
         B::fence();
         loop {
             // The stored word may carry the dirty bit; compare modulo it.
@@ -440,10 +475,12 @@ impl<B: Backend> Durability for LinkPersist<B> {
     }
     #[inline]
     fn persist_new_node(addr: *const u8, len: usize) {
+        let _p = obs::phase(obs::Phase::Critical);
         B::flush_range(addr, len);
     }
     #[inline]
     fn before_return() {
+        let _p = obs::phase(obs::Phase::Critical);
         B::fence();
     }
 }

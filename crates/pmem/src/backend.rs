@@ -202,22 +202,28 @@ impl Backend for ClflushSync {
 }
 
 /// Wraps another backend and counts every flush and fence in the global
-/// [`crate::stats`] counters.
+/// [`crate::stats`] counters **and** the thread's attributed
+/// `nvtraverse-obs` metric set (when one is installed with
+/// `nvtraverse_obs::attribute_to`), tagged with the thread's current phase.
 ///
 /// The ablation benchmark `abl1` uses `Count<Noop>` to report the exact
 /// number of persistence instructions each durability policy issues per
 /// operation — the quantity the paper's entire design minimizes.
+///
+/// Do not instantiate `Count<MmapBackend>`: [`MmapBackend`] already records
+/// into the attributed metric set itself, so wrapping it would double-count
+/// every flush and fence there.
 ///
 /// # Example
 ///
 /// ```
 /// use nvtraverse_pmem::{stats, Backend, Count, Noop};
 ///
-/// stats::reset();
+/// let before = stats::snapshot();
 /// Count::<Noop>::flush(std::ptr::null());
 /// Count::<Noop>::fence();
-/// let snap = stats::snapshot();
-/// assert!(snap.flushes >= 1 && snap.fences >= 1);
+/// let delta = stats::snapshot().since(before);
+/// assert!(delta.flushes >= 1 && delta.fences >= 1);
 /// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Count<B>(std::marker::PhantomData<fn() -> B>);
@@ -228,12 +234,14 @@ impl<B: Backend> Backend for Count<B> {
     #[inline]
     fn flush(addr: *const u8) {
         crate::stats::record_flush();
+        nvtraverse_obs::on_flush();
         B::flush(addr);
     }
 
     #[inline]
     fn fence() {
         crate::stats::record_fence();
+        nvtraverse_obs::on_fence();
         B::fence();
     }
 }
@@ -332,16 +340,24 @@ impl MmapBackend {
 }
 
 impl Backend for MmapBackend {
+    /// Also records the flush into the thread's attributed `nvtraverse-obs`
+    /// metric set (per-pool, per-phase) — but deliberately **not** into the
+    /// legacy global [`crate::stats`] counters: every pool-backed thread
+    /// hammering one shared cache line is the contention the sharded metric
+    /// sets exist to avoid. Use the attributed snapshot deltas instead.
     #[inline]
     fn flush(addr: *const u8) {
+        nvtraverse_obs::on_flush();
         #[cfg(target_arch = "x86_64")]
         x86::flush_writeback(addr);
         #[cfg(not(target_arch = "x86_64"))]
         let _ = addr;
     }
 
+    /// See [`MmapBackend::flush`] on where the fence is recorded.
     #[inline]
     fn fence() {
+        nvtraverse_obs::on_fence();
         #[cfg(target_arch = "x86_64")]
         x86::sfence();
         #[cfg(not(target_arch = "x86_64"))]

@@ -69,6 +69,7 @@ use crate::{
     make_allocated, Mem, BLOCK_ALIGN, BLOCK_HEADER, CLASS_SIZES, HEAP_START, NUM_CLASSES,
     OFF_FRONTIER, OVERSIZE, W0_ALLOCATED, W0_CLASS_SHIFT, W0_SIZE_MASK,
 };
+use nvtraverse_obs as obs;
 use nvtraverse_pmem::{Backend, MmapBackend};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -195,10 +196,15 @@ pub(crate) enum Engine {
 }
 
 impl Engine {
-    pub(crate) fn new(mode: AllocMode) -> Engine {
+    /// `metrics` is the owning pool's attributed metric set; the lock-free
+    /// engine records allocator counters (magazine hit/miss, shard traffic,
+    /// CAS retries, slab carves, thread-exit drains) into it. The mutexed
+    /// baseline stays unmetered: it exists to be *measured against*, and its
+    /// single lock already serializes everything a counter could reveal.
+    pub(crate) fn new(mode: AllocMode, metrics: &'static obs::MetricSet) -> Engine {
         match mode {
             AllocMode::Mutexed => Engine::Mutexed(MutexEngine::new()),
-            AllocMode::LockFree => Engine::LockFree(LockFreeEngine::new()),
+            AllocMode::LockFree => Engine::LockFree(LockFreeEngine::new(metrics)),
         }
     }
 
@@ -402,10 +408,12 @@ pub(crate) struct LockFreeEngine {
     /// Mutexed — oversize traffic is rare and first-fit needs mid-list
     /// unlinking that a Treiber stack cannot express.
     oversize: Mutex<u64>,
+    /// The owning pool's metric set (allocator-domain counters land here).
+    obs: &'static obs::MetricSet,
 }
 
 impl LockFreeEngine {
-    fn new() -> Self {
+    fn new(metrics: &'static obs::MetricSet) -> Self {
         let num_shards = default_shard_count();
         LockFreeEngine {
             instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
@@ -416,6 +424,7 @@ impl LockFreeEngine {
                 .map(|_| AtomicU64::new(0))
                 .collect(),
             oversize: Mutex::new(0),
+            obs: metrics,
         }
     }
 
@@ -429,13 +438,16 @@ impl LockFreeEngine {
 
     fn alloc_small(&self, mem: Mem, class: usize) -> Option<u64> {
         if let Some(Some(off)) = with_cache(self.instance, |mags| mags[class].pop()) {
+            self.obs.add(obs::Counter::MagHit, 1);
             return Some(off);
         }
+        self.obs.add(obs::Counter::MagMiss, 1);
         let mut got = Vec::with_capacity(REFILL.max(MAX_SLAB_BLOCKS));
         let pref = preferred_shard(self.num_shards);
         for i in 0..self.num_shards {
             let head = self.shard(class, (pref + i) & (self.num_shards - 1));
-            if pop_chain(head, mem, REFILL, &mut got) {
+            if pop_chain(head, mem, REFILL, &mut got, self.obs) {
+                self.obs.add(obs::Counter::ShardPop, got.len() as u64);
                 break;
             }
         }
@@ -477,6 +489,7 @@ impl LockFreeEngine {
             {
                 return Some((f, n as usize));
             }
+            self.obs.add(obs::Counter::CasRetry, 1);
         }
     }
 
@@ -512,6 +525,8 @@ impl LockFreeEngine {
         let Some((start, n)) = self.reserve(mem, bs, target) else {
             return;
         };
+        self.obs.add(obs::Counter::SlabCarve, 1);
+        self.obs.add(obs::Counter::SlabBlocks, n as u64);
         let free_w0 = bs | (class as u64) << W0_CLASS_SHIFT;
         for i in 0..n {
             let off = start + i as u64 * bs;
@@ -588,10 +603,17 @@ impl LockFreeEngine {
     /// become persistent (the lines are cold by now, so the flushes are
     /// cheap and stall nobody).
     fn drain_to_shards(&self, mem: Mem, class: usize, blocks: &[u64]) {
+        self.obs.add(obs::Counter::ShardPush, blocks.len() as u64);
+        let pref = preferred_shard(self.num_shards);
         // (first, last) of a chain being built per shard; 0 = empty.
         let mut chains = [(0u64, 0u64); MAX_SHARDS];
+        let mut remote = 0u64;
         for &off in blocks {
-            let (first, last) = &mut chains[shard_of(off, self.num_shards)];
+            let home = shard_of(off, self.num_shards);
+            if home != pref {
+                remote += 1;
+            }
+            let (first, last) = &mut chains[home];
             if *first == 0 {
                 mem.store(off + 8, 0);
                 *last = off;
@@ -600,6 +622,9 @@ impl LockFreeEngine {
             }
             *first = off;
         }
+        if remote != 0 {
+            self.obs.add(obs::Counter::RemoteFree, remote);
+        }
         // Separate pass so no header is rewritten after its flush (which
         // would stall on the in-flight write-back).
         for &off in blocks {
@@ -607,7 +632,7 @@ impl LockFreeEngine {
         }
         for (s, &(first, last)) in chains.iter().take(self.num_shards).enumerate() {
             if first != 0 {
-                push_chain(self.shard(class, s), mem, first, last);
+                push_chain(self.shard(class, s), mem, first, last, self.obs);
             }
         }
     }
@@ -649,7 +674,13 @@ impl LockFreeEngine {
 /// with a single splice; a concurrent thread that finds the head
 /// momentarily empty simply falls through to another shard or the
 /// frontier.
-fn pop_chain(head: &AtomicU64, mem: Mem, max: usize, out: &mut Vec<u64>) -> bool {
+fn pop_chain(
+    head: &AtomicU64,
+    mem: Mem,
+    max: usize,
+    out: &mut Vec<u64>,
+    stats: &obs::MetricSet,
+) -> bool {
     let first = loop {
         let h = head.load(Ordering::Acquire);
         let (off, tag) = unpack(h);
@@ -667,6 +698,7 @@ fn pop_chain(head: &AtomicU64, mem: Mem, max: usize, out: &mut Vec<u64>) -> bool
         {
             break off;
         }
+        stats.add(obs::Counter::CasRetry, 1);
     };
     // The whole chain is ours now: the walk is race-free. The bounds check
     // is pure corruption defense, never a race filter; a bad link ends the
@@ -689,7 +721,7 @@ fn pop_chain(head: &AtomicU64, mem: Mem, max: usize, out: &mut Vec<u64>) -> bool
                 }
                 rest_last = n;
             }
-            push_chain(head, mem, rest_first, rest_last);
+            push_chain(head, mem, rest_first, rest_last, stats);
             return true;
         }
         cur = next;
@@ -698,7 +730,7 @@ fn pop_chain(head: &AtomicU64, mem: Mem, max: usize, out: &mut Vec<u64>) -> bool
 
 /// Pushes the pre-linked chain `first → … → last` onto a tagged head.
 /// Pushes do not bump the tag; only pops do.
-fn push_chain(head: &AtomicU64, mem: Mem, first: u64, last: u64) {
+fn push_chain(head: &AtomicU64, mem: Mem, first: u64, last: u64, stats: &obs::MetricSet) {
     loop {
         let h = head.load(Ordering::Acquire);
         let (top, tag) = unpack(h);
@@ -709,6 +741,7 @@ fn push_chain(head: &AtomicU64, mem: Mem, first: u64, last: u64) {
         {
             return;
         }
+        stats.add(obs::Counter::CasRetry, 1);
     }
 }
 
@@ -750,8 +783,13 @@ impl Drop for Caches {
             if let Some(entry) = alive.iter().find(|a| a.instance == instance) {
                 // SAFETY: entry present under the lock ⇒ engine alive.
                 let engine = unsafe { &*entry.engine };
+                let mut drained = false;
                 for (class, blocks) in mags.iter().enumerate().filter(|(_, b)| !b.is_empty()) {
                     engine.drain_to_shards(entry.mem, class, blocks);
+                    drained = true;
+                }
+                if drained {
+                    engine.obs.add(obs::Counter::ThreadDrain, 1);
                 }
             }
         }

@@ -97,6 +97,7 @@ pub use gc::{register_tracer, unregister_tracer, Marker, TraceFn};
 pub use poff::POff;
 
 use engine::Engine;
+use nvtraverse_obs as obs;
 use nvtraverse_pmem::{heap, Backend, MmapBackend};
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -156,7 +157,7 @@ pub(crate) const W0_ALLOCATED: u64 = 1 << 63;
 /// the sweep reclaimed is counted in `free_blocks` (and `reclaimed_blocks`),
 /// not in `live_blocks`, so the report always matches what
 /// [`Pool::verify_heap`] would observe right after the open.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
     /// Blocks allocated after recovery (live data reachable from roots,
     /// plus — when the GC was [skipped](RecoveryReport::gc_ran) — any
@@ -183,8 +184,32 @@ pub struct RecoveryReport {
     /// Total bytes (block headers included) of the reclaimed blocks.
     pub reclaimed_bytes: u64,
     /// Wall time of the GC mark + sweep phases, in nanoseconds (0 when the
-    /// GC did not run).
+    /// GC did not run). Always exactly
+    /// `phases.mark_nanos + phases.sweep_nanos`.
     pub gc_nanos: u64,
+    /// Per-phase timing breakdown of the whole recovery pipeline (heap
+    /// walk and free-list rebuild included, which `gc_nanos` is not).
+    pub phases: GcPhases,
+    /// Blocks each root's mark walk newly reached, as `(root name, count)`
+    /// in registry order — which roots own the heap, and which contributed
+    /// nothing. Empty when the GC did not run. A deferred collection
+    /// ([`Pool::run_pending_gc`]) appends its own walk's counts.
+    pub root_marks: Vec<(String, u64)>,
+}
+
+/// Per-phase wall-clock breakdown of [`Pool::open`]'s recovery pipeline,
+/// in nanoseconds. Phases that did not run (e.g. mark/sweep when the GC
+/// was skipped) report 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcPhases {
+    /// Validating every block header and inventorying the heap.
+    pub heap_walk_nanos: u64,
+    /// Tracing every root's reachable graph into the mark bitmap.
+    pub mark_nanos: u64,
+    /// Clearing, flushing, and re-listing unreachable blocks.
+    pub sweep_nanos: u64,
+    /// Rebuilding the engine's volatile free-list state.
+    pub rebuild_nanos: u64,
 }
 
 /// Heap statistics from a full walk ([`Pool::verify_heap`]).
@@ -290,6 +315,11 @@ struct Inner {
     /// nonzero disables the deferred GC — the heap is no longer provably
     /// quiescent-and-untouched.
     attach_count: AtomicUsize,
+    /// This pool's telemetry (`nvtraverse-obs`), resolved from the same
+    /// normalized path key the tracer registry uses — so a reopened pool
+    /// keeps accumulating into the same set. `&'static`: the registry leaks
+    /// one set per distinct pool file.
+    metrics: &'static obs::MetricSet,
 }
 
 // SAFETY: the mapping is plain shared memory; mutation happens through the
@@ -485,13 +515,14 @@ impl Pool {
             base,
             len: capacity as usize,
         };
+        let metrics = obs::for_pool(&gc::normalize_path(path));
         let inner = Inner {
             mem,
             path: path.to_path_buf(),
             _file: file,
             rebased: false,
             ready: false,
-            engine: Engine::new(mode),
+            engine: Engine::new(mode, metrics),
             roots: Mutex::new(()),
             report: Mutex::new(RecoveryReport {
                 heap_bytes: 0,
@@ -500,6 +531,7 @@ impl Pool {
             }),
             gc_pending: AtomicBool::new(false),
             attach_count: AtomicUsize::new(0),
+            metrics,
         };
         // Initialize the header. The magic is persisted last, so a crash
         // during create leaves a file without it, which `open` rejects
@@ -517,6 +549,7 @@ impl Pool {
         mem.persist_range(0, HEAP_START as usize);
         mem.store(OFF_MAGIC, MAGIC);
         mem.persist_u64(OFF_MAGIC);
+        obs::ring::record(obs::ring::EventKind::Create, &pool_label(path), capacity, 0);
         Ok(Pool::finish_open(inner))
     }
 
@@ -588,19 +621,27 @@ impl Pool {
             base,
             len: capacity as usize,
         };
+        let metrics = obs::for_pool(&gc::normalize_path(path));
         let mut inner = Inner {
             mem,
             path: path.to_path_buf(),
             _file: file,
             rebased,
             ready: false,
-            engine: Engine::new(mode),
+            engine: Engine::new(mode, metrics),
             roots: Mutex::new(()),
             report: Mutex::new(RecoveryReport::default()),
             gc_pending: AtomicBool::new(false),
             attach_count: AtomicUsize::new(0),
+            metrics,
         };
-        let report = inner.recover_allocator(clean == 1)?;
+        let report = {
+            // Recovery traffic (header flushes of swept blocks, the closing
+            // fence) is this pool's GC spending.
+            let _t = obs::attribute_to(Some(metrics));
+            let _p = obs::phase(obs::Phase::Gc);
+            inner.recover_allocator(clean == 1)?
+        };
         // The GC stays *pending* when it was skipped only because a root
         // lacked a tracer: a later `run_pending_gc` (before any attach) can
         // still prove reachability once higher layers register tracers.
@@ -608,7 +649,6 @@ impl Pool {
         if !report.gc_ran && !inner.rebased && inner.root_count() > 0 {
             *inner.gc_pending.get_mut() = true;
         }
-        *inner.report.get_mut().unwrap_or_else(|e| e.into_inner()) = report;
         // Mark the pool dirty until a clean close. The preferred base is
         // only re-recorded for a NON-rebased mapping: on a rebased one,
         // absolute pointers inside the pool still encode the original
@@ -620,6 +660,13 @@ impl Pool {
         }
         mem.store(OFF_CLEAN, 0);
         mem.persist_u64(OFF_CLEAN);
+        obs::ring::record(
+            obs::ring::EventKind::Open,
+            &pool_label(path),
+            report.live_blocks as u64,
+            report.heap_bytes,
+        );
+        *inner.report.get_mut().unwrap_or_else(|e| e.into_inner()) = report;
         Ok(Pool::finish_open(inner))
     }
 
@@ -687,7 +734,20 @@ impl Pool {
     /// deferred [`Pool::run_pending_gc`] collected after the open, that
     /// collection's reclaim.
     pub fn recovery_report(&self) -> RecoveryReport {
-        *self.inner.report.lock().unwrap_or_else(|e| e.into_inner())
+        self.inner
+            .report
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// This pool's telemetry set (`nvtraverse-obs`): per-phase flush/fence
+    /// counts, allocator-tier counters, GC counters, and latency
+    /// histograms. The set is keyed by the pool's normalized path, so it
+    /// survives close/reopen cycles and accumulates across them; measure
+    /// regions with [`nvtraverse_obs::MetricSet::snapshot`] deltas.
+    pub fn metrics(&self) -> &'static obs::MetricSet {
+        self.inner.metrics
     }
 
     /// The number of lock-free free-list shards per size class this
@@ -1213,6 +1273,11 @@ impl Inner {
             class,
             CLASS_SIZES.iter().position(|&c| c >= want).unwrap_or(OVERSIZE)
         );
+        // Allocator traffic — engine counters and any header flushes — is
+        // recorded against the owning pool under the Alloc phase, whatever
+        // the caller's attribution was.
+        let _t = obs::attribute_to(Some(self.metrics));
+        let _p = obs::phase(obs::Phase::Alloc);
         let off = self.engine.alloc(self.mem, class, want, payload)?;
         Some(self.mem.ptr(off + BLOCK_HEADER))
     }
@@ -1244,6 +1309,8 @@ impl Inner {
         }
         let (_, class) = self.block_info(ptr);
         let off = (ptr as usize - self.mem.base()) as u64 - BLOCK_HEADER;
+        let _t = obs::attribute_to(Some(self.metrics));
+        let _p = obs::phase(obs::Phase::Alloc);
         self.engine.dealloc(self.mem, off, class);
     }
 
@@ -1264,6 +1331,7 @@ impl Inner {
         // GC eligibility is decided before the walk, so the allocated-block
         // inventory is only collected when a sweep can actually consume it.
         let gc_roots = self.traceable_roots();
+        let walk_start = Instant::now();
         let mut frees: Vec<(u64, usize)> = Vec::new();
         let mut allocs: Vec<(u64, u64, usize)> = Vec::new();
         let mut off = HEAP_START;
@@ -1285,14 +1353,17 @@ impl Inner {
             }
             off += size;
         }
+        report.phases.heap_walk_nanos = walk_start.elapsed().as_nanos() as u64;
         if let Some(roots) = gc_roots {
             self.recovery_gc(frontier, &roots, &allocs, &mut frees, &mut report);
         }
+        let rebuild_start = Instant::now();
         self.engine.rebuild(self.mem, frontier, &frees);
+        report.phases.rebuild_nanos = rebuild_start.elapsed().as_nanos() as u64;
         Ok(report)
     }
 
-    /// The `(offset, tracer)` pairs of every registered root — or `None`
+    /// The `(name, offset, tracer)` triples of every registered root — or `None`
     /// when the recovery GC must be skipped because reachability is not
     /// provable: a [rebased](Pool::is_rebased) mapping (tracers follow
     /// embedded absolute pointers, exactly as `recover()` does), no roots
@@ -1300,12 +1371,12 @@ impl Inner {
     /// [`TraceFn`] for this pool's path. One unknown root disables the
     /// whole collection — its blocks' reachability cannot be established,
     /// and sweeping them could destroy live data.
-    fn traceable_roots(&self) -> Option<Vec<(u64, gc::TraceFn)>> {
+    fn traceable_roots(&self) -> Option<Vec<(String, u64, gc::TraceFn)>> {
         if self.rebased {
             return None;
         }
         let key = gc::normalize_path(&self.path);
-        let mut roots: Vec<(u64, gc::TraceFn)> = Vec::new();
+        let mut roots: Vec<(String, u64, gc::TraceFn)> = Vec::new();
         for slot in 0..MAX_ROOTS {
             let (name, off) = self.read_root_slot(slot);
             let Some(name) = name else { continue };
@@ -1313,7 +1384,8 @@ impl Inner {
                 return None; // torn slot: its structure cannot be traced
             }
             let name = String::from_utf8_lossy(&name).into_owned();
-            roots.push((off, gc::tracer_for(&key, &name)?));
+            let tracer = gc::tracer_for(&key, &name)?;
+            roots.push((name, off, tracer));
         }
         if roots.is_empty() {
             None
@@ -1331,25 +1403,32 @@ impl Inner {
     fn recovery_gc(
         &self,
         frontier: u64,
-        roots: &[(u64, gc::TraceFn)],
+        roots: &[(String, u64, gc::TraceFn)],
         allocs: &[(u64, u64, usize)],
         frees: &mut Vec<(u64, usize)>,
         report: &mut RecoveryReport,
     ) {
-        let start = Instant::now();
+        let mark_start = Instant::now();
         // Mark: one bit per 16-byte heap unit, sized from the walked heap.
         let mut bits = vec![0u64; (((frontier - HEAP_START) / BLOCK_ALIGN) as usize).div_ceil(64)];
         let mut marker = gc::Marker::new(self.mem, frontier, &mut bits);
-        for &(off, trace) in roots {
+        for (name, off, trace) in roots {
+            let before = marker.marked_blocks();
             // SAFETY: register_tracer's contract — the tracer matches the
             // type that created this root — plus a quiescent, header-
             // verified heap mapped at its recorded base.
-            unsafe { trace(self.mem.ptr(off), &mut marker) };
+            unsafe { trace(self.mem.ptr(*off), &mut marker) };
+            report
+                .root_marks
+                .push((name.clone(), (marker.marked_blocks() - before) as u64));
         }
+        let marked = marker.marked_blocks();
+        let mark_nanos = mark_start.elapsed().as_nanos() as u64;
         // Sweep: every allocated block the mark phase never reached is
         // garbage by the reachability contract. Clear its allocated bit and
         // hand it to the engine rebuild; flush the cleared headers in batch
         // with one closing fence so reclamation is itself durable.
+        let sweep_start = Instant::now();
         let mut swept = 0usize;
         for &(off, size, class) in allocs {
             if marker.is_marked(off) {
@@ -1364,11 +1443,23 @@ impl Inner {
         if swept > 0 {
             MmapBackend::fence();
         }
+        let sweep_nanos = sweep_start.elapsed().as_nanos() as u64;
         report.gc_ran = true;
         report.reclaimed_blocks = swept;
         report.live_blocks -= swept;
         report.free_blocks += swept;
-        report.gc_nanos = start.elapsed().as_nanos() as u64;
+        report.phases.mark_nanos = mark_nanos;
+        report.phases.sweep_nanos = sweep_nanos;
+        report.gc_nanos = mark_nanos + sweep_nanos;
+        self.metrics.add(obs::Counter::GcRuns, 1);
+        self.metrics.add(obs::Counter::GcMarked, marked as u64);
+        self.metrics.add(obs::Counter::GcSwept, swept as u64);
+        obs::ring::record(
+            obs::ring::EventKind::Gc,
+            &pool_label(&self.path),
+            swept as u64,
+            report.reclaimed_bytes,
+        );
     }
 
     /// Number of named root slots in use.
@@ -1387,33 +1478,56 @@ impl Inner {
     fn deferred_gc(
         &self,
         frontier: u64,
-        roots: &[(u64, gc::TraceFn)],
+        roots: &[(String, u64, gc::TraceFn)],
         allocs: &[(u64, u64, usize)],
         report: &mut RecoveryReport,
     ) {
-        let start = Instant::now();
+        let _t = obs::attribute_to(Some(self.metrics));
+        let _p = obs::phase(obs::Phase::Gc);
+        let mark_start = Instant::now();
         let mut bits = vec![0u64; (((frontier - HEAP_START) / BLOCK_ALIGN) as usize).div_ceil(64)];
         let mut marker = gc::Marker::new(self.mem, frontier, &mut bits);
-        for &(off, trace) in roots {
+        for (name, off, trace) in roots {
+            let before = marker.marked_blocks();
             // SAFETY: register_tracer's contract (tracer matches the root's
             // type), plus the quiescent pre-attach heap `run_pending_gc`
             // requires — the same state open-time recovery provides.
-            unsafe { trace(self.mem.ptr(off), &mut marker) };
+            unsafe { trace(self.mem.ptr(*off), &mut marker) };
+            report
+                .root_marks
+                .push((name.clone(), (marker.marked_blocks() - before) as u64));
         }
+        let marked = marker.marked_blocks();
+        let mark_nanos = mark_start.elapsed().as_nanos() as u64;
+        let sweep_start = Instant::now();
         let mut swept = 0usize;
+        let mut swept_bytes = 0u64;
         for &(off, size, class) in allocs {
             if marker.is_marked(off) {
                 continue;
             }
             self.engine.dealloc(self.mem, off, class);
             swept += 1;
-            report.reclaimed_bytes += size;
+            swept_bytes += size;
         }
+        let sweep_nanos = sweep_start.elapsed().as_nanos() as u64;
         report.gc_ran = true;
         report.reclaimed_blocks += swept;
+        report.reclaimed_bytes += swept_bytes;
         report.live_blocks -= swept;
         report.free_blocks += swept;
-        report.gc_nanos += start.elapsed().as_nanos() as u64;
+        report.phases.mark_nanos += mark_nanos;
+        report.phases.sweep_nanos += sweep_nanos;
+        report.gc_nanos += mark_nanos + sweep_nanos;
+        self.metrics.add(obs::Counter::GcRuns, 1);
+        self.metrics.add(obs::Counter::GcMarked, marked as u64);
+        self.metrics.add(obs::Counter::GcSwept, swept as u64);
+        obs::ring::record(
+            obs::ring::EventKind::DeferredGc,
+            &pool_label(&self.path),
+            swept as u64,
+            swept_bytes,
+        );
     }
 
     // ---- shims for the pmem foreign-heap registry ------------------------
@@ -1445,6 +1559,7 @@ impl Drop for Inner {
             self.mem.store(OFF_CLEAN, 1);
             self.mem.persist_u64(OFF_CLEAN);
             let _ = mmap::sync(self.mem.base(), self.mem.len());
+            obs::ring::record(obs::ring::EventKind::Close, &pool_label(&self.path), 0, 0);
         }
         mmap::unmap(self.mem.base(), self.mem.len());
     }
@@ -1553,6 +1668,14 @@ fn verify_same_inode(file: &File, path: &Path) -> io::Result<()> {
     #[cfg(not(unix))]
     let _ = (file, path);
     Ok(())
+}
+
+/// Short ring-event label for a pool: its file name (the ring stores 24
+/// label bytes, so the directory part would only be truncated away).
+fn pool_label(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string())
 }
 
 fn bad_pool(msg: String) -> io::Error {

@@ -3,6 +3,7 @@
 
 pub use nvtraverse as core;
 pub use nvtraverse_ebr as ebr;
+pub use nvtraverse_obs as obs;
 pub use nvtraverse_onefile as onefile;
 pub use nvtraverse_pmem as pmem;
 pub use nvtraverse_structures as structures;

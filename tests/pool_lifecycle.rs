@@ -369,6 +369,23 @@ fn deliberately_orphaned_allocation_is_swept_on_reopen() {
         report.reclaimed_bytes >= (24 + 100 + 1000 + 70_000) as u64,
         "reclaimed bytes must cover the orphans' payloads"
     );
+    // The report breaks the recovery down by phase: the open really walked
+    // the heap, and `gc_nanos` is by definition the mark+sweep portion —
+    // the breakdown must account for it exactly.
+    assert!(report.phases.heap_walk_nanos > 0, "reopen must time the heap walk");
+    assert_eq!(
+        report.phases.mark_nanos + report.phases.sweep_nanos,
+        report.gc_nanos,
+        "phase breakdown must sum exactly to gc_nanos"
+    );
+    // Per-root mark counts: one traced root, and it marks the head
+    // sentinel plus the 50 live nodes (the orphans are unreachable by
+    // construction, so they are not marked — they are swept).
+    assert_eq!(
+        report.root_marks,
+        vec![("set".to_string(), 51)],
+        "per-root mark count must be exactly the reachable block count"
+    );
     // The reachable data is untouched…
     assert_eq!(list.check_consistency(false).unwrap(), 50);
     for k in 0..50u64 {
@@ -463,6 +480,15 @@ fn two_structures_share_one_pool() {
     // (same process), so the open itself ran the mark-sweep eagerly.
     assert!(pool.recovery_report().gc_ran);
     assert_eq!(pool.recovery_report().reclaimed_blocks, 0);
+    // Multi-root attribution: each root reports its own mark count
+    // (sentinel + one node each), regardless of registry order.
+    let mut marks = pool.recovery_report().root_marks;
+    marks.sort();
+    assert_eq!(
+        marks,
+        vec![("a".to_string(), 2), ("b".to_string(), 2)],
+        "each root must report the blocks marked from it"
+    );
     let a = pool.root::<PooledList>("a").unwrap();
     let b = pool.root::<PooledList>("b").unwrap();
     assert_eq!(a.get(1), Some(100));
