@@ -184,9 +184,44 @@ impl Drop for AllocScope {
 ///
 /// Panics when the targeted persistent pool is exhausted: silently falling
 /// back to the volatile heap would split one structure across two heaps and
-/// lose the volatile part on reopen.
+/// lose the volatile part on reopen. Structures that surface exhaustion as
+/// a recoverable error use [`try_alloc_node`] instead.
 #[inline]
 pub fn alloc_node<T, B: Backend>(value: T) -> *mut T {
+    try_alloc_node::<T, B>(value)
+        .expect("persistent pool exhausted (and volatile fallback would lose data)")
+}
+
+thread_local! {
+    /// Set by [`try_alloc_node`] on pool exhaustion; structure `critical`
+    /// sections cannot return errors through the operation driver, so they
+    /// leave this flag for the calling `try_insert`/`try_*` wrapper to
+    /// translate into an `OpError::PoolFull`.
+    static POOL_FULL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Clears the thread's pool-exhaustion flag; call before running an
+/// operation whose outcome should be checked with [`pool_full_seen`].
+#[inline]
+pub fn clear_pool_full() {
+    POOL_FULL.with(|f| f.set(false));
+}
+
+/// Whether [`try_alloc_node`] hit pool exhaustion on this thread since the
+/// last [`clear_pool_full`].
+#[inline]
+pub fn pool_full_seen() -> bool {
+    POOL_FULL.with(|f| f.get())
+}
+
+/// [`alloc_node`], but pool exhaustion returns `None` (with the thread's
+/// pool-full flag set and the pool's `pool_full` obs counter bumped)
+/// instead of panicking: nothing is allocated and the volatile heap is
+/// **not** used as a fallback — a full pool must surface as a recoverable
+/// error, never as a structure silently split across two heaps. Volatile
+/// allocations (`Box`) never fail this way.
+#[inline]
+pub fn try_alloc_node<T, B: Backend>(value: T) -> Option<*mut T> {
     let ptr = match heap::current_target() {
         Some(t) => {
             // SAFETY: the target pair was published together by its pool.
@@ -194,7 +229,13 @@ pub fn alloc_node<T, B: Backend>(value: T) -> *mut T {
                 unsafe { (t.alloc)(t.ctx, std::mem::size_of::<T>(), std::mem::align_of::<T>()) }
                     as *mut T;
             if p.is_null() {
-                panic!("persistent pool exhausted (and volatile fallback would lose data)");
+                POOL_FULL.with(|f| f.set(true));
+                // The entered PoolCtx attributed this thread to its pool's
+                // metric set, so the refusal is charged to the right pool.
+                if let Some(m) = obs::current_target() {
+                    m.add(obs::Counter::PoolFull, 1);
+                }
+                return None;
             }
             // SAFETY: the pool returned a block of at least size_of::<T>()
             // bytes with sufficient alignment.
@@ -206,7 +247,7 @@ pub fn alloc_node<T, B: Backend>(value: T) -> *mut T {
     if B::SIM {
         nvtraverse_pmem::sim::current_register_range(ptr as usize, std::mem::size_of::<T>());
     }
-    ptr
+    Some(ptr)
 }
 
 /// Frees a node allocated by [`alloc_node`], returning it to whichever heap

@@ -81,6 +81,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod alloc;
+pub mod detect;
 pub mod marked;
 pub mod model;
 pub mod ops;
@@ -88,7 +89,9 @@ pub mod policy;
 pub mod set;
 
 pub use alloc::PoolCtx;
+pub use detect::{ArmHandle, DetectablePool, OpError, OpToken};
 pub use marked::MarkedPtr;
+pub use pool::{OpId, OpOutcome};
 pub use ops::{run_operation, Critical, PersistSet, TraversalOps};
 pub use policy::{Durability, Izraelevitz, LinkPersist, NvTraverse, Volatile};
 #[allow(deprecated)]

@@ -27,7 +27,8 @@
 //! persistent node graph so blocks stranded by a crash are swept back to
 //! the pool's free lists before the structure attaches.
 
-use nvtraverse_pool::Pool;
+use crate::detect::{OpError, OpToken};
+use nvtraverse_pool::{OpId, Pool};
 use std::io;
 use std::mem::ManuallyDrop;
 use std::ops::Deref;
@@ -86,6 +87,69 @@ pub trait DurableSet<K, V>: Send + Sync {
     /// Returns whether `key` is present.
     fn contains(&self, key: K) -> bool {
         self.get(key).is_some()
+    }
+
+    /// [`insert`](Self::insert), but fallible: a full pool reports
+    /// [`OpError::PoolFull`] instead of panicking, with nothing allocated
+    /// and nothing changed — the structure (and the rest of the pool)
+    /// stays fully usable. The default forwards to plain `insert` for
+    /// structures whose allocation cannot fail (volatile policies).
+    ///
+    /// # Errors
+    ///
+    /// [`OpError::PoolFull`] when the backing pool is exhausted.
+    fn try_insert(&self, key: K, value: V) -> Result<bool, OpError> {
+        Ok(self.insert(key, value))
+    }
+
+    /// [`remove`](Self::remove), but fallible like
+    /// [`try_insert`](Self::try_insert). Removal frees memory, so pool
+    /// exhaustion cannot fail it — the default simply forwards — but the
+    /// symmetric signature lets callers treat mutations uniformly.
+    ///
+    /// # Errors
+    ///
+    /// None in practice; see above.
+    fn try_remove(&self, key: K) -> Result<bool, OpError> {
+        Ok(self.remove(key))
+    }
+
+    /// **Detectable** [`insert`](Self::insert) ("Tracking in Order to
+    /// Recover"): runs the insert through `token`'s operation-descriptor
+    /// slot, so that after a crash
+    /// [`Pool::op_outcome`](nvtraverse_pool::Pool::op_outcome) answers
+    /// whether this exact operation took effect. Returns the operation's
+    /// durable [`OpId`] and the usual set-semantics flag (`true` =
+    /// inserted, `false` = key already present).
+    ///
+    /// Implemented by `HarrisList` and `HashMapDs` (under durable
+    /// policies); everything else keeps this default.
+    ///
+    /// # Errors
+    ///
+    /// [`OpError::Unsupported`] (the default), or
+    /// [`OpError::PoolFull`] — in which case the descriptor may be armed
+    /// but never publishes, and recovery classifies it `NotApplied`.
+    fn insert_detectable(
+        &self,
+        token: &mut OpToken,
+        key: K,
+        value: V,
+    ) -> Result<(OpId, bool), OpError> {
+        let _ = (token, key, value);
+        Err(OpError::Unsupported)
+    }
+
+    /// **Detectable** [`remove`](Self::remove) — see
+    /// [`insert_detectable`](Self::insert_detectable). `true` = removed,
+    /// `false` = key was absent.
+    ///
+    /// # Errors
+    ///
+    /// [`OpError::Unsupported`] (the default).
+    fn remove_detectable(&self, token: &mut OpToken, key: K) -> Result<(OpId, bool), OpError> {
+        let _ = (token, key);
+        Err(OpError::Unsupported)
     }
 
     /// Number of keys present. Quiescent only.
@@ -187,6 +251,22 @@ pub trait PoolAttach: Sized {
     /// without a drain every close would leak them in the file until the
     /// next open's recovery GC sweeps them.
     fn collector_of(&self) -> &nvtraverse_ebr::Collector;
+
+    /// Settles the pool's still-unresolved operation descriptors
+    /// ([`Pool::unresolved_ops`]) against this structure's **recovered**
+    /// state: re-run the lookup the descriptor describes and report
+    /// `Committed`/`NotApplied` back through [`Pool::resolve_op`]. Called
+    /// by the typed-root open path after [`recover_attached`]
+    /// (quiescent, recovery finished), so `Pool::op_outcome` has an answer
+    /// for every descriptor by the time the open returns a handle.
+    ///
+    /// The default does nothing — correct for every structure without
+    /// detectable operations (their pools never arm a descriptor).
+    ///
+    /// [`recover_attached`]: PoolAttach::recover_attached
+    fn resolve_detectable(&self, pool: &Pool) {
+        let _ = pool;
+    }
 }
 
 /// A [`PoolAttach`] structure whose persistent node graph can be walked
@@ -444,6 +524,9 @@ impl TypedRoots for Pool {
                 )
             })?;
             inner.recover_attached();
+            // Recovery done and quiescent: let the structure answer the
+            // descriptors the descriptor table alone could not classify.
+            inner.resolve_detectable(self);
             Ok(PooledHandle::from_attached(self.clone(), inner))
         })();
         match attempt {

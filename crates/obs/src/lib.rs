@@ -149,10 +149,13 @@ pub enum Counter {
     GcMarked = 10,
     /// Blocks swept (reclaimed) by GC sweep phases.
     GcSwept = 11,
+    /// Node allocations refused because the persistent pool was exhausted
+    /// (surfaced to callers as a recoverable error, not a panic).
+    PoolFull = 12,
 }
 
 /// Number of [`Counter`] variants.
-pub const NUM_COUNTERS: usize = 12;
+pub const NUM_COUNTERS: usize = 13;
 
 impl Counter {
     /// Every counter, in discriminant order.
@@ -169,6 +172,7 @@ impl Counter {
         Counter::GcRuns,
         Counter::GcMarked,
         Counter::GcSwept,
+        Counter::PoolFull,
     ];
 
     /// Stable snake_case name (JSON keys).
@@ -186,6 +190,7 @@ impl Counter {
             Counter::GcRuns => "gc_runs",
             Counter::GcMarked => "gc_marked",
             Counter::GcSwept => "gc_swept",
+            Counter::PoolFull => "pool_full",
         }
     }
 

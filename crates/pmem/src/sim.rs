@@ -481,6 +481,25 @@ pub fn current_deregister_range(addr: usize, len: usize) {
     });
 }
 
+/// A simulated **tracked** store of `bits` to the 8-byte cell at `addr`:
+/// counts as one memory event and bumps the cell's write version, so a
+/// subsequent flush+fence actually persists the new value.
+///
+/// For persistent words managed outside [`PCell`](crate::PCell) (e.g. raw
+/// descriptor-table slots): a plain `write_volatile` would leave the cell's
+/// write version unchanged, and `persist_versioned`'s monotonicity check
+/// would then silently discard every later flush of the cell.
+///
+/// # Panics
+///
+/// Panics if the thread has no active context.
+pub fn current_tracked_write(addr: usize, bits: u64) {
+    on_write(addr, |cell| {
+        cell.store(bits, Ordering::SeqCst);
+        true
+    });
+}
+
 // ---- test harness helpers ----------------------------------------------
 
 /// Runs `f`, converting a [`CrashSignal`] panic into `Err(CrashSignal)`.

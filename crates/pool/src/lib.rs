@@ -90,10 +90,12 @@
 mod engine;
 pub mod gc;
 mod mmap;
+pub mod optable;
 mod poff;
 
 pub use engine::AllocMode;
 pub use gc::{register_tracer, unregister_tracer, Marker, TraceFn};
+pub use optable::{OpId, OpOutcome, RawOp, OPS_ROOT};
 pub use poff::POff;
 
 use engine::Engine;
@@ -195,6 +197,21 @@ pub struct RecoveryReport {
     /// nothing. Empty when the GC did not run. A deferred collection
     /// ([`Pool::run_pending_gc`]) appends its own walk's counts.
     pub root_marks: Vec<(String, u64)>,
+    /// Operation descriptors found in the [`optable::OPS_ROOT`] table at
+    /// open (slots whose sequence number was ever durably armed). Always
+    /// `ops_committed + ops_not_applied + ops_pending`.
+    pub ops_descriptors: usize,
+    /// Descriptors whose operation's effect provably survives
+    /// ([`OpOutcome::Committed`]), counting structure-side resolutions
+    /// reported after the open (see [`Pool::resolve_op`]).
+    pub ops_committed: usize,
+    /// Descriptors classified [`OpOutcome::NotApplied`] or
+    /// [`OpOutcome::Superseded`] — no surviving per-op effect to account
+    /// for (superseded ops completed before a later op reused their slot).
+    pub ops_not_applied: usize,
+    /// Descriptors still awaiting their structure's recovered-state lookup
+    /// (drops to 0 once every detectable structure re-attaches).
+    pub ops_pending: usize,
 }
 
 /// Per-phase wall-clock breakdown of [`Pool::open`]'s recovery pipeline,
@@ -320,6 +337,10 @@ struct Inner {
     /// keeps accumulating into the same set. `&'static`: the registry leaks
     /// one set per distinct pool file.
     metrics: &'static obs::MetricSet,
+    /// Open-time snapshot of the operation-descriptor table plus the
+    /// structure-reported resolutions (see [`optable`]). The mutex also
+    /// serializes table creation and slot registration.
+    ops: Mutex<optable::OpsState>,
 }
 
 // SAFETY: the mapping is plain shared memory; mutation happens through the
@@ -432,6 +453,44 @@ impl PoolBuilder {
         Pool::open_impl(self.want_path()?, self.mode)
     }
 
+    /// [`open`](PoolBuilder::open), but with a bounded wait for the pool
+    /// file's exclusive lock: a [`WouldBlock`](io::ErrorKind::WouldBlock)
+    /// open (another process still holds the pool — typically one that is
+    /// just shutting down) is retried up to `attempts` times, sleeping
+    /// `delay` between tries, before the error is surfaced. Every other
+    /// error fails immediately, and a successful lock proceeds with the
+    /// normal recovery pipeline.
+    ///
+    /// `attempts` counts total tries (`0` is treated as `1`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PoolBuilder::open`]; still-`WouldBlock` after the last
+    /// attempt reports how long was waited.
+    pub fn open_retry(self, attempts: u32, delay: std::time::Duration) -> io::Result<Pool> {
+        let path = self.want_path()?.to_path_buf();
+        let attempts = attempts.max(1);
+        for attempt in 1..=attempts {
+            match Pool::open_impl(&path, self.mode) {
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock && attempt < attempts => {
+                    std::thread::sleep(delay);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WouldBlock,
+                        format!(
+                            "pool {} still locked after {attempts} attempts over {:?}: {e}",
+                            path.display(),
+                            delay * (attempts - 1)
+                        ),
+                    ));
+                }
+                other => return other,
+            }
+        }
+        unreachable!("loop returns on the last attempt")
+    }
+
     /// Opens the pool if its file exists, otherwise creates it with the
     /// configured capacity. Also heals a file whose creation never
     /// completed (no magic persisted): it is unlinked and recreated.
@@ -532,6 +591,7 @@ impl Pool {
             gc_pending: AtomicBool::new(false),
             attach_count: AtomicUsize::new(0),
             metrics,
+            ops: Mutex::new(optable::OpsState::default()),
         };
         // Initialize the header. The magic is persisted last, so a crash
         // during create leaves a file without it, which `open` rejects
@@ -634,14 +694,27 @@ impl Pool {
             gc_pending: AtomicBool::new(false),
             attach_count: AtomicUsize::new(0),
             metrics,
+            ops: Mutex::new(optable::OpsState::default()),
         };
-        let report = {
+        let mut report = {
             // Recovery traffic (header flushes of swept blocks, the closing
             // fence) is this pool's GC spending.
             let _t = obs::attribute_to(Some(metrics));
             let _p = obs::phase(obs::Phase::Gc);
             inner.recover_allocator(clean == 1)?
         };
+        // Snapshot the operation-descriptor table (if present) while the
+        // heap is still quiescent: `Pool::op_outcome` answers the crash
+        // question against this open's state, not whatever the session
+        // mutates afterwards. (Offset-addressed, so valid even rebased.)
+        let ops_state = (0..MAX_ROOTS)
+            .find_map(|slot| {
+                let (name, off) = inner.read_root_slot(slot);
+                (name.as_deref() == Some(optable::OPS_ROOT.as_bytes()) && off != 0).then_some(off)
+            })
+            .map(|off| optable::snapshot_ops(mem, off, &mut report))
+            .unwrap_or_default();
+        *inner.ops.get_mut().unwrap_or_else(|e| e.into_inner()) = ops_state;
         // The GC stays *pending* when it was skipped only because a root
         // lacked a tracer: a later `run_pending_gc` (before any attach) can
         // still prove reachability once higher layers register tracers.
@@ -1384,6 +1457,13 @@ impl Inner {
                 return None; // torn slot: its structure cannot be traced
             }
             let name = String::from_utf8_lossy(&name).into_owned();
+            // The reserved ops-table root has a built-in tracer (a single
+            // block, no outgoing pointers) — detectable pools must not lose
+            // the GC just because no structure tracer mentions this root.
+            if name == optable::OPS_ROOT {
+                roots.push((name, off, optable::ops_trace as gc::TraceFn));
+                continue;
+            }
             let tracer = gc::tracer_for(&key, &name)?;
             roots.push((name, off, tracer));
         }

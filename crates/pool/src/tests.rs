@@ -641,3 +641,145 @@ fn poff_resolve_validates_allocated_payloads() {
     drop(pool);
     cleanup(&path);
 }
+
+// ---- detectable-operation descriptor table (optable) ----------------------
+
+/// Writes one armed descriptor into a registered slot, optionally with a
+/// published result, through the raw slot pointer (what the `nvtraverse`
+/// arm/publish path does through its durability policy).
+unsafe fn arm_raw(base: *mut u64, seq: u64, kind: u64, key: u64, result: Option<u64>) {
+    unsafe {
+        base.add(optable::OPW_KIND).write_volatile(kind);
+        base.add(optable::OPW_KEY).write_volatile(key);
+        base.add(optable::OPW_VALUE).write_volatile(key + 1000);
+        base.add(optable::OPW_TARGET).write_volatile(0);
+        base.add(optable::OPW_CHECK)
+            .write_volatile(optable::descriptor_check(seq, kind, key, key + 1000, 0));
+        base.add(optable::OPW_SEQ).write_volatile(seq);
+        if let Some(r) = result {
+            base.add(optable::OPW_RESULT).write_volatile(r);
+        }
+    }
+}
+
+#[test]
+fn op_table_registers_slots_and_survives_reopen() {
+    let path = tmp("ops-register");
+    let pool = Pool::builder().path(&path).capacity(MIN_CAPACITY).create().unwrap();
+    assert_eq!(pool.ops_table_offset(), None, "table is lazy");
+    let (slot0, base0, seq0) = pool.register_op_token_raw().unwrap();
+    let (slot1, _, _) = pool.register_op_token_raw().unwrap();
+    assert_eq!((slot0, seq0), (0, 0));
+    assert_eq!(slot1, 1);
+    assert!(pool.ops_table_offset().is_some());
+    // Slot 0: armed seq 1 and published a no-op; slot 1 left untouched.
+    unsafe {
+        arm_raw(
+            base0,
+            1,
+            optable::OP_KIND_INSERT,
+            7,
+            Some(optable::encode_result(1, optable::OP_RESULT_NOOP)),
+        )
+    };
+    drop(pool);
+
+    let pool = Pool::builder().path(&path).open().unwrap();
+    let report = pool.recovery_report();
+    assert!(report.gc_ran, "ops root has a built-in tracer");
+    assert_eq!(report.ops_descriptors, 1);
+    assert_eq!(report.ops_not_applied, 1, "published no-op is decided");
+    assert_eq!(report.ops_pending, 0);
+    // The slot's latest op: published no-op => NotApplied.
+    assert_eq!(pool.op_outcome(OpId::new(0, 1)), Some(OpOutcome::NotApplied));
+    // A later sequence number was never durably armed.
+    assert_eq!(pool.op_outcome(OpId::new(0, 2)), Some(OpOutcome::NotApplied));
+    // Registered-but-never-armed slot: nothing ever happened in it.
+    assert_eq!(pool.op_outcome(OpId::new(1, 1)), Some(OpOutcome::NotApplied));
+    // Out-of-table slot index: unanswerable, not NotApplied.
+    assert_eq!(pool.op_outcome(OpId::new(200, 1)), None);
+    // Slot hand-out is monotonic across reopens (crashed slots stay
+    // answerable; re-registrants get fresh slots).
+    let (slot2, _, _) = pool.register_op_token_raw().unwrap();
+    assert_eq!(slot2, 2);
+    drop(pool);
+    cleanup(&path);
+}
+
+#[test]
+fn unpublished_op_waits_for_structure_resolution() {
+    let path = tmp("ops-resolve");
+    let pool = Pool::builder().path(&path).capacity(MIN_CAPACITY).create().unwrap();
+    let (slot, base, _) = pool.register_op_token_raw().unwrap();
+    // Armed (seq 3 after two earlier ops, say) but the result word still
+    // holds seq 2's published value: the crash hit between arm and publish.
+    unsafe {
+        arm_raw(
+            base,
+            3,
+            optable::OP_KIND_REMOVE,
+            42,
+            Some(optable::encode_result(2, optable::OP_RESULT_APPLIED)),
+        )
+    };
+    let id = OpId::new(slot, 3);
+    drop(pool);
+
+    let pool = Pool::builder().path(&path).open().unwrap();
+    assert_eq!(pool.recovery_report().ops_pending, 1);
+    assert_eq!(pool.op_outcome(id), None, "needs the structure's lookup");
+    let unresolved = pool.unresolved_ops();
+    assert_eq!(unresolved.len(), 1);
+    assert_eq!(unresolved[0].id(), id);
+    assert_eq!(unresolved[0].key, 42);
+    assert_eq!(unresolved[0].published(), None, "stale result is not ours");
+    // The structure's recovered-state lookup answers; the pool records it.
+    pool.resolve_op(id, OpOutcome::Committed);
+    assert_eq!(pool.op_outcome(id), Some(OpOutcome::Committed));
+    assert!(pool.unresolved_ops().is_empty());
+    let report = pool.recovery_report();
+    assert_eq!((report.ops_committed, report.ops_pending), (1, 0));
+    // An op the slot's seq has moved past reports Superseded.
+    assert_eq!(pool.op_outcome(OpId::new(slot, 2)), Some(OpOutcome::Superseded));
+    drop(pool);
+    cleanup(&path);
+}
+
+#[test]
+fn op_id_packs_slot_and_seq() {
+    let id = OpId::new(5, (1 << 48) - 1);
+    assert_eq!(id.slot(), 5);
+    assert_eq!(id.seq(), (1 << 48) - 1);
+    assert_eq!(OpId::from_bits(id.to_bits()), id);
+    assert_ne!(OpId::new(0, 1).to_bits(), 0, "tag 0 never names a real op");
+}
+
+// ---- builder open_retry ---------------------------------------------------
+
+#[test]
+fn open_retry_waits_out_a_closing_holder() {
+    let path = tmp("open-retry");
+    let pool = Pool::builder().path(&path).capacity(MIN_CAPACITY).create().unwrap();
+
+    // While the lock is held, a bounded retry that expires reports
+    // WouldBlock instead of hanging.
+    let err = Pool::builder()
+        .path(&path)
+        .open_retry(2, std::time::Duration::from_millis(10))
+        .unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+
+    // Second thread: keep the pool open a little longer, then drop it.
+    let holder = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        drop(pool);
+    });
+    // Meanwhile retry until the holder lets go — a clean wait-then-open.
+    let reopened = Pool::builder()
+        .path(&path)
+        .open_retry(100, std::time::Duration::from_millis(20))
+        .expect("retry outlives the holder");
+    holder.join().unwrap();
+    drop(reopened);
+    cleanup(&path);
+}

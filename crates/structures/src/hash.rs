@@ -15,11 +15,12 @@
 
 use crate::list::HarrisList;
 use nvtraverse::alloc::PoolCtx;
+use nvtraverse::detect::{OpError, OpToken};
 use nvtraverse::policy::Durability;
 use nvtraverse::set::{DurableSet, PoolAttach};
 use nvtraverse_ebr::Collector;
 use nvtraverse_pmem::{Backend, MmapBackend, Word};
-use nvtraverse_pool::Pool;
+use nvtraverse_pool::{OpId, OpOutcome, Pool, RawOp};
 use std::fmt;
 use std::io;
 
@@ -82,8 +83,25 @@ where
     /// with the paper's general *modulo*.
     #[inline]
     fn bucket(&self, key: K) -> &HarrisList<K, V, D> {
-        let mixed = key.to_bits().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.bucket_for_bits(key.to_bits())
+    }
+
+    /// Same bucket choice keyed by raw key bits — recovery classification
+    /// only has the descriptor's `key` word, not a `K`.
+    #[inline]
+    fn bucket_for_bits(&self, key_bits: u64) -> &HarrisList<K, V, D> {
+        let mixed = key_bits.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         &self.buckets[(mixed % self.buckets.len() as u64) as usize]
+    }
+
+    /// Classifies a recovered operation descriptor against this table's
+    /// recovered state by delegating to the owning bucket's
+    /// [`HarrisList::classify_op`]. Quiescent; call after
+    /// [`recover`](DurableSet::recover). The bucket count must match the
+    /// one the descriptor was written under (it is fixed at construction
+    /// and persisted in the root table, so a pooled reopen always agrees).
+    pub fn classify_op(&self, raw: &RawOp) -> OpOutcome {
+        self.bucket_for_bits(raw.key).classify_op(raw)
     }
 
     /// Quiescent: verifies every bucket's invariants, returning total live
@@ -186,6 +204,27 @@ where
             b.recover();
         }
     }
+
+    fn try_insert(&self, key: K, value: V) -> Result<bool, OpError> {
+        self.bucket(key).try_insert(key, value)
+    }
+
+    fn try_remove(&self, key: K) -> Result<bool, OpError> {
+        self.bucket(key).try_remove(key)
+    }
+
+    fn insert_detectable(
+        &self,
+        token: &mut OpToken,
+        key: K,
+        value: V,
+    ) -> Result<(OpId, bool), OpError> {
+        self.bucket(key).insert_detectable(token, key, value)
+    }
+
+    fn remove_detectable(&self, token: &mut OpToken, key: K) -> Result<(OpId, bool), OpError> {
+        self.bucket(key).remove_detectable(token, key)
+    }
 }
 
 impl<K, V, D> PoolAttach for HashMapDs<K, V, D>
@@ -226,6 +265,12 @@ where
 
     fn collector_of(&self) -> &Collector {
         &self.collector
+    }
+
+    fn resolve_detectable(&self, pool: &Pool) {
+        for raw in pool.unresolved_ops() {
+            pool.resolve_op(raw.id(), self.classify_op(&raw));
+        }
     }
 }
 
@@ -359,6 +404,29 @@ mod tests {
         }
         m.recover();
         assert_eq!(m.check_consistency(false).unwrap(), 20);
+    }
+
+    #[test]
+    fn detectable_ops_route_to_buckets() {
+        use nvtraverse::detect::OpTable;
+
+        let m: HashMapDs<u64, u64, NvTraverse<Noop>> = HashMapDs::new(8);
+        let table: OpTable<Noop> = OpTable::new(2);
+        let mut tok = table.token(0);
+        for k in 0..32u64 {
+            let (id, fresh) = m.insert_detectable(&mut tok, k, k * 10).unwrap();
+            assert!(fresh);
+            let raw = table.raw(0).unwrap();
+            assert_eq!(raw.id(), id);
+            assert_eq!(m.classify_op(&raw), OpOutcome::Committed);
+        }
+        let (_, removed) = m.remove_detectable(&mut tok, 5).unwrap();
+        assert!(removed);
+        assert_eq!(m.classify_op(&table.raw(0).unwrap()), OpOutcome::Committed);
+        let (_, removed) = m.remove_detectable(&mut tok, 5).unwrap();
+        assert!(!removed, "second remove of the same key is a no-op");
+        assert_eq!(m.classify_op(&table.raw(0).unwrap()), OpOutcome::NotApplied);
+        assert_eq!(m.len(), 31);
     }
 
     #[test]

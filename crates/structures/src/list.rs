@@ -18,14 +18,18 @@
 //!   recording the address of the pointer that linked it in, and that
 //!   address is flushed instead (costs one word per node; ablation `abl2`).
 
-use nvtraverse::alloc::{alloc_node, free, PoolCtx};
+use nvtraverse::alloc::{alloc_node, clear_pool_full, free, pool_full_seen, try_alloc_node, PoolCtx};
+use nvtraverse::detect::{ArmHandle, OpError, OpToken};
 use nvtraverse::marked::MarkedPtr;
 use nvtraverse::ops::{run_operation, Critical, PersistSet, TraversalOps};
 use nvtraverse::policy::Durability;
 use nvtraverse::set::{DurableSet, PoolAttach, SetOp};
 use nvtraverse_ebr::{Collector, Guard};
 use nvtraverse_pmem::{Backend, PCell, Word};
-use nvtraverse_pool::Pool;
+use nvtraverse_pool::optable::{
+    classify_raw, RawClass, OP_KIND_INSERT, OP_KIND_REMOVE, OP_TARGET_MISS,
+};
+use nvtraverse_pool::{OpId, OpOutcome, Pool, RawOp};
 use std::fmt;
 use std::io;
 use std::marker::PhantomData;
@@ -43,6 +47,11 @@ pub struct Node<K: Word, V: Word, B: Backend> {
     pub(crate) next: PCell<MarkedPtr<Node<K, V, B>>, B>,
     /// Address of the pointer that first linked this node in (Supplement 2).
     pub(crate) orig_parent: PCell<u64, B>,
+    /// Detectable-operation tag ([`OpId::to_bits`] of the insert that
+    /// created this node; 0 for non-detectable inserts and sentinels).
+    /// Immutable after initialization; what lets recovery attribute a
+    /// surviving node to one specific descriptor.
+    pub(crate) op_tag: PCell<u64, B>,
 }
 
 impl<K: Word + fmt::Debug, V: Word, B: Backend> fmt::Debug for Node<K, V, B> {
@@ -74,6 +83,32 @@ impl<K: Word, V: Word, B: Backend> fmt::Debug for Window<K, V, B> {
             .field("left", &self.left)
             .field("right", &self.right)
             .finish()
+    }
+}
+
+/// The list's operation-driver input: the set operation plus, for
+/// detectable operations, the descriptor handle the critical section arms
+/// and publishes at its linearization point.
+#[derive(Debug, Clone, Copy)]
+pub struct ListOp<K, V> {
+    op: SetOp<K, V>,
+    detect: Option<ArmHandle>,
+}
+
+impl<K, V> From<SetOp<K, V>> for ListOp<K, V> {
+    fn from(op: SetOp<K, V>) -> Self {
+        ListOp { op, detect: None }
+    }
+}
+
+impl<K, V> ListOp<K, V> {
+    /// A detectable operation: `op` driven through `handle`'s descriptor
+    /// slot (armed before, published at, its linearization point).
+    pub(crate) fn detectable(op: SetOp<K, V>, handle: ArmHandle) -> Self {
+        ListOp {
+            op,
+            detect: Some(handle),
+        }
     }
 }
 
@@ -123,6 +158,7 @@ where
             value: PCell::new(V::from_bits(0)),
             next: PCell::new(MarkedPtr::null()),
             orig_parent: PCell::new(0),
+            op_tag: PCell::new(0),
         });
         // Persist the empty list so it survives a crash at time zero.
         D::persist_new_node(head as *const u8, std::mem::size_of::<Node<K, V, D::B>>());
@@ -331,6 +367,68 @@ where
         }
         D::before_return();
     }
+
+    /// Quiescent lookup for recovery classification: the op tag of the
+    /// live (unmarked, reachable) node holding exactly `key_bits`, if any.
+    fn surviving_tag(&self, key_bits: u64) -> Option<u64> {
+        unsafe {
+            let mut cur = (*self.head).next.load().ptr();
+            while !cur.is_null() {
+                let nw = (*cur).next.load();
+                if !nw.is_marked() && (*cur).key.load().to_bits() == key_bits {
+                    return Some((*cur).op_tag.load());
+                }
+                cur = nw.ptr();
+            }
+        }
+        None
+    }
+
+    /// Classifies one recovered operation descriptor against this list's
+    /// **recovered** state. Quiescent; call after
+    /// [`recover_list`](HarrisList::recover_list) (so no reachable node is
+    /// still marked). Public so crash harnesses can assert the library's
+    /// answer per descriptor; the pooled open path runs it automatically
+    /// through `PoolAttach::resolve_detectable`.
+    ///
+    /// The descriptor alone decides stale-sequence and published-no-op
+    /// cases; everything else is decided by the surviving state, never by
+    /// a published "applied" bit (see `nvtraverse_pool::optable`):
+    ///
+    /// * insert — committed iff a live node carries this very operation's
+    ///   tag;
+    /// * remove — not applied if it armed against a miss, or its recorded
+    ///   target (by tag) still lives; committed otherwise.
+    ///
+    /// Assumes at most one detectable client mutates a given key (the
+    /// "Tracking in Order to Recover" per-process descriptor model).
+    pub fn classify_op(&self, raw: &RawOp) -> OpOutcome {
+        match classify_raw(Some(raw), raw.id()) {
+            RawClass::Decided(outcome) => outcome,
+            RawClass::NeedsLookup => {
+                let tag = self.surviving_tag(raw.key);
+                match raw.kind {
+                    OP_KIND_INSERT => {
+                        if tag == Some(raw.id().to_bits()) {
+                            OpOutcome::Committed
+                        } else {
+                            OpOutcome::NotApplied
+                        }
+                    }
+                    OP_KIND_REMOVE => {
+                        if raw.target_tag == OP_TARGET_MISS || tag == Some(raw.target_tag) {
+                            OpOutcome::NotApplied
+                        } else {
+                            OpOutcome::Committed
+                        }
+                    }
+                    // Unknown kind bits (torn arm that still matched the
+                    // sequence number): nothing can have applied.
+                    _ => OpOutcome::NotApplied,
+                }
+            }
+        }
+    }
 }
 
 impl<K, V, D, const ORIG_PARENT: bool> TraversalOps for HarrisList<K, V, D, ORIG_PARENT>
@@ -340,7 +438,7 @@ where
     D: Durability,
 {
     type D = D;
-    type Input = SetOp<K, V>;
+    type Input = ListOp<K, V>;
     /// `Insert` → existing value if the key was present (failure);
     /// `Remove`/`Get` → the value found.
     type Output = Option<V>;
@@ -354,7 +452,7 @@ where
     }
 
     fn traverse(&self, _guard: &Guard, entry: Self::Entry, input: Self::Input) -> Self::Window {
-        let key = match input {
+        let key = match input.op {
             SetOp::Insert(k, _) | SetOp::Remove(k) | SetOp::Get(k) => k,
         };
         unsafe {
@@ -421,7 +519,8 @@ where
         w: Self::Window,
         input: Self::Input,
     ) -> Critical<Self::Output> {
-        match input {
+        let detect = input.detect;
+        match input.op {
             SetOp::Get(key) => {
                 // findCritical (Algorithm 4, lines 1–6).
                 if w.right.is_null() || Self::key_of(w.right) != key {
@@ -436,18 +535,46 @@ where
                     return Critical::Restart;
                 }
                 if !w.right.is_null() && Self::key_of(w.right) == key {
+                    if let Some(h) = detect {
+                        // Duplicate: the no-op linearizes right here — arm
+                        // and publish together, both made durable by the
+                        // operation's closing `before_return` fence.
+                        h.arm::<D::B>(0);
+                        h.publish::<D::B>(false);
+                    }
                     return Critical::Done(Some(D::load_fixed(unsafe { &(*w.right).value })));
                 }
-                let node = alloc_node::<_, D::B>(Node {
+                let Some(node) = try_alloc_node::<_, D::B>(Node {
                     key: PCell::new(key),
                     value: PCell::new(value),
                     next: PCell::new(Self::word_of(w.right)),
                     orig_parent: PCell::new(unsafe { (*w.left).next.addr() } as u64),
-                });
+                    op_tag: PCell::new(detect.map_or(0, |h| h.tag())),
+                }) else {
+                    // Pool exhausted: nothing changed. The thread-local
+                    // pool-full flag is set; report "no effect" through the
+                    // duplicate-shaped output so `try_insert` can translate
+                    // it into a recoverable error (plain `insert` panics
+                    // there, preserving the old contract).
+                    return Critical::Done(Some(value));
+                };
                 D::persist_new_node(node as *const u8, std::mem::size_of::<Node<K, V, D::B>>());
+                if let Some(h) = detect {
+                    // Armed before the linearizing CAS; that CAS's pre-CAS
+                    // fence orders the descriptor before the insertion
+                    // becomes durable. Idempotent across restarts.
+                    h.arm::<D::B>(0);
+                }
                 let left_next = unsafe { &(*w.left).next };
                 match D::c_cas_link(left_next, Self::word_of(w.right), MarkedPtr::new(node)) {
-                    Ok(()) => Critical::Done(None),
+                    Ok(()) => {
+                        if let Some(h) = detect {
+                            // Linearized: publish the applied result; the
+                            // closing `before_return` fence makes it durable.
+                            h.publish::<D::B>(true);
+                        }
+                        Critical::Done(None)
+                    }
                     Err(_) => {
                         // Never published: free directly, no epoch needed.
                         unsafe { free(node) };
@@ -461,6 +588,12 @@ where
                     return Critical::Restart;
                 }
                 if w.right.is_null() || Self::key_of(w.right) != key {
+                    if let Some(h) = detect {
+                        // Miss: a no-op remove. The MISS sentinel (not 0)
+                        // distinguishes this from removing an untagged node.
+                        h.arm::<D::B>(OP_TARGET_MISS);
+                        h.publish::<D::B>(false);
+                    }
                     return Critical::Done(None);
                 }
                 let right_next = unsafe { &(*w.right).next };
@@ -468,8 +601,21 @@ where
                 if r_next.is_marked() {
                     return Critical::Restart;
                 }
+                if let Some(h) = detect {
+                    // Record which node this remove targets (its insert's
+                    // tag — 0 for non-detectable inserts), so recovery can
+                    // ask "does that exact node survive?". The marking
+                    // CAS's pre-fence orders the armed words.
+                    h.arm::<D::B>(D::load_fixed(unsafe { &(*w.right).op_tag }));
+                }
                 match D::c_cas_link(right_next, r_next, r_next.with_mark()) {
                     Ok(()) => {
+                        if let Some(h) = detect {
+                            // The mark IS the linearization (logical
+                            // deletion); publish before the best-effort
+                            // physical splice.
+                            h.publish::<D::B>(true);
+                        }
                         // Logically deleted; now try the physical splice. If
                         // it fails another traversal's trim will finish it.
                         let left_next = unsafe { &(*w.left).next };
@@ -492,20 +638,19 @@ where
     D: Durability,
 {
     fn insert(&self, key: K, value: V) -> bool {
-        let _scope = self.ctx.enter();
-        let guard = self.collector.pin();
-        run_operation(self, &guard, SetOp::Insert(key, value)).is_none()
+        self.try_insert(key, value)
+            .expect("persistent pool exhausted (and volatile fallback would lose data)")
     }
 
     fn remove(&self, key: K) -> bool {
         let _scope = self.ctx.enter();
         let guard = self.collector.pin();
-        run_operation(self, &guard, SetOp::Remove(key)).is_some()
+        run_operation(self, &guard, ListOp::from(SetOp::Remove(key))).is_some()
     }
 
     fn get(&self, key: K) -> Option<V> {
         let guard = self.collector.pin();
-        run_operation(self, &guard, SetOp::Get(key))
+        run_operation(self, &guard, ListOp::from(SetOp::Get(key)))
     }
 
     fn len(&self) -> usize {
@@ -514,6 +659,50 @@ where
 
     fn recover(&self) {
         self.recover_list();
+    }
+
+    fn try_insert(&self, key: K, value: V) -> Result<bool, OpError> {
+        let _scope = self.ctx.enter();
+        let guard = self.collector.pin();
+        clear_pool_full();
+        let existing = run_operation(self, &guard, ListOp::from(SetOp::Insert(key, value)));
+        if pool_full_seen() {
+            return Err(OpError::PoolFull);
+        }
+        Ok(existing.is_none())
+    }
+
+    fn try_remove(&self, key: K) -> Result<bool, OpError> {
+        Ok(self.remove(key))
+    }
+
+    fn insert_detectable(
+        &self,
+        token: &mut OpToken,
+        key: K,
+        value: V,
+    ) -> Result<(OpId, bool), OpError> {
+        let _scope = self.ctx.enter();
+        let guard = self.collector.pin();
+        clear_pool_full();
+        let h = token.begin_insert(key.to_bits(), value.to_bits());
+        let existing = run_operation(
+            self,
+            &guard,
+            ListOp::detectable(SetOp::Insert(key, value), h),
+        );
+        if pool_full_seen() {
+            return Err(OpError::PoolFull);
+        }
+        Ok((h.id(), existing.is_none()))
+    }
+
+    fn remove_detectable(&self, token: &mut OpToken, key: K) -> Result<(OpId, bool), OpError> {
+        let _scope = self.ctx.enter();
+        let guard = self.collector.pin();
+        let h = token.begin_remove(key.to_bits());
+        let removed = run_operation(self, &guard, ListOp::detectable(SetOp::Remove(key), h));
+        Ok((h.id(), removed.is_some()))
     }
 }
 
@@ -543,6 +732,12 @@ where
 
     fn collector_of(&self) -> &Collector {
         &self.collector
+    }
+
+    fn resolve_detectable(&self, pool: &Pool) {
+        for raw in pool.unresolved_ops() {
+            pool.resolve_op(raw.id(), self.classify_op(&raw));
+        }
     }
 }
 
@@ -853,5 +1048,58 @@ mod tests {
         l.insert(1, 1);
         let s = format!("{l:?}");
         assert!(s.contains("len"), "{s}");
+    }
+
+    #[test]
+    fn detectable_ops_publish_and_classify() {
+        use nvtraverse::detect::OpTable;
+        use nvtraverse_pool::optable::{OP_RESULT_APPLIED, OP_RESULT_NOOP};
+
+        let l: HarrisList<u64, u64, NvTraverse<Noop>> = HarrisList::new();
+        let table: OpTable<Noop> = OpTable::new(4);
+        let mut tok = table.token(0);
+
+        // Fresh insert: published applied, classifiable as committed.
+        let (id1, fresh) = l.insert_detectable(&mut tok, 7, 70).unwrap();
+        assert!(fresh);
+        let raw = table.raw(0).expect("descriptor armed");
+        assert_eq!(raw.id(), id1);
+        assert_eq!(raw.published(), Some(OP_RESULT_APPLIED));
+        assert_eq!(l.classify_op(&raw), OpOutcome::Committed);
+        assert_eq!(l.get(7), Some(70));
+
+        // Duplicate insert: published no-op, and the earlier op is now
+        // superseded in the descriptor.
+        let (id2, fresh) = l.insert_detectable(&mut tok, 7, 99).unwrap();
+        assert!(!fresh);
+        assert!(id2.seq() > id1.seq());
+        let raw = table.raw(0).unwrap();
+        assert_eq!(raw.id(), id2);
+        assert_eq!(raw.published(), Some(OP_RESULT_NOOP));
+        assert_eq!(l.classify_op(&raw), OpOutcome::NotApplied);
+        assert_eq!(
+            classify_raw(Some(&raw), id1),
+            RawClass::Decided(OpOutcome::Superseded)
+        );
+        assert_eq!(l.get(7), Some(70), "failed insert must not overwrite");
+
+        // Remove of a missing key: armed against a miss, no-op.
+        let (_, removed) = l.remove_detectable(&mut tok, 100).unwrap();
+        assert!(!removed);
+        let raw = table.raw(0).unwrap();
+        assert_eq!(raw.target_tag, OP_TARGET_MISS);
+        assert_eq!(l.classify_op(&raw), OpOutcome::NotApplied);
+
+        // Remove of a live key: committed, and the key is gone.
+        let (_, removed) = l.remove_detectable(&mut tok, 7).unwrap();
+        assert!(removed);
+        let raw = table.raw(0).unwrap();
+        assert_eq!(raw.published(), Some(OP_RESULT_APPLIED));
+        assert_eq!(l.classify_op(&raw), OpOutcome::Committed);
+        assert_eq!(l.get(7), None);
+
+        // A re-issued token resumes from the stored sequence number.
+        let resumed = table.token(0);
+        assert_eq!(resumed.last_op().map(|id| id.seq()), Some(raw.seq));
     }
 }

@@ -56,12 +56,13 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
+use nvtraverse::detect::{DetectablePool, OpError, OpToken};
 use nvtraverse::{
     register_pool_tracer, restore_pool_tracer, DurableSet, PoolAttach, PoolTrace, PooledHandle,
     TypedRoots,
 };
 use nvtraverse_pmem::Word;
-use nvtraverse_pool::{Pool, RecoveryReport};
+use nvtraverse_pool::{OpId, Pool, RecoveryReport};
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -118,6 +119,31 @@ fn read_manifest(dir: &Path) -> io::Result<usize> {
             format!("{}: corrupt shard-count manifest {text:?}", dir.display()),
         )
     })
+}
+
+/// One detectable-operation token **per shard**: each shard is its own pool
+/// with its own descriptor table, so a sharded client holds a bundle of
+/// per-pool [`OpToken`]s and [`ShardedSet::insert_detectable`] routes each
+/// operation to the token of the shard the key hashes to.
+///
+/// Obtain with [`ShardedSet::detectable_tokens`]; like a single token, a
+/// bundle belongs to one client thread (`Send`, not `Sync`).
+#[derive(Debug)]
+pub struct ShardTokens {
+    tokens: Box<[OpToken]>,
+}
+
+impl ShardTokens {
+    /// The token for shard `i` — for asking a shard's pool about a
+    /// previous operation's slot, or driving a shard directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is not a shard index of the set that issued this
+    /// bundle.
+    pub fn token(&mut self, i: usize) -> &mut OpToken {
+        &mut self.tokens[i]
+    }
 }
 
 /// One logical [`DurableSet`] hash-partitioned across N pool files, each an
@@ -323,6 +349,24 @@ impl<S: PoolAttach> ShardedSet<S> {
         total
     }
 
+    /// Registers this client with **every** shard's persistent descriptor
+    /// table and returns the per-shard token bundle for
+    /// [`insert_detectable`](ShardedSet::insert_detectable) /
+    /// [`remove_detectable`](ShardedSet::remove_detectable).
+    ///
+    /// # Errors
+    ///
+    /// Fails when any shard's pool cannot hand out a descriptor slot
+    /// (table full, or the pool was opened read-only/rebased); already
+    /// claimed slots in other shards stay claimed.
+    pub fn detectable_tokens(&self) -> io::Result<ShardTokens> {
+        let tokens: io::Result<Vec<OpToken>> =
+            self.shards.iter().map(|s| s.pool().op_token()).collect();
+        Ok(ShardTokens {
+            tokens: tokens?.into_boxed_slice(),
+        })
+    }
+
     /// Flushes every shard to its backing file and detaches, without
     /// freeing any live node (each shard's [`PooledHandle::close`]).
     ///
@@ -374,6 +418,71 @@ where
             s.recover();
         }
     }
+
+    fn try_insert(&self, key: K, value: V) -> Result<bool, OpError> {
+        self.shards[self.shard_index_of(key.to_bits())].try_insert(key, value)
+    }
+
+    fn try_remove(&self, key: K) -> Result<bool, OpError> {
+        self.shards[self.shard_index_of(key.to_bits())].try_remove(key)
+    }
+}
+
+impl<S: PoolAttach> ShardedSet<S> {
+    /// Detectable insert, routed to the shard the key hashes to and armed
+    /// in **that shard's** descriptor table. The returned [`OpId`] is
+    /// scoped to that shard's pool — after a crash, ask
+    /// `set.shard(set.shard_index_of(key.to_bits())).pool().op_outcome(id)`.
+    ///
+    /// The trait-level single-token form stays `Unsupported` for a sharded
+    /// set: one token cannot span N pools.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the shard's [`OpError`] (e.g. that shard's pool is full).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tokens` came from a set with a different shard count.
+    pub fn insert_detectable<K, V>(
+        &self,
+        tokens: &mut ShardTokens,
+        key: K,
+        value: V,
+    ) -> Result<(OpId, bool), OpError>
+    where
+        K: Word,
+        V: Word,
+        S: DurableSet<K, V>,
+    {
+        let i = self.shard_index_of(key.to_bits());
+        self.shards[i].insert_detectable(tokens.token(i), key, value)
+    }
+
+    /// Detectable remove; see
+    /// [`insert_detectable`](ShardedSet::insert_detectable) for routing and
+    /// `OpId` scoping.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the shard's [`OpError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tokens` came from a set with a different shard count.
+    pub fn remove_detectable<K, V>(
+        &self,
+        tokens: &mut ShardTokens,
+        key: K,
+    ) -> Result<(OpId, bool), OpError>
+    where
+        K: Word,
+        V: Word,
+        S: DurableSet<K, V>,
+    {
+        let i = self.shard_index_of(key.to_bits());
+        self.shards[i].remove_detectable(tokens.token(i), key)
+    }
 }
 
 #[cfg(test)]
@@ -418,6 +527,44 @@ mod tests {
         let err = ShardedSet::<List>::open(&dir).unwrap_err();
         assert!(err.to_string().contains("missing"), "{err}");
 
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Detectable operations route to per-shard descriptor tables, and
+    /// after a clean close + reopen each shard's pool answers for the last
+    /// operation armed in its table.
+    #[test]
+    fn detectable_ops_survive_reopen() {
+        use nvtraverse_pool::OpOutcome;
+
+        let dir = tmp_dir("detectable");
+        let mut last: Vec<Option<(u64, nvtraverse_pool::OpId)>> = vec![None; 2];
+        {
+            let set = ShardedSet::<List>::create(&dir, 2, 1 << 20).unwrap();
+            let mut toks = set.detectable_tokens().unwrap();
+            for k in 0..16u64 {
+                let (id, fresh) = set.insert_detectable(&mut toks, k, k + 1).unwrap();
+                assert!(fresh);
+                last[set.shard_index_of(k)] = Some((k, id));
+            }
+            drop(toks);
+            set.close().unwrap();
+        }
+        let set = ShardedSet::<List>::open(&dir).unwrap();
+        for (i, entry) in last.iter().enumerate() {
+            let (k, id) = entry.expect("16 keys must reach both shards");
+            assert_eq!(
+                set.shard(i).pool().op_outcome(id),
+                Some(OpOutcome::Committed),
+                "shard {i} last insert (key {k})"
+            );
+            assert_eq!(set.get(k), Some(k + 1));
+        }
+        for r in set.recovery_reports() {
+            assert_eq!(r.ops_descriptors, 1, "one registered client per shard");
+            assert_eq!(r.ops_pending, 0, "open must leave no undecided op");
+        }
+        set.close().unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

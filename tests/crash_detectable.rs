@@ -1,0 +1,353 @@
+//! Exhaustive crash sweep for **detectable operations** on the simulated
+//! NVRAM: at (up to) every simulated memory event of a detectable workload,
+//! crash, roll back to persisted state, recover — and then demand that the
+//! *library's* answer for every issued [`OpId`] agrees exactly with the
+//! surviving state. No "unknown" may escape:
+//!
+//! * the in-flight operation must classify `Committed` **iff** its effect
+//!   survived the crash (exactly-once semantics),
+//! * every completed operation must classify to its actual return value —
+//!   or `Superseded` once a later operation has re-armed the slot,
+//! * a completed operation's descriptor can never be lost (its closing
+//!   fence persisted the arm and the result), so the slot's latest durable
+//!   sequence number must cover every completed op.
+//!
+//! This drives the descriptor protocol end to end over its most adversarial
+//! backend: `Sim` flushes per 8-byte word and drains fences one cell at a
+//! time, so crashes land *inside* fences, between the arm and the
+//! linearizing CAS, and between the CAS and the result publish.
+
+mod common;
+
+use nvtraverse::detect::OpTable;
+use nvtraverse::policy::NvTraverse;
+use nvtraverse::DurableSet;
+use nvtraverse_ebr::Collector;
+use nvtraverse_pmem::sim::{install_quiet_panic_hook, run_crashable, SimHandle};
+use nvtraverse_pmem::Sim;
+use nvtraverse_pool::optable::{classify_raw, RawClass};
+use nvtraverse_pool::{OpId, OpOutcome, RawOp};
+use nvtraverse_structures::hash::HashMapDs;
+use nvtraverse_structures::list::HarrisList;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+const MAX_POINTS: usize = 800;
+
+/// One detectable workload step (gets are irrelevant to detectability).
+#[derive(Debug, Clone, Copy)]
+enum DStep {
+    Insert(u64, u64),
+    Remove(u64),
+}
+
+/// The library's composite answer for `id`, exactly as the pooled open
+/// path computes it: descriptor-decided where the sequence numbers or a
+/// published no-op settle it, otherwise the structure's recovered-state
+/// lookup.
+fn resolve<S, C>(s: &S, raw: Option<&RawOp>, id: OpId, classify: &C) -> OpOutcome
+where
+    C: Fn(&S, &RawOp) -> OpOutcome,
+{
+    match classify_raw(raw, id) {
+        RawClass::Decided(o) => o,
+        RawClass::NeedsLookup => classify(s, raw.expect("NeedsLookup implies a descriptor")),
+    }
+}
+
+/// Runs the workload once to learn its step span, then replays it with a
+/// crash at every selected step, asserting after each crash that every
+/// issued `OpId` classifies consistently with the surviving state.
+fn detectable_sweep<S, F, C>(factory: F, prefill: &[(u64, u64)], workload: &[DStep], classify: C)
+where
+    S: DurableSet<u64, u64>,
+    F: Fn() -> S,
+    C: Fn(&S, &RawOp) -> OpOutcome,
+{
+    // Pass 1: the deterministic step span of the detectable workload.
+    let (steps_before, steps_total) = {
+        let sim = SimHandle::new();
+        let guard = sim.enter();
+        let s = factory();
+        let table: OpTable<Sim> = OpTable::new(1);
+        for &(k, v) in prefill {
+            s.insert(k, v);
+        }
+        let mut tok = table.token(0);
+        let before = sim.steps();
+        for op in workload {
+            match *op {
+                DStep::Insert(k, v) => {
+                    s.insert_detectable(&mut tok, k, v).unwrap();
+                }
+                DStep::Remove(k) => {
+                    s.remove_detectable(&mut tok, k).unwrap();
+                }
+            }
+        }
+        let total = sim.steps();
+        drop(table);
+        drop(s);
+        drop(guard);
+        (before, total)
+    };
+    assert!(steps_total > steps_before, "workload performed no sim steps");
+
+    let span = steps_total - steps_before;
+    let points: Vec<u64> = if span as usize <= MAX_POINTS {
+        (steps_before + 1..=steps_total + 1).collect()
+    } else {
+        let stride = span as f64 / MAX_POINTS as f64;
+        (0..MAX_POINTS)
+            .map(|i| steps_before + 1 + (i as f64 * stride) as u64)
+            .chain(std::iter::once(steps_total + 1))
+            .collect()
+    };
+
+    let mut crashed_runs = 0usize;
+    for &crash_at in &points {
+        crashed_runs += run_one(&factory, prefill, workload, crash_at, &classify) as usize;
+    }
+    assert!(crashed_runs > 0, "no crash point actually fired");
+}
+
+/// One crash-at-step run; returns whether the crash fired.
+fn run_one<S, F, C>(
+    factory: &F,
+    prefill: &[(u64, u64)],
+    workload: &[DStep],
+    crash_at: u64,
+    classify: &C,
+) -> bool
+where
+    S: DurableSet<u64, u64>,
+    F: Fn() -> S,
+    C: Fn(&S, &RawOp) -> OpOutcome,
+{
+    let sim = SimHandle::new();
+    let guard = sim.enter();
+    let s = factory();
+    let table: OpTable<Sim> = OpTable::new(1);
+    for &(k, v) in prefill {
+        s.insert(k, v);
+    }
+    let mut tok = table.token(0);
+
+    // (OpId, reported effectful?) per completed operation, program order.
+    let completed: RefCell<Vec<(OpId, bool)>> = RefCell::new(Vec::new());
+
+    sim.arm_crash_at_step(crash_at);
+    let result = {
+        let tok = &mut tok;
+        run_crashable(|| {
+            for op in workload {
+                let (id, effectful) = match *op {
+                    DStep::Insert(k, v) => s.insert_detectable(tok, k, v).unwrap(),
+                    DStep::Remove(k) => s.remove_detectable(tok, k).unwrap(),
+                };
+                completed.borrow_mut().push((id, effectful));
+            }
+        })
+    };
+    let crashed = result.is_err();
+    if !crashed {
+        sim.arm_crash_at_step(u64::MAX); // effectively disarm
+    }
+
+    // The crash: volatile state reverts to whatever was persisted.
+    let _ = unsafe { sim.crash_and_rollback() };
+    s.recover();
+
+    let completed = completed.into_inner();
+    let raw = table.raw(0);
+
+    // A completed operation's closing fence persisted its arm and result,
+    // so the surviving descriptor can never predate any completed
+    // operation. `latest_seq` (not the raw seq word): the result word can
+    // run ahead of the arm words on an in-flight no-op.
+    let surviving_seq = raw.as_ref().map_or(0, |r| r.latest_seq());
+    assert!(
+        surviving_seq >= completed.len() as u64,
+        "crash at {crash_at}: descriptor lost a completed op \
+         (surviving seq {surviving_seq}, {} completed)",
+        completed.len()
+    );
+
+    // Replay the completed prefix over a model to know the state the
+    // in-flight operation saw (single detectable client: exact).
+    let mut model: BTreeMap<u64, u64> = prefill.iter().copied().collect();
+    for (i, &(id, effectful)) in completed.iter().enumerate() {
+        assert_eq!(id.seq(), i as u64 + 1, "tokens must number ops densely");
+        match workload[i] {
+            DStep::Insert(k, v) => {
+                assert_eq!(effectful, !model.contains_key(&k));
+                if effectful {
+                    model.insert(k, v);
+                }
+            }
+            DStep::Remove(k) => {
+                assert_eq!(effectful, model.contains_key(&k));
+                model.remove(&k);
+            }
+        }
+    }
+
+    // Completed operations: once a later arm persisted over the slot the
+    // answer is Superseded; while the descriptor is still theirs it must
+    // equal the result they actually returned.
+    for &(id, effectful) in &completed {
+        let outcome = resolve(&s, raw.as_ref(), id, classify);
+        let expect = if id.seq() < surviving_seq {
+            OpOutcome::Superseded
+        } else if effectful {
+            OpOutcome::Committed
+        } else {
+            OpOutcome::NotApplied
+        };
+        assert_eq!(
+            outcome, expect,
+            "crash at {crash_at}: completed op {id:?} (effectful={effectful}) misclassified"
+        );
+    }
+
+    // The in-flight operation — the one detectability exists for. The
+    // library must answer Committed exactly when the effect survived.
+    if crashed && completed.len() < workload.len() {
+        let op = workload[completed.len()];
+        let id = OpId::new(0, completed.len() as u64 + 1);
+        let outcome = resolve(&s, raw.as_ref(), id, classify);
+        match op {
+            DStep::Insert(k, v) => {
+                if model.contains_key(&k) {
+                    // Duplicate insert can never apply.
+                    assert_eq!(
+                        outcome,
+                        OpOutcome::NotApplied,
+                        "crash at {crash_at}: duplicate insert of {k} cannot commit"
+                    );
+                    assert_eq!(s.get(k), model.get(&k).copied());
+                } else {
+                    let present = s.contains(k);
+                    assert_eq!(
+                        outcome == OpOutcome::Committed,
+                        present,
+                        "crash at {crash_at}: in-flight insert({k}) answered {outcome:?} \
+                         but present={present}"
+                    );
+                    if present {
+                        assert_eq!(s.get(k), Some(v), "committed insert must carry its value");
+                    }
+                }
+            }
+            DStep::Remove(k) => {
+                if model.contains_key(&k) {
+                    let present = s.contains(k);
+                    assert_eq!(
+                        outcome == OpOutcome::Committed,
+                        !present,
+                        "crash at {crash_at}: in-flight remove({k}) answered {outcome:?} \
+                         but present={present}, raw={raw:?}"
+                    );
+                } else {
+                    assert_eq!(
+                        outcome,
+                        OpOutcome::NotApplied,
+                        "crash at {crash_at}: remove of absent {k} cannot commit"
+                    );
+                    assert!(!s.contains(k));
+                }
+            }
+        }
+    }
+
+    // Post-crash resume: a re-issued token continues from the persisted
+    // sequence number and the next detectable op works and classifies.
+    let mut resumed = table.token(0);
+    assert_eq!(resumed.last_op().map_or(0, |id| id.seq()), surviving_seq);
+    let probe = 0xFFFF_0000u64;
+    let (pid, fresh) = s.insert_detectable(&mut resumed, probe, 1).unwrap();
+    assert!(fresh, "post-recovery detectable insert failed");
+    assert_eq!(pid.seq(), surviving_seq + 1);
+    let praw = table.raw(0).expect("probe descriptor");
+    assert_eq!(
+        resolve(&s, Some(&praw), pid, classify),
+        OpOutcome::Committed
+    );
+    let (_, removed) = s.remove_detectable(&mut resumed, probe).unwrap();
+    assert!(removed, "post-recovery detectable remove failed");
+
+    drop(table);
+    drop(s);
+    drop(guard);
+    crashed
+}
+
+/// Mixed detectable workload over a tiny key universe: fresh insert,
+/// duplicate insert, remove-hit of a zero-tagged (non-detectable) node,
+/// remove-miss, reinsert after remove, and remove-hit of a *detectably*
+/// inserted node (non-zero target tag in the descriptor).
+fn standard_detectable_workload() -> (Vec<(u64, u64)>, Vec<DStep>) {
+    let prefill = vec![(2, 20), (4, 40)];
+    let workload = vec![
+        DStep::Insert(1, 11),
+        DStep::Insert(2, 99), // duplicate: must classify NotApplied
+        DStep::Remove(4),     // hit on a prefilled (tag 0) node
+        DStep::Remove(7),     // miss: armed against OP_TARGET_MISS
+        DStep::Insert(4, 44), // reinsert a removed key
+        DStep::Remove(1),     // hit on a detectably inserted node
+        DStep::Insert(1, 12), // reinsert after a detectable remove
+    ];
+    (prefill, workload)
+}
+
+#[test]
+fn list_detectable_answers_match_survivors_at_every_crash_point() {
+    install_quiet_panic_hook();
+    let (prefill, workload) = standard_detectable_workload();
+    detectable_sweep(
+        || HarrisList::<u64, u64, NvTraverse<Sim>>::with_collector(Collector::leaking()),
+        &prefill,
+        &workload,
+        |l: &HarrisList<u64, u64, NvTraverse<Sim>>, raw| l.classify_op(raw),
+    );
+}
+
+#[test]
+fn hash_detectable_answers_match_survivors_at_every_crash_point() {
+    install_quiet_panic_hook();
+    let (prefill, workload) = standard_detectable_workload();
+    detectable_sweep(
+        || HashMapDs::<u64, u64, NvTraverse<Sim>>::with_collector(4, Collector::leaking()),
+        &prefill,
+        &workload,
+        |m: &HashMapDs<u64, u64, NvTraverse<Sim>>, raw| m.classify_op(raw),
+    );
+}
+
+#[test]
+fn list_detectable_from_empty_growth() {
+    // From empty: the very first detectable inserts exercise descriptor
+    // arming interleaved with root-link persistence.
+    install_quiet_panic_hook();
+    let workload: Vec<DStep> = (1..=4u64).map(|k| DStep::Insert(k, k * 10)).collect();
+    detectable_sweep(
+        || HarrisList::<u64, u64, NvTraverse<Sim>>::with_collector(Collector::leaking()),
+        &[],
+        &workload,
+        |l: &HarrisList<u64, u64, NvTraverse<Sim>>, raw| l.classify_op(raw),
+    );
+}
+
+#[test]
+fn list_detectable_heavy_deletion() {
+    // Deletion is where marks, trims and target tags interact; focus there.
+    install_quiet_panic_hook();
+    let prefill: Vec<(u64, u64)> = (1..=5u64).map(|k| (k, k * 10)).collect();
+    let workload: Vec<DStep> = (1..=5u64).map(DStep::Remove).collect();
+    detectable_sweep(
+        || HarrisList::<u64, u64, NvTraverse<Sim>>::with_collector(Collector::leaking()),
+        &prefill,
+        &workload,
+        |l: &HarrisList<u64, u64, NvTraverse<Sim>>, raw| l.classify_op(raw),
+    );
+}

@@ -32,10 +32,19 @@
 //! * any other intent ⇒ the op was in flight at the kill: either outcome
 //!   is a valid durable linearization;
 //! * a key with no intent at all ⇒ **absent** (nothing may invent keys).
+//!
+//! For the **list** and **hash** children the workload runs through the
+//! detectable API instead, and the intent lines carry each operation's
+//! predicted durable [`OpId`]. The *library* is then the primary oracle:
+//! after reopening, `Pool::op_outcome` must answer every logged `OpId`, and
+//! the newest one — the only operation that can have been in flight at the
+//! kill — must answer `Committed` exactly when its effect survived. The
+//! intent/ack log above is kept as a cross-check, not as the judge.
 
+use nvtraverse::detect::{DetectablePool, OpToken};
 use nvtraverse::policy::NvTraverse;
 use nvtraverse::pool::Pool;
-use nvtraverse::{DurableSet, PoolAttach, PooledHandle};
+use nvtraverse::{DurableSet, OpId, OpOutcome, PoolAttach, PooledHandle};
 use nvtraverse_pmem::{Backend, MmapBackend};
 use nvtraverse_structures::ellen_bst::EllenBst;
 use nvtraverse_structures::hash::HashMapDs;
@@ -98,8 +107,8 @@ fn child_entry() {
         return;
     };
     match kind.as_str() {
-        "list" => set_child::<PooledList>(),
-        "hash" => set_child::<PooledHash>(),
+        "list" => detectable_set_child::<PooledList>(),
+        "hash" => detectable_set_child::<PooledHash>(),
         "skiplist" => set_child::<PooledSkip>(),
         "ellen" => set_child::<PooledEllen>(),
         "nm" => set_child::<PooledNm>(),
@@ -182,6 +191,55 @@ fn churn_child() {
             }
         }
         k += 1;
+        if k > start_key + 2_000_000 {
+            std::process::exit(3);
+        }
+    }
+}
+
+/// The set workload of [`set_child`], driven through the **detectable**
+/// API: every mutation registers under a durable [`OpId`], predicted ahead
+/// of the call (`(slot, last seq + 1)`) and written into the `fsync`ed
+/// intent line — so the parent can ask the library, by id, what happened to
+/// the operation the kill interrupted.
+fn detectable_set_child<S: PoolAttach + nvtraverse::PoolTrace + DurableSet<u64, u64>>() {
+    let pool_path = std::env::var("NVT_POOL").unwrap();
+    let log_path = std::env::var("NVT_LOG").unwrap();
+    let start_key: u64 = std::env::var("NVT_START_KEY").unwrap().parse().unwrap();
+
+    let set = open_pooled::<S>(&pool_path, ROOT).unwrap();
+    // A fresh descriptor slot per child run: crashed slots stay answerable.
+    let mut tok = set.pool().op_token().unwrap();
+    let mut log = open_log(&log_path);
+    let mut record = |tag: &str, k: u64, id: OpId| {
+        writeln!(log, "{tag} {k} {}", id.to_bits()).unwrap();
+        log.sync_data().unwrap();
+    };
+    fn next_id(tok: &OpToken) -> OpId {
+        OpId::new(tok.slot(), tok.last_op().map_or(0, |id| id.seq()) + 1)
+    }
+
+    let mut k = start_key;
+    loop {
+        let predicted = next_id(&tok);
+        record("i", k, predicted);
+        let (id, fresh) = set.insert_detectable(&mut tok, k, k.wrapping_mul(7)).unwrap();
+        assert_eq!(id, predicted, "insert armed under an unpredicted OpId");
+        if fresh {
+            record("I", k, id);
+        }
+        if k % 3 == 2 {
+            let victim = k - 2;
+            let predicted = next_id(&tok);
+            record("r", victim, predicted);
+            let (id, hit) = set.remove_detectable(&mut tok, victim).unwrap();
+            assert_eq!(id, predicted, "remove armed under an unpredicted OpId");
+            if hit {
+                record("R", victim, id);
+            }
+        }
+        k += 1;
+        // The parent kills us long before this; bail out in case it died.
         if k > start_key + 2_000_000 {
             std::process::exit(3);
         }
@@ -297,6 +355,10 @@ struct KeyLog {
     acked_insert: bool,
     intent_remove: bool,
     acked_remove: bool,
+    /// Durable [`OpId`] bits from a detectable child's insert intent line.
+    insert_op: Option<u64>,
+    /// Durable [`OpId`] bits from a detectable child's remove intent line.
+    remove_op: Option<u64>,
 }
 
 fn parse_set_log(path: &Path) -> BTreeMap<u64, KeyLog> {
@@ -311,11 +373,20 @@ fn parse_set_log(path: &Path) -> BTreeMap<u64, KeyLog> {
             continue;
         };
         let Ok(k) = k.parse::<u64>() else { continue };
+        // Detectable children append the op's predicted OpId bits; a line
+        // missing them (plain children, or torn mid-line) carries none.
+        let op = parts.next().and_then(|b| b.parse::<u64>().ok());
         let e = out.entry(k).or_default();
         match tag {
-            "i" => e.intent_insert = true,
+            "i" => {
+                e.intent_insert = true;
+                e.insert_op = op.or(e.insert_op);
+            }
             "I" => e.acked_insert = true,
-            "r" => e.intent_remove = true,
+            "r" => {
+                e.intent_remove = true;
+                e.remove_op = op.or(e.remove_op);
+            }
             "R" => e.acked_remove = true,
             _ => {}
         }
@@ -418,6 +489,57 @@ where
         // Any other combination was in flight at the kill: either outcome
         // is a correct durable linearization.
     }
+
+    // Detectable children: the library itself is the primary oracle. Every
+    // logged OpId must be answerable — descriptor slots are never reused,
+    // so ops from earlier cycles (and earlier kills) stay classified — and
+    // the newest logged op, the only one that can have been in flight at
+    // the kill, must answer `Committed` exactly when its effect survived.
+    let pool = set.pool();
+    // (bits, key, is_remove, acked)
+    let mut newest: Option<(u64, u64, bool, bool)> = None;
+    for (&k, e) in &log {
+        let ops = [
+            e.insert_op.map(|b| (b, k, false, e.acked_insert)),
+            e.remove_op.map(|b| (b, k, true, e.acked_remove)),
+        ];
+        for op in ops.into_iter().flatten() {
+            assert!(
+                pool.op_outcome(OpId::from_bits(op.0)).is_some(),
+                "key {k}: the library has no answer for logged op {:#x}",
+                op.0
+            );
+            if newest.is_none_or(|(bits, ..)| op.0 > bits) {
+                newest = Some(op);
+            }
+        }
+    }
+    if let Some((bits, k, is_remove, acked)) = newest {
+        let outcome = pool.op_outcome(OpId::from_bits(bits)).unwrap();
+        let here = present.contains_key(&k);
+        if acked {
+            // The op returned (and in this workload every completed op is
+            // effectful: inserts are fresh, removes hit), so its closing
+            // fence made both its effect and its descriptor durable.
+            assert_eq!(
+                outcome,
+                OpOutcome::Committed,
+                "key {k}: newest op was acked effectful but the library disagrees"
+            );
+        } else {
+            let effect_survived = if is_remove { !here } else { here };
+            assert_eq!(
+                outcome == OpOutcome::Committed,
+                effect_survived,
+                "key {k}: in-flight {} answered {outcome:?} but present={here}",
+                if is_remove { "remove" } else { "insert" }
+            );
+        }
+        if !is_remove && outcome == OpOutcome::Committed {
+            assert_eq!(present[&k], k.wrapping_mul(7), "committed insert lost its value");
+        }
+    }
+
     // The recovered structure stays fully usable.
     assert!(set.insert(u64::MAX - 1, 42));
     assert_eq!(set.get(u64::MAX - 1), Some(42));

@@ -25,6 +25,7 @@
 //! tripwires, not estimates: a policy change that adds a few persistence
 //! instructions per op trips them.
 
+use nvtraverse::detect::OpTable;
 use nvtraverse::policy::NvTraverse;
 use nvtraverse::DurableSet;
 use nvtraverse_obs as obs;
@@ -152,6 +153,77 @@ fn stack_bounds() {
     let pop = counted(|| assert!(s.pop().is_some()));
     assert_bound("stack push", push, 6, 4);
     assert_bound("stack pop", pop, 6, 5);
+}
+
+/// Asserts the detectable-vs-plain overhead of one operation: the entire
+/// price of detectability is the descriptor — the arm (one cache line,
+/// flushed as one range) and the result publish — so at most **+2 flushes
+/// and exactly +0 fences** (both piggyback on the operation's existing
+/// fences). Signed, because the allocator's slab state can wobble the
+/// plain insert by a flush.
+fn assert_detectable_delta(what: &str, plain: (u64, u64), detectable: (u64, u64)) {
+    let d_flushes = detectable.0 as i64 - plain.0 as i64;
+    let d_fences = detectable.1 as i64 - plain.1 as i64;
+    assert_eq!(
+        d_fences, 0,
+        "{what}: detectable path added {d_fences} fences (plain {plain:?}, \
+         detectable {detectable:?}) — arming/publishing must ride the op's own fences"
+    );
+    assert!(
+        d_flushes <= 2,
+        "{what}: detectable path added {d_flushes} flushes (plain {plain:?}, \
+         detectable {detectable:?}) — bound is arm + publish = 2"
+    );
+}
+
+/// Elementwise minimum over a few samples of the same operation shape:
+/// cancels the allocator's slab wobble (which only ever *adds* a flush), so
+/// the plain/detectable comparison sees each path's floor cost.
+fn min_counted(samples: impl Iterator<Item = (u64, u64)>) -> (u64, u64) {
+    samples
+        .reduce(|a, b| (a.0.min(b.0), a.1.min(b.1)))
+        .expect("at least one sample")
+}
+
+/// Prefills a set, then measures matching plain/detectable insert and
+/// remove pairs and pins the descriptor overhead of each.
+fn detectable_delta_bounds<S: DurableSet<u64, u64>>(name: &str, make: impl FnOnce() -> S) {
+    let table: OpTable<Count<Noop>> = OpTable::new(1);
+    let mut tok = table.token(0);
+    let s = make();
+    for k in 0..PREFILL {
+        assert!(s.insert(k * 2, k));
+    }
+    // Odd keys are absent; interleave the sample key ranges so neither path
+    // systematically lands on a fresh allocator slab.
+    let plain_ins = min_counted((0..4u64).map(|i| counted(|| assert!(s.insert(101 + 8 * i, 1)))));
+    let det_ins = min_counted(
+        (0..4u64).map(|i| counted(|| assert!(s.insert_detectable(&mut tok, 103 + 8 * i, 1).unwrap().1))),
+    );
+    let plain_rem = min_counted((0..4u64).map(|i| counted(|| assert!(s.remove(16 + 8 * i)))));
+    let det_rem = min_counted(
+        (0..4u64).map(|i| counted(|| assert!(s.remove_detectable(&mut tok, 18 + 8 * i).unwrap().1))),
+    );
+    assert_detectable_delta(&format!("{name} insert"), plain_ins, det_ins);
+    assert_detectable_delta(&format!("{name} remove"), plain_rem, det_rem);
+    // The no-op paths arm and publish together under the closing fence:
+    // same bound.
+    let plain_dup = counted(|| assert!(!s.insert(101, 9)));
+    let det_dup = counted(|| assert!(!s.insert_detectable(&mut tok, 103, 9).unwrap().1));
+    assert_detectable_delta(&format!("{name} duplicate insert"), plain_dup, det_dup);
+}
+
+// Observed: +2 flushes / +0 fences on the effectful paths, +2/+0 on the
+// duplicate-insert path (arm and publish share the slot's cache line but
+// are separate flush instructions).
+#[test]
+fn list_detectable_delta() {
+    detectable_delta_bounds("list", HarrisList::<u64, u64, D>::new);
+}
+
+#[test]
+fn hash_detectable_delta() {
+    detectable_delta_bounds("hash", || HashMapDs::<u64, u64, D>::new(64));
 }
 
 /// The bounds above are *attributed* counts; this pins the machinery they

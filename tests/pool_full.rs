@@ -1,0 +1,77 @@
+//! Graceful degradation on pool exhaustion: a structure whose tiny pool
+//! runs out of blocks must surface a recoverable [`OpError::PoolFull`] —
+//! never a panic, never a silent volatile fallback — bump the pool's
+//! `pool_full` obs counter, and stay fully usable for reads, removes, and
+//! detectable operations afterwards.
+
+mod common;
+
+use common::create_pooled;
+use nvtraverse::detect::{DetectablePool, OpError};
+use nvtraverse::policy::NvTraverse;
+use nvtraverse::pool::MIN_CAPACITY;
+use nvtraverse::DurableSet;
+use nvtraverse_obs as obs;
+use nvtraverse_pmem::MmapBackend;
+use nvtraverse_structures::list::HarrisList;
+
+type PooledList = HarrisList<u64, u64, NvTraverse<MmapBackend>>;
+
+#[test]
+fn tiny_pool_exhaustion_is_recoverable() {
+    let path = std::env::temp_dir().join(format!("nvt-poolfull-{}.pool", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    // The smallest pool the builder accepts: headers + roots eat most of
+    // it, so the list exhausts it within a few hundred inserts.
+    let list = create_pooled::<PooledList>(&path, MIN_CAPACITY, "full").unwrap();
+    // Register the detectable slot while blocks are still free (the
+    // descriptor table itself needs an allocation).
+    let mut tok = list.pool().op_token().unwrap();
+    let before = list.pool().metrics().snapshot();
+
+    let mut inserted = 0u64;
+    let full_at = loop {
+        match list.try_insert(inserted, inserted * 10) {
+            Ok(fresh) => {
+                assert!(fresh, "keys are unique");
+                inserted += 1;
+                assert!(inserted < 100_000, "tiny pool never filled up");
+            }
+            Err(OpError::PoolFull) => break inserted,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    };
+    assert!(full_at > 0, "not even one insert fit");
+
+    // The refusal was observed and attributed to this pool.
+    let after = list.pool().metrics().snapshot();
+    assert!(
+        after.counter(obs::Counter::PoolFull) > before.counter(obs::Counter::PoolFull),
+        "pool_full counter did not move"
+    );
+
+    // The structure survives the refusal: everything inserted is intact...
+    for k in 0..full_at {
+        assert_eq!(list.get(k), Some(k * 10), "key {k} lost after pool-full");
+    }
+    // ...further full inserts keep failing recoverably (not panicking)...
+    assert_eq!(list.try_insert(u64::MAX - 1, 1), Err(OpError::PoolFull));
+    // ...and removes still work (they allocate nothing).
+    assert!(list.remove(0));
+    assert_eq!(list.get(0), None);
+
+    // The detectable path degrades the same way: arming uses the
+    // pre-registered descriptor slot, so exhaustion still reports PoolFull
+    // without burning the sequence number on a panic.
+    assert_eq!(
+        list.insert_detectable(&mut tok, u64::MAX - 2, 1),
+        Err(OpError::PoolFull)
+    );
+    // A detectable remove allocates nothing and must still succeed.
+    let (_, hit) = list.remove_detectable(&mut tok, 1).unwrap();
+    assert!(hit);
+
+    list.close().unwrap();
+    std::fs::remove_file(&path).unwrap();
+}
