@@ -8,7 +8,7 @@
 //! crossovers sit — is the reproduction target, not absolute numbers.
 
 use crate::workload::{measure, prefill, Cfg};
-use nvtraverse::policy::{Durability, Izraelevitz, LinkPersist, NvTraverse, Volatile};
+use nvtraverse::policy::{Durability, Izraelevitz, LinkPersist, NvTraverse, Soft, Volatile};
 use nvtraverse::DurableSet;
 use nvtraverse_ebr::Collector;
 use nvtraverse_onefile::{TmBst, TmList};
@@ -18,6 +18,8 @@ use nvtraverse_structures::hash::HashMapDs;
 use nvtraverse_structures::list::{HarrisList, HarrisListOrigParent};
 use nvtraverse_structures::nm_bst::NmBst;
 use nvtraverse_structures::skiplist::SkipList;
+use nvtraverse_structures::soft_hash::SoftHash;
+use nvtraverse_structures::soft_list::SoftList;
 
 /// How much machine time to spend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +86,15 @@ fn nm_point<D: Durability>(cfg: &Cfg) -> f64 {
 
 fn skip_point<D: Durability>(cfg: &Cfg) -> f64 {
     measure(SkipList::<u64, u64, D>::new, cfg)
+}
+
+fn soft_list_point<D: Durability>(cfg: &Cfg) -> f64 {
+    measure(SoftList::<u64, u64, D>::new, cfg)
+}
+
+fn soft_hash_point<D: Durability>(cfg: &Cfg) -> f64 {
+    let buckets = (cfg.prefill.max(1)) as usize;
+    measure(|| SoftHash::<u64, u64, D>::new(buckets), cfg)
 }
 
 fn tmlist_point(cfg: &Cfg) -> f64 {
@@ -452,47 +463,51 @@ pub fn fig6o(mode: Mode) {
 
 // ---- ablations -------------------------------------------------------------
 
+/// Runs 2000 mixed operations (20% updates, range 2048, prefill 1024) on a
+/// freshly built set over the counting backend and returns the measured
+/// `(flushes/op, fences/op)` — the instrumentation shared by `abl1` and
+/// `soft_vs_nvt`.
+fn count_ops<S: DurableSet<u64, u64>>(make: impl FnOnce() -> S) -> (f64, f64) {
+    const OPS: u64 = 2_000;
+    let cfg = Cfg {
+        threads: 1,
+        range: 2048,
+        prefill: 1024,
+        update_pct: 20,
+        secs: 0.0,
+        seed: 7,
+    };
+    let s = make();
+    prefill(&s, &cfg);
+    use rand::prelude::*;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    // Snapshot delta, not reset(): the counters are process-global and
+    // monotone, so diffing is exact here (single-threaded) and never
+    // clobbers a concurrent measurement. See the stats module docs.
+    let before = stats::snapshot();
+    for _ in 0..OPS {
+        let k = rng.random_range(0..cfg.range);
+        match rng.random_range(0..100u32) {
+            0..=9 => {
+                s.insert(k, k);
+            }
+            10..=19 => {
+                s.remove(k);
+            }
+            _ => {
+                s.get(k);
+            }
+        }
+    }
+    let d = stats::snapshot().since(before);
+    (d.flushes as f64 / OPS as f64, d.fences as f64 / OPS as f64)
+}
+
 /// Counts flush/fence instructions per operation for each policy on each
 /// structure (single-threaded, counting backend) — the quantity the whole
 /// design minimizes, explaining every gap in Figures 5 and 6.
 pub fn ablation_flushes(_mode: Mode) {
     type CB = Count<Noop>;
-    const OPS: u64 = 2_000;
-
-    fn count_ops<S: DurableSet<u64, u64>>(make: impl FnOnce() -> S) -> (f64, f64) {
-        let cfg = Cfg {
-            threads: 1,
-            range: 2048,
-            prefill: 1024,
-            update_pct: 20,
-            secs: 0.0,
-            seed: 7,
-        };
-        let s = make();
-        prefill(&s, &cfg);
-        use rand::prelude::*;
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
-        // Snapshot delta, not reset(): the counters are process-global and
-        // monotone, so diffing is exact here (single-threaded) and never
-        // clobbers a concurrent measurement. See the stats module docs.
-        let before = stats::snapshot();
-        for _ in 0..OPS {
-            let k = rng.random_range(0..cfg.range);
-            match rng.random_range(0..100u32) {
-                0..=9 => {
-                    s.insert(k, k);
-                }
-                10..=19 => {
-                    s.remove(k);
-                }
-                _ => {
-                    s.get(k);
-                }
-            }
-        }
-        let d = stats::snapshot().since(before);
-        (d.flushes as f64 / OPS as f64, d.fences as f64 / OPS as f64)
-    }
 
     println!("\n== abl1: persistence instructions per operation (range 2048, 20% updates) ==");
     println!(
@@ -539,11 +554,72 @@ pub fn ablation_parent(mode: Mode) {
     );
 }
 
+/// Head-to-head against the related-work system that flushes *less* than
+/// NVTraverse: SOFT (Zuriel et al., OOPSLA 2019; `Soft<B>` policy +
+/// `SoftList`/`SoftHash`) vs. the NVTraverse transformation vs. the
+/// volatile upper bound, on the two structures the systems share.
+///
+/// Two sections per structure: a throughput update-% sweep, and the counted
+/// persistence instructions per operation (the mechanism behind any gap —
+/// SOFT pays one flush per update and none per lookup, NVTraverse flushes
+/// the critical window; `tests/persist_bounds.rs` pins the exact columns).
+pub fn soft_vs_nvt(mode: Mode) {
+    type CB = Count<Noop>;
+
+    let list_series: Vec<Series> = vec![
+        ("orig", list_point::<Volatile>),
+        ("nvt", list_point::<NvTraverse<Clwb>>),
+        ("soft", soft_list_point::<Soft<Clwb>>),
+    ];
+    run_sweep(
+        "soft_vs_nvt: Linked-List, NVTraverse vs SOFT, varying update %, range 1024",
+        "update%",
+        &list_series,
+        upd_sweep()
+            .into_iter()
+            .map(|u| (format!("list/{u}"), base_cfg(mode, mode.max_threads(), 1024, u)))
+            .collect(),
+    );
+
+    let hash_series: Vec<Series> = vec![
+        ("orig", hash_point::<Volatile>),
+        ("nvt", hash_point::<NvTraverse<Clwb>>),
+        ("soft", soft_hash_point::<Soft<Clwb>>),
+    ];
+    let r = mode.big_range();
+    run_sweep(
+        "soft_vs_nvt: Hash-Table, NVTraverse vs SOFT, varying update %, big",
+        "update%",
+        &hash_series,
+        upd_sweep()
+            .into_iter()
+            .map(|u| (format!("hash/{u}"), base_cfg(mode, mode.max_threads(), r, u)))
+            .collect(),
+    );
+
+    println!("\n== soft_vs_nvt: persistence instructions per operation ==");
+    println!(
+        "{:>14}{:>12}{:>14}{:>14}",
+        "structure", "policy", "flushes/op", "fences/op"
+    );
+    let rows: Vec<(&str, &str, (f64, f64))> = vec![
+        ("list", "nvt", count_ops(HarrisList::<u64, u64, NvTraverse<CB>>::new)),
+        ("list", "soft", count_ops(SoftList::<u64, u64, Soft<CB>>::new)),
+        ("hash", "nvt", count_ops(|| HashMapDs::<u64, u64, NvTraverse<CB>>::new(1024))),
+        ("hash", "soft", count_ops(|| SoftHash::<u64, u64, Soft<CB>>::new(1024))),
+    ];
+    for (ds, policy, (fl, fe)) in rows {
+        println!("{ds:>14}{policy:>12}{fl:>14.2}{fe:>14.2}");
+        crate::json::record("soft_vs_nvt", policy, ds, "flushes_per_op", fl);
+        crate::json::record("soft_vs_nvt", policy, ds, "fences_per_op", fe);
+    }
+}
+
 /// Every figure id in run order.
 pub const ALL_FIGURES: &[&str] = &[
     "fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig5f", "fig6g", "fig6h", "fig6i", "fig6j",
-    "fig6k", "fig6l", "fig6m", "fig6n", "fig6o", "abl1", "abl2", "alloc_scaling",
-    "pool_structs", "pool_shards", "persist_ops",
+    "fig6k", "fig6l", "fig6m", "fig6n", "fig6o", "abl1", "abl2", "soft_vs_nvt",
+    "alloc_scaling", "pool_structs", "pool_shards", "persist_ops",
 ];
 
 /// Runs one figure by id (or `all`).
@@ -570,6 +646,7 @@ pub fn run_figure(id: &str, mode: Mode) {
         "fig6o" => fig6o(mode),
         "abl1" | "ablation-flushes" => ablation_flushes(mode),
         "abl2" | "ablation-parent" => ablation_parent(mode),
+        "soft_vs_nvt" | "soft-vs-nvt" => soft_vs_nvt(mode),
         "alloc_scaling" | "alloc-scaling" => crate::alloc_scaling::run(mode),
         "pool_structs" | "pool-structs" => crate::pool_structs::run(mode),
         "pool_shards" | "pool-shards" => crate::pool_shards::run(mode),

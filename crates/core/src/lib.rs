@@ -38,6 +38,7 @@
 //! | [`NvTraverse<B>`] | "Traverse" | the paper's transformation |
 //! | [`Izraelevitz<B>`] | "Izraelevitz" | flush+fence after *every* shared access |
 //! | [`LinkPersist<B>`] | "Log Free" | David et al.'s link-and-persist (dirty-bit tagged links) |
+//! | [`Soft<B>`] | SOFT (related work) | Zuriel et al.'s minimal flushing: volatile links, one validity flush per update |
 //!
 //! where `B` is a flush/fence [`Backend`](nvtraverse_pmem::Backend) — real
 //! `clwb`/`sfence`, a counting shim, the crash simulator, or
@@ -93,7 +94,7 @@ pub use detect::{ArmHandle, DetectablePool, OpError, OpToken};
 pub use marked::MarkedPtr;
 pub use pool::{OpId, OpOutcome};
 pub use ops::{run_operation, Critical, PersistSet, TraversalOps};
-pub use policy::{Durability, Izraelevitz, LinkPersist, NvTraverse, Volatile};
+pub use policy::{Durability, Izraelevitz, LinkPersist, NvTraverse, Soft, Volatile};
 #[allow(deprecated)]
 pub use set::PooledSet;
 pub use set::{

@@ -485,6 +485,100 @@ impl<B: Backend> Durability for LinkPersist<B> {
     }
 }
 
+/// SOFT-style minimal flushing (Zuriel et al., "Efficient Lock-Free Durable
+/// Sets", OOPSLA 2019): link words are **volatile** — never flushed, never
+/// fenced — and the only thing an operation persists is the node's validity
+/// header, reaching the one-flush-per-update floor the hardware can't beat.
+///
+/// The division of labour differs from every other policy here: durability
+/// lives in per-node *state* (a sealed/tombstoned validity word), not in the
+/// link structure, and recovery rebuilds all links from the surviving valid
+/// nodes. Consequently this policy is only correct for structures designed
+/// for it (`nvtraverse_structures::soft_list`, `soft_hash`), which route
+/// exactly one persistent word (or one fresh node header) through the
+/// flushing methods per operation:
+///
+/// * traversal *and* critical reads are plain loads — SOFT reads are free;
+/// * Protocol 1 ([`ensure_reachable`](Durability::ensure_reachable) /
+///   [`make_persistent`](Durability::make_persistent)) is empty — there is
+///   no persistent link structure to make reachable;
+/// * [`c_cas_link`](Durability::c_cas_link) is a plain CAS: links are
+///   volatile;
+/// * [`c_cas`](Durability::c_cas) / [`c_store`](Durability::c_store) flush
+///   the written word (the validity transition) with **no** pre-fence — the
+///   single fence of the operation is [`before_return`](Durability::before_return);
+/// * [`persist_new_node`](Durability::persist_new_node) flushes the fresh
+///   node's validity header (the insert's one flush).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Soft<B>(PhantomData<fn() -> B>);
+
+impl<B: Backend> Durability for Soft<B> {
+    type B = B;
+    const DURABLE: bool = true;
+
+    #[inline(always)]
+    fn t_load<T: Word>(cell: &PCell<T, B>) -> T {
+        cell.load()
+    }
+    #[inline(always)]
+    fn t_load_link<T>(cell: &PCell<MarkedPtr<T>, B>) -> MarkedPtr<T> {
+        cell.load()
+    }
+    #[inline(always)]
+    fn ensure_reachable(_addr: *const u8) {
+        // No persistent links: nothing to reconnect.
+    }
+    #[inline(always)]
+    fn make_persistent(_addrs: &[*const u8]) {}
+    #[inline(always)]
+    fn c_load<T: Word>(cell: &PCell<T, B>) -> T {
+        // Unlike NvTraverse, critical reads are free too: correctness never
+        // depends on a read value being persistent, only on validity words.
+        cell.load()
+    }
+    #[inline(always)]
+    fn c_load_link<T>(cell: &PCell<MarkedPtr<T>, B>) -> MarkedPtr<T> {
+        cell.load()
+    }
+    #[inline]
+    fn c_store<T: Word>(cell: &PCell<T, B>, value: T) {
+        let _p = obs::phase(obs::Phase::Critical);
+        cell.store(value);
+        B::flush(cell.addr());
+    }
+    #[inline]
+    fn c_cas<T: Word>(cell: &PCell<T, B>, current: T, new: T) -> Result<T, T> {
+        // The validity transition (seal → tombstone): CAS + flush, fence
+        // deferred to `before_return` — the remove's single fence.
+        let _p = obs::phase(obs::Phase::Critical);
+        let r = cell.compare_exchange(current, new);
+        B::flush(cell.addr());
+        r
+    }
+    #[inline(always)]
+    fn c_cas_link<T>(
+        cell: &PCell<MarkedPtr<T>, B>,
+        current: MarkedPtr<T>,
+        new: MarkedPtr<T>,
+    ) -> Result<(), MarkedPtr<T>> {
+        // Links are volatile state, rebuilt by recovery: plain CAS.
+        cell.compare_exchange(current, new).map(drop)
+    }
+    #[inline]
+    fn persist_new_node(addr: *const u8, len: usize) {
+        // The insert's one flush: the fresh node's validity header. The
+        // SOFT structures pass only the persistent header prefix, not the
+        // (volatile) link word.
+        let _p = obs::phase(obs::Phase::Critical);
+        B::flush_range(addr, len);
+    }
+    #[inline]
+    fn before_return() {
+        let _p = obs::phase(obs::Phase::Critical);
+        B::fence();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -643,6 +737,45 @@ mod tests {
             drop(Box::from_raw(a));
             drop(Box::from_raw(b));
         }
+    }
+
+    #[test]
+    fn soft_reads_and_links_are_free() {
+        let c: PCell<u64, CB> = PCell::new(1);
+        let l: PCell<MarkedPtr<u64>, CB> = PCell::new(MarkedPtr::null());
+        let (d, _) = counted(|| {
+            let _ = Soft::<CB>::t_load(&c);
+            let _ = Soft::<CB>::t_load_link(&l);
+            let _ = Soft::<CB>::c_load(&c);
+            let _ = Soft::<CB>::c_load_link(&l);
+            Soft::<CB>::ensure_reachable(c.addr());
+            Soft::<CB>::make_persistent(&[c.addr()]);
+            let _ = Soft::<CB>::c_cas_link(&l, MarkedPtr::null(), MarkedPtr::null());
+        });
+        assert_eq!(
+            (d.flushes, d.fences),
+            (0, 0),
+            "SOFT persists nothing but validity words"
+        );
+    }
+
+    #[test]
+    fn soft_update_shape_is_one_flush_one_fence() {
+        // The whole persistence cost of a SOFT update: one flush of the
+        // validity word (or fresh header) + the closing fence.
+        let v: PCell<u64, CB> = PCell::new(1);
+        let (ins, _) = counted(|| {
+            Soft::<CB>::persist_new_node(v.addr(), 8);
+            Soft::<CB>::before_return();
+        });
+        assert_eq!((ins.flushes, ins.fences), (1, 1));
+        let (rem, r) = counted(|| {
+            let r = Soft::<CB>::c_cas(&v, 1, 2);
+            Soft::<CB>::before_return();
+            r
+        });
+        assert_eq!(r, Ok(1));
+        assert_eq!((rem.flushes, rem.fences), (1, 1));
     }
 
     #[test]

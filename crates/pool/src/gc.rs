@@ -225,4 +225,30 @@ impl<'a> Marker<'a> {
     pub fn at(&self, off: u64) -> Option<*mut u8> {
         self.valid_payload(off).map(|_| self.mem.ptr(off))
     }
+
+    /// Payload offset and capacity of every **allocated** block, in address
+    /// order — the heap inventory a tracer needs when reachability is not
+    /// encoded in link words at all. The SOFT structures use this: their
+    /// links are volatile (rebuilt by recovery from per-node validity bits),
+    /// so their tracers *enumerate* candidate nodes and keep the ones whose
+    /// persistent header proves membership, rather than chasing pointers.
+    pub fn allocated_payloads(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut off = HEAP_START;
+        while off < self.frontier {
+            // Headers were validated by the open-time walk that produced
+            // this marker's frontier; a failure here is memory corruption
+            // and stopping the enumeration is the conservative answer.
+            let Ok((size, _class, allocated)) =
+                check_block_header(self.mem.load(off), off, self.frontier)
+            else {
+                break;
+            };
+            if allocated {
+                out.push((off + BLOCK_HEADER, size - BLOCK_HEADER));
+            }
+            off += size;
+        }
+        out
+    }
 }

@@ -1298,6 +1298,22 @@ impl Pool {
             .map(|r| r.live.iter().map(|&(o, _)| o).collect())
             .unwrap_or_default()
     }
+
+    /// **Payload** offset and capacity of every currently allocated block
+    /// (address order). Structures whose recovery enumerates candidate
+    /// nodes instead of chasing links (the SOFT variants: links are
+    /// volatile, membership is proved by each node's persistent validity
+    /// header) rebuild their node inventory from this at attach time.
+    pub fn live_payloads(&self) -> Vec<(u64, u64)> {
+        self.verify_heap()
+            .map(|r| {
+                r.live
+                    .iter()
+                    .map(|&(o, cap)| (o + BLOCK_HEADER, cap))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
 }
 
 impl Inner {

@@ -79,11 +79,13 @@ pub mod pqueue;
 pub mod queue;
 pub mod sharded;
 pub mod skiplist;
+pub mod soft_hash;
+pub mod soft_list;
 pub mod stack;
 
 /// Convenient aliases for the common instantiations of every structure.
 pub mod prelude {
-    use nvtraverse::policy::{Izraelevitz, LinkPersist, NvTraverse, Volatile};
+    use nvtraverse::policy::{Izraelevitz, LinkPersist, NvTraverse, Soft, Volatile};
     use nvtraverse_pmem::Clwb;
 
     /// The paper's "Traverse" series: NVTraverse on hardware flushes.
@@ -94,9 +96,14 @@ pub mod prelude {
     pub type IzraelevitzList<K, V> = crate::list::HarrisList<K, V, Izraelevitz<Clwb>>;
     /// The paper's "Log Free" series (link-and-persist).
     pub type LogFreeList<K, V> = crate::list::HarrisList<K, V, LinkPersist<Clwb>>;
+    /// The SOFT related-work series: volatile links, one validity flush
+    /// per update (list form).
+    pub type SoftDurableList<K, V> = crate::soft_list::SoftList<K, V, Soft<Clwb>>;
 
     /// Durable hash table.
     pub type DurableHashMap<K, V> = crate::hash::HashMapDs<K, V, NvTraverse<Clwb>>;
+    /// The SOFT related-work series, hash-table form.
+    pub type SoftDurableHashMap<K, V> = crate::soft_hash::SoftHash<K, V, Soft<Clwb>>;
     /// Durable Ellen et al. BST.
     pub type DurableEllenBst<K, V> = crate::ellen_bst::EllenBst<K, V, NvTraverse<Clwb>>;
     /// Durable Natarajan–Mittal BST.

@@ -1,0 +1,1016 @@
+//! SOFT-style sorted linked list: minimal-flush durability via per-node
+//! validity words and **volatile links**.
+//!
+//! This is the repository's rendition of Zuriel et al., "Efficient Lock-Free
+//! Durable Sets" (OOPSLA 2019) — the related-work system that goes one step
+//! past NVTraverse: where NVTraverse flushes the destination (the critical
+//! section's links), SOFT flushes *nothing structural at all*. Every node
+//! carries a persistent validity header (sealed on insert, tombstoned on
+//! remove); links are ordinary volatile words; and recovery rebuilds the
+//! entire list by collecting the sealed nodes and re-linking them in key
+//! order. The per-operation persistence cost is the floor the hardware
+//! allows: **one flush + one fence** per update, **zero flushes** per
+//! lookup (pinned by `tests/persist_bounds.rs`).
+//!
+//! # Node layout and the validity protocol
+//!
+//! A node is six 64-bit words; the first five are the *persistent header*,
+//! the last is the volatile link:
+//!
+//! ```text
+//! [ vstart | key | value | owner | vend ]  [ next ]
+//!   ^--------- flushed once ----------^    never flushed
+//! ```
+//!
+//! * insert: initialize the header with `vstart = vend = SEAL`, flush the
+//!   header (one cache line on the volatile path — the node is 64-aligned),
+//!   link with a plain CAS, fence before returning. The insert is durably
+//!   linearized at that fence.
+//! * remove: CAS `vstart` from `SEAL` to `TOMB` and flush it (the durable
+//!   linearization point, made durable by the closing fence), then unlink
+//!   with plain volatile CASes exactly like Harris's list.
+//! * `vend` seals the far end of the header so a torn header (crash while
+//!   the flush was in flight) can never be mistaken for a valid node; the
+//!   `owner` word names the owning list (its head sentinel's address), so
+//!   recovery in a pool shared by several structures attributes each node
+//!   to the right one.
+//!
+//! # Recovery-rebuild contract
+//!
+//! The list keeps a volatile *registry* of its allocated nodes (maintained
+//! at allocate/retire time; reconstructed from the pool's allocated-block
+//! inventory on attach). [`SoftList::recover_soft`] scans the registry,
+//! keeps exactly the nodes whose header survives as
+//! `vstart == vend == SEAL`, sorts them by key, and rewrites the whole
+//! chain with plain stores. A node whose seal never became durable was an
+//! in-flight insert (its operation had not fenced, hence had not returned):
+//! dropping it is durably linearizable. A sealed node that was never linked
+//! (crash between flush and the link CAS) is *kept* — which is also
+//! correct, because its insert had not returned either, and resurrecting an
+//! in-flight insert is one of the two allowed outcomes. The same rule is
+//! why the recovery GC's tracer must keep valid-but-unlinked nodes (see
+//! `PoolTrace` below).
+//!
+//! # Concurrency caveat
+//!
+//! Like the original SOFT, readers here do not help persist concurrently
+//! in-flight updates: an operation's effect is durable only once *its own*
+//! closing fence ran. The exhaustive crash sweep (`tests/crash_soft.rs`)
+//! drives sequential histories, where the gap is unobservable; a
+//! multi-threaded deployment that needs strict durable linearizability for
+//! dependent readers would add SOFT's `pValid` helping bit.
+
+use nvtraverse::alloc::{clear_pool_full, free, pool_full_seen, try_alloc_node, PoolCtx};
+use nvtraverse::marked::MarkedPtr;
+use nvtraverse::ops::{run_operation, Critical, PersistSet, TraversalOps};
+use nvtraverse::policy::Durability;
+use nvtraverse::set::{DurableSet, PoolAttach, SetOp};
+use nvtraverse_ebr::{Collector, Guard};
+use nvtraverse_pmem::{heap, Backend, PCell, Word, POISON};
+use nvtraverse_pool::Pool;
+use std::fmt;
+use std::io;
+use std::marker::PhantomData;
+use std::sync::Mutex;
+
+/// `vstart`/`vend` value of a live (inserted) node. Distinctive bit pattern:
+/// a stray word is effectively never mistaken for a seal.
+pub(crate) const SEAL: u64 = 0x5EA1_5EA1_5EA1_5EA1;
+/// `vstart` value of a durably removed node.
+pub(crate) const TOMB: u64 = 0x70B5_70B5_70B5_70B5;
+
+/// The persistent header prefix of a [`SoftNode`]: `vstart`, `key`,
+/// `value`, `owner`, `vend` — everything **except** the volatile link.
+pub(crate) const PERSIST_HDR: usize = 5 * 8;
+
+/// One SOFT node. Field order is the layout contract documented in the
+/// [module docs](self): five persistent header words, then the volatile
+/// link. Exposed (with private fields) because it appears in the
+/// [`TraversalOps`] associated types; user code never constructs nodes.
+#[repr(C)]
+pub struct SoftNode<K: Word, V: Word, B: Backend> {
+    /// Validity word: `SEAL` while the node is live, `TOMB` once removed.
+    pub(crate) vstart: PCell<u64, B>,
+    pub(crate) key: PCell<K, B>,
+    pub(crate) value: PCell<V, B>,
+    /// Address of the owning list's head sentinel (0 for sentinels):
+    /// attributes the node to its structure when a pool holds several.
+    pub(crate) owner: PCell<u64, B>,
+    /// Far-end seal: proves the header flush was not torn.
+    pub(crate) vend: PCell<u64, B>,
+    /// Volatile link: never flushed, rebuilt by recovery.
+    pub(crate) next: PCell<MarkedPtr<SoftNode<K, V, B>>, B>,
+}
+
+impl<K: Word, V: Word, B: Backend> fmt::Debug for SoftNode<K, V, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SoftNode").finish_non_exhaustive()
+    }
+}
+
+/// Cache-line-aligned box for the volatile allocation path: a 64-aligned
+/// node puts the 40-byte persistent header in exactly one cache line, so
+/// the insert's header flush is deterministically one flush under the
+/// counting backend (the pool path provides 16-byte alignment and its own
+/// backend). `repr(C)` wrapper: a `*mut AlignedNode` is a `*mut SoftNode`.
+#[repr(C, align(64))]
+struct AlignedNode<K: Word, V: Word, B: Backend>(SoftNode<K, V, B>);
+
+type NodePtr<K, V, B> = *mut SoftNode<K, V, B>;
+
+/// The traversal window: same shape as the Harris list's (left, the word
+/// read from `left.next`, right), minus the parent — SOFT has no
+/// `ensureReachable` to feed.
+pub struct SoftWindow<K: Word, V: Word, B: Backend> {
+    left: NodePtr<K, V, B>,
+    left_succ: MarkedPtr<SoftNode<K, V, B>>,
+    right: NodePtr<K, V, B>,
+}
+
+impl<K: Word, V: Word, B: Backend> fmt::Debug for SoftWindow<K, V, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SoftWindow")
+            .field("left", &self.left)
+            .field("right", &self.right)
+            .finish()
+    }
+}
+
+/// SOFT sorted linked list, parameterized by durability policy.
+///
+/// Intended for [`Soft<B>`](nvtraverse::policy::Soft) (and the volatile
+/// baseline); see the [module docs](self) for the protocol. All operations
+/// are lock-free; recovery and the snapshot/consistency helpers are
+/// quiescent.
+pub struct SoftList<K: Word, V: Word, D: Durability> {
+    head: NodePtr<K, V, D::B>,
+    collector: Collector,
+    /// Which heap this structure's nodes come from (see `HarrisList::ctx`).
+    ctx: PoolCtx,
+    /// Live-node inventory for the recovery rebuild: every node currently
+    /// allocated to this list (pushed at allocation, dropped at
+    /// retire/free; rebuilt from the pool's block inventory on attach).
+    /// Stored as addresses: raw pointers are not `Send`.
+    registry: Mutex<Vec<usize>>,
+    /// `head as u64` — the value written into every node's `owner` word.
+    owner_tag: u64,
+    _marker: PhantomData<fn() -> D>,
+}
+
+// SAFETY: same argument as `HarrisList` — the raw pointers are only
+// dereferenced through the lock-free protocol or quiescently; the registry
+// is mutex-protected.
+unsafe impl<K: Word, V: Word, D: Durability> Send for SoftList<K, V, D> {}
+unsafe impl<K: Word, V: Word, D: Durability> Sync for SoftList<K, V, D> {}
+
+impl<K, V, D> SoftList<K, V, D>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    /// Creates an empty list (its own collector).
+    pub fn new() -> Self {
+        Self::with_collector(Collector::new())
+    }
+
+    /// Creates an empty list that retires nodes into `collector`.
+    pub fn with_collector(collector: Collector) -> Self {
+        let head = Self::alloc_soft(SoftNode {
+            vstart: PCell::new(0), // sentinel: never a resurrection candidate
+            key: PCell::new(K::from_bits(0)),
+            value: PCell::new(V::from_bits(0)),
+            owner: PCell::new(0),
+            vend: PCell::new(0),
+            next: PCell::new(MarkedPtr::null()),
+        })
+        .expect("persistent pool exhausted while allocating list head");
+        // Persist the empty list so it survives a crash at time zero.
+        D::persist_new_node(head as *const u8, PERSIST_HDR);
+        D::before_return();
+        SoftList {
+            head,
+            collector,
+            ctx: PoolCtx::current(),
+            registry: Mutex::new(Vec::new()),
+            owner_tag: head as u64,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The collector nodes are retired into.
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    /// The head sentinel (for pool root registration by this crate).
+    pub(crate) fn head_ptr(&self) -> NodePtr<K, V, D::B> {
+        self.head
+    }
+
+    /// Rebuilds a list handle around an existing head sentinel with an
+    /// **empty registry** — the attach half of the pool lifecycle. The
+    /// caller must repopulate the registry (directly from the pool's block
+    /// inventory, or via the hash table's shared distribution pass) before
+    /// recovery.
+    ///
+    /// # Safety
+    ///
+    /// `head` must be the head sentinel of a SOFT list built with the same
+    /// `K`/`V`/`D` parameters, reachable and quiescent, and the caller must
+    /// not create two dropping handles to the same list.
+    pub(crate) unsafe fn attach_at(head: NodePtr<K, V, D::B>, collector: Collector) -> Self {
+        SoftList {
+            head,
+            collector,
+            ctx: PoolCtx::current(),
+            registry: Mutex::new(Vec::new()),
+            owner_tag: head as u64,
+            _marker: PhantomData,
+        }
+    }
+
+    #[inline]
+    fn key_of(node: NodePtr<K, V, D::B>) -> K {
+        debug_assert!(!node.is_null());
+        D::load_fixed(unsafe { &(*node).key })
+    }
+}
+
+// Allocation plumbing, kept free of the `K: Ord` bound so `Drop` (which
+// must match the struct's own bounds) can reach it.
+impl<K: Word, V: Word, D: Durability> SoftList<K, V, D> {
+    /// Allocates a node: from the entered pool context when one is active
+    /// (the pool registers the node's words with any simulator itself), or
+    /// as a cache-line-aligned `Box` on the volatile path — registering
+    /// only the node's own words with the simulator, never the alignment
+    /// padding (a registration over padding would dangle after free).
+    fn alloc_soft(node: SoftNode<K, V, D::B>) -> Option<NodePtr<K, V, D::B>> {
+        if PoolCtx::current().is_pooled() {
+            try_alloc_node::<_, D::B>(node)
+        } else {
+            let p = Box::into_raw(Box::new(AlignedNode(node))) as NodePtr<K, V, D::B>;
+            if D::B::SIM {
+                nvtraverse_pmem::sim::current_register_range(
+                    p as usize,
+                    std::mem::size_of::<SoftNode<K, V, D::B>>(),
+                );
+            }
+            Some(p)
+        }
+    }
+
+    /// Frees a node immediately (never-published or teardown path),
+    /// routing through the layout it was allocated with: pool blocks as
+    /// `SoftNode`, volatile boxes as the 64-aligned wrapper.
+    unsafe fn free_soft(p: NodePtr<K, V, D::B>) {
+        if heap::owner_of(p as *const u8).is_some() {
+            unsafe { free(p) };
+        } else {
+            unsafe { free(p as *mut AlignedNode<K, V, D::B>) };
+        }
+    }
+
+    /// Unregisters `p` and retires it into the collector (same layout
+    /// dispatch as [`Self::free_soft`]).
+    unsafe fn retire_soft(&self, guard: &Guard, p: NodePtr<K, V, D::B>) {
+        self.unregister(p);
+        if heap::owner_of(p as *const u8).is_some() {
+            unsafe { guard.retire(p) };
+        } else {
+            unsafe { guard.retire(p as *mut AlignedNode<K, V, D::B>) };
+        }
+    }
+
+    pub(crate) fn register(&self, p: NodePtr<K, V, D::B>) {
+        self.registry
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(p as usize);
+    }
+
+    fn unregister(&self, p: NodePtr<K, V, D::B>) {
+        let mut reg = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(i) = reg.iter().position(|&a| a == p as usize) {
+            reg.swap_remove(i);
+        }
+    }
+}
+
+impl<K, V, D> SoftList<K, V, D>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    #[inline]
+    fn word_of(node: NodePtr<K, V, D::B>) -> MarkedPtr<SoftNode<K, V, D::B>> {
+        if node.is_null() {
+            MarkedPtr::null()
+        } else {
+            MarkedPtr::new(node)
+        }
+    }
+
+    /// Physically disconnects the marked chain between `left` and `right`
+    /// (volatile CASes; retired nodes leave the registry). Returns `false`
+    /// if the caller must re-traverse.
+    fn trim(&self, guard: &Guard, w: &SoftWindow<K, V, D::B>) -> bool {
+        if w.left_succ.ptr() == w.right {
+            return true;
+        }
+        let left_next = unsafe { &(*w.left).next };
+        match D::c_cas_link(left_next, w.left_succ, Self::word_of(w.right)) {
+            Ok(()) => {
+                let mut cur = w.left_succ.ptr();
+                while !cur.is_null() && cur != w.right {
+                    let nxt = unsafe { (*cur).next.load() };
+                    debug_assert!(nxt.is_marked(), "trimmed an unmarked node");
+                    unsafe { self.retire_soft(guard, cur) };
+                    cur = nxt.ptr();
+                }
+                if !w.right.is_null() {
+                    let rn = D::c_load_link(unsafe { &(*w.right).next });
+                    if rn.is_marked() {
+                        return false;
+                    }
+                }
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn quiescent_len(&self) -> usize {
+        let mut n = 0;
+        unsafe {
+            let mut cur = (*self.head).next.load().ptr();
+            while !cur.is_null() {
+                let nw = (*cur).next.load();
+                if !nw.is_marked() {
+                    n += 1;
+                }
+                cur = nw.ptr();
+            }
+        }
+        n
+    }
+
+    /// Quiescent: collects the unmarked `(key, value)` pairs in list order.
+    pub fn iter_snapshot(&self) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        unsafe {
+            let mut cur = (*self.head).next.load().ptr();
+            while !cur.is_null() {
+                let nw = (*cur).next.load();
+                if !nw.is_marked() {
+                    out.push(((*cur).key.load(), (*cur).value.load()));
+                }
+                cur = nw.ptr();
+            }
+        }
+        out
+    }
+
+    /// Quiescent: verifies structural invariants, returning the number of
+    /// live (unmarked) nodes.
+    ///
+    /// # Errors
+    ///
+    /// Describes the violation: unsorted keys, a reachable unmarked node
+    /// that is not sealed, or (when `allow_marked` is false, e.g. right
+    /// after recovery) a reachable marked node.
+    pub fn check_consistency(&self, allow_marked: bool) -> Result<usize, String> {
+        let mut live = 0;
+        let mut last_key: Option<K> = None;
+        unsafe {
+            let mut cur = (*self.head).next.load().ptr();
+            while !cur.is_null() {
+                let nw = (*cur).next.load();
+                if nw.is_marked() {
+                    if !allow_marked {
+                        return Err("reachable marked node after recovery".into());
+                    }
+                } else {
+                    if (*cur).vstart.peek_bits() != SEAL {
+                        return Err("reachable unmarked node is not sealed".into());
+                    }
+                    let k = (*cur).key.load();
+                    if let Some(prev) = last_key.take() {
+                        if prev >= k {
+                            return Err("keys not strictly increasing".into());
+                        }
+                    }
+                    last_key = Some(k);
+                    live += 1;
+                }
+                cur = nw.ptr();
+            }
+        }
+        Ok(live)
+    }
+
+    /// The SOFT recovery procedure: rebuild all links from the surviving
+    /// valid nodes (see the [module docs](self) for why each keep/drop
+    /// decision is durably linearizable). Quiescent.
+    pub fn recover_soft(&self) {
+        if !D::DURABLE {
+            return;
+        }
+        let candidates: Vec<usize> = self
+            .registry
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        type Live<K, V, B> = Vec<(K, NodePtr<K, V, B>)>;
+        let mut live: Live<K, V, D::B> = Vec::new();
+        for a in candidates {
+            let n = a as NodePtr<K, V, D::B>;
+            unsafe {
+                // Raw peeks: any of these words may have rolled back to
+                // poison (never persisted) under the simulator.
+                if (*n).vstart.peek_bits() == SEAL
+                    && (*n).vend.peek_bits() == SEAL
+                    && (*n).key.peek_bits() != POISON
+                    && (*n).value.peek_bits() != POISON
+                {
+                    live.push((K::from_bits((*n).key.peek_bits()), n));
+                }
+            }
+        }
+        live.sort_by_key(|&(k, _)| k);
+        live.dedup_by(|a, b| a.0 == b.0);
+        unsafe {
+            let mut pred = self.head;
+            for &(_, n) in &live {
+                (*pred).next.store(MarkedPtr::new(n));
+                pred = n;
+            }
+            (*pred).next.store(MarkedPtr::null());
+        }
+        D::before_return();
+    }
+}
+
+impl<K, V, D> TraversalOps for SoftList<K, V, D>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    type D = D;
+    type Input = SetOp<K, V>;
+    /// `Insert` → existing value if the key was present (failure);
+    /// `Remove`/`Get` → the value found.
+    type Output = Option<V>;
+    type Entry = NodePtr<K, V, D::B>;
+    type Window = SoftWindow<K, V, D::B>;
+
+    fn find_entry(&self, _guard: &Guard, _input: Self::Input) -> Self::Entry {
+        self.head
+    }
+
+    fn traverse(&self, _guard: &Guard, entry: Self::Entry, input: Self::Input) -> Self::Window {
+        let key = match input {
+            SetOp::Insert(k, _) | SetOp::Remove(k) | SetOp::Get(k) => k,
+        };
+        unsafe {
+            let head = entry;
+            let mut left = head;
+            let mut left_succ = D::t_load_link(&(*head).next);
+            let mut curr = head;
+            let mut succ = left_succ;
+            loop {
+                if !succ.is_marked() {
+                    if curr != head && Self::key_of(curr) >= key {
+                        break;
+                    }
+                    left = curr;
+                    left_succ = succ;
+                }
+                let nxt = succ.ptr();
+                if nxt.is_null() {
+                    curr = std::ptr::null_mut();
+                    break;
+                }
+                curr = nxt;
+                succ = D::t_load_link(&(*curr).next);
+            }
+            SoftWindow {
+                left,
+                left_succ,
+                right: curr,
+            }
+        }
+    }
+
+    fn collect_persist_set(&self, _w: &Self::Window, _out: &mut PersistSet) {
+        // Protocol 1 is empty under SOFT: there are no persistent links to
+        // make reachable, and the policy's `make_persistent` is a no-op.
+    }
+
+    fn critical(
+        &self,
+        guard: &Guard,
+        w: Self::Window,
+        input: Self::Input,
+    ) -> Critical<Self::Output> {
+        match input {
+            SetOp::Get(key) => {
+                if w.right.is_null() || Self::key_of(w.right) != key {
+                    Critical::Done(None)
+                } else if D::c_load(unsafe { &(*w.right).vstart }) != SEAL {
+                    // Tombstoned but not yet unlinked: logically absent.
+                    Critical::Done(None)
+                } else {
+                    Critical::Done(Some(D::load_fixed(unsafe { &(*w.right).value })))
+                }
+            }
+            SetOp::Insert(key, value) => {
+                if !self.trim(guard, &w) {
+                    return Critical::Restart;
+                }
+                if !w.right.is_null() && Self::key_of(w.right) == key {
+                    if D::c_load(unsafe { &(*w.right).vstart }) == SEAL {
+                        // Duplicate of a live node: insert fails.
+                        return Critical::Done(Some(D::load_fixed(unsafe { &(*w.right).value })));
+                    }
+                    // Tombstoned twin still linked: help mark it out of the
+                    // way, then retry against the updated list.
+                    let rn = unsafe { (*w.right).next.load() };
+                    if !rn.is_marked() {
+                        let _ = D::c_cas_link(unsafe { &(*w.right).next }, rn, rn.with_mark());
+                    }
+                    return Critical::Restart;
+                }
+                let Some(node) = Self::alloc_soft(SoftNode {
+                    vstart: PCell::new(SEAL),
+                    key: PCell::new(key),
+                    value: PCell::new(value),
+                    owner: PCell::new(self.owner_tag),
+                    vend: PCell::new(SEAL),
+                    next: PCell::new(Self::word_of(w.right)),
+                }) else {
+                    // Pool exhausted: report "no effect" through the
+                    // duplicate-shaped output (see `HarrisList::critical`).
+                    return Critical::Done(Some(value));
+                };
+                self.register(node);
+                // The insert's one flush: the persistent header (not the
+                // volatile link word behind it).
+                D::persist_new_node(node as *const u8, PERSIST_HDR);
+                let left_next = unsafe { &(*w.left).next };
+                match D::c_cas_link(left_next, Self::word_of(w.right), MarkedPtr::new(node)) {
+                    Ok(()) => Critical::Done(None),
+                    Err(_) => {
+                        self.unregister(node);
+                        unsafe { Self::free_soft(node) };
+                        Critical::Restart
+                    }
+                }
+            }
+            SetOp::Remove(key) => {
+                if !self.trim(guard, &w) {
+                    return Critical::Restart;
+                }
+                if w.right.is_null() || Self::key_of(w.right) != key {
+                    return Critical::Done(None);
+                }
+                // The durable linearization point: seal → tombstone, one
+                // flush, fenced by the operation's closing `before_return`.
+                match D::c_cas(unsafe { &(*w.right).vstart }, SEAL, TOMB) {
+                    Ok(_) => {
+                        let value = D::load_fixed(unsafe { &(*w.right).value });
+                        // Logical deletion done; now the volatile unlink,
+                        // Harris-style: mark, then best-effort splice (a
+                        // failed splice is finished by a later trim).
+                        loop {
+                            let rn = unsafe { (*w.right).next.load() };
+                            debug_assert!(!rn.is_marked(), "tombstoned node already marked");
+                            if D::c_cas_link(unsafe { &(*w.right).next }, rn, rn.with_mark())
+                                .is_ok()
+                            {
+                                let left_next = unsafe { &(*w.left).next };
+                                if D::c_cas_link(left_next, Self::word_of(w.right), rn).is_ok() {
+                                    unsafe { self.retire_soft(guard, w.right) };
+                                }
+                                break;
+                            }
+                        }
+                        Critical::Done(Some(value))
+                    }
+                    // Already tombstoned by a concurrent remove: a miss.
+                    Err(_) => Critical::Done(None),
+                }
+            }
+        }
+    }
+}
+
+impl<K, V, D> DurableSet<K, V> for SoftList<K, V, D>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    fn insert(&self, key: K, value: V) -> bool {
+        self.try_insert(key, value)
+            .expect("persistent pool exhausted (and volatile fallback would lose data)")
+    }
+
+    fn remove(&self, key: K) -> bool {
+        let _scope = self.ctx.enter();
+        let guard = self.collector.pin();
+        run_operation(self, &guard, SetOp::Remove(key)).is_some()
+    }
+
+    fn get(&self, key: K) -> Option<V> {
+        let guard = self.collector.pin();
+        run_operation(self, &guard, SetOp::Get(key))
+    }
+
+    fn len(&self) -> usize {
+        self.quiescent_len()
+    }
+
+    fn recover(&self) {
+        self.recover_soft();
+    }
+
+    fn try_insert(&self, key: K, value: V) -> Result<bool, OpError> {
+        let _scope = self.ctx.enter();
+        let guard = self.collector.pin();
+        clear_pool_full();
+        let existing = run_operation(self, &guard, SetOp::Insert(key, value));
+        if pool_full_seen() {
+            return Err(OpError::PoolFull);
+        }
+        Ok(existing.is_none())
+    }
+
+    fn try_remove(&self, key: K) -> Result<bool, OpError> {
+        Ok(self.remove(key))
+    }
+}
+
+use nvtraverse::detect::OpError;
+
+impl<K, V, D> PoolAttach for SoftList<K, V, D>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    fn create_in_pool(pool: &Pool, name: &str) -> io::Result<Self> {
+        let _scope = PoolCtx::of(pool).enter();
+        let list = Self::with_collector(Collector::new());
+        pool.set_root_ptr_checked(name, list.head)?;
+        Ok(list)
+    }
+
+    unsafe fn attach_to_pool(pool: &Pool, name: &str) -> Option<Self> {
+        let head = pool.attach_root_ptr::<SoftNode<K, V, D::B>>(name)?;
+        let _scope = PoolCtx::of(pool).enter();
+        let list = unsafe { Self::attach_at(head, Collector::new()) };
+        // Rebuild the node inventory from the pool's allocated blocks:
+        // links are volatile, so membership is proved by each candidate's
+        // persistent header (sealed, and owned by this list's head).
+        let node_size = std::mem::size_of::<SoftNode<K, V, D::B>>() as u64;
+        for (off, cap) in pool.live_payloads() {
+            if cap < node_size {
+                continue;
+            }
+            let p = pool.at(off) as NodePtr<K, V, D::B>;
+            if p == head {
+                continue;
+            }
+            unsafe {
+                if (*p).vstart.peek_bits() == SEAL
+                    && (*p).vend.peek_bits() == SEAL
+                    && (*p).owner.peek_bits() == head as u64
+                {
+                    list.register(p);
+                }
+            }
+        }
+        Some(list)
+    }
+
+    fn recover_attached(&self) {
+        self.recover_soft();
+    }
+
+    fn collector_of(&self) -> &Collector {
+        &self.collector
+    }
+}
+
+// SAFETY: SOFT reachability is not link-based — recovery keeps exactly the
+// sealed nodes owned by this list, linked or not — so the walk enumerates
+// the heap's allocated blocks and marks the ones whose persistent header
+// proves membership (`vstart == vend == SEAL`, `owner` = this root). A
+// valid-but-unlinked node (crash between the header flush and the link CAS)
+// is therefore kept, as the recovery-rebuild contract requires; in-flight
+// (unsealed) and tombstoned nodes are left for the sweep. Every candidate
+// pointer comes from `Marker::at`, which validates it first.
+unsafe impl<K, V, D> nvtraverse::PoolTrace for SoftList<K, V, D>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    unsafe fn trace(root: *mut u8, marker: &mut nvtraverse_pool::Marker<'_>) {
+        if !marker.mark(root) {
+            return;
+        }
+        unsafe {
+            crate::soft_list::soft_mark_owned::<K, V, D::B>(marker, &[root as u64]);
+        }
+    }
+}
+
+/// Shared SOFT mark helper: marks every allocated block whose persistent
+/// header is sealed and whose `owner` word is one of `owners` (sorted or
+/// not — the list is tiny for the list tracer, binary-searched for the hash
+/// tracer after sorting).
+///
+/// # Safety
+///
+/// Same contract as [`nvtraverse_pool::gc::TraceFn`]: called on a validated
+/// quiescent heap; only peeks header words of blocks `Marker::at` vouches
+/// for.
+pub(crate) unsafe fn soft_mark_owned<K: Word, V: Word, B: Backend>(
+    marker: &mut nvtraverse_pool::Marker<'_>,
+    owners: &[u64],
+) {
+    let node_size = std::mem::size_of::<SoftNode<K, V, B>>() as u64;
+    for (off, cap) in marker.allocated_payloads() {
+        if cap < node_size {
+            continue;
+        }
+        let Some(p) = marker.at(off) else { continue };
+        if owners.contains(&(p as u64)) {
+            continue; // a head sentinel itself
+        }
+        let n = p as *const SoftNode<K, V, B>;
+        unsafe {
+            if (*n).vstart.peek_bits() == SEAL
+                && (*n).vend.peek_bits() == SEAL
+                && owners.contains(&(*n).owner.peek_bits())
+            {
+                marker.mark(p);
+            }
+        }
+    }
+}
+
+impl<K, V, D> Default for SoftList<K, V, D>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V, D> fmt::Debug for SoftList<K, V, D>
+where
+    K: Word + Ord,
+    V: Word,
+    D: Durability,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SoftList")
+            .field("len", &self.quiescent_len())
+            .field("durable", &D::DURABLE)
+            .finish()
+    }
+}
+
+impl<K: Word, V: Word, D: Durability> Drop for SoftList<K, V, D> {
+    fn drop(&mut self) {
+        // Exclusive access: the registry is exactly the set of nodes still
+        // owned by the list (live, tombstoned-but-unspliced, or crash
+        // garbage); trimmed nodes were unregistered and handed to the
+        // collector. No link walk needed — poisoned links can't mislead us.
+        let reg = std::mem::take(&mut *self.registry.lock().unwrap_or_else(|e| e.into_inner()));
+        unsafe {
+            for a in reg {
+                Self::free_soft(a as NodePtr<K, V, D::B>);
+            }
+            Self::free_soft(self.head);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvtraverse::model::ModelSet;
+    use nvtraverse::policy::{Soft, Volatile};
+    use nvtraverse_pmem::{Clwb, Noop, Sim, SimHandle};
+
+    fn soft_smoke<D: Durability>() {
+        let l: SoftList<u64, u64, D> = SoftList::new();
+        assert!(l.is_empty());
+        assert!(l.insert(2, 20));
+        assert!(l.insert(1, 10));
+        assert!(l.insert(3, 30));
+        assert!(!l.insert(2, 99), "duplicate insert must fail");
+        assert_eq!(l.get(2), Some(20), "failed insert must not overwrite");
+        assert_eq!(l.len(), 3);
+        assert!(l.remove(2));
+        assert!(!l.remove(2));
+        assert_eq!(l.get(2), None);
+        assert_eq!(l.check_consistency(true).unwrap(), 2);
+        assert_eq!(l.iter_snapshot(), vec![(1, 10), (3, 30)], "must stay sorted");
+    }
+
+    #[test]
+    fn soft_semantics() {
+        soft_smoke::<Soft<Clwb>>();
+    }
+
+    #[test]
+    fn volatile_semantics() {
+        soft_smoke::<Volatile>();
+    }
+
+    #[test]
+    fn matches_model_on_random_sequential_workload() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let l: SoftList<u64, u64, Soft<Noop>> = SoftList::new();
+        let mut model = ModelSet::new();
+        for i in 0..3000u64 {
+            let k = rng.random_range(0..64);
+            match rng.random_range(0..3) {
+                0 => assert_eq!(l.insert(k, i), model.insert(k, i), "insert({k})"),
+                1 => assert_eq!(l.remove(k), model.remove(k), "remove({k})"),
+                _ => assert_eq!(l.get(k), model.get(k), "get({k})"),
+            }
+        }
+        assert_eq!(l.len(), model.len());
+        let pairs: Vec<(u64, u64)> = model.iter().collect();
+        assert_eq!(l.iter_snapshot(), pairs);
+    }
+
+    #[test]
+    fn concurrent_disjoint_ranges_keep_all_inserts() {
+        const THREADS: u64 = 4;
+        const PER: u64 = 300;
+        let l: SoftList<u64, u64, Soft<Clwb>> = SoftList::new();
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let l = &l;
+                s.spawn(move || {
+                    let base = t * PER;
+                    for k in base..base + PER {
+                        assert!(l.insert(k, k));
+                    }
+                    for k in (base..base + PER).step_by(3) {
+                        assert!(l.remove(k));
+                    }
+                });
+            }
+        });
+        let expected = (THREADS * PER) as usize - (THREADS as usize * PER.div_ceil(3) as usize);
+        assert_eq!(l.check_consistency(true).unwrap(), expected);
+    }
+
+    #[test]
+    fn concurrent_contended_single_key_is_coherent() {
+        use std::sync::atomic::{AtomicI64, Ordering};
+        let l: SoftList<u64, u64, Soft<Clwb>> = SoftList::new();
+        let balance = AtomicI64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let l = &l;
+                let balance = &balance;
+                s.spawn(move || {
+                    for i in 0..2000 {
+                        if i % 2 == 0 {
+                            if l.insert(42, 1) {
+                                balance.fetch_add(1, Ordering::Relaxed);
+                            }
+                        } else if l.remove(42) {
+                            balance.fetch_sub(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        let final_present = l.contains(42) as i64;
+        assert_eq!(balance.load(Ordering::Relaxed), final_present);
+        l.check_consistency(true).unwrap();
+    }
+
+    #[test]
+    fn recovery_rebuilds_links_from_sealed_nodes() {
+        let sim = SimHandle::new();
+        let guard = sim.enter();
+        let l: SoftList<u64, u64, Soft<Sim>> = SoftList::with_collector(Collector::leaking());
+        for k in [5u64, 1, 3, 2, 4] {
+            assert!(l.insert(k, k * 10));
+        }
+        assert!(l.remove(3));
+        // Crash: all link words (never flushed) roll back to poison; the
+        // validity headers survive.
+        unsafe { sim.crash_and_rollback() };
+        l.recover_soft();
+        assert_eq!(l.check_consistency(false).unwrap(), 4);
+        assert_eq!(
+            l.iter_snapshot(),
+            vec![(1, 10), (2, 20), (4, 40), (5, 50)],
+            "recovery must rebuild the sorted chain without the tombstoned key"
+        );
+        assert!(l.insert(3, 33), "list must be fully usable after recovery");
+        drop(l);
+        drop(guard);
+    }
+
+    #[test]
+    fn empty_list_operations() {
+        let l: SoftList<u64, u64, Soft<Noop>> = SoftList::new();
+        assert_eq!(l.get(1), None);
+        assert!(!l.remove(1));
+        assert_eq!(l.len(), 0);
+        assert!(l.is_empty());
+        assert_eq!(l.check_consistency(false).unwrap(), 0);
+        l.recover();
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn debug_format_mentions_len() {
+        let l: SoftList<u64, u64, Volatile> = SoftList::new();
+        l.insert(1, 1);
+        let s = format!("{l:?}");
+        assert!(s.contains("len"), "{s}");
+    }
+
+    /// The GC reachability rule, white-box: a sealed node no link reaches
+    /// (an insert that crashed between its header flush and its volatile
+    /// link CAS) must survive the open-time mark-sweep and be resurrected
+    /// by recovery, while a torn header (far-end seal missing) is garbage.
+    #[test]
+    fn gc_keeps_sealed_but_unlinked_nodes_and_sweeps_torn_ones() {
+        use nvtraverse::TypedRoots;
+        use nvtraverse_pmem::MmapBackend;
+        type L = SoftList<u64, u64, Soft<MmapBackend>>;
+
+        let path = std::env::temp_dir().join(format!(
+            "nvt-soft-orphan-{}.pool",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        {
+            let pool = Pool::builder().path(&path).capacity(1 << 20).create().unwrap();
+            let list = pool.create_root::<L>("s").unwrap();
+            assert!(list.insert(1, 10));
+            assert!(list.insert(2, 20));
+            let _scope = PoolCtx::of(list.pool()).enter();
+            // The durable footprint of an insert that crashed after its
+            // header flush, before publication: sealed + owned, unlinked,
+            // unregistered.
+            L::alloc_soft(SoftNode {
+                vstart: PCell::new(SEAL),
+                key: PCell::new(9u64),
+                value: PCell::new(90u64),
+                owner: PCell::new(list.head_ptr() as u64),
+                vend: PCell::new(SEAL),
+                next: PCell::new(MarkedPtr::null()),
+            })
+            .unwrap();
+            // And one that crashed *mid*-header-flush: vend never sealed.
+            L::alloc_soft(SoftNode {
+                vstart: PCell::new(SEAL),
+                key: PCell::new(11u64),
+                value: PCell::new(110u64),
+                owner: PCell::new(list.head_ptr() as u64),
+                vend: PCell::new(0),
+                next: PCell::new(MarkedPtr::null()),
+            })
+            .unwrap();
+            list.close().unwrap();
+        }
+
+        let pool = Pool::builder().path(&path).open().unwrap();
+        let report = pool.recovery_report();
+        assert!(report.gc_ran);
+        assert_eq!(report.reclaimed_blocks, 1, "exactly the torn node is garbage");
+        let list = pool.root::<L>("s").unwrap();
+        assert_eq!(
+            list.iter_snapshot(),
+            vec![(1, 10), (2, 20), (9, 90)],
+            "sealed-but-unlinked must be resurrected; torn must be dropped"
+        );
+        assert_eq!(list.check_consistency(false).unwrap(), 3);
+        drop(list);
+        drop(pool);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -16,6 +16,7 @@ use nvtraverse_ebr::Collector;
 use nvtraverse_pmem::sim::{install_quiet_panic_hook, run_crashable, SimHandle};
 use nvtraverse_pmem::{Backend, PCell, Sim, Word};
 use nvtraverse_structures::list::HarrisList;
+use nvtraverse_structures::soft_list::SoftList;
 use std::cell::{Cell, RefCell};
 
 /// A policy that claims durability but never flushes or fences: every
@@ -115,10 +116,55 @@ impl Durability for NoFence {
     fn before_return() {} // missing fence
 }
 
+/// SOFT with its single flush removed: validity headers are written and the
+/// closing fence still runs, but nothing is ever flushed — at a crash the
+/// seal words roll back and every completed update evaporates. SOFT's whole
+/// durability budget is that one header flush, so under-flushing it must be
+/// as detectable as gutting NVTraverse.
+#[derive(Debug, Clone, Copy, Default)]
+struct SoftUnderFlush;
+
+impl Durability for SoftUnderFlush {
+    type B = Sim;
+    const DURABLE: bool = true;
+    fn t_load<T: Word>(c: &PCell<T, Sim>) -> T {
+        c.load()
+    }
+    fn t_load_link<T>(c: &PCell<MarkedPtr<T>, Sim>) -> MarkedPtr<T> {
+        c.load()
+    }
+    fn ensure_reachable(_: *const u8) {}
+    fn make_persistent(_: &[*const u8]) {}
+    fn c_load<T: Word>(c: &PCell<T, Sim>) -> T {
+        c.load()
+    }
+    fn c_load_link<T>(c: &PCell<MarkedPtr<T>, Sim>) -> MarkedPtr<T> {
+        c.load()
+    }
+    fn c_store<T: Word>(c: &PCell<T, Sim>, v: T) {
+        c.store(v); // missing flush (Soft flushes here)
+    }
+    fn c_cas<T: Word>(c: &PCell<T, Sim>, cur: T, new: T) -> Result<T, T> {
+        c.compare_exchange(cur, new) // missing flush (Soft flushes here)
+    }
+    fn c_cas_link<T>(
+        c: &PCell<MarkedPtr<T>, Sim>,
+        cur: MarkedPtr<T>,
+        new: MarkedPtr<T>,
+    ) -> Result<(), MarkedPtr<T>> {
+        // Links are volatile under SOFT: plain CAS is correct here.
+        c.compare_exchange(cur, new).map(drop)
+    }
+    fn persist_new_node(_: *const u8, _: usize) {} // missing flush_range
+    fn before_return() {
+        Sim::fence(); // the fence alone persists nothing
+    }
+}
+
 /// Like `exhaustive_crash_test`, but collects violations instead of
 /// panicking, and without the structure-specific invariant checker (a broken
 /// policy may corrupt anything).
-fn count_violations<D: Durability<B = Sim>>() -> usize {
+fn count_violations_on<S: DurableSet<u64, u64>>(make: impl Fn() -> S) -> usize {
     install_quiet_panic_hook();
     let (prefill, workload) = standard_workload();
 
@@ -126,7 +172,7 @@ fn count_violations<D: Durability<B = Sim>>() -> usize {
     let (steps_before, steps_total) = {
         let sim = SimHandle::new();
         let g = sim.enter();
-        let s: HarrisList<u64, u64, D> = HarrisList::with_collector(Collector::leaking());
+        let s = make();
         for &(k, v) in &prefill {
             s.insert(k, v);
         }
@@ -154,7 +200,7 @@ fn count_violations<D: Durability<B = Sim>>() -> usize {
     for crash_at in steps_before + 1..=steps_total {
         let sim = SimHandle::new();
         let g = sim.enter();
-        let s: HarrisList<u64, u64, D> = HarrisList::with_collector(Collector::leaking());
+        let s = make();
         for &(k, v) in &prefill {
             s.insert(k, v);
         }
@@ -229,6 +275,10 @@ fn count_violations<D: Durability<B = Sim>>() -> usize {
     violations
 }
 
+fn count_violations<D: Durability<B = Sim>>() -> usize {
+    count_violations_on(|| HarrisList::<u64, u64, D>::with_collector(Collector::leaking()))
+}
+
 #[test]
 fn harness_catches_a_policy_that_never_flushes() {
     let violations = count_violations::<NoFlush>();
@@ -255,5 +305,26 @@ fn correct_policy_has_zero_violations_under_the_same_counter() {
     // the real transformation reports zero.
     use nvtraverse::policy::NvTraverse;
     let violations = count_violations::<NvTraverse<Sim>>();
+    assert_eq!(violations, 0);
+}
+
+#[test]
+fn harness_catches_an_under_flushing_soft_policy() {
+    let violations = count_violations_on(|| {
+        SoftList::<u64, u64, SoftUnderFlush>::with_collector(Collector::leaking())
+    });
+    assert!(
+        violations > 0,
+        "SOFT with its one header flush removed passed every crash point — \
+         either the sweep or the validity protocol is vacuous"
+    );
+}
+
+#[test]
+fn correct_soft_policy_has_zero_violations_under_the_same_counter() {
+    use nvtraverse::policy::Soft;
+    let violations = count_violations_on(|| {
+        SoftList::<u64, u64, Soft<Sim>>::with_collector(Collector::leaking())
+    });
     assert_eq!(violations, 0);
 }

@@ -42,7 +42,7 @@
 //! intent/ack log above is kept as a cross-check, not as the judge.
 
 use nvtraverse::detect::{DetectablePool, OpToken};
-use nvtraverse::policy::NvTraverse;
+use nvtraverse::policy::{NvTraverse, Soft};
 use nvtraverse::pool::Pool;
 use nvtraverse::{DurableSet, OpId, OpOutcome, PoolAttach, PooledHandle};
 use nvtraverse_pmem::{Backend, MmapBackend};
@@ -53,6 +53,8 @@ use nvtraverse_structures::nm_bst::NmBst;
 use nvtraverse_structures::queue::MsQueue;
 use nvtraverse_structures::sharded::ShardedSet;
 use nvtraverse_structures::skiplist::SkipList;
+use nvtraverse_structures::soft_hash::SoftHash;
+use nvtraverse_structures::soft_list::SoftList;
 use nvtraverse_structures::stack::TreiberStack;
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -66,6 +68,8 @@ type PooledEllen = EllenBst<u64, u64, NvTraverse<MmapBackend>>;
 type PooledNm = NmBst<u64, u64, NvTraverse<MmapBackend>>;
 type PooledQueue = MsQueue<u64, NvTraverse<MmapBackend>>;
 type PooledStack = TreiberStack<u64, NvTraverse<MmapBackend>>;
+type PooledSoftList = SoftList<u64, u64, Soft<MmapBackend>>;
+type PooledSoftHash = SoftHash<u64, u64, Soft<MmapBackend>>;
 
 const ROOT: &str = "crash-struct";
 const POOL_CAP: u64 = 16 << 20;
@@ -112,6 +116,8 @@ fn child_entry() {
         "skiplist" => set_child::<PooledSkip>(),
         "ellen" => set_child::<PooledEllen>(),
         "nm" => set_child::<PooledNm>(),
+        "soft-list" => set_child::<PooledSoftList>(),
+        "soft-hash" => set_child::<PooledSoftHash>(),
         "queue" => queue_child(),
         "stack" => stack_child(),
         "churn" => churn_child(),
@@ -634,6 +640,29 @@ fn sigkill_mid_workload_recovers_nm_bst() {
         2,
         |s| s.iter_snapshot(),
         |s| s.check_consistency(true),
+    );
+}
+
+#[test]
+fn sigkill_mid_workload_recovers_soft_list() {
+    // SOFT: the pool file holds no trustworthy link words at all — the
+    // reopen must rebuild the entire chain from the validity headers, and
+    // the recovery GC must keep sealed-but-unlinked nodes.
+    sigkill_set_roundtrip::<PooledSoftList>(
+        "soft-list",
+        3,
+        |s| s.iter_snapshot(),
+        |s| s.check_consistency(false),
+    );
+}
+
+#[test]
+fn sigkill_mid_workload_recovers_soft_hash() {
+    sigkill_set_roundtrip::<PooledSoftHash>(
+        "soft-hash",
+        2,
+        |s| s.iter_snapshot(),
+        |s| s.check_consistency(false),
     );
 }
 

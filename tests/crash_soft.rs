@@ -1,0 +1,123 @@
+//! Crash-point testing of the SOFT structures: every-crash-point sweeps
+//! over `SoftList`/`SoftHash` mixed histories.
+//!
+//! SOFT never persists a link word — the whole durable state is the set of
+//! per-node validity headers — so the thing these sweeps stress is exactly
+//! the recovery-rebuild contract: at *any* simulated memory event, killing
+//! the process and rebuilding the chains from the sealed nodes must yield a
+//! durably linearizable state. Runs again with `NVT_OBS=off` in CI (the
+//! telemetry kill-switch must not change crash behaviour).
+
+mod common;
+
+use common::{exhaustive_crash_test, standard_workload, Step};
+use nvtraverse::policy::Soft;
+use nvtraverse_ebr::Collector;
+use nvtraverse_pmem::sim::install_quiet_panic_hook;
+use nvtraverse_pmem::Sim;
+use nvtraverse_structures::soft_hash::SoftHash;
+use nvtraverse_structures::soft_list::SoftList;
+
+const MAX_POINTS: usize = 500;
+
+#[test]
+fn soft_list_survives_every_crash_point() {
+    install_quiet_panic_hook();
+    let (prefill, workload) = standard_workload();
+    let stats = exhaustive_crash_test(
+        || SoftList::<u64, u64, Soft<Sim>>::with_collector(Collector::leaking()),
+        &prefill,
+        &workload,
+        MAX_POINTS,
+        |l| l.check_consistency(false),
+    );
+    assert!(stats.crashed_runs > 0, "no crash point actually fired");
+    assert!(
+        stats.poisoned_cells_total > 0,
+        "the adversary never poisoned anything — the simulation is too tame"
+    );
+}
+
+/// Churn on a tiny key universe: the transitions SOFT's validity protocol
+/// is most exposed on — remove-then-reinsert of the same key (a tombstoned
+/// twin may still be linked when the reinsert traverses), duplicate inserts
+/// against both live and tombstoned nodes, and back-to-back updates whose
+/// only durable trace is a single validity word each.
+fn churn_workload() -> (Vec<(u64, u64)>, Vec<Step>) {
+    let prefill = vec![(5, 50), (7, 70)];
+    let workload = vec![
+        Step::Insert(5, 51), // duplicate of live key: must fail
+        Step::Remove(5),
+        Step::Insert(5, 52), // reinsert over the tombstone
+        Step::Remove(5),
+        Step::Insert(5, 53), // and again
+        Step::Get(5),
+        Step::Remove(7),
+        Step::Remove(7), // second remove: must fail
+        Step::Insert(6, 66),
+        Step::Remove(6),
+    ];
+    (prefill, workload)
+}
+
+#[test]
+fn soft_list_survives_every_crash_point_under_churn() {
+    install_quiet_panic_hook();
+    let (prefill, workload) = churn_workload();
+    let stats = exhaustive_crash_test(
+        || SoftList::<u64, u64, Soft<Sim>>::with_collector(Collector::leaking()),
+        &prefill,
+        &workload,
+        MAX_POINTS,
+        |l| l.check_consistency(false),
+    );
+    assert!(stats.crashed_runs > 0, "no crash point actually fired");
+}
+
+#[test]
+fn soft_hash_survives_every_crash_point() {
+    install_quiet_panic_hook();
+    let (prefill, workload) = standard_workload();
+    let stats = exhaustive_crash_test(
+        // Few buckets so chains actually share buckets *and* several
+        // buckets stay non-trivial: both the per-bucket rebuild and the
+        // cross-bucket ownership attribution get exercised.
+        || SoftHash::<u64, u64, Soft<Sim>>::with_collector(4, Collector::leaking()),
+        &prefill,
+        &workload,
+        MAX_POINTS,
+        |m| m.check_consistency(false),
+    );
+    assert!(stats.crashed_runs > 0, "no crash point actually fired");
+    assert!(
+        stats.poisoned_cells_total > 0,
+        "the adversary never poisoned anything — the simulation is too tame"
+    );
+}
+
+#[test]
+fn soft_hash_survives_every_crash_point_under_churn() {
+    install_quiet_panic_hook();
+    let (prefill, workload) = churn_workload();
+    exhaustive_crash_test(
+        || SoftHash::<u64, u64, Soft<Sim>>::with_collector(2, Collector::leaking()),
+        &prefill,
+        &workload,
+        MAX_POINTS,
+        |m| m.check_consistency(false),
+    );
+}
+
+#[test]
+fn soft_single_bucket_hash_degenerates_to_list_sweep() {
+    // One bucket: the hash table's sweep must match the raw list's.
+    install_quiet_panic_hook();
+    let (prefill, workload) = standard_workload();
+    exhaustive_crash_test(
+        || SoftHash::<u64, u64, Soft<Sim>>::with_collector(1, Collector::leaking()),
+        &prefill,
+        &workload,
+        MAX_POINTS,
+        |m| m.check_consistency(false),
+    );
+}

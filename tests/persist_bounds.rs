@@ -26,7 +26,7 @@
 //! instructions per op trips them.
 
 use nvtraverse::detect::OpTable;
-use nvtraverse::policy::NvTraverse;
+use nvtraverse::policy::{NvTraverse, Soft};
 use nvtraverse::DurableSet;
 use nvtraverse_obs as obs;
 use nvtraverse_pmem::{Count, Noop};
@@ -36,9 +36,12 @@ use nvtraverse_structures::list::HarrisList;
 use nvtraverse_structures::queue::MsQueue;
 use nvtraverse_structures::nm_bst::NmBst;
 use nvtraverse_structures::skiplist::SkipList;
+use nvtraverse_structures::soft_hash::SoftHash;
+use nvtraverse_structures::soft_list::SoftList;
 use nvtraverse_structures::stack::TreiberStack;
 
 type D = NvTraverse<Count<Noop>>;
+type SD = Soft<Count<Noop>>;
 
 /// Keys present before each measured operation (the structures should be
 /// non-trivially populated — an empty-structure op can take shortcuts).
@@ -224,6 +227,76 @@ fn list_detectable_delta() {
 #[test]
 fn hash_detectable_delta() {
     detectable_delta_bounds("hash", || HashMapDs::<u64, u64, D>::new(64));
+}
+
+// ---- SOFT: the minimal-flushing bound is *exact*, not a tripwire ----------
+
+/// Measures one SOFT insert, remove, hit-get and miss-get and pins their
+/// **exact** persistence costs: an update is one flush (the node's validity
+/// header, one 64-aligned cache line) plus the closing fence; a lookup
+/// flushes nothing and pays only the driver's closing fence. Unlike the
+/// NvTraverse bounds above there is no slack — SOFT's whole claim is that
+/// these are constants of the protocol, not of allocator state.
+fn soft_exact_bounds<S: DurableSet<u64, u64>>(name: &str, make: impl FnOnce() -> S) {
+    let s = make();
+    for k in 0..PREFILL {
+        assert!(s.insert(k * 2, k));
+    }
+    let ins = counted(|| assert!(s.insert(33, 33)));
+    let rem = counted(|| assert!(s.remove(16)));
+    let hit = counted(|| assert_eq!(s.get(14), Some(7)));
+    let miss = counted(|| assert_eq!(s.get(15), None));
+    let dup = counted(|| assert!(!s.insert(33, 99)));
+    assert_eq!(ins, (1, 1), "{name} insert: must be exactly 1 flush + 1 fence");
+    assert_eq!(rem, (1, 1), "{name} remove: must be exactly 1 flush + 1 fence");
+    assert_eq!(hit, (0, 1), "{name} get(hit): must flush nothing");
+    assert_eq!(miss, (0, 1), "{name} get(miss): must flush nothing");
+    assert_eq!(dup, (0, 1), "{name} duplicate insert: no effect, no flush");
+}
+
+#[test]
+fn soft_list_bounds() {
+    soft_exact_bounds("soft-list", SoftList::<u64, u64, SD>::new);
+}
+
+#[test]
+fn soft_hash_bounds() {
+    soft_exact_bounds("soft-hash", || SoftHash::<u64, u64, SD>::new(64));
+}
+
+/// The `soft_vs_nvt` figure's acceptance condition, pinned as a test: on
+/// the same state shape, SOFT's update costs **strictly fewer flushes**
+/// than the NVTraverse transformation, for both the list and the hash
+/// table. (NVTraverse must flush the new node *and* critical-window links;
+/// SOFT flushes one validity header.)
+fn assert_soft_strictly_cheaper(name: &str, nvt: (u64, u64), soft: (u64, u64)) {
+    assert!(
+        soft.0 < nvt.0,
+        "{name}: SOFT must flush strictly less than NvTraverse \
+         (soft {soft:?} vs nvt {nvt:?})"
+    );
+}
+
+#[test]
+fn soft_beats_nvtraverse_flush_counts() {
+    fn update_costs<S: DurableSet<u64, u64>>(make: impl FnOnce() -> S) -> ((u64, u64), (u64, u64)) {
+        let s = make();
+        for k in 0..PREFILL {
+            assert!(s.insert(k * 2, k));
+        }
+        let ins = counted(|| assert!(s.insert(33, 33)));
+        let rem = counted(|| assert!(s.remove(16)));
+        (ins, rem)
+    }
+    let (nvt_ins, nvt_rem) = update_costs(HarrisList::<u64, u64, D>::new);
+    let (soft_ins, soft_rem) = update_costs(SoftList::<u64, u64, SD>::new);
+    assert_soft_strictly_cheaper("list insert", nvt_ins, soft_ins);
+    assert_soft_strictly_cheaper("list remove", nvt_rem, soft_rem);
+
+    let (nvt_ins, nvt_rem) = update_costs(|| HashMapDs::<u64, u64, D>::new(64));
+    let (soft_ins, soft_rem) = update_costs(|| SoftHash::<u64, u64, SD>::new(64));
+    assert_soft_strictly_cheaper("hash insert", nvt_ins, soft_ins);
+    assert_soft_strictly_cheaper("hash remove", nvt_rem, soft_rem);
 }
 
 /// The bounds above are *attributed* counts; this pins the machinery they

@@ -8,7 +8,7 @@
 //! install), so these tests run concurrently — each on its own pool file,
 //! with no serializing mutex.
 
-use nvtraverse::policy::NvTraverse;
+use nvtraverse::policy::{NvTraverse, Soft};
 use nvtraverse::pool::Pool;
 use nvtraverse::{DurableSet, PooledHandle, TypedRoots};
 use nvtraverse_pmem::MmapBackend;
@@ -19,6 +19,8 @@ use nvtraverse_structures::nm_bst::NmBst;
 use nvtraverse_structures::pqueue::PriorityQueue;
 use nvtraverse_structures::queue::MsQueue;
 use nvtraverse_structures::skiplist::SkipList;
+use nvtraverse_structures::soft_hash::SoftHash;
+use nvtraverse_structures::soft_list::SoftList;
 use nvtraverse_structures::stack::TreiberStack;
 use std::path::PathBuf;
 
@@ -33,6 +35,8 @@ type PooledNm = NmBst<u64, u64, NvTraverse<MmapBackend>>;
 type PooledQueue = MsQueue<u64, NvTraverse<MmapBackend>>;
 type PooledStack = TreiberStack<u64, NvTraverse<MmapBackend>>;
 type PooledPq = PriorityQueue<u64, u64, NvTraverse<MmapBackend>>;
+type PooledSoftList = SoftList<u64, u64, Soft<MmapBackend>>;
+type PooledSoftHash = SoftHash<u64, u64, Soft<MmapBackend>>;
 
 fn tmp(name: &str) -> PathBuf {
     let p = std::env::temp_dir().join(format!(
@@ -556,5 +560,90 @@ fn legacy_shims_still_work() {
     let list = PooledSet::<PooledList>::open_or_create(&path, 2 << 20, "legacy").unwrap();
     assert_eq!(list.len(), 40);
     list.close().unwrap();
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// SOFT keeps every link word volatile, so a close/reopen loses the entire
+/// chain by construction — attach must rebuild it from nothing but the
+/// per-node validity headers. This is the single-process version of the
+/// recovery-rebuild contract (the SIGKILL version is `crash_process.rs`).
+#[test]
+fn soft_list_survives_close_and_reopen() {
+    let path = tmp("soft-list");
+
+    {
+        let list = create_pooled::<PooledSoftList>(&path, 4 << 20, "set").unwrap();
+        for k in 0..200u64 {
+            assert!(list.insert(k, k * 10));
+        }
+        for k in (0..200u64).step_by(4) {
+            assert!(list.remove(k));
+        }
+        assert_eq!(list.len(), 150);
+        list.close().unwrap();
+    }
+
+    {
+        let list = open_pooled::<PooledSoftList>(&path, "set").unwrap();
+        // GC ran, and the marks from this root are exactly the head
+        // sentinel plus one mark per sealed node: SOFT reachability is
+        // proved by header, not by following (volatile, now-stale) links.
+        let report = list.pool().recovery_report();
+        assert!(report.gc_ran);
+        assert_eq!(
+            report.root_marks,
+            vec![("set".to_string(), 151)],
+            "marks must be the sentinel + every sealed node"
+        );
+        assert_eq!(list.check_consistency(false).unwrap(), 150);
+        for k in 0..200u64 {
+            if k % 4 == 0 {
+                assert_eq!(list.get(k), None, "removed key {k} resurrected");
+            } else {
+                assert_eq!(list.get(k), Some(k * 10), "lost key {k}");
+            }
+        }
+        // The reopened structure is fully usable.
+        assert!(list.insert(1000, 1));
+        assert!(list.remove(1000));
+        list.close().unwrap();
+    }
+
+    // And once more, to prove reopen does not degrade the pool.
+    let list = open_pooled::<PooledSoftList>(&path, "set").unwrap();
+    assert_eq!(list.len(), 150);
+    drop(list);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn soft_hash_survives_close_and_reopen() {
+    let path = tmp("soft-hash");
+
+    {
+        let map = create_pooled::<PooledSoftHash>(&path, 8 << 20, "kv").unwrap();
+        for k in 0..500u64 {
+            assert!(map.insert(k, k ^ 0xABCD));
+        }
+        for k in (0..500u64).step_by(3) {
+            assert!(map.remove(k));
+        }
+        map.close().unwrap();
+    }
+
+    let map = open_pooled::<PooledSoftHash>(&path, "kv").unwrap();
+    assert!(map.pool().recovery_report().gc_ran);
+    map.check_consistency(false).unwrap();
+    for k in 0..500u64 {
+        if k % 3 == 0 {
+            assert_eq!(map.get(k), None);
+        } else {
+            assert_eq!(map.get(k), Some(k ^ 0xABCD));
+        }
+    }
+    // Still fully usable after the per-bucket rebuild.
+    assert!(map.insert(10_000, 1));
+    assert_eq!(map.get(10_000), Some(1));
+    drop(map);
     std::fs::remove_file(&path).unwrap();
 }
