@@ -1304,15 +1304,17 @@ impl Pool {
     /// nodes instead of chasing links (the SOFT variants: links are
     /// volatile, membership is proved by each node's persistent validity
     /// header) rebuild their node inventory from this at attach time.
-    pub fn live_payloads(&self) -> Vec<(u64, u64)> {
-        self.verify_heap()
-            .map(|r| {
-                r.live
-                    .iter()
-                    .map(|&(o, cap)| (o + BLOCK_HEADER, cap))
-                    .collect()
-            })
-            .unwrap_or_default()
+    ///
+    /// A heap-verification failure is an error, not an empty live set:
+    /// attach must fail loudly rather than present a corrupt pool as an
+    /// empty structure.
+    pub fn live_payloads(&self) -> Result<Vec<(u64, u64)>, String> {
+        self.verify_heap().map(|r| {
+            r.live
+                .iter()
+                .map(|&(o, cap)| (o + BLOCK_HEADER, cap))
+                .collect()
+        })
     }
 }
 

@@ -13,7 +13,7 @@
 //! all buckets), distributing each sealed node to the bucket its `owner`
 //! word names; see [`crate::soft_list`] for the node-level contract.
 
-use crate::soft_list::{SoftList, SoftNode, SEAL};
+use crate::soft_list::{HdrProbe, SoftList, SoftNode};
 use nvtraverse::alloc::PoolCtx;
 use nvtraverse::detect::OpError;
 use nvtraverse::policy::Durability;
@@ -220,7 +220,7 @@ where
         // registries).
         heads.sort_unstable();
         let node_size = std::mem::size_of::<SoftNode<K, V, D::B>>() as u64;
-        for (off, cap) in pool.live_payloads() {
+        for (off, cap) in pool.live_payloads().ok()? {
             if cap < node_size {
                 continue;
             }
@@ -228,12 +228,21 @@ where
             if heads.binary_search_by_key(&(p as u64), |h| h.0).is_ok() {
                 continue; // a bucket head itself
             }
-            unsafe {
-                if (*p).vstart.peek_bits() == SEAL && (*p).vend.peek_bits() == SEAL {
-                    if let Ok(i) = heads.binary_search_by_key(&(*p).owner.peek_bits(), |h| h.0) {
+            match unsafe { crate::soft_list::probe_header(p) } {
+                HdrProbe::Live { owner, seq, .. } => {
+                    if let Ok(i) = heads.binary_search_by_key(&owner, |h| h.0) {
                         buckets[heads[i].1].register(p);
+                        buckets[heads[i].1].note_seq(seq);
                     }
                 }
+                // Durably removed but not yet reused: keep the owning
+                // bucket's seq counter ahead of it.
+                HdrProbe::Tomb { owner, seq } => {
+                    if let Ok(i) = heads.binary_search_by_key(&owner, |h| h.0) {
+                        buckets[heads[i].1].note_seq(seq);
+                    }
+                }
+                HdrProbe::Invalid => {}
             }
         }
         Some(SoftHash {

@@ -14,51 +14,81 @@
 //!
 //! # Node layout and the validity protocol
 //!
-//! A node is six 64-bit words; the first five are the *persistent header*,
+//! A node is seven 64-bit words; the first six are the *persistent header*,
 //! the last is the volatile link:
 //!
 //! ```text
-//! [ vstart | key | value | owner | vend ]  [ next ]
-//!   ^--------- flushed once ----------^    never flushed
+//! [ vstart | key | value | owner | seq | vend ]  [ next ]
+//!   ^------------- flushed once -------------^    never flushed
 //! ```
 //!
-//! * insert: initialize the header with `vstart = vend = SEAL`, flush the
+//! `vstart` and `vend` are not constants: they are the two halves of a
+//! **content-bound seal** (`hdr_seals`), a checksum pair over
+//! `(key, value, owner, seq)`. A header counts as durably inserted only if
+//! *both* seal words match the seals recomputed from the header's own data
+//! words. This is what SOFT's per-chunk alternating validity bits buy in
+//! the original paper, obtained here without allocator cooperation:
+//!
+//! * a **torn header** (crash while the insert's flush was in flight) has
+//!   some subset of its words durable; any mix of old and new words fails
+//!   the checksum, so it can never be mistaken for a valid node;
+//! * a **recycled block** cannot replay its previous life: `seq` is drawn
+//!   from a per-list monotonic counter, so even a reinsert of the same
+//!   key/value produces different seal words, and a crash that persists
+//!   only part of the new header leaves bits that validate as nothing —
+//!   in particular, a durably *removed* key can never be resurrected by
+//!   reusing its old block (each free path also durably tombstones the
+//!   header before the block returns to the allocator).
+//!
+//! The protocol:
+//!
+//! * insert: initialize the header with the computed seal pair, flush the
 //!   header (one cache line on the volatile path — the node is 64-aligned),
 //!   link with a plain CAS, fence before returning. The insert is durably
 //!   linearized at that fence.
-//! * remove: CAS `vstart` from `SEAL` to `TOMB` and flush it (the durable
+//! * remove: CAS `vstart` from its seal to `TOMB` and flush it (the durable
 //!   linearization point, made durable by the closing fence), then unlink
 //!   with plain volatile CASes exactly like Harris's list.
-//! * `vend` seals the far end of the header so a torn header (crash while
-//!   the flush was in flight) can never be mistaken for a valid node; the
-//!   `owner` word names the owning list (its head sentinel's address), so
-//!   recovery in a pool shared by several structures attributes each node
-//!   to the right one.
+//! * the `owner` word names the owning list (its head sentinel's address),
+//!   so recovery in a pool shared by several structures attributes each
+//!   node to the right one.
 //!
 //! # Recovery-rebuild contract
 //!
 //! The list keeps a volatile *registry* of its allocated nodes (maintained
 //! at allocate/retire time; reconstructed from the pool's allocated-block
 //! inventory on attach). [`SoftList::recover_soft`] scans the registry,
-//! keeps exactly the nodes whose header survives as
-//! `vstart == vend == SEAL`, sorts them by key, and rewrites the whole
-//! chain with plain stores. A node whose seal never became durable was an
-//! in-flight insert (its operation had not fenced, hence had not returned):
-//! dropping it is durably linearizable. A sealed node that was never linked
-//! (crash between flush and the link CAS) is *kept* — which is also
-//! correct, because its insert had not returned either, and resurrecting an
-//! in-flight insert is one of the two allowed outcomes. The same rule is
-//! why the recovery GC's tracer must keep valid-but-unlinked nodes (see
-//! `PoolTrace` below).
+//! keeps exactly the nodes whose header probes as live (`probe_header`),
+//! sorts them by key, and rewrites the whole chain with plain stores. A
+//! node whose seal never became durable was an in-flight insert (its
+//! operation had not fenced, hence had not returned): dropping it is
+//! durably linearizable. A sealed node that was never linked (crash between
+//! flush and the link CAS) is *kept* — which is also correct, because its
+//! insert had not returned either, and resurrecting an in-flight insert is
+//! one of the two allowed outcomes. The same rule is why the recovery GC's
+//! tracer must keep valid-but-unlinked nodes (see `PoolTrace` below).
+//!
+//! When two sealed nodes survive with the same key (possible only with
+//! concurrent writers — e.g. a remove whose tombstone flush never became
+//! durable racing a completed reinsert), recovery keeps the **newest**
+//! insert (highest `seq` — the one whose effect could have been returned
+//! to a caller) and durably tombstones and frees the stale twins, so no
+//! later crash can resurrect them either.
 //!
 //! # Concurrency caveat
 //!
 //! Like the original SOFT, readers here do not help persist concurrently
 //! in-flight updates: an operation's effect is durable only once *its own*
-//! closing fence ran. The exhaustive crash sweep (`tests/crash_soft.rs`)
-//! drives sequential histories, where the gap is unobservable; a
-//! multi-threaded deployment that needs strict durable linearizability for
-//! dependent readers would add SOFT's `pValid` helping bit.
+//! closing fence ran. The same gap exists between concurrent *writers*: a
+//! racing update's durable point is its own fence, so a crash can surface
+//! header combinations no sequential history produces — the keep-newest
+//! rule above resolves the remove-vs-reinsert shape, but (absent SOFT's
+//! `pValid` helping bit) a reader- or writer-dependent operation that
+//! returned before the operation it depends on fenced is not covered. The
+//! exhaustive crash sweep (`tests/crash_soft.rs`) drives sequential
+//! histories, where the gap is unobservable; a multi-threaded deployment
+//! that needs strict durable linearizability for dependent operations
+//! would add SOFT's `pValid` helping bit.
 
 use nvtraverse::alloc::{clear_pool_full, free, pool_full_seen, try_alloc_node, PoolCtx};
 use nvtraverse::marked::MarkedPtr;
@@ -71,31 +101,113 @@ use nvtraverse_pool::Pool;
 use std::fmt;
 use std::io;
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// `vstart`/`vend` value of a live (inserted) node. Distinctive bit pattern:
-/// a stray word is effectively never mistaken for a seal.
-pub(crate) const SEAL: u64 = 0x5EA1_5EA1_5EA1_5EA1;
 /// `vstart` value of a durably removed node.
 pub(crate) const TOMB: u64 = 0x70B5_70B5_70B5_70B5;
 
 /// The persistent header prefix of a [`SoftNode`]: `vstart`, `key`,
-/// `value`, `owner`, `vend` — everything **except** the volatile link.
-pub(crate) const PERSIST_HDR: usize = 5 * 8;
+/// `value`, `owner`, `seq`, `vend` — everything **except** the volatile
+/// link.
+pub(crate) const PERSIST_HDR: usize = 6 * 8;
+
+/// SplitMix64 finalizer (same mixer as the op-descriptor checksum in
+/// `nvtraverse_pool::optable`).
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The reserved words a computed seal must dodge: [`TOMB`] (a seal equal to
+/// it would read as removed) and [`POISON`] (the simulator refuses to store
+/// its own poison pattern).
+fn dodge_reserved(w: u64) -> u64 {
+    if w == TOMB || w == POISON {
+        w ^ 1
+    } else {
+        w
+    }
+}
+
+/// Computes a header's content-bound seal pair `(vstart, vend)` from its
+/// data words. A header is durably live iff both stored seal words equal
+/// the pair recomputed from its stored data words — so a crash that
+/// persists any *mix* of one node generation's words with another's (torn
+/// flush, recycled block) yields a header that validates as nothing. `seq`
+/// comes from the owning list's monotonic allocation counter, which is what
+/// distinguishes two generations that inserted the same key and value.
+pub(crate) fn hdr_seals(key: u64, value: u64, owner: u64, seq: u64) -> (u64, u64) {
+    let mut h = 0x5EA1_5EA1_5EA1_5EA1u64;
+    for w in [key, value, owner, seq] {
+        h = mix64(h ^ w).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    }
+    (dodge_reserved(h), dodge_reserved(mix64(h)))
+}
+
+/// What a raw scan of a candidate block's header words proves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum HdrProbe {
+    /// Both seal words match the data words: a durably inserted node.
+    Live { key: u64, owner: u64, seq: u64 },
+    /// `vstart` is [`TOMB`] and `vend` still matches: durably removed.
+    Tomb { owner: u64, seq: u64 },
+    /// Anything else — torn, in-flight, recycled, or foreign bits.
+    Invalid,
+}
+
+/// Classifies a candidate header from raw (never-faulting) word peeks.
+///
+/// # Safety
+///
+/// `n` must point to at least [`PERSIST_HDR`] bytes of readable, 8-aligned
+/// memory (any allocated block of node size qualifies — the words need not
+/// be a real node; arbitrary bits classify as `Invalid`).
+pub(crate) unsafe fn probe_header<K: Word, V: Word, B: Backend>(
+    n: *const SoftNode<K, V, B>,
+) -> HdrProbe {
+    let (vstart, key, value, owner, seq, vend) = unsafe {
+        (
+            (*n).vstart.peek_bits(),
+            (*n).key.peek_bits(),
+            (*n).value.peek_bits(),
+            (*n).owner.peek_bits(),
+            (*n).seq.peek_bits(),
+            (*n).vend.peek_bits(),
+        )
+    };
+    let (s0, s1) = hdr_seals(key, value, owner, seq);
+    if vend != s1 {
+        return HdrProbe::Invalid;
+    }
+    if vstart == s0 {
+        HdrProbe::Live { key, owner, seq }
+    } else if vstart == TOMB {
+        HdrProbe::Tomb { owner, seq }
+    } else {
+        HdrProbe::Invalid
+    }
+}
 
 /// One SOFT node. Field order is the layout contract documented in the
-/// [module docs](self): five persistent header words, then the volatile
+/// [module docs](self): six persistent header words, then the volatile
 /// link. Exposed (with private fields) because it appears in the
 /// [`TraversalOps`] associated types; user code never constructs nodes.
 #[repr(C)]
 pub struct SoftNode<K: Word, V: Word, B: Backend> {
-    /// Validity word: `SEAL` while the node is live, `TOMB` once removed.
+    /// Validity word: the content-bound seal ([`hdr_seals`]) while the node
+    /// is live, `TOMB` once removed.
     pub(crate) vstart: PCell<u64, B>,
     pub(crate) key: PCell<K, B>,
     pub(crate) value: PCell<V, B>,
     /// Address of the owning list's head sentinel (0 for sentinels):
     /// attributes the node to its structure when a pool holds several.
     pub(crate) owner: PCell<u64, B>,
+    /// Per-list monotonic allocation number: makes each node generation's
+    /// seals unique (recycled blocks can't replay) and orders duplicate
+    /// survivors for recovery's keep-newest rule.
+    pub(crate) seq: PCell<u64, B>,
     /// Far-end seal: proves the header flush was not torn.
     pub(crate) vend: PCell<u64, B>,
     /// Volatile link: never flushed, rebuilt by recovery.
@@ -109,7 +221,7 @@ impl<K: Word, V: Word, B: Backend> fmt::Debug for SoftNode<K, V, B> {
 }
 
 /// Cache-line-aligned box for the volatile allocation path: a 64-aligned
-/// node puts the 40-byte persistent header in exactly one cache line, so
+/// node puts the 48-byte persistent header in exactly one cache line, so
 /// the insert's header flush is deterministically one flush under the
 /// counting backend (the pool path provides 16-byte alignment and its own
 /// backend). `repr(C)` wrapper: a `*mut AlignedNode` is a `*mut SoftNode`.
@@ -154,6 +266,10 @@ pub struct SoftList<K: Word, V: Word, D: Durability> {
     registry: Mutex<Vec<usize>>,
     /// `head as u64` — the value written into every node's `owner` word.
     owner_tag: u64,
+    /// Allocation counter feeding each node's `seq` word. Resumed past the
+    /// highest durable `seq` on attach/recovery so node generations never
+    /// repeat within one list (the seal-uniqueness invariant).
+    next_seq: AtomicU64,
     _marker: PhantomData<fn() -> D>,
 }
 
@@ -181,6 +297,7 @@ where
             key: PCell::new(K::from_bits(0)),
             value: PCell::new(V::from_bits(0)),
             owner: PCell::new(0),
+            seq: PCell::new(0),
             vend: PCell::new(0),
             next: PCell::new(MarkedPtr::null()),
         })
@@ -194,6 +311,7 @@ where
             ctx: PoolCtx::current(),
             registry: Mutex::new(Vec::new()),
             owner_tag: head as u64,
+            next_seq: AtomicU64::new(1),
             _marker: PhantomData,
         }
     }
@@ -226,6 +344,7 @@ where
             ctx: PoolCtx::current(),
             registry: Mutex::new(Vec::new()),
             owner_tag: head as u64,
+            next_seq: AtomicU64::new(1),
             _marker: PhantomData,
         }
     }
@@ -294,6 +413,14 @@ impl<K: Word, V: Word, D: Durability> SoftList<K, V, D> {
         if let Some(i) = reg.iter().position(|&a| a == p as usize) {
             reg.swap_remove(i);
         }
+    }
+
+    /// Advances the allocation counter past a `seq` recovered from a
+    /// durable header, so fresh nodes never repeat a generation already on
+    /// the heap (called while rebuilding the inventory at attach time and
+    /// again by [`SoftList::recover_soft`]).
+    pub(crate) fn note_seq(&self, seq: u64) {
+        self.next_seq.fetch_max(seq + 1, Ordering::Relaxed);
     }
 }
 
@@ -392,8 +519,8 @@ where
                         return Err("reachable marked node after recovery".into());
                     }
                 } else {
-                    if (*cur).vstart.peek_bits() != SEAL {
-                        return Err("reachable unmarked node is not sealed".into());
+                    if !matches!(probe_header(cur), HdrProbe::Live { .. }) {
+                        return Err("reachable unmarked node is not durably sealed".into());
                     }
                     let k = (*cur).key.load();
                     if let Some(prev) = last_key.take() {
@@ -422,33 +549,59 @@ where
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .clone();
-        type Live<K, V, B> = Vec<(K, NodePtr<K, V, B>)>;
+        type Live<K, V, B> = Vec<(K, u64, NodePtr<K, V, B>)>;
         let mut live: Live<K, V, D::B> = Vec::new();
+        let mut max_seq = 0u64;
         for a in candidates {
             let n = a as NodePtr<K, V, D::B>;
-            unsafe {
-                // Raw peeks: any of these words may have rolled back to
-                // poison (never persisted) under the simulator.
-                if (*n).vstart.peek_bits() == SEAL
-                    && (*n).vend.peek_bits() == SEAL
-                    && (*n).key.peek_bits() != POISON
-                    && (*n).value.peek_bits() != POISON
-                {
-                    live.push((K::from_bits((*n).key.peek_bits()), n));
+            // Raw peeks: any of these words may have rolled back to poison
+            // (never persisted) under the simulator; the seal checksum
+            // rejects every such header without key-filtering real data.
+            match unsafe { probe_header(n) } {
+                HdrProbe::Live { key, seq, .. } => {
+                    max_seq = max_seq.max(seq);
+                    live.push((K::from_bits(key), seq, n));
                 }
+                HdrProbe::Tomb { seq, .. } => max_seq = max_seq.max(seq),
+                HdrProbe::Invalid => {}
             }
         }
-        live.sort_by_key(|&(k, _)| k);
-        live.dedup_by(|a, b| a.0 == b.0);
+        self.note_seq(max_seq);
+        // Newest generation first within each key: duplicate sealed nodes
+        // only arise from crashed concurrent writers (e.g. a remove whose
+        // tombstone flush never drained racing a completed reinsert), and
+        // the newest insert is the one whose effect a caller could have
+        // been told about.
+        live.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        let mut stale: Vec<NodePtr<K, V, D::B>> = Vec::new();
         unsafe {
             let mut pred = self.head;
-            for &(_, n) in &live {
+            let mut i = 0;
+            while i < live.len() {
+                let (key, _, n) = live[i];
                 (*pred).next.store(MarkedPtr::new(n));
                 pred = n;
+                i += 1;
+                while i < live.len() && live[i].0 == key {
+                    stale.push(live[i].2);
+                    i += 1;
+                }
             }
             (*pred).next.store(MarkedPtr::null());
+            // Durably tombstone the stale twins so no later crash can
+            // resurrect them, then free them — fence first: the blocks must
+            // not reach the allocator (nor, under the simulator, drop their
+            // cell registrations) until the tombstones have drained.
+            for &n in &stale {
+                (*n).vstart.store(TOMB);
+                D::B::flush((*n).vstart.addr());
+            }
         }
         D::before_return();
+        for n in stale {
+            self.unregister(n);
+            unsafe { Self::free_soft(n) };
+        }
     }
 }
 
@@ -519,8 +672,9 @@ where
             SetOp::Get(key) => {
                 if w.right.is_null() || Self::key_of(w.right) != key {
                     Critical::Done(None)
-                } else if D::c_load(unsafe { &(*w.right).vstart }) != SEAL {
-                    // Tombstoned but not yet unlinked: logically absent.
+                } else if D::c_load(unsafe { &(*w.right).vstart }) == TOMB {
+                    // Tombstoned but not yet unlinked: logically absent. (A
+                    // linked node's `vstart` is either its seal or `TOMB`.)
                     Critical::Done(None)
                 } else {
                     Critical::Done(Some(D::load_fixed(unsafe { &(*w.right).value })))
@@ -531,7 +685,7 @@ where
                     return Critical::Restart;
                 }
                 if !w.right.is_null() && Self::key_of(w.right) == key {
-                    if D::c_load(unsafe { &(*w.right).vstart }) == SEAL {
+                    if D::c_load(unsafe { &(*w.right).vstart }) != TOMB {
                         // Duplicate of a live node: insert fails.
                         return Critical::Done(Some(D::load_fixed(unsafe { &(*w.right).value })));
                     }
@@ -543,12 +697,15 @@ where
                     }
                     return Critical::Restart;
                 }
+                let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+                let (s0, s1) = hdr_seals(key.to_bits(), value.to_bits(), self.owner_tag, seq);
                 let Some(node) = Self::alloc_soft(SoftNode {
-                    vstart: PCell::new(SEAL),
+                    vstart: PCell::new(s0),
                     key: PCell::new(key),
                     value: PCell::new(value),
                     owner: PCell::new(self.owner_tag),
-                    vend: PCell::new(SEAL),
+                    seq: PCell::new(seq),
+                    vend: PCell::new(s1),
                     next: PCell::new(Self::word_of(w.right)),
                 }) else {
                     // Pool exhausted: report "no effect" through the
@@ -564,6 +721,17 @@ where
                     Ok(()) => Critical::Done(None),
                     Err(_) => {
                         self.unregister(node);
+                        // The sealed-header flush above may still drain at
+                        // some later fence even though the node was never
+                        // published. Durably tombstone it before the block
+                        // returns to the allocator, so a recycled block can
+                        // never replay this generation's seal (an off-hot-
+                        // path fence: contended retries only).
+                        unsafe {
+                            (*node).vstart.store(TOMB);
+                            D::B::flush((*node).vstart.addr());
+                        }
+                        D::before_return();
                         unsafe { Self::free_soft(node) };
                         Critical::Restart
                     }
@@ -578,15 +746,26 @@ where
                 }
                 // The durable linearization point: seal → tombstone, one
                 // flush, fenced by the operation's closing `before_return`.
-                match D::c_cas(unsafe { &(*w.right).vstart }, SEAL, TOMB) {
+                // The expected seal is recomputed from the node's immutable
+                // words; a concurrent remove already tombstoned it iff the
+                // CAS misses.
+                let value = D::load_fixed(unsafe { &(*w.right).value });
+                let seq = D::load_fixed(unsafe { &(*w.right).seq });
+                let (s0, _) = hdr_seals(key.to_bits(), value.to_bits(), self.owner_tag, seq);
+                match D::c_cas(unsafe { &(*w.right).vstart }, s0, TOMB) {
                     Ok(_) => {
-                        let value = D::load_fixed(unsafe { &(*w.right).value });
                         // Logical deletion done; now the volatile unlink,
                         // Harris-style: mark, then best-effort splice (a
                         // failed splice is finished by a later trim).
                         loop {
                             let rn = unsafe { (*w.right).next.load() };
-                            debug_assert!(!rn.is_marked(), "tombstoned node already marked");
+                            if rn.is_marked() {
+                                // An inserter that saw our tombstone helped
+                                // mark the node (the duplicate path); the
+                                // physical unlink — and the retire — is a
+                                // later trim's job.
+                                break;
+                            }
                             if D::c_cas_link(unsafe { &(*w.right).next }, rn, rn.with_mark())
                                 .is_ok()
                             {
@@ -676,7 +855,7 @@ where
         // links are volatile, so membership is proved by each candidate's
         // persistent header (sealed, and owned by this list's head).
         let node_size = std::mem::size_of::<SoftNode<K, V, D::B>>() as u64;
-        for (off, cap) in pool.live_payloads() {
+        for (off, cap) in pool.live_payloads().ok()? {
             if cap < node_size {
                 continue;
             }
@@ -684,13 +863,17 @@ where
             if p == head {
                 continue;
             }
-            unsafe {
-                if (*p).vstart.peek_bits() == SEAL
-                    && (*p).vend.peek_bits() == SEAL
-                    && (*p).owner.peek_bits() == head as u64
-                {
+            match unsafe { probe_header(p) } {
+                HdrProbe::Live { owner, seq, .. } if owner == head as u64 => {
                     list.register(p);
+                    list.note_seq(seq);
                 }
+                HdrProbe::Tomb { owner, seq } if owner == head as u64 => {
+                    // Durably removed but not yet reused: don't register,
+                    // but keep the seq counter ahead of it.
+                    list.note_seq(seq);
+                }
+                _ => {}
             }
         }
         Some(list)
@@ -708,7 +891,7 @@ where
 // SAFETY: SOFT reachability is not link-based — recovery keeps exactly the
 // sealed nodes owned by this list, linked or not — so the walk enumerates
 // the heap's allocated blocks and marks the ones whose persistent header
-// proves membership (`vstart == vend == SEAL`, `owner` = this root). A
+// probes as live ([`probe_header`]) with `owner` = this root. A
 // valid-but-unlinked node (crash between the header flush and the link CAS)
 // is therefore kept, as the recovery-rebuild contract requires; in-flight
 // (unsealed) and tombstoned nodes are left for the sweep. Every candidate
@@ -730,9 +913,9 @@ where
 }
 
 /// Shared SOFT mark helper: marks every allocated block whose persistent
-/// header is sealed and whose `owner` word is one of `owners` (sorted or
-/// not — the list is tiny for the list tracer, binary-searched for the hash
-/// tracer after sorting).
+/// header probes as [`HdrProbe::Live`] with an `owner` word in `owners`
+/// (sorted or not — the slice is tiny for the list tracer, a bucket-head
+/// array for the hash tracer).
 ///
 /// # Safety
 ///
@@ -753,13 +936,13 @@ pub(crate) unsafe fn soft_mark_owned<K: Word, V: Word, B: Backend>(
             continue; // a head sentinel itself
         }
         let n = p as *const SoftNode<K, V, B>;
-        unsafe {
-            if (*n).vstart.peek_bits() == SEAL
-                && (*n).vend.peek_bits() == SEAL
-                && owners.contains(&(*n).owner.peek_bits())
-            {
+        match unsafe { probe_header(n) } {
+            HdrProbe::Live { owner, .. } if owners.contains(&owner) => {
                 marker.mark(p);
             }
+            // Tombstoned nodes are durably removed: sweeping them is what
+            // GC is for. Invalid headers are torn/in-flight: also swept.
+            _ => {}
         }
     }
 }
@@ -974,23 +1157,28 @@ mod tests {
             assert!(list.insert(2, 20));
             let _scope = PoolCtx::of(list.pool()).enter();
             // The durable footprint of an insert that crashed after its
-            // header flush, before publication: sealed + owned, unlinked,
-            // unregistered.
+            // header flush, before publication: fully sealed + owned,
+            // unlinked, unregistered.
+            let owner = list.head_ptr() as u64;
+            let (s0, s1) = hdr_seals(9, 90, owner, 1000);
             L::alloc_soft(SoftNode {
-                vstart: PCell::new(SEAL),
+                vstart: PCell::new(s0),
                 key: PCell::new(9u64),
                 value: PCell::new(90u64),
-                owner: PCell::new(list.head_ptr() as u64),
-                vend: PCell::new(SEAL),
+                owner: PCell::new(owner),
+                seq: PCell::new(1000),
+                vend: PCell::new(s1),
                 next: PCell::new(MarkedPtr::null()),
             })
             .unwrap();
             // And one that crashed *mid*-header-flush: vend never sealed.
+            let (t0, _) = hdr_seals(11, 110, owner, 1001);
             L::alloc_soft(SoftNode {
-                vstart: PCell::new(SEAL),
+                vstart: PCell::new(t0),
                 key: PCell::new(11u64),
                 value: PCell::new(110u64),
-                owner: PCell::new(list.head_ptr() as u64),
+                owner: PCell::new(owner),
+                seq: PCell::new(1001),
                 vend: PCell::new(0),
                 next: PCell::new(MarkedPtr::null()),
             })
@@ -1012,5 +1200,108 @@ mod tests {
         drop(list);
         drop(pool);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The block-reuse hazard, word-level: a freed node's persisted words
+    /// (tombstoned generation A) overlaid with any *partial* persist of the
+    /// reusing generation B must classify as garbage — never as a live
+    /// header of either generation — even when both generations carry the
+    /// same key and value.
+    #[test]
+    fn recycled_block_word_mixtures_never_probe_live() {
+        let owner = 0xABCu64;
+        let (a0, a1) = hdr_seals(7, 70, owner, 3);
+        let (b0, b1) = hdr_seals(7, 70, owner, 9);
+        assert_ne!(a0, b0, "seq must distinguish same-content generations");
+        let mk = |vstart, seq, vend| SoftNode::<u64, u64, Noop> {
+            vstart: PCell::new(vstart),
+            key: PCell::new(7),
+            value: PCell::new(70),
+            owner: PCell::new(owner),
+            seq: PCell::new(seq),
+            vend: PCell::new(vend),
+            next: PCell::new(MarkedPtr::null()),
+        };
+        // Generation A's full header: live before the remove, a tombstone
+        // after (what the allocator hands out for reuse).
+        assert!(matches!(
+            unsafe { probe_header(&mk(a0, 3, a1)) },
+            HdrProbe::Live { seq: 3, .. }
+        ));
+        assert!(matches!(
+            unsafe { probe_header(&mk(TOMB, 3, a1)) },
+            HdrProbe::Tomb { seq: 3, .. }
+        ));
+        // A crash persisting only generation B's vstart over the freed
+        // block: the REVIEW scenario that used to resurrect old data.
+        assert_eq!(unsafe { probe_header(&mk(b0, 3, a1)) }, HdrProbe::Invalid);
+        // Every other partial overlay is equally invalid.
+        assert_eq!(unsafe { probe_header(&mk(TOMB, 3, b1)) }, HdrProbe::Invalid);
+        assert_eq!(unsafe { probe_header(&mk(b0, 9, a1)) }, HdrProbe::Invalid);
+        assert_eq!(unsafe { probe_header(&mk(a0, 9, b1)) }, HdrProbe::Invalid);
+        // Only generation B's complete header is live again.
+        assert!(matches!(
+            unsafe { probe_header(&mk(b0, 9, b1)) },
+            HdrProbe::Live { seq: 9, .. }
+        ));
+    }
+
+    /// Two durably sealed nodes for one key — the wreckage of a remove
+    /// whose tombstone flush never drained racing a completed reinsert —
+    /// must resolve to the *newest* generation, and the stale twin must be
+    /// durably retired so no later crash resurrects it.
+    #[test]
+    fn recovery_keeps_the_newest_duplicate_and_durably_retires_the_stale_twin() {
+        type L = SoftList<u64, u64, Soft<Sim>>;
+        let sim = SimHandle::new();
+        let guard = sim.enter();
+        let l: L = SoftList::with_collector(Collector::leaking());
+        let owner = l.owner_tag;
+        for (value, seq) in [(10u64, 5u64), (20, 9)] {
+            let (s0, s1) = hdr_seals(1, value, owner, seq);
+            let n = L::alloc_soft(SoftNode {
+                vstart: PCell::new(s0),
+                key: PCell::new(1u64),
+                value: PCell::new(value),
+                owner: PCell::new(owner),
+                seq: PCell::new(seq),
+                vend: PCell::new(s1),
+                next: PCell::new(MarkedPtr::null()),
+            })
+            .unwrap();
+            l.register(n);
+            Soft::<Sim>::persist_new_node(n as *const u8, PERSIST_HDR);
+        }
+        Soft::<Sim>::before_return();
+        unsafe { sim.crash_and_rollback() };
+        l.recover_soft();
+        assert_eq!(l.get(1), Some(20), "keep-newest: the reinsert's value wins");
+        assert_eq!(l.check_consistency(false).unwrap(), 1);
+        // The seq counter must have resumed past both generations.
+        assert!(l.next_seq.load(Ordering::Relaxed) > 9);
+        // Remove the survivor, crash, recover: the stale (1, 10) twin must
+        // not come back from the dead.
+        assert!(l.remove(1));
+        unsafe { sim.crash_and_rollback() };
+        l.recover_soft();
+        assert_eq!(l.get(1), None, "stale twin resurrected after a later crash");
+        assert_eq!(l.check_consistency(false).unwrap(), 0);
+        drop(l);
+        drop(guard);
+    }
+
+    /// The simulator reserves `0xDEAD_BEEF_DEAD_BEEF` as its rollback
+    /// poison, but on a real backend those bits are ordinary data: recovery
+    /// must never key-filter them away.
+    #[test]
+    fn poison_looking_bits_are_ordinary_data_on_a_real_backend() {
+        const BITS: u64 = 0xDEAD_BEEF_DEAD_BEEF;
+        let l: SoftList<u64, u64, Soft<Clwb>> = SoftList::new();
+        assert!(l.insert(BITS, BITS));
+        assert!(l.insert(1, 10));
+        l.recover_soft();
+        assert_eq!(l.get(BITS), Some(BITS), "recovery dropped poison-shaped data");
+        assert_eq!(l.get(1), Some(10));
+        assert_eq!(l.check_consistency(false).unwrap(), 2);
     }
 }

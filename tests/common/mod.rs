@@ -46,9 +46,12 @@ pub struct CrashStats {
 /// it with a crash injected at every selected step (exhaustively when the
 /// span is small, evenly sampled otherwise), validating after each crash.
 ///
-/// `factory` must build the structure with a `Sim`-backed policy and a
-/// leaking collector. `check` is the structure's own invariant checker
-/// (e.g. `check_consistency(false)` after recovery).
+/// `factory` must build the structure with a `Sim`-backed policy. A
+/// leaking collector gives the purest sweep (no block reuse between crash
+/// points); a reclaiming collector additionally stresses the
+/// free/rollback interactions (the structure must fence tombstones before
+/// blocks reach the allocator). `check` is the structure's own invariant
+/// checker (e.g. `check_consistency(false)` after recovery).
 ///
 /// # Panics
 ///

@@ -108,6 +108,46 @@ fn soft_hash_survives_every_crash_point_under_churn() {
     );
 }
 
+/// The leaking-collector sweeps above never return a block to the
+/// allocator, so they cannot see free/reuse hazards (a freed node's pending
+/// flushes draining after the block moved on, or a recycled block replaying
+/// a stale header). A reclaiming collector closes that gap: every remove's
+/// trimmed node is actually freed once the epoch advances, so the sweep
+/// crosses tombstone-flush/fence/free boundaries at every crash point.
+///
+/// Caveat: the simulator models *reallocated* memory as fresh cells (a
+/// freed cell's persisted words do not carry over to the next owner at the
+/// same address), so the stale-header-replay half of the hazard is pinned
+/// by word-level unit tests in `soft_list` instead
+/// (`recycled_block_word_mixtures_never_probe_live`).
+#[test]
+fn soft_list_survives_every_crash_point_with_a_reclaiming_collector() {
+    install_quiet_panic_hook();
+    let (prefill, workload) = churn_workload();
+    let stats = exhaustive_crash_test(
+        || SoftList::<u64, u64, Soft<Sim>>::with_collector(Collector::new()),
+        &prefill,
+        &workload,
+        MAX_POINTS,
+        |l| l.check_consistency(false),
+    );
+    assert!(stats.crashed_runs > 0, "no crash point actually fired");
+}
+
+#[test]
+fn soft_hash_survives_every_crash_point_with_a_reclaiming_collector() {
+    install_quiet_panic_hook();
+    let (prefill, workload) = standard_workload();
+    let stats = exhaustive_crash_test(
+        || SoftHash::<u64, u64, Soft<Sim>>::with_collector(4, Collector::new()),
+        &prefill,
+        &workload,
+        MAX_POINTS,
+        |m| m.check_consistency(false),
+    );
+    assert!(stats.crashed_runs > 0, "no crash point actually fired");
+}
+
 #[test]
 fn soft_single_bucket_hash_degenerates_to_list_sweep() {
     // One bucket: the hash table's sweep must match the raw list's.
