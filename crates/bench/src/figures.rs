@@ -619,7 +619,7 @@ pub fn soft_vs_nvt(mode: Mode) {
 pub const ALL_FIGURES: &[&str] = &[
     "fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig5f", "fig6g", "fig6h", "fig6i", "fig6j",
     "fig6k", "fig6l", "fig6m", "fig6n", "fig6o", "abl1", "abl2", "soft_vs_nvt",
-    "alloc_scaling", "pool_structs", "pool_shards", "persist_ops",
+    "alloc_scaling", "pool_structs", "pool_shards", "persist_ops", "kv_service",
 ];
 
 /// Runs one figure by id (or `all`).
@@ -651,6 +651,7 @@ pub fn run_figure(id: &str, mode: Mode) {
         "pool_structs" | "pool-structs" => crate::pool_structs::run(mode),
         "pool_shards" | "pool-shards" => crate::pool_shards::run(mode),
         "persist_ops" | "persist-ops" => crate::persist_ops::run(mode),
+        "kv_service" | "kv-service" => crate::kv_service::run(mode),
         "all" => {
             for f in ALL_FIGURES {
                 run_figure(f, mode);

@@ -1,0 +1,115 @@
+//! `kv_service`: the networked KV front-end under YCSB-style load —
+//! throughput, tail latency, and **fences per operation** as the batch
+//! size grows.
+//!
+//! This is the figure the server's fence-amortization path exists for.
+//! Each point starts a fresh store (NVTraverse or SOFT policy) behind a
+//! `nvtraverse-server` UDS endpoint, prefills half the key space, then
+//! drives it with seeded zipfian closed-loop clients (YCSB mix A, 50%
+//! reads / 50% updates — the mix where fences dominate). Batch size B is
+//! the x-parameter folded into the series name: every client frame
+//! carries B operations sharing one closing `sfence` server-side, so
+//! fences/op must fall toward the per-op floor minus 1 as B grows — and
+//! under SOFT, whose *only* fence is the closing one, toward exactly
+//! 1/B.
+//!
+//! Fence counts come from the server's obs metric set (every handler
+//! thread attributes there), diffed around the measured window and
+//! divided by the ops delta — measured attribution, not arithmetic from
+//! the model.
+//!
+//! Series are `<policy>-b<batch>` (policy `nvt`/`soft`), x = client
+//! threads, metrics `mops`, `p50_us`, `p99_us`, `fences_per_op`.
+
+use crate::figures::Mode;
+use nvtraverse_server::{
+    Client, KvStore, Mix, PolicyKind, Server, ServerConfig, YcsbCfg, run_ycsb,
+};
+use std::time::Duration;
+
+const KEYS: u64 = 4096;
+const SHARDS: usize = 4;
+const SHARD_CAP: u64 = 16 << 20;
+const THETA: f64 = 0.99;
+const SEED: u64 = 42;
+
+fn service_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("nvt-kv-service-{}-{tag}", std::process::id()))
+}
+
+/// One point: fresh store + server on a UDS, prefill, YCSB-A burst,
+/// returns `(mops, p50_us, p99_us, fences_per_op)`.
+fn point(policy: PolicyKind, batch: usize, threads: usize, secs: f64) -> (f64, f64, f64, f64) {
+    let tag = format!("{}-b{batch}-t{threads}", policy.name());
+    let dir = service_dir(&tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    let sock = std::env::temp_dir().join(format!("{tag}-{}.sock", std::process::id()));
+
+    let store = KvStore::create(&dir, policy, SHARDS, SHARD_CAP).unwrap();
+    let server = Server::start_uds(&sock, store, ServerConfig::default()).unwrap();
+
+    // Prefill half the key space through the wire (zipf ranks are the keys).
+    let mut c = Client::connect_uds(&sock).unwrap();
+    for k in 0..KEYS / 2 {
+        c.insert(k, k.wrapping_mul(3)).unwrap();
+    }
+    drop(c);
+
+    let fences_before: u64 = server.metrics().snapshot().fences.iter().sum();
+    let ops_before = server.ops_executed();
+    let cfg = YcsbCfg {
+        keys: KEYS,
+        theta: THETA,
+        seed: SEED,
+        mix: Mix::A,
+        batch,
+        duration: Duration::from_secs_f64(secs),
+        threads,
+    };
+    let report = run_ycsb(|| Client::connect_uds(&sock), &cfg).unwrap();
+    let fences_after: u64 = server.metrics().snapshot().fences.iter().sum();
+    let ops_after = server.ops_executed();
+
+    server.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let ops_delta = ops_after.saturating_sub(ops_before).max(1);
+    let fences_per_op = fences_after.saturating_sub(fences_before) as f64 / ops_delta as f64;
+    (report.mops(), report.p50_us(), report.p99_us(), fences_per_op)
+}
+
+/// Runs the sweep: policy × batch size × client threads.
+pub fn run(mode: Mode) {
+    let (batches, threads_sweep, secs): (Vec<usize>, Vec<usize>, f64) = match mode {
+        Mode::Quick => (vec![1, 8], vec![2], 0.15),
+        Mode::Full => (vec![1, 4, 16, 64], vec![1, 2, 4], 0.5),
+    };
+    let obs_on = nvtraverse_obs::enabled();
+
+    println!("\n== kv_service: YCSB-A over the KV server, policy x batch x threads ==");
+    println!(
+        "{:>14}{:>9}{:>10}{:>12}{:>10}{:>10}{:>12}",
+        "series", "threads", "batch", "mops", "p50_us", "p99_us", "fences/op"
+    );
+    for policy in [PolicyKind::NvTraverse, PolicyKind::Soft] {
+        for &batch in &batches {
+            let series = format!("{}-b{batch}", policy.name());
+            for &threads in &threads_sweep {
+                let (mops, p50, p99, fpo) = point(policy, batch, threads, secs);
+                println!(
+                    "{series:>14}{threads:>9}{batch:>10}{mops:>12.3}{p50:>10.1}{p99:>10.1}{fpo:>12.3}"
+                );
+                let x = threads.to_string();
+                crate::json::record("kv_service", &series, &x, "mops", mops);
+                crate::json::record("kv_service", &series, &x, "p50_us", p50);
+                crate::json::record("kv_service", &series, &x, "p99_us", p99);
+                if obs_on {
+                    crate::json::record("kv_service", &series, &x, "fences_per_op", fpo);
+                }
+            }
+        }
+    }
+    if !obs_on {
+        println!("(fences/op omitted: NVT_OBS is off, so fence attribution is disabled)");
+    }
+}

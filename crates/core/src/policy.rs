@@ -24,6 +24,14 @@
 //!
 //! Each implementation of the trait is one of the systems compared in the
 //! paper's evaluation; see the crate-level table.
+//!
+//! The closing fence of every durable policy routes through
+//! [`nvtraverse_pmem::batch`]: inside a
+//! [`FenceBatch`](nvtraverse_pmem::batch::FenceBatch) scope it is deferred
+//! to the batch's single shared fence (the server's group-commit path);
+//! outside any scope it is issued immediately, exactly as the protocols
+//! place it. Only `before_return` defers — every other fence orders stores
+//! for concurrent helpers and stays put.
 
 use crate::marked::MarkedPtr;
 use nvtraverse_obs as obs;
@@ -255,6 +263,9 @@ impl<B: Backend> Durability for NvTraverse<B> {
     }
     #[inline]
     fn before_return() {
+        if nvtraverse_pmem::batch::defer_closing_fence() {
+            return; // absorbed by the enclosing FenceBatch
+        }
         let _p = obs::phase(obs::Phase::Critical);
         B::fence();
     }
@@ -357,6 +368,9 @@ impl<B: Backend> Durability for Izraelevitz<B> {
     }
     #[inline(always)]
     fn before_return() {
+        if nvtraverse_pmem::batch::defer_closing_fence() {
+            return; // absorbed by the enclosing FenceBatch
+        }
         let _p = obs::phase(obs::Phase::Critical);
         B::fence();
     }
@@ -480,6 +494,9 @@ impl<B: Backend> Durability for LinkPersist<B> {
     }
     #[inline]
     fn before_return() {
+        if nvtraverse_pmem::batch::defer_closing_fence() {
+            return; // absorbed by the enclosing FenceBatch
+        }
         let _p = obs::phase(obs::Phase::Critical);
         B::fence();
     }
@@ -574,6 +591,9 @@ impl<B: Backend> Durability for Soft<B> {
     }
     #[inline]
     fn before_return() {
+        if nvtraverse_pmem::batch::defer_closing_fence() {
+            return; // absorbed by the enclosing FenceBatch
+        }
         let _p = obs::phase(obs::Phase::Critical);
         B::fence();
     }
@@ -776,6 +796,24 @@ mod tests {
         });
         assert_eq!(r, Ok(1));
         assert_eq!((rem.flushes, rem.fences), (1, 1));
+    }
+
+    #[test]
+    fn before_return_defers_inside_a_fence_batch() {
+        use nvtraverse_pmem::batch::FenceBatch;
+        let (d, _) = counted(|| {
+            let b = FenceBatch::<CB>::begin();
+            for _ in 0..4 {
+                NvTraverse::<CB>::before_return();
+                Soft::<CB>::before_return();
+            }
+            assert_eq!(b.close(), 8, "every closing fence must defer");
+        });
+        assert_eq!(d.fences, 1, "eight deferred closing fences, one sfence");
+
+        // Outside a batch the protocols are unchanged.
+        let (d, _) = counted(NvTraverse::<CB>::before_return);
+        assert_eq!(d.fences, 1);
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Minimal transport erasure: one stream/listener type over UDS and TCP.
+//!
+//! The server is dependency-free by design (ROADMAP constraint: no async
+//! runtime), so this is plain `std::net` / `std::os::unix::net` behind
+//! two small enums. Blocking I/O everywhere; the accept loops run their
+//! listeners non-blocking and poll a shutdown flag.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+
+/// A connected byte stream (UDS or TCP).
+#[derive(Debug)]
+pub(crate) enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    pub(crate) fn try_clone(&self) -> io::Result<Stream> {
+        Ok(match self {
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+        })
+    }
+
+    /// Shuts down both directions, unblocking any thread in `read`.
+    pub(crate) fn shutdown_both(&self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound accept socket (UDS or TCP).
+#[derive(Debug)]
+pub(crate) enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    pub(crate) fn try_clone(&self) -> io::Result<Listener> {
+        Ok(match self {
+            Listener::Unix(l) => Listener::Unix(l.try_clone()?),
+            Listener::Tcp(l) => Listener::Tcp(l.try_clone()?),
+        })
+    }
+
+    pub(crate) fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Listener::Unix(l) => l.set_nonblocking(nb),
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+        }
+    }
+
+    pub(crate) fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Unix(l) => {
+                let (s, _) = l.accept()?;
+                // Accepted sockets inherit O_NONBLOCK from the listener on
+                // some platforms; handlers want blocking reads.
+                s.set_nonblocking(false)?;
+                Ok(Stream::Unix(s))
+            }
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(false)?;
+                let _ = s.set_nodelay(true);
+                Ok(Stream::Tcp(s))
+            }
+        }
+    }
+
+    pub(crate) fn tcp_addr(&self) -> Option<SocketAddr> {
+        match self {
+            Listener::Tcp(l) => l.local_addr().ok(),
+            Listener::Unix(_) => None,
+        }
+    }
+}

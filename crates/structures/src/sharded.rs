@@ -81,6 +81,19 @@ fn mix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Which of `shards` shards a key (by its bit pattern) routes to — the
+/// routing function of every sharded set, exposed so remote clients (the
+/// `nvtraverse-server` client library) can predict a key's shard without
+/// holding the set. Deterministic and stable across processes and
+/// versions: it is part of the on-disk format.
+///
+/// # Panics
+///
+/// Panics when `shards` is 0 (a sharded set always has at least one).
+pub fn shard_route(key_bits: u64, shards: usize) -> usize {
+    (mix(key_bits) % shards as u64) as usize
+}
+
 fn shard_file(dir: &Path, i: usize) -> PathBuf {
     dir.join(format!("shard-{i:03}.pool"))
 }
@@ -320,9 +333,10 @@ impl<S: PoolAttach> ShardedSet<S> {
         self.shards.iter()
     }
 
-    /// Which shard a key (by its bit pattern) routes to.
+    /// Which shard a key (by its bit pattern) routes to —
+    /// [`shard_route`]`(key_bits, self.shard_count())`.
     pub fn shard_index_of(&self, key_bits: u64) -> usize {
-        (mix(key_bits) % self.shards.len() as u64) as usize
+        shard_route(key_bits, self.shards.len())
     }
 
     /// One [`RecoveryReport`] per shard, in shard order — N independent
@@ -568,6 +582,49 @@ mod tests {
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
+    /// The aggregate [`ShardedSet::metrics_snapshot`] must equal the
+    /// element-wise sum of the per-shard snapshots at a quiescent point —
+    /// the determinism contract the KV server's STATS reply and the
+    /// `kv_service` figure's fences/op attribution both lean on.
+    #[test]
+    fn metrics_snapshot_is_the_sum_of_the_shards() {
+        if !nvtraverse_obs::enabled() {
+            return; // NVT_OBS=off: nothing is recorded, nothing to pin
+        }
+        let dir = tmp_dir("metrics");
+        let set = ShardedSet::<List>::create(&dir, 3, 1 << 20).unwrap();
+        for k in 0..64u64 {
+            // Attribute each op to its shard's pool, as the server does.
+            let _t =
+                nvtraverse_obs::attribute_to(Some(set.shard(set.shard_index_of(k)).pool().metrics()));
+            set.insert(k, k);
+        }
+        let parts = set.metrics_snapshots();
+        assert_eq!(parts.len(), 3);
+        let mut summed = nvtraverse_obs::Snapshot::default();
+        for p in &parts {
+            summed.merge(p);
+        }
+        let aggregate = set.metrics_snapshot();
+        assert_eq!(aggregate, summed, "aggregate must be the shard-wise sum");
+        assert!(
+            parts.iter().all(|p| p.total_flushes() > 0),
+            "64 keys over 3 shards must flush in every shard"
+        );
+        assert_eq!(
+            aggregate.total_flushes(),
+            parts.iter().map(|p| p.total_flushes()).sum::<u64>()
+        );
+        assert_eq!(
+            aggregate.total_fences(),
+            parts.iter().map(|p| p.total_fences()).sum::<u64>()
+        );
+        // Deterministic while quiescent: asking again changes nothing.
+        assert_eq!(set.metrics_snapshot(), aggregate);
+        set.close().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
     /// Keys must route deterministically, within bounds, and (for a
     /// non-trivial key range) touch every shard.
     #[test]
@@ -579,6 +636,11 @@ mod tests {
             let i = set.shard_index_of(k);
             assert!(i < 4);
             assert_eq!(i, set.shard_index_of(k), "routing must be deterministic");
+            assert_eq!(
+                i,
+                shard_route(k, 4),
+                "the free routing function must agree with the set"
+            );
             seen[i] = true;
         }
         assert!(seen.iter().all(|&s| s), "256 keys must reach all 4 shards");

@@ -6,4 +6,5 @@ pub use nvtraverse_ebr as ebr;
 pub use nvtraverse_obs as obs;
 pub use nvtraverse_onefile as onefile;
 pub use nvtraverse_pmem as pmem;
+pub use nvtraverse_server as server;
 pub use nvtraverse_structures as structures;

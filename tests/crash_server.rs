@@ -1,0 +1,375 @@
+//! SIGKILL the KV *server* mid-load, restart it, and hold it to its acks:
+//! every reply a client received before the kill must name durable state,
+//! and every operation a client logged must be answerable by id through
+//! the wire `OP_OUTCOME` protocol after the restart.
+//!
+//! The server runs as a child process (re-exec of this test binary, same
+//! trick as `tests/crash_process.rs`); the clients are threads in the
+//! parent, each keeping a write-ahead intent/ack log (`fsync`ed line by
+//! line) of its detectable operations:
+//!
+//! * `i <k> <shard> <predicted-opid|->` — a detectable insert is about to
+//!   be sent. The predicted id is `(slot, last acked seq + 1)` for the
+//!   key's shard — computable because the client learned the shard's slot
+//!   from its first ack and shard routing (`shard_route`) is a stable
+//!   function of the key.
+//! * `I <k> <shard> <opid>` — the insert's reply arrived (applied).
+//! * `r`/`R` — same pair for detectable removes.
+//! * `B <k>` — a *plain* insert acked inside a BATCH frame: group commit
+//!   promises the batch fence ran before this ack escaped, so the key
+//!   must survive the kill exactly like a detectable ack.
+//!
+//! After each kill the parent restarts the server (`open_or_create` ⇒
+//! full per-shard recovery + op-table classification) and asserts, for
+//! the union of all rounds so far:
+//!
+//! * acked insert, no remove intent ⇒ key present with its value;
+//! * acked remove ⇒ key absent;
+//! * remove intent without ack ⇒ either outcome (in flight at the kill);
+//! * every logged OpId — acked or predicted-in-flight — answers
+//!   something other than `Unknown` via `OP_OUTCOME`, and acked ops never
+//!   answer `NotApplied`.
+//!
+//! Three consecutive rounds (the ISSUE 9 acceptance bar), same store
+//! directory throughout, so each restart also re-recovers the previous
+//! rounds' state.
+
+use nvtraverse_server::{Client, OutcomeAnswer, Request};
+use nvtraverse_structures::sharded::shard_route;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+const SHARDS: usize = 3;
+const CLIENTS: usize = 2;
+const ROUNDS: u64 = 3;
+/// Acks (of any kind) each client must bank before the round's kill.
+const MIN_ACKS_PER_CLIENT: usize = 120;
+
+fn base_paths() -> (PathBuf, PathBuf) {
+    let base = std::env::temp_dir();
+    let dir = base.join(format!("nvt-crash-srv-{}", std::process::id()));
+    let sock = base.join(format!("nvt-crash-srv-{}.sock", std::process::id()));
+    (dir, sock)
+}
+
+// ---- server child ----------------------------------------------------------
+
+/// Child-process entry point (no-op in a normal test run): opens or
+/// creates the store — open *is* recovery — serves it on the UDS from the
+/// environment, and parks until the parent SIGKILLs it.
+#[test]
+fn child_entry() {
+    let Ok(kind) = std::env::var("NVT_SRV_CHILD") else {
+        return;
+    };
+    assert_eq!(kind, "server", "unknown NVT_SRV_CHILD kind {kind:?}");
+    let dir = std::env::var("NVT_SRV_DIR").unwrap();
+    let sock = std::env::var("NVT_SRV_SOCK").unwrap();
+    let store = nvtraverse_server::KvStore::open_or_create(
+        &dir,
+        nvtraverse_server::PolicyKind::NvTraverse,
+        SHARDS,
+        8 << 20,
+    )
+    .unwrap();
+    let server =
+        nvtraverse_server::Server::start_uds(&sock, store, Default::default()).unwrap();
+    // Parked until the wire SHUTDOWN between rounds; the mid-round exit is
+    // the parent's SIGKILL, which never reaches the graceful path below.
+    server.wait_for_shutdown_request();
+    server.shutdown().unwrap();
+    std::process::exit(0);
+}
+
+fn spawn_server(dir: &Path, sock: &Path) -> std::process::Child {
+    let exe = std::env::current_exe().unwrap();
+    std::process::Command::new(exe)
+        .args(["--exact", "child_entry", "--test-threads=1", "--nocapture"])
+        .env("NVT_SRV_CHILD", "server")
+        .env("NVT_SRV_DIR", dir)
+        .env("NVT_SRV_SOCK", sock)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap()
+}
+
+fn await_server(sock: &Path, child: &mut std::process::Child) -> Client {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(mut c) = Client::connect_uds(sock) {
+            // The socket file may predate the accept loops; prove liveness.
+            if c.get(u64::MAX).is_ok() {
+                return c;
+            }
+        }
+        if let Some(status) = child.try_wait().unwrap() {
+            panic!("server child exited instead of serving: {status:?}");
+        }
+        assert!(Instant::now() < deadline, "server never became reachable");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+// ---- client workload -------------------------------------------------------
+
+/// Runs detectable inserts/removes (plus periodic plain-insert BATCH
+/// frames) against `sock`, fsync-logging intent before and ack after each
+/// op, until the server dies (any transport error ends the run).
+fn client_worker(sock: &Path, log_path: &Path, round: u64, tid: u64) {
+    let Ok(mut c) = Client::connect_uds(sock) else {
+        return;
+    };
+    let mut log = std::fs::OpenOptions::new().create(true).append(true).open(log_path).unwrap();
+    let mut record = |line: String| {
+        writeln!(log, "{line}").unwrap();
+        log.sync_data().unwrap();
+    };
+    // Per-shard (slot, last acked seq), learned from acks: the next op on
+    // that shard must arm as seq + 1.
+    let mut slots: [Option<(u16, u64)>; SHARDS] = [None; SHARDS];
+    let predict = |slots: &[Option<(u16, u64)>; SHARDS], shard: usize| -> String {
+        match slots[shard] {
+            Some((slot, seq)) => nvtraverse::OpId::new(slot, seq + 1).to_bits().to_string(),
+            None => "-".to_string(),
+        }
+    };
+    let learn = |slots: &mut [Option<(u16, u64)>; SHARDS], shard: usize, bits: u64| {
+        let id = nvtraverse::OpId::from_bits(bits);
+        slots[shard] = Some((id.slot(), id.seq()));
+    };
+
+    let mut i: u64 = 0;
+    loop {
+        let k = (round << 40) | (tid << 32) | i;
+        let shard = shard_route(k, SHARDS);
+        record(format!("i {k} {shard} {}", predict(&slots, shard)));
+        let Ok(ack) = c.insert_detectable(k, k.wrapping_mul(7)) else {
+            return; // server died mid-op: the intent line is the evidence
+        };
+        assert!(ack.applied, "keys are unique; every insert is fresh");
+        assert_eq!(ack.shard as usize, shard, "client-side routing must agree");
+        learn(&mut slots, shard, ack.op_id);
+        record(format!("I {k} {shard} {}", ack.op_id));
+
+        if i % 3 == 2 {
+            let victim = (round << 40) | (tid << 32) | (i - 2);
+            let vshard = shard_route(victim, SHARDS);
+            record(format!("r {victim} {vshard} {}", predict(&slots, vshard)));
+            let Ok(ack) = c.remove_detectable(victim) else {
+                return;
+            };
+            assert!(ack.applied, "victims were acked-inserted and are only removed once");
+            learn(&mut slots, vshard, ack.op_id);
+            record(format!("R {victim} {vshard} {}", ack.op_id));
+        }
+
+        if i % 4 == 3 {
+            // Group-commit check: plain inserts acked through a BATCH frame.
+            let b0 = (round << 40) | (tid << 32) | (1 << 24) | i;
+            let ops = [Request::Insert(b0, b0.wrapping_mul(7)), Request::Insert(b0 + 1, (b0 + 1).wrapping_mul(7))];
+            let Ok(replies) = c.batch(&ops) else {
+                return;
+            };
+            for (j, r) in replies.iter().enumerate() {
+                assert_eq!(*r, nvtraverse_server::Reply::Applied);
+                record(format!("B {}", b0 + j as u64));
+            }
+        }
+        i += 1;
+    }
+}
+
+// ---- the oracle ------------------------------------------------------------
+
+#[derive(Default, Debug, Clone, Copy)]
+struct KeyLog {
+    acked_insert: bool,
+    intent_remove: bool,
+    acked_remove: bool,
+    batch_acked: bool,
+}
+
+/// One logged OpId with the shard it lives in and whether a reply for it
+/// was received before the kill.
+#[derive(Debug, Clone, Copy)]
+struct LoggedOp {
+    shard: u32,
+    bits: u64,
+    acked: bool,
+}
+
+fn parse_log(path: &Path, keys: &mut BTreeMap<u64, KeyLog>, ops: &mut Vec<LoggedOp>) {
+    let data = std::fs::read_to_string(path).unwrap_or_default();
+    let mut acked_bits: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    let mut predicted: Vec<(u32, u64)> = Vec::new();
+    for line in data.lines() {
+        // The last line can be torn by the kill; `sync_data` returns before
+        // the operation runs, so a torn intent means the op never started.
+        let mut p = line.split_whitespace();
+        let (Some(tag), Some(k)) = (p.next(), p.next()) else { continue };
+        let Ok(k) = k.parse::<u64>() else { continue };
+        let e = keys.entry(k).or_default();
+        match tag {
+            "B" => e.batch_acked = true,
+            "i" | "r" => {
+                if tag == "r" {
+                    e.intent_remove = true;
+                }
+                let (Some(shard), Some(bits)) = (p.next(), p.next()) else { continue };
+                let Ok(shard) = shard.parse::<u32>() else { continue };
+                if let Ok(bits) = bits.parse::<u64>() {
+                    predicted.push((shard, bits));
+                }
+            }
+            "I" | "R" => {
+                if tag == "I" {
+                    e.acked_insert = true;
+                } else {
+                    e.acked_remove = true;
+                }
+                let (Some(shard), Some(bits)) = (p.next(), p.next()) else { continue };
+                let (Ok(shard), Ok(bits)) = (shard.parse::<u32>(), bits.parse::<u64>()) else {
+                    continue;
+                };
+                acked_bits.insert(bits);
+                ops.push(LoggedOp { shard, bits, acked: true });
+            }
+            _ => {}
+        }
+    }
+    // Predicted ids that never acked were in flight at the kill.
+    ops.extend(
+        predicted
+            .into_iter()
+            .filter(|(_, bits)| !acked_bits.contains(bits))
+            .map(|(shard, bits)| LoggedOp { shard, bits, acked: false }),
+    );
+}
+
+fn verify(c: &mut Client, keys: &BTreeMap<u64, KeyLog>, ops: &[LoggedOp]) {
+    for (&k, e) in keys {
+        let got = c.get(k).unwrap();
+        let want = k.wrapping_mul(7);
+        if e.acked_remove {
+            assert_eq!(got, None, "acked remove of {k} lost");
+        } else if e.intent_remove {
+            // In-flight remove: either outcome, but never a foreign value.
+            assert!(got.is_none() || got == Some(want), "key {k}: {got:?}");
+        } else if e.acked_insert || e.batch_acked {
+            assert_eq!(got, Some(want), "acked insert of {k} lost");
+        }
+    }
+    for op in ops {
+        let answer = c.op_outcome(op.shard, op.bits).unwrap();
+        assert_ne!(
+            answer,
+            OutcomeAnswer::Unknown,
+            "logged op {:#x} on shard {} unanswerable",
+            op.bits,
+            op.shard
+        );
+        if op.acked {
+            assert_ne!(
+                answer,
+                OutcomeAnswer::NotApplied,
+                "acked op {:#x} on shard {} classified as never-applied",
+                op.bits,
+                op.shard
+            );
+        }
+    }
+}
+
+// ---- the rounds ------------------------------------------------------------
+
+#[test]
+fn three_sigkill_restart_rounds_lose_no_acked_ops() {
+    let (dir, sock) = base_paths();
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&sock);
+
+    // Keyed state accumulates across rounds: every restart must
+    // re-recover all previous rounds' survivors too.
+    let mut keys: BTreeMap<u64, KeyLog> = BTreeMap::new();
+
+    for round in 0..ROUNDS {
+        let mut server = spawn_server(&dir, &sock);
+        drop(await_server(&sock, &mut server));
+
+        let log_paths: Vec<PathBuf> = (0..CLIENTS as u64)
+            .map(|t| std::env::temp_dir().join(format!(
+                "nvt-crash-srv-{}-r{round}-t{t}.log",
+                std::process::id()
+            )))
+            .collect();
+        for p in &log_paths {
+            let _ = std::fs::remove_file(p);
+        }
+
+        std::thread::scope(|s| {
+            let workers: Vec<_> = log_paths
+                .iter()
+                .enumerate()
+                .map(|(t, log)| {
+                    let sock = &sock;
+                    s.spawn(move || client_worker(sock, log, round, t as u64))
+                })
+                .collect();
+
+            // Kill once every client banked enough acks.
+            let deadline = Instant::now() + Duration::from_secs(120);
+            loop {
+                let done = log_paths.iter().all(|p| {
+                    std::fs::read_to_string(p)
+                        .unwrap_or_default()
+                        .lines()
+                        .filter(|l| l.starts_with(|c: char| c.is_ascii_uppercase()))
+                        .count()
+                        >= MIN_ACKS_PER_CLIENT
+                });
+                if done {
+                    break;
+                }
+                assert!(Instant::now() < deadline, "clients never reached the ack quota");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            server.kill().unwrap(); // SIGKILL on unix: no drain, no store close
+            server.wait().unwrap();
+            for w in workers {
+                w.join().unwrap();
+            }
+        });
+
+        // This round's ops; keys fold into the cumulative map.
+        let mut ops = Vec::new();
+        for p in &log_paths {
+            parse_log(p, &mut keys, &mut ops);
+        }
+        assert!(
+            ops.iter().filter(|o| o.acked).count() >= CLIENTS * MIN_ACKS_PER_CLIENT / 2,
+            "round {round} banked too few detectable acks to mean anything"
+        );
+
+        // Restart: open_or_create runs every shard's recovery and op-table
+        // classification; then the acks are held to account over the wire.
+        let mut server = spawn_server(&dir, &sock);
+        let mut c = await_server(&sock, &mut server);
+        verify(&mut c, &keys, &ops);
+
+        // Clean stop between rounds (next round re-spawns).
+        c.shutdown_server().unwrap();
+        drop(c);
+        let status = server.wait().unwrap();
+        assert!(status.success(), "server child failed its graceful shutdown: {status:?}");
+
+        for p in &log_paths {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&sock);
+}

@@ -29,6 +29,7 @@ use nvtraverse::detect::OpTable;
 use nvtraverse::policy::{NvTraverse, Soft};
 use nvtraverse::DurableSet;
 use nvtraverse_obs as obs;
+use nvtraverse_pmem::batch::FenceBatch;
 use nvtraverse_pmem::{Count, Noop};
 use nvtraverse_structures::ellen_bst::EllenBst;
 use nvtraverse_structures::hash::HashMapDs;
@@ -297,6 +298,152 @@ fn soft_beats_nvtraverse_flush_counts() {
     let (soft_ins, soft_rem) = update_costs(|| SoftHash::<u64, u64, SD>::new(64));
     assert_soft_strictly_cheaper("hash insert", nvt_ins, soft_ins);
     assert_soft_strictly_cheaper("hash remove", nvt_rem, soft_rem);
+}
+
+// ---- batch fence amortization: N ops, one closing fence -------------------
+
+/// Runs the same `B` update operations on two identically prefilled
+/// structures — once op-by-op, once inside a [`FenceBatch`] — and returns
+/// `(unbatched, batched)` exact counts. Identical key sequences on fresh
+/// identical structures make the counts comparable flush-for-flush: the
+/// only permitted difference is the deferred closing fences.
+fn batch_vs_singles<S: DurableSet<u64, u64>>(
+    make: impl Fn() -> S,
+    ops: u64,
+) -> ((u64, u64), (u64, u64)) {
+    let run = |batched: bool| {
+        let s = make();
+        for k in 0..PREFILL {
+            assert!(s.insert(k * 2, k));
+        }
+        counted(|| {
+            let scope = batched.then(FenceBatch::<Count<Noop>>::begin);
+            for i in 0..ops {
+                assert!(s.insert(101 + 2 * i, i));
+            }
+            drop(scope); // the batch durability point: one fence for all ops
+        })
+    };
+    (run(false), run(true))
+}
+
+/// NVTraverse: the closing fence is one of each op's constant fence count,
+/// so a B-op batch costs exactly B−1 fences less than B singles. Fence
+/// counts are exact; flush counts are only near-equal, because the two
+/// runs' heap-allocated nodes land at different addresses and a node that
+/// straddles a cache line costs `flush_range` one extra flush (the same
+/// wobble the per-op bounds above document).
+#[test]
+fn nvtraverse_batch_saves_exactly_b_minus_one_fences() {
+    const B: u64 = 16;
+    let (unbatched, batched) = batch_vs_singles(|| HashMapDs::<u64, u64, D>::new(64), B);
+    assert_eq!(
+        batched.1,
+        unbatched.1 - (B - 1),
+        "B-op batch must cost exactly B-1 fewer fences (unbatched {unbatched:?}, \
+         batched {batched:?})"
+    );
+    assert!(
+        batched.0.abs_diff(unbatched.0) <= B / 2,
+        "batching must not change flush counts beyond line-straddle wobble \
+         (unbatched {unbatched:?}, batched {batched:?})"
+    );
+    assert!(batched.1 < unbatched.1, "batched strictly cheaper than B singles");
+}
+
+/// SOFT: an update's *only* fence is the closing one, so a B-op batch is
+/// exactly B flushes + **1** fence — the fences/op = 1/B floor the
+/// `kv_service` figure converges to. Lookups add nothing.
+#[test]
+fn soft_batch_hits_the_one_fence_floor() {
+    const B: u64 = 16;
+    let (unbatched, batched) = batch_vs_singles(|| SoftHash::<u64, u64, SD>::new(64), B);
+    assert_eq!(unbatched, (B, B), "B soft singles: B flushes, B fences");
+    assert_eq!(batched, (B, 1), "B-op soft batch: B flushes, exactly 1 fence");
+
+    // A batch mixing lookups in pays for the updates only.
+    let s = SoftHash::<u64, u64, SD>::new(64);
+    for k in 0..PREFILL {
+        assert!(s.insert(k * 2, k));
+    }
+    let mixed = counted(|| {
+        let scope = FenceBatch::<Count<Noop>>::begin();
+        for i in 0..B {
+            assert!(s.insert(101 + 2 * i, i));
+            assert_eq!(s.get(14), Some(7));
+        }
+        assert_eq!(scope.close(), 2 * B, "every op defers its closing fence");
+    });
+    assert_eq!(mixed, (B, 1), "lookups add no flushes and share the one fence");
+}
+
+/// The same arithmetic through the **server's** batch executor
+/// (`run_batch` over a real `MmapBackend`-pooled `KvStore`): a B-op batch
+/// pays exactly one closing fence at its durability point, for both
+/// policies, and saves exactly B−1 fences against the same ops unbatched.
+///
+/// Pool-backed operations attribute their persistence traffic to the
+/// owning pool's metric set (the `PoolCtx::enter` bracket), while the
+/// batch's shared closing fence is issued outside any op and lands in the
+/// caller's attribution — so the true per-run cost is the **sum** of the
+/// thread-attributed count and the store's pool-snapshot delta.
+#[test]
+fn server_batch_path_pays_one_closing_fence() {
+    use nvtraverse_server::{exec_data_op, run_batch, ConnTokens, KvStore, PolicyKind, Request};
+
+    if !obs::enabled() {
+        return; // MmapBackend attribution is off; nothing to count
+    }
+    const B: u64 = 8;
+    for policy in [PolicyKind::NvTraverse, PolicyKind::Soft] {
+        let run = |batched: bool| {
+            let dir = std::env::temp_dir().join(format!(
+                "nvt-persist-bounds-srv-{}-{}-{batched}",
+                std::process::id(),
+                policy.name()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = KvStore::create(&dir, policy, 2, 4 << 20).unwrap();
+            let mut tokens = ConnTokens::new();
+            for k in 0..PREFILL {
+                assert!(store.try_insert(k * 2, k).unwrap());
+            }
+            let reqs: Vec<Request> = (0..B).map(|i| Request::Insert(101 + 2 * i, i)).collect();
+            let pools_before = store.metrics_snapshot();
+            let ambient = counted(|| {
+                if batched {
+                    let (replies, stats) = run_batch(&store, &mut tokens, &reqs);
+                    assert_eq!(replies.len(), B as usize);
+                    assert_eq!(stats.closing_fences, 1);
+                } else {
+                    for r in &reqs {
+                        exec_data_op(&store, &mut tokens, r);
+                    }
+                }
+            });
+            let pools_after = store.metrics_snapshot();
+            let counts = (
+                ambient.0 + pools_after.total_flushes() - pools_before.total_flushes(),
+                ambient.1 + pools_after.total_fences() - pools_before.total_fences(),
+            );
+            store.close().unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+            counts
+        };
+        let unbatched = run(false);
+        let batched = run(true);
+        assert_eq!(
+            batched.1,
+            unbatched.1 - (B - 1),
+            "{policy:?}: server batch must save exactly B-1 fences \
+             (unbatched {unbatched:?}, batched {batched:?})"
+        );
+        assert_eq!(batched.0, unbatched.0, "{policy:?}: flush counts unchanged by batching");
+        assert!(batched.1 < unbatched.1, "{policy:?}: batched strictly cheaper");
+        if policy == PolicyKind::Soft {
+            assert_eq!(batched.1, 1, "SOFT batch: exactly the one closing fence");
+        }
+    }
 }
 
 /// The bounds above are *attributed* counts; this pins the machinery they
