@@ -12,7 +12,7 @@ use nvtraverse::policy::{Durability, Izraelevitz, LinkPersist, NvTraverse, Soft,
 use nvtraverse::DurableSet;
 use nvtraverse_ebr::Collector;
 use nvtraverse_onefile::{TmBst, TmList};
-use nvtraverse_pmem::{stats, Clwb, Count, Noop};
+use nvtraverse_pmem::{stats, Clwb, Count, Noop, Sim};
 use nvtraverse_structures::ellen_bst::EllenBst;
 use nvtraverse_structures::hash::HashMapDs;
 use nvtraverse_structures::list::{HarrisList, HarrisListOrigParent};
@@ -615,11 +615,141 @@ pub fn soft_vs_nvt(mode: Mode) {
     }
 }
 
+// ---- persistency-sanitizer summary ---------------------------------------
+
+/// Runs a fixed mixed workload against a set under the [`Vet`] sanitizer
+/// and returns the report (same install-before-construction /
+/// drop-before-finish discipline as `tests/vet_clean.rs`).
+fn vet_point<S: DurableSet<u64, u64>>(make: impl FnOnce() -> S) -> nvtraverse_vet::VetReport {
+    use nvtraverse_pmem::sim::SimHandle;
+    use nvtraverse_vet::Vet;
+
+    let sim = SimHandle::new();
+    let _g = sim.enter();
+    let vet = Vet::install(&sim);
+    {
+        let s = make();
+        for k in 0..32u64 {
+            vet.op("insert", || s.insert(k, k * 10));
+        }
+        for k in 0..48u64 {
+            vet.op("get", || s.get(k));
+        }
+        for k in (0..32u64).step_by(2) {
+            vet.op("remove", || s.remove(k));
+        }
+        for k in 0..16u64 {
+            vet.op("insert", || s.insert(100 + k, k));
+        }
+    }
+    vet.finish(&sim)
+}
+
+/// Persistency-sanitizer summary: every vet-clean structure × policy combo
+/// runs a mixed workload under the `nvtraverse-vet` dynamic sanitizer on
+/// the `Sim` backend, and the table reports finding counts per combo.
+///
+/// Errors must be zero (`tests/vet_clean.rs` enforces that per-combo with
+/// reclaiming collectors); warn-level redundant-flush/fence counts are the
+/// interesting trajectory — they measure how much slack the fence-elision
+/// optimizations still leave on the table. `LinkPersist` is absent for the
+/// same reason it is absent from the test matrix: its dirty-bit clear is
+/// unpersisted by design, which word-granular tracking cannot tell apart
+/// from a leak.
+///
+/// With `NVT_VET_REPORT=<path>` in the environment, the full per-combo
+/// [`VetReport`](nvtraverse_vet::VetReport) JSON documents (counts, phases,
+/// individual findings) are additionally written to `path` as one JSON
+/// object — the vet-report artifact CI uploads next to the benchmark
+/// points.
+pub fn vet_summary(_mode: Mode) {
+    use nvtraverse_vet::FindingKind;
+
+    println!("\n== vet: sanitizer findings per structure x policy (Sim backend, fixed workload) ==");
+    println!(
+        "{:>14}{:>12}{:>8}{:>8}{:>8}{:>12}{:>12}",
+        "structure", "policy", "ops", "errors", "warns", "red.flush", "red.fence"
+    );
+
+    type MkReport = fn() -> nvtraverse_vet::VetReport;
+    let rows: Vec<(&str, &str, MkReport)> = vec![
+        ("list", "nvt", || {
+            vet_point(HarrisList::<u64, u64, NvTraverse<Sim>>::new)
+        }),
+        ("list", "izr", || {
+            vet_point(HarrisList::<u64, u64, Izraelevitz<Sim>>::new)
+        }),
+        ("hash", "nvt", || {
+            vet_point(|| HashMapDs::<u64, u64, NvTraverse<Sim>>::new(16))
+        }),
+        ("hash", "izr", || {
+            vet_point(|| HashMapDs::<u64, u64, Izraelevitz<Sim>>::new(16))
+        }),
+        ("skiplist", "nvt", || {
+            vet_point(SkipList::<u64, u64, NvTraverse<Sim>>::new)
+        }),
+        ("skiplist", "izr", || {
+            vet_point(SkipList::<u64, u64, Izraelevitz<Sim>>::new)
+        }),
+        ("ellen-bst", "nvt", || {
+            vet_point(EllenBst::<u64, u64, NvTraverse<Sim>>::new)
+        }),
+        ("ellen-bst", "izr", || {
+            vet_point(EllenBst::<u64, u64, Izraelevitz<Sim>>::new)
+        }),
+        ("nm-bst", "nvt", || vet_point(NmBst::<u64, u64, NvTraverse<Sim>>::new)),
+        ("nm-bst", "izr", || {
+            vet_point(NmBst::<u64, u64, Izraelevitz<Sim>>::new)
+        }),
+        ("soft-list", "soft", || {
+            vet_point(SoftList::<u64, u64, Soft<Sim>>::new)
+        }),
+        ("soft-hash", "soft", || {
+            vet_point(|| SoftHash::<u64, u64, Soft<Sim>>::new(16))
+        }),
+    ];
+
+    let mut artifact = String::from("{\n  \"reports\": [\n");
+    for (i, (ds, policy, mk)) in rows.iter().enumerate() {
+        let r = mk();
+        let (rf, rff) = (
+            r.count(FindingKind::RedundantFlush),
+            r.count(FindingKind::RedundantFence),
+        );
+        println!(
+            "{ds:>14}{policy:>12}{:>8}{:>8}{:>8}{rf:>12}{rff:>12}",
+            r.ops,
+            r.errors(),
+            r.warnings()
+        );
+        crate::json::record("vet", policy, ds, "ops", r.ops as f64);
+        crate::json::record("vet", policy, ds, "errors", r.errors() as f64);
+        crate::json::record("vet", policy, ds, "warnings", r.warnings() as f64);
+        crate::json::record("vet", policy, ds, "redundant_flush", rf as f64);
+        crate::json::record("vet", policy, ds, "redundant_fence", rff as f64);
+        artifact.push_str(&format!(
+            "    {{\"structure\":\"{ds}\",\"policy\":\"{policy}\",\"report\":{}}}{}\n",
+            r.to_json(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    artifact.push_str("  ]\n}\n");
+
+    if let Ok(path) = std::env::var("NVT_VET_REPORT") {
+        if !path.is_empty() {
+            match std::fs::write(&path, &artifact) {
+                Ok(()) => println!("vet report written to {path}"),
+                Err(e) => eprintln!("vet report write to {path} failed: {e}"),
+            }
+        }
+    }
+}
+
 /// Every figure id in run order.
 pub const ALL_FIGURES: &[&str] = &[
     "fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig5f", "fig6g", "fig6h", "fig6i", "fig6j",
     "fig6k", "fig6l", "fig6m", "fig6n", "fig6o", "abl1", "abl2", "soft_vs_nvt",
-    "alloc_scaling", "pool_structs", "pool_shards", "persist_ops", "kv_service",
+    "alloc_scaling", "pool_structs", "pool_shards", "persist_ops", "kv_service", "vet",
 ];
 
 /// Runs one figure by id (or `all`).
@@ -652,6 +782,7 @@ pub fn run_figure(id: &str, mode: Mode) {
         "pool_shards" | "pool-shards" => crate::pool_shards::run(mode),
         "persist_ops" | "persist-ops" => crate::persist_ops::run(mode),
         "kv_service" | "kv-service" => crate::kv_service::run(mode),
+        "vet" | "vet_summary" | "vet-summary" => vet_summary(mode),
         "all" => {
             for f in ALL_FIGURES {
                 run_figure(f, mode);

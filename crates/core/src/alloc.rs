@@ -253,8 +253,11 @@ pub fn try_alloc_node<T, B: Backend>(value: T) -> Option<*mut T> {
 /// Frees a node allocated by [`alloc_node`], returning it to whichever heap
 /// issued it (persistent pool or volatile heap).
 ///
-/// Under a simulating backend the node's cells deregister themselves as they
-/// drop, so no extra bookkeeping is needed here.
+/// Under a simulating backend the node's **entire** registered range is
+/// removed from the crash simulator before the memory is returned — the
+/// `PCell` destructors only cover the cell words, and non-cell words (keys,
+/// flags, padding) would otherwise linger as dangling registrations that a
+/// later rollback writes through.
 ///
 /// # Safety
 ///
@@ -262,6 +265,10 @@ pub fn try_alloc_node<T, B: Backend>(value: T) -> Option<*mut T> {
 /// and must not be freed twice.
 #[inline]
 pub unsafe fn free<T>(ptr: *mut T) {
+    nvtraverse_pmem::sim::current_deregister_range_if_active(
+        ptr as usize,
+        std::mem::size_of::<T>(),
+    );
     if let Some((ctx, dealloc)) = heap::owner_of(ptr as *const u8) {
         unsafe {
             std::ptr::drop_in_place(ptr);
@@ -334,6 +341,37 @@ mod tests {
             assert_eq!((*p).b.load(), 8);
             free(p);
         }
+    }
+
+    #[test]
+    fn ebr_reclaim_deregisters_the_whole_node() {
+        // A node with a non-cell word: the `PCell` destructor alone would
+        // leave `key`'s registration dangling after reclamation.
+        struct Mixed {
+            cell: PCell<u64, Sim>,
+            key: u64,
+        }
+        let sim = SimHandle::new();
+        let _g = sim.enter();
+        let baseline = sim.tracked_cells();
+        let c = nvtraverse_ebr::Collector::new();
+        {
+            let g = c.pin();
+            let p = alloc_node::<_, Sim>(Mixed {
+                cell: PCell::new(1),
+                key: 2,
+            });
+            unsafe { (*p).cell.store(3) };
+            let _ = unsafe { (*p).key };
+            assert!(sim.tracked_cells() > baseline);
+            unsafe { g.retire(p) };
+        }
+        crate::drain_collector(&c);
+        assert_eq!(
+            sim.tracked_cells(),
+            baseline,
+            "reclaimed node left dangling Sim registrations"
+        );
     }
 
     #[test]

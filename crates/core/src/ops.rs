@@ -65,12 +65,17 @@ impl PersistSet {
     }
 
     /// Adds one field address the traversal read in a returned node.
+    /// Duplicates are dropped — a window's left/right nodes often share
+    /// fields, and each address needs only one flush per Protocol 1 round.
     ///
     /// # Panics
     ///
-    /// Panics if more than [`MAX_PERSIST_FIELDS`] fields are added — a
-    /// traversal data structure must return an O(1)-size window.
+    /// Panics if more than [`MAX_PERSIST_FIELDS`] distinct fields are
+    /// added — a traversal data structure must return an O(1)-size window.
     pub fn push(&mut self, addr: *const u8) {
+        if self.fields[..self.len].contains(&addr) {
+            return;
+        }
         assert!(
             self.len < MAX_PERSIST_FIELDS,
             "persist window exceeded MAX_PERSIST_FIELDS; \
@@ -155,7 +160,12 @@ pub fn run_operation<S: TraversalOps>(structure: &S, guard: &Guard, input: S::In
         let mut persist = PersistSet::new();
         structure.collect_persist_set(&window, &mut persist);
         if let Some(parent) = persist.parent() {
-            <S::D as Durability>::ensure_reachable(parent);
+            // `make_persistent` flushes every field anyway, so a parent
+            // that is also a field would be flushed twice; the fence in
+            // `make_persistent` covers both orders.
+            if !persist.fields().contains(&parent) {
+                <S::D as Durability>::ensure_reachable(parent);
+            }
         }
         <S::D as Durability>::make_persistent(persist.fields());
         match structure.critical(guard, window, input) {
@@ -250,22 +260,76 @@ mod tests {
         let before = nvtraverse_pmem::stats::snapshot();
         let _ = run_operation(&b, &g, 1);
         let d = nvtraverse_pmem::stats::snapshot().since(before);
-        // Two attempts: each flushes parent + 1 field and fences once in
-        // makePersistent; plus the final before_return fence.
-        assert_eq!(d.flushes, 4);
-        assert_eq!(d.fences, 3);
+        // Two attempts: the parent is also the (sole) persist-set field, so
+        // `ensure_reachable` is skipped and each attempt is one flush + the
+        // makePersistent fence. The critical section writes nothing, so the
+        // closing before_return fence has no pending flush and is elided.
+        assert_eq!(d.flushes, 2);
+        assert_eq!(d.fences, 2);
+    }
+
+    #[test]
+    fn driver_flushes_distinct_parent_separately() {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        /// Like `Bouncer` but with a parent link distinct from the window
+        /// field, so Protocol 1 must flush both.
+        struct TwoCell {
+            parent: PCell<u64, Count<Noop>>,
+            field: PCell<u64, Count<Noop>>,
+        }
+        impl TraversalOps for TwoCell {
+            type D = NvTraverse<Count<Noop>>;
+            type Input = ();
+            type Output = ();
+            type Entry = ();
+            type Window = ();
+
+            fn find_entry(&self, _g: &Guard, _i: ()) {}
+            fn traverse(&self, _g: &Guard, _e: (), _i: ()) {}
+            fn collect_persist_set(&self, _w: &(), out: &mut PersistSet) {
+                out.set_parent(self.parent.addr());
+                out.push(self.field.addr());
+                out.push(self.field.addr()); // duplicate: must be dropped
+            }
+            fn critical(&self, _g: &Guard, _w: (), _i: ()) -> Critical<()> {
+                Critical::Done(())
+            }
+        }
+        let s = TwoCell {
+            parent: PCell::new(0),
+            field: PCell::new(0),
+        };
+        let c = Collector::new();
+        let g = c.pin();
+        let before = nvtraverse_pmem::stats::snapshot();
+        run_operation(&s, &g, ());
+        let d = nvtraverse_pmem::stats::snapshot().since(before);
+        // ensure_reachable(parent) + make_persistent([field]) + its fence;
+        // the duplicated field is flushed once.
+        assert_eq!(d.flushes, 2);
+        assert_eq!(d.fences, 1);
     }
 
     #[test]
     fn persist_set_capacity_is_enforced() {
         let mut ps = PersistSet::new();
-        for _ in 0..MAX_PERSIST_FIELDS {
-            ps.push(std::ptr::null());
+        for i in 0..MAX_PERSIST_FIELDS {
+            ps.push((8 * (i + 1)) as *const u8);
         }
         assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            ps.push(std::ptr::null())
+            ps.push((8 * (MAX_PERSIST_FIELDS + 1)) as *const u8)
         }))
         .is_err());
+    }
+
+    #[test]
+    fn persist_set_drops_duplicate_fields() {
+        let mut ps = PersistSet::new();
+        ps.push(8 as *const u8);
+        ps.push(16 as *const u8);
+        ps.push(8 as *const u8);
+        assert_eq!(ps.fields(), &[8 as *const u8, 16 as *const u8]);
     }
 
     #[test]

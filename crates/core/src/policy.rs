@@ -38,6 +38,21 @@ use nvtraverse_obs as obs;
 use nvtraverse_pmem::{Backend, Noop, PCell, Word};
 use std::marker::PhantomData;
 
+/// Issues `B::fence()` only when this thread has unfenced flushes.
+///
+/// A protocol fence's one job is draining the issuing thread's flush queue
+/// (SFENCE semantics — it orders nothing across threads that their own
+/// fences don't already order), so with no flush in flight it is a no-op
+/// and the policies elide it. [`nvtraverse_pmem::flushes_pending`] is
+/// conservative: it can over-report (an extra fence), never under-report,
+/// so elision cannot lose a fence that could matter.
+#[inline]
+fn fence_if_pending<B: Backend>() {
+    if nvtraverse_pmem::flushes_pending() {
+        B::fence();
+    }
+}
+
 // Every flush-bearing policy method opens an `obs::phase` scope so that
 // flushes and fences recorded by an attributing backend (`MmapBackend`,
 // `Count`) carry the pipeline stage that issued them — the paper's
@@ -232,14 +247,14 @@ impl<B: Backend> Durability for NvTraverse<B> {
     #[inline]
     fn c_store<T: Word>(cell: &PCell<T, B>, value: T) {
         let _p = obs::phase(obs::Phase::Critical);
-        B::fence();
+        fence_if_pending::<B>();
         cell.store(value);
         B::flush(cell.addr());
     }
     #[inline]
     fn c_cas<T: Word>(cell: &PCell<T, B>, current: T, new: T) -> Result<T, T> {
         let _p = obs::phase(obs::Phase::Critical);
-        B::fence();
+        fence_if_pending::<B>();
         let r = cell.compare_exchange(current, new);
         B::flush(cell.addr());
         r
@@ -251,7 +266,7 @@ impl<B: Backend> Durability for NvTraverse<B> {
         new: MarkedPtr<T>,
     ) -> Result<(), MarkedPtr<T>> {
         let _p = obs::phase(obs::Phase::Critical);
-        B::fence();
+        fence_if_pending::<B>();
         let r = cell.compare_exchange(current, new);
         B::flush(cell.addr());
         r.map(drop)
@@ -267,7 +282,7 @@ impl<B: Backend> Durability for NvTraverse<B> {
             return; // absorbed by the enclosing FenceBatch
         }
         let _p = obs::phase(obs::Phase::Critical);
-        B::fence();
+        fence_if_pending::<B>();
     }
 }
 
@@ -372,7 +387,7 @@ impl<B: Backend> Durability for Izraelevitz<B> {
             return; // absorbed by the enclosing FenceBatch
         }
         let _p = obs::phase(obs::Phase::Critical);
-        B::fence();
+        fence_if_pending::<B>();
     }
 }
 
@@ -442,14 +457,14 @@ impl<B: Backend> Durability for LinkPersist<B> {
     #[inline]
     fn c_store<T: Word>(cell: &PCell<T, B>, value: T) {
         let _p = obs::phase(obs::Phase::Critical);
-        B::fence();
+        fence_if_pending::<B>();
         cell.store(value);
         B::flush(cell.addr());
     }
     #[inline]
     fn c_cas<T: Word>(cell: &PCell<T, B>, current: T, new: T) -> Result<T, T> {
         let _p = obs::phase(obs::Phase::Critical);
-        B::fence();
+        fence_if_pending::<B>();
         let r = cell.compare_exchange(current, new);
         B::flush(cell.addr());
         r
@@ -462,7 +477,7 @@ impl<B: Backend> Durability for LinkPersist<B> {
     ) -> Result<(), MarkedPtr<T>> {
         debug_assert!(!current.is_dirty() && !new.is_dirty());
         let _p = obs::phase(obs::Phase::Critical);
-        B::fence();
+        fence_if_pending::<B>();
         loop {
             // The stored word may carry the dirty bit; compare modulo it.
             let observed = cell.load();
@@ -498,7 +513,7 @@ impl<B: Backend> Durability for LinkPersist<B> {
             return; // absorbed by the enclosing FenceBatch
         }
         let _p = obs::phase(obs::Phase::Critical);
-        B::fence();
+        fence_if_pending::<B>();
     }
 }
 
@@ -595,7 +610,7 @@ impl<B: Backend> Durability for Soft<B> {
             return; // absorbed by the enclosing FenceBatch
         }
         let _p = obs::phase(obs::Phase::Critical);
-        B::fence();
+        fence_if_pending::<B>();
     }
 }
 
@@ -651,11 +666,26 @@ mod tests {
     }
 
     #[test]
-    fn nvtraverse_cas_fences_before_and_flushes_after() {
+    fn nvtraverse_cas_pre_fence_is_elided_without_pending_flushes() {
         let c: PCell<u64, CB> = PCell::new(1);
+        // No flush in flight on this thread: the pre-fence is a no-op and
+        // is elided, leaving only the post-CAS flush.
         let (d, r) = counted(|| NvTraverse::<CB>::c_cas(&c, 1, 2));
         assert_eq!(r, Ok(1));
-        assert_eq!((d.flushes, d.fences), (1, 1));
+        assert_eq!((d.flushes, d.fences), (1, 0));
+    }
+
+    #[test]
+    fn nvtraverse_cas_fences_before_when_a_flush_is_pending() {
+        let c: PCell<u64, CB> = PCell::new(1);
+        let (d, r) = counted(|| {
+            // The critical read's flush is still unfenced when the CAS
+            // runs, so the pre-fence must be issued to persist it.
+            let _ = NvTraverse::<CB>::c_load(&c);
+            NvTraverse::<CB>::c_cas(&c, 1, 2)
+        });
+        assert_eq!(r, Ok(1));
+        assert_eq!((d.flushes, d.fences), (2, 1));
     }
 
     #[test]
@@ -811,9 +841,19 @@ mod tests {
         });
         assert_eq!(d.fences, 1, "eight deferred closing fences, one sfence");
 
-        // Outside a batch the protocols are unchanged.
-        let (d, _) = counted(NvTraverse::<CB>::before_return);
+        // Outside a batch the protocols are unchanged: after a critical
+        // write (flush pending) the closing fence is issued immediately.
+        let c: PCell<u64, CB> = PCell::new(0);
+        let (d, _) = counted(|| {
+            NvTraverse::<CB>::c_store(&c, 1);
+            NvTraverse::<CB>::before_return();
+        });
         assert_eq!(d.fences, 1);
+
+        // A read-only operation leaves nothing to persist, so the closing
+        // fence is elided entirely.
+        let (d, _) = counted(NvTraverse::<CB>::before_return);
+        assert_eq!(d.fences, 0);
     }
 
     #[test]

@@ -60,6 +60,14 @@ impl Retired {
     /// `ptr` must be exclusively owned by the caller (already unlinked).
     unsafe fn new<T>(ptr: *mut T) -> Self {
         unsafe fn drop_any<T>(p: *mut u8) {
+            // Remove the node's crash-simulator registrations (all words,
+            // not just the `PCell` fields the destructor would catch) while
+            // the memory is still live: a rollback racing a reclaim, or a
+            // flush of a recycled address, must never see a stale entry.
+            nvtraverse_pmem::sim::current_deregister_range_if_active(
+                p as usize,
+                std::mem::size_of::<T>(),
+            );
             // Return the object to whichever heap issued it: a registered
             // foreign heap (e.g. a persistent pool) or the volatile heap.
             if let Some((ctx, dealloc)) = nvtraverse_pmem::heap::owner_of(p as *const u8) {

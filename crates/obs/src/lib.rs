@@ -676,6 +676,17 @@ pub fn current_target() -> Option<&'static MetricSet> {
     CONTEXT.try_with(|c| c.get().0).ok().flatten()
 }
 
+/// The phase this thread's persistence traffic is currently tagged with.
+///
+/// [`Phase::Unattributed`] outside any [`phase`] scope or when observability
+/// is disabled (`NVT_OBS=off`). Used by the `nvtraverse-vet` sanitizer to
+/// phase-attribute its findings.
+pub fn current_phase() -> Phase {
+    CONTEXT
+        .try_with(|c| c.get().1)
+        .unwrap_or(Phase::Unattributed)
+}
+
 /// Restores the previous attribution target on drop. Not `Send`: the scope
 /// must drop on the thread that opened it.
 #[derive(Debug)]

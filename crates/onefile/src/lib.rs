@@ -39,12 +39,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub const LOG_CAPACITY: usize = 64;
 
 /// One persistent redo-log slot.
+#[repr(C)]
 struct LogSlot<B: Backend> {
     addr: PCell<u64, B>,
     value: PCell<u64, B>,
 }
 
 /// The persistent transaction engine.
+#[repr(C)]
 pub struct Ptm<B: Backend> {
     /// Seqlock word: even = stable, odd = update in progress.
     seq: AtomicU64,
@@ -228,6 +230,7 @@ impl<B: Backend> Ptm<B> {
 // TM-based sorted linked list (the paper's OneFile list baseline).
 // --------------------------------------------------------------------------
 
+#[repr(C)]
 struct TmNode<K: Word, V: Word, B: Backend> {
     key: PCell<K, B>,
     value: PCell<V, B>,
@@ -414,6 +417,7 @@ impl<K: Word, V: Word, B: Backend> Drop for TmList<K, V, B> {
 // TM-based internal BST (the paper's OneFile BST baseline).
 // --------------------------------------------------------------------------
 
+#[repr(C)]
 struct TmBstNode<K: Word, V: Word, B: Backend> {
     key: PCell<K, B>,
     value: PCell<V, B>,

@@ -11,6 +11,43 @@ use crate::sim;
 /// Size in bytes of one cache line, the granularity of hardware flushes.
 pub const CACHE_LINE: usize = 64;
 
+mod pending {
+    use std::cell::Cell;
+
+    thread_local! {
+        static PENDING: Cell<u64> = const { Cell::new(0) };
+    }
+
+    #[inline]
+    pub(super) fn note_flush() {
+        PENDING.with(|p| p.set(p.get() + 1));
+    }
+
+    #[inline]
+    pub(super) fn note_fence() {
+        PENDING.with(|p| p.set(0));
+    }
+
+    #[inline]
+    pub(super) fn any() -> bool {
+        PENDING.with(|p| p.get() != 0)
+    }
+}
+
+/// Whether the calling thread has issued a flush (through any non-[`Noop`]
+/// backend) since its last fence.
+///
+/// A fence's only effect in the persistency model is to drain the calling
+/// thread's previously initiated write-backs; with none pending it is a
+/// no-op, so durability policies consult this to **elide** fences (the
+/// pre-CAS fence after a fresh fence, the closing fence of a read-only
+/// operation). Purely thread-local — flushes by other threads are their
+/// fences' problem, exactly as on hardware.
+#[inline]
+pub fn flushes_pending() -> bool {
+    pending::any()
+}
+
 /// A flush/fence implementation.
 ///
 /// Implementations are zero-sized types used as type parameters; all methods
@@ -111,6 +148,7 @@ mod x86 {
         if best == UNKNOWN {
             best = detect();
         }
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             match best {
                 CLWB => {
@@ -135,12 +173,14 @@ mod x86 {
     /// Issues `clflush`, which is ordered (synchronized) on its own.
     #[inline]
     pub fn flush_sync(addr: *const u8) {
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe { std::arch::x86_64::_mm_clflush(addr) }
     }
 
     /// Issues `sfence`.
     #[inline]
     pub fn sfence() {
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe { std::arch::x86_64::_mm_sfence() }
     }
 }
@@ -159,6 +199,7 @@ pub struct Clwb;
 impl Backend for Clwb {
     #[inline]
     fn flush(addr: *const u8) {
+        pending::note_flush();
         #[cfg(target_arch = "x86_64")]
         x86::flush_writeback(addr);
         #[cfg(not(target_arch = "x86_64"))]
@@ -167,6 +208,7 @@ impl Backend for Clwb {
 
     #[inline]
     fn fence() {
+        pending::note_fence();
         #[cfg(target_arch = "x86_64")]
         x86::sfence();
         #[cfg(not(target_arch = "x86_64"))]
@@ -186,6 +228,7 @@ pub struct ClflushSync;
 impl Backend for ClflushSync {
     #[inline]
     fn flush(addr: *const u8) {
+        pending::note_flush();
         #[cfg(target_arch = "x86_64")]
         x86::flush_sync(addr);
         #[cfg(not(target_arch = "x86_64"))]
@@ -194,6 +237,7 @@ impl Backend for ClflushSync {
 
     #[inline]
     fn fence() {
+        pending::note_fence();
         #[cfg(target_arch = "x86_64")]
         x86::sfence();
         #[cfg(not(target_arch = "x86_64"))]
@@ -233,6 +277,10 @@ impl<B: Backend> Backend for Count<B> {
 
     #[inline]
     fn flush(addr: *const u8) {
+        // Count models a real backend's persistence stream even over `Noop`,
+        // so it notes pending flushes itself; a non-Noop inner backend
+        // noting again is harmless (only zero/non-zero is consulted).
+        pending::note_flush();
         crate::stats::record_flush();
         nvtraverse_obs::on_flush();
         B::flush(addr);
@@ -240,6 +288,7 @@ impl<B: Backend> Backend for Count<B> {
 
     #[inline]
     fn fence() {
+        pending::note_fence();
         crate::stats::record_fence();
         nvtraverse_obs::on_fence();
         B::fence();
@@ -275,6 +324,7 @@ mod mmap_sync {
         AtomicBool::new(cfg!(not(target_arch = "x86_64")));
 
     #[cfg(unix)]
+    // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
     unsafe extern "C" {
         fn msync(addr: *mut std::ffi::c_void, len: usize, flags: std::ffi::c_int)
             -> std::ffi::c_int;
@@ -347,6 +397,7 @@ impl Backend for MmapBackend {
     /// sets exist to avoid. Use the attributed snapshot deltas instead.
     #[inline]
     fn flush(addr: *const u8) {
+        pending::note_flush();
         nvtraverse_obs::on_flush();
         #[cfg(target_arch = "x86_64")]
         x86::flush_writeback(addr);
@@ -357,6 +408,7 @@ impl Backend for MmapBackend {
     /// See [`MmapBackend::flush`] on where the fence is recorded.
     #[inline]
     fn fence() {
+        pending::note_fence();
         nvtraverse_obs::on_fence();
         #[cfg(target_arch = "x86_64")]
         x86::sfence();
@@ -393,11 +445,13 @@ impl Backend for Sim {
 
     #[inline]
     fn flush(addr: *const u8) {
+        pending::note_flush();
         sim::on_flush(addr as usize);
     }
 
     #[inline]
     fn fence() {
+        pending::note_fence();
         sim::on_fence();
     }
 
@@ -407,6 +461,7 @@ impl Backend for Sim {
         let start = addr as usize & !7;
         let mut a = start;
         while a < addr as usize + len {
+            pending::note_flush();
             sim::on_flush(a);
             a += 8;
         }

@@ -84,7 +84,7 @@ impl<T: Word, B: Backend> PCell<T, B> {
     pub fn store(&self, value: T) {
         if B::SIM {
             self.assert_not_poison(value.to_bits());
-            sim::on_write(self.addr() as usize, |a| {
+            sim::on_write(self.addr() as usize, sim::WriteKind::Store, |a| {
                 a.store(value.to_bits(), Ordering::Release);
                 true
             });
@@ -110,7 +110,7 @@ impl<T: Word, B: Backend> PCell<T, B> {
         if B::SIM {
             self.assert_not_poison(new.to_bits());
             let mut result = Ok(0u64);
-            sim::on_write(self.addr() as usize, |a| {
+            sim::on_write(self.addr() as usize, sim::WriteKind::Cas, |a| {
                 match a.compare_exchange(
                     current.to_bits(),
                     new.to_bits(),
@@ -153,7 +153,7 @@ impl<T: Word, B: Backend> PCell<T, B> {
         if B::SIM {
             self.assert_not_poison(value.to_bits());
             let mut prev = 0u64;
-            sim::on_write(self.addr() as usize, |a| {
+            sim::on_write(self.addr() as usize, sim::WriteKind::Swap, |a| {
                 prev = a.swap(value.to_bits(), Ordering::AcqRel);
                 true
             });

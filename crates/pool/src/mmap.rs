@@ -20,6 +20,7 @@ mod sys {
     use std::io;
     use std::os::unix::io::AsRawFd;
 
+    // SAFETY: the offset/address was produced by this pool's allocator or recovery walk and stays within the mapping; layout invariants are documented on the enclosing type.
     unsafe extern "C" {
         fn mmap(
             addr: *mut c_void,
@@ -108,6 +109,7 @@ mod sys {
     }
 
     pub fn lock_exclusive(file: &File) -> io::Result<()> {
+        // SAFETY: the offset/address was produced by this pool's allocator or recovery walk and stays within the mapping; layout invariants are documented on the enclosing type.
         let rc = unsafe { flock(file.as_raw_fd(), LOCK_EX | LOCK_NB) };
         if rc == 0 {
             Ok(())
@@ -124,6 +126,7 @@ mod sys {
         const PROT_NONE: c_int = 0;
         const MAP_PRIVATE: c_int = 0x02;
         const MAP_ANONYMOUS: c_int = 0x20;
+        // SAFETY: the offset/address was produced by this pool's allocator or recovery walk and stays within the mapping; layout invariants are documented on the enclosing type.
         let p = unsafe {
             mmap(
                 addr as *mut c_void,

@@ -320,6 +320,7 @@ pub(crate) struct OpsState {
 /// Recovery-GC tracer for the reserved ops root: the table is a single
 /// block with no outgoing pointers, so marking the root block itself is the
 /// complete walk.
+// SAFETY: `root` is the reserved ops-table block, single-owner during the quiescent recovery walk.
 pub(crate) unsafe fn ops_trace(root: *mut u8, marker: &mut crate::gc::Marker<'_>) {
     marker.mark(root);
 }
@@ -352,6 +353,7 @@ impl Pool {
             io::Error::other("pool exhausted while creating the operation-descriptor table")
         })?;
         let off = self.offset_of(ptr);
+        // SAFETY: the offset/address was produced by this pool's allocator or recovery walk and stays within the mapping; layout invariants are documented on the enclosing type.
         unsafe { std::ptr::write_bytes(ptr, 0, len) };
         self.inner.mem.store(off, OP_SLOTS as u64);
         // Contents durable before the root that makes them reachable.
@@ -397,6 +399,7 @@ impl Pool {
         inner.mem.persist_u64(off + 8);
         let slot_off = off + ((OPS_HEADER_WORDS + next as usize * OP_SLOT_WORDS) * 8) as u64;
         let base = self.at(slot_off) as *mut u64;
+        // SAFETY: the offset/address was produced by this pool's allocator or recovery walk and stays within the mapping; layout invariants are documented on the enclosing type.
         let seq = unsafe { base.add(OPW_SEQ).read_volatile() };
         Ok((next as u16, base, seq))
     }

@@ -110,6 +110,7 @@ impl<T> POff<T> {
     pub unsafe fn as_ref(self, pool: &Pool) -> Option<&T> {
         if self.is_null() {
             None
+        // SAFETY: the offset/address was produced by this pool's allocator or recovery walk and stays within the mapping; layout invariants are documented on the enclosing type.
         } else {
             Some(unsafe { &*(pool.at(self.off) as *const T) })
         }

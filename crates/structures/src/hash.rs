@@ -157,6 +157,7 @@ where
             .alloc((n + 1) * 8, 8)
             .ok_or_else(|| io::Error::other("pool exhausted"))?
             as *mut u64;
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             table.write(n as u64);
             for (i, b) in map.buckets.iter().enumerate() {
@@ -237,8 +238,10 @@ where
         Self::create_in_pool_with_buckets(pool, name, Self::DEFAULT_POOL_BUCKETS)
     }
 
+    // SAFETY: see `TraversalOps::attach_to_pool` — the caller guarantees the pool was created by this structure type under `name` and is quiescent.
     unsafe fn attach_to_pool(pool: &Pool, name: &str) -> Option<Self> {
         let table = pool.attach_root_ptr::<u64>(name)? as *const u64;
+        // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
         let n = unsafe { table.read() } as usize;
         if n == 0 || n > 1 << 24 {
             return None; // not a plausible bucket table
@@ -248,8 +251,10 @@ where
         let collector = Collector::new();
         let buckets: Vec<HarrisList<K, V, D>> = (0..n)
             .map(|i| {
+                // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
                 let head_off = unsafe { table.add(1 + i).read() };
                 let head = pool.at(head_off) as *mut crate::list::Node<K, V, D::B>;
+                // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
                 unsafe { HarrisList::attach_at(head, collector.clone()) }
             })
             .collect();
@@ -278,6 +283,7 @@ where
 // it and then delegating each bucket head to the Harris list's walk covers
 // every block the table's recovery (per-bucket `disconnect`) can reach.
 // Bucket offsets are validated by `Marker::at` before dereference.
+// SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
 unsafe impl<K, V, D> nvtraverse::PoolTrace for HashMapDs<K, V, D>
 where
     K: Word + Ord,
@@ -288,6 +294,7 @@ where
         if !marker.mark(root) {
             return;
         }
+        // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
         unsafe {
             let table = root as *const u64;
             let n = table.read() as usize;

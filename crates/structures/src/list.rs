@@ -40,6 +40,7 @@ use std::marker::PhantomData;
 ///
 /// Exposed (with private fields) because it appears in the [`TraversalOps`]
 /// associated types; user code never constructs nodes directly.
+#[repr(C)]
 pub struct Node<K: Word, V: Word, B: Backend> {
     pub(crate) key: PCell<K, B>,
     pub(crate) value: PCell<V, B>,
@@ -202,6 +203,7 @@ where
     #[inline]
     fn key_of(node: NodePtr<K, V, D::B>) -> K {
         debug_assert!(!node.is_null());
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         D::load_fixed(unsafe { &(*node).key })
     }
 
@@ -225,6 +227,7 @@ where
             // nodes.size() == 2: left and right are already adjacent.
             return true;
         }
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         let left_next = unsafe { &(*w.left).next };
         match D::c_cas_link(left_next, w.left_succ, Self::word_of(w.right)) {
             Ok(()) => {
@@ -232,14 +235,18 @@ where
                 // node in it is marked (frozen), so plain loads suffice.
                 let mut cur = w.left_succ.ptr();
                 while !cur.is_null() && cur != w.right {
+                    // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
+                    // nvt-lint: allow(raw-pcell-access): reading the frozen (marked) chain being trimmed; plain loads suffice
                     let nxt = unsafe { (*cur).next.load() };
                     debug_assert!(nxt.is_marked(), "trimmed an unmarked node");
+                    // SAFETY: the node is unlinked (no new traversal can reach it); EBR defers the actual free until all pre-retire guards drop.
                     unsafe { guard.retire(cur) };
                     cur = nxt.ptr();
                 }
                 // Algorithm 4 lines 50–53: if right got marked meanwhile the
                 // caller's picture of the list is stale.
                 if !w.right.is_null() {
+                    // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                     let rn = D::c_load_link(unsafe { &(*w.right).next });
                     if rn.is_marked() {
                         return false;
@@ -254,10 +261,13 @@ where
     /// Quiescent: counts unmarked reachable nodes.
     fn quiescent_len(&self) -> usize {
         let mut n = 0;
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
+            // nvt-lint: begin-allow(raw-pcell-access): quiescent inspection walk — no concurrent mutators, no durability obligations
             let mut cur = (*self.head).next.load().ptr();
             while !cur.is_null() {
                 let nw = (*cur).next.load();
+                // nvt-lint: end-allow(raw-pcell-access)
                 if !nw.is_marked() {
                     n += 1;
                 }
@@ -270,12 +280,15 @@ where
     /// Quiescent: collects the unmarked `(key, value)` pairs in list order.
     pub fn iter_snapshot(&self) -> Vec<(K, V)> {
         let mut out = Vec::new();
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
+            // nvt-lint: begin-allow(raw-pcell-access): quiescent inspection walk — no concurrent mutators, no durability obligations
             let mut cur = (*self.head).next.load().ptr();
             while !cur.is_null() {
                 let nw = (*cur).next.load();
                 if !nw.is_marked() {
                     out.push(((*cur).key.load(), (*cur).value.load()));
+                    // nvt-lint: end-allow(raw-pcell-access)
                 }
                 cur = nw.ptr();
             }
@@ -293,7 +306,9 @@ where
     pub fn check_consistency(&self, allow_marked: bool) -> Result<usize, String> {
         let mut live = 0;
         let mut last_key: Option<K> = None;
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
+            // nvt-lint: begin-allow(raw-pcell-access): quiescent inspection walk — no concurrent mutators, no durability obligations
             let mut cur = (*self.head).next.load().ptr();
             while !cur.is_null() {
                 let nw = (*cur).next.load();
@@ -303,6 +318,7 @@ where
                     }
                 } else {
                     let k = (*cur).key.load();
+                    // nvt-lint: end-allow(raw-pcell-access)
                     if let Some(prev) = last_key.take() {
                         if prev >= k {
                             return Err("keys not strictly increasing".into());
@@ -327,11 +343,13 @@ where
             return;
         }
         let guard = self.collector.pin();
+        // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
         unsafe {
             let mut pred: NodePtr<K, V, D::B> = self.head;
             loop {
                 // Raw load: strip the link-and-persist dirty bit before
                 // using the word as a CAS expectation.
+                // nvt-lint: begin-allow(raw-pcell-access): single-threaded recovery reads raw bits (marks, flags, poison) by design
                 let start = (*pred).next.load().without_dirty();
                 debug_assert!(!start.is_marked(), "predecessor must be unmarked");
                 // Find the first unmarked node at or after start.
@@ -351,6 +369,7 @@ where
                         let mut dead = start.ptr();
                         while !dead.is_null() && dead != cur {
                             let nxt = (*dead).next.load().ptr();
+                            // nvt-lint: end-allow(raw-pcell-access)
                             guard.retire(dead);
                             dead = nxt;
                         }
@@ -371,12 +390,15 @@ where
     /// Quiescent lookup for recovery classification: the op tag of the
     /// live (unmarked, reachable) node holding exactly `key_bits`, if any.
     fn surviving_tag(&self, key_bits: u64) -> Option<u64> {
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
+            // nvt-lint: begin-allow(raw-pcell-access): quiescent post-crash inspection of raw tag bits
             let mut cur = (*self.head).next.load().ptr();
             while !cur.is_null() {
                 let nw = (*cur).next.load();
                 if !nw.is_marked() && (*cur).key.load().to_bits() == key_bits {
                     return Some((*cur).op_tag.load());
+                    // nvt-lint: end-allow(raw-pcell-access)
                 }
                 cur = nw.ptr();
             }
@@ -455,6 +477,7 @@ where
         let key = match input.op {
             SetOp::Insert(k, _) | SetOp::Remove(k) | SetOp::Get(k) => k,
         };
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             let head = entry;
             let mut left_parent = head;
@@ -493,6 +516,7 @@ where
     }
 
     fn collect_persist_set(&self, w: &Self::Window, out: &mut PersistSet) {
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             if ORIG_PARENT {
                 // Supplement 2: flush the location recorded at insert time.
@@ -526,6 +550,7 @@ where
                 if w.right.is_null() || Self::key_of(w.right) != key {
                     Critical::Done(None)
                 } else {
+                    // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                     Critical::Done(Some(D::load_fixed(unsafe { &(*w.right).value })))
                 }
             }
@@ -542,12 +567,14 @@ where
                         h.arm::<D::B>(0);
                         h.publish::<D::B>(false);
                     }
+                    // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                     return Critical::Done(Some(D::load_fixed(unsafe { &(*w.right).value })));
                 }
                 let Some(node) = try_alloc_node::<_, D::B>(Node {
                     key: PCell::new(key),
                     value: PCell::new(value),
                     next: PCell::new(Self::word_of(w.right)),
+                    // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                     orig_parent: PCell::new(unsafe { (*w.left).next.addr() } as u64),
                     op_tag: PCell::new(detect.map_or(0, |h| h.tag())),
                 }) else {
@@ -565,6 +592,7 @@ where
                     // becomes durable. Idempotent across restarts.
                     h.arm::<D::B>(0);
                 }
+                // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                 let left_next = unsafe { &(*w.left).next };
                 match D::c_cas_link(left_next, Self::word_of(w.right), MarkedPtr::new(node)) {
                     Ok(()) => {
@@ -577,6 +605,7 @@ where
                     }
                     Err(_) => {
                         // Never published: free directly, no epoch needed.
+                        // SAFETY: the node is unlinked (no new traversal can reach it); EBR defers the actual free until all pre-retire guards drop.
                         unsafe { free(node) };
                         Critical::Restart
                     }
@@ -596,6 +625,7 @@ where
                     }
                     return Critical::Done(None);
                 }
+                // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                 let right_next = unsafe { &(*w.right).next };
                 let r_next = D::c_load_link(right_next);
                 if r_next.is_marked() {
@@ -606,6 +636,7 @@ where
                     // tag — 0 for non-detectable inserts), so recovery can
                     // ask "does that exact node survive?". The marking
                     // CAS's pre-fence orders the armed words.
+                    // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                     h.arm::<D::B>(D::load_fixed(unsafe { &(*w.right).op_tag }));
                 }
                 match D::c_cas_link(right_next, r_next, r_next.with_mark()) {
@@ -618,10 +649,13 @@ where
                         }
                         // Logically deleted; now try the physical splice. If
                         // it fails another traversal's trim will finish it.
+                        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                         let left_next = unsafe { &(*w.left).next };
                         if D::c_cas_link(left_next, Self::word_of(w.right), r_next).is_ok() {
+                            // SAFETY: the node is unlinked (no new traversal can reach it); EBR defers the actual free until all pre-retire guards drop.
                             unsafe { guard.retire(w.right) };
                         }
+                        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                         Critical::Done(Some(D::load_fixed(unsafe { &(*w.right).value })))
                     }
                     Err(_) => Critical::Restart,
@@ -719,10 +753,12 @@ where
         Ok(list)
     }
 
+    // SAFETY: see `TraversalOps::attach_to_pool` — the caller guarantees the pool was created by this structure type under `name` and is quiescent.
     unsafe fn attach_to_pool(pool: &Pool, name: &str) -> Option<Self> {
         let head = pool.attach_root_ptr::<Node<K, V, D::B>>(name)?;
         // Entered so `attach_at`'s context snapshot captures this pool.
         let _scope = PoolCtx::of(pool).enter();
+        // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
         Some(unsafe { Self::attach_at(head, Collector::new()) })
     }
 
@@ -745,6 +781,7 @@ where
 // along `next` pointers, straight *through* marked nodes (a reachable
 // marked node is trimmed by recovery, so it must survive the sweep). The
 // only other blocks a list ever reaches are its nodes' own fields.
+// SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
 unsafe impl<K, V, D, const ORIG_PARENT: bool> nvtraverse::PoolTrace
     for HarrisList<K, V, D, ORIG_PARENT>
 where
@@ -753,9 +790,11 @@ where
     D: Durability,
 {
     unsafe fn trace(root: *mut u8, marker: &mut nvtraverse_pool::Marker<'_>) {
+        // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
         unsafe {
             crate::trace_chain(marker, root as NodePtr<K, V, D::B>, |n| {
                 // Raw load; `.ptr()` strips mark/flag/dirty bits.
+                // nvt-lint: allow(raw-pcell-access): GC tracer follows raw pointers on a quiescent heap
                 (*n).next.load().ptr()
             });
         }
@@ -793,9 +832,11 @@ impl<K: Word, V: Word, D: Durability, const P: bool> Drop for HarrisList<K, V, D
         // not. Trimmed nodes were handed to the collector already. Links
         // poisoned by an unrecovered simulated crash terminate the walk
         // (leaking the tail), matching a persistent heap's behaviour.
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             let mut cur = self.head;
             while !cur.is_null() {
+                // nvt-lint: allow(raw-pcell-access): teardown/drop owns the structure exclusively; nothing durable happens after it
                 let bits = (*cur).next.peek_bits();
                 let nxt = if bits == nvtraverse_pmem::POISON {
                     std::ptr::null_mut()

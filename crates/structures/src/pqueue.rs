@@ -129,7 +129,9 @@ where
         })
     }
 
+    // SAFETY: see `TraversalOps::attach_to_pool` — the caller guarantees the pool was created by this structure type under `name` and is quiescent.
     unsafe fn attach_to_pool(pool: &Pool, name: &str) -> Option<Self> {
+        // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
         let inner = unsafe { SkipList::attach_to_pool(pool, name) }?;
         Some(PriorityQueue { inner })
     }
@@ -153,6 +155,7 @@ where
     D: Durability,
 {
     unsafe fn trace(root: *mut u8, marker: &mut nvtraverse_pool::Marker<'_>) {
+        // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
         unsafe { <SkipList<K, V, D> as nvtraverse::PoolTrace>::trace(root, marker) }
     }
 }

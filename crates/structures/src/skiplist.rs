@@ -45,6 +45,7 @@ pub const MAX_HEIGHT: usize = 16;
 /// One skiplist node. `key`, `value`, `height` and `orig_parent` are
 /// immutable; `next[0]` is the persistent bottom link; `next[1..height]` are
 /// volatile tower links.
+#[repr(C)]
 pub struct SkipNode<K: Word, V: Word, B: Backend> {
     key: PCell<K, B>,
     value: PCell<V, B>,
@@ -116,7 +117,9 @@ pub struct SkipList<K: Word, V: Word, D: Durability> {
     _marker: PhantomData<fn() -> D>,
 }
 
+// SAFETY: all shared mutation goes through atomics/PCells; raw node pointers are only dereferenced under EBR guards.
 unsafe impl<K: Word, V: Word, D: Durability> Send for SkipList<K, V, D> {}
+// SAFETY: all shared mutation goes through atomics/PCells; raw node pointers are only dereferenced under EBR guards.
 unsafe impl<K: Word, V: Word, D: Durability> Sync for SkipList<K, V, D> {}
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -148,6 +151,7 @@ where
         });
         // Only the persistent part of the head needs to survive: flushing
         // the whole node is harmless and simplest.
+        Self::mark_tower_volatile(head);
         D::persist_new_node(head as *const u8, std::mem::size_of::<SkipNode<K, V, D::B>>());
         D::before_return();
         SkipList {
@@ -167,6 +171,16 @@ where
     /// The head tower (for pool root registration below).
     fn head_ptr(&self) -> NodePtr<K, V, D::B> {
         self.head
+    }
+
+    /// Declares `node`'s upper tower links (`next[1..]`) volatile by design
+    /// to any vet observer: only `next[0]` is part of the durable list,
+    /// recovery rebuilds the rest.
+    fn mark_tower_volatile(node: NodePtr<K, V, D::B>) {
+        // SAFETY: the caller just allocated `node`, so the tower array is
+        // live memory and taking element addresses cannot race anything.
+        let upper = unsafe { (*node).next[1].addr() as usize };
+        nvtraverse_pmem::sim::current_mark_volatile_range(upper, (MAX_HEIGHT - 1) * 8);
     }
 
     /// Rebuilds a skiplist handle around an existing head tower — the attach
@@ -202,6 +216,7 @@ where
 
     #[inline]
     fn key_of(node: NodePtr<K, V, D::B>) -> K {
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         D::load_fixed(unsafe { &(*node).key })
     }
 
@@ -228,9 +243,11 @@ where
         level: usize,
         k: K,
     ) -> NodePtr<K, V, D::B> {
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             let mut pred = start;
             loop {
+                // nvt-lint: begin-allow(raw-pcell-access): volatile tower links (levels >= 1) are never flushed; towers are rebuilt on recovery
                 let mut w = (*pred).next[level].load();
                 // A marked word means *pred itself* was deleted at this
                 // level. Its tower word is frozen from here on: snipping
@@ -254,6 +271,7 @@ where
                         // Bypass curr at this level.
                         match (*pred).next[level]
                             .compare_exchange(w, cw.without_mark().untagged())
+                            // nvt-lint: end-allow(raw-pcell-access)
                         {
                             Ok(_) => w = cw.without_mark().untagged(),
                             Err(actual) => {
@@ -301,6 +319,8 @@ where
             }
             rounds += 1;
             let pred = self.aux_walk(self.head, level, k);
+            // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
+            // nvt-lint: begin-allow(raw-pcell-access): volatile tower links (levels >= 1) are never flushed; towers are rebuilt on recovery
             let w = unsafe { (*pred).next[level].load() };
             if w.is_marked() {
                 // pred died under the walk: its view of the level is
@@ -312,6 +332,7 @@ where
             // Check whether node is still reachable at this level from pred
             // onwards (keys ≥ k region).
             let mut reachable = false;
+            // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
             unsafe {
                 let mut hops = 0;
                 while !cur.is_null() && hops < 64 {
@@ -324,6 +345,7 @@ where
                         break;
                     }
                     cur = (*cur).next[level].load().ptr();
+                    // nvt-lint: end-allow(raw-pcell-access)
                     hops += 1;
                 }
             }
@@ -347,7 +369,9 @@ where
     /// before unlinking), so its successor word is frozen — reading it once
     /// is sound — and no walk can ever re-link it.
     fn targeted_unlink(&self, node: NodePtr<K, V, D::B>, level: usize) -> bool {
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
+            // nvt-lint: begin-allow(raw-pcell-access): volatile tower links (levels >= 1) are never flushed; towers are rebuilt on recovery
             let node_word = (*node).next[level].load();
             debug_assert!(node_word.is_marked(), "targeted unlink of an unmarked node");
             let replacement = node_word.without_mark().untagged();
@@ -367,6 +391,7 @@ where
                     // (possibly a concurrent walk unlinked node for us) —
                     // re-probe with a fresh walk next round.
                     return (*pred).next[level].compare_exchange(w, replacement).is_ok();
+                    // nvt-lint: end-allow(raw-pcell-access)
                 }
                 pred = curr;
             }
@@ -381,6 +406,7 @@ where
         // removers: the marked nodes it reads through are retire()d by their
         // deleters, so the walk must hold an epoch pin.
         let _guard = self.collector.pin();
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             let mut cur = D::t_load_link(&(*self.head).next[0]);
             loop {
@@ -409,12 +435,15 @@ where
     /// Quiescent bottom-list walk.
     fn bottom_snapshot(&self, include_marked: bool) -> Vec<(K, V)> {
         let mut out = Vec::new();
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
+            // nvt-lint: begin-allow(raw-pcell-access): quiescent inspection walk — no concurrent mutators, no durability obligations
             let mut cur = (*self.head).next[0].load().ptr();
             while !cur.is_null() {
                 let nw = (*cur).next[0].load();
                 if include_marked || !nw.is_marked() {
                     out.push(((*cur).key.load(), (*cur).value.load()));
+                    // nvt-lint: end-allow(raw-pcell-access)
                 }
                 cur = nw.ptr();
             }
@@ -433,8 +462,10 @@ where
         use std::collections::HashSet;
         let mut live: HashSet<usize> = HashSet::new();
         let mut count = 0;
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             let mut last: Option<K> = None;
+            // nvt-lint: begin-allow(raw-pcell-access): quiescent inspection walk — no concurrent mutators, no durability obligations
             let mut cur = (*self.head).next[0].load().ptr();
             while !cur.is_null() {
                 let nw = (*cur).next[0].load();
@@ -472,6 +503,7 @@ where
                         }
                         prev_key = Some(k);
                         c = (*c).next[level].load().ptr();
+                        // nvt-lint: end-allow(raw-pcell-access)
                     }
                 }
             }
@@ -488,10 +520,12 @@ where
             return;
         }
         let guard = self.collector.pin();
+        // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
         unsafe {
             // Pass 1: disconnect marked bottom nodes (Supplement 1).
             let mut pred = self.head;
             loop {
+                // nvt-lint: begin-allow(raw-pcell-access): single-threaded recovery reads raw bits (marks, flags, poison) by design
                 let start = (*pred).next[0].load().without_dirty();
                 let mut cur = start.ptr();
                 while !cur.is_null() {
@@ -541,6 +575,7 @@ where
             }
             for (level, prev) in prevs.iter().enumerate().skip(1) {
                 (**prev).next[level].store(MarkedPtr::null());
+                // nvt-lint: end-allow(raw-pcell-access)
             }
             // Reseed the deterministic height source past the surviving
             // population, so a reattached list keeps drawing fresh heights
@@ -579,6 +614,8 @@ where
             // mid-descent; one retry from the never-marked head keeps the
             // shortcut useful. (A still-marked result is fine: `traverse`
             // falls back to the head for marked entry points.)
+            // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
+            // nvt-lint: allow(raw-pcell-access): volatile tower links (levels >= 1) are never flushed; towers are rebuilt on recovery
             if unsafe { (*pred).next[level].load().is_marked() } {
                 pred = self.aux_walk(self.head, level, k);
             }
@@ -592,6 +629,7 @@ where
             SetOp::Insert(k, _) | SetOp::Remove(k) | SetOp::Get(k) => k,
         };
         let (start, preds) = entry;
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             // Harris-style bottom walk from the shortcut entry point. The
             // shortcut may have landed on a node that was logically deleted
@@ -636,6 +674,7 @@ where
     }
 
     fn collect_persist_set(&self, w: &Self::Window, out: &mut PersistSet) {
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             // Supplement 2: flush the original-parent location of `left`
             // (the entry shortcut hides left's current parent).
@@ -667,10 +706,12 @@ where
             } else {
                 MarkedPtr::new(w.right)
             };
+            // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
             if D::c_cas_link(unsafe { &(*w.left).next[0] }, w.left_succ, to).is_err() {
                 return false;
             }
             if !w.right.is_null() {
+                // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                 let rn = D::c_load_link(unsafe { &(*w.right).next[0] });
                 if rn.is_marked() {
                     return false;
@@ -684,6 +725,7 @@ where
                 if w.right.is_null() || Self::key_of(w.right) != key {
                     Critical::Done(None)
                 } else {
+                    // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                     Critical::Done(Some(D::load_fixed(unsafe { &(*w.right).value })))
                 }
             }
@@ -692,6 +734,7 @@ where
                     return Critical::Restart;
                 }
                 if !w.right.is_null() && Self::key_of(w.right) == key {
+                    // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                     return Critical::Done(Some(D::load_fixed(unsafe { &(*w.right).value })));
                 }
                 let height = self.next_height();
@@ -704,16 +747,19 @@ where
                     key: PCell::new(key),
                     value: PCell::new(value),
                     height: PCell::new(height as u64),
+                    // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                     orig_parent: PCell::new(unsafe { (*w.left).next[0].addr() } as u64),
                     next: std::array::from_fn(|i| {
                         PCell::new(if i == 0 { right_word } else { MarkedPtr::null() })
                     }),
                 });
+                Self::mark_tower_volatile(node);
                 D::persist_new_node(
                     node as *const u8,
                     std::mem::size_of::<SkipNode<K, V, D::B>>(),
                 );
                 match D::c_cas_link(
+                    // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                     unsafe { &(*w.left).next[0] },
                     right_word,
                     MarkedPtr::new(node),
@@ -729,6 +775,8 @@ where
                             };
                             loop {
                                 let pred = self.aux_walk(from, level, key);
+                                // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
+                                // nvt-lint: begin-allow(raw-pcell-access): volatile tower links (levels >= 1) are never flushed; towers are rebuilt on recovery
                                 let succ = unsafe { (*pred).next[level].load() };
                                 if succ.is_marked() {
                                     // pred was deleted under us and its
@@ -739,12 +787,15 @@ where
                                     continue;
                                 }
                                 // If we were deleted meanwhile, stop linking.
+                                // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                                 if unsafe { (*node).next[0].load().is_marked() } {
                                     break 'levels;
                                 }
+                                // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                                 unsafe {
                                     (*node).next[level].store(succ.untagged());
                                 }
+                                // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                                 if unsafe {
                                     (*pred).next[level]
                                         .compare_exchange(succ, MarkedPtr::new(node))
@@ -757,6 +808,7 @@ where
                         Critical::Done(None)
                     }
                     Err(_) => {
+                        // SAFETY: the node is unlinked (no new traversal can reach it); EBR defers the actual free until all pre-retire guards drop.
                         unsafe { free(node) };
                         Critical::Restart
                     }
@@ -770,6 +822,7 @@ where
                     return Critical::Done(None);
                 }
                 let victim = w.right;
+                // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                 let bottom = unsafe { &(*victim).next[0] };
                 let r_next = D::c_load_link(bottom);
                 if r_next.is_marked() {
@@ -777,19 +830,24 @@ where
                 }
                 match D::c_cas_link(bottom, r_next, r_next.with_mark()) {
                     Ok(()) => {
+                        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                         let value = D::load_fixed(unsafe { &(*victim).value });
                         // Mark every tower level (volatile, raw CAS) so that
                         // aux walks snip us out.
+                        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                         let height = D::load_fixed(unsafe { &(*victim).height }) as usize;
                         for level in (1..height).rev() {
                             loop {
+                                // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                                 let cw = unsafe { (*victim).next[level].load() };
                                 if cw.is_marked() {
                                     break;
                                 }
+                                // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                                 if unsafe {
                                     (*victim).next[level]
                                         .compare_exchange(cw, cw.with_mark())
+                                        // nvt-lint: end-allow(raw-pcell-access)
                                         .is_ok()
                                 } {
                                     break;
@@ -799,6 +857,7 @@ where
                         // Physically unlink: bottom first (policy CAS), then
                         // every tower level, then retire.
                         let _ = D::c_cas_link(
+                            // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                             unsafe { &(*w.left).next[0] },
                             MarkedPtr::new(victim),
                             r_next,
@@ -821,6 +880,7 @@ where
                                 preds: w2.preds,
                             });
                         }
+                        // SAFETY: the node is unlinked (no new traversal can reach it); EBR defers the actual free until all pre-retire guards drop.
                         unsafe { guard.retire(victim) };
                         Critical::Done(Some(value))
                     }
@@ -876,10 +936,12 @@ where
         Ok(list)
     }
 
+    // SAFETY: see `TraversalOps::attach_to_pool` — the caller guarantees the pool was created by this structure type under `name` and is quiescent.
     unsafe fn attach_to_pool(pool: &Pool, name: &str) -> Option<Self> {
         let head = pool.attach_root_ptr::<SkipNode<K, V, D::B>>(name)?;
         // Entered so `attach_at`'s context snapshot captures this pool.
         let _scope = PoolCtx::of(pool).enter();
+        // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
         Some(unsafe { Self::attach_at(head, Collector::new()) })
     }
 
@@ -898,6 +960,7 @@ where
 // `recover_skiplist` rebuilds with write-only passes — they are never read
 // by recovery and may be stale after a crash, so the trace must not (and
 // does not) follow them; every node they could name is on the bottom list.
+// SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
 unsafe impl<K, V, D> nvtraverse::PoolTrace for SkipList<K, V, D>
 where
     K: Word + Ord,
@@ -905,8 +968,10 @@ where
     D: Durability,
 {
     unsafe fn trace(root: *mut u8, marker: &mut nvtraverse_pool::Marker<'_>) {
+        // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
         unsafe {
             crate::trace_chain(marker, root as NodePtr<K, V, D::B>, |n| {
+                // nvt-lint: allow(raw-pcell-access): GC tracer follows raw pointers on a quiescent heap
                 (*n).next[0].load().ptr()
             });
         }
@@ -940,9 +1005,11 @@ where
 impl<K: Word, V: Word, D: Durability> Drop for SkipList<K, V, D> {
     fn drop(&mut self) {
         // Poisoned links (unrecovered crash) end the walk; the tail leaks.
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             let mut cur = self.head;
             while !cur.is_null() {
+                // nvt-lint: allow(raw-pcell-access): teardown/drop owns the structure exclusively; nothing durable happens after it
                 let bits = (*cur).next[0].peek_bits();
                 let nxt = if bits == nvtraverse_pmem::POISON {
                     std::ptr::null_mut()

@@ -131,6 +131,7 @@ where
             .alloc((n + 1) * 8, 8)
             .ok_or_else(|| io::Error::other("pool exhausted"))?
             as *mut u64;
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             table.write(n as u64);
             for (i, b) in map.buckets.iter().enumerate() {
@@ -198,8 +199,10 @@ where
         Self::create_in_pool_with_buckets(pool, name, Self::DEFAULT_POOL_BUCKETS)
     }
 
+    // SAFETY: see `TraversalOps::attach_to_pool` — the caller guarantees the pool was created by this structure type under `name` and is quiescent.
     unsafe fn attach_to_pool(pool: &Pool, name: &str) -> Option<Self> {
         let table = pool.attach_root_ptr::<u64>(name)? as *const u64;
+        // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
         let n = unsafe { table.read() } as usize;
         if n == 0 || n > 1 << 24 {
             return None; // not a plausible bucket table
@@ -209,9 +212,11 @@ where
         let mut heads: Vec<(u64, usize)> = Vec::with_capacity(n); // (head addr, bucket idx)
         let buckets: Vec<SoftList<K, V, D>> = (0..n)
             .map(|i| {
+                // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
                 let head_off = unsafe { table.add(1 + i).read() };
                 let head = pool.at(head_off) as *mut SoftNode<K, V, D::B>;
                 heads.push((head as u64, i));
+                // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
                 unsafe { SoftList::attach_at(head, collector.clone()) }
             })
             .collect();
@@ -228,6 +233,7 @@ where
             if heads.binary_search_by_key(&(p as u64), |h| h.0).is_ok() {
                 continue; // a bucket head itself
             }
+            // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
             match unsafe { crate::soft_list::probe_header(p) } {
                 HdrProbe::Live { owner, seq, .. } => {
                     if let Ok(i) = heads.binary_search_by_key(&owner, |h| h.0) {
@@ -266,6 +272,7 @@ where
 // blocks keeping each sealed node owned by any of the heads — linked or not
 // (the recovery-rebuild contract of `soft_list`). Offsets are validated by
 // `Marker::at` before dereference.
+// SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
 unsafe impl<K, V, D> nvtraverse::PoolTrace for SoftHash<K, V, D>
 where
     K: Word + Ord,
@@ -276,6 +283,7 @@ where
         if !marker.mark(root) {
             return;
         }
+        // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
         unsafe {
             let table = root as *const u64;
             let n = table.read() as usize;

@@ -167,14 +167,17 @@ pub(crate) enum HdrProbe {
 pub(crate) unsafe fn probe_header<K: Word, V: Word, B: Backend>(
     n: *const SoftNode<K, V, B>,
 ) -> HdrProbe {
+    // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
     let (vstart, key, value, owner, seq, vend) = unsafe {
         (
+            // nvt-lint: begin-allow(raw-pcell-access): validity-window probe reads raw header bits by design (SOFT recovery rule)
             (*n).vstart.peek_bits(),
             (*n).key.peek_bits(),
             (*n).value.peek_bits(),
             (*n).owner.peek_bits(),
             (*n).seq.peek_bits(),
             (*n).vend.peek_bits(),
+            // nvt-lint: end-allow(raw-pcell-access)
         )
     };
     let (s0, s1) = hdr_seals(key, value, owner, seq);
@@ -277,6 +280,7 @@ pub struct SoftList<K: Word, V: Word, D: Durability> {
 // dereferenced through the lock-free protocol or quiescently; the registry
 // is mutex-protected.
 unsafe impl<K: Word, V: Word, D: Durability> Send for SoftList<K, V, D> {}
+// SAFETY: all shared mutation goes through atomics/PCells; raw node pointers are only dereferenced under EBR guards.
 unsafe impl<K: Word, V: Word, D: Durability> Sync for SoftList<K, V, D> {}
 
 impl<K, V, D> SoftList<K, V, D>
@@ -352,6 +356,7 @@ where
     #[inline]
     fn key_of(node: NodePtr<K, V, D::B>) -> K {
         debug_assert!(!node.is_null());
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         D::load_fixed(unsafe { &(*node).key })
     }
 }
@@ -365,8 +370,8 @@ impl<K: Word, V: Word, D: Durability> SoftList<K, V, D> {
     /// only the node's own words with the simulator, never the alignment
     /// padding (a registration over padding would dangle after free).
     fn alloc_soft(node: SoftNode<K, V, D::B>) -> Option<NodePtr<K, V, D::B>> {
-        if PoolCtx::current().is_pooled() {
-            try_alloc_node::<_, D::B>(node)
+        let p = if PoolCtx::current().is_pooled() {
+            try_alloc_node::<_, D::B>(node)?
         } else {
             let p = Box::into_raw(Box::new(AlignedNode(node))) as NodePtr<K, V, D::B>;
             if D::B::SIM {
@@ -375,17 +380,29 @@ impl<K: Word, V: Word, D: Durability> SoftList<K, V, D> {
                     std::mem::size_of::<SoftNode<K, V, D::B>>(),
                 );
             }
-            Some(p)
-        }
+            p
+        };
+        // SOFT keeps its links volatile (recovery rebuilds them from the
+        // durable payloads); tell any vet observer so `next` is exempt from
+        // durability rules.
+        // SAFETY: `p` was just allocated and is exclusively ours.
+        nvtraverse_pmem::sim::current_mark_volatile_range(
+            unsafe { (*p).next.addr() as usize },
+            8,
+        );
+        Some(p)
     }
 
     /// Frees a node immediately (never-published or teardown path),
     /// routing through the layout it was allocated with: pool blocks as
     /// `SoftNode`, volatile boxes as the 64-aligned wrapper.
+    // SAFETY: the caller owns `p` exclusively (never published, or already unlinked at teardown), so freeing it immediately cannot race a traversal.
     unsafe fn free_soft(p: NodePtr<K, V, D::B>) {
         if heap::owner_of(p as *const u8).is_some() {
+            // SAFETY: the node is unlinked (no new traversal can reach it); EBR defers the actual free until all pre-retire guards drop.
             unsafe { free(p) };
         } else {
+            // SAFETY: the node is unlinked (no new traversal can reach it); EBR defers the actual free until all pre-retire guards drop.
             unsafe { free(p as *mut AlignedNode<K, V, D::B>) };
         }
     }
@@ -395,8 +412,10 @@ impl<K: Word, V: Word, D: Durability> SoftList<K, V, D> {
     unsafe fn retire_soft(&self, guard: &Guard, p: NodePtr<K, V, D::B>) {
         self.unregister(p);
         if heap::owner_of(p as *const u8).is_some() {
+            // SAFETY: the node is unlinked (no new traversal can reach it); EBR defers the actual free until all pre-retire guards drop.
             unsafe { guard.retire(p) };
         } else {
+            // SAFETY: the node is unlinked (no new traversal can reach it); EBR defers the actual free until all pre-retire guards drop.
             unsafe { guard.retire(p as *mut AlignedNode<K, V, D::B>) };
         }
     }
@@ -446,17 +465,22 @@ where
         if w.left_succ.ptr() == w.right {
             return true;
         }
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         let left_next = unsafe { &(*w.left).next };
         match D::c_cas_link(left_next, w.left_succ, Self::word_of(w.right)) {
             Ok(()) => {
                 let mut cur = w.left_succ.ptr();
                 while !cur.is_null() && cur != w.right {
+                    // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
+                    // nvt-lint: allow(raw-pcell-access): reading the frozen (marked) chain being trimmed; plain loads suffice
                     let nxt = unsafe { (*cur).next.load() };
                     debug_assert!(nxt.is_marked(), "trimmed an unmarked node");
+                    // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                     unsafe { self.retire_soft(guard, cur) };
                     cur = nxt.ptr();
                 }
                 if !w.right.is_null() {
+                    // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                     let rn = D::c_load_link(unsafe { &(*w.right).next });
                     if rn.is_marked() {
                         return false;
@@ -470,10 +494,13 @@ where
 
     fn quiescent_len(&self) -> usize {
         let mut n = 0;
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
+            // nvt-lint: begin-allow(raw-pcell-access): quiescent inspection walk — no concurrent mutators, no durability obligations
             let mut cur = (*self.head).next.load().ptr();
             while !cur.is_null() {
                 let nw = (*cur).next.load();
+                // nvt-lint: end-allow(raw-pcell-access)
                 if !nw.is_marked() {
                     n += 1;
                 }
@@ -486,12 +513,15 @@ where
     /// Quiescent: collects the unmarked `(key, value)` pairs in list order.
     pub fn iter_snapshot(&self) -> Vec<(K, V)> {
         let mut out = Vec::new();
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
+            // nvt-lint: begin-allow(raw-pcell-access): quiescent inspection walk — no concurrent mutators, no durability obligations
             let mut cur = (*self.head).next.load().ptr();
             while !cur.is_null() {
                 let nw = (*cur).next.load();
                 if !nw.is_marked() {
                     out.push(((*cur).key.load(), (*cur).value.load()));
+                    // nvt-lint: end-allow(raw-pcell-access)
                 }
                 cur = nw.ptr();
             }
@@ -510,7 +540,9 @@ where
     pub fn check_consistency(&self, allow_marked: bool) -> Result<usize, String> {
         let mut live = 0;
         let mut last_key: Option<K> = None;
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
+            // nvt-lint: begin-allow(raw-pcell-access): quiescent inspection walk — no concurrent mutators, no durability obligations
             let mut cur = (*self.head).next.load().ptr();
             while !cur.is_null() {
                 let nw = (*cur).next.load();
@@ -523,6 +555,7 @@ where
                         return Err("reachable unmarked node is not durably sealed".into());
                     }
                     let k = (*cur).key.load();
+                    // nvt-lint: end-allow(raw-pcell-access)
                     if let Some(prev) = last_key.take() {
                         if prev >= k {
                             return Err("keys not strictly increasing".into());
@@ -557,6 +590,7 @@ where
             // Raw peeks: any of these words may have rolled back to poison
             // (never persisted) under the simulator; the seal checksum
             // rejects every such header without key-filtering real data.
+            // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
             match unsafe { probe_header(n) } {
                 HdrProbe::Live { key, seq, .. } => {
                     max_seq = max_seq.max(seq);
@@ -574,11 +608,13 @@ where
         // been told about.
         live.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
         let mut stale: Vec<NodePtr<K, V, D::B>> = Vec::new();
+        // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
         unsafe {
             let mut pred = self.head;
             let mut i = 0;
             while i < live.len() {
                 let (key, _, n) = live[i];
+                // nvt-lint: begin-allow(raw-pcell-access): single-threaded recovery reads raw bits (marks, flags, poison) by design
                 (*pred).next.store(MarkedPtr::new(n));
                 pred = n;
                 i += 1;
@@ -594,12 +630,14 @@ where
             // cell registrations) until the tombstones have drained.
             for &n in &stale {
                 (*n).vstart.store(TOMB);
+                // nvt-lint: end-allow(raw-pcell-access)
                 D::B::flush((*n).vstart.addr());
             }
         }
         D::before_return();
         for n in stale {
             self.unregister(n);
+            // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
             unsafe { Self::free_soft(n) };
         }
     }
@@ -627,6 +665,7 @@ where
         let key = match input {
             SetOp::Insert(k, _) | SetOp::Remove(k) | SetOp::Get(k) => k,
         };
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             let head = entry;
             let mut left = head;
@@ -672,11 +711,13 @@ where
             SetOp::Get(key) => {
                 if w.right.is_null() || Self::key_of(w.right) != key {
                     Critical::Done(None)
+                // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                 } else if D::c_load(unsafe { &(*w.right).vstart }) == TOMB {
                     // Tombstoned but not yet unlinked: logically absent. (A
                     // linked node's `vstart` is either its seal or `TOMB`.)
                     Critical::Done(None)
                 } else {
+                    // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                     Critical::Done(Some(D::load_fixed(unsafe { &(*w.right).value })))
                 }
             }
@@ -685,14 +726,19 @@ where
                     return Critical::Restart;
                 }
                 if !w.right.is_null() && Self::key_of(w.right) == key {
+                    // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                     if D::c_load(unsafe { &(*w.right).vstart }) != TOMB {
                         // Duplicate of a live node: insert fails.
+                        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                         return Critical::Done(Some(D::load_fixed(unsafe { &(*w.right).value })));
                     }
                     // Tombstoned twin still linked: help mark it out of the
                     // way, then retry against the updated list.
+                    // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
+                    // nvt-lint: allow(raw-pcell-access): raw read feeding a policy-routed helping CAS; durability comes from the CAS route
                     let rn = unsafe { (*w.right).next.load() };
                     if !rn.is_marked() {
+                        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                         let _ = D::c_cas_link(unsafe { &(*w.right).next }, rn, rn.with_mark());
                     }
                     return Critical::Restart;
@@ -716,6 +762,7 @@ where
                 // The insert's one flush: the persistent header (not the
                 // volatile link word behind it).
                 D::persist_new_node(node as *const u8, PERSIST_HDR);
+                // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                 let left_next = unsafe { &(*w.left).next };
                 match D::c_cas_link(left_next, Self::word_of(w.right), MarkedPtr::new(node)) {
                     Ok(()) => Critical::Done(None),
@@ -727,11 +774,14 @@ where
                         // returns to the allocator, so a recycled block can
                         // never replay this generation's seal (an off-hot-
                         // path fence: contended retries only).
+                        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                         unsafe {
+                            // nvt-lint: allow(raw-pcell-access): SOFT places its own flushes: the tombstone seal is flushed explicitly right here
                             (*node).vstart.store(TOMB);
                             D::B::flush((*node).vstart.addr());
                         }
                         D::before_return();
+                        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                         unsafe { Self::free_soft(node) };
                         Critical::Restart
                     }
@@ -749,15 +799,20 @@ where
                 // The expected seal is recomputed from the node's immutable
                 // words; a concurrent remove already tombstoned it iff the
                 // CAS misses.
+                // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                 let value = D::load_fixed(unsafe { &(*w.right).value });
+                // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                 let seq = D::load_fixed(unsafe { &(*w.right).seq });
                 let (s0, _) = hdr_seals(key.to_bits(), value.to_bits(), self.owner_tag, seq);
+                // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                 match D::c_cas(unsafe { &(*w.right).vstart }, s0, TOMB) {
                     Ok(_) => {
                         // Logical deletion done; now the volatile unlink,
                         // Harris-style: mark, then best-effort splice (a
                         // failed splice is finished by a later trim).
                         loop {
+                            // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
+                            // nvt-lint: allow(raw-pcell-access): raw read feeding a policy-routed helping CAS; durability comes from the CAS route
                             let rn = unsafe { (*w.right).next.load() };
                             if rn.is_marked() {
                                 // An inserter that saw our tombstone helped
@@ -766,11 +821,14 @@ where
                                 // later trim's job.
                                 break;
                             }
+                            // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                             if D::c_cas_link(unsafe { &(*w.right).next }, rn, rn.with_mark())
                                 .is_ok()
                             {
+                                // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                                 let left_next = unsafe { &(*w.left).next };
                                 if D::c_cas_link(left_next, Self::word_of(w.right), rn).is_ok() {
+                                    // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                                     unsafe { self.retire_soft(guard, w.right) };
                                 }
                                 break;
@@ -847,9 +905,11 @@ where
         Ok(list)
     }
 
+    // SAFETY: see `TraversalOps::attach_to_pool` — the caller guarantees the pool was created by this structure type under `name` and is quiescent.
     unsafe fn attach_to_pool(pool: &Pool, name: &str) -> Option<Self> {
         let head = pool.attach_root_ptr::<SoftNode<K, V, D::B>>(name)?;
         let _scope = PoolCtx::of(pool).enter();
+        // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
         let list = unsafe { Self::attach_at(head, Collector::new()) };
         // Rebuild the node inventory from the pool's allocated blocks:
         // links are volatile, so membership is proved by each candidate's
@@ -863,6 +923,7 @@ where
             if p == head {
                 continue;
             }
+            // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
             match unsafe { probe_header(p) } {
                 HdrProbe::Live { owner, seq, .. } if owner == head as u64 => {
                     list.register(p);
@@ -896,6 +957,7 @@ where
 // is therefore kept, as the recovery-rebuild contract requires; in-flight
 // (unsealed) and tombstoned nodes are left for the sweep. Every candidate
 // pointer comes from `Marker::at`, which validates it first.
+// SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
 unsafe impl<K, V, D> nvtraverse::PoolTrace for SoftList<K, V, D>
 where
     K: Word + Ord,
@@ -906,6 +968,7 @@ where
         if !marker.mark(root) {
             return;
         }
+        // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
         unsafe {
             crate::soft_list::soft_mark_owned::<K, V, D::B>(marker, &[root as u64]);
         }
@@ -936,6 +999,7 @@ pub(crate) unsafe fn soft_mark_owned<K: Word, V: Word, B: Backend>(
             continue; // a head sentinel itself
         }
         let n = p as *const SoftNode<K, V, B>;
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         match unsafe { probe_header(n) } {
             HdrProbe::Live { owner, .. } if owners.contains(&owner) => {
                 marker.mark(p);
@@ -979,6 +1043,7 @@ impl<K: Word, V: Word, D: Durability> Drop for SoftList<K, V, D> {
         // garbage); trimmed nodes were unregistered and handed to the
         // collector. No link walk needed — poisoned links can't mislead us.
         let reg = std::mem::take(&mut *self.registry.lock().unwrap_or_else(|e| e.into_inner()));
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
             for a in reg {
                 Self::free_soft(a as NodePtr<K, V, D::B>);

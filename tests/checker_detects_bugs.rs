@@ -328,3 +328,97 @@ fn correct_soft_policy_has_zero_violations_under_the_same_counter() {
     });
     assert_eq!(violations, 0);
 }
+
+// ---------------------------------------------------------------------------
+// One-run detection: the same mutant policies, but flagged by the
+// `nvtraverse-vet` sanitizer from a single non-crashing execution of the
+// workload — no crash-point enumeration. Each mutant has a *specific*
+// expected diagnostic, so these also pin the finding taxonomy.
+// ---------------------------------------------------------------------------
+
+use nvtraverse_vet::{FindingKind, Vet, VetReport};
+
+/// Runs the standard workload once against a fresh `HarrisList<_, _, D>`
+/// under the sanitizer. No crash is ever injected.
+fn vet_one_run<D: Durability<B = Sim>>() -> VetReport {
+    let sim = SimHandle::new();
+    let _g = sim.enter();
+    let vet = Vet::install(&sim);
+    {
+        let s = HarrisList::<u64, u64, D>::with_collector(Collector::leaking());
+        let (prefill, workload) = standard_workload();
+        for &(k, v) in &prefill {
+            vet.op("prefill", || s.insert(k, v));
+        }
+        for op in &workload {
+            match *op {
+                Step::Insert(k, v) => {
+                    vet.op("insert", || s.insert(k, v));
+                }
+                Step::Remove(k) => {
+                    vet.op("remove", || s.remove(k));
+                }
+                Step::Get(k) => {
+                    vet.op("get", || s.get(k));
+                }
+            }
+        }
+    }
+    vet.finish(&sim)
+}
+
+#[test]
+fn vet_flags_no_flush_as_unpersisted_publish_in_one_run() {
+    let r = vet_one_run::<NoFlush>();
+    assert!(
+        r.has(FindingKind::UnpersistedPublish),
+        "a policy that never flushes published unflushed nodes, but the \
+         sanitizer recorded no unpersisted-publish: {:#?}",
+        r.findings
+    );
+}
+
+#[test]
+fn vet_flags_no_fence_as_unpersisted_publish_in_one_run() {
+    let r = vet_one_run::<NoFence>();
+    assert!(
+        r.has(FindingKind::UnpersistedPublish),
+        "flushes without fences persist nothing, but the sanitizer \
+         recorded no unpersisted-publish: {:#?}",
+        r.findings
+    );
+}
+
+#[test]
+fn vet_flags_soft_under_flush_as_dirty_at_return_in_one_run() {
+    let sim = SimHandle::new();
+    let _g = sim.enter();
+    let vet = Vet::install(&sim);
+    {
+        let s = SoftList::<u64, u64, SoftUnderFlush>::with_collector(Collector::leaking());
+        let (prefill, workload) = standard_workload();
+        for &(k, v) in &prefill {
+            vet.op("prefill", || s.insert(k, v));
+        }
+        for op in &workload {
+            match *op {
+                Step::Insert(k, v) => {
+                    vet.op("insert", || s.insert(k, v));
+                }
+                Step::Remove(k) => {
+                    vet.op("remove", || s.remove(k));
+                }
+                Step::Get(k) => {
+                    vet.op("get", || s.get(k));
+                }
+            }
+        }
+    }
+    let r = vet.finish(&sim);
+    assert!(
+        r.has(FindingKind::DirtyAtReturn),
+        "SOFT with its header flush removed returns with the validity word \
+         dirty, but the sanitizer recorded no dirty-at-return: {:#?}",
+        r.findings
+    );
+}

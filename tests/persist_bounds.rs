@@ -93,27 +93,30 @@ fn set_bounds<S: DurableSet<u64, u64>>(
     assert_bound(&format!("{name} remove"), rem, rem_fl, rem_fe);
 }
 
-// Observed: insert 5–6/3 (new node + pred link + ensureReachable; the
-// flush count wobbles by one with allocator slab state), remove 6/4
-// (mark + unlink + retire bookkeeping).
+// Observed: insert 6/3 (new node + pred link; Protocol 1's parent flush
+// dedupes into `makePersistent` when the parent is also a field), remove
+// 6/4 (mark + unlink + retire bookkeeping). The flush count wobbles by one
+// with allocator slab state.
 #[test]
 fn list_bounds() {
-    set_bounds("list", HarrisList::<u64, u64, D>::new, (8, 5, 8, 6));
+    set_bounds("list", HarrisList::<u64, u64, D>::new, (8, 4, 8, 5));
 }
 
-// Observed: insert 4/3, remove 6/4 — one bucket is one Harris list (the
+// Observed: insert 4/3, remove 5/4 — one bucket is one Harris list (the
 // insert is cheaper than the list's because the bucket is near-empty).
 #[test]
 fn hash_bounds() {
-    set_bounds("hash", || HashMapDs::<u64, u64, D>::new(64), (8, 5, 8, 6));
+    set_bounds("hash", || HashMapDs::<u64, u64, D>::new(64), (6, 4, 7, 5));
 }
 
-// Observed: insert 7/3, remove 6/4 at the tower heights this seed drew.
-// The bound covers the maximum tower height the geometric level draw can
-// produce (each extra level links one more node, all in the critical phase).
+// Observed: insert 7/3, remove 6/4 — and, unlike the pre-sanitizer
+// bounds, *independent* of the tower-height draw: only `next[0]` is
+// durable, the upper tower links are volatile raw CASes that cost no
+// persistence instructions (the vet sanitizer pins this — they are
+// declared volatile-by-design at allocation).
 #[test]
 fn skiplist_bounds() {
-    set_bounds("skiplist", SkipList::<u64, u64, D>::new, (40, 12, 40, 12));
+    set_bounds("skiplist", SkipList::<u64, u64, D>::new, (12, 5, 12, 6));
 }
 
 // Observed: insert 15/5, remove 11/6 — internal+leaf node pair plus the
@@ -121,19 +124,20 @@ fn skiplist_bounds() {
 // completing the operation it itself installed.
 #[test]
 fn ellen_bst_bounds() {
-    set_bounds("ellen-bst", EllenBst::<u64, u64, D>::new, (22, 9, 22, 10));
+    set_bounds("ellen-bst", EllenBst::<u64, u64, D>::new, (18, 7, 15, 8));
 }
 
-// Observed: insert 6–8/3, remove 10/5 — internal+leaf pair, edge-CAS
+// Observed: insert 7/3, remove 10/4 — internal+leaf pair, edge-CAS
 // based deletion (no descriptors, but the two-step flag+prune remove
 // persists both edges).
 #[test]
 fn nm_bst_bounds() {
-    set_bounds("nm-bst", NmBst::<u64, u64, D>::new, (12, 6, 14, 7));
+    set_bounds("nm-bst", NmBst::<u64, u64, D>::new, (10, 5, 13, 6));
 }
 
-// Observed: enqueue 4/3, dequeue 3/3 (the tail shortcut is volatile — it
-// costs nothing persistent).
+// Observed: enqueue 3/3, dequeue 3/2 (the tail shortcut is volatile — it
+// costs nothing persistent — and enqueue no longer flushes the anchor head:
+// the appended node is reachable through already-persisted links).
 #[test]
 fn queue_bounds() {
     let q: MsQueue<u64, D> = MsQueue::new();
@@ -142,11 +146,11 @@ fn queue_bounds() {
     }
     let enq = counted(|| q.enqueue(99));
     let deq = counted(|| assert!(q.dequeue().is_some()));
-    assert_bound("queue enqueue", enq, 6, 4);
-    assert_bound("queue dequeue", deq, 6, 5);
+    assert_bound("queue enqueue", enq, 5, 4);
+    assert_bound("queue dequeue", deq, 5, 4);
 }
 
-// Observed: push 3/3, pop 2/3.
+// Observed: push 3/3, pop 2/2.
 #[test]
 fn stack_bounds() {
     let s: TreiberStack<u64, D> = TreiberStack::new();
@@ -155,23 +159,32 @@ fn stack_bounds() {
     }
     let push = counted(|| s.push(99));
     let pop = counted(|| assert!(s.pop().is_some()));
-    assert_bound("stack push", push, 6, 4);
-    assert_bound("stack pop", pop, 6, 5);
+    assert_bound("stack push", push, 5, 4);
+    assert_bound("stack pop", pop, 4, 4);
 }
 
 /// Asserts the detectable-vs-plain overhead of one operation: the entire
 /// price of detectability is the descriptor — the arm (one cache line,
 /// flushed as one range) and the result publish — so at most **+2 flushes
-/// and exactly +0 fences** (both piggyback on the operation's existing
-/// fences). Signed, because the allocator's slab state can wobble the
-/// plain insert by a flush.
-fn assert_detectable_delta(what: &str, plain: (u64, u64), detectable: (u64, u64)) {
+/// and at most `max_d_fences` fences**. On the effectful paths that is
+/// **+0**: arming and publishing ride the operation's own fences. On the
+/// no-op paths it is **+1**: the plain no-op has nothing pending at return
+/// so its closing fence is elided entirely, while the detectable no-op
+/// still needs one fence to make its arm+publish words durable. Signed,
+/// because the allocator's slab state can wobble the plain insert by a
+/// flush.
+fn assert_detectable_delta(
+    what: &str,
+    plain: (u64, u64),
+    detectable: (u64, u64),
+    max_d_fences: i64,
+) {
     let d_flushes = detectable.0 as i64 - plain.0 as i64;
     let d_fences = detectable.1 as i64 - plain.1 as i64;
-    assert_eq!(
-        d_fences, 0,
+    assert!(
+        d_fences <= max_d_fences,
         "{what}: detectable path added {d_fences} fences (plain {plain:?}, \
-         detectable {detectable:?}) — arming/publishing must ride the op's own fences"
+         detectable {detectable:?}) — bound is {max_d_fences}"
     );
     assert!(
         d_flushes <= 2,
@@ -208,18 +221,19 @@ fn detectable_delta_bounds<S: DurableSet<u64, u64>>(name: &str, make: impl FnOnc
     let det_rem = min_counted(
         (0..4u64).map(|i| counted(|| assert!(s.remove_detectable(&mut tok, 18 + 8 * i).unwrap().1))),
     );
-    assert_detectable_delta(&format!("{name} insert"), plain_ins, det_ins);
-    assert_detectable_delta(&format!("{name} remove"), plain_rem, det_rem);
-    // The no-op paths arm and publish together under the closing fence:
-    // same bound.
+    assert_detectable_delta(&format!("{name} insert"), plain_ins, det_ins, 0);
+    assert_detectable_delta(&format!("{name} remove"), plain_rem, det_rem, 0);
+    // The no-op paths arm and publish together under the closing fence —
+    // which only the detectable run issues (the plain no-op elides it).
     let plain_dup = counted(|| assert!(!s.insert(101, 9)));
     let det_dup = counted(|| assert!(!s.insert_detectable(&mut tok, 103, 9).unwrap().1));
-    assert_detectable_delta(&format!("{name} duplicate insert"), plain_dup, det_dup);
+    assert_detectable_delta(&format!("{name} duplicate insert"), plain_dup, det_dup, 1);
 }
 
-// Observed: +2 flushes / +0 fences on the effectful paths, +2/+0 on the
+// Observed: +2 flushes / +0 fences on the effectful paths, +2/+1 on the
 // duplicate-insert path (arm and publish share the slot's cache line but
-// are separate flush instructions).
+// are separate flush instructions; the fence is the descriptor's own —
+// the plain no-op doesn't pay one at all).
 #[test]
 fn list_detectable_delta() {
     detectable_delta_bounds("list", HarrisList::<u64, u64, D>::new);
@@ -234,8 +248,9 @@ fn hash_detectable_delta() {
 
 /// Measures one SOFT insert, remove, hit-get and miss-get and pins their
 /// **exact** persistence costs: an update is one flush (the node's validity
-/// header, one 64-aligned cache line) plus the closing fence; a lookup
-/// flushes nothing and pays only the driver's closing fence. Unlike the
+/// header, one 64-aligned cache line) plus the closing fence; a lookup or
+/// no-op update costs **nothing** — it flushes nothing, and the closing
+/// fence is elided because the thread has no flush pending. Unlike the
 /// NvTraverse bounds above there is no slack — SOFT's whole claim is that
 /// these are constants of the protocol, not of allocator state.
 fn soft_exact_bounds<S: DurableSet<u64, u64>>(name: &str, make: impl FnOnce() -> S) {
@@ -250,9 +265,9 @@ fn soft_exact_bounds<S: DurableSet<u64, u64>>(name: &str, make: impl FnOnce() ->
     let dup = counted(|| assert!(!s.insert(33, 99)));
     assert_eq!(ins, (1, 1), "{name} insert: must be exactly 1 flush + 1 fence");
     assert_eq!(rem, (1, 1), "{name} remove: must be exactly 1 flush + 1 fence");
-    assert_eq!(hit, (0, 1), "{name} get(hit): must flush nothing");
-    assert_eq!(miss, (0, 1), "{name} get(miss): must flush nothing");
-    assert_eq!(dup, (0, 1), "{name} duplicate insert: no effect, no flush");
+    assert_eq!(hit, (0, 0), "{name} get(hit): zero persistence instructions");
+    assert_eq!(miss, (0, 0), "{name} get(miss): zero persistence instructions");
+    assert_eq!(dup, (0, 0), "{name} duplicate insert: no effect, no cost");
 }
 
 #[test]

@@ -1,0 +1,224 @@
+//! Positive sanitizer tests: every structure × every applicable real policy
+//! runs a full mixed workload under the `nvtraverse-vet` dynamic sanitizer
+//! with **zero error-level findings** — in one run, no crash enumeration.
+//!
+//! This is the counterpart of `checker_detects_bugs.rs`: that file proves
+//! the sanitizer (and the crash sweep) flags broken policies; this one
+//! proves the real policies are clean, so a future regression shows up as
+//! a named finding (`unpersisted-publish`, `dirty-at-return`,
+//! `flush-after-free`) pointing at the offending word.
+//!
+//! Policy coverage follows the paper's tiers: the seven NVTraverse-suite
+//! structures run under `NvTraverse` and `Izraelevitz`; the two SOFT
+//! structures run under `Soft`. `LinkPersist` is deliberately absent: its
+//! dirty-bit protocol leaves the tag-bit clear unpersisted *by design*
+//! (a crash just re-runs the helping flush), which the word-granular
+//! sanitizer cannot distinguish from a real durability leak.
+//!
+//! Structures are built with a **reclaiming** collector on purpose: EBR
+//! reclamation must deregister every node word before the memory is
+//! returned, and any ordering bug there surfaces as `flush-after-free`.
+//!
+//! CI runs this binary twice, once with `NVT_OBS=off` (findings then carry
+//! `Phase::Unattributed`, and the sanitizer must still classify correctly).
+
+mod common;
+
+use common::{standard_workload, Step};
+use nvtraverse::policy::{Izraelevitz, NvTraverse, Soft};
+use nvtraverse::DurableSet;
+use nvtraverse_ebr::Collector;
+use nvtraverse_pmem::sim::SimHandle;
+use nvtraverse_pmem::Sim;
+use nvtraverse_structures::ellen_bst::EllenBst;
+use nvtraverse_structures::hash::HashMapDs;
+use nvtraverse_structures::list::HarrisList;
+use nvtraverse_structures::nm_bst::NmBst;
+use nvtraverse_structures::queue::MsQueue;
+use nvtraverse_structures::skiplist::SkipList;
+use nvtraverse_structures::soft_hash::SoftHash;
+use nvtraverse_structures::soft_list::SoftList;
+use nvtraverse_structures::stack::TreiberStack;
+use nvtraverse_vet::{Vet, VetReport};
+
+/// Runs the standard mixed workload against a set under the sanitizer and
+/// returns the report. The structure is built *after* `Vet::install` (so
+/// every node registration is observed) and dropped *before* `finish` (so
+/// teardown frees are checked for dangling registrations too).
+fn vet_set<S: DurableSet<u64, u64>>(make: impl FnOnce() -> S) -> VetReport {
+    let sim = SimHandle::new();
+    let _g = sim.enter();
+    let vet = Vet::install(&sim);
+    {
+        let s = make();
+        let (prefill, workload) = standard_workload();
+        for &(k, v) in &prefill {
+            vet.op("prefill", || s.insert(k, v));
+        }
+        for op in &workload {
+            match *op {
+                Step::Insert(k, v) => {
+                    vet.op("insert", || s.insert(k, v));
+                }
+                Step::Remove(k) => {
+                    vet.op("remove", || s.remove(k));
+                }
+                Step::Get(k) => {
+                    vet.op("get", || s.get(k));
+                }
+            }
+        }
+    }
+    vet.finish(&sim)
+}
+
+fn assert_clean(report: &VetReport, what: &str) {
+    assert_eq!(
+        report.errors(),
+        0,
+        "{what} must be sanitizer-clean, found: {:#?}",
+        report.findings
+    );
+    assert!(report.ops > 0, "{what}: no operations were delimited");
+}
+
+macro_rules! vet_clean_set {
+    ($name:ident, $make:expr) => {
+        #[test]
+        fn $name() {
+            let report = vet_set(|| $make);
+            assert_clean(&report, stringify!($name));
+        }
+    };
+}
+
+// The seven NVTraverse-suite structures under the paper's transformation.
+vet_clean_set!(
+    harris_list_nvtraverse,
+    HarrisList::<u64, u64, NvTraverse<Sim>>::with_collector(Collector::new())
+);
+vet_clean_set!(
+    hash_map_nvtraverse,
+    HashMapDs::<u64, u64, NvTraverse<Sim>>::with_collector(4, Collector::new())
+);
+vet_clean_set!(
+    skiplist_nvtraverse,
+    SkipList::<u64, u64, NvTraverse<Sim>>::with_collector(Collector::new())
+);
+vet_clean_set!(
+    ellen_bst_nvtraverse,
+    EllenBst::<u64, u64, NvTraverse<Sim>>::with_collector(Collector::new())
+);
+vet_clean_set!(
+    nm_bst_nvtraverse,
+    NmBst::<u64, u64, NvTraverse<Sim>>::with_collector(Collector::new())
+);
+
+// The same structures under the general transformation of Izraelevitz et
+// al. (flush+fence on every shared access — slow, but maximally eager, so
+// any sanitizer error here would mean a tracking bug, not a policy bug).
+vet_clean_set!(
+    harris_list_izraelevitz,
+    HarrisList::<u64, u64, Izraelevitz<Sim>>::with_collector(Collector::new())
+);
+vet_clean_set!(
+    hash_map_izraelevitz,
+    HashMapDs::<u64, u64, Izraelevitz<Sim>>::with_collector(4, Collector::new())
+);
+vet_clean_set!(
+    skiplist_izraelevitz,
+    SkipList::<u64, u64, Izraelevitz<Sim>>::with_collector(Collector::new())
+);
+vet_clean_set!(
+    ellen_bst_izraelevitz,
+    EllenBst::<u64, u64, Izraelevitz<Sim>>::with_collector(Collector::new())
+);
+vet_clean_set!(
+    nm_bst_izraelevitz,
+    NmBst::<u64, u64, Izraelevitz<Sim>>::with_collector(Collector::new())
+);
+
+// The SOFT tier: volatile links, one header flush per update.
+vet_clean_set!(
+    soft_list_soft,
+    SoftList::<u64, u64, Soft<Sim>>::with_collector(Collector::new())
+);
+vet_clean_set!(
+    soft_hash_soft,
+    SoftHash::<u64, u64, Soft<Sim>>::with_collector(4, Collector::new())
+);
+
+/// Queue workload: interleaved enqueues and dequeues, each delimited.
+fn vet_queue<D: nvtraverse::policy::Durability<B = Sim>>() -> VetReport {
+    let sim = SimHandle::new();
+    let _g = sim.enter();
+    let vet = Vet::install(&sim);
+    {
+        let q: MsQueue<u64, D> = MsQueue::with_collector(Collector::new());
+        for v in 1..=6u64 {
+            vet.op("enqueue", || q.enqueue(v));
+        }
+        for _ in 0..4 {
+            vet.op("dequeue", || q.dequeue());
+        }
+        for v in 7..=9u64 {
+            vet.op("enqueue", || q.enqueue(v));
+        }
+        while vet.op("dequeue", || q.dequeue()).is_some() {}
+    }
+    vet.finish(&sim)
+}
+
+/// Stack workload: pushes and pops, each delimited.
+fn vet_stack<D: nvtraverse::policy::Durability<B = Sim>>() -> VetReport {
+    let sim = SimHandle::new();
+    let _g = sim.enter();
+    let vet = Vet::install(&sim);
+    {
+        let s: TreiberStack<u64, D> = TreiberStack::with_collector(Collector::new());
+        for v in 1..=6u64 {
+            vet.op("push", || s.push(v));
+        }
+        for _ in 0..4 {
+            vet.op("pop", || s.pop());
+        }
+        for v in 7..=9u64 {
+            vet.op("push", || s.push(v));
+        }
+        while vet.op("pop", || s.pop()).is_some() {}
+    }
+    vet.finish(&sim)
+}
+
+#[test]
+fn ms_queue_nvtraverse() {
+    assert_clean(&vet_queue::<NvTraverse<Sim>>(), "ms_queue_nvtraverse");
+}
+
+#[test]
+fn ms_queue_izraelevitz() {
+    assert_clean(&vet_queue::<Izraelevitz<Sim>>(), "ms_queue_izraelevitz");
+}
+
+#[test]
+fn treiber_stack_nvtraverse() {
+    assert_clean(&vet_stack::<NvTraverse<Sim>>(), "treiber_stack_nvtraverse");
+}
+
+#[test]
+fn treiber_stack_izraelevitz() {
+    assert_clean(&vet_stack::<Izraelevitz<Sim>>(), "treiber_stack_izraelevitz");
+}
+
+/// The report survives serialization: a clean run exports valid JSON with
+/// zeroed error counts (this is what CI uploads as an artifact).
+#[test]
+fn clean_report_serializes() {
+    let report = vet_set(|| {
+        HarrisList::<u64, u64, NvTraverse<Sim>>::with_collector(Collector::new())
+    });
+    let json = report.to_json();
+    assert!(json.contains("\"unpersisted-publish\":0"), "{json}");
+    assert!(json.contains("\"dirty-at-return\":0"), "{json}");
+    assert!(json.contains("\"flush-after-free\":0"), "{json}");
+}
